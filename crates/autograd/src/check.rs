@@ -1,0 +1,166 @@
+//! Finite-difference gradient checking.
+//!
+//! Every differentiable op in this workspace is validated against central
+//! differences with [`grad_check`]; downstream crates reuse it for layers and
+//! whole models.
+
+use bikecap_tensor::Tensor;
+
+use crate::{ParamStore, Tape, Var};
+
+/// Result of a gradient check: the worst relative error observed and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error across all checked coordinates.
+    pub max_rel_error: f32,
+    /// `(parameter index, flat coordinate)` of the worst error.
+    pub worst: (usize, usize),
+}
+
+/// Checks analytic gradients of `build` against central finite differences.
+///
+/// `build` receives a fresh tape and one [`Var`] per input tensor (leafed as
+/// parameters) and must return a **scalar** loss var. Every coordinate of
+/// every input is perturbed by ±`eps`.
+///
+/// Returns a report with the maximum relative error; use
+/// [`assert_grad_check`] in tests.
+///
+/// # Panics
+///
+/// Panics if `build` returns a non-scalar loss.
+pub fn grad_check(
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    inputs: &[Tensor],
+    eps: f32,
+) -> GradCheckReport {
+    // Analytic pass.
+    let mut store = ParamStore::new();
+    let ids: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, t)| store.add(format!("input{i}"), t.clone()))
+        .collect();
+    let mut tape = Tape::new();
+    let vars: Vec<Var> = ids.iter().map(|&id| tape.param(&store, id)).collect();
+    let loss = build(&mut tape, &vars);
+    assert_eq!(
+        tape.value(loss).len(),
+        1,
+        "grad_check: build must return a scalar loss, got shape {:?}",
+        tape.value(loss).shape()
+    );
+    tape.backward(loss, &mut store);
+    let analytic: Vec<Tensor> = ids.iter().map(|&id| store.grad(id).clone()).collect();
+
+    // Numeric pass.
+    let eval = |tensors: &[Tensor]| -> f32 {
+        let mut s = ParamStore::new();
+        let ids: Vec<_> = tensors
+            .iter()
+            .enumerate()
+            .map(|(i, t)| s.add(format!("input{i}"), t.clone()))
+            .collect();
+        let mut tp = Tape::new();
+        let vars: Vec<Var> = ids.iter().map(|&id| tp.param(&s, id)).collect();
+        let l = build(&mut tp, &vars);
+        tp.value(l).item()
+    };
+
+    let mut max_rel = 0.0f32;
+    let mut worst = (0, 0);
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (pi, input) in inputs.iter().enumerate() {
+        for ci in 0..input.len() {
+            let orig = input.as_slice()[ci];
+            work[pi].as_mut_slice()[ci] = orig + eps;
+            let lp = eval(&work);
+            work[pi].as_mut_slice()[ci] = orig - eps;
+            let lm = eval(&work);
+            work[pi].as_mut_slice()[ci] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic[pi].as_slice()[ci];
+            let rel = (fd - an).abs() / fd.abs().max(an.abs()).max(1.0);
+            if rel > max_rel {
+                max_rel = rel;
+                worst = (pi, ci);
+            }
+        }
+    }
+    GradCheckReport {
+        max_rel_error: max_rel,
+        worst,
+    }
+}
+
+/// Asserts that [`grad_check`] passes within `tol`.
+///
+/// # Panics
+///
+/// Panics (with the worst coordinate) if the maximum relative error
+/// exceeds `tol`.
+pub fn assert_grad_check(
+    build: impl Fn(&mut Tape, &[Var]) -> Var,
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+) {
+    let report = grad_check(build, inputs, eps);
+    assert!(
+        report.max_rel_error <= tol,
+        "gradient check failed: max relative error {} at input {} coordinate {} (tol {})",
+        report.max_rel_error,
+        report.worst.0,
+        report.worst.1,
+        tol
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_for_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        assert_grad_check(
+            |tape, vars| {
+                let y = tape.square(vars[0]);
+                tape.sum(y)
+            },
+            &[x],
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn fails_for_wrong_gradient() {
+        // scale() with different factors in value vs a hand-built wrong grad:
+        // emulate by comparing d(sum(2x))/dx against d(sum(x^2))/dx via a
+        // deliberately mismatched build (non-deterministic builds are the
+        // classic way checks fail).
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let flip = std::cell::Cell::new(false);
+        let flip_ref = &flip;
+        assert_grad_check(
+            move |tape, vars| {
+                // Alternate between two different functions so analytic and
+                // numeric passes disagree.
+                let use_square = flip_ref.get();
+                flip_ref.set(!use_square);
+                if use_square {
+                    let y = tape.square(vars[0]);
+                    tape.sum(y)
+                } else {
+                    let y = tape.scale(vars[0], 5.0);
+                    tape.sum(y)
+                }
+            },
+            &[x],
+            1e-3,
+            1e-3,
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Parameter storage shared across training steps.
+
+use bikecap_tensor::Tensor;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The store slot index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ParamEntry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// Owns model parameters and their gradient accumulators.
+///
+/// Parameters are registered once at model construction; every training step
+/// leafs them onto a fresh [`crate::Tape`], and `Tape::backward` accumulates
+/// gradients back here. Optimizers then walk the store via
+/// [`ParamStore::update`].
+///
+/// ```
+/// use bikecap_autograd::ParamStore;
+/// use bikecap_tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.add("layer.weight", Tensor::zeros(&[2, 3]));
+/// assert_eq!(store.num_scalars(), 6);
+/// assert_eq!(store.name(id), "layer.weight");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    entries: Vec<ParamEntry>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter, returning its handle. The gradient accumulator
+    /// starts at zero.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(ParamEntry {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of learnable scalars — the paper's "parameter count".
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// The parameter's registered name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// The current value of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Overwrites a parameter's value (used by weight loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid or the shapes differ.
+    pub fn set_value(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.entries[id.0].value.shape(),
+            value.shape(),
+            "set_value: shape mismatch for parameter '{}'",
+            self.entries[id.0].name
+        );
+        self.entries[id.0].value = value;
+    }
+
+    /// The accumulated gradient of a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this store.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Adds `grad` into the parameter's accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is invalid or shapes differ.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Tensor) {
+        self.entries[id.0].grad.add_assign_(grad);
+    }
+
+    /// Resets every gradient accumulator to zero.
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad = Tensor::zeros(e.value.shape());
+        }
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ParamId(i), e.name.as_str(), &e.value))
+    }
+
+    /// Applies an optimizer update: `f(slot, value, grad)` for every
+    /// parameter, mutating the value in place.
+    pub fn update(&mut self, mut f: impl FnMut(usize, &mut Tensor, &Tensor)) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            f(i, &mut e.value, &e.grad);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.as_slice().iter().map(|g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient by `s` (used for gradient clipping).
+    pub fn scale_grads(&mut self, s: f32) {
+        for e in &mut self.entries {
+            e.grad.scale_(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::ones(&[2, 2]));
+        let b = store.add("b", Tensor::zeros(&[3]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 7);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.value(b).len(), 3);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn grads_accumulate_and_reset() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2]));
+        store.accumulate_grad(a, &Tensor::ones(&[2]));
+        store.accumulate_grad(a, &Tensor::ones(&[2]));
+        assert_eq!(store.grad(a).as_slice(), &[2.0, 2.0]);
+        store.zero_grads();
+        assert_eq!(store.grad(a).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn update_walks_all_params() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::ones(&[2]));
+        store.accumulate_grad(a, &Tensor::full(&[2], 0.5));
+        store.update(|_, v, g| {
+            let step = g.scale(-1.0);
+            v.add_assign_(&step);
+        });
+        assert_eq!(store.value(a).as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2]));
+        store.accumulate_grad(a, &Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.scale_grads(0.5);
+        assert_eq!(store.grad(a).as_slice(), &[1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_value_shape_checked() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2]));
+        store.set_value(a, Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,350 @@
+//! Finite-difference validation of every differentiable op on the tape.
+
+use bikecap_autograd::check::assert_grad_check;
+use bikecap_autograd::{Tape, Var};
+use bikecap_tensor::conv::Conv3dSpec;
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn randn(shape: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(shape, 0.0, 1.0, &mut rng(seed))
+}
+
+/// Gradient-checks a builder over the given inputs with standard tolerances.
+fn check(build: impl Fn(&mut Tape, &[Var]) -> Var, inputs: &[Tensor]) {
+    assert_grad_check(build, inputs, 1e-2, 3e-2);
+}
+
+#[test]
+fn grad_add_broadcast() {
+    check(
+        |t, v| {
+            let y = t.add(v[0], v[1]);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[2, 3], 1), randn(&[1, 3], 2)],
+    );
+}
+
+#[test]
+fn grad_sub_broadcast() {
+    check(
+        |t, v| {
+            let y = t.sub(v[0], v[1]);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[2, 2, 2], 3), randn(&[2], 4)],
+    );
+}
+
+#[test]
+fn grad_mul_broadcast() {
+    check(
+        |t, v| {
+            let y = t.mul(v[0], v[1]);
+            t.sum(y)
+        },
+        &[randn(&[3, 2], 5), randn(&[3, 1], 6)],
+    );
+}
+
+#[test]
+fn grad_div() {
+    // Keep the denominator away from zero.
+    let denom = randn(&[2, 2], 7).abs().add_scalar(1.5);
+    check(
+        |t, v| {
+            let y = t.div(v[0], v[1]);
+            t.sum(y)
+        },
+        &[randn(&[2, 2], 8), denom],
+    );
+}
+
+#[test]
+fn grad_unary_chain() {
+    check(
+        |t, v| {
+            let a = t.neg(v[0]);
+            let b = t.exp(a);
+            let c = t.scale(b, 0.5);
+            let d = t.add_scalar(c, 1.0);
+            t.sum(d)
+        },
+        &[randn(&[4], 9)],
+    );
+}
+
+#[test]
+fn grad_abs_away_from_zero() {
+    let x = randn(&[5], 10).map(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+    check(
+        |t, v| {
+            let y = t.abs(v[0]);
+            t.sum(y)
+        },
+        &[x],
+    );
+}
+
+#[test]
+fn grad_relu_away_from_zero() {
+    let x = randn(&[6], 11).map(|v| if v.abs() < 0.2 { v + 0.5 } else { v });
+    check(
+        |t, v| {
+            let y = t.relu(v[0]);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[x],
+    );
+}
+
+#[test]
+fn grad_sigmoid_tanh() {
+    check(
+        |t, v| {
+            let s = t.sigmoid(v[0]);
+            let h = t.tanh(s);
+            t.sum(h)
+        },
+        &[randn(&[3, 3], 12)],
+    );
+}
+
+#[test]
+fn grad_sqrt() {
+    let x = randn(&[4], 13).abs().add_scalar(0.5);
+    check(
+        |t, v| {
+            let y = t.sqrt(v[0]);
+            t.sum(y)
+        },
+        &[x],
+    );
+}
+
+#[test]
+fn grad_matmul() {
+    check(
+        |t, v| {
+            let y = t.matmul(v[0], v[1]);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[3, 4], 14), randn(&[4, 2], 15)],
+    );
+}
+
+#[test]
+fn grad_sum_axes_keepdim() {
+    check(
+        |t, v| {
+            let y = t.sum_axes_keepdim(v[0], &[1]);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[2, 3, 2], 16)],
+    );
+}
+
+#[test]
+fn grad_mean() {
+    check(
+        |t, v| {
+            let y = t.square(v[0]);
+            t.mean(y)
+        },
+        &[randn(&[2, 5], 17)],
+    );
+}
+
+#[test]
+fn grad_reshape_permute() {
+    check(
+        |t, v| {
+            let y = t.reshape(v[0], &[3, 4]);
+            let p = t.permute(y, &[1, 0]);
+            let z = t.square(p);
+            t.sum(z)
+        },
+        &[randn(&[2, 2, 3], 18)],
+    );
+}
+
+#[test]
+fn grad_concat_narrow() {
+    check(
+        |t, v| {
+            let c = t.concat(&[v[0], v[1]], 1);
+            let n = t.narrow(c, 1, 1, 3);
+            let z = t.square(n);
+            t.sum(z)
+        },
+        &[randn(&[2, 2], 19), randn(&[2, 3], 20)],
+    );
+}
+
+#[test]
+fn grad_softmax_trailing() {
+    check(
+        |t, v| {
+            let s = t.softmax_trailing(v[0], 1);
+            let w = t.constant(randn(&[2, 4], 99));
+            let y = t.mul(s, w);
+            t.sum(y)
+        },
+        &[randn(&[2, 4], 21)],
+    );
+}
+
+#[test]
+fn grad_softmax_trailing_multi_axis() {
+    check(
+        |t, v| {
+            let s = t.softmax_trailing(v[0], 2);
+            let w = t.constant(randn(&[2, 2, 3], 98));
+            let y = t.mul(s, w);
+            t.sum(y)
+        },
+        &[randn(&[2, 2, 3], 22)],
+    );
+}
+
+#[test]
+fn grad_conv3d_input_and_weight() {
+    let spec = Conv3dSpec::padded(1, 1, 1);
+    check(
+        move |t, v| {
+            let y = t.conv3d(v[0], v[1], spec);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[1, 2, 3, 3, 3], 23), randn(&[2, 2, 3, 3, 3], 24)],
+    );
+}
+
+#[test]
+fn grad_conv3d_strided() {
+    let spec = Conv3dSpec {
+        stride: (1, 2, 2),
+        padding: (0, 1, 1),
+    };
+    check(
+        move |t, v| {
+            let y = t.conv3d(v[0], v[1], spec);
+            t.sum(y)
+        },
+        &[randn(&[1, 1, 2, 4, 4], 25), randn(&[2, 1, 2, 3, 3], 26)],
+    );
+}
+
+#[test]
+fn grad_conv_transpose3d() {
+    let spec = Conv3dSpec::padded(1, 1, 1);
+    check(
+        move |t, v| {
+            let y = t.conv_transpose3d(v[0], v[1], spec);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[1, 2, 3, 3, 3], 27), randn(&[2, 2, 3, 3, 3], 28)],
+    );
+}
+
+#[test]
+fn grad_conv2d() {
+    check(
+        |t, v| {
+            let y = t.conv2d(v[0], v[1], (1, 1), (1, 1));
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[1, 2, 4, 4], 29), randn(&[3, 2, 3, 3], 30)],
+    );
+}
+
+#[test]
+fn grad_squash() {
+    check(
+        |t, v| {
+            let s = t.squash(v[0], 1);
+            let w = t.constant(randn(&[2, 3, 2], 97));
+            let y = t.mul(s, w);
+            t.sum(y)
+        },
+        &[randn(&[2, 3, 2], 31)],
+    );
+}
+
+#[test]
+fn grad_l1_loss_away_from_kinks() {
+    let pred = randn(&[2, 3], 32);
+    let target = pred.add_scalar(0.7); // keep |diff| away from 0
+    check(move |t, v| {
+        let tv = t.constant(target.clone());
+        t.l1_loss(v[0], tv)
+    }, &[pred]);
+}
+
+#[test]
+fn grad_mse_loss() {
+    let target = randn(&[2, 3], 33);
+    check(
+        move |t, v| {
+            let tv = t.constant(target.clone());
+            t.mse_loss(v[0], tv)
+        },
+        &[randn(&[2, 3], 34)],
+    );
+}
+
+#[test]
+fn grad_masked_conv_pyramid_pattern() {
+    // The pyramid conv is weight * mask followed by conv3d; check that the
+    // composition differentiates correctly with a non-trivial mask.
+    let mask = Tensor::from_fn(&[2, 1, 2, 3, 3], |ix| {
+        // lag 0 (kd=1, most recent) keeps only the centre; lag 1 keeps all.
+        if ix[2] == 1 && !(ix[3] == 1 && ix[4] == 1) {
+            0.0
+        } else {
+            1.0
+        }
+    });
+    let spec = Conv3dSpec::padded(0, 1, 1);
+    check(
+        move |t, v| {
+            let m = t.constant(mask.clone());
+            let w = t.mul(v[1], m);
+            let y = t.conv3d(v[0], w, spec);
+            let z = t.square(y);
+            t.sum(z)
+        },
+        &[randn(&[1, 1, 3, 4, 4], 35), randn(&[2, 1, 2, 3, 3], 36)],
+    );
+}
+
+#[test]
+fn grad_routing_like_composition() {
+    // A miniature of the spatial-temporal routing: softmax over trailing axes,
+    // broadcast-multiply with predictions, sum over the capsule axis, squash.
+    check(
+        |t, v| {
+            let logits = t.softmax_trailing(v[0], 2); // (h, H*W, p) style
+            let lifted = t.reshape(logits, &[2, 1, 2, 3]);
+            let weighted = t.mul(v[1], lifted); // v[1]: (2, n, 2, 3)
+            let summed = t.sum_axes_keepdim(weighted, &[0]);
+            let squashed = t.squash(summed, 1);
+            let z = t.square(squashed);
+            t.sum(z)
+        },
+        &[randn(&[2, 2, 3], 37), randn(&[2, 2, 2, 3], 38)],
+    );
+}

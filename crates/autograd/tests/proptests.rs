@@ -1,0 +1,133 @@
+//! Property-based tests of the autodiff engine's algebraic identities.
+
+use bikecap_autograd::{ParamStore, Tape};
+use bikecap_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, 4..12)
+}
+
+proptest! {
+    /// d(sum(c * x))/dx == c, for any scalar c.
+    #[test]
+    fn gradient_of_scaled_sum_is_the_scale(data in small_vec(), c in -5.0f32..5.0) {
+        let n = data.len();
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(data, &[n]));
+        let mut tape = Tape::new();
+        let xv = tape.param(&store, x);
+        let y = tape.scale(xv, c);
+        let loss = tape.sum(y);
+        tape.backward(loss, &mut store);
+        for &g in store.grad(x).as_slice() {
+            prop_assert!((g - c).abs() < 1e-5);
+        }
+    }
+
+    /// Gradients are additive over uses: d(sum(x) + sum(x))/dx == 2.
+    #[test]
+    fn gradient_accumulates_over_reuse(data in small_vec()) {
+        let n = data.len();
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(data, &[n]));
+        let mut tape = Tape::new();
+        let xv = tape.param(&store, x);
+        let s1 = tape.sum(xv);
+        let s2 = tape.sum(xv);
+        let loss = tape.add(s1, s2);
+        tape.backward(loss, &mut store);
+        for &g in store.grad(x).as_slice() {
+            prop_assert!((g - 2.0).abs() < 1e-5);
+        }
+    }
+
+    /// Structural ops are gradient-transparent: reshape+permute+reshape back
+    /// yields the identity gradient.
+    #[test]
+    fn structural_ops_preserve_gradient(rows in 1usize..4, cols in 1usize..4, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[rows, cols], 0.0, 1.0, &mut rng);
+        let mut store = ParamStore::new();
+        let x = store.add("x", t);
+        let mut tape = Tape::new();
+        let xv = tape.param(&store, x);
+        let p = tape.permute(xv, &[1, 0]);
+        let r = tape.reshape(p, &[rows * cols]);
+        let loss = tape.sum(r);
+        tape.backward(loss, &mut store);
+        for &g in store.grad(x).as_slice() {
+            prop_assert!((g - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// The squash output always has per-position norm strictly below 1.
+    #[test]
+    fn squash_norm_bounded(data in proptest::collection::vec(-50.0f32..50.0, 12)) {
+        let t = Tensor::from_vec(data, &[2, 3, 2]);
+        let mut tape = Tape::new();
+        let x = tape.constant(t);
+        let s = tape.squash(x, 1);
+        let norms = tape.value(s).square().sum_axes(&[1], true);
+        prop_assert!(norms.max_value() < 1.0);
+        prop_assert!(tape.value(s).all_finite());
+    }
+
+    /// Softmax gradients sum to zero across the normalised group (probability
+    /// mass is conserved).
+    #[test]
+    fn softmax_gradient_mass_conserved(
+        data in proptest::collection::vec(-4.0f32..4.0, 6),
+        w in proptest::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(data, &[2, 3]));
+        let weights = Tensor::from_vec(w, &[2, 3]);
+        let mut tape = Tape::new();
+        let xv = tape.param(&store, x);
+        let s = tape.softmax_trailing(xv, 1);
+        let c = tape.constant(weights);
+        let y = tape.mul(s, c);
+        let loss = tape.sum(y);
+        tape.backward(loss, &mut store);
+        let g = store.grad(x);
+        for row in 0..2 {
+            let sum: f32 = (0..3).map(|j| g.get(&[row, j])).sum();
+            prop_assert!(sum.abs() < 1e-4, "row {row} gradient mass {sum}");
+        }
+    }
+
+    /// L1 loss is symmetric in its arguments' gradient magnitudes.
+    #[test]
+    fn l1_gradients_are_opposite(a in small_vec()) {
+        let n = a.len();
+        let b: Vec<f32> = a.iter().map(|v| v + 1.0).collect();
+        let mut store = ParamStore::new();
+        let pa = store.add("a", Tensor::from_vec(a, &[n]));
+        let pb = store.add("b", Tensor::from_vec(b, &[n]));
+        let mut tape = Tape::new();
+        let av = tape.param(&store, pa);
+        let bv = tape.param(&store, pb);
+        let loss = tape.l1_loss(av, bv);
+        tape.backward(loss, &mut store);
+        let ga = store.grad(pa);
+        let gb = store.grad(pb);
+        for (x, y) in ga.as_slice().iter().zip(gb.as_slice()) {
+            prop_assert!((x + y).abs() < 1e-6);
+        }
+    }
+
+    /// Constants never receive gradients and never panic the backward pass.
+    #[test]
+    fn constants_are_inert(data in small_vec()) {
+        let n = data.len();
+        let mut store = ParamStore::new();
+        let mut tape = Tape::new();
+        let c = tape.constant(Tensor::from_vec(data, &[n]));
+        let d = tape.square(c);
+        let loss = tape.sum(d);
+        tape.backward(loss, &mut store);
+        prop_assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! The common forecaster interface and multi-step utilities.
+
+use bikecap_city_sim::{ForecastDataset, FEATURES, F_BIKE_PICKUP};
+use bikecap_tensor::Tensor;
+use rand::RngCore;
+
+/// Training budget shared by the neural baselines — the knobs the evaluation
+/// harness scales for quick vs full runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralBudget {
+    /// Passes over (sampled) training windows.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Optional cap on minibatches per epoch.
+    pub max_batches_per_epoch: Option<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+}
+
+impl Default for NeuralBudget {
+    fn default() -> Self {
+        NeuralBudget {
+            epochs: 10,
+            batch_size: 16,
+            max_batches_per_epoch: Some(16),
+            learning_rate: 1e-3,
+            clip_norm: 5.0,
+        }
+    }
+}
+
+impl NeuralBudget {
+    /// A minimal budget for unit tests.
+    pub fn smoke() -> Self {
+        NeuralBudget {
+            epochs: 2,
+            batch_size: 4,
+            max_batches_per_epoch: Some(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// A trainable multi-step demand forecaster.
+///
+/// Implementations consume normalised windows `(B, F, h, H, W)` (the
+/// [`bikecap_city_sim::Batch`] input layout) and forecast normalised bike
+/// pick-ups `(B, p, H, W)`.
+pub trait Forecaster {
+    /// Display name matching the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Trains on the dataset's training split. Returns the mean training
+    /// loss of the final epoch.
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32;
+
+    /// Forecasts `horizon` slots for each window in the batch.
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor;
+}
+
+/// Rolls a window one step forward for recursive multi-step prediction.
+///
+/// `window` is `(B, F, h, H, W)`; slot axis shifts left by one, and the new
+/// final slot contains the predicted bike pick-ups (`next_bike`,
+/// `(B, H, W)`) with every other channel carried forward by persistence
+/// (future exogenous values are unobservable at prediction time).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn roll_window(window: &Tensor, next_bike: &Tensor) -> Tensor {
+    let ws = window.shape().to_vec();
+    assert_eq!(ws.len(), 5, "roll_window expects (B, F, h, H, W)");
+    let (b, f, h, gh, gw) = (ws[0], ws[1], ws[2], ws[3], ws[4]);
+    assert_eq!(f, FEATURES, "roll_window expects {FEATURES} channels");
+    assert_eq!(
+        next_bike.shape(),
+        &[b, gh, gw],
+        "next_bike must be (B, H, W), got {:?}",
+        next_bike.shape()
+    );
+    // Shift: slots 1..h move to 0..h-1.
+    let shifted = window.narrow(2, 1, h - 1);
+    // New last slot: copy the previous last slot, overwrite the bike channel.
+    let mut last = window.narrow(2, h - 1, 1); // (B, F, 1, H, W)
+    let plane = gh * gw;
+    for bi in 0..b {
+        let dst_base = (bi * f + F_BIKE_PICKUP) * plane;
+        let src_base = bi * plane;
+        last.as_mut_slice()[dst_base..dst_base + plane]
+            .copy_from_slice(&next_bike.as_slice()[src_base..src_base + plane]);
+    }
+    Tensor::concat(&[&shifted, &last], 2)
+}
+
+/// Iterates recursive single-step prediction: calls `step` on the current
+/// window to get the next bike map, rolls, and stacks `horizon` predictions
+/// into `(B, p, H, W)`.
+pub fn recursive_forecast(
+    window: &Tensor,
+    horizon: usize,
+    mut step: impl FnMut(&Tensor) -> Tensor,
+) -> Tensor {
+    let ws = window.shape().to_vec();
+    let (b, gh, gw) = (ws[0], ws[3], ws[4]);
+    let mut current = window.clone();
+    let mut maps = Vec::with_capacity(horizon);
+    for _ in 0..horizon {
+        let next = step(&current); // (B, H, W)
+        current = roll_window(&current, &next);
+        maps.push(next.reshape(&[b, 1, gh, gw]));
+    }
+    let refs: Vec<&Tensor> = maps.iter().collect();
+    Tensor::concat(&refs, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_window_shifts_and_injects_prediction() {
+        // Window with slot index encoded in the values.
+        let w = Tensor::from_fn(&[1, FEATURES, 3, 2, 2], |ix| ix[2] as f32 * 10.0 + ix[1] as f32);
+        let pred = Tensor::full(&[1, 2, 2], 99.0);
+        let rolled = roll_window(&w, &pred);
+        assert_eq!(rolled.shape(), w.shape());
+        // Old slot 1 moved to position 0.
+        assert_eq!(rolled.get(&[0, 1, 0, 0, 0]), 11.0);
+        // New final slot: bike channel is the prediction...
+        assert_eq!(rolled.get(&[0, F_BIKE_PICKUP, 2, 1, 1]), 99.0);
+        // ...while other channels persist from the old final slot.
+        assert_eq!(rolled.get(&[0, 1, 2, 0, 0]), 21.0);
+        assert_eq!(rolled.get(&[0, 2, 2, 0, 0]), 22.0);
+        assert_eq!(rolled.get(&[0, 3, 2, 0, 0]), 23.0);
+    }
+
+    #[test]
+    fn recursive_forecast_feeds_predictions_back() {
+        // A "model" that predicts the last bike slot + 1: after k steps the
+        // prediction is initial + k, proving each step saw the previous
+        // prediction.
+        let w = Tensor::zeros(&[1, FEATURES, 2, 2, 2]);
+        let out = recursive_forecast(&w, 3, |win| {
+            let ws = win.shape().to_vec();
+            let last = win
+                .narrow(2, ws[2] - 1, 1)
+                .narrow(1, F_BIKE_PICKUP, 1)
+                .reshape(&[1, 2, 2]);
+            last.add_scalar(1.0)
+        });
+        assert_eq!(out.shape(), &[1, 3, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(out.get(&[0, 1, 0, 0]), 2.0);
+        assert_eq!(out.get(&[0, 2, 0, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "next_bike must be")]
+    fn roll_window_checks_prediction_shape() {
+        let w = Tensor::zeros(&[1, FEATURES, 3, 2, 2]);
+        let bad = Tensor::zeros(&[1, 3, 3]);
+        let _ = roll_window(&w, &bad);
+    }
+
+    #[test]
+    fn budget_defaults_and_smoke() {
+        let d = NeuralBudget::default();
+        assert_eq!(d.epochs, 10);
+        let s = NeuralBudget::smoke();
+        assert!(s.epochs < d.epochs);
+    }
+}

@@ -1,0 +1,40 @@
+//! The seven baseline forecasters the paper compares against (Sec. IV-B),
+//! reproduced from scratch:
+//!
+//! | Paper baseline | Type | Module |
+//! |---|---|---|
+//! | XGBoost | boosted regression trees, per-grid features, recursive multi-step | [`gbt`] |
+//! | LSTM | per-grid sequence model, recursive multi-step | [`lstm`] |
+//! | convLSTM | grid sequence-to-sequence, recursive decode | [`conv_lstm`] |
+//! | PredRNN | ST-LSTM stack with zigzag memory | [`predrnn`] |
+//! | PredRNN++ | causal LSTM + gradient highway | [`predrnn`] |
+//! | STGCN | Chebyshev graph conv + gated temporal conv | [`stgcn`] |
+//! | STSGCN | localized spatial-temporal synchronous graph conv | [`stsgcn`] |
+//!
+//! All implement the common [`Forecaster`] trait so the evaluation harness
+//! can sweep them uniformly. Neural baselines consume the same normalised
+//! `(B, F, h, H, W)` windows as BikeCAP and produce `(B, p, H, W)` forecasts.
+//!
+//! **Multi-step protocol.** As in the paper, XGBoost/LSTM/convLSTM/PredRNN(++)
+//! and STGCN predict one step and recurse, feeding predictions back as
+//! inputs. Future *exogenous* channels (subway flows, bike drop-offs) are
+//! unavailable at prediction time, so rolled windows carry them forward by
+//! persistence — see [`forecaster::roll_window`]. STSGCN emits all horizon
+//! steps with per-step output heads, as its original design does.
+
+pub mod conv_lstm;
+pub mod forecaster;
+pub mod gbt;
+pub mod lstm;
+pub mod predrnn;
+pub(crate) mod seq2seq;
+pub mod stgcn;
+pub mod stsgcn;
+
+pub use conv_lstm::ConvLstmForecaster;
+pub use forecaster::{roll_window, Forecaster, NeuralBudget};
+pub use gbt::{GbtConfig, GbtForecaster};
+pub use lstm::LstmForecaster;
+pub use predrnn::{PredRnnForecaster, PredRnnPlusPlusForecaster};
+pub use stgcn::StgcnForecaster;
+pub use stsgcn::StsgcnForecaster;

@@ -1,0 +1,216 @@
+//! Per-grid LSTM — the paper's `LSTM` baseline.
+//!
+//! Each grid cell contributes an independent sequence sample (the paper's
+//! "single series of demands in historical time steps"); one global LSTM
+//! learns from all cells and predicts the next value, recursing for
+//! multi-step.
+
+use bikecap_autograd::{ParamStore, Tape};
+use bikecap_city_sim::{ForecastDataset, Split, FEATURES};
+use bikecap_nn::{clip_grad_norm, Adam, Dense, LstmCell};
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::forecaster::{recursive_forecast, Forecaster, NeuralBudget};
+
+/// The LSTM forecaster.
+#[derive(Debug)]
+pub struct LstmForecaster {
+    store: ParamStore,
+    cell: LstmCell,
+    head: Dense,
+    budget: NeuralBudget,
+}
+
+impl LstmForecaster {
+    /// Builds the model with `hidden` LSTM units.
+    pub fn new(hidden: usize, budget: NeuralBudget, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", FEATURES, hidden, &mut rng);
+        let head = Dense::new(&mut store, "head", hidden, 1, &mut rng);
+        LstmForecaster {
+            store,
+            cell,
+            head,
+            budget,
+        }
+    }
+
+    /// Total learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Per-step feature tensor `(B*H*W, F)` for slot `d` of a window batch.
+    fn step_features(window: &Tensor, d: usize) -> Tensor {
+        let ws = window.shape();
+        let (b, f, _h, gh, gw) = (ws[0], ws[1], ws[2], ws[3], ws[4]);
+        let cells = gh * gw;
+        let mut out = Tensor::zeros(&[b * cells, f]);
+        let src = window.as_slice();
+        let plane = gh * gw;
+        let per_f = ws[2] * plane;
+        for bi in 0..b {
+            for fi in 0..f {
+                let base = ((bi * f + fi) * ws[2] + d) * plane;
+                for c in 0..cells {
+                    out.as_mut_slice()[(bi * cells + c) * f + fi] = src[base + c];
+                }
+            }
+            let _ = per_f;
+        }
+        out
+    }
+
+    /// Runs the network over a window batch, returning the next-slot bike
+    /// map `(B, H, W)` values on the given tape.
+    fn forward_next(&self, tape: &mut Tape, window: &Tensor) -> bikecap_autograd::Var {
+        let ws = window.shape().to_vec();
+        let (b, h, gh, gw) = (ws[0], ws[2], ws[3], ws[4]);
+        let rows = b * gh * gw;
+        let (h0, c0) = self.cell.zero_state(rows);
+        let mut hs = tape.constant(h0);
+        let mut cs = tape.constant(c0);
+        for d in 0..h {
+            let x = tape.constant(Self::step_features(window, d));
+            let (nh, nc) = self.cell.step(tape, x, (hs, cs), &self.store);
+            hs = nh;
+            cs = nc;
+        }
+        let y = self.head.forward(tape, hs, &self.store); // (rows, 1)
+        tape.reshape(y, &[b, gh, gw])
+    }
+
+    fn predict_next(&self, window: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let y = self.forward_next(&mut tape, window);
+        tape.value(y).clone()
+    }
+}
+
+impl Forecaster for LstmForecaster {
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        let mut opt = Adam::new(self.budget.learning_rate);
+        let mut last = f32::NAN;
+        for _ in 0..self.budget.epochs {
+            let anchors = dataset.shuffled_anchors(Split::Train, rng);
+            let mut total = 0.0;
+            let mut batches = 0;
+            for chunk in anchors.chunks(self.budget.batch_size) {
+                if let Some(cap) = self.budget.max_batches_per_epoch {
+                    if batches >= cap {
+                        break;
+                    }
+                }
+                let batch = dataset.batch(chunk);
+                let ws = batch.input.shape().to_vec();
+                let (b, gh, gw) = (ws[0], ws[3], ws[4]);
+                self.store.zero_grads();
+                let mut tape = Tape::new();
+                let pred = self.forward_next(&mut tape, &batch.input);
+                let target = batch.target.narrow(1, 0, 1).reshape(&[b, gh, gw]);
+                let t = tape.constant(target);
+                let loss = tape.l1_loss(pred, t);
+                total += tape.value(loss).item();
+                tape.backward(loss, &mut self.store);
+                clip_grad_norm(&mut self.store, self.budget.clip_norm);
+                opt.step(&mut self.store);
+                batches += 1;
+            }
+            last = total / batches.max(1) as f32;
+        }
+        last
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        recursive_forecast(input, horizon, |w| self.predict_next(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+    };
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 6, 2)
+    }
+
+    #[test]
+    fn step_features_gather_correctly() {
+        let w = Tensor::from_fn(&[1, FEATURES, 2, 2, 2], |ix| {
+            (ix[1] * 100 + ix[2] * 10 + ix[3] * 2 + ix[4]) as f32
+        });
+        let f0 = LstmForecaster::step_features(&w, 0);
+        assert_eq!(f0.shape(), &[4, FEATURES]);
+        // Cell (1,1) flat index 3, feature 2, slot 0 -> 2*100 + 0 + 3 = 203.
+        assert_eq!(f0.get(&[3, 2]), 203.0);
+        let f1 = LstmForecaster::step_features(&w, 1);
+        assert_eq!(f1.get(&[0, 1]), 110.0);
+    }
+
+    #[test]
+    fn fit_improves_and_predict_shapes() {
+        let ds = tiny_dataset();
+        let mut model = LstmForecaster::new(
+            16,
+            NeuralBudget {
+                epochs: 6,
+                batch_size: 8,
+                max_batches_per_epoch: Some(6),
+                ..NeuralBudget::default()
+            },
+            3,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let loss = model.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        let anchors = ds.anchors(Split::Test);
+        let batch = ds.batch(&anchors[..2]);
+        let pred = model.predict(&batch.input, 2);
+        assert_eq!(pred.shape(), &[2, 2, 6, 6]);
+        assert!(pred.all_finite());
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn continued_training_reduces_loss() {
+        // On sparse count data an untrained near-zero output is already
+        // close to the L1 optimum, so instead of comparing against an
+        // untrained net we assert that optimisation makes measurable
+        // progress on the training objective itself.
+        let ds = tiny_dataset();
+        let budget = NeuralBudget {
+            epochs: 2,
+            batch_size: 8,
+            max_batches_per_epoch: Some(10),
+            ..NeuralBudget::default()
+        };
+        let mut model = LstmForecaster::new(16, budget, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let early = model.fit(&ds, &mut rng);
+        // Keep fitting the same weights for many more epochs.
+        model.budget.epochs = 20;
+        let late = model.fit(&ds, &mut rng);
+        assert!(
+            late < early,
+            "continued training should reduce loss: early {early}, late {late}"
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! PredRNN and PredRNN++ — the paper's spatio-temporal recurrent baselines
+//! (Wang et al., 2017/2018).
+//!
+//! Both stack two cells; the spatio-temporal memory `M` zigzags: the top
+//! layer's `M` at step `t-1` enters the bottom layer at step `t`. PredRNN++
+//! swaps in causal LSTM cells and inserts a gradient highway unit between the
+//! layers. Decoding is recursive, like convLSTM.
+
+use bikecap_autograd::{ParamId, ParamStore, Tape, Var};
+use bikecap_city_sim::{ForecastDataset, FEATURES};
+use bikecap_nn::{glorot_uniform, CausalLstmCell, GradientHighwayUnit, StLstmCell};
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::forecaster::{Forecaster, NeuralBudget};
+use crate::seq2seq::{fit_frame_model, frame_at, next_frame, predict_frame_model, FrameModel, TrainHorizon};
+
+/// The PredRNN forecaster: two ST-LSTM layers with zigzag memory.
+#[derive(Debug)]
+pub struct PredRnnForecaster {
+    store: ParamStore,
+    layer0: StLstmCell,
+    layer1: StLstmCell,
+    head: ParamId,
+    budget: NeuralBudget,
+}
+
+impl PredRnnForecaster {
+    /// Builds the model with `hidden` channels per layer and square
+    /// same-padded `kernel` convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new(hidden: usize, kernel: usize, budget: NeuralBudget, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let layer0 = StLstmCell::new(&mut store, "st0", FEATURES, hidden, kernel, &mut rng);
+        let layer1 = StLstmCell::new(&mut store, "st1", hidden, hidden, kernel, &mut rng);
+        let head = store.add(
+            "head.weight",
+            glorot_uniform(&[1, hidden, 1, 1], hidden, 1, &mut rng),
+        );
+        PredRnnForecaster {
+            store,
+            layer0,
+            layer1,
+            head,
+            budget,
+        }
+    }
+
+    /// Total learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+impl FrameModel for PredRnnForecaster {
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward_horizon(&self, tape: &mut Tape, window: &Tensor, horizon: usize) -> Var {
+        let ws = window.shape().to_vec();
+        let (b, h, gh, gw) = (ws[0], ws[2], ws[3], ws[4]);
+        let win = tape.constant(window.clone());
+        let (h0t, c0t, m0t) = self.layer0.zero_state(b, gh, gw);
+        let (h1t, c1t, _) = self.layer1.zero_state(b, gh, gw);
+        let mut h0 = tape.constant(h0t);
+        let mut c0 = tape.constant(c0t);
+        let mut h1 = tape.constant(h1t);
+        let mut c1 = tape.constant(c1t);
+        let mut m = tape.constant(m0t); // zigzag memory
+        let mut last_frame = frame_at(tape, win, 0);
+
+        let advance =
+            |tape: &mut Tape, x: Var, h0: &mut Var, c0: &mut Var, h1: &mut Var, c1: &mut Var, m: &mut Var| {
+                let (nh0, nc0, nm0) = self.layer0.step(tape, x, *h0, *c0, *m, &self.store);
+                let (nh1, nc1, nm1) = self.layer1.step(tape, nh0, *h1, *c1, nm0, &self.store);
+                *h0 = nh0;
+                *c0 = nc0;
+                *h1 = nh1;
+                *c1 = nc1;
+                *m = nm1; // top-layer memory feeds the bottom layer next step
+            };
+
+        for d in 0..h {
+            last_frame = frame_at(tape, win, d);
+            advance(tape, last_frame, &mut h0, &mut c0, &mut h1, &mut c1, &mut m);
+        }
+        let head = tape.param(&self.store, self.head);
+        let mut preds = Vec::with_capacity(horizon);
+        for step in 0..horizon {
+            let y = tape.conv2d(h1, head, (1, 1), (0, 0));
+            let y3 = tape.reshape(y, &[b, gh, gw]);
+            preds.push(tape.reshape(y3, &[b, 1, gh, gw]));
+            if step + 1 < horizon {
+                let fed = next_frame(tape, y3, last_frame);
+                last_frame = fed;
+                advance(tape, fed, &mut h0, &mut c0, &mut h1, &mut c1, &mut m);
+            }
+        }
+        tape.concat(&preds, 1)
+    }
+}
+
+impl Forecaster for PredRnnForecaster {
+    fn name(&self) -> &'static str {
+        "PredRNN"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        let budget = self.budget.clone();
+        fit_frame_model(self, dataset, &budget, TrainHorizon::SingleStep, rng)
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        predict_frame_model(self, input, horizon)
+    }
+}
+
+/// The PredRNN++ forecaster: causal LSTM layers with a gradient highway.
+#[derive(Debug)]
+pub struct PredRnnPlusPlusForecaster {
+    store: ParamStore,
+    layer0: CausalLstmCell,
+    ghu: GradientHighwayUnit,
+    layer1: CausalLstmCell,
+    head: ParamId,
+    budget: NeuralBudget,
+}
+
+impl PredRnnPlusPlusForecaster {
+    /// Builds the model with `hidden` channels per layer and square
+    /// same-padded `kernel` convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new(hidden: usize, kernel: usize, budget: NeuralBudget, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let layer0 = CausalLstmCell::new(&mut store, "cz0", FEATURES, hidden, kernel, &mut rng);
+        let ghu = GradientHighwayUnit::new(&mut store, "ghu", hidden, hidden, kernel, &mut rng);
+        let layer1 = CausalLstmCell::new(&mut store, "cz1", hidden, hidden, kernel, &mut rng);
+        let head = store.add(
+            "head.weight",
+            glorot_uniform(&[1, hidden, 1, 1], hidden, 1, &mut rng),
+        );
+        PredRnnPlusPlusForecaster {
+            store,
+            layer0,
+            ghu,
+            layer1,
+            head,
+            budget,
+        }
+    }
+
+    /// Total learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+impl FrameModel for PredRnnPlusPlusForecaster {
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward_horizon(&self, tape: &mut Tape, window: &Tensor, horizon: usize) -> Var {
+        let ws = window.shape().to_vec();
+        let (b, h, gh, gw) = (ws[0], ws[2], ws[3], ws[4]);
+        let win = tape.constant(window.clone());
+        let (h0t, c0t, m0t) = self.layer0.zero_state(b, gh, gw);
+        let (h1t, c1t, _) = self.layer1.zero_state(b, gh, gw);
+        let zt = self.ghu.zero_state(b, gh, gw);
+        let mut h0 = tape.constant(h0t);
+        let mut c0 = tape.constant(c0t);
+        let mut h1 = tape.constant(h1t);
+        let mut c1 = tape.constant(c1t);
+        let mut m = tape.constant(m0t);
+        let mut z = tape.constant(zt);
+        let mut last_frame = frame_at(tape, win, 0);
+
+        let advance = |tape: &mut Tape,
+                           x: Var,
+                           h0: &mut Var,
+                           c0: &mut Var,
+                           h1: &mut Var,
+                           c1: &mut Var,
+                           m: &mut Var,
+                           z: &mut Var| {
+            let (nh0, nc0, nm0) = self.layer0.step(tape, x, *h0, *c0, *m, &self.store);
+            let nz = self.ghu.step(tape, nh0, *z, &self.store);
+            let (nh1, nc1, nm1) = self.layer1.step(tape, nz, *h1, *c1, nm0, &self.store);
+            *h0 = nh0;
+            *c0 = nc0;
+            *h1 = nh1;
+            *c1 = nc1;
+            *m = nm1;
+            *z = nz;
+        };
+
+        for d in 0..h {
+            last_frame = frame_at(tape, win, d);
+            advance(
+                tape, last_frame, &mut h0, &mut c0, &mut h1, &mut c1, &mut m, &mut z,
+            );
+        }
+        let head = tape.param(&self.store, self.head);
+        let mut preds = Vec::with_capacity(horizon);
+        for step in 0..horizon {
+            let y = tape.conv2d(h1, head, (1, 1), (0, 0));
+            let y3 = tape.reshape(y, &[b, gh, gw]);
+            preds.push(tape.reshape(y3, &[b, 1, gh, gw]));
+            if step + 1 < horizon {
+                let fed = next_frame(tape, y3, last_frame);
+                last_frame = fed;
+                advance(
+                    tape, fed, &mut h0, &mut c0, &mut h1, &mut c1, &mut m, &mut z,
+                );
+            }
+        }
+        tape.concat(&preds, 1)
+    }
+}
+
+impl Forecaster for PredRnnPlusPlusForecaster {
+    fn name(&self) -> &'static str {
+        "PredRNN++"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        let budget = self.budget.clone();
+        fit_frame_model(self, dataset, &budget, TrainHorizon::SingleStep, rng)
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        predict_frame_model(self, input, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+        ForecastDataset,
+    };
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 6, 2)
+    }
+
+    #[test]
+    fn predrnn_forward_shapes() {
+        let model = PredRnnForecaster::new(3, 3, NeuralBudget::smoke(), 1);
+        let mut tape = Tape::new();
+        let w = Tensor::ones(&[1, FEATURES, 5, 5, 5]);
+        let y = model.forward_horizon(&mut tape, &w, 3);
+        assert_eq!(tape.value(y).shape(), &[1, 3, 5, 5]);
+        assert!(tape.value(y).all_finite());
+    }
+
+    #[test]
+    fn predrnn_pp_forward_shapes() {
+        let model = PredRnnPlusPlusForecaster::new(3, 3, NeuralBudget::smoke(), 1);
+        let mut tape = Tape::new();
+        let w = Tensor::ones(&[1, FEATURES, 5, 5, 5]);
+        let y = model.forward_horizon(&mut tape, &w, 2);
+        assert_eq!(tape.value(y).shape(), &[1, 2, 5, 5]);
+    }
+
+    #[test]
+    fn predrnn_fit_is_finite_and_improving() {
+        let ds = tiny_dataset();
+        let mut model = PredRnnForecaster::new(3, 3, NeuralBudget::smoke(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let loss = model.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn predrnn_pp_fit_is_finite() {
+        let ds = tiny_dataset();
+        let mut model = PredRnnPlusPlusForecaster::new(3, 3, NeuralBudget::smoke(), 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let loss = model.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        assert!(model.num_parameters() > model.layer0.hidden_channels());
+    }
+
+    #[test]
+    fn pp_has_more_parameters_than_predrnn() {
+        // The cascaded cell + GHU strictly add parameters at equal width.
+        let a = PredRnnForecaster::new(4, 3, NeuralBudget::smoke(), 5);
+        let b = PredRnnPlusPlusForecaster::new(4, 3, NeuralBudget::smoke(), 5);
+        assert!(b.num_parameters() > a.num_parameters());
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(PredRnnForecaster::new(2, 3, NeuralBudget::smoke(), 0).name(), "PredRNN");
+        assert_eq!(
+            PredRnnPlusPlusForecaster::new(2, 3, NeuralBudget::smoke(), 0).name(),
+            "PredRNN++"
+        );
+    }
+}

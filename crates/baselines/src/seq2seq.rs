@@ -1,0 +1,158 @@
+//! Shared scaffolding for the frame-sequence baselines (convLSTM,
+//! PredRNN, PredRNN++): windowed encode, recursive decode with the model's
+//! own predictions, and a common training loop.
+
+use bikecap_autograd::{ParamStore, Tape, Var};
+use bikecap_city_sim::{ForecastDataset, Split};
+use bikecap_nn::{clip_grad_norm, Adam};
+use bikecap_tensor::Tensor;
+use rand::RngCore;
+
+use crate::forecaster::NeuralBudget;
+
+/// A recurrent model over grid frames.
+pub(crate) trait FrameModel {
+    /// Mutable access for training.
+    fn store_mut(&mut self) -> &mut ParamStore;
+    /// Consumes the `(B, F, h, H, W)` window and produces `(B, p, H, W)`
+    /// bike forecasts by encoding the history and recursively decoding with
+    /// its own predictions (exogenous channels persisted).
+    fn forward_horizon(&self, tape: &mut Tape, window: &Tensor, horizon: usize) -> Var;
+}
+
+/// Extracts frame `d` of a window as `(B, F, H, W)` on the tape.
+pub(crate) fn frame_at(tape: &mut Tape, window: Var, d: usize) -> Var {
+    let ws = tape.value(window).shape().to_vec();
+    let (b, f, gh, gw) = (ws[0], ws[1], ws[3], ws[4]);
+    let sl = tape.narrow(window, 2, d, 1);
+    tape.reshape(sl, &[b, f, gh, gw])
+}
+
+/// Builds the next decoder input frame: the predicted bike map in channel 0
+/// with exogenous channels persisted from `last_frame`.
+pub(crate) fn next_frame(tape: &mut Tape, pred: Var, last_frame: Var) -> Var {
+    let fs = tape.value(last_frame).shape().to_vec();
+    let (b, f, gh, gw) = (fs[0], fs[1], fs[2], fs[3]);
+    let pred4 = tape.reshape(pred, &[b, 1, gh, gw]);
+    let exo = tape.narrow(last_frame, 1, 1, f - 1);
+    tape.concat(&[pred4, exo], 1)
+}
+
+/// How a frame model is trained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TrainHorizon {
+    /// Optimise one-step prediction only; multi-step happens by recursion at
+    /// inference time. This is the paper's protocol for convLSTM and
+    /// PredRNN(++): "recursively conduct the process of single-step
+    /// prediction for two or more steps prediction" — and it is what makes
+    /// their errors accumulate over the horizon.
+    SingleStep,
+    /// Optimise all horizon steps jointly (used by direct multi-output
+    /// models such as STSGCN).
+    Full,
+}
+
+/// Trains a frame model with Adam + L1.
+pub(crate) fn fit_frame_model<M: FrameModel>(
+    model: &mut M,
+    dataset: &ForecastDataset,
+    budget: &NeuralBudget,
+    mode: TrainHorizon,
+    rng: &mut dyn RngCore,
+) -> f32 {
+    let mut opt = Adam::new(budget.learning_rate);
+    let horizon = match mode {
+        TrainHorizon::SingleStep => 1,
+        TrainHorizon::Full => dataset.horizon(),
+    };
+    let mut last = f32::NAN;
+    for _ in 0..budget.epochs {
+        let anchors = dataset.shuffled_anchors(Split::Train, rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in anchors.chunks(budget.batch_size) {
+            if let Some(cap) = budget.max_batches_per_epoch {
+                if batches >= cap {
+                    break;
+                }
+            }
+            let batch = dataset.batch(chunk);
+            let target = if horizon == dataset.horizon() {
+                batch.target
+            } else {
+                batch.target.narrow(1, 0, horizon)
+            };
+            model.store_mut().zero_grads();
+            let mut tape = Tape::new();
+            let pred = model.forward_horizon(&mut tape, &batch.input, horizon);
+            let t = tape.constant(target);
+            let loss = tape.l1_loss(pred, t);
+            total += tape.value(loss).item();
+            tape.backward(loss, model.store_mut());
+            clip_grad_norm(model.store_mut(), budget.clip_norm);
+            opt.step(model.store_mut());
+            batches += 1;
+        }
+        last = total / batches.max(1) as f32;
+    }
+    last
+}
+
+/// A model that predicts only the next slot (recursive multi-step wrappers
+/// handle the horizon).
+pub(crate) trait NextStepModel {
+    /// Mutable store access for training.
+    fn store_mut(&mut self) -> &mut ParamStore;
+    /// Consumes the `(B, F, h, H, W)` window, returns `(B, H, W)` next-slot
+    /// bike predictions on the tape.
+    fn forward_next_var(&self, tape: &mut Tape, window: &Tensor) -> Var;
+}
+
+/// Trains a next-step model with Adam + L1 against the first target slot.
+pub(crate) fn fit_next_step_model<M: NextStepModel>(
+    model: &mut M,
+    dataset: &ForecastDataset,
+    budget: &NeuralBudget,
+    rng: &mut dyn RngCore,
+) -> f32 {
+    let mut opt = Adam::new(budget.learning_rate);
+    let mut last = f32::NAN;
+    for _ in 0..budget.epochs {
+        let anchors = dataset.shuffled_anchors(Split::Train, rng);
+        let mut total = 0.0;
+        let mut batches = 0;
+        for chunk in anchors.chunks(budget.batch_size) {
+            if let Some(cap) = budget.max_batches_per_epoch {
+                if batches >= cap {
+                    break;
+                }
+            }
+            let batch = dataset.batch(chunk);
+            let ts = batch.target.shape().to_vec();
+            let first = batch.target.narrow(1, 0, 1).reshape(&[ts[0], ts[2], ts[3]]);
+            model.store_mut().zero_grads();
+            let mut tape = Tape::new();
+            let pred = model.forward_next_var(&mut tape, &batch.input);
+            let t = tape.constant(first);
+            let loss = tape.l1_loss(pred, t);
+            total += tape.value(loss).item();
+            tape.backward(loss, model.store_mut());
+            clip_grad_norm(model.store_mut(), budget.clip_norm);
+            opt.step(model.store_mut());
+            batches += 1;
+        }
+        last = total / batches.max(1) as f32;
+    }
+    last
+}
+
+/// Inference helper: runs the forward pass and returns the tensor.
+pub(crate) fn predict_frame_model<M: FrameModel>(
+    model: &M,
+    input: &Tensor,
+    horizon: usize,
+) -> Tensor {
+    let mut tape = Tape::new();
+    let y = model.forward_horizon(&mut tape, input, horizon);
+    tape.value(y).clone()
+}

@@ -1,0 +1,237 @@
+//! STGCN — the paper's Spatial-Temporal Graph Convolutional Network baseline
+//! (Yu et al., IJCAI 2018).
+//!
+//! As the paper describes (Sec. IV-B), each grid is a node and grids within
+//! `hops` form the adjacency. The model is one ST-Conv block (temporal gated
+//! conv → Chebyshev graph conv → temporal gated conv) followed by a temporal
+//! aggregation and a 1x1 output head predicting the next slot; multi-step
+//! forecasts recurse.
+
+use bikecap_autograd::{ParamStore, Tape, Var};
+use bikecap_city_sim::{ForecastDataset, FEATURES};
+use bikecap_nn::graph::{grid_adjacency, normalized_laplacian, scaled_laplacian};
+use bikecap_nn::{ChebConv, Conv2d};
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::forecaster::{recursive_forecast, Forecaster, NeuralBudget};
+use crate::seq2seq::{fit_next_step_model, NextStepModel};
+
+/// The STGCN forecaster.
+#[derive(Debug)]
+pub struct StgcnForecaster {
+    store: ParamStore,
+    t1: Conv2d,
+    cheb: ChebConv,
+    t2: Conv2d,
+    out_t: Conv2d,
+    head: Conv2d,
+    lap: Tensor,
+    channels: usize,
+    history: usize,
+    budget: NeuralBudget,
+}
+
+impl StgcnForecaster {
+    /// Builds the model for an `height x width` grid with `history` input
+    /// slots, `channels` hidden width and `hops`-hop adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history < 5` (the two Kt=3 temporal convolutions need at
+    /// least 5 slots).
+    pub fn new(
+        height: usize,
+        width: usize,
+        history: usize,
+        channels: usize,
+        hops: usize,
+        budget: NeuralBudget,
+        seed: u64,
+    ) -> Self {
+        assert!(history >= 5, "STGCN needs history >= 5, got {history}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let c = channels;
+        // Temporal kernels are (Kt, 1): convolve along time only.
+        let t1 = Conv2d::new(&mut store, "t1", FEATURES, 2 * c, (3, 1), (1, 1), (0, 0), &mut rng);
+        let cheb = ChebConv::new(&mut store, "cheb", c, c, 2, &mut rng);
+        let t2 = Conv2d::new(&mut store, "t2", c, 2 * c, (3, 1), (1, 1), (0, 0), &mut rng);
+        let out_t = Conv2d::new(
+            &mut store,
+            "out_t",
+            c,
+            c,
+            (history - 4, 1),
+            (1, 1),
+            (0, 0),
+            &mut rng,
+        );
+        let head = Conv2d::new(&mut store, "head", c, 1, (1, 1), (1, 1), (0, 0), &mut rng);
+        let adj = grid_adjacency(height, width, hops);
+        let lap = scaled_laplacian(&normalized_laplacian(&adj));
+        StgcnForecaster {
+            store,
+            t1,
+            cheb,
+            t2,
+            out_t,
+            head,
+            lap,
+            channels: c,
+            history,
+            budget,
+        }
+    }
+
+    /// Total learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Gated linear unit over the channel axis: first half ⊙ σ(second half).
+    fn glu(&self, tape: &mut Tape, x: Var) -> Var {
+        let c = self.channels;
+        let p = tape.narrow(x, 1, 0, c);
+        let q = tape.narrow(x, 1, c, c);
+        let s = tape.sigmoid(q);
+        tape.mul(p, s)
+    }
+
+    /// Predicts the next slot: window `(B, F, h, H, W)` → `(B, H, W)` vars.
+    fn forward_next(&self, tape: &mut Tape, window: &Tensor) -> Var {
+        let ws = window.shape().to_vec();
+        let (b, f, h, gh, gw) = (ws[0], ws[1], ws[2], ws[3], ws[4]);
+        assert_eq!(h, self.history, "history mismatch: {h} vs {}", self.history);
+        let n = gh * gw;
+        let x = tape.constant(window.clone());
+        let x = tape.reshape(x, &[b, f, h, n]); // time x nodes as an "image"
+
+        // Temporal gated conv 1: (B, F, h, n) -> (B, c, h-2, n).
+        let a = self.t1.forward(tape, x, &self.store);
+        let a = self.glu(tape, a);
+
+        // Chebyshev graph conv on every remaining time step.
+        let t_mid = h - 2;
+        let ap = tape.permute(a, &[0, 2, 3, 1]); // (B, t, n, c)
+        let ar = tape.reshape(ap, &[b * t_mid, n, self.channels]);
+        let g = self.cheb.forward(tape, ar, &self.lap, &self.store);
+        let g = tape.relu(g);
+        let gp = tape.reshape(g, &[b, t_mid, n, self.channels]);
+        let gx = tape.permute(gp, &[0, 3, 1, 2]); // (B, c, t, n)
+
+        // Temporal gated conv 2: -> (B, c, h-4, n).
+        let z = self.t2.forward(tape, gx, &self.store);
+        let z = self.glu(tape, z);
+
+        // Aggregate the remaining time axis, then the 1x1 head.
+        let o = self.out_t.forward(tape, z, &self.store); // (B, c, 1, n)
+        let o = tape.relu(o);
+        let y = self.head.forward(tape, o, &self.store); // (B, 1, 1, n)
+        tape.reshape(y, &[b, gh, gw])
+    }
+
+    fn predict_next(&self, window: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let y = self.forward_next(&mut tape, window);
+        tape.value(y).clone()
+    }
+}
+
+impl NextStepModel for StgcnForecaster {
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward_next_var(&self, tape: &mut Tape, window: &Tensor) -> Var {
+        self.forward_next(tape, window)
+    }
+}
+
+impl Forecaster for StgcnForecaster {
+    fn name(&self) -> &'static str {
+        "STGCN"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        let budget = self.budget.clone();
+        fit_next_step_model(self, dataset, &budget, rng)
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        recursive_forecast(input, horizon, |w| self.predict_next(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+        Split,
+    };
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 8, 2)
+    }
+
+    #[test]
+    fn forward_next_shape() {
+        let model = StgcnForecaster::new(6, 6, 8, 4, 1, NeuralBudget::smoke(), 1);
+        let mut tape = Tape::new();
+        let w = Tensor::ones(&[2, FEATURES, 8, 6, 6]);
+        let y = model.forward_next(&mut tape, &w);
+        assert_eq!(tape.value(y).shape(), &[2, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "history >= 5")]
+    fn rejects_too_short_history() {
+        let _ = StgcnForecaster::new(6, 6, 4, 4, 1, NeuralBudget::smoke(), 1);
+    }
+
+    #[test]
+    fn fit_and_recursive_predict() {
+        let ds = tiny_dataset();
+        let mut model = StgcnForecaster::new(6, 6, 8, 4, 1, NeuralBudget::smoke(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let loss = model.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        let anchors = ds.anchors(Split::Test);
+        let batch = ds.batch(&anchors[..2]);
+        let pred = model.predict(&batch.input, 2);
+        assert_eq!(pred.shape(), &[2, 2, 6, 6]);
+        assert!(pred.all_finite());
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn trained_beats_untrained() {
+        let ds = tiny_dataset();
+        let budget = NeuralBudget {
+            epochs: 6,
+            batch_size: 8,
+            max_batches_per_epoch: Some(6),
+            ..NeuralBudget::default()
+        };
+        let mut trained = StgcnForecaster::new(6, 6, 8, 4, 1, budget.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        trained.fit(&ds, &mut rng);
+        let untrained = StgcnForecaster::new(6, 6, 8, 4, 1, budget, 5);
+        let anchors = ds.anchors(Split::Val);
+        let batch = ds.batch(&anchors[..12.min(anchors.len())]);
+        let first = batch.target.narrow(1, 0, 1);
+        let err_t = trained.predict(&batch.input, 1).sub(&first).abs().mean();
+        let err_u = untrained.predict(&batch.input, 1).sub(&first).abs().mean();
+        assert!(err_t < err_u, "trained {err_t} vs untrained {err_u}");
+    }
+}

@@ -1,0 +1,308 @@
+//! STSGCN — the paper's Spatial-Temporal Synchronous Graph Convolutional
+//! Network baseline (Song et al., AAAI 2020).
+//!
+//! A *localized spatial-temporal graph* connects each node to its spatial
+//! neighbours in the same slot and to itself in the adjacent slots; graph
+//! convolution on this `3n x 3n` graph mixes space and time synchronously.
+//! Sliding the 3-slot module over the history yields `h-2` synchronous
+//! embeddings, and per-future-step output heads predict every horizon slot
+//! **directly** (not recursively), as in the original design.
+
+use bikecap_autograd::{ParamStore, Tape, Var};
+use bikecap_city_sim::{ForecastDataset, FEATURES};
+use bikecap_nn::graph::{grid_adjacency, left_multiply};
+use bikecap_nn::Dense;
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::forecaster::{Forecaster, NeuralBudget};
+use crate::seq2seq::{fit_frame_model, FrameModel, TrainHorizon};
+
+/// Builds the row-normalised localized spatial-temporal adjacency over three
+/// consecutive slots: block-diagonal spatial adjacency (with self-loops)
+/// plus identity links between the same node in adjacent slots.
+pub fn localized_adjacency(height: usize, width: usize, hops: usize) -> Tensor {
+    let n = height * width;
+    let spatial = grid_adjacency(height, width, hops);
+    let mut a = Tensor::zeros(&[3 * n, 3 * n]);
+    for blk in 0..3 {
+        for i in 0..n {
+            // Self-loop.
+            a.set(&[blk * n + i, blk * n + i], 1.0);
+            for j in 0..n {
+                if spatial.get(&[i, j]) > 0.0 {
+                    a.set(&[blk * n + i, blk * n + j], 1.0);
+                }
+            }
+            // Temporal links to the same node in the adjacent slots.
+            if blk + 1 < 3 {
+                a.set(&[blk * n + i, (blk + 1) * n + i], 1.0);
+                a.set(&[(blk + 1) * n + i, blk * n + i], 1.0);
+            }
+        }
+    }
+    // Row-normalise.
+    for i in 0..3 * n {
+        let row_sum: f32 = (0..3 * n).map(|j| a.get(&[i, j])).sum();
+        if row_sum > 0.0 {
+            for j in 0..3 * n {
+                let v = a.get(&[i, j]);
+                a.set(&[i, j], v / row_sum);
+            }
+        }
+    }
+    a
+}
+
+/// The STSGCN forecaster. Must be constructed for a fixed horizon because
+/// each future slot has its own output head.
+#[derive(Debug)]
+pub struct StsgcnForecaster {
+    store: ParamStore,
+    embed: Dense,
+    gc1: Dense,
+    gc2: Dense,
+    heads: Vec<Dense>,
+    adjacency: Tensor,
+    channels: usize,
+    history: usize,
+    budget: NeuralBudget,
+}
+
+impl StsgcnForecaster {
+    /// Builds the model for an `height x width` grid, `history` input slots
+    /// and exactly `horizon` output heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history < 3` (the synchronous module spans 3 slots).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        height: usize,
+        width: usize,
+        history: usize,
+        horizon: usize,
+        channels: usize,
+        hops: usize,
+        budget: NeuralBudget,
+        seed: u64,
+    ) -> Self {
+        assert!(history >= 3, "STSGCN needs history >= 3, got {history}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let embed = Dense::new(&mut store, "embed", FEATURES, channels, &mut rng);
+        let gc1 = Dense::new(&mut store, "gc1", channels, channels, &mut rng);
+        let gc2 = Dense::new(&mut store, "gc2", channels, channels, &mut rng);
+        let heads = (0..horizon)
+            .map(|i| {
+                Dense::new(
+                    &mut store,
+                    format!("head{i}").as_str(),
+                    (history - 2) * channels,
+                    1,
+                    &mut rng,
+                )
+            })
+            .collect();
+        StsgcnForecaster {
+            store,
+            embed,
+            gc1,
+            gc2,
+            heads,
+            adjacency: localized_adjacency(height, width, hops),
+            channels,
+            history,
+            budget,
+        }
+    }
+
+    /// Total learnable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The constructed horizon (number of output heads).
+    pub fn horizon(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// One synchronous module over slots `(t-1, t, t+1)`: graph convolutions
+    /// on the localized graph, cropped back to the middle slot.
+    ///
+    /// `x3` is `(B, 3n, c)`; returns `(B, n, c)`.
+    fn module(&self, tape: &mut Tape, x3: Var, n: usize) -> Var {
+        let a = tape.constant(self.adjacency.clone());
+        let shape = tape.value(x3).shape().to_vec();
+        let (b, c) = (shape[0], shape[2]);
+
+        let mix1 = left_multiply(tape, a, x3);
+        let flat1 = tape.reshape(mix1, &[b * 3 * n, c]);
+        let z1 = self.gc1.forward(tape, flat1, &self.store);
+        let z1 = tape.relu(z1);
+        let z1 = tape.reshape(z1, &[b, 3 * n, c]);
+
+        let mix2 = left_multiply(tape, a, z1);
+        let flat2 = tape.reshape(mix2, &[b * 3 * n, c]);
+        let z2 = self.gc2.forward(tape, flat2, &self.store);
+        let z2 = tape.relu(z2);
+        let z2 = tape.reshape(z2, &[b, 3 * n, c]);
+
+        // Crop: keep the middle slot's nodes.
+        tape.narrow(z2, 1, n, n)
+    }
+}
+
+impl FrameModel for StsgcnForecaster {
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn forward_horizon(&self, tape: &mut Tape, window: &Tensor, horizon: usize) -> Var {
+        assert_eq!(
+            horizon,
+            self.heads.len(),
+            "STSGCN was constructed for horizon {}, asked for {horizon}",
+            self.heads.len()
+        );
+        let ws = window.shape().to_vec();
+        let (b, f, h, gh, gw) = (ws[0], ws[1], ws[2], ws[3], ws[4]);
+        assert_eq!(h, self.history, "history mismatch: {h} vs {}", self.history);
+        let n = gh * gw;
+        let c = self.channels;
+        let x = tape.constant(window.clone());
+        // (B, F, h, n) -> (B, h, n, F) -> embed -> (B, h, n, c).
+        let x = tape.reshape(x, &[b, f, h, n]);
+        let x = tape.permute(x, &[0, 2, 3, 1]);
+        let flat = tape.reshape(x, &[b * h * n, f]);
+        let e = self.embed.forward(tape, flat, &self.store);
+        let e = tape.relu(e);
+        let e = tape.reshape(e, &[b, h, n, c]);
+
+        // Slide the 3-slot synchronous module over the history.
+        let mut embeddings = Vec::with_capacity(h - 2);
+        for t in 1..h - 1 {
+            let tri = tape.narrow(e, 1, t - 1, 3); // (B, 3, n, c)
+            let x3 = tape.reshape(tri, &[b, 3 * n, c]);
+            embeddings.push(self.module(tape, x3, n));
+        }
+        let stacked = tape.concat(&embeddings, 2); // (B, n, (h-2)*c)
+        let flat = tape.reshape(stacked, &[b * n, (h - 2) * c]);
+
+        // Per-step output heads: direct multi-step prediction.
+        let mut outs = Vec::with_capacity(horizon);
+        for head in &self.heads {
+            let y = head.forward(tape, flat, &self.store); // (B*n, 1)
+            outs.push(tape.reshape(y, &[b, 1, gh, gw]));
+        }
+        tape.concat(&outs, 1)
+    }
+}
+
+impl Forecaster for StsgcnForecaster {
+    fn name(&self) -> &'static str {
+        "STSGCN"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        let budget = self.budget.clone();
+        fit_frame_model(self, dataset, &budget, TrainHorizon::Full, rng)
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        let mut tape = Tape::new();
+        let y = self.forward_horizon(&mut tape, input, horizon);
+        tape.value(y).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+        Split,
+    };
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 6, 2)
+    }
+
+    #[test]
+    fn localized_adjacency_structure() {
+        let a = localized_adjacency(2, 2, 1);
+        assert_eq!(a.shape(), &[12, 12]);
+        // Rows are normalised distributions.
+        for i in 0..12 {
+            let s: f32 = (0..12).map(|j| a.get(&[i, j])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Node 0 in slot 0 links to node 0 in slot 1 but not slot 2.
+        assert!(a.get(&[0, 4]) > 0.0);
+        assert_eq!(a.get(&[0, 8]), 0.0);
+        // No spatial links across *different* nodes in different slots.
+        assert_eq!(a.get(&[0, 5]), 0.0);
+    }
+
+    #[test]
+    fn forward_shapes_direct_multistep() {
+        let model = StsgcnForecaster::new(6, 6, 6, 3, 4, 1, NeuralBudget::smoke(), 1);
+        assert_eq!(model.horizon(), 3);
+        let mut tape = Tape::new();
+        let w = Tensor::ones(&[2, FEATURES, 6, 6, 6]);
+        let y = model.forward_horizon(&mut tape, &w, 3);
+        assert_eq!(tape.value(y).shape(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "constructed for horizon")]
+    fn horizon_mismatch_rejected() {
+        let model = StsgcnForecaster::new(4, 4, 6, 2, 4, 1, NeuralBudget::smoke(), 1);
+        let w = Tensor::ones(&[1, FEATURES, 6, 4, 4]);
+        let _ = model.predict(&w, 5);
+    }
+
+    #[test]
+    fn fit_and_predict() {
+        let ds = tiny_dataset();
+        let mut model = StsgcnForecaster::new(6, 6, 6, 2, 4, 1, NeuralBudget::smoke(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let loss = model.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        let anchors = ds.anchors(Split::Test);
+        let batch = ds.batch(&anchors[..2]);
+        let pred = model.predict(&batch.input, 2);
+        assert_eq!(pred.shape(), &[2, 2, 6, 6]);
+        assert!(pred.all_finite());
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn trained_beats_untrained() {
+        let ds = tiny_dataset();
+        let budget = NeuralBudget {
+            epochs: 6,
+            batch_size: 8,
+            max_batches_per_epoch: Some(6),
+            ..NeuralBudget::default()
+        };
+        let mut trained = StsgcnForecaster::new(6, 6, 6, 2, 4, 1, budget.clone(), 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        trained.fit(&ds, &mut rng);
+        let untrained = StsgcnForecaster::new(6, 6, 6, 2, 4, 1, budget, 5);
+        let anchors = ds.anchors(Split::Val);
+        let batch = ds.batch(&anchors[..12.min(anchors.len())]);
+        let err_t = trained.predict(&batch.input, 2).sub(&batch.target).abs().mean();
+        let err_u = untrained.predict(&batch.input, 2).sub(&batch.target).abs().mean();
+        assert!(err_t < err_u, "trained {err_t} vs untrained {err_u}");
+    }
+}

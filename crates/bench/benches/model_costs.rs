@@ -1,0 +1,111 @@
+//! Criterion benchmarks of whole-model costs — the reproduction of the
+//! paper's Sec. V-B "Computation Cost" discussion (parameter counts and
+//! per-step training time). Parameter counts are printed once at start.
+
+use bikecap_autograd::Tape;
+use bikecap_baselines::{ConvLstmForecaster, Forecaster, NeuralBudget, StgcnForecaster};
+use bikecap_city_sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use bikecap_core::{BikeCap, BikeCapConfig, TrainOptions, Variant};
+use bikecap_nn::Adam;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset() -> ForecastDataset {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let mut config = SimConfig::paper_scale();
+    config.days = 6;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    let series = DemandSeries::from_trips(&trips, 15);
+    ForecastDataset::new(&series, 8, 4)
+}
+
+fn bikecap(variant: Variant) -> BikeCap {
+    let mut rng = StdRng::seed_from_u64(7);
+    BikeCap::new(
+        BikeCapConfig::new(8, 8).history(8).horizon(4).variant(variant),
+        &mut rng,
+    )
+}
+
+fn bench_model_costs(c: &mut Criterion) {
+    let ds = dataset();
+    let anchors = ds.anchors(Split::Train);
+    let batch = ds.batch(&anchors[..16]);
+
+    // Parameter audit (the paper reports 646,395 at its city scale).
+    for v in Variant::all() {
+        eprintln!(
+            "[params] {:<16} {:>8}",
+            v.name(),
+            bikecap(v).num_parameters()
+        );
+    }
+
+    let model = bikecap(Variant::Full);
+    c.bench_function("bikecap_predict_batch16", |bch| {
+        bch.iter(|| black_box(model.predict(&batch.input)))
+    });
+
+    c.bench_function("bikecap_train_step_batch16", |bch| {
+        let mut m = bikecap(Variant::Full);
+        let mut opt = Adam::new(1e-3);
+        bch.iter(|| {
+            m.store_mut().zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.input.clone());
+            let t = tape.constant(batch.target.clone());
+            let pred = m.forward(&mut tape, x);
+            let loss = tape.l1_loss(pred, t);
+            tape.backward(loss, m.store_mut());
+            opt.step(m.store_mut());
+            black_box(tape.value(loss).item());
+        })
+    });
+
+    let conv = ConvLstmForecaster::new(8, 3, NeuralBudget::smoke(), 1);
+    eprintln!("[params] {:<16} {:>8}", "convLSTM", conv.num_parameters());
+    c.bench_function("convlstm_predict_batch16_horizon4", |bch| {
+        bch.iter(|| black_box(conv.predict(&batch.input, 4)))
+    });
+
+    let stgcn = StgcnForecaster::new(8, 8, 8, 8, 1, NeuralBudget::smoke(), 1);
+    eprintln!("[params] {:<16} {:>8}", "STGCN", stgcn.num_parameters());
+    c.bench_function("stgcn_predict_batch16_horizon4", |bch| {
+        bch.iter(|| black_box(stgcn.predict(&batch.input, 4)))
+    });
+
+    // One full BikeCAP training epoch over 16 batches — the unit the paper
+    // times at 90.4 s/epoch on its GPU setup.
+    c.bench_function("bikecap_epoch_16_batches", |bch| {
+        bch.iter(|| {
+            let mut m = bikecap(Variant::Full);
+            let opts = TrainOptions {
+                epochs: 1,
+                batch_size: 16,
+                max_batches_per_epoch: Some(16),
+                ..TrainOptions::default()
+            };
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(m.fit(&ds, &opts, &mut rng).final_loss());
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_model_costs
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the data substrate: trip generation, aggregation
+//! and window assembly throughput.
+
+use bikecap_city_sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("generate_trips_2_days_8x8", |bch| {
+        bch.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut config = SimConfig::paper_scale();
+            config.days = 2;
+            let layout = CityLayout::generate(&config, &mut rng);
+            black_box(Simulator::new(config, layout).run(&mut rng).bike_trips())
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut config = SimConfig::paper_scale();
+    config.days = 6;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    c.bench_function("aggregate_6_days_to_15min_slots", |bch| {
+        bch.iter(|| black_box(DemandSeries::from_trips(&trips, 15).num_slots()))
+    });
+
+    let series = DemandSeries::from_trips(&trips, 15);
+    let ds = ForecastDataset::new(&series, 8, 4);
+    let anchors = ds.anchors(Split::Train);
+    c.bench_function("assemble_batch_of_16_windows", |bch| {
+        bch.iter(|| black_box(ds.batch(&anchors[..16]).input.len()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_simulator
+}
+criterion_main!(benches);

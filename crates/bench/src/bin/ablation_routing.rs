@@ -1,0 +1,110 @@
+//! Design-choice ablations beyond the paper's Fig. 7 — the choices DESIGN.md
+//! calls out:
+//!
+//! 1. **Routing softmax normalisation** — the paper's Eq. 4 formula (over the
+//!    whole grid×p volume) vs its prose ("among all predicted capsules from
+//!    each capsule s", i.e. per grid location). The volume normalisation
+//!    shrinks couplings to ~1/(H·W·p) and starves the decoder.
+//! 2. **Routing iterations** — 1 (uniform coupling) vs 2 vs 3.
+//! 3. **Separated per-slot transforms** — the Sec. V-B stability extension;
+//!    expected to reduce run-to-run variance (the paper's "Stability"
+//!    limitation).
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin ablation_routing -- [--quick|--full] [--out FILE]
+//! ```
+
+use bikecap_bench::{runner_config, standard_dataset, BenchArgs};
+use bikecap_core::{BikeCap, BikeCapConfig, TrainOptions};
+use bikecap_eval::tables::markdown_table;
+use bikecap_eval::{evaluate, BikeCapForecaster, MeanStd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_config(
+    label: &str,
+    make: impl Fn(BikeCapConfig) -> BikeCapConfig,
+    ds: &bikecap_city_sim::ForecastDataset,
+    seeds: &[u64],
+    opts: &TrainOptions,
+) -> Vec<String> {
+    let (gh, gw) = ds.grid();
+    let mut maes = Vec::new();
+    let mut rmses = Vec::new();
+    let mut params = 0;
+    for &seed in seeds {
+        let cfg = make(
+            BikeCapConfig::new(gh, gw)
+                .history(ds.history())
+                .horizon(ds.horizon()),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = BikeCap::new(cfg, &mut rng);
+        params = model.num_parameters();
+        model.fit(ds, opts, &mut rng);
+        let fc = BikeCapForecaster::new(model, opts.clone());
+        let m = evaluate(&fc, ds, Some(48));
+        maes.push(m.mae);
+        rmses.push(m.rmse);
+    }
+    let mae = MeanStd::of(&maes);
+    let rmse = MeanStd::of(&rmses);
+    eprintln!("[ablation_routing] {label:<28} MAE {:.3}±{:.3}", mae.mean, mae.std);
+    vec![
+        label.to_string(),
+        format!("{:.3}±{:.3}", mae.mean, mae.std),
+        format!("{:.3}±{:.3}", rmse.mean, rmse.std),
+        params.to_string(),
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let base = runner_config(args.quick);
+    let ds = standard_dataset(args.quick, 8, 4);
+    let seeds: Vec<u64> = if args.quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
+    let opts = base.train_options.clone();
+
+    args.emit(&format!(
+        "# Routing design ablations at PTS=4 ({} mode, {} seeds)\n",
+        args.mode(),
+        seeds.len()
+    ));
+
+    let rows = vec![
+        run_config("softmax per location (prose)", |c| c, &ds, &seeds, &opts),
+        run_config(
+            "softmax over grid volume (Eq.4)",
+            |mut c| {
+                c.routing_softmax_over_grid = true;
+                c
+            },
+            &ds,
+            &seeds,
+            &opts,
+        ),
+        run_config("1 routing iteration", |c| c.routing_iters(1), &ds, &seeds, &opts),
+        run_config("2 routing iterations", |c| c.routing_iters(2), &ds, &seeds, &opts),
+        run_config("3 routing iterations", |c| c.routing_iters(3), &ds, &seeds, &opts),
+        run_config(
+            "separated slot transforms (Sec.V-B)",
+            |c| c.separate_slot_transforms(true),
+            &ds,
+            &seeds,
+            &opts,
+        ),
+    ];
+    args.emit(&markdown_table(
+        &[
+            "configuration".into(),
+            "MAE".into(),
+            "RMSE".into(),
+            "parameters".into(),
+        ],
+        &rows,
+    ));
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 7**: the ablation comparison of BikeCAP against
+//! BikeCap-Sub, BikeCap-Pyra, BikeCap-3D and BikeCap-3D-Pyra across the
+//! multi-step horizon.
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin fig7_ablation -- [--quick|--full] [--out FILE]
+//! ```
+
+use bikecap_bench::{runner_config, standard_dataset, BenchArgs};
+use bikecap_core::Variant;
+use bikecap_eval::tables::ascii_chart;
+use bikecap_eval::{format_mean_std, markdown_table, run_model, ModelKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut cfg = runner_config(args.quick);
+    if args.quick {
+        // One seed in quick mode: five variants x four horizons is the
+        // workspace's most expensive sweep after Table III.
+        cfg.seeds = vec![1];
+    }
+    // Quick mode samples the horizon ends; full mode sweeps the paper's grid.
+    let pts_range: Vec<usize> = if args.quick { vec![2, 6] } else { vec![2, 4, 6, 8] };
+    let variants = Variant::all();
+
+    args.emit(&format!(
+        "# Fig. 7 — Ablation study ({} mode, {} seed(s))\n",
+        args.mode(),
+        cfg.seeds.len()
+    ));
+
+    let mut mae: Vec<Vec<f32>> = vec![Vec::new(); variants.len()];
+    let mut mae_rows = Vec::new();
+    let mut rmse_rows = Vec::new();
+    for &pts in &pts_range {
+        eprintln!("[fig7] building dataset for PTS={pts}");
+        let ds = standard_dataset(args.quick, 8, pts);
+        let mut mae_row = vec![format!("PTS={pts}")];
+        let mut rmse_row = vec![format!("PTS={pts}")];
+        for (vi, &variant) in variants.iter().enumerate() {
+            let r = run_model(ModelKind::BikeCap(variant), &ds, &cfg);
+            eprintln!(
+                "[fig7] PTS={pts} {:<16} MAE {:.3} RMSE {:.3}",
+                variant.name(),
+                r.mae.mean,
+                r.rmse.mean
+            );
+            mae[vi].push(r.mae.mean);
+            mae_row.push(format_mean_std(r.mae));
+            rmse_row.push(format_mean_std(r.rmse));
+        }
+        mae_rows.push(mae_row);
+        rmse_rows.push(rmse_row);
+    }
+
+    let header: Vec<String> = std::iter::once("PTS".to_string())
+        .chain(variants.iter().map(|v| v.name().to_string()))
+        .collect();
+    args.emit(&format!("## MAE\n\n{}", markdown_table(&header, &mae_rows)));
+    args.emit(&format!("## RMSE\n\n{}", markdown_table(&header, &rmse_rows)));
+
+    let series: Vec<(&str, &[f32])> = variants
+        .iter()
+        .zip(&mae)
+        .map(|(v, m)| (v.name(), m.as_slice()))
+        .collect();
+    args.emit(&format!(
+        "## MAE across PTS (x-axis: PTS {:?})\n\n```\n{}```",
+        pts_range,
+        ascii_chart(&series, 12)
+    ));
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Table III**: MAE and RMSE of all eight methods for
+//! PTS = 2..8 (mean±std over seeds).
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin table3_comparison -- [--quick|--full] [--out FILE]
+//! ```
+
+use bikecap_bench::{runner_config, standard_dataset, BenchArgs};
+use bikecap_eval::{format_mean_std, markdown_table, run_model, ModelKind, SweepResult};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let cfg = runner_config(args.quick);
+    let pts_range: Vec<usize> = (2..=8).collect();
+    let lineup = ModelKind::table3_lineup();
+
+    args.emit(&format!(
+        "# Table III — Performance comparison ({} mode, {} seed(s))\n",
+        args.mode(),
+        cfg.seeds.len()
+    ));
+
+    let mut results: Vec<Vec<SweepResult>> = Vec::new();
+    for &pts in &pts_range {
+        eprintln!("[table3] building dataset for PTS={pts}");
+        let ds = standard_dataset(args.quick, 8, pts);
+        let mut row = Vec::new();
+        for kind in lineup {
+            let t0 = std::time::Instant::now();
+            let r = run_model(kind, &ds, &cfg);
+            eprintln!(
+                "[table3] PTS={pts} {:<10} MAE {:.3} RMSE {:.3} ({:.1}s)",
+                r.model,
+                r.mae.mean,
+                r.rmse.mean,
+                t0.elapsed().as_secs_f64()
+            );
+            row.push(r);
+        }
+        results.push(row);
+    }
+
+    let header: Vec<String> = std::iter::once("PTS".to_string())
+        .chain(lineup.iter().map(|k| k.name().to_string()))
+        .collect();
+    for (metric, pick) in [
+        ("MAE", Box::new(|r: &SweepResult| r.mae) as Box<dyn Fn(&SweepResult) -> _>),
+        ("RMSE", Box::new(|r: &SweepResult| r.rmse)),
+    ] {
+        let rows: Vec<Vec<String>> = pts_range
+            .iter()
+            .zip(&results)
+            .map(|(pts, row)| {
+                std::iter::once(format!("PTS={pts}"))
+                    .chain(row.iter().map(|r| format_mean_std(pick(r))))
+                    .collect()
+            })
+            .collect();
+        args.emit(&format!("## {metric}\n\n{}", markdown_table(&header, &rows)));
+    }
+
+    // The paper's headline: BikeCAP's flat error curve vs the baselines'
+    // growth. Report the growth factor from PTS=2 to PTS=8 per model.
+    let mut growth_rows = Vec::new();
+    for (i, kind) in lineup.iter().enumerate() {
+        let first = results.first().map(|r| r[i].mae.mean).unwrap_or(f32::NAN);
+        let last = results.last().map(|r| r[i].mae.mean).unwrap_or(f32::NAN);
+        growth_rows.push(vec![
+            kind.name().to_string(),
+            format!("{first:.2}"),
+            format!("{last:.2}"),
+            format!("{:.2}x", last / first),
+        ]);
+    }
+    args.emit(&format!(
+        "## MAE growth PTS=2 → PTS=8\n\n{}",
+        markdown_table(
+            &["Model".into(), "MAE@2".into(), "MAE@8".into(), "growth".into()],
+            &growth_rows
+        )
+    ));
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Table V**: BikeCAP performance as the capsule dimension
+//! varies (the paper sweeps 2, 4, 8, 16, 32 and discusses a U-shape driven by
+//! capacity vs overfitting).
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin table5_capsdim -- [--quick|--full] [--out FILE]
+//! ```
+
+use bikecap_bench::{runner_config, standard_dataset, BenchArgs};
+use bikecap_core::Variant;
+use bikecap_eval::{format_mean_std, markdown_table, run_model, ModelKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut cfg = runner_config(args.quick);
+    let ds = standard_dataset(args.quick, 8, 4);
+    args.emit(&format!(
+        "# Table V — Capsule dimension sweep at PTS=4 ({} mode, {} seed(s))\n",
+        args.mode(),
+        cfg.seeds.len()
+    ));
+
+    let dims: &[usize] = if args.quick {
+        &[2, 4, 8, 16]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+    let mut rows = Vec::new();
+    for &dim in dims {
+        cfg.capsule_dim = dim;
+        let r = run_model(ModelKind::BikeCap(Variant::Full), &ds, &cfg);
+        eprintln!(
+            "[table5] capsule_dim={dim} MAE {:.3} RMSE {:.3} params {:?}",
+            r.mae.mean, r.rmse.mean, r.parameters
+        );
+        rows.push(vec![
+            dim.to_string(),
+            format_mean_std(r.mae),
+            format_mean_std(r.rmse),
+            r.parameters.map_or("-".into(), |p| p.to_string()),
+        ]);
+    }
+    args.emit(&markdown_table(
+        &[
+            "Dimension of Capsule".into(),
+            "MAE".into(),
+            "RMSE".into(),
+            "parameters".into(),
+        ],
+        &rows,
+    ));
+}

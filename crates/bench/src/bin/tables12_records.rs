@@ -1,0 +1,88 @@
+//! Regenerates **Tables I and II**: the record schemas, shown on a sample of
+//! the simulated streams.
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin tables12_records -- [--quick|--full] [--out FILE]
+//! ```
+
+use bikecap_bench::{standard_trips, BenchArgs};
+use bikecap_city_sim::records::{format_datetime, BikeStatus, SubwayStatus};
+use bikecap_eval::markdown_table;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let trips = standard_trips(args.quick);
+
+    args.emit("# Table I — Subway-trip record format and example\n");
+    let rows: Vec<Vec<String>> = trips
+        .subway
+        .iter()
+        .skip(1000)
+        .take(6)
+        .map(|r| {
+            vec![
+                format!("{:04}", r.record_id),
+                format!("{:05}", r.card_id),
+                format_datetime(r.time_min),
+                format!("Subway Line No.{}", r.line + 1),
+                match r.status {
+                    SubwayStatus::Boarding => "Boarding".to_string(),
+                    SubwayStatus::Disembarking => "Disembarking".to_string(),
+                },
+                trips.layout.stations[r.station].name.clone(),
+            ]
+        })
+        .collect();
+    args.emit(&markdown_table(
+        &[
+            "#Record".into(),
+            "SZT ID".into(),
+            "Time".into(),
+            "Transportation".into(),
+            "Status".into(),
+            "Stations".into(),
+        ],
+        &rows,
+    ));
+
+    args.emit("\n# Table II — Bike-trip record format and example\n");
+    let rows: Vec<Vec<String>> = trips
+        .bike
+        .iter()
+        .skip(1000)
+        .take(6)
+        .map(|r| {
+            vec![
+                format!("{:04}", r.record_id),
+                format!("{:05}", r.user_id),
+                format_datetime(r.time_min),
+                format!("({:.5}, {:.5})", r.gps.0, r.gps.1),
+                match r.status {
+                    BikeStatus::PickUp => "Pick-up".to_string(),
+                    BikeStatus::DropOff => "Drop-off".to_string(),
+                },
+                format!("{:05}", r.bike_id),
+            ]
+        })
+        .collect();
+    args.emit(&markdown_table(
+        &[
+            "#Record".into(),
+            "User ID".into(),
+            "Time".into(),
+            "Location".into(),
+            "Status".into(),
+            "Bike ID".into(),
+        ],
+        &rows,
+    ));
+
+    args.emit(&format!(
+        "\nTotals: {} subway trips and {} bike trips over {} days ({} subway / {} bike records).",
+        trips.subway_trips(),
+        trips.bike_trips(),
+        trips.config.days,
+        trips.subway.len(),
+        trips.bike.len()
+    ));
+}

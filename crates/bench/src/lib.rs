@@ -1,0 +1,191 @@
+//! Shared scaffolding for the table/figure regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` (default) — reduced seeds/epochs/days for a laptop-CPU run.
+//! * `--full` — the full protocol (5 seeds, one simulated month, larger
+//!   training budgets). Expect hours on one core.
+//! * `--out <path>` — also write the rendered output to a file.
+//!
+//! The simulated city is always generated with a fixed seed so every binary
+//! (and every rerun) sees the same "Shenzhen October 2018".
+
+use std::path::PathBuf;
+
+use bikecap_baselines::NeuralBudget;
+use bikecap_city_sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator, TripData},
+    layout::CityLayout,
+    ForecastDataset,
+};
+use bikecap_core::TrainOptions;
+use bikecap_eval::RunnerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed of the shared simulated city.
+pub const CITY_SEED: u64 = 2018_10_01;
+
+/// Command-line options common to all bench binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Reduced-budget mode (the default).
+    pub quick: bool,
+    /// Optional output file (in addition to stdout).
+    pub out: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags.
+    pub fn parse() -> BenchArgs {
+        let mut quick = true;
+        let mut out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--full" => quick = false,
+                "--out" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        panic!("--out requires a path argument")
+                    });
+                    out = Some(PathBuf::from(path));
+                }
+                other => panic!("unknown argument '{other}'; use --quick, --full or --out <path>"),
+            }
+        }
+        BenchArgs { quick, out }
+    }
+
+    /// Human-readable mode label.
+    pub fn mode(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+
+    /// Prints `content` and appends it to `--out` when given.
+    pub fn emit(&self, content: &str) {
+        println!("{content}");
+        if let Some(path) = &self.out {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open {}: {e}", path.display()));
+            writeln!(f, "{content}").expect("write to --out file");
+        }
+    }
+}
+
+/// The simulation horizon per mode: 12 days in quick mode, the paper's full
+/// month otherwise.
+pub fn sim_config(quick: bool) -> SimConfig {
+    let mut cfg = SimConfig::paper_scale();
+    if quick {
+        cfg.days = 12;
+    }
+    cfg
+}
+
+/// Generates the shared simulated city's trip records.
+pub fn standard_trips(quick: bool) -> TripData {
+    let mut rng = StdRng::seed_from_u64(CITY_SEED);
+    let config = sim_config(quick);
+    let layout = CityLayout::generate(&config, &mut rng);
+    Simulator::new(config, layout).run(&mut rng)
+}
+
+/// Aggregates the shared city into a forecasting dataset.
+pub fn standard_dataset(quick: bool, history: usize, horizon: usize) -> ForecastDataset {
+    let trips = standard_trips(quick);
+    let series = DemandSeries::from_trips(&trips, 15);
+    ForecastDataset::new(&series, history, horizon)
+}
+
+/// The per-mode sweep configuration (seeds, budgets, eval coverage).
+pub fn runner_config(quick: bool) -> RunnerConfig {
+    if quick {
+        RunnerConfig {
+            seeds: vec![1, 2],
+            eval_anchors: Some(48),
+            budget: NeuralBudget {
+                epochs: 24,
+                batch_size: 16,
+                max_batches_per_epoch: Some(16),
+                ..NeuralBudget::default()
+            },
+            // BikeCAP's squash-attenuated gradients need more optimisation
+            // steps (and a larger step size) than the baselines to reach its
+            // flat multi-step regime; the paper trains everything for 100
+            // epochs, which we cannot afford per-model on one core.
+            train_options: TrainOptions {
+                epochs: 30,
+                batch_size: 16,
+                max_batches_per_epoch: Some(24),
+                learning_rate: 3e-3,
+                ..TrainOptions::default()
+            },
+            hidden: 8,
+            kernel: 3,
+            pyramid_size: 3,
+            capsule_dim: 4,
+        }
+    } else {
+        RunnerConfig {
+            seeds: vec![1, 2, 3, 4, 5],
+            eval_anchors: Some(96),
+            budget: NeuralBudget {
+                epochs: 60,
+                batch_size: 16,
+                max_batches_per_epoch: Some(24),
+                ..NeuralBudget::default()
+            },
+            train_options: TrainOptions {
+                epochs: 60,
+                batch_size: 16,
+                max_batches_per_epoch: Some(24),
+                learning_rate: 2e-3,
+                ..TrainOptions::default()
+            },
+            hidden: 8,
+            kernel: 3,
+            pyramid_size: 3,
+            capsule_dim: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_config_modes() {
+        assert_eq!(sim_config(true).days, 12);
+        assert_eq!(sim_config(false).days, 31);
+    }
+
+    #[test]
+    fn runner_config_full_has_more_seeds() {
+        assert!(runner_config(false).seeds.len() > runner_config(true).seeds.len());
+    }
+
+    #[test]
+    fn standard_dataset_is_reproducible() {
+        let a = standard_dataset(true, 8, 2);
+        let b = standard_dataset(true, 8, 2);
+        assert_eq!(a.anchors(bikecap_city_sim::Split::Test), b.anchors(bikecap_city_sim::Split::Test));
+        let ba = a.batch(&a.anchors(bikecap_city_sim::Split::Test)[..2]);
+        let bb = b.batch(&b.anchors(bikecap_city_sim::Split::Test)[..2]);
+        assert_eq!(ba.input, bb.input);
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulator calibration report: generation throughput, demand magnitudes
+//! and the upstream→downstream lead-lag structure of the default
+//! (paper-scale) configuration.
+//!
+//! Useful when tuning `SimConfig` so that per-cell demand magnitudes match
+//! the error scales the paper reports.
+//!
+//! ```text
+//! cargo run -p bikecap-city-sim --release --example calibrate
+//! ```
+
+use bikecap_city_sim::aggregate::{
+    bike_pickups_near, lagged_correlation, station_flows, DemandSeries, FEATURE_NAMES,
+};
+use bikecap_city_sim::generate::{SimConfig, Simulator};
+use bikecap_city_sim::layout::CityLayout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(0);
+    let config = SimConfig::paper_scale();
+    let layout = CityLayout::generate(&config, &mut rng);
+    println!("stations: {}", layout.stations.len());
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    println!("generation time: {:?}", t0.elapsed());
+    println!(
+        "subway trips: {}, bike trips: {}",
+        trips.subway_trips(),
+        trips.bike_trips()
+    );
+
+    let series = DemandSeries::from_trips(&trips, 15);
+    println!("slots: {}", series.num_slots());
+    for (f, name) in FEATURE_NAMES.iter().enumerate() {
+        println!("channel {f} ({name}): mean {:.3} per cell-slot", series.channel_mean(f));
+    }
+    println!(
+        "max pick-ups in one cell-slot: {}",
+        series.data.narrow(1, 0, 1).max_value()
+    );
+
+    let a = trips.layout.most_residential_station().id;
+    let b = trips.layout.most_commercial_station().clone();
+    let (boards_a, _) = station_flows(&trips, a, 15);
+    let picks_b = bike_pickups_near(&trips, b.cell, 1, 15);
+    println!("\nlead-lag: boardings(residential A) → bike pick-ups(CBD B):");
+    for lag in 0..8 {
+        println!(
+            "  lag {:>3} min: corr {:.3}",
+            lag * 15,
+            lagged_correlation(&boards_a, &picks_b, lag)
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Aggregation of trip records into spatio-temporal demand tensors.
+//!
+//! Follows the paper's preprocessing (Sec. IV-D): events are counted per grid
+//! cell per 15-minute slot. The resulting tensor is `(T, F, H, W)` with the
+//! four feature channels below; the prediction target is channel
+//! [`F_BIKE_PICKUP`].
+
+use bikecap_tensor::Tensor;
+
+use crate::generate::TripData;
+use crate::layout::Cell;
+use crate::records::{BikeStatus, SubwayStatus};
+
+/// Channel index of bike pick-ups (the prediction target).
+pub const F_BIKE_PICKUP: usize = 0;
+/// Channel index of bike drop-offs.
+pub const F_BIKE_DROPOFF: usize = 1;
+/// Channel index of subway boardings (upstream check-ins).
+pub const F_SUBWAY_BOARD: usize = 2;
+/// Channel index of subway alightings (upstream check-outs).
+pub const F_SUBWAY_ALIGHT: usize = 3;
+/// Number of feature channels.
+pub const FEATURES: usize = 4;
+
+/// Human-readable channel names, indexed by the `F_*` constants.
+pub const FEATURE_NAMES: [&str; FEATURES] =
+    ["bike_pickups", "bike_dropoffs", "subway_boardings", "subway_alightings"];
+
+/// A demand tensor series: counts per slot, channel and grid cell.
+#[derive(Debug, Clone)]
+pub struct DemandSeries {
+    /// Counts, shape `(T, FEATURES, H, W)`.
+    pub data: Tensor,
+    /// Slot length in minutes (15 in the paper).
+    pub slot_minutes: u32,
+    /// Grid rows.
+    pub height: usize,
+    /// Grid cols.
+    pub width: usize,
+}
+
+impl DemandSeries {
+    /// Aggregates trip records into per-slot grid counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_minutes` is 0 or does not divide a day.
+    pub fn from_trips(trips: &TripData, slot_minutes: u32) -> Self {
+        assert!(slot_minutes > 0, "slot_minutes must be positive");
+        assert_eq!(
+            1440 % slot_minutes,
+            0,
+            "slot length must divide a day, got {slot_minutes}"
+        );
+        let (h, w) = (trips.layout.height, trips.layout.width);
+        let t = (trips.config.total_minutes() / slot_minutes) as usize;
+        let mut data = Tensor::zeros(&[t, FEATURES, h, w]);
+        let mut bump = |slot: usize, feature: usize, cell: Cell| {
+            if slot < t {
+                let idx = [slot, feature, cell.row, cell.col];
+                let v = data.get(&idx);
+                data.set(&idx, v + 1.0);
+            }
+        };
+        for r in &trips.bike {
+            let slot = (r.time_min / slot_minutes as f64) as usize;
+            let feature = match r.status {
+                BikeStatus::PickUp => F_BIKE_PICKUP,
+                BikeStatus::DropOff => F_BIKE_DROPOFF,
+            };
+            bump(slot, feature, r.cell);
+        }
+        for r in &trips.subway {
+            let slot = (r.time_min / slot_minutes as f64) as usize;
+            let feature = match r.status {
+                SubwayStatus::Boarding => F_SUBWAY_BOARD,
+                SubwayStatus::Disembarking => F_SUBWAY_ALIGHT,
+            };
+            bump(slot, feature, trips.layout.stations[r.station].cell);
+        }
+        DemandSeries {
+            data,
+            slot_minutes,
+            height: h,
+            width: w,
+        }
+    }
+
+    /// Number of time slots `T`.
+    pub fn num_slots(&self) -> usize {
+        self.data.shape()[0]
+    }
+
+    /// The count at `(slot, feature, cell)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn count(&self, slot: usize, feature: usize, cell: Cell) -> f32 {
+        self.data.get(&[slot, feature, cell.row, cell.col])
+    }
+
+    /// Mean count of a channel across all slots and cells.
+    pub fn channel_mean(&self, feature: usize) -> f32 {
+        self.data
+            .narrow(1, feature, 1)
+            .mean()
+    }
+}
+
+/// Per-slot boarding and alighting counts for one station (for the Fig. 1
+/// reproduction).
+pub fn station_flows(trips: &TripData, station: usize, slot_minutes: u32) -> (Vec<f32>, Vec<f32>) {
+    let t = (trips.config.total_minutes() / slot_minutes) as usize;
+    let mut boards = vec![0.0f32; t];
+    let mut alights = vec![0.0f32; t];
+    for r in trips.subway.iter().filter(|r| r.station == station) {
+        let slot = (r.time_min / slot_minutes as f64) as usize;
+        if slot < t {
+            match r.status {
+                SubwayStatus::Boarding => boards[slot] += 1.0,
+                SubwayStatus::Disembarking => alights[slot] += 1.0,
+            }
+        }
+    }
+    (boards, alights)
+}
+
+/// Per-slot bike pick-up counts within `radius` cells (Chebyshev) of `cell`
+/// — the paper's "bike rentals nearby station B, e.g. within 200 meters".
+pub fn bike_pickups_near(
+    trips: &TripData,
+    cell: Cell,
+    radius: usize,
+    slot_minutes: u32,
+) -> Vec<f32> {
+    let t = (trips.config.total_minutes() / slot_minutes) as usize;
+    let mut out = vec![0.0f32; t];
+    for r in trips
+        .bike
+        .iter()
+        .filter(|r| r.status == BikeStatus::PickUp && r.cell.chebyshev(cell) <= radius)
+    {
+        let slot = (r.time_min / slot_minutes as f64) as usize;
+        if slot < t {
+            out[slot] += 1.0;
+        }
+    }
+    out
+}
+
+/// Pearson correlation between two equal-length series after shifting `b`
+/// left by `lag` slots (i.e. correlating `a[t]` with `b[t + lag]`).
+///
+/// Returns 0 when either series is constant or the overlap is empty.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn lagged_correlation(a: &[f32], b: &[f32], lag: usize) -> f32 {
+    assert_eq!(a.len(), b.len(), "series lengths differ");
+    if lag >= a.len() {
+        return 0.0;
+    }
+    let n = a.len() - lag;
+    let xs = &a[..n];
+    let ys = &b[lag..];
+    let mx = xs.iter().sum::<f32>() / n as f32;
+    let my = ys.iter().sum::<f32>() / n as f32;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{SimConfig, Simulator};
+    use crate::layout::CityLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trips(seed: u64) -> TripData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SimConfig::small();
+        let layout = CityLayout::generate(&config, &mut rng);
+        Simulator::new(config, layout).run(&mut rng)
+    }
+
+    #[test]
+    fn aggregation_conserves_record_counts() {
+        let data = trips(1);
+        let series = DemandSeries::from_trips(&data, 15);
+        let picks = series.data.narrow(1, F_BIKE_PICKUP, 1).sum() as usize;
+        let drops = series.data.narrow(1, F_BIKE_DROPOFF, 1).sum() as usize;
+        let boards = series.data.narrow(1, F_SUBWAY_BOARD, 1).sum() as usize;
+        let alights = series.data.narrow(1, F_SUBWAY_ALIGHT, 1).sum() as usize;
+        assert_eq!(picks, data.bike_trips());
+        assert_eq!(drops, data.bike_trips());
+        assert_eq!(boards, data.subway_trips());
+        assert_eq!(alights, data.subway_trips());
+    }
+
+    #[test]
+    fn tensor_shape_matches_config() {
+        let data = trips(2);
+        let series = DemandSeries::from_trips(&data, 15);
+        let expected_t = (data.config.days * 96) as usize;
+        assert_eq!(
+            series.data.shape(),
+            &[expected_t, FEATURES, data.layout.height, data.layout.width]
+        );
+        assert_eq!(series.num_slots(), expected_t);
+    }
+
+    #[test]
+    fn subway_counts_only_on_station_cells() {
+        let data = trips(3);
+        let series = DemandSeries::from_trips(&data, 15);
+        let station_cells: std::collections::HashSet<_> =
+            data.layout.stations.iter().map(|s| s.cell).collect();
+        for slot in 0..series.num_slots() {
+            for row in 0..series.height {
+                for col in 0..series.width {
+                    let cell = Cell { row, col };
+                    if !station_cells.contains(&cell) {
+                        assert_eq!(series.count(slot, F_SUBWAY_BOARD, cell), 0.0);
+                        assert_eq!(series.count(slot, F_SUBWAY_ALIGHT, cell), 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn station_flows_match_channel_totals() {
+        let data = trips(4);
+        let series = DemandSeries::from_trips(&data, 15);
+        let sid = data.layout.most_commercial_station().id;
+        let cell = data.layout.stations[sid].cell;
+        let (boards, _) = station_flows(&data, sid, 15);
+        // Channel total at the station's cell >= this station's flow (other
+        // stations may share the cell).
+        for (slot, &b) in boards.iter().enumerate() {
+            assert!(series.count(slot, F_SUBWAY_BOARD, cell) >= b);
+        }
+        assert!(boards.iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn upstream_leads_downstream() {
+        // The core phenomenon: boardings at the residential station correlate
+        // with bike pick-ups near the CBD station at a positive lag, more than
+        // at lag zero reversed.
+        let data = trips(5);
+        let lay = data.layout.clone();
+        let a = lay.most_residential_station().id;
+        let b = lay.most_commercial_station();
+        let (boards_a, _) = station_flows(&data, a, 15);
+        let picks_b = bike_pickups_near(&data, b.cell, 1, 15);
+        // Find the best positive lag in 0..8 slots.
+        let best = (0..8)
+            .map(|lag| lagged_correlation(&boards_a, &picks_b, lag))
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            best > 0.3,
+            "expected a clear lead-lag correlation, best was {best}"
+        );
+    }
+
+    #[test]
+    fn lagged_correlation_identities() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((lagged_correlation(&a, &a, 0) - 1.0).abs() < 1e-6);
+        let neg: Vec<f32> = a.iter().map(|v| -v).collect();
+        assert!((lagged_correlation(&a, &neg, 0) + 1.0).abs() < 1e-6);
+        // A shifted copy correlates perfectly at its lag.
+        let shifted = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        assert!(lagged_correlation(&a, &shifted, 1) > 0.99);
+        // Constant series: defined as zero.
+        let c = vec![2.0; 5];
+        assert_eq!(lagged_correlation(&a, &c, 0), 0.0);
+        // Lag beyond length: zero.
+        assert_eq!(lagged_correlation(&a, &a, 10), 0.0);
+    }
+
+    #[test]
+    fn channel_mean_is_sane() {
+        let data = trips(6);
+        let series = DemandSeries::from_trips(&data, 15);
+        let m = series.channel_mean(F_BIKE_PICKUP);
+        assert!(m > 0.0 && m < 100.0, "suspicious mean pick-ups {m}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Normalisation, splits and sliding-window datasets.
+//!
+//! Follows the paper's protocol (Sec. IV-D): min–max normalisation to
+//! `[0, 1]`, a 6:2:2 train/validation/test split along time, two hours
+//! (8 slots) of history, and 2–8 future slots. Normalisation statistics are
+//! fitted on the training segment only.
+
+use bikecap_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::aggregate::{DemandSeries, FEATURES, F_BIKE_PICKUP};
+
+/// Which temporal segment of the data to draw windows from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// First 60% of the timeline.
+    Train,
+    /// Next 20%.
+    Val,
+    /// Final 20%.
+    Test,
+}
+
+/// Per-channel min–max normaliser (the paper's re-scaling step).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-channel minima and maxima over `slots` of the series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot range is empty or out of bounds.
+    pub fn fit(series: &DemandSeries, slots: std::ops::Range<usize>) -> Self {
+        assert!(!slots.is_empty(), "cannot fit a normaliser on an empty range");
+        assert!(slots.end <= series.num_slots(), "slot range out of bounds");
+        let window = series.data.narrow(0, slots.start, slots.end - slots.start);
+        let mut mins = Vec::with_capacity(FEATURES);
+        let mut maxs = Vec::with_capacity(FEATURES);
+        for f in 0..FEATURES {
+            let ch = window.narrow(1, f, 1);
+            mins.push(ch.min_value());
+            maxs.push(ch.max_value());
+        }
+        Normalizer { mins, maxs }
+    }
+
+    /// The fitted `(min, max)` of a channel.
+    pub fn channel_range(&self, channel: usize) -> (f32, f32) {
+        (self.mins[channel], self.maxs[channel])
+    }
+
+    /// Normalises a `(T, F, H, W)` tensor channel-wise into `[0, 1]`
+    /// (values outside the fitted range extrapolate linearly).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless axis 1 has `FEATURES` channels.
+    pub fn normalize(&self, data: &Tensor) -> Tensor {
+        assert_eq!(data.shape()[1], FEATURES, "expected {FEATURES} channels");
+        let mut out = data.clone();
+        let shape = data.shape().to_vec();
+        let (t, f) = (shape[0], shape[1]);
+        let plane: usize = shape[2..].iter().product();
+        let buf = out.as_mut_slice();
+        for ti in 0..t {
+            for fi in 0..f {
+                let scale = (self.maxs[fi] - self.mins[fi]).max(1e-6);
+                let base = (ti * f + fi) * plane;
+                for v in &mut buf[base..base + plane] {
+                    *v = (*v - self.mins[fi]) / scale;
+                }
+            }
+        }
+        out
+    }
+
+    /// Maps normalised values of `channel` back to counts.
+    pub fn denormalize_channel(&self, data: &Tensor, channel: usize) -> Tensor {
+        let scale = (self.maxs[channel] - self.mins[channel]).max(1e-6);
+        data.map(|v| v * scale + self.mins[channel])
+    }
+}
+
+/// A minibatch of forecasting windows.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Normalised inputs, `(B, FEATURES, h, H, W)` — channels-first for 3-D
+    /// convolution.
+    pub input: Tensor,
+    /// Normalised bike pick-up targets, `(B, p, H, W)`.
+    pub target: Tensor,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.input.shape()[0]
+    }
+
+    /// True for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Sliding-window dataset over a normalised demand series.
+#[derive(Debug, Clone)]
+pub struct ForecastDataset {
+    normalized: Tensor, // (T, F, H, W)
+    normalizer: Normalizer,
+    history: usize,
+    horizon: usize,
+    train_end: usize,
+    val_end: usize,
+    height: usize,
+    width: usize,
+}
+
+impl ForecastDataset {
+    /// Builds a dataset with `history` input slots and `horizon` target
+    /// slots, splitting 6:2:2 and fitting normalisation on the training
+    /// segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is too short for even one window per split.
+    pub fn new(series: &DemandSeries, history: usize, horizon: usize) -> Self {
+        let t = series.num_slots();
+        let train_end = t * 6 / 10;
+        let val_end = t * 8 / 10;
+        assert!(
+            train_end > history + horizon && t - val_end > history + horizon,
+            "series of {t} slots too short for history {history} + horizon {horizon}"
+        );
+        let normalizer = Normalizer::fit(series, 0..train_end);
+        let normalized = normalizer.normalize(&series.data);
+        ForecastDataset {
+            normalized,
+            normalizer,
+            history,
+            horizon,
+            train_end,
+            val_end,
+            height: series.height,
+            width: series.width,
+        }
+    }
+
+    /// Input history length `h`.
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    /// Target horizon length `p`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Grid extents `(H, W)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.height, self.width)
+    }
+
+    /// The fitted normaliser.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    fn segment(&self, split: Split) -> std::ops::Range<usize> {
+        match split {
+            Split::Train => 0..self.train_end,
+            Split::Val => self.train_end..self.val_end,
+            Split::Test => self.val_end..self.normalized.shape()[0],
+        }
+    }
+
+    /// Valid window anchors for a split. An anchor `t` spans input slots
+    /// `t-h+1..=t` and target slots `t+1..=t+p`, all inside the segment.
+    pub fn anchors(&self, split: Split) -> Vec<usize> {
+        let seg = self.segment(split);
+        let lo = seg.start + self.history.saturating_sub(1);
+        (lo..seg.end.saturating_sub(self.horizon)).collect()
+    }
+
+    /// Shuffled training-style anchors.
+    pub fn shuffled_anchors<R: Rng + ?Sized>(&self, split: Split, rng: &mut R) -> Vec<usize> {
+        let mut a = self.anchors(split);
+        a.shuffle(rng);
+        a
+    }
+
+    /// Assembles a batch from explicit anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an anchor is out of range for its window.
+    pub fn batch(&self, anchors: &[usize]) -> Batch {
+        let b = anchors.len();
+        let (h, w) = (self.height, self.width);
+        let mut input = Tensor::zeros(&[b, FEATURES, self.history, h, w]);
+        let mut target = Tensor::zeros(&[b, self.horizon, h, w]);
+        let plane = h * w;
+        let src = self.normalized.as_slice();
+        let t_total = self.normalized.shape()[0];
+        for (bi, &anchor) in anchors.iter().enumerate() {
+            assert!(
+                anchor + 1 >= self.history && anchor + self.horizon < t_total,
+                "anchor {anchor} out of range"
+            );
+            for (di, slot) in (anchor + 1 - self.history..=anchor).enumerate() {
+                for f in 0..FEATURES {
+                    let src_base = (slot * FEATURES + f) * plane;
+                    let dst_base = (((bi * FEATURES + f) * self.history) + di) * plane;
+                    input.as_mut_slice()[dst_base..dst_base + plane]
+                        .copy_from_slice(&src[src_base..src_base + plane]);
+                }
+            }
+            for (pi, slot) in (anchor + 1..=anchor + self.horizon).enumerate() {
+                let src_base = (slot * FEATURES + F_BIKE_PICKUP) * plane;
+                let dst_base = (bi * self.horizon + pi) * plane;
+                target.as_mut_slice()[dst_base..dst_base + plane]
+                    .copy_from_slice(&src[src_base..src_base + plane]);
+            }
+        }
+        Batch { input, target }
+    }
+
+    /// Denormalises a `(…)`-shaped tensor of bike pick-up predictions back to
+    /// counts.
+    pub fn denormalize_target(&self, pred: &Tensor) -> Tensor {
+        self.normalizer.denormalize_channel(pred, F_BIKE_PICKUP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{SimConfig, Simulator};
+    use crate::layout::CityLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn series(seed: u64) -> DemandSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SimConfig::small();
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        DemandSeries::from_trips(&trips, 15)
+    }
+
+    #[test]
+    fn normalizer_maps_train_range_to_unit_interval() {
+        let s = series(1);
+        let n = Normalizer::fit(&s, 0..s.num_slots() * 6 / 10);
+        let norm = n.normalize(&s.data);
+        // Training segment strictly within [0, 1].
+        let train = norm.narrow(0, 0, s.num_slots() * 6 / 10);
+        assert!(train.min_value() >= 0.0);
+        assert!(train.max_value() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let s = series(2);
+        let n = Normalizer::fit(&s, 0..s.num_slots());
+        let norm = n.normalize(&s.data);
+        let back = n.denormalize_channel(&norm.narrow(1, F_BIKE_PICKUP, 1), F_BIKE_PICKUP);
+        let orig = s.data.narrow(1, F_BIKE_PICKUP, 1);
+        bikecap_tensor::assert_close(&back, &orig, 1e-2);
+    }
+
+    #[test]
+    fn splits_are_disjoint_and_ordered() {
+        let s = series(3);
+        let ds = ForecastDataset::new(&s, 8, 4);
+        let train = ds.anchors(Split::Train);
+        let val = ds.anchors(Split::Val);
+        let test = ds.anchors(Split::Test);
+        assert!(!train.is_empty() && !val.is_empty() && !test.is_empty());
+        assert!(train.last().unwrap() < val.first().unwrap());
+        assert!(val.last().unwrap() < test.first().unwrap());
+    }
+
+    #[test]
+    fn no_window_crosses_split_boundaries() {
+        let s = series(4);
+        let ds = ForecastDataset::new(&s, 8, 4);
+        for &a in &ds.anchors(Split::Val) {
+            // Input slots start after the train segment.
+            assert!(a + 1 - ds.history() >= s.num_slots() * 6 / 10);
+            // Target slots end before the test segment.
+            assert!(a + ds.horizon() < s.num_slots() * 8 / 10);
+        }
+    }
+
+    #[test]
+    fn batch_shapes_and_values() {
+        let s = series(5);
+        let ds = ForecastDataset::new(&s, 8, 3);
+        let anchors = ds.anchors(Split::Train);
+        let batch = ds.batch(&anchors[..4]);
+        assert_eq!(batch.len(), 4);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.input.shape(), &[4, FEATURES, 8, s.height, s.width]);
+        assert_eq!(batch.target.shape(), &[4, 3, s.height, s.width]);
+        // Normalised values.
+        assert!(batch.input.min_value() >= 0.0);
+        assert!(batch.target.min_value() >= 0.0);
+    }
+
+    #[test]
+    fn batch_windows_align_with_source() {
+        // The last input slot (bike channel) of anchor t equals the
+        // normalised series at slot t; the first target is slot t+1.
+        let s = series(6);
+        let ds = ForecastDataset::new(&s, 4, 2);
+        let a = ds.anchors(Split::Train)[10];
+        let batch = ds.batch(&[a]);
+        let n = ds.normalizer().normalize(&s.data);
+        for row in 0..s.height {
+            for col in 0..s.width {
+                assert_eq!(
+                    batch.input.get(&[0, F_BIKE_PICKUP, 3, row, col]),
+                    n.get(&[a, F_BIKE_PICKUP, row, col])
+                );
+                assert_eq!(
+                    batch.target.get(&[0, 0, row, col]),
+                    n.get(&[a + 1, F_BIKE_PICKUP, row, col])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_anchors_permute_deterministically() {
+        let s = series(7);
+        let ds = ForecastDataset::new(&s, 8, 2);
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let a1 = ds.shuffled_anchors(Split::Train, &mut rng1);
+        let a2 = ds.shuffled_anchors(Split::Train, &mut rng2);
+        assert_eq!(a1, a2);
+        let mut sorted = a1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, ds.anchors(Split::Train));
+    }
+
+    #[test]
+    fn denormalize_target_restores_scale() {
+        let s = series(8);
+        let ds = ForecastDataset::new(&s, 8, 2);
+        let (lo, hi) = ds.normalizer().channel_range(F_BIKE_PICKUP);
+        let ones = Tensor::ones(&[2, 2]);
+        let denorm = ds.denormalize_target(&ones);
+        assert!((denorm.get(&[0, 0]) - hi).abs() < 1e-4);
+        let zeros = Tensor::zeros(&[2, 2]);
+        assert!((ds.denormalize_target(&zeros).get(&[0, 0]) - lo).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn dataset_rejects_too_short_series() {
+        let s = series(9);
+        // A horizon longer than the validation segment must fail.
+        let _ = ForecastDataset::new(&s, 60, 60);
+    }
+}

@@ -1,0 +1,584 @@
+//! Record-level trip generation.
+
+use rand::Rng;
+
+use crate::layout::{Cell, CityLayout};
+use crate::profiles::{background, home_to_work, is_weekend, work_to_home};
+use crate::records::{cell_to_gps, BikeRecord, BikeStatus, SubwayRecord, SubwayStatus};
+use crate::util::poisson;
+
+/// Configuration of the synthetic city and simulation horizon.
+///
+/// Defaults model the paper's setting (one month, 7 subway lines) at a
+/// laptop-scale grid; [`SimConfig::small`] is a fast variant for tests and
+/// doc examples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Simulated days (the paper's dataset covers 31).
+    pub days: u32,
+    /// Grid rows (`N_g1`).
+    pub grid_height: usize,
+    /// Grid columns (`N_g2`).
+    pub grid_width: usize,
+    /// Number of subway lines (the paper's dataset has 7).
+    pub subway_lines: usize,
+    /// Cells between consecutive stations along a line.
+    pub station_stride: usize,
+    /// Minutes of travel per grid cell along a line.
+    pub minutes_per_hop: f32,
+    /// Scale of subway origin–destination flows (trips/minute per unit
+    /// weight product).
+    pub od_scale: f64,
+    /// Probability that an alighting passenger transfers to a shared bike —
+    /// the upstream→downstream coupling.
+    pub bike_transfer_prob: f64,
+    /// Mean minutes between alighting and bike pick-up.
+    pub transfer_lag_mean_min: f64,
+    /// Scale of background (non-transfer) bike trips.
+    pub bike_background_rate: f64,
+    /// Minutes of bike riding per grid cell of distance.
+    pub ride_minutes_per_cell: f64,
+    /// Std-dev of the per-day demand multiplier (weather etc.).
+    pub day_factor_std: f64,
+    /// Persistence (per 15-min slot) of the per-station AR(1) demand surge
+    /// process. Surges originate at stations, ride the subway, and reach
+    /// downstream bike demand with the travel lag — the aperiodic,
+    /// upstream-predictable variation BikeCAP exploits.
+    pub surge_rho: f64,
+    /// Innovation std-dev of the surge process (log-scale).
+    pub surge_sigma: f64,
+    /// Per-day probability of a local event that multiplies demand.
+    pub event_probability: f64,
+    /// Demand multiplier inside an event's area and hours.
+    pub event_multiplier: f64,
+}
+
+impl SimConfig {
+    /// The default month-long configuration mirroring the paper's setting.
+    pub fn paper_scale() -> Self {
+        SimConfig {
+            days: 31,
+            grid_height: 8,
+            grid_width: 8,
+            subway_lines: 7,
+            station_stride: 2,
+            minutes_per_hop: 4.0,
+            od_scale: 0.12,
+            bike_transfer_prob: 0.55,
+            transfer_lag_mean_min: 4.0,
+            bike_background_rate: 0.09,
+            ride_minutes_per_cell: 3.0,
+            day_factor_std: 0.12,
+            surge_rho: 0.92,
+            surge_sigma: 0.16,
+            event_probability: 0.08,
+            event_multiplier: 2.2,
+        }
+    }
+
+    /// A 2-day, 6x6, 3-line configuration for tests and examples.
+    pub fn small() -> Self {
+        SimConfig {
+            days: 2,
+            grid_height: 6,
+            grid_width: 6,
+            subway_lines: 3,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Total simulated minutes.
+    pub fn total_minutes(&self) -> u32 {
+        self.days * 24 * 60
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+/// The generated record streams plus the layout they were generated on.
+#[derive(Debug, Clone)]
+pub struct TripData {
+    /// All subway events, time-ordered.
+    pub subway: Vec<SubwayRecord>,
+    /// All bike events, time-ordered.
+    pub bike: Vec<BikeRecord>,
+    /// The city the records were generated on.
+    pub layout: CityLayout,
+    /// The generating configuration.
+    pub config: SimConfig,
+}
+
+impl TripData {
+    /// Number of subway *trips* (boarding/disembarking pairs).
+    pub fn subway_trips(&self) -> usize {
+        self.subway.len() / 2
+    }
+
+    /// Number of bike *trips* (pick-up/drop-off pairs).
+    pub fn bike_trips(&self) -> usize {
+        self.bike.len() / 2
+    }
+}
+
+/// One local event (festival / concert): a centre cell, a radius, active
+/// hours within a day, and the day it occurs.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    day: u32,
+    centre: Cell,
+    radius: usize,
+    start_min: f32,
+    end_min: f32,
+}
+
+/// Generates subway and bike records for a configured city.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+    layout: CityLayout,
+}
+
+impl Simulator {
+    /// Creates a simulator over a layout (normally from
+    /// [`CityLayout::generate`] with the same config).
+    pub fn new(config: SimConfig, layout: CityLayout) -> Self {
+        Simulator { config, layout }
+    }
+
+    /// The layout being simulated.
+    pub fn layout(&self) -> &CityLayout {
+        &self.layout
+    }
+
+    /// Runs the full simulation, producing time-ordered record streams.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> TripData {
+        let cfg = &self.config;
+        let lay = &self.layout;
+        let mut subway: Vec<SubwayRecord> = Vec::new();
+        let mut bike: Vec<BikeRecord> = Vec::new();
+        let mut next_record: u64 = 0;
+        let mut next_card: u64 = 0;
+        let mut next_user: u64 = 0;
+        let mut next_bike: u64 = 0;
+
+        // Pre-compute per-station weights.
+        let res: Vec<f32> = lay
+            .stations
+            .iter()
+            .map(|s| lay.residential_weight(s.cell))
+            .collect();
+        let com: Vec<f32> = lay
+            .stations
+            .iter()
+            .map(|s| lay.commercial_weight(s.cell))
+            .collect();
+
+        // Per-station AR(1) log-multipliers: hours-long surges that originate
+        // upstream and propagate to downstream bike demand with the travel
+        // lag. These are the aperiodic fluctuations a purely clock-driven
+        // model cannot anticipate.
+        let mut surge_log: Vec<f64> = vec![0.0; lay.stations.len()];
+
+        for day in 0..cfg.days {
+            let weekend = is_weekend(day);
+            let day_factor = (1.0 + rng.gen_range(-1.0..1.0) * cfg.day_factor_std)
+                .clamp(0.6, 1.5);
+            let event = if rng.gen_range(0.0f64..1.0) < cfg.event_probability {
+                Some(Event {
+                    day,
+                    centre: Cell {
+                        row: rng.gen_range(0..lay.height),
+                        col: rng.gen_range(0..lay.width),
+                    },
+                    radius: 1,
+                    start_min: rng.gen_range(10.0f32..16.0) * 60.0,
+                    end_min: rng.gen_range(18.0f32..22.0) * 60.0,
+                })
+            } else {
+                None
+            };
+
+            for slot in 0..96u32 {
+                let minute0 = (day * 1440 + slot * 15) as f64;
+                let mid = (slot * 15 + 7) as f32; // slot-centre minute of day
+                // Advance the surge processes every slot (day and night, so
+                // the state is continuous across the skipped deep-night
+                // slots).
+                for m in &mut surge_log {
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0f64..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    *m = cfg.surge_rho * *m + cfg.surge_sigma * z;
+                }
+                let hw = home_to_work(mid, weekend) as f64;
+                let wh = work_to_home(mid, weekend) as f64;
+                let bg = background(mid) as f64;
+                if hw + wh + bg < 1e-5 {
+                    continue; // deep night: negligible demand
+                }
+                let event_mult = |cell: Cell| -> f64 {
+                    match event {
+                        Some(e)
+                            if e.day == day
+                                && mid >= e.start_min
+                                && mid <= e.end_min
+                                && cell.chebyshev(e.centre) <= e.radius =>
+                        {
+                            cfg.event_multiplier
+                        }
+                        _ => 1.0,
+                    }
+                };
+
+                for a in 0..lay.stations.len() {
+                    for b in 0..lay.stations.len() {
+                        if a == b {
+                            continue;
+                        }
+                        let lam = cfg.od_scale
+                            * 15.0
+                            * day_factor
+                            * surge_log[a].exp()
+                            * event_mult(lay.stations[b].cell)
+                            * ((res[a] * com[b]) as f64 * hw
+                                + (com[a] * res[b]) as f64 * wh
+                                + ((res[a] + com[a]) * (res[b] + com[b])) as f64 * bg * 0.2);
+                        let n = poisson(rng, lam);
+                        for _ in 0..n {
+                            let t_board = minute0 + rng.gen_range(0.0f64..15.0);
+                            let travel =
+                                lay.travel_minutes(a, b) as f64 * rng.gen_range(0.9f64..1.1);
+                            let t_alight = t_board + travel;
+                            if t_alight >= cfg.total_minutes() as f64 {
+                                continue;
+                            }
+                            let card = next_card;
+                            next_card += 1;
+                            subway.push(SubwayRecord {
+                                record_id: next_record,
+                                card_id: card,
+                                time_min: t_board,
+                                line: lay.stations[a].line,
+                                status: SubwayStatus::Boarding,
+                                station: a,
+                            });
+                            next_record += 1;
+                            subway.push(SubwayRecord {
+                                record_id: next_record,
+                                card_id: card,
+                                time_min: t_alight,
+                                line: lay.stations[b].line,
+                                status: SubwayStatus::Disembarking,
+                                station: b,
+                            });
+                            next_record += 1;
+
+                            // Last-mile bike transfer.
+                            if rng.gen_range(0.0f64..1.0) < cfg.bike_transfer_prob {
+                                let lag = rng.gen_range(0.5..2.0) * cfg.transfer_lag_mean_min;
+                                let t_pick = t_alight + lag;
+                                let pick_cell = self.jitter_cell(lay.stations[b].cell, 1, rng);
+                                let drop_cell = self.ride_destination(pick_cell, rng);
+                                let dur = (pick_cell.manhattan(drop_cell).max(1) as f64)
+                                    * cfg.ride_minutes_per_cell
+                                    * rng.gen_range(0.8f64..1.3);
+                                let t_drop = t_pick + dur;
+                                if t_drop < cfg.total_minutes() as f64 {
+                                    let (user, bid) = (next_user, next_bike);
+                                    next_user += 1;
+                                    next_bike += 1;
+                                    Self::push_bike_pair(
+                                        &mut bike,
+                                        &mut next_record,
+                                        user,
+                                        bid,
+                                        (t_pick, pick_cell),
+                                        (t_drop, drop_cell),
+                                        rng,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Background bike trips, independent of the subway.
+                for row in 0..lay.height {
+                    for col in 0..lay.width {
+                        let cell = Cell { row, col };
+                        let w = (lay.residential_weight(cell) + lay.commercial_weight(cell))
+                            as f64;
+                        let lam = cfg.bike_background_rate
+                            * 15.0
+                            * day_factor
+                            * event_mult(cell)
+                            * w
+                            * (bg * 2.0 + hw + wh);
+                        let n = poisson(rng, lam);
+                        for _ in 0..n {
+                            let t_pick = minute0 + rng.gen_range(0.0f64..15.0);
+                            let drop_cell = self.ride_destination(cell, rng);
+                            let dur = (cell.manhattan(drop_cell).max(1) as f64)
+                                * cfg.ride_minutes_per_cell
+                                * rng.gen_range(0.8f64..1.3);
+                            let t_drop = t_pick + dur;
+                            if t_drop < cfg.total_minutes() as f64 {
+                                let (user, bid) = (next_user, next_bike);
+                                next_user += 1;
+                                next_bike += 1;
+                                Self::push_bike_pair(
+                                    &mut bike,
+                                    &mut next_record,
+                                    user,
+                                    bid,
+                                    (t_pick, cell),
+                                    (t_drop, drop_cell),
+                                    rng,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        subway.sort_by(|x, y| x.time_min.total_cmp(&y.time_min));
+        bike.sort_by(|x, y| x.time_min.total_cmp(&y.time_min));
+        TripData {
+            subway,
+            bike,
+            layout: self.layout.clone(),
+            config: self.config.clone(),
+        }
+    }
+
+    /// Shifts a cell by up to `radius` in each direction (clamped to grid),
+    /// keeping the original with probability ~1/2.
+    fn jitter_cell<R: Rng + ?Sized>(&self, cell: Cell, radius: i64, rng: &mut R) -> Cell {
+        if rng.gen_range(0.0f64..1.0) < 0.5 {
+            return cell;
+        }
+        let row = (cell.row as i64 + rng.gen_range(-radius..=radius))
+            .clamp(0, self.layout.height as i64 - 1) as usize;
+        let col = (cell.col as i64 + rng.gen_range(-radius..=radius))
+            .clamp(0, self.layout.width as i64 - 1) as usize;
+        Cell { row, col }
+    }
+
+    /// Samples a bike drop-off cell within 2 cells of the origin, weighted by
+    /// combined land use (short last-mile rides).
+    fn ride_destination<R: Rng + ?Sized>(&self, from: Cell, rng: &mut R) -> Cell {
+        let lay = &self.layout;
+        let mut candidates: Vec<(Cell, f32)> = Vec::new();
+        let r = 2i64;
+        for dr in -r..=r {
+            for dc in -r..=r {
+                let row = from.row as i64 + dr;
+                let col = from.col as i64 + dc;
+                if row < 0 || col < 0 || row >= lay.height as i64 || col >= lay.width as i64 {
+                    continue;
+                }
+                let cell = Cell {
+                    row: row as usize,
+                    col: col as usize,
+                };
+                let w = lay.residential_weight(cell) + lay.commercial_weight(cell) + 0.05;
+                candidates.push((cell, w));
+            }
+        }
+        let total: f32 = candidates.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        for (cell, w) in &candidates {
+            pick -= w;
+            if pick <= 0.0 {
+                return *cell;
+            }
+        }
+        from
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_bike_pair<R: Rng + ?Sized>(
+        bike: &mut Vec<BikeRecord>,
+        next_record: &mut u64,
+        user: u64,
+        bike_id: u64,
+        pick: (f64, Cell),
+        drop: (f64, Cell),
+        rng: &mut R,
+    ) {
+        let mut offset = || (rng.gen_range(0.0f64..1.0), rng.gen_range(0.0f64..1.0));
+        let o1 = offset();
+        let o2 = offset();
+        bike.push(BikeRecord {
+            record_id: *next_record,
+            user_id: user,
+            time_min: pick.0,
+            cell: pick.1,
+            gps: cell_to_gps(pick.1, o1),
+            status: BikeStatus::PickUp,
+            bike_id,
+        });
+        *next_record += 1;
+        bike.push(BikeRecord {
+            record_id: *next_record,
+            user_id: user,
+            time_min: drop.0,
+            cell: drop.1,
+            gps: cell_to_gps(drop.1, o2),
+            status: BikeStatus::DropOff,
+            bike_id,
+        });
+        *next_record += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_run(seed: u64) -> TripData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SimConfig::small();
+        let layout = CityLayout::generate(&config, &mut rng);
+        Simulator::new(config, layout).run(&mut rng)
+    }
+
+    #[test]
+    fn produces_paired_records() {
+        let data = small_run(1);
+        assert!(data.subway_trips() > 100, "too few subway trips");
+        assert!(data.bike_trips() > 50, "too few bike trips");
+        assert_eq!(data.subway.len() % 2, 0);
+        assert_eq!(data.bike.len() % 2, 0);
+        // Every card id appears exactly twice (board + alight).
+        let mut counts = std::collections::HashMap::new();
+        for r in &data.subway {
+            *counts.entry(r.card_id).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn records_are_time_ordered_and_within_horizon() {
+        let data = small_run(2);
+        let horizon = data.config.total_minutes() as f64;
+        for pair in data.subway.windows(2) {
+            assert!(pair[0].time_min <= pair[1].time_min);
+        }
+        for r in &data.subway {
+            assert!(r.time_min >= 0.0 && r.time_min < horizon);
+        }
+        for r in &data.bike {
+            assert!(r.time_min >= 0.0 && r.time_min < horizon);
+        }
+    }
+
+    #[test]
+    fn boardings_equal_alightings() {
+        let data = small_run(3);
+        let boards = data
+            .subway
+            .iter()
+            .filter(|r| r.status == SubwayStatus::Boarding)
+            .count();
+        assert_eq!(boards * 2, data.subway.len());
+    }
+
+    #[test]
+    fn bike_pickups_cluster_near_stations() {
+        // Transfer trips dominate background trips, so pick-up density within
+        // 1 cell of a station should exceed the density far from stations.
+        let data = small_run(4);
+        let lay = &data.layout;
+        let near = |c: Cell| {
+            lay.stations
+                .iter()
+                .any(|s| s.cell.chebyshev(c) <= 1)
+        };
+        let mut near_cells = 0usize;
+        let mut far_cells = 0usize;
+        for row in 0..lay.height {
+            for col in 0..lay.width {
+                if near(Cell { row, col }) {
+                    near_cells += 1;
+                } else {
+                    far_cells += 1;
+                }
+            }
+        }
+        if far_cells == 0 {
+            return; // dense network: nothing to compare
+        }
+        let mut near_picks = 0usize;
+        let mut far_picks = 0usize;
+        for r in data.bike.iter().filter(|r| r.status == BikeStatus::PickUp) {
+            if near(r.cell) {
+                near_picks += 1;
+            } else {
+                far_picks += 1;
+            }
+        }
+        let near_density = near_picks as f64 / near_cells as f64;
+        let far_density = (far_picks as f64 + 1.0) / far_cells as f64;
+        assert!(
+            near_density > far_density,
+            "expected station-adjacent pick-up density ({near_density:.1}) to exceed background ({far_density:.1})"
+        );
+    }
+
+    #[test]
+    fn morning_boardings_peak_at_residential_stations() {
+        let data = small_run(5);
+        let lay = &data.layout;
+        let res_station = lay.most_residential_station().id;
+        let mut morning = 0usize;
+        let mut night = 0usize;
+        for r in &data.subway {
+            if r.station == res_station && r.status == SubwayStatus::Boarding {
+                let mod_min = r.time_min % 1440.0;
+                if (420.0..540.0).contains(&mod_min) {
+                    morning += 1;
+                } else if mod_min < 300.0 {
+                    night += 1;
+                }
+            }
+        }
+        assert!(
+            morning > night,
+            "morning rush ({morning}) should exceed night ({night})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_run(7);
+        let b = small_run(7);
+        assert_eq!(a.subway.len(), b.subway.len());
+        assert_eq!(a.bike.len(), b.bike.len());
+        assert_eq!(a.subway.first(), b.subway.first());
+        assert_eq!(a.bike.last(), b.bike.last());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_run(8);
+        let b = small_run(9);
+        assert_ne!(a.subway.len(), b.subway.len());
+    }
+
+    #[test]
+    fn config_accessors() {
+        let cfg = SimConfig::paper_scale();
+        assert_eq!(cfg.days, 31);
+        assert_eq!(cfg.subway_lines, 7);
+        assert_eq!(cfg.total_minutes(), 31 * 1440);
+        assert_eq!(SimConfig::default(), SimConfig::paper_scale());
+    }
+}

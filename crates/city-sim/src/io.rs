@@ -1,0 +1,338 @@
+//! CSV import/export of trip records.
+//!
+//! The on-disk format mirrors the paper's Tables I and II so real bike-share
+//! or transit datasets can be adapted to the same pipeline. A dependency-free
+//! CSV subset is used: comma-separated, no quoting (no field in these schemas
+//! needs it), one header line.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead as _, Write as _};
+use std::path::Path;
+
+use crate::generate::{SimConfig, TripData};
+use crate::layout::{Cell, CityLayout};
+use crate::records::{BikeRecord, BikeStatus, SubwayRecord, SubwayStatus};
+
+/// Header of the subway CSV.
+pub const SUBWAY_HEADER: &str = "record_id,card_id,time_min,line,status,station";
+/// Header of the bike CSV.
+pub const BIKE_HEADER: &str = "record_id,user_id,time_min,row,col,lat,lon,status,bike_id";
+
+/// Errors from reading record CSVs.
+#[derive(Debug)]
+pub enum ReadRecordsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadRecordsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadRecordsError::Io(e) => write!(f, "i/o error reading records: {e}"),
+            ReadRecordsError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadRecordsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadRecordsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadRecordsError {
+    fn from(e: io::Error) -> Self {
+        ReadRecordsError::Io(e)
+    }
+}
+
+/// Writes the subway record stream as CSV.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_subway_csv(records: &[SubwayRecord], path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "{SUBWAY_HEADER}")?;
+    for r in records {
+        let status = match r.status {
+            SubwayStatus::Boarding => "boarding",
+            SubwayStatus::Disembarking => "disembarking",
+        };
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.record_id, r.card_id, r.time_min, r.line, status, r.station
+        )?;
+    }
+    out.flush()
+}
+
+/// Writes the bike record stream as CSV.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_bike_csv(records: &[BikeRecord], path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "{BIKE_HEADER}")?;
+    for r in records {
+        let status = match r.status {
+            BikeStatus::PickUp => "pickup",
+            BikeStatus::DropOff => "dropoff",
+        };
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            r.record_id,
+            r.user_id,
+            r.time_min,
+            r.cell.row,
+            r.cell.col,
+            r.gps.0,
+            r.gps.1,
+            status,
+            r.bike_id
+        )?;
+    }
+    out.flush()
+}
+
+fn field<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    name: &str,
+) -> Result<&'a str, ReadRecordsError> {
+    parts.next().ok_or_else(|| ReadRecordsError::Parse {
+        line,
+        message: format!("missing field '{name}'"),
+    })
+}
+
+fn parse<T: std::str::FromStr>(s: &str, line: usize, name: &str) -> Result<T, ReadRecordsError> {
+    s.parse().map_err(|_| ReadRecordsError::Parse {
+        line,
+        message: format!("invalid {name}: '{s}'"),
+    })
+}
+
+/// Reads a subway CSV written by [`write_subway_csv`] (or produced from an
+/// external dataset in the same schema).
+///
+/// # Errors
+///
+/// Returns [`ReadRecordsError`] on I/O failure or malformed content.
+pub fn read_subway_csv(path: impl AsRef<Path>) -> Result<Vec<SubwayRecord>, ReadRecordsError> {
+    let file = io::BufReader::new(fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (idx, line) in file.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        if idx == 0 {
+            if line.trim() != SUBWAY_HEADER {
+                return Err(ReadRecordsError::Parse {
+                    line: 1,
+                    message: format!("expected header '{SUBWAY_HEADER}'"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let record_id = parse(field(&mut parts, line_no, "record_id")?, line_no, "record_id")?;
+        let card_id = parse(field(&mut parts, line_no, "card_id")?, line_no, "card_id")?;
+        let time_min = parse(field(&mut parts, line_no, "time_min")?, line_no, "time_min")?;
+        let line_id = parse(field(&mut parts, line_no, "line")?, line_no, "line")?;
+        let status = match field(&mut parts, line_no, "status")? {
+            "boarding" => SubwayStatus::Boarding,
+            "disembarking" => SubwayStatus::Disembarking,
+            other => {
+                return Err(ReadRecordsError::Parse {
+                    line: line_no,
+                    message: format!("unknown subway status '{other}'"),
+                })
+            }
+        };
+        let station = parse(field(&mut parts, line_no, "station")?, line_no, "station")?;
+        out.push(SubwayRecord {
+            record_id,
+            card_id,
+            time_min,
+            line: line_id,
+            status,
+            station,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads a bike CSV written by [`write_bike_csv`].
+///
+/// # Errors
+///
+/// Returns [`ReadRecordsError`] on I/O failure or malformed content.
+pub fn read_bike_csv(path: impl AsRef<Path>) -> Result<Vec<BikeRecord>, ReadRecordsError> {
+    let file = io::BufReader::new(fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (idx, line) in file.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        if idx == 0 {
+            if line.trim() != BIKE_HEADER {
+                return Err(ReadRecordsError::Parse {
+                    line: 1,
+                    message: format!("expected header '{BIKE_HEADER}'"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let record_id = parse(field(&mut parts, line_no, "record_id")?, line_no, "record_id")?;
+        let user_id = parse(field(&mut parts, line_no, "user_id")?, line_no, "user_id")?;
+        let time_min = parse(field(&mut parts, line_no, "time_min")?, line_no, "time_min")?;
+        let row = parse(field(&mut parts, line_no, "row")?, line_no, "row")?;
+        let col = parse(field(&mut parts, line_no, "col")?, line_no, "col")?;
+        let lat = parse(field(&mut parts, line_no, "lat")?, line_no, "lat")?;
+        let lon = parse(field(&mut parts, line_no, "lon")?, line_no, "lon")?;
+        let status = match field(&mut parts, line_no, "status")? {
+            "pickup" => BikeStatus::PickUp,
+            "dropoff" => BikeStatus::DropOff,
+            other => {
+                return Err(ReadRecordsError::Parse {
+                    line: line_no,
+                    message: format!("unknown bike status '{other}'"),
+                })
+            }
+        };
+        let bike_id = parse(field(&mut parts, line_no, "bike_id")?, line_no, "bike_id")?;
+        out.push(BikeRecord {
+            record_id,
+            user_id,
+            time_min,
+            cell: Cell { row, col },
+            gps: (lat, lon),
+            status,
+            bike_id,
+        });
+    }
+    Ok(out)
+}
+
+/// Rebuilds a [`TripData`] from CSV streams plus the layout/config they were
+/// generated (or adapted) for.
+pub fn trip_data_from_csv(
+    subway_path: impl AsRef<Path>,
+    bike_path: impl AsRef<Path>,
+    layout: CityLayout,
+    config: SimConfig,
+) -> Result<TripData, ReadRecordsError> {
+    Ok(TripData {
+        subway: read_subway_csv(subway_path)?,
+        bike: read_bike_csv(bike_path)?,
+        layout,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bikecap-io-{name}-{}", std::process::id()))
+    }
+
+    fn small_trips() -> TripData {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut config = SimConfig::small();
+        config.days = 1;
+        let layout = CityLayout::generate(&config, &mut rng);
+        Simulator::new(config, layout).run(&mut rng)
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_every_record() {
+        let trips = small_trips();
+        let sp = tmp("subway.csv");
+        let bp = tmp("bike.csv");
+        write_subway_csv(&trips.subway, &sp).unwrap();
+        write_bike_csv(&trips.bike, &bp).unwrap();
+        let back = trip_data_from_csv(&sp, &bp, trips.layout.clone(), trips.config.clone()).unwrap();
+        assert_eq!(back.subway.len(), trips.subway.len());
+        assert_eq!(back.bike.len(), trips.bike.len());
+        assert_eq!(back.subway.first(), trips.subway.first());
+        assert_eq!(back.bike.last(), trips.bike.last());
+        fs::remove_file(sp).ok();
+        fs::remove_file(bp).ok();
+    }
+
+    #[test]
+    fn read_rejects_wrong_header() {
+        let p = tmp("badheader.csv");
+        fs::write(&p, "who,what\n").unwrap();
+        let err = read_subway_csv(&p).unwrap_err();
+        assert!(matches!(err, ReadRecordsError::Parse { line: 1, .. }));
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn read_rejects_malformed_row() {
+        let p = tmp("badrow.csv");
+        fs::write(&p, format!("{SUBWAY_HEADER}\n1,2,not_a_time,0,boarding,3\n")).unwrap();
+        let err = read_subway_csv(&p).unwrap_err();
+        match err {
+            ReadRecordsError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("time_min"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn read_rejects_unknown_status() {
+        let p = tmp("badstatus.csv");
+        fs::write(&p, format!("{SUBWAY_HEADER}\n1,2,3.5,0,teleporting,3\n")).unwrap();
+        let err = read_subway_csv(&p).unwrap_err();
+        assert!(err.to_string().contains("teleporting"));
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn aggregation_identical_after_roundtrip() {
+        use crate::aggregate::DemandSeries;
+        let trips = small_trips();
+        let sp = tmp("agg-subway.csv");
+        let bp = tmp("agg-bike.csv");
+        write_subway_csv(&trips.subway, &sp).unwrap();
+        write_bike_csv(&trips.bike, &bp).unwrap();
+        let back = trip_data_from_csv(&sp, &bp, trips.layout.clone(), trips.config.clone()).unwrap();
+        let a = DemandSeries::from_trips(&trips, 15);
+        let b = DemandSeries::from_trips(&back, 15);
+        assert_eq!(a.data, b.data);
+        fs::remove_file(sp).ok();
+        fs::remove_file(bp).ok();
+    }
+}

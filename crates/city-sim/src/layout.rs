@@ -1,0 +1,321 @@
+//! City layout: grid, land-use zones and subway network.
+
+use rand::Rng;
+
+use crate::generate::SimConfig;
+
+/// A grid cell addressed by `(row, col)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cell {
+    /// Row index (0 at the "north" edge).
+    pub row: usize,
+    /// Column index (0 at the "west" edge).
+    pub col: usize,
+}
+
+impl Cell {
+    /// Chebyshev (king-move) distance to another cell.
+    pub fn chebyshev(&self, other: Cell) -> usize {
+        self.row.abs_diff(other.row).max(self.col.abs_diff(other.col))
+    }
+
+    /// Manhattan distance to another cell.
+    pub fn manhattan(&self, other: Cell) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+
+    /// Flat index within an `height x width` grid.
+    pub fn flat(&self, width: usize) -> usize {
+        self.row * width + self.col
+    }
+}
+
+/// A subway station placed on a grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    /// Stable station identifier (index into [`CityLayout::stations`]).
+    pub id: usize,
+    /// Display name, e.g. `"L3 S02"`.
+    pub name: String,
+    /// Subway line this station belongs to (primary line for transfers).
+    pub line: usize,
+    /// Grid cell the station occupies.
+    pub cell: Cell,
+}
+
+/// The simulated city: grid extents, land-use weights and the subway network.
+///
+/// `residential[cell]` and `commercial[cell]` are non-negative weights whose
+/// products drive origin–destination subway flows; high-`commercial` blobs are
+/// the CBD, high-`residential` areas the housing districts (mirroring
+/// stations A and B of the paper's Fig. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CityLayout {
+    /// Grid rows (the paper's `N_g1`).
+    pub height: usize,
+    /// Grid columns (the paper's `N_g2`).
+    pub width: usize,
+    /// Residential weight per cell (row-major, length `height * width`).
+    pub residential: Vec<f32>,
+    /// Commercial weight per cell (row-major).
+    pub commercial: Vec<f32>,
+    /// All stations across all lines.
+    pub stations: Vec<Station>,
+    /// Per line: the station ids along the line in order.
+    pub lines: Vec<Vec<usize>>,
+    /// Minutes to travel between adjacent stations on a line.
+    pub minutes_per_hop: f32,
+}
+
+impl CityLayout {
+    /// Generates a Shenzhen-like layout from the config: one CBD blob, several
+    /// residential blobs, and `config.subway_lines` lines crossing the grid
+    /// through both.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 4x4 or no lines are requested.
+    pub fn generate<R: Rng + ?Sized>(config: &SimConfig, rng: &mut R) -> Self {
+        let (h, w) = (config.grid_height, config.grid_width);
+        assert!(h >= 4 && w >= 4, "grid must be at least 4x4, got {h}x{w}");
+        assert!(config.subway_lines >= 1, "need at least one subway line");
+
+        // CBD: a blob in the south-east quadrant. Residential: 2-3 blobs in
+        // the remaining quadrants.
+        let cbd = Cell {
+            row: h - 1 - h / 6,
+            col: w - 1 - w / 6,
+        };
+        let blob = |centre: Cell, spread: f32, cell: Cell| -> f32 {
+            let d2 = (centre.row as f32 - cell.row as f32).powi(2)
+                + (centre.col as f32 - cell.col as f32).powi(2);
+            (-d2 / (2.0 * spread * spread)).exp()
+        };
+        let res_centres = [
+            Cell { row: h / 6, col: w / 6 },
+            Cell { row: h / 6, col: w - 1 - w / 4 },
+            Cell { row: h - 1 - h / 4, col: w / 6 },
+        ];
+        let spread = (h.min(w) as f32) / 4.0;
+        let mut residential = Vec::with_capacity(h * w);
+        let mut commercial = Vec::with_capacity(h * w);
+        for row in 0..h {
+            for col in 0..w {
+                let cell = Cell { row, col };
+                let r: f32 = res_centres.iter().map(|&c| blob(c, spread, cell)).sum::<f32>()
+                    + rng.gen_range(0.0..0.08);
+                let m = blob(cbd, spread * 0.8, cell) + rng.gen_range(0.0..0.05);
+                residential.push(r);
+                commercial.push(m);
+            }
+        }
+
+        // Lines: straight-ish polylines from a residential centre to the CBD,
+        // with stations every `station_stride` cells along the path.
+        let mut stations: Vec<Station> = Vec::new();
+        let mut lines: Vec<Vec<usize>> = Vec::new();
+        for line_idx in 0..config.subway_lines {
+            let start = res_centres[line_idx % res_centres.len()];
+            let jitter_row = (line_idx / res_centres.len()) % 2;
+            let start = Cell {
+                row: (start.row + jitter_row).min(h - 1),
+                col: (start.col + line_idx % 2).min(w - 1),
+            };
+            let path = Self::l_shaped_path(start, cbd);
+            let mut line_station_ids = Vec::new();
+            for (i, &cell) in path.iter().enumerate() {
+                if i % config.station_stride == 0 || i + 1 == path.len() {
+                    let id = stations.len();
+                    stations.push(Station {
+                        id,
+                        name: format!("L{} S{:02}", line_idx + 1, line_station_ids.len() + 1),
+                        line: line_idx,
+                        cell,
+                    });
+                    line_station_ids.push(id);
+                }
+            }
+            lines.push(line_station_ids);
+        }
+
+        CityLayout {
+            height: h,
+            width: w,
+            residential,
+            commercial,
+            stations,
+            lines,
+            minutes_per_hop: config.minutes_per_hop,
+        }
+    }
+
+    /// An L-shaped lattice path from `a` to `b` (rows first, then columns).
+    fn l_shaped_path(a: Cell, b: Cell) -> Vec<Cell> {
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur.row != b.row {
+            cur.row = if cur.row < b.row { cur.row + 1 } else { cur.row - 1 };
+            path.push(cur);
+        }
+        while cur.col != b.col {
+            cur.col = if cur.col < b.col { cur.col + 1 } else { cur.col - 1 };
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Number of grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Residential weight of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of the grid.
+    pub fn residential_weight(&self, cell: Cell) -> f32 {
+        self.residential[cell.flat(self.width)]
+    }
+
+    /// Commercial weight of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of the grid.
+    pub fn commercial_weight(&self, cell: Cell) -> f32 {
+        self.commercial[cell.flat(self.width)]
+    }
+
+    /// In-network travel time between two stations, in minutes: hop count
+    /// along the line for same-line pairs, otherwise a grid-distance estimate
+    /// plus a transfer penalty (the simulator does not route multi-leg
+    /// journeys explicitly).
+    pub fn travel_minutes(&self, from: usize, to: usize) -> f32 {
+        let sa = &self.stations[from];
+        let sb = &self.stations[to];
+        if sa.line == sb.line {
+            let line = &self.lines[sa.line];
+            let ia = line.iter().position(|&s| s == from).unwrap_or(0);
+            let ib = line.iter().position(|&s| s == to).unwrap_or(0);
+            ia.abs_diff(ib) as f32 * self.minutes_per_hop * 2.0
+        } else {
+            sa.cell.manhattan(sb.cell) as f32 * self.minutes_per_hop + 6.0
+        }
+    }
+
+    /// The most "residential" station (the analogue of the paper's station A).
+    pub fn most_residential_station(&self) -> &Station {
+        self.stations
+            .iter()
+            .max_by(|a, b| {
+                self.residential_weight(a.cell)
+                    .total_cmp(&self.residential_weight(b.cell))
+            })
+            .expect("layout has at least one station")
+    }
+
+    /// The most "commercial" station (the analogue of the paper's station B).
+    pub fn most_commercial_station(&self) -> &Station {
+        self.stations
+            .iter()
+            .max_by(|a, b| {
+                self.commercial_weight(a.cell)
+                    .total_cmp(&self.commercial_weight(b.cell))
+            })
+            .expect("layout has at least one station")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> CityLayout {
+        let mut rng = StdRng::seed_from_u64(3);
+        CityLayout::generate(&SimConfig::small(), &mut rng)
+    }
+
+    #[test]
+    fn generate_produces_requested_structure() {
+        let l = layout();
+        let cfg = SimConfig::small();
+        assert_eq!(l.height, cfg.grid_height);
+        assert_eq!(l.width, cfg.grid_width);
+        assert_eq!(l.lines.len(), cfg.subway_lines);
+        assert_eq!(l.residential.len(), l.num_cells());
+        assert_eq!(l.commercial.len(), l.num_cells());
+        assert!(l.stations.len() >= cfg.subway_lines * 2);
+    }
+
+    #[test]
+    fn stations_lie_on_grid_and_lines_are_consistent() {
+        let l = layout();
+        for s in &l.stations {
+            assert!(s.cell.row < l.height && s.cell.col < l.width);
+            assert!(l.lines[s.line].contains(&s.id));
+        }
+        for (li, line) in l.lines.iter().enumerate() {
+            for &sid in line {
+                assert_eq!(l.stations[sid].line, li);
+            }
+        }
+    }
+
+    #[test]
+    fn cbd_and_residential_areas_are_distinct() {
+        let l = layout();
+        let a = l.most_residential_station();
+        let b = l.most_commercial_station();
+        assert_ne!(a.cell, b.cell, "zones must separate station A and B");
+        assert!(l.residential_weight(a.cell) > l.residential_weight(b.cell));
+        assert!(l.commercial_weight(b.cell) > l.commercial_weight(a.cell));
+    }
+
+    #[test]
+    fn same_line_travel_scales_with_hops() {
+        let l = layout();
+        let line = &l.lines[0];
+        if line.len() >= 3 {
+            let t1 = l.travel_minutes(line[0], line[1]);
+            let t2 = l.travel_minutes(line[0], line[2]);
+            assert!(t2 > t1, "farther stations must take longer");
+        }
+        // Symmetry.
+        let t_ab = l.travel_minutes(line[0], *line.last().unwrap());
+        let t_ba = l.travel_minutes(*line.last().unwrap(), line[0]);
+        assert_eq!(t_ab, t_ba);
+    }
+
+    #[test]
+    fn cross_line_travel_includes_transfer_penalty() {
+        let l = layout();
+        if l.lines.len() >= 2 {
+            let a = l.lines[0][0];
+            let b = l.lines[1][0];
+            assert!(l.travel_minutes(a, b) >= 6.0);
+        }
+    }
+
+    #[test]
+    fn cell_distance_helpers() {
+        let a = Cell { row: 1, col: 2 };
+        let b = Cell { row: 4, col: 0 };
+        assert_eq!(a.chebyshev(b), 3);
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(a.flat(8), 10);
+    }
+
+    #[test]
+    fn l_shaped_path_connects_endpoints() {
+        let path = CityLayout::l_shaped_path(Cell { row: 0, col: 0 }, Cell { row: 2, col: 3 });
+        assert_eq!(path.first(), Some(&Cell { row: 0, col: 0 }));
+        assert_eq!(path.last(), Some(&Cell { row: 2, col: 3 }));
+        // Consecutive cells are lattice neighbours.
+        for pair in path.windows(2) {
+            assert_eq!(pair[0].manhattan(pair[1]), 1);
+        }
+    }
+}

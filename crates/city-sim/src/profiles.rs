@@ -1,0 +1,104 @@
+//! Diurnal demand profiles.
+//!
+//! These drive the rush-hour structure the paper's Fig. 1 illustrates: the
+//! home→work direction peaks 7–9 AM, the work→home direction 17–19 PM, with a
+//! weaker midday plateau and flatter weekends.
+
+/// Minutes per day.
+pub const MINUTES_PER_DAY: u32 = 24 * 60;
+
+/// A smooth bump centred at `centre_min` with the given width (minutes).
+fn bump(minute_of_day: f32, centre_min: f32, width: f32) -> f32 {
+    let d = (minute_of_day - centre_min) / width;
+    (-0.5 * d * d).exp()
+}
+
+/// Intensity multiplier for *home → work* travel at `minute_of_day`
+/// (0..1440). Peaks in the morning rush, with a small evening echo
+/// (late shifts).
+pub fn home_to_work(minute_of_day: f32, weekend: bool) -> f32 {
+    if weekend {
+        // Weekend: one broad, lower midday bump.
+        0.35 * bump(minute_of_day, 13.0 * 60.0, 180.0)
+    } else {
+        bump(minute_of_day, 8.0 * 60.0, 55.0) + 0.15 * bump(minute_of_day, 14.0 * 60.0, 120.0)
+    }
+}
+
+/// Intensity multiplier for *work → home* travel at `minute_of_day`.
+/// Peaks in the evening rush.
+pub fn work_to_home(minute_of_day: f32, weekend: bool) -> f32 {
+    if weekend {
+        0.35 * bump(minute_of_day, 16.0 * 60.0, 180.0)
+    } else {
+        bump(minute_of_day, 18.0 * 60.0, 65.0) + 0.12 * bump(minute_of_day, 12.5 * 60.0, 90.0)
+    }
+}
+
+/// Background (non-commute) travel intensity: small, positive during waking
+/// hours, near zero overnight.
+pub fn background(minute_of_day: f32) -> f32 {
+    0.12 * bump(minute_of_day, 13.0 * 60.0, 240.0)
+}
+
+/// True when `day` (0-based from the simulation start, which models Monday
+/// 2018-10-01) is a Saturday or Sunday.
+pub fn is_weekend(day: u32) -> bool {
+    matches!(day % 7, 5 | 6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morning_peak_dominates_home_to_work() {
+        let at_8 = home_to_work(8.0 * 60.0, false);
+        let at_18 = home_to_work(18.0 * 60.0, false);
+        let at_3 = home_to_work(3.0 * 60.0, false);
+        assert!(at_8 > at_18);
+        assert!(at_8 > 5.0 * at_3);
+    }
+
+    #[test]
+    fn evening_peak_dominates_work_to_home() {
+        let at_18 = work_to_home(18.0 * 60.0, false);
+        let at_8 = work_to_home(8.0 * 60.0, false);
+        assert!(at_18 > 2.0 * at_8);
+    }
+
+    #[test]
+    fn weekends_are_flatter_and_lower() {
+        let wk = home_to_work(8.0 * 60.0, false);
+        let we = home_to_work(8.0 * 60.0, true);
+        assert!(we < wk * 0.5);
+        // Weekend peak sits around midday.
+        assert!(home_to_work(13.0 * 60.0, true) > home_to_work(8.0 * 60.0, true));
+    }
+
+    #[test]
+    fn october_2018_weekday_calendar() {
+        // 2018-10-01 was a Monday; the first weekend days are day 5 and 6.
+        assert!(!is_weekend(0));
+        assert!(!is_weekend(4));
+        assert!(is_weekend(5));
+        assert!(is_weekend(6));
+        assert!(!is_weekend(7));
+        assert!(is_weekend(12));
+    }
+
+    #[test]
+    fn profiles_are_nonnegative_everywhere() {
+        for m in 0..MINUTES_PER_DAY {
+            let m = m as f32;
+            assert!(home_to_work(m, false) >= 0.0);
+            assert!(work_to_home(m, false) >= 0.0);
+            assert!(background(m) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn overnight_background_is_negligible() {
+        assert!(background(3.0 * 60.0) < 0.1 * background(13.0 * 60.0));
+    }
+}

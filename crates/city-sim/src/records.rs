@@ -1,0 +1,127 @@
+//! Trip record types matching the paper's Tables I and II.
+//!
+//! Timestamps are minutes (with fractional seconds) since the simulation
+//! start, which models 2018-10-01 00:00:00 — [`format_datetime`] renders the
+//! paper's `YYYY-MM-DD HH:MM:SS` form for display.
+
+use crate::layout::Cell;
+
+/// Boarding vs disembarking, per Table I's `Status` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubwayStatus {
+    /// Passenger entered the paid area (check-in).
+    Boarding,
+    /// Passenger exited the paid area (check-out).
+    Disembarking,
+}
+
+/// One subway smart-card event (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubwayRecord {
+    /// Sequential record number.
+    pub record_id: u64,
+    /// Anonymised card id (the paper's `SZT ID`).
+    pub card_id: u64,
+    /// Minutes since simulation start.
+    pub time_min: f64,
+    /// Subway line number (0-based).
+    pub line: usize,
+    /// Event type.
+    pub status: SubwayStatus,
+    /// Station id (index into the layout's station list).
+    pub station: usize,
+}
+
+/// Pick-up vs drop-off, per Table II's `Status` column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BikeStatus {
+    /// Rental start.
+    PickUp,
+    /// Rental end.
+    DropOff,
+}
+
+/// One shared-bike event (Table II). The GPS point is synthesised from the
+/// grid cell; the cell itself is retained since aggregation is grid-based.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BikeRecord {
+    /// Sequential record number.
+    pub record_id: u64,
+    /// Anonymised user id.
+    pub user_id: u64,
+    /// Minutes since simulation start.
+    pub time_min: f64,
+    /// Grid cell of the event.
+    pub cell: Cell,
+    /// Synthesised GPS point `(latitude, longitude)`.
+    pub gps: (f64, f64),
+    /// Event type.
+    pub status: BikeStatus,
+    /// Bike id.
+    pub bike_id: u64,
+}
+
+/// Renders a simulation timestamp as `YYYY-MM-DD HH:MM:SS`, anchored at
+/// 2018-10-01 00:00:00 (the paper's collection start).
+pub fn format_datetime(time_min: f64) -> String {
+    let total_seconds = (time_min * 60.0).floor() as u64;
+    let day = total_seconds / 86_400;
+    let secs = total_seconds % 86_400;
+    let (hh, mm, ss) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+    // October has 31 days; the simulator never exceeds one month.
+    let date_day = 1 + day;
+    format!("2018-10-{date_day:02} {hh:02}:{mm:02}:{ss:02}")
+}
+
+/// Synthesises a GPS point for a cell: Shenzhen-ish anchor with 500 m cells.
+pub fn cell_to_gps(cell: Cell, offset: (f64, f64)) -> (f64, f64) {
+    // ~0.0045 degrees latitude per 500 m; longitude scaled by cos(lat).
+    const LAT0: f64 = 22.49;
+    const LON0: f64 = 113.86;
+    const DEG_PER_CELL_LAT: f64 = 0.0045;
+    let deg_per_cell_lon = DEG_PER_CELL_LAT / (22.5f64.to_radians().cos());
+    (
+        LAT0 + (cell.row as f64 + offset.0) * DEG_PER_CELL_LAT,
+        LON0 + (cell.col as f64 + offset.1) * deg_per_cell_lon,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datetime_formatting_matches_paper_examples() {
+        assert_eq!(format_datetime(0.0), "2018-10-01 00:00:00");
+        // 21:32:12 on day 0 = 21*60 + 32 + 12/60 minutes.
+        let t = 21.0 * 60.0 + 32.0 + 12.0 / 60.0;
+        assert_eq!(format_datetime(t), "2018-10-01 21:32:12");
+        // Next day rolls the date.
+        assert_eq!(format_datetime(1440.0 + 671.0 + 43.0 / 60.0), "2018-10-02 11:11:43");
+    }
+
+    #[test]
+    fn gps_is_monotone_in_cell_indices() {
+        let a = cell_to_gps(Cell { row: 0, col: 0 }, (0.5, 0.5));
+        let b = cell_to_gps(Cell { row: 3, col: 5 }, (0.5, 0.5));
+        assert!(b.0 > a.0 && b.1 > a.1);
+        // Roughly Shenzhen.
+        assert!((22.0..23.5).contains(&a.0));
+        assert!((113.0..115.0).contains(&a.1));
+    }
+
+    #[test]
+    fn record_types_are_comparable() {
+        let r = SubwayRecord {
+            record_id: 1,
+            card_id: 7,
+            time_min: 12.5,
+            line: 0,
+            status: SubwayStatus::Boarding,
+            station: 3,
+        };
+        assert_eq!(r, r.clone());
+        assert_ne!(SubwayStatus::Boarding, SubwayStatus::Disembarking);
+        assert_ne!(BikeStatus::PickUp, BikeStatus::DropOff);
+    }
+}

@@ -1,0 +1,171 @@
+//! Station-level transfer-time estimation — the paper's second future-work
+//! item: "a self-supervised online framework that leverages passengers
+//! check-ins in upstream transportation modes to estimate average transfer
+//! time to different downstream transportation modes".
+//!
+//! The estimator is self-supervised in the paper's sense: it needs no labels,
+//! only the two event streams. Each bike pick-up near a station is matched to
+//! the closest *preceding* subway alighting at that station within a time
+//! window; the matched gaps estimate the transfer-time distribution.
+
+use crate::generate::TripData;
+use crate::records::{BikeStatus, SubwayStatus};
+
+/// Estimated subway→bike transfer time at one station.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferEstimate {
+    /// Station id (index into the layout's station list).
+    pub station: usize,
+    /// Mean matched gap, minutes.
+    pub mean_minutes: f64,
+    /// Median matched gap, minutes.
+    pub median_minutes: f64,
+    /// Number of matched (alighting, pick-up) pairs.
+    pub samples: usize,
+}
+
+/// Estimates the subway→bike transfer time for every station.
+///
+/// `radius` is the Chebyshev cell radius counted as "near the station"
+/// (the paper's 200 m ≈ radius 0–1 on a 500 m grid); `max_window_min` caps
+/// how long after an alighting a pick-up can still be attributed to it.
+/// Stations with no matches are omitted.
+///
+/// # Panics
+///
+/// Panics if `max_window_min` is not positive.
+pub fn estimate_transfer_times(
+    trips: &TripData,
+    radius: usize,
+    max_window_min: f64,
+) -> Vec<TransferEstimate> {
+    assert!(max_window_min > 0.0, "matching window must be positive");
+    let mut out = Vec::new();
+    for station in &trips.layout.stations {
+        // Alighting times at this station (records are time-ordered).
+        let alights: Vec<f64> = trips
+            .subway
+            .iter()
+            .filter(|r| r.station == station.id && r.status == SubwayStatus::Disembarking)
+            .map(|r| r.time_min)
+            .collect();
+        if alights.is_empty() {
+            continue;
+        }
+        let mut gaps: Vec<f64> = Vec::new();
+        for r in trips
+            .bike
+            .iter()
+            .filter(|r| r.status == BikeStatus::PickUp && r.cell.chebyshev(station.cell) <= radius)
+        {
+            // Closest preceding alighting via binary search.
+            let idx = alights.partition_point(|&t| t <= r.time_min);
+            if idx == 0 {
+                continue;
+            }
+            let gap = r.time_min - alights[idx - 1];
+            if gap <= max_window_min {
+                gaps.push(gap);
+            }
+        }
+        if gaps.is_empty() {
+            continue;
+        }
+        gaps.sort_by(f64::total_cmp);
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let median = gaps[gaps.len() / 2];
+        out.push(TransferEstimate {
+            station: station.id,
+            mean_minutes: mean,
+            median_minutes: median,
+            samples: gaps.len(),
+        });
+    }
+    out
+}
+
+/// Aggregates per-station estimates into a single network-wide mean,
+/// weighted by sample counts. Returns `None` when no station had matches.
+pub fn network_mean_transfer_minutes(estimates: &[TransferEstimate]) -> Option<f64> {
+    let total: usize = estimates.iter().map(|e| e.samples).sum();
+    if total == 0 {
+        return None;
+    }
+    Some(
+        estimates
+            .iter()
+            .map(|e| e.mean_minutes * e.samples as f64)
+            .sum::<f64>()
+            / total as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{SimConfig, Simulator};
+    use crate::layout::CityLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trips(transfer_lag: f64, background: f64) -> TripData {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut config = SimConfig::small();
+        config.days = 3;
+        config.transfer_lag_mean_min = transfer_lag;
+        config.bike_background_rate = background;
+        let layout = CityLayout::generate(&config, &mut rng);
+        Simulator::new(config, layout).run(&mut rng)
+    }
+
+    #[test]
+    fn estimates_recover_the_simulated_lag_scale() {
+        // With no background bike noise, every pick-up near a station is a
+        // genuine transfer: the simulator draws lags uniform in
+        // [0.5, 2.0) * mean, so the true average is 1.25 * mean = 5 minutes.
+        let data = trips(4.0, 0.0);
+        let estimates = estimate_transfer_times(&data, 1, 20.0);
+        assert!(!estimates.is_empty());
+        let mean = network_mean_transfer_minutes(&estimates).unwrap();
+        assert!(
+            (2.0..9.0).contains(&mean),
+            "estimated transfer {mean} min, expected near 5"
+        );
+    }
+
+    #[test]
+    fn longer_simulated_lags_produce_larger_estimates() {
+        let short = trips(2.0, 0.0);
+        let long = trips(8.0, 0.0);
+        let m_short =
+            network_mean_transfer_minutes(&estimate_transfer_times(&short, 1, 25.0)).unwrap();
+        let m_long =
+            network_mean_transfer_minutes(&estimate_transfer_times(&long, 1, 25.0)).unwrap();
+        assert!(
+            m_long > m_short,
+            "lag ordering should be recovered: {m_short} vs {m_long}"
+        );
+    }
+
+    #[test]
+    fn estimates_report_sample_counts_and_medians() {
+        let data = trips(4.0, 0.0);
+        for e in estimate_transfer_times(&data, 1, 20.0) {
+            assert!(e.samples > 0);
+            assert!(e.median_minutes >= 0.0 && e.median_minutes <= 20.0);
+            assert!(e.mean_minutes >= 0.0 && e.mean_minutes <= 20.0);
+        }
+    }
+
+    #[test]
+    fn empty_matches_yield_none() {
+        assert_eq!(network_mean_transfer_minutes(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_nonpositive_window() {
+        let data = trips(4.0, 0.0);
+        let _ = estimate_transfer_times(&data, 1, 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Small numeric utilities for the simulator.
+
+use rand::Rng;
+
+/// Samples a Poisson-distributed count with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a rounded normal
+/// approximation above 30, where the relative error is negligible for our
+/// trip-count purposes.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = lambda + lambda.sqrt() * z;
+        return v.round().max(0.0) as u32;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0f64..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // Defensive bound; unreachable for lambda <= 30.
+            return k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 3.5;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut rng, lambda) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert!((var - lambda).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_normal_branch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 100.0;
+        let n = 5_000;
+        let mean = (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean {mean}");
+    }
+}

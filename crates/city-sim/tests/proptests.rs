@@ -1,0 +1,114 @@
+//! Property-based tests of the simulator's invariants across random
+//! configurations.
+
+use bikecap_city_sim::aggregate::{DemandSeries, F_BIKE_DROPOFF, F_BIKE_PICKUP};
+use bikecap_city_sim::generate::{SimConfig, Simulator};
+use bikecap_city_sim::layout::CityLayout;
+use bikecap_city_sim::{ForecastDataset, Normalizer, Split};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_config() -> impl Strategy<Value = (SimConfig, u64)> {
+    (
+        6usize..9,      // grid height
+        6usize..9,      // grid width
+        1usize..4,      // lines
+        0.02f64..0.15,  // od scale
+        0.0f64..0.8,    // transfer prob
+        0u64..1000,     // seed
+    )
+        .prop_map(|(h, w, lines, od, transfer, seed)| {
+            let mut cfg = SimConfig::small();
+            cfg.days = 3;
+            cfg.grid_height = h;
+            cfg.grid_width = w;
+            cfg.subway_lines = lines;
+            cfg.od_scale = od;
+            cfg.bike_transfer_prob = transfer;
+            (cfg, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Trips always pair up and stay inside the simulation horizon.
+    #[test]
+    fn trips_pair_and_respect_horizon((cfg, seed) in random_config()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = CityLayout::generate(&cfg, &mut rng);
+        let trips = Simulator::new(cfg.clone(), layout).run(&mut rng);
+        prop_assert_eq!(trips.subway.len() % 2, 0);
+        prop_assert_eq!(trips.bike.len() % 2, 0);
+        let horizon = cfg.total_minutes() as f64;
+        prop_assert!(trips.subway.iter().all(|r| r.time_min >= 0.0 && r.time_min < horizon));
+        prop_assert!(trips.bike.iter().all(|r| r.time_min >= 0.0 && r.time_min < horizon));
+    }
+
+    /// Aggregation conserves every record exactly.
+    #[test]
+    fn aggregation_conserves_counts((cfg, seed) in random_config()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = CityLayout::generate(&cfg, &mut rng);
+        let trips = Simulator::new(cfg, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        let picks = series.data.narrow(1, F_BIKE_PICKUP, 1).sum() as usize;
+        let drops = series.data.narrow(1, F_BIKE_DROPOFF, 1).sum() as usize;
+        prop_assert_eq!(picks, trips.bike_trips());
+        prop_assert_eq!(drops, trips.bike_trips());
+    }
+
+    /// More bike-transfer propensity never *reduces* bike trips (same seed).
+    #[test]
+    fn transfer_probability_is_monotone(seed in 0u64..200) {
+        let make = |p: f64| {
+            let mut cfg = SimConfig::small();
+            cfg.days = 2;
+            cfg.bike_transfer_prob = p;
+            cfg.bike_background_rate = 0.0;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let layout = CityLayout::generate(&cfg, &mut rng);
+            Simulator::new(cfg, layout).run(&mut rng).bike_trips()
+        };
+        // Not strictly monotone per-seed (different random streams), but the
+        // extremes must order correctly.
+        prop_assert_eq!(make(0.0), 0);
+        prop_assert!(make(0.9) > 0);
+    }
+
+    /// Normalisation into [0,1] round-trips on the fitted range.
+    #[test]
+    fn normalizer_roundtrip((cfg, seed) in random_config()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = CityLayout::generate(&cfg, &mut rng);
+        let trips = Simulator::new(cfg, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        let norm = Normalizer::fit(&series, 0..series.num_slots());
+        let scaled = norm.normalize(&series.data);
+        prop_assert!(scaled.min_value() >= 0.0);
+        prop_assert!(scaled.max_value() <= 1.0 + 1e-6);
+        let back = norm.denormalize_channel(&scaled.narrow(1, F_BIKE_PICKUP, 1), F_BIKE_PICKUP);
+        let orig = series.data.narrow(1, F_BIKE_PICKUP, 1);
+        for (a, b) in back.as_slice().iter().zip(orig.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    /// Window splits never overlap and every window fits its segment.
+    #[test]
+    fn windows_stay_in_their_segment((cfg, seed) in random_config(), h in 2usize..6, p in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = CityLayout::generate(&cfg, &mut rng);
+        let trips = Simulator::new(cfg, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        let ds = ForecastDataset::new(&series, h, p);
+        let t = series.num_slots();
+        for &a in &ds.anchors(Split::Train) {
+            prop_assert!(a + p < t * 6 / 10);
+        }
+        for &a in &ds.anchors(Split::Test) {
+            prop_assert!(a + 1 >= h && a + 1 - h >= t * 8 / 10);
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Historical capsules and the spatial-temporal routing mechanism.
+
+use bikecap_autograd::{ParamId, ParamStore, Tape, Var};
+use bikecap_nn::{glorot_uniform, Conv3d, PyramidConv3d};
+use bikecap_tensor::conv::Conv3dSpec;
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+use crate::config::{BikeCapConfig, Encoder};
+
+/// The historical-capsule stage (paper Sec. III-C): a convolutional encoder
+/// over the `(B, F, h, H, W)` input producing one squashed capsule vector per
+/// historical slot (times `hist_capsules_per_slot`) per grid cell:
+/// `(B, S, n_l, H, W)` with `S = hist_capsules_per_slot * h`.
+#[derive(Debug, Clone)]
+pub struct HistoricalCapsules {
+    layers: Vec<EncoderLayer>,
+    capsules_per_slot: usize,
+    capsule_dim: usize,
+    history: usize,
+}
+
+#[derive(Debug, Clone)]
+enum EncoderLayer {
+    Pyramid(PyramidConv3d),
+    Standard(Conv3d),
+    PerSlot(Conv3d),
+}
+
+impl EncoderLayer {
+    fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        match self {
+            EncoderLayer::Pyramid(l) => l.forward(tape, x, store),
+            EncoderLayer::Standard(l) => l.forward(tape, x, store),
+            EncoderLayer::PerSlot(l) => l.forward(tape, x, store),
+        }
+    }
+}
+
+impl HistoricalCapsules {
+    /// Builds the encoder configured by `config.encoder`, stacking
+    /// `config.hist_layers` layers (DeepCaps-style depth) with a squash
+    /// between consecutive layers.
+    pub fn new<R: Rng + ?Sized>(config: &BikeCapConfig, store: &mut ParamStore, rng: &mut R) -> Self {
+        let out_ch = config.hist_capsules_per_slot * config.capsule_dim;
+        let mut layers = Vec::with_capacity(config.hist_layers);
+        for li in 0..config.hist_layers {
+            let in_ch = if li == 0 { config.input_features() } else { out_ch };
+            let layer = match config.encoder {
+                Encoder::Pyramid => EncoderLayer::Pyramid(PyramidConv3d::new(
+                    store,
+                    &format!("hist.pyramid{li}"),
+                    in_ch,
+                    out_ch,
+                    config.pyramid_size,
+                    rng,
+                )),
+                Encoder::StandardConv3d => EncoderLayer::Standard(Conv3d::new(
+                    store,
+                    &format!("hist.conv3d{li}"),
+                    in_ch,
+                    out_ch,
+                    (3, 3, 3),
+                    Conv3dSpec::padded(1, 1, 1),
+                    rng,
+                )),
+                Encoder::Conv2dPerSlot => EncoderLayer::PerSlot(Conv3d::new(
+                    store,
+                    &format!("hist.conv2d{li}"),
+                    in_ch,
+                    out_ch,
+                    (1, 3, 3),
+                    Conv3dSpec::padded(0, 1, 1),
+                    rng,
+                )),
+            };
+            layers.push(layer);
+        }
+        HistoricalCapsules {
+            layers,
+            capsules_per_slot: config.hist_capsules_per_slot,
+            capsule_dim: config.capsule_dim,
+            history: config.history,
+        }
+    }
+
+    /// Capsule dimension `n^l`.
+    pub fn capsule_dim(&self) -> usize {
+        self.capsule_dim
+    }
+
+    /// Number of stacked encoder layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Reorders channel layout `(B, c*n, h, H, W)` into capsule layout
+    /// `(B, c*h, n, H, W)`.
+    fn to_capsule_layout(
+        tape: &mut Tape,
+        y: Var,
+        b: usize,
+        c: usize,
+        n: usize,
+        h: usize,
+        gh: usize,
+        gw: usize,
+    ) -> Var {
+        let y = tape.reshape(y, &[b, c, n, h, gh, gw]);
+        let y = tape.permute(y, &[0, 1, 3, 2, 4, 5]);
+        tape.reshape(y, &[b, c * h, n, gh, gw])
+    }
+
+    /// Inverse of [`Self::to_capsule_layout`].
+    #[allow(clippy::too_many_arguments)]
+    fn to_channel_layout(
+        tape: &mut Tape,
+        y: Var,
+        b: usize,
+        c: usize,
+        n: usize,
+        h: usize,
+        gh: usize,
+        gw: usize,
+    ) -> Var {
+        let y = tape.reshape(y, &[b, c, h, n, gh, gw]);
+        let y = tape.permute(y, &[0, 1, 3, 2, 4, 5]);
+        tape.reshape(y, &[b, c * n, h, gh, gw])
+    }
+
+    /// Encodes `(B, F, h, H, W)` into squashed capsules `(B, S, n_l, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let xs = tape.value(x).shape().to_vec();
+        assert_eq!(xs.len(), 5, "HistoricalCapsules expects (B, F, h, H, W)");
+        assert_eq!(xs[2], self.history, "history mismatch: {} vs {}", xs[2], self.history);
+        let (b, h, gh, gw) = (xs[0], xs[2], xs[3], xs[4]);
+        let c = self.capsules_per_slot;
+        let n = self.capsule_dim;
+        let mut cur = x;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let y = layer.forward(tape, cur, store);
+            let caps = Self::to_capsule_layout(tape, y, b, c, n, h, gh, gw);
+            let squashed = tape.squash(caps, 2);
+            if li + 1 == self.layers.len() {
+                return squashed;
+            }
+            cur = Self::to_channel_layout(tape, squashed, b, c, n, h, gh, gw);
+        }
+        unreachable!("validated: at least one encoder layer")
+    }
+}
+
+/// The future-capsule stage (paper Sec. III-D): a strided 3-D convolution
+/// produces, for every historical capsule `s`, an independent prediction of
+/// each of the `p` future capsules; dynamic routing with the 3-D softmax of
+/// Eq. 4 combines them by agreement.
+#[derive(Debug, Clone)]
+pub struct SpatialTemporalRouting {
+    /// One shared transform, or one per historical slot when the Sec. V-B
+    /// "separated capsules" extension is enabled.
+    transforms: Vec<ParamId>,
+    bias: ParamId,
+    horizon: usize,
+    in_dim: usize,
+    out_dim: usize,
+    iters: usize,
+    softmax_over_grid: bool,
+}
+
+impl SpatialTemporalRouting {
+    /// Builds the routing stage for the configured horizon and capsule
+    /// dimensions.
+    pub fn new<R: Rng + ?Sized>(config: &BikeCapConfig, store: &mut ParamStore, rng: &mut R) -> Self {
+        let (p, n_in, n_out) = (config.horizon, config.capsule_dim, config.out_capsule_dim);
+        // (C_out = p*n_out, C_in = 1, KD = n_in, 3, 3) with depth stride n_in:
+        // exactly the paper's "convolve with (c^{l+1} x n^{l+1}) 3-D kernels,
+        // strides (1, 1, n^l)".
+        let transforms = if config.separate_slot_transforms {
+            (0..config.num_hist_capsules())
+                .map(|s| {
+                    store.add(
+                        format!("routing.transform{s}"),
+                        glorot_uniform(&[p * n_out, 1, n_in, 3, 3], n_in * 9, p * n_out * 9, rng),
+                    )
+                })
+                .collect()
+        } else {
+            vec![store.add(
+                "routing.transform",
+                glorot_uniform(&[p * n_out, 1, n_in, 3, 3], n_in * 9, p * n_out * 9, rng),
+            )]
+        };
+        let bias = store.add("routing.bias", Tensor::zeros(&[1, p * n_out, 1, 1, 1]));
+        SpatialTemporalRouting {
+            transforms,
+            bias,
+            horizon: p,
+            in_dim: n_in,
+            out_dim: n_out,
+            iters: config.routing_iters,
+            softmax_over_grid: config.routing_softmax_over_grid,
+        }
+    }
+
+    /// Number of routing iterations.
+    pub fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    /// Computes the per-capsule predictions `V`: `(B, S, p, n_out, H, W)`.
+    fn predictions(&self, tape: &mut Tape, phi: Var, store: &ParamStore) -> Var {
+        let ps = tape.value(phi).shape().to_vec();
+        let (b, s, n, gh, gw) = (ps[0], ps[1], ps[2], ps[3], ps[4]);
+        assert_eq!(n, self.in_dim, "capsule dim mismatch: {} vs {}", n, self.in_dim);
+        let bias = tape.param(store, self.bias);
+        let spec = Conv3dSpec {
+            stride: (n, 1, 1),
+            padding: (0, 1, 1),
+        };
+        if self.transforms.len() == 1 {
+            // Shared transform over all slots: one strided conv.
+            let flat = tape.reshape(phi, &[b, 1, s * n, gh, gw]);
+            let w = tape.param(store, self.transforms[0]);
+            let v = tape.conv3d(flat, w, spec); // (B, p*n_out, S, H, W)
+            let v = tape.add(v, bias);
+            let v = tape.reshape(v, &[b, self.horizon, self.out_dim, s, gh, gw]);
+            tape.permute(v, &[0, 3, 1, 2, 4, 5])
+        } else {
+            // Separated per-slot transforms (Sec. V-B stability extension).
+            assert_eq!(
+                self.transforms.len(),
+                s,
+                "routing was built for {} slots, got {s}",
+                self.transforms.len()
+            );
+            let mut slices = Vec::with_capacity(s);
+            for (si, &wid) in self.transforms.iter().enumerate() {
+                let phi_s = tape.narrow(phi, 1, si, 1); // (B, 1, n, H, W)
+                let flat = tape.reshape(phi_s, &[b, 1, n, gh, gw]);
+                let w = tape.param(store, wid);
+                let v = tape.conv3d(flat, w, spec); // (B, p*n_out, 1, H, W)
+                let v = tape.add(v, bias);
+                slices.push(tape.reshape(v, &[b, 1, self.horizon, self.out_dim, gh, gw]));
+            }
+            tape.concat(&slices, 1) // (B, S, p, n_out, H, W)
+        }
+    }
+
+    /// Runs the routing, returning squashed future capsules
+    /// `(B, p, n_out, H, W)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, tape: &mut Tape, phi: Var, store: &ParamStore) -> Var {
+        let ps = tape.value(phi).shape().to_vec();
+        let (b, s, gh, gw) = (ps[0], ps[1], ps[3], ps[4]);
+        let (p, n_out) = (self.horizon, self.out_dim);
+        let v = self.predictions(tape, phi, store); // (B, S, p, n_out, H, W)
+
+        // Logits B_s initialised to zero (paper Sec. III-D).
+        let mut logits = tape.constant(Tensor::zeros(&[b, s, gh, gw, p]));
+        let mut out = None;
+        for iter in 0..self.iters {
+            // Coupling coefficients. Default: softmax over the p predicted
+            // capsules at each grid location (the paper's prose reading of
+            // Eq. 4); optionally the literal volume normalisation over
+            // (N_g1, N_g2, p) — see `BikeCapConfig::routing_softmax_over_grid`.
+            let k = if self.softmax_over_grid {
+                tape.softmax_trailing(logits, 3)
+            } else {
+                tape.softmax_trailing(logits, 1)
+            };
+            let kp = tape.permute(k, &[0, 1, 4, 2, 3]); // (B, S, p, H, W)
+            let kb = tape.reshape(kp, &[b, s, p, 1, gh, gw]);
+            let weighted = tape.mul(v, kb);
+            let summed = tape.sum_axes_keepdim(weighted, &[1]); // (B, 1, p, n_out, H, W)
+            let s_raw = tape.reshape(summed, &[b, p, n_out, gh, gw]);
+            let s_hat = tape.squash(s_raw, 2);
+            if iter + 1 < self.iters {
+                // Agreement update: b += <V_s, S> along the capsule dim.
+                let sb = tape.reshape(s_hat, &[b, 1, p, n_out, gh, gw]);
+                let prod = tape.mul(v, sb);
+                let agree = tape.sum_axes_keepdim(prod, &[3]); // (B, S, p, 1, H, W)
+                let agree = tape.reshape(agree, &[b, s, p, gh, gw]);
+                let agree = tape.permute(agree, &[0, 1, 3, 4, 2]); // (B, S, H, W, p)
+                logits = tape.add(logits, agree);
+            }
+            out = Some(s_hat);
+        }
+        out.expect("routing_iters >= 1 validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BikeCapConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn tiny_config() -> BikeCapConfig {
+        BikeCapConfig::new(4, 4)
+            .history(4)
+            .horizon(3)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(2)
+    }
+
+    #[test]
+    fn historical_capsules_shapes() {
+        let cfg = tiny_config();
+        let mut store = ParamStore::new();
+        let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+        assert_eq!(enc.capsule_dim(), 3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, cfg.input_features(), 4, 4, 4]));
+        let caps = enc.forward(&mut tape, x, &store);
+        assert_eq!(tape.value(caps).shape(), &[2, 4, 3, 4, 4]);
+    }
+
+    #[test]
+    fn historical_capsules_norm_below_one() {
+        let cfg = tiny_config();
+        let mut store = ParamStore::new();
+        let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::rand_uniform(
+            &[1, cfg.input_features(), 4, 4, 4],
+            0.0,
+            5.0,
+            &mut rng(),
+        ));
+        let caps = enc.forward(&mut tape, x, &store);
+        let normsq = tape.value(caps).square().sum_axes(&[2], true);
+        assert!(normsq.max_value() < 1.0, "squash must bound capsule norms");
+    }
+
+    #[test]
+    fn encoder_variants_share_output_shape() {
+        for encoder in [Encoder::Pyramid, Encoder::StandardConv3d, Encoder::Conv2dPerSlot] {
+            let mut cfg = tiny_config();
+            cfg.encoder = encoder;
+            let mut store = ParamStore::new();
+            let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::ones(&[1, cfg.input_features(), 4, 4, 4]));
+            let caps = enc.forward(&mut tape, x, &store);
+            assert_eq!(tape.value(caps).shape(), &[1, 4, 3, 4, 4], "{encoder:?}");
+        }
+    }
+
+    #[test]
+    fn stacked_encoder_layers_keep_shapes_and_add_parameters() {
+        let base = tiny_config();
+        let mut store1 = ParamStore::new();
+        let enc1 = HistoricalCapsules::new(&base, &mut store1, &mut rng());
+        let deep_cfg = base.clone().hist_layers(2);
+        let mut store2 = ParamStore::new();
+        let enc2 = HistoricalCapsules::new(&deep_cfg, &mut store2, &mut rng());
+        assert_eq!(enc1.num_layers(), 1);
+        assert_eq!(enc2.num_layers(), 2);
+        assert!(store2.num_scalars() > store1.num_scalars());
+
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, base.input_features(), 4, 4, 4]));
+        let caps = enc2.forward(&mut tape, x, &store2);
+        assert_eq!(tape.value(caps).shape(), &[2, 4, 3, 4, 4]);
+        // Still squashed.
+        let normsq = tape.value(caps).square().sum_axes(&[2], true);
+        assert!(normsq.max_value() < 1.0);
+    }
+
+    #[test]
+    fn stacked_encoder_gradients_reach_both_layers() {
+        let cfg = tiny_config().hist_layers(2);
+        let mut store = ParamStore::new();
+        let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::rand_uniform(
+            &[1, cfg.input_features(), 4, 4, 4],
+            0.0,
+            1.0,
+            &mut rng(),
+        ));
+        let caps = enc.forward(&mut tape, x, &store);
+        let sq = tape.square(caps);
+        let loss = tape.sum(sq);
+        tape.backward(loss, &mut store);
+        for (id, name, _) in store.iter().collect::<Vec<_>>() {
+            assert!(store.grad(id).abs().sum() > 0.0, "no gradient for {name}");
+        }
+    }
+
+    #[test]
+    fn multi_capsules_per_slot_expand_s_axis() {
+        let mut cfg = tiny_config();
+        cfg.hist_capsules_per_slot = 2;
+        let mut store = ParamStore::new();
+        let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[1, cfg.input_features(), 4, 4, 4]));
+        let caps = enc.forward(&mut tape, x, &store);
+        assert_eq!(tape.value(caps).shape(), &[1, 8, 3, 4, 4]);
+    }
+
+    #[test]
+    fn routing_output_shape_and_norm() {
+        let cfg = tiny_config();
+        let mut store = ParamStore::new();
+        let routing = SpatialTemporalRouting::new(&cfg, &mut store, &mut rng());
+        assert_eq!(routing.iterations(), 3);
+        let mut tape = Tape::new();
+        let phi = tape.constant(Tensor::rand_uniform(&[2, 4, 3, 4, 4], -0.4, 0.4, &mut rng()));
+        let out = routing.forward(&mut tape, phi, &store);
+        assert_eq!(tape.value(out).shape(), &[2, 3, 2, 4, 4]);
+        let normsq = tape.value(out).square().sum_axes(&[2], true);
+        assert!(normsq.max_value() < 1.0);
+    }
+
+    #[test]
+    fn routing_single_iteration_is_uniform_coupling() {
+        // With one iteration the coefficients stay at the softmax of zeros,
+        // i.e. uniform; the result must not depend on any logit update.
+        let mut cfg = tiny_config();
+        cfg.routing_iters = 1;
+        let mut store = ParamStore::new();
+        let routing = SpatialTemporalRouting::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let phi = tape.constant(Tensor::rand_uniform(&[1, 4, 3, 4, 4], -0.4, 0.4, &mut rng()));
+        let out = routing.forward(&mut tape, phi, &store);
+        assert_eq!(tape.value(out).shape(), &[1, 3, 2, 4, 4]);
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn more_routing_iterations_change_the_output() {
+        let base = tiny_config();
+        let mut store1 = ParamStore::new();
+        let mut r = rng();
+        let routing1 = SpatialTemporalRouting::new(&{ let mut c = base.clone(); c.routing_iters = 1; c }, &mut store1, &mut r);
+        // Re-seed so both transforms share weights.
+        let mut store3 = ParamStore::new();
+        let mut r2 = rng();
+        let routing3 = SpatialTemporalRouting::new(&{ let mut c = base.clone(); c.routing_iters = 3; c }, &mut store3, &mut r2);
+        let phi_t = Tensor::rand_uniform(&[1, 4, 3, 4, 4], -2.0, 2.0, &mut rng());
+        let run = |routing: &SpatialTemporalRouting, store: &ParamStore| {
+            let mut tape = Tape::new();
+            let phi = tape.constant(phi_t.clone());
+            let out = routing.forward(&mut tape, phi, store);
+            tape.value(out).clone()
+        };
+        let o1 = run(&routing1, &store1);
+        let o3 = run(&routing3, &store3);
+        assert_eq!(o1.shape(), o3.shape());
+        // With untrained weights the agreement updates are small, so the
+        // difference is subtle but must be strictly present.
+        assert!(o1.sub(&o3).abs().sum() > 1e-7, "routing refinement must matter");
+    }
+
+    #[test]
+    fn separated_slot_transforms_match_shapes_and_add_parameters() {
+        let base = tiny_config();
+        let mut shared_store = ParamStore::new();
+        let shared = SpatialTemporalRouting::new(&base, &mut shared_store, &mut rng());
+        let mut sep_cfg = base.clone();
+        sep_cfg.separate_slot_transforms = true;
+        let mut sep_store = ParamStore::new();
+        let separated = SpatialTemporalRouting::new(&sep_cfg, &mut sep_store, &mut rng());
+        // h = 4 slots => 4x the transform parameters (bias shared).
+        assert!(sep_store.num_scalars() > shared_store.num_scalars());
+
+        let phi_t = Tensor::rand_uniform(&[2, 4, 3, 4, 4], -0.5, 0.5, &mut rng());
+        let run = |r: &SpatialTemporalRouting, store: &ParamStore| {
+            let mut tape = Tape::new();
+            let phi = tape.constant(phi_t.clone());
+            let out = r.forward(&mut tape, phi, store);
+            tape.value(out).clone()
+        };
+        let o_shared = run(&shared, &shared_store);
+        let o_sep = run(&separated, &sep_store);
+        assert_eq!(o_shared.shape(), o_sep.shape());
+        assert!(o_sep.all_finite());
+    }
+
+    #[test]
+    fn separated_transforms_gradients_reach_every_slot() {
+        let mut cfg = tiny_config();
+        cfg.separate_slot_transforms = true;
+        let mut store = ParamStore::new();
+        let routing = SpatialTemporalRouting::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let phi = tape.constant(Tensor::rand_uniform(&[1, 4, 3, 4, 4], -0.4, 0.4, &mut rng()));
+        let out = routing.forward(&mut tape, phi, &store);
+        let sq = tape.square(out);
+        let loss = tape.sum(sq);
+        tape.backward(loss, &mut store);
+        for (id, name, _) in store.iter().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).abs().sum() > 0.0,
+                "no gradient for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_gradients_reach_transform() {
+        let cfg = tiny_config();
+        let mut store = ParamStore::new();
+        let routing = SpatialTemporalRouting::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let phi = tape.constant(Tensor::rand_uniform(&[1, 4, 3, 4, 4], -0.4, 0.4, &mut rng()));
+        let out = routing.forward(&mut tape, phi, &store);
+        let sq = tape.square(out);
+        let loss = tape.sum(sq);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).abs().sum() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Model configuration and ablation variants.
+
+use bikecap_city_sim::FEATURES;
+
+/// Which historical-capsule encoder to use (the paper's Fig. 7 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoder {
+    /// The pyramid convolutional layer (the paper's design, Sec. III-C).
+    Pyramid,
+    /// A traditional dense 3-D convolution (`BikeCap-Pyra` ablation).
+    StandardConv3d,
+    /// A per-slot 2-D convolution — DeepCaps-style, no temporal mixing in the
+    /// encoder (`BikeCap-3D-Pyra` ablation).
+    Conv2dPerSlot,
+}
+
+/// Which decoder to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecoderKind {
+    /// Two transposed 3-D convolutions (the paper's design, Sec. III-E).
+    Deconv3d,
+    /// A per-grid reshape + dense decoder treating cells in isolation
+    /// (`BikeCap-3D` ablation).
+    Reshape,
+}
+
+/// The paper's ablation variants (Sec. IV-E.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The full BikeCAP model.
+    Full,
+    /// `BikeCap-Sub`: bike data only, no upstream subway channels.
+    NoSubway,
+    /// `BikeCap-Pyra`: pyramid conv replaced by a traditional conv layer.
+    NoPyramid,
+    /// `BikeCap-3D`: 3-D deconvolution decoder replaced by a reshape decoder.
+    NoDeconv3d,
+    /// `BikeCap-3D-Pyra`: 2-D conv encoder + 3-D routing + reshape decoder
+    /// (a DeepCaps-style reference point).
+    DeepCapsLite,
+}
+
+impl Variant {
+    /// All variants in the order the paper plots them.
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::Full,
+            Variant::NoSubway,
+            Variant::NoPyramid,
+            Variant::NoDeconv3d,
+            Variant::DeepCapsLite,
+        ]
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "BikeCAP",
+            Variant::NoSubway => "BikeCap-Sub",
+            Variant::NoPyramid => "BikeCap-Pyra",
+            Variant::NoDeconv3d => "BikeCap-3D",
+            Variant::DeepCapsLite => "BikeCap-3D-Pyra",
+        }
+    }
+}
+
+/// Hyper-parameters of [`crate::BikeCap`].
+///
+/// Defaults follow Sec. IV-C scaled to this reproduction's grid: capsule
+/// dimension 4, routing over 3 iterations, batch-compatible causal pyramid.
+/// The paper's pyramid size 5 targets its city-wide grid; on the default
+/// 8×8 reproduction grid the equivalent receptive fraction is size 3
+/// (Table IV sweeps it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BikeCapConfig {
+    /// Grid rows (`N_g1`).
+    pub grid_height: usize,
+    /// Grid cols (`N_g2`).
+    pub grid_width: usize,
+    /// Historical slots `h` (paper: 8 = two hours).
+    pub history: usize,
+    /// Future slots `p` (paper: 2–8).
+    pub horizon: usize,
+    /// Pyramid size `k` (Table IV).
+    pub pyramid_size: usize,
+    /// Capsule dimension `n^l` of historical capsules (Table V).
+    pub capsule_dim: usize,
+    /// Capsule dimension `n^{l+1}` of future capsules.
+    pub out_capsule_dim: usize,
+    /// Historical capsule types per time slot (the conv produces
+    /// `hist_capsules_per_slot * capsule_dim` channels).
+    pub hist_capsules_per_slot: usize,
+    /// Stacked encoder layers (DeepCaps-style depth): layer 1 maps the input
+    /// features to capsules, further layers convolve capsule channels with a
+    /// squash between layers. The paper uses one; >1 is an extension.
+    pub hist_layers: usize,
+    /// Dynamic-routing iterations.
+    pub routing_iters: usize,
+    /// How the routing softmax normalises the logits. `false` (default)
+    /// follows the paper's prose — "normalized among all predicted capsules
+    /// from each capsule s", i.e. over the `p` future capsules at each grid
+    /// location. `true` follows the literal Eq. 4 formula, normalising over
+    /// the whole `(N_g1, N_g2, p)` volume, which shrinks every coupling to
+    /// `~1/(H*W*p)` and starves the decoder of signal (measurably worse —
+    /// see the `ablation_routing` bench).
+    pub routing_softmax_over_grid: bool,
+    /// The paper's Sec. V-B stability fix ("separated capsules for different
+    /// time slots"): give every historical slot its own prediction transform
+    /// instead of one kernel shared across slots. Costs `h`× the transform
+    /// parameters; reduces run-to-run variance.
+    pub separate_slot_transforms: bool,
+    /// Hidden channels of the decoder.
+    pub decoder_channels: usize,
+    /// Encoder ablation switch.
+    pub encoder: Encoder,
+    /// Decoder ablation switch.
+    pub decoder: DecoderKind,
+    /// Whether upstream subway channels are consumed.
+    pub use_subway: bool,
+}
+
+impl BikeCapConfig {
+    /// A default configuration for an `height x width` grid.
+    pub fn new(grid_height: usize, grid_width: usize) -> Self {
+        BikeCapConfig {
+            grid_height,
+            grid_width,
+            history: 8,
+            horizon: 4,
+            pyramid_size: 3,
+            capsule_dim: 4,
+            out_capsule_dim: 4,
+            hist_capsules_per_slot: 1,
+            hist_layers: 1,
+            routing_iters: 3,
+            routing_softmax_over_grid: false,
+            separate_slot_transforms: false,
+            decoder_channels: 8,
+            encoder: Encoder::Pyramid,
+            decoder: DecoderKind::Deconv3d,
+            use_subway: true,
+        }
+    }
+
+    /// Sets the number of historical slots.
+    pub fn history(mut self, h: usize) -> Self {
+        self.history = h;
+        self
+    }
+
+    /// Sets the number of predicted slots.
+    pub fn horizon(mut self, p: usize) -> Self {
+        self.horizon = p;
+        self
+    }
+
+    /// Sets the pyramid size (Table IV sweep).
+    pub fn pyramid_size(mut self, k: usize) -> Self {
+        self.pyramid_size = k;
+        self
+    }
+
+    /// Sets the historical capsule dimension (Table V sweep).
+    pub fn capsule_dim(mut self, d: usize) -> Self {
+        self.capsule_dim = d;
+        self
+    }
+
+    /// Sets the future capsule dimension.
+    pub fn out_capsule_dim(mut self, d: usize) -> Self {
+        self.out_capsule_dim = d;
+        self
+    }
+
+    /// Sets the routing iteration count.
+    pub fn routing_iters(mut self, iters: usize) -> Self {
+        self.routing_iters = iters;
+        self
+    }
+
+    /// Enables the Sec. V-B "separated capsules" stability extension.
+    pub fn separate_slot_transforms(mut self, enabled: bool) -> Self {
+        self.separate_slot_transforms = enabled;
+        self
+    }
+
+    /// Sets the number of stacked encoder layers (DeepCaps-style depth).
+    pub fn hist_layers(mut self, layers: usize) -> Self {
+        self.hist_layers = layers;
+        self
+    }
+
+    /// Sets the decoder hidden width.
+    pub fn decoder_channels(mut self, c: usize) -> Self {
+        self.decoder_channels = c;
+        self
+    }
+
+    /// Applies an ablation variant's switches.
+    pub fn variant(mut self, v: Variant) -> Self {
+        match v {
+            Variant::Full => {}
+            Variant::NoSubway => self.use_subway = false,
+            Variant::NoPyramid => self.encoder = Encoder::StandardConv3d,
+            Variant::NoDeconv3d => self.decoder = DecoderKind::Reshape,
+            Variant::DeepCapsLite => {
+                self.encoder = Encoder::Conv2dPerSlot;
+                self.decoder = DecoderKind::Reshape;
+            }
+        }
+        self
+    }
+
+    /// Number of input channels consumed: all four features, or just the
+    /// two bike channels for `BikeCap-Sub`.
+    pub fn input_features(&self) -> usize {
+        if self.use_subway {
+            FEATURES
+        } else {
+            2
+        }
+    }
+
+    /// Total historical capsules routed from: `hist_capsules_per_slot * h`.
+    pub fn num_hist_capsules(&self) -> usize {
+        self.hist_capsules_per_slot * self.history
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if any field is degenerate
+    /// (zero extents, zero capsules, etc.).
+    pub fn validate(&self) {
+        assert!(self.grid_height >= 2 && self.grid_width >= 2, "grid too small");
+        assert!(self.history >= 1, "history must be >= 1");
+        assert!(self.horizon >= 1, "horizon must be >= 1");
+        assert!(self.pyramid_size >= 1, "pyramid size must be >= 1");
+        assert!(self.capsule_dim >= 1, "capsule dim must be >= 1");
+        assert!(self.out_capsule_dim >= 1, "out capsule dim must be >= 1");
+        assert!(self.hist_capsules_per_slot >= 1, "need >= 1 capsule per slot");
+        assert!(self.hist_layers >= 1, "need >= 1 encoder layer");
+        assert!(self.routing_iters >= 1, "need >= 1 routing iteration");
+        assert!(self.decoder_channels >= 1, "decoder channels must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = BikeCapConfig::new(8, 8)
+            .history(6)
+            .horizon(5)
+            .pyramid_size(4)
+            .capsule_dim(8)
+            .out_capsule_dim(6)
+            .routing_iters(2)
+            .decoder_channels(12);
+        assert_eq!(c.history, 6);
+        assert_eq!(c.horizon, 5);
+        assert_eq!(c.pyramid_size, 4);
+        assert_eq!(c.capsule_dim, 8);
+        assert_eq!(c.out_capsule_dim, 6);
+        assert_eq!(c.routing_iters, 2);
+        assert_eq!(c.decoder_channels, 12);
+        c.validate();
+    }
+
+    #[test]
+    fn variants_toggle_the_right_switches() {
+        let base = BikeCapConfig::new(8, 8);
+        assert_eq!(base.clone().variant(Variant::Full), base);
+        assert!(!base.clone().variant(Variant::NoSubway).use_subway);
+        assert_eq!(
+            base.clone().variant(Variant::NoPyramid).encoder,
+            Encoder::StandardConv3d
+        );
+        assert_eq!(
+            base.clone().variant(Variant::NoDeconv3d).decoder,
+            DecoderKind::Reshape
+        );
+        let dc = base.variant(Variant::DeepCapsLite);
+        assert_eq!(dc.encoder, Encoder::Conv2dPerSlot);
+        assert_eq!(dc.decoder, DecoderKind::Reshape);
+    }
+
+    #[test]
+    fn input_features_depend_on_subway_flag() {
+        let c = BikeCapConfig::new(8, 8);
+        assert_eq!(c.input_features(), FEATURES);
+        assert_eq!(c.variant(Variant::NoSubway).input_features(), 2);
+    }
+
+    #[test]
+    fn variant_names_match_paper() {
+        let names: Vec<&str> = Variant::all().iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec!["BikeCAP", "BikeCap-Sub", "BikeCap-Pyra", "BikeCap-3D", "BikeCap-3D-Pyra"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be >= 1")]
+    fn validate_rejects_zero_horizon() {
+        BikeCapConfig::new(8, 8).horizon(0).validate();
+    }
+
+    #[test]
+    fn num_hist_capsules_multiplies() {
+        let mut c = BikeCapConfig::new(8, 8).history(8);
+        c.hist_capsules_per_slot = 2;
+        assert_eq!(c.num_hist_capsules(), 16);
+    }
+}

@@ -1,0 +1,212 @@
+//! The output decoder: 3-D deconvolution (paper Sec. III-E) or the
+//! reshape-based ablation.
+
+use bikecap_autograd::{ParamStore, Tape, Var};
+use bikecap_nn::{ConvTranspose3d, Dense};
+use bikecap_tensor::conv::Conv3dSpec;
+use rand::Rng;
+
+use crate::config::{BikeCapConfig, DecoderKind};
+
+/// Maps future capsules `(B, p, n_out, H, W)` to demand maps `(B, p, H, W)`.
+#[derive(Debug, Clone)]
+pub enum Decoder {
+    /// Two transposed 3-D convolutions over `(n_out, p, H, W)` volumes: the
+    /// paper's decoder, which exploits correlated demand in neighbouring
+    /// grids *and* adjacent time slots.
+    Deconv3d {
+        /// First deconvolution (`n_out -> decoder_channels`).
+        d1: ConvTranspose3d,
+        /// Second deconvolution (`decoder_channels -> 1`).
+        d2: ConvTranspose3d,
+    },
+    /// Per-cell dense decoding (`BikeCap-3D` ablation): each grid cell and
+    /// slot is decoded in isolation from its capsule vector.
+    Reshape {
+        /// First dense layer (`n_out -> decoder_channels`).
+        fc1: Dense,
+        /// Second dense layer (`decoder_channels -> 1`).
+        fc2: Dense,
+    },
+}
+
+impl Decoder {
+    /// Builds the decoder configured by `config.decoder`.
+    pub fn new<R: Rng + ?Sized>(config: &BikeCapConfig, store: &mut ParamStore, rng: &mut R) -> Self {
+        match config.decoder {
+            DecoderKind::Deconv3d => Decoder::Deconv3d {
+                d1: ConvTranspose3d::new(
+                    store,
+                    "decoder.deconv1",
+                    config.out_capsule_dim,
+                    config.decoder_channels,
+                    (3, 3, 3),
+                    Conv3dSpec::padded(1, 1, 1),
+                    rng,
+                ),
+                d2: ConvTranspose3d::new(
+                    store,
+                    "decoder.deconv2",
+                    config.decoder_channels,
+                    1,
+                    (3, 3, 3),
+                    Conv3dSpec::padded(1, 1, 1),
+                    rng,
+                ),
+            },
+            DecoderKind::Reshape => Decoder::Reshape {
+                fc1: Dense::new(
+                    store,
+                    "decoder.fc1",
+                    config.out_capsule_dim,
+                    config.decoder_channels,
+                    rng,
+                ),
+                fc2: Dense::new(store, "decoder.fc2", config.decoder_channels, 1, rng),
+            },
+        }
+    }
+
+    /// Decodes `(B, p, n_out, H, W)` capsules into `(B, p, H, W)` demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, tape: &mut Tape, caps: Var, store: &ParamStore) -> Var {
+        let cs = tape.value(caps).shape().to_vec();
+        assert_eq!(cs.len(), 5, "Decoder expects (B, p, n_out, H, W)");
+        let (b, p, n, gh, gw) = (cs[0], cs[1], cs[2], cs[3], cs[4]);
+        match self {
+            Decoder::Deconv3d { d1, d2 } => {
+                let x = tape.permute(caps, &[0, 2, 1, 3, 4]); // (B, n_out, p, H, W)
+                let y = d1.forward(tape, x, store);
+                let y = tape.relu(y);
+                let y = d2.forward(tape, y, store); // (B, 1, p, H, W)
+                tape.reshape(y, &[b, p, gh, gw])
+            }
+            Decoder::Reshape { fc1, fc2 } => {
+                let x = tape.permute(caps, &[0, 1, 3, 4, 2]); // (B, p, H, W, n_out)
+                let flat = tape.reshape(x, &[b * p * gh * gw, n]);
+                let y = fc1.forward(tape, flat, store);
+                let y = tape.relu(y);
+                let y = fc2.forward(tape, y, store);
+                tape.reshape(y, &[b, p, gh, gw])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    fn config(kind: DecoderKind) -> BikeCapConfig {
+        let mut c = BikeCapConfig::new(5, 5).horizon(3).out_capsule_dim(4);
+        c.decoder = kind;
+        c.decoder_channels = 6;
+        c
+    }
+
+    #[test]
+    fn deconv_decoder_shapes() {
+        let cfg = config(DecoderKind::Deconv3d);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let caps = tape.constant(Tensor::ones(&[2, 3, 4, 5, 5]));
+        let out = dec.forward(&mut tape, caps, &store);
+        assert_eq!(tape.value(out).shape(), &[2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn reshape_decoder_shapes() {
+        let cfg = config(DecoderKind::Reshape);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let caps = tape.constant(Tensor::ones(&[2, 3, 4, 5, 5]));
+        let out = dec.forward(&mut tape, caps, &store);
+        assert_eq!(tape.value(out).shape(), &[2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn reshape_decoder_treats_cells_in_isolation() {
+        // Changing one cell's capsule must not change other cells' outputs.
+        let cfg = config(DecoderKind::Reshape);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(&cfg, &mut store, &mut rng());
+        let base = Tensor::zeros(&[1, 1, 4, 5, 5]);
+        let mut bumped = base.clone();
+        for n in 0..4 {
+            bumped.set(&[0, 0, n, 2, 2], 1.0);
+        }
+        let run = |input: Tensor| {
+            let mut tape = Tape::new();
+            let caps = tape.constant(input);
+            let out = dec.forward(&mut tape, caps, &store);
+            tape.value(out).clone()
+        };
+        let y0 = run(base);
+        let y1 = run(bumped);
+        for r in 0..5 {
+            for c in 0..5 {
+                if (r, c) != (2, 2) {
+                    assert_eq!(y0.get(&[0, 0, r, c]), y1.get(&[0, 0, r, c]));
+                }
+            }
+        }
+        assert_ne!(y0.get(&[0, 0, 2, 2]), y1.get(&[0, 0, 2, 2]));
+    }
+
+    #[test]
+    fn deconv_decoder_spreads_information_spatially() {
+        // The 3-D decoder must propagate a point perturbation to neighbours.
+        let cfg = config(DecoderKind::Deconv3d);
+        let mut store = ParamStore::new();
+        let dec = Decoder::new(&cfg, &mut store, &mut rng());
+        let base = Tensor::zeros(&[1, 3, 4, 5, 5]);
+        let mut bumped = base.clone();
+        bumped.set(&[0, 1, 0, 2, 2], 1.0);
+        let run = |input: Tensor| {
+            let mut tape = Tape::new();
+            let caps = tape.constant(input);
+            let out = dec.forward(&mut tape, caps, &store);
+            tape.value(out).clone()
+        };
+        let y0 = run(base);
+        let y1 = run(bumped);
+        // Neighbour cell reacts...
+        assert_ne!(y0.get(&[0, 1, 2, 3]), y1.get(&[0, 1, 2, 3]));
+        // ...and so does the adjacent time slot (3-D correlation).
+        assert_ne!(y0.get(&[0, 0, 2, 2]), y1.get(&[0, 0, 2, 2]));
+    }
+
+    #[test]
+    fn decoder_gradients_flow() {
+        for kind in [DecoderKind::Deconv3d, DecoderKind::Reshape] {
+            let cfg = config(kind);
+            let mut store = ParamStore::new();
+            let dec = Decoder::new(&cfg, &mut store, &mut rng());
+            let mut tape = Tape::new();
+            let caps = tape.constant(Tensor::rand_uniform(&[1, 3, 4, 5, 5], -1.0, 1.0, &mut rng()));
+            let out = dec.forward(&mut tape, caps, &store);
+            let sq = tape.square(out);
+            let loss = tape.sum(sq);
+            tape.backward(loss, &mut store);
+            for (id, _, _) in store.iter().collect::<Vec<_>>() {
+                assert!(
+                    store.grad(id).abs().sum() > 0.0,
+                    "{kind:?}: no gradient for {}",
+                    store.name(id)
+                );
+            }
+        }
+    }
+}

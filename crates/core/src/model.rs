@@ -1,0 +1,386 @@
+//! The assembled BikeCAP model: training and prediction.
+
+use std::time::Instant;
+
+use bikecap_autograd::{ParamStore, Tape, Var};
+use bikecap_city_sim::{ForecastDataset, Split};
+use bikecap_nn::{clip_grad_norm, Adam};
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+use crate::capsules::{HistoricalCapsules, SpatialTemporalRouting};
+use crate::config::BikeCapConfig;
+use crate::decoder::Decoder;
+
+/// Training hyper-parameters.
+///
+/// Defaults mirror the paper's Sec. IV-C (Adam, lr 1e-3, batch 32, L1 loss)
+/// with epoch/batch budgets scaled to a single CPU; `max_batches_per_epoch`
+/// subsamples the training windows per epoch so full sweeps stay tractable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOptions {
+    /// Number of passes over (sampled) training windows.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Optional cap on minibatches per epoch (None = full epoch).
+    pub max_batches_per_epoch: Option<usize>,
+    /// Optional global gradient-norm clip.
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            epochs: 10,
+            batch_size: 16,
+            learning_rate: 1e-3,
+            max_batches_per_epoch: Some(16),
+            clip_norm: Some(5.0),
+        }
+    }
+}
+
+impl TrainOptions {
+    /// A very small budget for unit tests.
+    pub fn smoke() -> Self {
+        TrainOptions {
+            epochs: 2,
+            batch_size: 4,
+            max_batches_per_epoch: Some(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (normalised L1).
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds spent in [`BikeCap::fit`].
+    pub seconds: f64,
+}
+
+impl TrainReport {
+    /// Final epoch's mean loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epochs were run.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// The BikeCAP network (paper Fig. 4): historical capsules → spatial-temporal
+/// routing → 3-D decoder.
+#[derive(Debug)]
+pub struct BikeCap {
+    config: BikeCapConfig,
+    store: ParamStore,
+    encoder: HistoricalCapsules,
+    routing: SpatialTemporalRouting,
+    decoder: Decoder,
+}
+
+impl BikeCap {
+    /// Builds the model with freshly initialised parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`BikeCapConfig::validate`]).
+    pub fn new<R: Rng + ?Sized>(config: BikeCapConfig, rng: &mut R) -> Self {
+        config.validate();
+        let mut store = ParamStore::new();
+        let encoder = HistoricalCapsules::new(&config, &mut store, rng);
+        let routing = SpatialTemporalRouting::new(&config, &mut store, rng);
+        let decoder = Decoder::new(&config, &mut store, rng);
+        BikeCap {
+            config,
+            store,
+            encoder,
+            routing,
+            decoder,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &BikeCapConfig {
+        &self.config
+    }
+
+    /// Total learnable scalars (the paper reports 646,395 at its city scale).
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The parameter store (for weight serialisation).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store (for weight loading).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The differentiable forward pass: `(B, F, h, H, W)` → `(B, p, H, W)`.
+    ///
+    /// When the configuration disables subway input (`BikeCap-Sub`), the
+    /// upstream channels are dropped here so callers can always pass the full
+    /// feature tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let xs = tape.value(x).shape().to_vec();
+        assert_eq!(xs.len(), 5, "BikeCap expects (B, F, h, H, W), got {xs:?}");
+        let x = if self.config.use_subway {
+            x
+        } else {
+            // Keep only the two bike channels (pick-ups, drop-offs).
+            tape.narrow(x, 1, 0, 2)
+        };
+        let caps = self.encoder.forward(tape, x, &self.store);
+        let future = self.routing.forward(tape, caps, &self.store);
+        self.decoder.forward(tape, future, &self.store)
+    }
+
+    /// Predicts demand for a batch of input windows (no gradient bookkeeping
+    /// kept by the caller): `(B, F, h, H, W)` → `(B, p, H, W)`, in the
+    /// normalised domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn predict(&self, input: &Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let x = tape.constant(input.clone());
+        let y = self.forward(&mut tape, x);
+        tape.value(y).clone()
+    }
+
+    /// Trains on the dataset's training split with Adam + L1 loss (paper
+    /// Sec. IV-C), returning per-epoch losses.
+    pub fn fit<R: Rng + ?Sized>(
+        &mut self,
+        dataset: &ForecastDataset,
+        opts: &TrainOptions,
+        rng: &mut R,
+    ) -> TrainReport {
+        assert_eq!(
+            dataset.horizon(),
+            self.config.horizon,
+            "dataset horizon {} does not match model horizon {}",
+            dataset.horizon(),
+            self.config.horizon
+        );
+        let start = Instant::now();
+        let mut opt = Adam::new(opts.learning_rate);
+        let mut epoch_losses = Vec::with_capacity(opts.epochs);
+        for _epoch in 0..opts.epochs {
+            let anchors = dataset.shuffled_anchors(Split::Train, rng);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in anchors.chunks(opts.batch_size) {
+                if let Some(cap) = opts.max_batches_per_epoch {
+                    if batches >= cap {
+                        break;
+                    }
+                }
+                let batch = dataset.batch(chunk);
+                self.store.zero_grads();
+                let mut tape = Tape::new();
+                let x = tape.constant(batch.input);
+                let t = tape.constant(batch.target);
+                let pred = self.forward(&mut tape, x);
+                let loss = tape.l1_loss(pred, t);
+                total += tape.value(loss).item();
+                tape.backward(loss, &mut self.store);
+                if let Some(max) = opts.clip_norm {
+                    clip_grad_norm(&mut self.store, max);
+                }
+                opt.step(&mut self.store);
+                batches += 1;
+            }
+            epoch_losses.push(if batches > 0 { total / batches as f32 } else { f32::NAN });
+        }
+        TrainReport {
+            epoch_losses,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset(horizon: usize) -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 8, horizon)
+    }
+
+    fn tiny_model(horizon: usize, variant: Variant) -> BikeCap {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = BikeCapConfig::new(6, 6)
+            .history(8)
+            .horizon(horizon)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3)
+            .decoder_channels(4)
+            .variant(variant);
+        BikeCap::new(config, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes_full_model() {
+        let model = tiny_model(3, Variant::Full);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 4, 8, 6, 6]));
+        let y = model.forward(&mut tape, x);
+        assert_eq!(tape.value(y).shape(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn all_variants_forward() {
+        for v in Variant::all() {
+            let model = tiny_model(2, v);
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::ones(&[1, 4, 8, 6, 6]));
+            let y = model.forward(&mut tape, x);
+            assert_eq!(tape.value(y).shape(), &[1, 2, 6, 6], "{}", v.name());
+            assert!(tape.value(y).all_finite());
+        }
+    }
+
+    #[test]
+    fn predict_is_deterministic() {
+        let model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let a = model.predict(&x);
+        let b = model.predict(&x);
+        bikecap_tensor::assert_close(&a, &b, 0.0);
+    }
+
+    #[test]
+    fn no_subway_variant_ignores_subway_channels() {
+        let model = tiny_model(2, Variant::NoSubway);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let mut perturbed = base.clone();
+        // Scramble only the subway channels (2 and 3).
+        for d in 0..8 {
+            for r in 0..6 {
+                for c in 0..6 {
+                    perturbed.set(&[0, 2, d, r, c], 0.9);
+                    perturbed.set(&[0, 3, d, r, c], 0.1);
+                }
+            }
+        }
+        bikecap_tensor::assert_close(&model.predict(&base), &model.predict(&perturbed), 0.0);
+        // The full model must react to the same perturbation.
+        let full = tiny_model(2, Variant::Full);
+        let d = full
+            .predict(&base)
+            .sub(&full.predict(&perturbed))
+            .abs()
+            .sum();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn fit_reduces_training_loss() {
+        let ds = tiny_dataset(2);
+        let mut model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = TrainOptions {
+            epochs: 6,
+            batch_size: 8,
+            max_batches_per_epoch: Some(6),
+            ..TrainOptions::default()
+        };
+        let report = model.fit(&ds, &opts, &mut rng);
+        assert_eq!(report.epoch_losses.len(), 6);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(
+            last < first,
+            "loss should decrease: first {first}, last {last}"
+        );
+        assert!(last.is_finite());
+        assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn fit_beats_predicting_zero() {
+        // After brief training, normalised L1 should be below the loss of a
+        // zero predictor (i.e. mean |target|).
+        let ds = tiny_dataset(2);
+        let mut model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(4);
+        let opts = TrainOptions {
+            epochs: 20,
+            batch_size: 8,
+            max_batches_per_epoch: Some(12),
+            ..TrainOptions::default()
+        };
+        let report = model.fit(&ds, &opts, &mut rng);
+        let anchors = ds.anchors(Split::Val);
+        let batch = ds.batch(&anchors[..8.min(anchors.len())]);
+        let zero_loss = batch.target.abs().mean();
+        let pred = model.predict(&batch.input);
+        let model_loss = pred.sub(&batch.target).abs().mean();
+        assert!(
+            model_loss < zero_loss,
+            "trained model ({model_loss}) should beat zero predictor ({zero_loss}); train loss trace {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn parameter_count_positive_and_grows_with_capsule_dim() {
+        let small = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(8);
+        let big = BikeCap::new(
+            BikeCapConfig::new(6, 6)
+                .history(8)
+                .horizon(2)
+                .pyramid_size(2)
+                .capsule_dim(8)
+                .out_capsule_dim(8),
+            &mut rng,
+        );
+        assert!(small.num_parameters() > 0);
+        assert!(big.num_parameters() > small.num_parameters());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match model horizon")]
+    fn fit_rejects_horizon_mismatch() {
+        let ds = tiny_dataset(3);
+        let mut model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = model.fit(&ds, &TrainOptions::smoke(), &mut rng);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the BikeCAP model across random configurations.
+
+use bikecap_core::{BikeCap, BikeCapConfig, Variant};
+use bikecap_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_model_config() -> impl Strategy<Value = BikeCapConfig> {
+    (
+        4usize..7,  // grid height
+        4usize..7,  // grid width
+        2usize..6,  // history
+        1usize..5,  // horizon
+        1usize..4,  // pyramid size
+        2usize..6,  // capsule dim
+        1usize..4,  // routing iters
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(gh, gw, h, p, k, dim, iters, grid_softmax, separated)| {
+            let mut cfg = BikeCapConfig::new(gh, gw)
+                .history(h)
+                .horizon(p)
+                .pyramid_size(k)
+                .capsule_dim(dim)
+                .out_capsule_dim(dim)
+                .routing_iters(iters)
+                .decoder_channels(4)
+                .separate_slot_transforms(separated);
+            cfg.routing_softmax_over_grid = grid_softmax;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any valid configuration constructs, predicts the right shape, and
+    /// stays finite on in-range inputs.
+    #[test]
+    fn forward_shape_holds_for_any_config(cfg in random_model_config(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BikeCap::new(cfg.clone(), &mut rng);
+        let input = Tensor::rand_uniform(
+            &[2, 4, cfg.history, cfg.grid_height, cfg.grid_width],
+            0.0,
+            1.0,
+            &mut rng,
+        );
+        let out = model.predict(&input);
+        prop_assert_eq!(
+            out.shape(),
+            &[2, cfg.horizon, cfg.grid_height, cfg.grid_width]
+        );
+        prop_assert!(out.all_finite());
+    }
+
+    /// Prediction is a pure function of weights and input.
+    #[test]
+    fn prediction_is_deterministic(cfg in random_model_config(), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = BikeCap::new(cfg.clone(), &mut rng);
+        let input = Tensor::rand_uniform(
+            &[1, 4, cfg.history, cfg.grid_height, cfg.grid_width],
+            0.0,
+            1.0,
+            &mut rng,
+        );
+        prop_assert_eq!(model.predict(&input), model.predict(&input));
+    }
+
+    /// One gradient step on a single batch reduces that batch's loss for a
+    /// small enough step (local descent property).
+    #[test]
+    fn single_batch_descent(seed in 0u64..50) {
+        use bikecap_autograd::Tape;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = BikeCapConfig::new(5, 5)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3)
+            .decoder_channels(4);
+        let mut model = BikeCap::new(cfg, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 4, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let t = Tensor::rand_uniform(&[4, 2, 5, 5], 0.0, 1.0, &mut rng);
+
+        let loss_of = |m: &BikeCap| {
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let tv = tape.constant(t.clone());
+            let p = m.forward(&mut tape, xv);
+            let l = tape.mse_loss(p, tv);
+            tape.value(l).item()
+        };
+        let before = loss_of(&model);
+
+        // One plain SGD step with a tiny rate.
+        model.store_mut().zero_grads();
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let tv = tape.constant(t.clone());
+        let p = model.forward(&mut tape, xv);
+        let l = tape.mse_loss(p, tv);
+        tape.backward(l, model.store_mut());
+        model.store_mut().update(|_, v, g| v.add_assign_(&g.scale(-1e-3)));
+
+        let after = loss_of(&model);
+        prop_assert!(
+            after <= before + 1e-7,
+            "descent violated: {before} -> {after}"
+        );
+    }
+
+    /// Every ablation variant keeps the output contract.
+    #[test]
+    fn variants_keep_output_contract(seed in 0u64..50, vi in 0usize..5) {
+        let variant = Variant::all()[vi];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = BikeCapConfig::new(5, 5)
+            .history(4)
+            .horizon(3)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3)
+            .variant(variant);
+        let model = BikeCap::new(cfg, &mut rng);
+        let input = Tensor::rand_uniform(&[1, 4, 4, 5, 5], 0.0, 1.0, &mut rng);
+        let out = model.predict(&input);
+        prop_assert_eq!(out.shape(), &[1, 3, 5, 5]);
+        prop_assert!(out.all_finite());
+    }
+}

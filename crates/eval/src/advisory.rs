@@ -1,0 +1,232 @@
+//! Operational advisories from multi-step forecasts — the paper's third
+//! future-work item: "If the transfer time at downstream transportation
+//! stations exceeds a predefined threshold, the operators can reschedule the
+//! downstream transportation timetables".
+//!
+//! Given (a) per-station transfer-time estimates and (b) a multi-step bike
+//! demand forecast, [`advise`] flags the stations where riders will likely
+//! wait for a bike (projected demand exceeds projected supply) and grades
+//! each by urgency: how soon within the forecast horizon the shortfall
+//! starts.
+
+use bikecap_city_sim::layout::CityLayout;
+use bikecap_city_sim::transfer::TransferEstimate;
+use bikecap_tensor::Tensor;
+
+/// One station-level advisory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advisory {
+    /// Station id.
+    pub station: usize,
+    /// First forecast step (0-based) where cumulative demand exceeds the
+    /// available stock.
+    pub shortfall_step: usize,
+    /// Projected unmet demand over the whole horizon (bikes).
+    pub projected_shortfall: f32,
+    /// The station's estimated transfer time, minutes (how long riders take
+    /// to reach the bikes — shorter means the shortfall bites sooner).
+    pub transfer_minutes: f64,
+    /// Composite urgency: earlier shortfall and shorter transfer time rank
+    /// higher.
+    pub urgency: f32,
+}
+
+/// Configuration of the advisory pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisoryConfig {
+    /// Bikes assumed staged near each station at forecast time.
+    pub stock_per_station: f32,
+    /// Chebyshev cell radius counted as "near the station".
+    pub radius: usize,
+    /// Transfer time (minutes) above which the paper suggests rescheduling.
+    pub transfer_threshold_min: f64,
+}
+
+impl Default for AdvisoryConfig {
+    fn default() -> Self {
+        AdvisoryConfig {
+            stock_per_station: 8.0,
+            radius: 1,
+            transfer_threshold_min: 10.0,
+        }
+    }
+}
+
+/// Produces advisories from a `(p, H, W)` denormalised demand forecast.
+///
+/// Stations are flagged when the cumulative forecast demand within `radius`
+/// of the station exceeds the staged stock before the end of the horizon, or
+/// when their estimated transfer time exceeds the threshold. Results are
+/// sorted by descending urgency.
+///
+/// # Panics
+///
+/// Panics unless `forecast` is rank 3 matching the layout's grid.
+pub fn advise(
+    forecast: &Tensor,
+    layout: &CityLayout,
+    estimates: &[TransferEstimate],
+    config: &AdvisoryConfig,
+) -> Vec<Advisory> {
+    assert_eq!(forecast.ndim(), 3, "forecast must be (p, H, W), got {:?}", forecast.shape());
+    let (p, gh, gw) = (
+        forecast.shape()[0],
+        forecast.shape()[1],
+        forecast.shape()[2],
+    );
+    assert_eq!(
+        (gh, gw),
+        (layout.height, layout.width),
+        "forecast grid does not match the layout"
+    );
+    let transfer_of = |station: usize| -> Option<f64> {
+        estimates
+            .iter()
+            .find(|e| e.station == station)
+            .map(|e| e.mean_minutes)
+    };
+    let mut out = Vec::new();
+    for station in &layout.stations {
+        // Cumulative forecast demand near the station per step.
+        let mut cumulative = 0.0f32;
+        let mut shortfall_step = None;
+        for step in 0..p {
+            let mut demand = 0.0f32;
+            for r in 0..gh {
+                for c in 0..gw {
+                    let cell = bikecap_city_sim::layout::Cell { row: r, col: c };
+                    if cell.chebyshev(station.cell) <= config.radius {
+                        demand += forecast.get(&[step, r, c]).max(0.0);
+                    }
+                }
+            }
+            cumulative += demand;
+            if shortfall_step.is_none() && cumulative > config.stock_per_station {
+                shortfall_step = Some(step);
+            }
+        }
+        let transfer = transfer_of(station.id).unwrap_or(0.0);
+        let slow_transfer = transfer > config.transfer_threshold_min;
+        if shortfall_step.is_none() && !slow_transfer {
+            continue;
+        }
+        let step = shortfall_step.unwrap_or(p);
+        let projected_shortfall = (cumulative - config.stock_per_station).max(0.0);
+        // Earlier shortfall → higher urgency; faster transfer → higher
+        // urgency (riders hit the empty racks sooner).
+        let urgency = projected_shortfall / (step as f32 + 1.0)
+            + if slow_transfer { 1.0 } else { 0.0 };
+        out.push(Advisory {
+            station: station.id,
+            shortfall_step: step,
+            projected_shortfall,
+            transfer_minutes: transfer,
+            urgency,
+        });
+    }
+    out.sort_by(|a, b| b.urgency.total_cmp(&a.urgency));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::generate::{SimConfig, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> CityLayout {
+        let mut rng = StdRng::seed_from_u64(3);
+        CityLayout::generate(&SimConfig::small(), &mut rng)
+    }
+
+    #[test]
+    fn flags_stations_with_projected_shortfall() {
+        let lay = layout();
+        let station = lay.stations[0].clone();
+        // Heavy forecast demand right at the first station's cell.
+        let mut forecast = Tensor::zeros(&[4, lay.height, lay.width]);
+        for step in 0..4 {
+            forecast.set(&[step, station.cell.row, station.cell.col], 5.0);
+        }
+        let advisories = advise(&forecast, &lay, &[], &AdvisoryConfig::default());
+        let hit = advisories.iter().find(|a| a.station == station.id);
+        let hit = hit.expect("station with 20 forecast bikes vs 8 stock must be flagged");
+        // 8 stock / 5 per step -> shortfall in step 1 (cumulative 10 > 8).
+        assert_eq!(hit.shortfall_step, 1);
+        assert!((hit.projected_shortfall - 12.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quiet_city_produces_no_advisories() {
+        let lay = layout();
+        let forecast = Tensor::zeros(&[4, lay.height, lay.width]);
+        assert!(advise(&forecast, &lay, &[], &AdvisoryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn slow_transfer_alone_triggers_advisory() {
+        let lay = layout();
+        let forecast = Tensor::zeros(&[2, lay.height, lay.width]);
+        let est = TransferEstimate {
+            station: lay.stations[1].id,
+            mean_minutes: 15.0,
+            median_minutes: 14.0,
+            samples: 100,
+        };
+        let advisories = advise(&forecast, &lay, &[est], &AdvisoryConfig::default());
+        assert_eq!(advisories.len(), 1);
+        assert_eq!(advisories[0].station, lay.stations[1].id);
+        assert_eq!(advisories[0].projected_shortfall, 0.0);
+    }
+
+    #[test]
+    fn urgency_orders_earlier_shortfalls_first() {
+        let lay = layout();
+        let a = lay.stations[0].cell;
+        // Find a station far enough from station 0 that their radii don't
+        // overlap; skip the assertion if the small grid has none.
+        let Some(far) = lay
+            .stations
+            .iter()
+            .find(|s| s.cell.chebyshev(a) > 3)
+        else {
+            return;
+        };
+        let mut forecast = Tensor::zeros(&[4, lay.height, lay.width]);
+        // Station 0: shortfall immediately.
+        forecast.set(&[0, a.row, a.col], 30.0);
+        // Far station: shortfall only at the last step.
+        forecast.set(&[3, far.cell.row, far.cell.col], 30.0);
+        let advisories = advise(&forecast, &lay, &[], &AdvisoryConfig::default());
+        let pos0 = advisories.iter().position(|adv| adv.station == lay.stations[0].id);
+        let pos_far = advisories.iter().position(|adv| adv.station == far.id);
+        assert!(pos0.unwrap() < pos_far.unwrap(), "earlier shortfall must rank higher");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be (p, H, W)")]
+    fn rejects_wrong_rank() {
+        let lay = layout();
+        let _ = advise(&Tensor::zeros(&[4]), &lay, &[], &AdvisoryConfig::default());
+    }
+
+    #[test]
+    fn end_to_end_with_simulated_estimates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut cfg = SimConfig::small();
+        cfg.days = 2;
+        let lay = CityLayout::generate(&cfg, &mut rng);
+        let trips = Simulator::new(cfg, lay.clone()).run(&mut rng);
+        let estimates =
+            bikecap_city_sim::transfer::estimate_transfer_times(&trips, 1, 20.0);
+        let forecast = Tensor::full(&[4, lay.height, lay.width], 1.5);
+        let advisories = advise(&forecast, &lay, &estimates, &AdvisoryConfig::default());
+        // Dense uniform demand: cumulative 9-cell neighbourhood demand is
+        // 1.5 * 9 * 4 = 54 >> 8, so every interior station is flagged.
+        assert!(!advisories.is_empty());
+        for adv in &advisories {
+            assert!(adv.urgency > 0.0);
+        }
+    }
+}

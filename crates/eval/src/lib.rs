@@ -1,0 +1,21 @@
+//! Experiment harness for the BikeCAP reproduction.
+//!
+//! * [`metrics`] — MAE / RMSE on denormalised demand (paper Eq. 5–6), and
+//!   the forecaster evaluation protocol over the test split.
+//! * [`runner`] — repeated-seed runs producing the paper's "mean±std"
+//!   entries, with a registry of model factories covering BikeCAP, its
+//!   ablation variants and all seven baselines.
+//! * [`tables`] — markdown/plain-text table emitters used by the bench
+//!   binaries that regenerate each table and figure.
+//! * [`accumulation`] — the autoregressive-vs-independent error-accumulation
+//!   demonstration behind the paper's Fig. 2.
+
+pub mod accumulation;
+pub mod advisory;
+pub mod metrics;
+pub mod runner;
+pub mod tables;
+
+pub use metrics::{evaluate, BikeCapForecaster, Metrics};
+pub use runner::{build_model, run_model, MeanStd, ModelKind, RunnerConfig, SweepResult};
+pub use tables::{format_mean_std, markdown_table};

@@ -1,0 +1,256 @@
+//! Evaluation metrics (paper Eq. 5 and 6) and the forecaster test protocol.
+
+use bikecap_baselines::Forecaster;
+use bikecap_city_sim::{ForecastDataset, Split};
+use bikecap_core::{BikeCap, TrainOptions};
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mean absolute error and root mean squared error on denormalised demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Mean absolute error (Eq. 5).
+    pub mae: f32,
+    /// Root mean squared error (Eq. 6).
+    pub rmse: f32,
+}
+
+impl Metrics {
+    /// Computes both metrics between predictions and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the tensors are empty.
+    pub fn between(pred: &Tensor, truth: &Tensor) -> Metrics {
+        assert_eq!(
+            pred.shape(),
+            truth.shape(),
+            "metric shapes differ: {:?} vs {:?}",
+            pred.shape(),
+            truth.shape()
+        );
+        assert!(!pred.is_empty(), "cannot compute metrics on empty tensors");
+        let diff = pred.sub(truth);
+        Metrics {
+            mae: diff.abs().mean(),
+            rmse: diff.square().mean().sqrt(),
+        }
+    }
+}
+
+/// Evaluates a trained forecaster on the dataset's test split, denormalising
+/// predictions and targets back to counts (the paper's protocol).
+///
+/// `max_anchors` caps the evaluated windows for CPU budgets (windows are
+/// taken evenly across the split); pass `None` to use every test window.
+///
+/// # Panics
+///
+/// Panics if the test split yields no windows.
+pub fn evaluate(
+    model: &dyn Forecaster,
+    dataset: &ForecastDataset,
+    max_anchors: Option<usize>,
+) -> Metrics {
+    let anchors = dataset.anchors(Split::Test);
+    assert!(!anchors.is_empty(), "no test windows to evaluate");
+    let selected: Vec<usize> = match max_anchors {
+        Some(cap) if cap < anchors.len() => {
+            // Evenly spaced sample to cover the whole test period.
+            (0..cap)
+                .map(|i| anchors[i * anchors.len() / cap])
+                .collect()
+        }
+        _ => anchors,
+    };
+    let horizon = dataset.horizon();
+    let mut abs_sum = 0.0f64;
+    let mut sq_sum = 0.0f64;
+    let mut count = 0usize;
+    // Evaluate in modest batches to bound memory.
+    for chunk in selected.chunks(16) {
+        let batch = dataset.batch(chunk);
+        let pred_norm = model.predict(&batch.input, horizon);
+        let pred = dataset.denormalize_target(&pred_norm).maximum(&Tensor::scalar(0.0));
+        let truth = dataset.denormalize_target(&batch.target);
+        for (p, t) in pred.as_slice().iter().zip(truth.as_slice()) {
+            let d = (p - t) as f64;
+            abs_sum += d.abs();
+            sq_sum += d * d;
+            count += 1;
+        }
+    }
+    Metrics {
+        mae: (abs_sum / count as f64) as f32,
+        rmse: (sq_sum / count as f64).sqrt() as f32,
+    }
+}
+
+/// Adapter exposing [`BikeCap`] (and its ablation variants) through the
+/// baseline [`Forecaster`] interface so the harness can sweep all models
+/// uniformly.
+#[derive(Debug)]
+pub struct BikeCapForecaster {
+    model: BikeCap,
+    options: TrainOptions,
+}
+
+impl BikeCapForecaster {
+    /// Wraps a freshly constructed model with its training options.
+    pub fn new(model: BikeCap, options: TrainOptions) -> Self {
+        BikeCapForecaster { model, options }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &BikeCap {
+        &self.model
+    }
+}
+
+impl Forecaster for BikeCapForecaster {
+    fn name(&self) -> &'static str {
+        "BikeCAP"
+    }
+
+    fn fit(&mut self, dataset: &ForecastDataset, rng: &mut dyn RngCore) -> f32 {
+        // Re-seed a concrete RNG from the trait object for the typed API.
+        let seed = rng.next_u64();
+        let mut typed = StdRng::seed_from_u64(seed);
+        self.model
+            .fit(dataset, &self.options, &mut typed)
+            .final_loss()
+    }
+
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        assert_eq!(
+            horizon,
+            self.model.config().horizon,
+            "BikeCap was built for horizon {}, asked for {horizon}",
+            self.model.config().horizon
+        );
+        self.model.predict(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+    };
+    use bikecap_core::BikeCapConfig;
+
+    #[test]
+    fn metrics_formulas() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let truth = Tensor::from_vec(vec![0.0, 2.0, 6.0], &[3]);
+        let m = Metrics::between(&pred, &truth);
+        assert!((m.mae - 4.0 / 3.0).abs() < 1e-6);
+        assert!((m.rmse - (10.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn metrics_zero_for_perfect_prediction() {
+        let t = Tensor::ones(&[2, 2]);
+        let m = Metrics::between(&t, &t);
+        assert_eq!(m.mae, 0.0);
+        assert_eq!(m.rmse, 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let pred = Tensor::from_vec(vec![0.0, 0.0, 0.0, 10.0], &[4]);
+        let truth = Tensor::zeros(&[4]);
+        let m = Metrics::between(&pred, &truth);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes differ")]
+    fn metrics_reject_shape_mismatch() {
+        let _ = Metrics::between(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 6, 2)
+    }
+
+    /// A forecaster that predicts a constant in the normalised domain.
+    struct ConstantForecaster(f32);
+
+    impl Forecaster for ConstantForecaster {
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+        fn fit(&mut self, _: &ForecastDataset, _: &mut dyn RngCore) -> f32 {
+            0.0
+        }
+        fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+            let s = input.shape();
+            Tensor::full(&[s[0], horizon, s[3], s[4]], self.0)
+        }
+    }
+
+    #[test]
+    fn evaluate_runs_on_test_split_denormalised() {
+        let ds = tiny_dataset();
+        let zero = ConstantForecaster(0.0);
+        let m = evaluate(&zero, &ds, Some(20));
+        // Denormalised error of a zero predictor equals the mean demand,
+        // which we know is on the order of a few trips per slot.
+        assert!(m.mae > 0.1 && m.mae < 20.0, "unexpected MAE {}", m.mae);
+        assert!(m.rmse >= m.mae);
+    }
+
+    #[test]
+    fn evaluate_better_constant_scores_better() {
+        let ds = tiny_dataset();
+        let zero = evaluate(&ConstantForecaster(0.0), &ds, Some(20));
+        let crazy = evaluate(&ConstantForecaster(1.0), &ds, Some(20));
+        // Predicting the channel max everywhere is far worse than zero.
+        assert!(crazy.mae > zero.mae);
+    }
+
+    #[test]
+    fn bikecap_adapter_trains_and_predicts() {
+        let ds = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = BikeCapConfig::new(6, 6)
+            .history(6)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3);
+        let model = BikeCap::new(config, &mut rng);
+        let mut fc = BikeCapForecaster::new(model, TrainOptions::smoke());
+        let loss = fc.fit(&ds, &mut rng);
+        assert!(loss.is_finite());
+        let m = evaluate(&fc, &ds, Some(10));
+        assert!(m.mae.is_finite() && m.rmse.is_finite());
+        assert_eq!(fc.name(), "BikeCAP");
+    }
+
+    #[test]
+    #[should_panic(expected = "asked for")]
+    fn bikecap_adapter_rejects_wrong_horizon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = BikeCapConfig::new(6, 6)
+            .history(6)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3);
+        let model = BikeCap::new(config, &mut rng);
+        let fc = BikeCapForecaster::new(model, TrainOptions::smoke());
+        let input = Tensor::zeros(&[1, 4, 6, 6, 6]);
+        let _ = fc.predict(&input, 5);
+    }
+}

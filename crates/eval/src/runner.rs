@@ -1,0 +1,417 @@
+//! Repeated-seed experiment runner and the model registry.
+
+use bikecap_baselines::{
+    ConvLstmForecaster, Forecaster, GbtConfig, GbtForecaster, LstmForecaster, NeuralBudget,
+    PredRnnForecaster, PredRnnPlusPlusForecaster, StgcnForecaster, StsgcnForecaster,
+};
+use bikecap_city_sim::ForecastDataset;
+use bikecap_core::{BikeCap, BikeCapConfig, TrainOptions, Variant};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::metrics::{evaluate, BikeCapForecaster};
+
+/// Every model the harness can run: BikeCAP (with its ablation variants) and
+/// the paper's seven baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// BikeCAP or one of its ablations.
+    BikeCap(Variant),
+    /// The boosted-tree baseline.
+    XGBoost,
+    /// Per-grid LSTM.
+    Lstm,
+    /// Convolutional LSTM.
+    ConvLstm,
+    /// PredRNN (ST-LSTM).
+    PredRnn,
+    /// PredRNN++ (causal LSTM + GHU).
+    PredRnnPlusPlus,
+    /// Spatial-Temporal Graph Convolutional Network.
+    Stgcn,
+    /// Spatial-Temporal Synchronous GCN.
+    Stsgcn,
+}
+
+impl ModelKind {
+    /// The eight columns of the paper's Table III, in order.
+    pub fn table3_lineup() -> [ModelKind; 8] {
+        [
+            ModelKind::XGBoost,
+            ModelKind::Lstm,
+            ModelKind::ConvLstm,
+            ModelKind::PredRnn,
+            ModelKind::PredRnnPlusPlus,
+            ModelKind::Stgcn,
+            ModelKind::Stsgcn,
+            ModelKind::BikeCap(Variant::Full),
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::BikeCap(v) => v.name(),
+            ModelKind::XGBoost => "XGBoost",
+            ModelKind::Lstm => "LSTM",
+            ModelKind::ConvLstm => "convLSTM",
+            ModelKind::PredRnn => "PredRNN",
+            ModelKind::PredRnnPlusPlus => "PredRNN++",
+            ModelKind::Stgcn => "STGCN",
+            ModelKind::Stsgcn => "STSGCN",
+        }
+    }
+}
+
+/// Shared knobs of a sweep: seeds, budgets and the BikeCAP hyper-parameters
+/// the parameter studies vary.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// One training/evaluation run per seed; results report mean±std.
+    pub seeds: Vec<u64>,
+    /// Cap on evaluated test windows (None = all).
+    pub eval_anchors: Option<usize>,
+    /// Budget for the neural baselines.
+    pub budget: NeuralBudget,
+    /// Budget for BikeCAP.
+    pub train_options: TrainOptions,
+    /// Hidden width of the recurrent baselines.
+    pub hidden: usize,
+    /// Convolution kernel of the recurrent baselines.
+    pub kernel: usize,
+    /// BikeCAP pyramid size (Table IV sweeps this).
+    pub pyramid_size: usize,
+    /// BikeCAP capsule dimension (Table V sweeps this).
+    pub capsule_dim: usize,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            seeds: vec![1, 2, 3],
+            eval_anchors: Some(64),
+            budget: NeuralBudget::default(),
+            train_options: TrainOptions::default(),
+            hidden: 8,
+            kernel: 3,
+            pyramid_size: 3,
+            capsule_dim: 4,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A minimal configuration for unit tests.
+    pub fn smoke() -> Self {
+        RunnerConfig {
+            seeds: vec![1],
+            eval_anchors: Some(8),
+            budget: NeuralBudget::smoke(),
+            train_options: TrainOptions::smoke(),
+            hidden: 4,
+            ..Self::default()
+        }
+    }
+}
+
+/// Sample mean and standard deviation of repeated runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f32,
+    /// Sample standard deviation (0 for a single run).
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Computes mean and (population-style `n`) standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(samples: &[f32]) -> MeanStd {
+        assert!(!samples.is_empty(), "MeanStd of empty sample");
+        let n = samples.len() as f32;
+        let mean = samples.iter().sum::<f32>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+/// The outcome of sweeping one model at one horizon.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Model display name.
+    pub model: String,
+    /// Forecast horizon (the paper's PTS).
+    pub horizon: usize,
+    /// Test MAE across seeds.
+    pub mae: MeanStd,
+    /// Test RMSE across seeds.
+    pub rmse: MeanStd,
+    /// Mean wall-clock training seconds per run.
+    pub train_seconds: f64,
+    /// Learnable parameter count (None for tree models).
+    pub parameters: Option<usize>,
+}
+
+/// Builds an untrained model of the requested kind for a dataset.
+pub fn build_model(
+    kind: ModelKind,
+    dataset: &ForecastDataset,
+    config: &RunnerConfig,
+    seed: u64,
+) -> Box<dyn Forecaster> {
+    let (gh, gw) = dataset.grid();
+    let history = dataset.history();
+    let horizon = dataset.horizon();
+    match kind {
+        ModelKind::BikeCap(variant) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = BikeCapConfig::new(gh, gw)
+                .history(history)
+                .horizon(horizon)
+                .pyramid_size(config.pyramid_size)
+                .capsule_dim(config.capsule_dim)
+                .out_capsule_dim(config.capsule_dim)
+                .variant(variant);
+            Box::new(BikeCapForecaster::new(
+                BikeCap::new(cfg, &mut rng),
+                config.train_options.clone(),
+            ))
+        }
+        ModelKind::XGBoost => Box::new(GbtForecaster::new(GbtConfig::default())),
+        ModelKind::Lstm => Box::new(LstmForecaster::new(
+            config.hidden * 4,
+            config.budget.clone(),
+            seed,
+        )),
+        ModelKind::ConvLstm => Box::new(ConvLstmForecaster::new(
+            config.hidden,
+            config.kernel,
+            config.budget.clone(),
+            seed,
+        )),
+        ModelKind::PredRnn => Box::new(PredRnnForecaster::new(
+            config.hidden,
+            config.kernel,
+            config.budget.clone(),
+            seed,
+        )),
+        ModelKind::PredRnnPlusPlus => Box::new(PredRnnPlusPlusForecaster::new(
+            config.hidden,
+            config.kernel,
+            config.budget.clone(),
+            seed,
+        )),
+        ModelKind::Stgcn => Box::new(StgcnForecaster::new(
+            gh,
+            gw,
+            history,
+            config.hidden,
+            1,
+            config.budget.clone(),
+            seed,
+        )),
+        ModelKind::Stsgcn => Box::new(StsgcnForecaster::new(
+            gh,
+            gw,
+            history,
+            horizon,
+            config.hidden,
+            1,
+            config.budget.clone(),
+            seed,
+        )),
+    }
+}
+
+fn parameters_of(kind: ModelKind, dataset: &ForecastDataset, config: &RunnerConfig) -> Option<usize> {
+    match kind {
+        ModelKind::XGBoost => None,
+        _ => {
+            // The trait object hides parameter counts, so rebuild typed.
+            let (gh, gw) = dataset.grid();
+            Some(match kind {
+                ModelKind::BikeCap(variant) => {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    let cfg = BikeCapConfig::new(gh, gw)
+                        .history(dataset.history())
+                        .horizon(dataset.horizon())
+                        .pyramid_size(config.pyramid_size)
+                        .capsule_dim(config.capsule_dim)
+                        .out_capsule_dim(config.capsule_dim)
+                        .variant(variant);
+                    BikeCap::new(cfg, &mut rng).num_parameters()
+                }
+                ModelKind::Lstm => {
+                    LstmForecaster::new(config.hidden * 4, config.budget.clone(), 0)
+                        .num_parameters()
+                }
+                ModelKind::ConvLstm => {
+                    ConvLstmForecaster::new(config.hidden, config.kernel, config.budget.clone(), 0)
+                        .num_parameters()
+                }
+                ModelKind::PredRnn => {
+                    PredRnnForecaster::new(config.hidden, config.kernel, config.budget.clone(), 0)
+                        .num_parameters()
+                }
+                ModelKind::PredRnnPlusPlus => PredRnnPlusPlusForecaster::new(
+                    config.hidden,
+                    config.kernel,
+                    config.budget.clone(),
+                    0,
+                )
+                .num_parameters(),
+                ModelKind::Stgcn => StgcnForecaster::new(
+                    gh,
+                    gw,
+                    dataset.history(),
+                    config.hidden,
+                    1,
+                    config.budget.clone(),
+                    0,
+                )
+                .num_parameters(),
+                ModelKind::Stsgcn => StsgcnForecaster::new(
+                    gh,
+                    gw,
+                    dataset.history(),
+                    dataset.horizon(),
+                    config.hidden,
+                    1,
+                    config.budget.clone(),
+                    0,
+                )
+                .num_parameters(),
+                ModelKind::XGBoost => unreachable!(),
+            })
+        }
+    }
+}
+
+/// Trains and evaluates `kind` once per seed on `dataset`, reporting the
+/// paper-style mean±std metrics.
+pub fn run_model(kind: ModelKind, dataset: &ForecastDataset, config: &RunnerConfig) -> SweepResult {
+    assert!(!config.seeds.is_empty(), "need at least one seed");
+    let mut maes = Vec::with_capacity(config.seeds.len());
+    let mut rmses = Vec::with_capacity(config.seeds.len());
+    let mut seconds = 0.0f64;
+    for &seed in &config.seeds {
+        let mut model = build_model(kind, dataset, config, seed);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        let t0 = std::time::Instant::now();
+        model.fit(dataset, &mut rng);
+        seconds += t0.elapsed().as_secs_f64();
+        let m = evaluate(model.as_ref(), dataset, config.eval_anchors);
+        maes.push(m.mae);
+        rmses.push(m.rmse);
+    }
+    SweepResult {
+        model: kind.name().to_string(),
+        horizon: dataset.horizon(),
+        mae: MeanStd::of(&maes),
+        rmse: MeanStd::of(&rmses),
+        train_seconds: seconds / config.seeds.len() as f64,
+        parameters: parameters_of(kind, dataset, config),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+    };
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 6, 2)
+    }
+
+    #[test]
+    fn mean_std_formulas() {
+        let ms = MeanStd::of(&[1.0, 3.0]);
+        assert_eq!(ms.mean, 2.0);
+        assert_eq!(ms.std, 1.0);
+        let single = MeanStd::of(&[5.0]);
+        assert_eq!(single.mean, 5.0);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn lineup_matches_paper_columns() {
+        let names: Vec<&str> = ModelKind::table3_lineup().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "XGBoost",
+                "LSTM",
+                "convLSTM",
+                "PredRNN",
+                "PredRNN++",
+                "STGCN",
+                "STSGCN",
+                "BikeCAP"
+            ]
+        );
+    }
+
+    #[test]
+    fn build_model_constructs_every_kind() {
+        let ds = tiny_dataset();
+        let cfg = RunnerConfig::smoke();
+        for kind in ModelKind::table3_lineup() {
+            let model = build_model(kind, &ds, &cfg, 1);
+            assert_eq!(model.name(), kind.name());
+        }
+        for v in Variant::all() {
+            let model = build_model(ModelKind::BikeCap(v), &ds, &cfg, 1);
+            assert_eq!(model.name(), "BikeCAP"); // adapter's trait name
+        }
+    }
+
+    #[test]
+    fn run_model_produces_finite_metrics() {
+        let ds = tiny_dataset();
+        let cfg = RunnerConfig::smoke();
+        let result = run_model(ModelKind::XGBoost, &ds, &cfg);
+        assert!(result.mae.mean.is_finite());
+        assert!(result.rmse.mean.is_finite());
+        assert!(result.rmse.mean >= result.mae.mean);
+        assert_eq!(result.horizon, 2);
+        assert!(result.parameters.is_none());
+    }
+
+    #[test]
+    fn run_model_bikecap_reports_parameters() {
+        let ds = tiny_dataset();
+        let mut cfg = RunnerConfig::smoke();
+        cfg.pyramid_size = 2;
+        cfg.capsule_dim = 3;
+        let result = run_model(ModelKind::BikeCap(Variant::Full), &ds, &cfg);
+        assert!(result.parameters.unwrap() > 0);
+        assert!(result.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn multiple_seeds_yield_nonzero_std_for_stochastic_models() {
+        let ds = tiny_dataset();
+        let mut cfg = RunnerConfig::smoke();
+        cfg.seeds = vec![1, 2];
+        let result = run_model(ModelKind::Lstm, &ds, &cfg);
+        // Different inits almost surely differ at least slightly.
+        assert!(result.mae.std >= 0.0);
+        assert!(result.parameters.unwrap() > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Table formatting for the bench binaries.
+
+use crate::runner::MeanStd;
+
+/// Formats a metric as the paper's `mean±std` cell (two decimals).
+pub fn format_mean_std(ms: MeanStd) -> String {
+    if ms.std == 0.0 {
+        format!("{:.2}", ms.mean)
+    } else {
+        format!("{:.2}±{:.2}", ms.mean, ms.std)
+    }
+}
+
+/// Renders a GitHub-flavoured markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn markdown_table(header: &[String], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            header.len(),
+            "row {i} has {} cells, header has {}",
+            row.len(),
+            header.len()
+        );
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(header));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&render_row(&sep));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII line chart of one or more named series (for the bench
+/// binaries that reproduce the paper's figures in a terminal).
+///
+/// Each series is scaled into `height` rows over the shared y-range.
+///
+/// # Panics
+///
+/// Panics if series lengths differ or no data is given.
+pub fn ascii_chart(series: &[(&str, &[f32])], height: usize) -> String {
+    assert!(!series.is_empty(), "no series to chart");
+    let len = series[0].1.len();
+    assert!(len > 0, "empty series");
+    for (name, s) in series {
+        assert_eq!(s.len(), len, "series '{name}' length mismatch");
+    }
+    let markers = ['*', '+', 'o', 'x', '#', '@'];
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in *s {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if (hi - lo).abs() < 1e-9 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; len]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let marker = markers[si % markers.len()];
+        for (x, &v) in s.iter().enumerate() {
+            let yf = (v - lo) / (hi - lo);
+            let y = ((1.0 - yf) * (height - 1) as f32).round() as usize;
+            grid[y.min(height - 1)][x] = marker;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{hi:>8.2} |")
+        } else if i == height - 1 {
+            format!("{lo:>8.2} |")
+        } else {
+            "         |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("          ");
+    out.push_str(&"-".repeat(len + 1));
+    out.push('\n');
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}", markers[si % markers.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_formatting() {
+        assert_eq!(
+            format_mean_std(MeanStd {
+                mean: 1.859,
+                std: 0.412
+            }),
+            "1.86±0.41"
+        );
+        assert_eq!(format_mean_std(MeanStd { mean: 8.27, std: 0.0 }), "8.27");
+    }
+
+    #[test]
+    fn markdown_table_alignment_and_structure() {
+        let t = markdown_table(
+            &["Model".into(), "MAE".into()],
+            &[
+                vec!["BikeCAP".into(), "1.86".into()],
+                vec!["LSTM".into(), "11.59".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| Model"));
+        assert!(lines[1].contains("---"));
+        // All lines share the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn markdown_table_rejects_ragged_rows() {
+        let _ = markdown_table(&["a".into()], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn ascii_chart_renders_all_series() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let chart = ascii_chart(&[("up", &a), ("down", &b)], 5);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+        assert!(chart.contains("4.00"));
+        assert!(chart.contains("1.00"));
+    }
+
+    #[test]
+    fn ascii_chart_handles_constant_series() {
+        let a = [2.0, 2.0, 2.0];
+        let chart = ascii_chart(&[("flat", &a)], 3);
+        assert!(chart.contains('*'));
+    }
+}

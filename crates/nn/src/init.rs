@@ -1,0 +1,58 @@
+//! Weight initialisation schemes.
+
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialisation: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// For convolution weights pass `fan_in = C_in * prod(kernel)` and
+/// `fan_out = C_out * prod(kernel)`.
+pub fn glorot_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+/// He/Kaiming uniform initialisation: samples from
+/// `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`, suited to ReLU activations.
+pub fn he_uniform<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::rand_uniform(shape, -limit, limit, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_bounds_match_fans() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = glorot_uniform(&[1000], 50, 50, &mut rng);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.max_value() <= limit && t.min_value() >= -limit);
+        // Should actually use most of the range.
+        assert!(t.max_value() > 0.8 * limit);
+    }
+
+    #[test]
+    fn he_bounds_match_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_uniform(&[1000], 24, &mut rng);
+        let limit = (6.0f32 / 24.0).sqrt();
+        assert!(t.max_value() <= limit && t.min_value() >= -limit);
+    }
+
+    #[test]
+    fn init_mean_near_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = glorot_uniform(&[10_000], 10, 10, &mut rng);
+        assert!(t.mean().abs() < 0.02);
+    }
+}

@@ -1,0 +1,130 @@
+//! Fully connected layer.
+
+use bikecap_autograd::{ParamId, ParamStore, Tape, Var};
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::glorot_uniform;
+
+/// A fully connected layer: `y = x W + b` with `x: (batch, in)`,
+/// `W: (in, out)`, `b: (1, out)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: ParamId,
+    bias: ParamId,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Registers a dense layer's parameters under `name.weight` / `name.bias`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        let weight = store.add(
+            format!("{name}.weight"),
+            glorot_uniform(&[in_features, out_features], in_features, out_features, rng),
+        );
+        let bias = store.add(format!("{name}.bias"), Tensor::zeros(&[1, out_features]));
+        Dense {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer to a `(batch, in)` var.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 with `in_features` columns.
+    pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let w = tape.param(store, self.weight);
+        let b = tape.param(store, self.bias);
+        let xw = tape.matmul(x, w);
+        tape.add(xw, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(&mut store, "fc", 3, 2, &mut rng);
+        assert_eq!(layer.in_features(), 3);
+        assert_eq!(layer.out_features(), 2);
+        // Zero the weight so output equals the bias.
+        let wid = store.iter().find(|(_, n, _)| *n == "fc.weight").unwrap().0;
+        store.set_value(wid, Tensor::zeros(&[3, 2]));
+        let bid = store.iter().find(|(_, n, _)| *n == "fc.bias").unwrap().0;
+        store.set_value(bid, Tensor::from_vec(vec![1.0, -1.0], &[1, 2]));
+
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[4, 3]));
+        let y = layer.forward(&mut tape, x, &store);
+        assert_eq!(tape.value(y).shape(), &[4, 2]);
+        assert_eq!(tape.value(y).get(&[2, 0]), 1.0);
+        assert_eq!(tape.value(y).get(&[2, 1]), -1.0);
+    }
+
+    #[test]
+    fn gradients_reach_both_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Dense::new(&mut store, "fc", 3, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3]));
+        let y = layer.forward(&mut tape, x, &store);
+        let loss = tape.sum(y);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(store.grad(id).abs().sum() > 0.0, "parameter received no gradient");
+        }
+    }
+
+    #[test]
+    fn can_fit_a_linear_map() {
+        // One dense layer trained by plain gradient descent should recover
+        // y = 2x + 1 on a 1-D problem.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Dense::new(&mut store, "fc", 1, 1, &mut rng);
+        let xs = Tensor::from_vec((0..16).map(|i| i as f32 / 8.0).collect(), &[16, 1]);
+        let ys = xs.scale(2.0).add_scalar(1.0);
+        for _ in 0..400 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.constant(xs.clone());
+            let t = tape.constant(ys.clone());
+            let p = layer.forward(&mut tape, x, &store);
+            let loss = tape.mse_loss(p, t);
+            tape.backward(loss, &mut store);
+            store.update(|_, v, g| v.add_assign_(&g.scale(-0.1)));
+        }
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(vec![1.0], &[1, 1]));
+        let p = layer.forward(&mut tape, x, &store);
+        assert!((tape.value(p).item() - 3.0).abs() < 0.05);
+    }
+}

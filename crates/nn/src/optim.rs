@@ -1,0 +1,247 @@
+//! Optimizers: SGD (with momentum) and Adam, plus gradient clipping.
+
+use bikecap_autograd::ParamStore;
+use bikecap_tensor::Tensor;
+
+/// Clips the global gradient norm to `max_norm`, returning the pre-clip norm.
+///
+/// Matches the usual "clip-by-global-norm" semantics: if the joint L2 norm of
+/// all gradients exceeds `max_norm`, every gradient is scaled by
+/// `max_norm / norm`.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with heavy-ball momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g. for manual decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update from the accumulated gradients, then the caller
+    /// should [`ParamStore::zero_grads`].
+    pub fn step(&mut self, store: &mut ParamStore) {
+        let lr = self.lr;
+        let mu = self.momentum;
+        let velocity = &mut self.velocity;
+        store.update(|slot, value, grad| {
+            if mu == 0.0 {
+                value.add_assign_(&grad.scale(-lr));
+                return;
+            }
+            while velocity.len() <= slot {
+                velocity.push(Tensor::zeros(&[0]));
+            }
+            if velocity[slot].shape() != value.shape() {
+                velocity[slot] = Tensor::zeros(value.shape());
+            }
+            let v = &mut velocity[slot];
+            v.scale_(mu);
+            v.add_assign_(grad);
+            value.add_assign_(&v.scale(-lr));
+        });
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) — the paper's optimizer (Sec. IV-C,
+/// lr = 0.001) with the standard bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: `beta1 = 0.9`, `beta2 = 0.999`,
+    /// `eps = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate.
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of updates applied so far.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+
+    /// Applies one Adam update from the accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let m = &mut self.m;
+        let v = &mut self.v;
+        store.update(|slot, value, grad| {
+            while m.len() <= slot {
+                m.push(Tensor::zeros(&[0]));
+                v.push(Tensor::zeros(&[0]));
+            }
+            if m[slot].shape() != value.shape() {
+                m[slot] = Tensor::zeros(value.shape());
+                v[slot] = Tensor::zeros(value.shape());
+            }
+            let ms = m[slot].as_mut_slice();
+            let vs = v[slot].as_mut_slice();
+            let gs = grad.as_slice();
+            let xs = value.as_mut_slice();
+            for i in 0..gs.len() {
+                ms[i] = b1 * ms[i] + (1.0 - b1) * gs[i];
+                vs[i] = b2 * vs[i] + (1.0 - b2) * gs[i] * gs[i];
+                let mhat = ms[i] / bc1;
+                let vhat = vs[i] / bc2;
+                xs[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_autograd::{ParamStore, Tape};
+
+    /// Minimises f(x) = (x - 3)^2 with the given step closure.
+    fn minimise(mut stepper: impl FnMut(&mut ParamStore), iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(vec![-2.0], &[1]));
+        for _ in 0..iters {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let xv = tape.param(&store, x);
+            let c = tape.constant(Tensor::from_vec(vec![3.0], &[1]));
+            let d = tape.sub(xv, c);
+            let sq = tape.square(d);
+            let loss = tape.sum(sq);
+            tape.backward(loss, &mut store);
+            stepper(&mut store);
+        }
+        store.value(x).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimise(|s| opt.step(s), 100);
+        assert!((x - 3.0).abs() < 1e-3, "SGD ended at {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let x = minimise(|s| opt.step(s), 200);
+        assert!((x - 3.0).abs() < 1e-2, "momentum SGD ended at {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = minimise(|s| opt.step(s), 300);
+        assert!((x - 3.0).abs() < 1e-2, "Adam ended at {x}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_handles_sparse_like_gradients() {
+        // A parameter whose gradient is frequently zero should still converge
+        // thanks to moment estimates decaying.
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::from_vec(vec![0.0], &[1]));
+        let mut opt = Adam::new(0.05);
+        for step in 0..400 {
+            store.zero_grads();
+            if step % 3 == 0 {
+                let mut tape = Tape::new();
+                let xv = tape.param(&store, x);
+                let c = tape.constant(Tensor::from_vec(vec![1.0], &[1]));
+                let d = tape.sub(xv, c);
+                let sq = tape.square(d);
+                let loss = tape.sum(sq);
+                tape.backward(loss, &mut store);
+            }
+            opt.step(&mut store);
+        }
+        assert!((store.value(x).item() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::zeros(&[2]));
+        store.accumulate_grad(a, &Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let pre = clip_grad_norm(&mut store, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Below the threshold: untouched.
+        let pre2 = clip_grad_norm(&mut store, 10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut adam = Adam::new(0.01);
+        adam.set_learning_rate(0.005);
+        assert_eq!(adam.learning_rate(), 0.005);
+        let mut sgd = Sgd::new(0.1);
+        sgd.set_learning_rate(0.2);
+        assert_eq!(sgd.learning_rate(), 0.2);
+    }
+}

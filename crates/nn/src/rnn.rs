@@ -1,0 +1,335 @@
+//! Recurrent cells: LSTM and convolutional LSTM.
+
+use bikecap_autograd::{ParamId, ParamStore, Tape, Var};
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::glorot_uniform;
+
+/// A standard LSTM cell (Hochreiter & Schmidhuber, 1997), the paper's `LSTM`
+/// baseline building block.
+///
+/// Gate order in the packed weight is `i, f, g, o`. The forget-gate bias is
+/// initialised to 1, the usual trick for stable early training.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wx: ParamId,
+    wh: ParamId,
+    bias: ParamId,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Registers an LSTM cell mapping `input_size` features to a
+    /// `hidden_size` state.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input_size: usize,
+        hidden_size: usize,
+        rng: &mut R,
+    ) -> Self {
+        let wx = store.add(
+            format!("{name}.wx"),
+            glorot_uniform(
+                &[input_size, 4 * hidden_size],
+                input_size,
+                4 * hidden_size,
+                rng,
+            ),
+        );
+        let wh = store.add(
+            format!("{name}.wh"),
+            glorot_uniform(
+                &[hidden_size, 4 * hidden_size],
+                hidden_size,
+                4 * hidden_size,
+                rng,
+            ),
+        );
+        // Bias layout [i | f | g | o]; forget gate biased to 1.
+        let mut b = Tensor::zeros(&[1, 4 * hidden_size]);
+        for j in hidden_size..2 * hidden_size {
+            b.set(&[0, j], 1.0);
+        }
+        let bias = store.add(format!("{name}.bias"), b);
+        LstmCell {
+            wx,
+            wh,
+            bias,
+            hidden: hidden_size,
+        }
+    }
+
+    /// The hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero `(h, c)` state tensors for a batch.
+    pub fn zero_state(&self, batch: usize) -> (Tensor, Tensor) {
+        (
+            Tensor::zeros(&[batch, self.hidden]),
+            Tensor::zeros(&[batch, self.hidden]),
+        )
+    }
+
+    /// One step: consumes `x (N, in)` and state `(h, c)`, returns the new
+    /// `(h, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        state: (Var, Var),
+        store: &ParamStore,
+    ) -> (Var, Var) {
+        let (h, c) = state;
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let b = tape.param(store, self.bias);
+        let gx = tape.matmul(x, wx);
+        let gh = tape.matmul(h, wh);
+        let s = tape.add(gx, gh);
+        let gates = tape.add(s, b);
+        let hid = self.hidden;
+        let i_raw = tape.narrow(gates, 1, 0, hid);
+        let f_raw = tape.narrow(gates, 1, hid, hid);
+        let g_raw = tape.narrow(gates, 1, 2 * hid, hid);
+        let o_raw = tape.narrow(gates, 1, 3 * hid, hid);
+        let i = tape.sigmoid(i_raw);
+        let f = tape.sigmoid(f_raw);
+        let g = tape.tanh(g_raw);
+        let o = tape.sigmoid(o_raw);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+        let tc = tape.tanh(c_new);
+        let h_new = tape.mul(o, tc);
+        (h_new, c_new)
+    }
+}
+
+/// A convolutional LSTM cell (Shi et al., 2015), the `convLSTM` baseline
+/// building block. States are `(N, C_h, H, W)` maps; all gate transforms are
+/// same-padded 2-D convolutions. (We omit the optional Hadamard peephole
+/// terms of the original formulation; see DESIGN.md.)
+#[derive(Debug, Clone)]
+pub struct ConvLstmCell {
+    wx: ParamId,
+    wh: ParamId,
+    bias: ParamId,
+    hidden_channels: usize,
+    kernel: usize,
+}
+
+impl ConvLstmCell {
+    /// Registers a convLSTM cell with a square `kernel x kernel` filter
+    /// (odd kernels preserve extents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        hidden_channels: usize,
+        kernel: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "ConvLstmCell requires an odd kernel, got {kernel}");
+        let kk = kernel * kernel;
+        let wx = store.add(
+            format!("{name}.wx"),
+            glorot_uniform(
+                &[4 * hidden_channels, in_channels, kernel, kernel],
+                in_channels * kk,
+                4 * hidden_channels * kk,
+                rng,
+            ),
+        );
+        let wh = store.add(
+            format!("{name}.wh"),
+            glorot_uniform(
+                &[4 * hidden_channels, hidden_channels, kernel, kernel],
+                hidden_channels * kk,
+                4 * hidden_channels * kk,
+                rng,
+            ),
+        );
+        let mut b = Tensor::zeros(&[1, 4 * hidden_channels, 1, 1]);
+        for j in hidden_channels..2 * hidden_channels {
+            b.set(&[0, j, 0, 0], 1.0);
+        }
+        let bias = store.add(format!("{name}.bias"), b);
+        ConvLstmCell {
+            wx,
+            wh,
+            bias,
+            hidden_channels,
+            kernel,
+        }
+    }
+
+    /// Hidden state channel count.
+    pub fn hidden_channels(&self) -> usize {
+        self.hidden_channels
+    }
+
+    /// Fresh zero `(h, c)` state maps for a batch over an `(H, W)` grid.
+    pub fn zero_state(&self, batch: usize, height: usize, width: usize) -> (Tensor, Tensor) {
+        let shape = [batch, self.hidden_channels, height, width];
+        (Tensor::zeros(&shape), Tensor::zeros(&shape))
+    }
+
+    /// One step: consumes `x (N, C_in, H, W)` and state `(h, c)`, returns the
+    /// new `(h, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        state: (Var, Var),
+        store: &ParamStore,
+    ) -> (Var, Var) {
+        let (h, c) = state;
+        let pad = self.kernel / 2;
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let b = tape.param(store, self.bias);
+        let gx = tape.conv2d(x, wx, (1, 1), (pad, pad));
+        let gh = tape.conv2d(h, wh, (1, 1), (pad, pad));
+        let s = tape.add(gx, gh);
+        let gates = tape.add(s, b);
+        let ch = self.hidden_channels;
+        let i_raw = tape.narrow(gates, 1, 0, ch);
+        let f_raw = tape.narrow(gates, 1, ch, ch);
+        let g_raw = tape.narrow(gates, 1, 2 * ch, ch);
+        let o_raw = tape.narrow(gates, 1, 3 * ch, ch);
+        let i = tape.sigmoid(i_raw);
+        let f = tape.sigmoid(f_raw);
+        let g = tape.tanh(g_raw);
+        let o = tape.sigmoid(o_raw);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+        let tc = tape.tanh(c_new);
+        let h_new = tape.mul(o, tc);
+        (h_new, c_new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 3, 5, &mut rng());
+        assert_eq!(cell.hidden_size(), 5);
+        let (h0, c0) = cell.zero_state(2);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 3]));
+        let h = tape.constant(h0);
+        let c = tape.constant(c0);
+        let (h1, c1) = cell.step(&mut tape, x, (h, c), &store);
+        assert_eq!(tape.value(h1).shape(), &[2, 5]);
+        assert_eq!(tape.value(c1).shape(), &[2, 5]);
+        // tanh-bounded hidden state.
+        assert!(tape.value(h1).max_value() <= 1.0);
+        assert!(tape.value(h1).min_value() >= -1.0);
+    }
+
+    #[test]
+    fn lstm_state_evolves_and_grads_flow_through_time() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng());
+        let (h0, c0) = cell.zero_state(1);
+        let mut tape = Tape::new();
+        let mut h = tape.constant(h0);
+        let mut c = tape.constant(c0);
+        for step in 0..4 {
+            let x = tape.constant(Tensor::full(&[1, 2], step as f32 * 0.3));
+            let (nh, nc) = cell.step(&mut tape, x, (h, c), &store);
+            h = nh;
+            c = nc;
+        }
+        let loss = tape.sum(h);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).abs().sum() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn lstm_forget_bias_initialised_to_one() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, "lstm", 2, 3, &mut rng());
+        let bid = store.iter().find(|(_, n, _)| *n == "lstm.bias").unwrap().0;
+        let b = store.value(bid);
+        assert_eq!(b.get(&[0, 3]), 1.0); // forget block starts at hidden
+        assert_eq!(b.get(&[0, 0]), 0.0);
+        drop(cell);
+    }
+
+    #[test]
+    fn conv_lstm_step_shapes() {
+        let mut store = ParamStore::new();
+        let cell = ConvLstmCell::new(&mut store, "cl", 2, 4, 3, &mut rng());
+        assert_eq!(cell.hidden_channels(), 4);
+        let (h0, c0) = cell.zero_state(2, 5, 5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 2, 5, 5]));
+        let h = tape.constant(h0);
+        let c = tape.constant(c0);
+        let (h1, c1) = cell.step(&mut tape, x, (h, c), &store);
+        assert_eq!(tape.value(h1).shape(), &[2, 4, 5, 5]);
+        assert_eq!(tape.value(c1).shape(), &[2, 4, 5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn conv_lstm_rejects_even_kernel() {
+        let mut store = ParamStore::new();
+        let _ = ConvLstmCell::new(&mut store, "cl", 1, 1, 4, &mut rng());
+    }
+
+    #[test]
+    fn conv_lstm_two_steps_grads_flow() {
+        let mut store = ParamStore::new();
+        let cell = ConvLstmCell::new(&mut store, "cl", 1, 2, 3, &mut rng());
+        let (h0, c0) = cell.zero_state(1, 4, 4);
+        let mut tape = Tape::new();
+        let mut h = tape.constant(h0);
+        let mut c = tape.constant(c0);
+        for _ in 0..2 {
+            let x = tape.constant(Tensor::ones(&[1, 1, 4, 4]));
+            let (nh, nc) = cell.step(&mut tape, x, (h, c), &store);
+            h = nh;
+            c = nc;
+        }
+        let loss = tape.sum(h);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(store.grad(id).abs().sum() > 0.0);
+        }
+    }
+}

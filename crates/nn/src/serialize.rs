@@ -1,0 +1,271 @@
+//! Plain-text weight serialisation.
+//!
+//! A deliberately simple, dependency-free format (one parameter per line):
+//!
+//! ```text
+//! bikecap-params v1
+//! <name> <d0>x<d1>x... <v0> <v1> ...
+//! ```
+//!
+//! Floats are written with full round-trip precision via `{:?}` formatting.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use bikecap_autograd::ParamStore;
+use bikecap_tensor::Tensor;
+
+/// Magic header of the weight format.
+const HEADER: &str = "bikecap-params v1";
+
+/// Errors produced when loading weights.
+#[derive(Debug)]
+pub enum LoadParamsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not in the expected format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file's parameters do not match the store (missing name or wrong
+    /// shape).
+    Mismatch(String),
+}
+
+impl fmt::Display for LoadParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadParamsError::Io(e) => write!(f, "i/o error reading parameters: {e}"),
+            LoadParamsError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            LoadParamsError::Mismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadParamsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadParamsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadParamsError {
+    fn from(e: io::Error) -> Self {
+        LoadParamsError::Io(e)
+    }
+}
+
+/// Writes every parameter of `store` to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = io::BufWriter::new(fs::File::create(path)?);
+    writeln!(out, "{HEADER}")?;
+    for (_, name, value) in store.iter() {
+        let dims: Vec<String> = value.shape().iter().map(|d| d.to_string()).collect();
+        write!(out, "{name} {}", if dims.is_empty() { "scalar".to_string() } else { dims.join("x") })?;
+        for v in value.as_slice() {
+            write!(out, " {v:?}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+/// Loads parameters from `path` into `store`, matching by name.
+///
+/// Every parameter in the file must exist in the store with the same shape;
+/// store parameters absent from the file are left untouched.
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure, malformed input, unknown names
+/// or shape mismatches.
+pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), LoadParamsError> {
+    let content = fs::read_to_string(path)?;
+    let mut lines = content.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        Some((_, l)) => {
+            return Err(LoadParamsError::Parse {
+                line: 1,
+                message: format!("expected header '{HEADER}', found '{l}'"),
+            })
+        }
+        None => {
+            return Err(LoadParamsError::Parse {
+                line: 1,
+                message: "empty file".to_string(),
+            })
+        }
+    }
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().ok_or_else(|| LoadParamsError::Parse {
+            line: line_no,
+            message: "missing parameter name".to_string(),
+        })?;
+        let shape_txt = parts.next().ok_or_else(|| LoadParamsError::Parse {
+            line: line_no,
+            message: "missing shape".to_string(),
+        })?;
+        let shape: Vec<usize> = if shape_txt == "scalar" {
+            vec![]
+        } else {
+            shape_txt
+                .split('x')
+                .map(|d| {
+                    d.parse::<usize>().map_err(|_| LoadParamsError::Parse {
+                        line: line_no,
+                        message: format!("invalid dimension '{d}'"),
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let values: Vec<f32> = parts
+            .map(|v| {
+                v.parse::<f32>().map_err(|_| LoadParamsError::Parse {
+                    line: line_no,
+                    message: format!("invalid value '{v}'"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let expected: usize = shape.iter().product();
+        if values.len() != expected {
+            return Err(LoadParamsError::Parse {
+                line: line_no,
+                message: format!(
+                    "shape {shape_txt} implies {expected} values, found {}",
+                    values.len()
+                ),
+            });
+        }
+        let id = store
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .map(|(id, _, _)| id)
+            .ok_or_else(|| {
+                LoadParamsError::Mismatch(format!("store has no parameter named '{name}'"))
+            })?;
+        if store.value(id).shape() != shape.as_slice() {
+            return Err(LoadParamsError::Mismatch(format!(
+                "parameter '{name}': file shape {:?} vs store shape {:?}",
+                shape,
+                store.value(id).shape()
+            )));
+        }
+        store.set_value(id, Tensor::from_vec(values, &shape));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bikecap-serialize-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip_exact() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        let a = store.add("layer.weight", Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng));
+        let b = store.add("layer.bias", Tensor::randn(&[4], 0.0, 1.0, &mut rng));
+        let path = tmp("roundtrip");
+        save_params(&store, &path).unwrap();
+
+        let mut restored = ParamStore::new();
+        let a2 = restored.add("layer.weight", Tensor::zeros(&[3, 4]));
+        let b2 = restored.add("layer.bias", Tensor::zeros(&[4]));
+        load_params(&mut restored, &path).unwrap();
+        assert_eq!(restored.value(a2), store.value(a));
+        assert_eq!(restored.value(b2), store.value(b));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_wrong_header() {
+        let path = tmp("badheader");
+        fs::write(&path, "something else\n").unwrap();
+        let mut store = ParamStore::new();
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Parse { line: 1, .. }));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_unknown_parameter() {
+        let path = tmp("unknown");
+        fs::write(&path, format!("{HEADER}\nmystery 2 1.0 2.0\n")).unwrap();
+        let mut store = ParamStore::new();
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Mismatch(_)));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let path = tmp("shape");
+        fs::write(&path, format!("{HEADER}\np 3 1.0 2.0 3.0\n")).unwrap();
+        let mut store = ParamStore::new();
+        store.add("p", Tensor::zeros(&[2]));
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Mismatch(_)));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_value_count_mismatch() {
+        let path = tmp("count");
+        fs::write(&path, format!("{HEADER}\np 3 1.0 2.0\n")).unwrap();
+        let mut store = ParamStore::new();
+        store.add("p", Tensor::zeros(&[3]));
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Parse { .. }));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scalar_parameters_roundtrip() {
+        let mut store = ParamStore::new();
+        let s = store.add("temperature", Tensor::scalar(2.5));
+        let path = tmp("scalar");
+        save_params(&store, &path).unwrap();
+        let mut restored = ParamStore::new();
+        let s2 = restored.add("temperature", Tensor::scalar(0.0));
+        load_params(&mut restored, &path).unwrap();
+        assert_eq!(restored.value(s2).item(), store.value(s).item());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = LoadParamsError::Parse {
+            line: 7,
+            message: "boom".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 7") && text.contains("boom"));
+    }
+}

@@ -1,0 +1,549 @@
+//! PredRNN / PredRNN++ building blocks: the spatio-temporal LSTM cell, the
+//! causal LSTM cell and the gradient highway unit.
+//!
+//! These reproduce Wang et al. (NeurIPS 2017) and Wang et al. (ICML 2018) at
+//! the fidelity needed for the paper's baseline comparison: all gate
+//! transforms are same-padded 2-D convolutions, the spatio-temporal memory
+//! `M` zigzags across layers and time in the forecaster that drives the
+//! cells (see `bikecap-baselines`).
+
+use bikecap_autograd::{ParamId, ParamStore, Tape, Var};
+use bikecap_tensor::Tensor;
+use rand::Rng;
+
+use crate::init::glorot_uniform;
+
+fn conv_param<R: Rng + ?Sized>(
+    store: &mut ParamStore,
+    name: String,
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    rng: &mut R,
+) -> ParamId {
+    store.add(
+        name,
+        glorot_uniform(&[out_c, in_c, k, k], in_c * k * k, out_c * k * k, rng),
+    )
+}
+
+/// PredRNN's spatio-temporal LSTM cell (ST-LSTM).
+///
+/// Carries two memories: the classic cell state `C` (per layer, across time)
+/// and the spatio-temporal memory `M` (handed from the top layer at `t-1` to
+/// the bottom layer at `t`).
+#[derive(Debug, Clone)]
+pub struct StLstmCell {
+    wx: ParamId,  // X -> 7*Ch: g, i, f, g', i', f', o
+    wh: ParamId,  // H -> 4*Ch: g, i, f, o
+    wm: ParamId,  // M -> 3*Ch: g', i', f'
+    wco: ParamId, // C_t -> Ch (output-gate term)
+    wmo: ParamId, // M_t -> Ch (output-gate term)
+    w11: ParamId, // [C_t, M_t] -> Ch, 1x1
+    bias: ParamId,
+    hidden: usize,
+    kernel: usize,
+}
+
+impl StLstmCell {
+    /// Registers an ST-LSTM cell with square same-padded `kernel` convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        hidden_channels: usize,
+        kernel: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "StLstmCell requires an odd kernel, got {kernel}");
+        let ch = hidden_channels;
+        StLstmCell {
+            wx: conv_param(store, format!("{name}.wx"), 7 * ch, in_channels, kernel, rng),
+            wh: conv_param(store, format!("{name}.wh"), 4 * ch, ch, kernel, rng),
+            wm: conv_param(store, format!("{name}.wm"), 3 * ch, ch, kernel, rng),
+            wco: conv_param(store, format!("{name}.wco"), ch, ch, kernel, rng),
+            wmo: conv_param(store, format!("{name}.wmo"), ch, ch, kernel, rng),
+            w11: conv_param(store, format!("{name}.w11"), ch, 2 * ch, 1, rng),
+            bias: store.add(format!("{name}.bias"), Tensor::zeros(&[1, 7 * ch, 1, 1])),
+            hidden: ch,
+            kernel,
+        }
+    }
+
+    /// Hidden/memory channel count.
+    pub fn hidden_channels(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero `(h, c, m)` state maps.
+    pub fn zero_state(&self, batch: usize, height: usize, width: usize) -> (Tensor, Tensor, Tensor) {
+        let s = [batch, self.hidden, height, width];
+        (Tensor::zeros(&s), Tensor::zeros(&s), Tensor::zeros(&s))
+    }
+
+    /// One step: `(x, h, c, m) -> (h', c', m')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        h: Var,
+        c: Var,
+        m: Var,
+        store: &ParamStore,
+    ) -> (Var, Var, Var) {
+        let pad = self.kernel / 2;
+        let ch = self.hidden;
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let wm = tape.param(store, self.wm);
+        let bias = tape.param(store, self.bias);
+
+        let gx0 = tape.conv2d(x, wx, (1, 1), (pad, pad));
+        let gx = tape.add(gx0, bias);
+        let gh = tape.conv2d(h, wh, (1, 1), (pad, pad));
+        let gm = tape.conv2d(m, wm, (1, 1), (pad, pad));
+
+        // Split the X projections.
+        let xg = tape.narrow(gx, 1, 0, ch);
+        let xi = tape.narrow(gx, 1, ch, ch);
+        let xf = tape.narrow(gx, 1, 2 * ch, ch);
+        let xg2 = tape.narrow(gx, 1, 3 * ch, ch);
+        let xi2 = tape.narrow(gx, 1, 4 * ch, ch);
+        let xf2 = tape.narrow(gx, 1, 5 * ch, ch);
+        let xo = tape.narrow(gx, 1, 6 * ch, ch);
+        // H projections: g, i, f, o.
+        let hg = tape.narrow(gh, 1, 0, ch);
+        let hi = tape.narrow(gh, 1, ch, ch);
+        let hf = tape.narrow(gh, 1, 2 * ch, ch);
+        let ho = tape.narrow(gh, 1, 3 * ch, ch);
+        // M projections: g', i', f'.
+        let mg = tape.narrow(gm, 1, 0, ch);
+        let mi = tape.narrow(gm, 1, ch, ch);
+        let mf = tape.narrow(gm, 1, 2 * ch, ch);
+
+        // Temporal memory C.
+        let s1 = tape.add(xg, hg);
+        let g = tape.tanh(s1);
+        let s2 = tape.add(xi, hi);
+        let i = tape.sigmoid(s2);
+        let s3 = tape.add(xf, hf);
+        let f = tape.sigmoid(s3);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+
+        // Spatio-temporal memory M.
+        let s4 = tape.add(xg2, mg);
+        let g2 = tape.tanh(s4);
+        let s5 = tape.add(xi2, mi);
+        let i2 = tape.sigmoid(s5);
+        let s6 = tape.add(xf2, mf);
+        let f2 = tape.sigmoid(s6);
+        let fm = tape.mul(f2, m);
+        let ig2 = tape.mul(i2, g2);
+        let m_new = tape.add(fm, ig2);
+
+        // Output gate sees both memories.
+        let wco = tape.param(store, self.wco);
+        let wmo = tape.param(store, self.wmo);
+        let co = tape.conv2d(c_new, wco, (1, 1), (pad, pad));
+        let mo = tape.conv2d(m_new, wmo, (1, 1), (pad, pad));
+        let o1 = tape.add(xo, ho);
+        let o2 = tape.add(o1, co);
+        let o3 = tape.add(o2, mo);
+        let o = tape.sigmoid(o3);
+
+        let w11 = tape.param(store, self.w11);
+        let cm = tape.concat(&[c_new, m_new], 1);
+        let mix = tape.conv2d(cm, w11, (1, 1), (0, 0));
+        let tm = tape.tanh(mix);
+        let h_new = tape.mul(o, tm);
+        (h_new, c_new, m_new)
+    }
+}
+
+/// PredRNN++'s causal LSTM cell: the two memories are updated in *cascade*
+/// (`C` first, then `M` conditioned on the new `C`), deepening the
+/// transition path per step.
+#[derive(Debug, Clone)]
+pub struct CausalLstmCell {
+    wx: ParamId,  // X -> 7*Ch: g, i, f, g', i', f', o
+    wh: ParamId,  // H -> 3*Ch: g, i, f
+    wc: ParamId,  // C -> 3*Ch: g, i, f
+    wc2: ParamId, // C_t -> 3*Ch: g', i', f' (cascade stage)
+    wm: ParamId,  // M -> 3*Ch: g', i', f'
+    wmm: ParamId, // M -> Ch (forget path tanh)
+    wco: ParamId, // C_t -> Ch (output-gate term)
+    wmo: ParamId, // M_t -> Ch (output-gate term)
+    who: ParamId, // H -> Ch (output-gate term)
+    w11: ParamId, // [C_t, M_t] -> Ch, 1x1
+    bias: ParamId,
+    hidden: usize,
+    kernel: usize,
+}
+
+impl CausalLstmCell {
+    /// Registers a causal LSTM cell with square same-padded `kernel`
+    /// convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        hidden_channels: usize,
+        kernel: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "CausalLstmCell requires an odd kernel, got {kernel}");
+        let ch = hidden_channels;
+        CausalLstmCell {
+            wx: conv_param(store, format!("{name}.wx"), 7 * ch, in_channels, kernel, rng),
+            wh: conv_param(store, format!("{name}.wh"), 3 * ch, ch, kernel, rng),
+            wc: conv_param(store, format!("{name}.wc"), 3 * ch, ch, kernel, rng),
+            wc2: conv_param(store, format!("{name}.wc2"), 3 * ch, ch, kernel, rng),
+            wm: conv_param(store, format!("{name}.wm"), 3 * ch, ch, kernel, rng),
+            wmm: conv_param(store, format!("{name}.wmm"), ch, ch, kernel, rng),
+            wco: conv_param(store, format!("{name}.wco"), ch, ch, kernel, rng),
+            wmo: conv_param(store, format!("{name}.wmo"), ch, ch, kernel, rng),
+            who: conv_param(store, format!("{name}.who"), ch, ch, kernel, rng),
+            w11: conv_param(store, format!("{name}.w11"), ch, 2 * ch, 1, rng),
+            bias: store.add(format!("{name}.bias"), Tensor::zeros(&[1, 7 * ch, 1, 1])),
+            hidden: ch,
+            kernel,
+        }
+    }
+
+    /// Hidden/memory channel count.
+    pub fn hidden_channels(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero `(h, c, m)` state maps.
+    pub fn zero_state(&self, batch: usize, height: usize, width: usize) -> (Tensor, Tensor, Tensor) {
+        let s = [batch, self.hidden, height, width];
+        (Tensor::zeros(&s), Tensor::zeros(&s), Tensor::zeros(&s))
+    }
+
+    /// One step: `(x, h, c, m) -> (h', c', m')` with the cascaded update.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        x: Var,
+        h: Var,
+        c: Var,
+        m: Var,
+        store: &ParamStore,
+    ) -> (Var, Var, Var) {
+        let pad = self.kernel / 2;
+        let ch = self.hidden;
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let wc = tape.param(store, self.wc);
+        let bias = tape.param(store, self.bias);
+
+        let gx0 = tape.conv2d(x, wx, (1, 1), (pad, pad));
+        let gx = tape.add(gx0, bias);
+        let gh = tape.conv2d(h, wh, (1, 1), (pad, pad));
+        let gc = tape.conv2d(c, wc, (1, 1), (pad, pad));
+
+        let xg = tape.narrow(gx, 1, 0, ch);
+        let xi = tape.narrow(gx, 1, ch, ch);
+        let xf = tape.narrow(gx, 1, 2 * ch, ch);
+        let xg2 = tape.narrow(gx, 1, 3 * ch, ch);
+        let xi2 = tape.narrow(gx, 1, 4 * ch, ch);
+        let xf2 = tape.narrow(gx, 1, 5 * ch, ch);
+        let xo = tape.narrow(gx, 1, 6 * ch, ch);
+        let hg = tape.narrow(gh, 1, 0, ch);
+        let hi = tape.narrow(gh, 1, ch, ch);
+        let hf = tape.narrow(gh, 1, 2 * ch, ch);
+        let cg = tape.narrow(gc, 1, 0, ch);
+        let ci = tape.narrow(gc, 1, ch, ch);
+        let cf = tape.narrow(gc, 1, 2 * ch, ch);
+
+        // Stage 1: temporal memory C (conditioned on X, H, C).
+        let s1a = tape.add(xg, hg);
+        let s1 = tape.add(s1a, cg);
+        let g = tape.tanh(s1);
+        let s2a = tape.add(xi, hi);
+        let s2 = tape.add(s2a, ci);
+        let i = tape.sigmoid(s2);
+        let s3a = tape.add(xf, hf);
+        let s3 = tape.add(s3a, cf);
+        let f = tape.sigmoid(s3);
+        let fc = tape.mul(f, c);
+        let ig = tape.mul(i, g);
+        let c_new = tape.add(fc, ig);
+
+        // Stage 2: spatio-temporal memory M (conditioned on X, C_t, M).
+        let wc2 = tape.param(store, self.wc2);
+        let wm = tape.param(store, self.wm);
+        let wmm = tape.param(store, self.wmm);
+        let gc2 = tape.conv2d(c_new, wc2, (1, 1), (pad, pad));
+        let gm = tape.conv2d(m, wm, (1, 1), (pad, pad));
+        let c2g = tape.narrow(gc2, 1, 0, ch);
+        let c2i = tape.narrow(gc2, 1, ch, ch);
+        let c2f = tape.narrow(gc2, 1, 2 * ch, ch);
+        let mg = tape.narrow(gm, 1, 0, ch);
+        let mi = tape.narrow(gm, 1, ch, ch);
+        let mf = tape.narrow(gm, 1, 2 * ch, ch);
+
+        let s4a = tape.add(xg2, c2g);
+        let s4 = tape.add(s4a, mg);
+        let g2 = tape.tanh(s4);
+        let s5a = tape.add(xi2, c2i);
+        let s5 = tape.add(s5a, mi);
+        let i2 = tape.sigmoid(s5);
+        let s6a = tape.add(xf2, c2f);
+        let s6 = tape.add(s6a, mf);
+        let f2 = tape.sigmoid(s6);
+        let m_mix = tape.conv2d(m, wmm, (1, 1), (pad, pad));
+        let m_tan = tape.tanh(m_mix);
+        let fm = tape.mul(f2, m_tan);
+        let ig2 = tape.mul(i2, g2);
+        let m_new = tape.add(fm, ig2);
+
+        // Output gate sees X, H, C_t, M_t.
+        let wco = tape.param(store, self.wco);
+        let wmo = tape.param(store, self.wmo);
+        let who = tape.param(store, self.who);
+        let co = tape.conv2d(c_new, wco, (1, 1), (pad, pad));
+        let mo = tape.conv2d(m_new, wmo, (1, 1), (pad, pad));
+        let ho = tape.conv2d(h, who, (1, 1), (pad, pad));
+        let o1 = tape.add(xo, ho);
+        let o2 = tape.add(o1, co);
+        let o3 = tape.add(o2, mo);
+        let o = tape.sigmoid(o3);
+
+        let w11 = tape.param(store, self.w11);
+        let cm = tape.concat(&[c_new, m_new], 1);
+        let mix = tape.conv2d(cm, w11, (1, 1), (0, 0));
+        let tm = tape.tanh(mix);
+        let h_new = tape.mul(o, tm);
+        (h_new, c_new, m_new)
+    }
+}
+
+/// PredRNN++'s gradient highway unit (GHU): a gated skip path across time
+/// that alleviates vanishing gradients in deep-in-time unrollings.
+#[derive(Debug, Clone)]
+pub struct GradientHighwayUnit {
+    wpx: ParamId,
+    wpz: ParamId,
+    wsx: ParamId,
+    wsz: ParamId,
+    hidden: usize,
+    kernel: usize,
+}
+
+impl GradientHighwayUnit {
+    /// Registers a GHU with square same-padded `kernel` convolutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        hidden_channels: usize,
+        kernel: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "GradientHighwayUnit requires an odd kernel");
+        GradientHighwayUnit {
+            wpx: conv_param(store, format!("{name}.wpx"), hidden_channels, in_channels, kernel, rng),
+            wpz: conv_param(store, format!("{name}.wpz"), hidden_channels, hidden_channels, kernel, rng),
+            wsx: conv_param(store, format!("{name}.wsx"), hidden_channels, in_channels, kernel, rng),
+            wsz: conv_param(store, format!("{name}.wsz"), hidden_channels, hidden_channels, kernel, rng),
+            hidden: hidden_channels,
+            kernel,
+        }
+    }
+
+    /// Highway state channel count.
+    pub fn hidden_channels(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh zero highway state.
+    pub fn zero_state(&self, batch: usize, height: usize, width: usize) -> Tensor {
+        Tensor::zeros(&[batch, self.hidden, height, width])
+    }
+
+    /// One step: `z' = s ∘ p + (1 - s) ∘ z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn step(&self, tape: &mut Tape, x: Var, z: Var, store: &ParamStore) -> Var {
+        let pad = self.kernel / 2;
+        let wpx = tape.param(store, self.wpx);
+        let wpz = tape.param(store, self.wpz);
+        let wsx = tape.param(store, self.wsx);
+        let wsz = tape.param(store, self.wsz);
+        let px = tape.conv2d(x, wpx, (1, 1), (pad, pad));
+        let pz = tape.conv2d(z, wpz, (1, 1), (pad, pad));
+        let psum = tape.add(px, pz);
+        let p = tape.tanh(psum);
+        let sx = tape.conv2d(x, wsx, (1, 1), (pad, pad));
+        let sz = tape.conv2d(z, wsz, (1, 1), (pad, pad));
+        let ssum = tape.add(sx, sz);
+        let s = tape.sigmoid(ssum);
+        let sp = tape.mul(s, p);
+        let ones = tape.constant(Tensor::ones(tape.value(s).shape()));
+        let inv = tape.sub(ones, s);
+        let carry = tape.mul(inv, z);
+        tape.add(sp, carry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn st_lstm_shapes_and_memory_flow() {
+        let mut store = ParamStore::new();
+        let cell = StLstmCell::new(&mut store, "st", 2, 3, 3, &mut rng());
+        assert_eq!(cell.hidden_channels(), 3);
+        let (h0, c0, m0) = cell.zero_state(1, 4, 4);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[1, 2, 4, 4]));
+        let h = tape.constant(h0);
+        let c = tape.constant(c0);
+        let m = tape.constant(m0);
+        let (h1, c1, m1) = cell.step(&mut tape, x, h, c, m, &store);
+        assert_eq!(tape.value(h1).shape(), &[1, 3, 4, 4]);
+        assert_eq!(tape.value(c1).shape(), &[1, 3, 4, 4]);
+        assert_eq!(tape.value(m1).shape(), &[1, 3, 4, 4]);
+        // The memories must actually move away from zero.
+        assert!(tape.value(c1).abs().sum() > 0.0);
+        assert!(tape.value(m1).abs().sum() > 0.0);
+    }
+
+    #[test]
+    fn st_lstm_all_params_receive_gradient() {
+        let mut store = ParamStore::new();
+        let cell = StLstmCell::new(&mut store, "st", 1, 2, 3, &mut rng());
+        let (h0, c0, m0) = cell.zero_state(1, 3, 3);
+        let mut tape = Tape::new();
+        let mut h = tape.constant(h0);
+        let mut c = tape.constant(c0);
+        let mut m = tape.constant(m0);
+        // Two steps so the hidden state is non-zero and every weight matrix
+        // (including the H projections) contributes to the loss.
+        for _ in 0..2 {
+            let x = tape.constant(Tensor::ones(&[1, 1, 3, 3]));
+            let (nh, nc, nm) = cell.step(&mut tape, x, h, c, m, &store);
+            h = nh;
+            c = nc;
+            m = nm;
+        }
+        let loss = tape.sum(h);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).abs().sum() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn causal_lstm_shapes_and_cascade() {
+        let mut store = ParamStore::new();
+        let cell = CausalLstmCell::new(&mut store, "cz", 2, 3, 3, &mut rng());
+        let (h0, c0, m0) = cell.zero_state(2, 4, 4);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 2, 4, 4]));
+        let h = tape.constant(h0);
+        let c = tape.constant(c0);
+        let m = tape.constant(m0);
+        let (h1, c1, m1) = cell.step(&mut tape, x, h, c, m, &store);
+        assert_eq!(tape.value(h1).shape(), &[2, 3, 4, 4]);
+        assert!(tape.value(c1).abs().sum() > 0.0);
+        assert!(tape.value(m1).abs().sum() > 0.0);
+    }
+
+    #[test]
+    fn causal_lstm_all_params_receive_gradient() {
+        let mut store = ParamStore::new();
+        let cell = CausalLstmCell::new(&mut store, "cz", 1, 2, 3, &mut rng());
+        let (h0, c0, m0) = cell.zero_state(1, 3, 3);
+        let mut tape = Tape::new();
+        let mut h = tape.constant(h0);
+        let mut c = tape.constant(c0);
+        let mut m = tape.constant(m0);
+        for _ in 0..2 {
+            let x = tape.constant(Tensor::ones(&[1, 1, 3, 3]));
+            let (nh, nc, nm) = cell.step(&mut tape, x, h, c, m, &store);
+            h = nh;
+            c = nc;
+            m = nm;
+        }
+        let loss = tape.sum(h);
+        tape.backward(loss, &mut store);
+        for (id, _, _) in store.iter().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).abs().sum() > 0.0,
+                "no gradient for {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn ghu_zero_gate_carries_state() {
+        // With all-zero parameters s = sigmoid(0) = 0.5, so z' = 0.5 p + 0.5 z;
+        // with zero inputs p = 0, so z' = 0.5 z.
+        let mut store = ParamStore::new();
+        let ghu = GradientHighwayUnit::new(&mut store, "ghu", 1, 2, 3, &mut rng());
+        // Zero all parameters.
+        let ids: Vec<_> = store.iter().map(|(id, _, v)| (id, v.shape().to_vec())).collect();
+        for (id, shape) in ids {
+            store.set_value(id, Tensor::zeros(&shape));
+        }
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 1, 3, 3]));
+        let z = tape.constant(Tensor::full(&[1, 2, 3, 3], 2.0));
+        let z1 = ghu.step(&mut tape, x, z, &store);
+        for &v in tape.value(z1).as_slice() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ghu_shapes() {
+        let mut store = ParamStore::new();
+        let ghu = GradientHighwayUnit::new(&mut store, "ghu", 2, 3, 3, &mut rng());
+        assert_eq!(ghu.hidden_channels(), 3);
+        let z0 = ghu.zero_state(2, 5, 5);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::ones(&[2, 2, 5, 5]));
+        let z = tape.constant(z0);
+        let z1 = ghu.step(&mut tape, x, z, &store);
+        assert_eq!(tape.value(z1).shape(), &[2, 3, 5, 5]);
+    }
+}

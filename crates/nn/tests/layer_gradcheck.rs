@@ -1,0 +1,220 @@
+//! Finite-difference gradient checks through whole layers: the composition
+//! of ops inside each layer must differentiate correctly end to end.
+
+use bikecap_autograd::{ParamStore, Tape};
+use bikecap_nn::graph::{grid_adjacency, normalized_laplacian, scaled_laplacian};
+use bikecap_nn::{ChebConv, Conv3d, ConvLstmCell, Dense, LstmCell, PyramidConv3d};
+use bikecap_tensor::conv::Conv3dSpec;
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks the gradient of a layer's *parameters* by treating every parameter
+/// as a grad-check input: rebuild the layer each evaluation with the
+/// perturbed values.
+fn layer_param_check(
+    build_loss: impl Fn(&mut Tape, &ParamStore) -> bikecap_autograd::Var,
+    store: &ParamStore,
+    tol: f32,
+) {
+    // Analytic gradients.
+    let mut analytic_store = store.clone();
+    analytic_store.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build_loss(&mut tape, &analytic_store);
+    tape.backward(loss, &mut analytic_store);
+
+    // Numeric: central differences over every coordinate of every parameter.
+    let eps = 1e-2;
+    for (id, name, value) in store.iter() {
+        let mut perturbed = store.clone();
+        for ci in 0..value.len() {
+            let orig = value.as_slice()[ci];
+            let mut v = value.clone();
+            v.as_mut_slice()[ci] = orig + eps;
+            perturbed.set_value(id, v.clone());
+            let mut tp = Tape::new();
+            let l = build_loss(&mut tp, &perturbed);
+            let lp = tp.value(l).item();
+            v.as_mut_slice()[ci] = orig - eps;
+            perturbed.set_value(id, v.clone());
+            let mut tm = Tape::new();
+            let l = build_loss(&mut tm, &perturbed);
+            let lm = tm.value(l).item();
+            v.as_mut_slice()[ci] = orig;
+            perturbed.set_value(id, v);
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic_store.grad(id).as_slice()[ci];
+            let rel = (fd - an).abs() / fd.abs().max(an.abs()).max(1.0);
+            assert!(
+                rel < tol,
+                "{name}[{ci}]: finite-diff {fd} vs analytic {an} (rel {rel})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_layer_parameter_gradients() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut store = ParamStore::new();
+    let layer = Dense::new(&mut store, "fc", 3, 2, &mut rng);
+    let x = Tensor::randn(&[4, 3], 0.0, 1.0, &mut rng);
+    layer_param_check(
+        move |tape, st| {
+            let xv = tape.constant(x.clone());
+            let y = layer.forward(tape, xv, st);
+            let s = tape.square(y);
+            tape.sum(s)
+        },
+        &store,
+        2e-2,
+    );
+}
+
+#[test]
+fn pyramid_conv_parameter_gradients() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut store = ParamStore::new();
+    let layer = PyramidConv3d::new(&mut store, "p", 1, 1, 2, &mut rng);
+    let x = Tensor::randn(&[1, 1, 3, 3, 3], 0.0, 1.0, &mut rng);
+    layer_param_check(
+        move |tape, st| {
+            let xv = tape.constant(x.clone());
+            let y = layer.forward(tape, xv, st);
+            let s = tape.square(y);
+            tape.sum(s)
+        },
+        &store,
+        3e-2,
+    );
+}
+
+#[test]
+fn conv3d_layer_parameter_gradients() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut store = ParamStore::new();
+    let layer = Conv3d::new(
+        &mut store,
+        "c",
+        1,
+        2,
+        (2, 2, 2),
+        Conv3dSpec::default(),
+        &mut rng,
+    );
+    let x = Tensor::randn(&[1, 1, 3, 3, 3], 0.0, 1.0, &mut rng);
+    layer_param_check(
+        move |tape, st| {
+            let xv = tape.constant(x.clone());
+            let y = layer.forward(tape, xv, st);
+            let s = tape.square(y);
+            tape.sum(s)
+        },
+        &store,
+        3e-2,
+    );
+}
+
+#[test]
+fn chebconv_parameter_gradients() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let layer = ChebConv::new(&mut store, "gc", 2, 2, 2, &mut rng);
+    let lap = scaled_laplacian(&normalized_laplacian(&grid_adjacency(2, 2, 1)));
+    let x = Tensor::randn(&[1, 4, 2], 0.0, 1.0, &mut rng);
+    layer_param_check(
+        move |tape, st| {
+            let xv = tape.constant(x.clone());
+            let y = layer.forward(tape, xv, &lap, st);
+            let s = tape.square(y);
+            tape.sum(s)
+        },
+        &store,
+        3e-2,
+    );
+}
+
+/// Checks gradients w.r.t. a designated "input" parameter registered in the
+/// same store as the layer's weights (the tape requires a single store).
+fn input_grad_check(
+    store: &ParamStore,
+    input_id: bikecap_autograd::ParamId,
+    build_loss: impl Fn(&mut Tape, &ParamStore) -> bikecap_autograd::Var,
+    tol: f32,
+) {
+    let mut analytic = store.clone();
+    analytic.zero_grads();
+    let mut tape = Tape::new();
+    let loss = build_loss(&mut tape, &analytic);
+    tape.backward(loss, &mut analytic);
+    let grads = analytic.grad(input_id).clone();
+
+    let eps = 1e-2;
+    let mut perturbed = store.clone();
+    let base = store.value(input_id).clone();
+    for ci in 0..base.len() {
+        let orig = base.as_slice()[ci];
+        let mut v = base.clone();
+        v.as_mut_slice()[ci] = orig + eps;
+        perturbed.set_value(input_id, v.clone());
+        let mut tp = Tape::new();
+        let l = build_loss(&mut tp, &perturbed);
+        let lp = tp.value(l).item();
+        v.as_mut_slice()[ci] = orig - eps;
+        perturbed.set_value(input_id, v.clone());
+        let mut tm = Tape::new();
+        let l = build_loss(&mut tm, &perturbed);
+        let lm = tm.value(l).item();
+        v.as_mut_slice()[ci] = orig;
+        perturbed.set_value(input_id, v);
+        let fd = (lp - lm) / (2.0 * eps);
+        let an = grads.as_slice()[ci];
+        let rel = (fd - an).abs() / fd.abs().max(an.abs()).max(1.0);
+        assert!(rel < tol, "input[{ci}]: finite-diff {fd} vs analytic {an}");
+    }
+}
+
+#[test]
+fn lstm_cell_input_gradients() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut store = ParamStore::new();
+    let cell = LstmCell::new(&mut store, "l", 2, 3, &mut rng);
+    let input = store.add("input", Tensor::randn(&[2, 2], 0.0, 1.0, &mut rng));
+    input_grad_check(
+        &store,
+        input,
+        move |tape, st| {
+            let xv = tape.param(st, input);
+            let (h0, c0) = cell.zero_state(2);
+            let h = tape.constant(h0);
+            let c = tape.constant(c0);
+            let (h1, _) = cell.step(tape, xv, (h, c), st);
+            let s = tape.square(h1);
+            tape.sum(s)
+        },
+        3e-2,
+    );
+}
+
+#[test]
+fn conv_lstm_cell_input_gradients() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut store = ParamStore::new();
+    let cell = ConvLstmCell::new(&mut store, "cl", 1, 2, 3, &mut rng);
+    let input = store.add("input", Tensor::randn(&[1, 1, 3, 3], 0.0, 1.0, &mut rng));
+    input_grad_check(
+        &store,
+        input,
+        move |tape, st| {
+            let xv = tape.param(st, input);
+            let (h0, c0) = cell.zero_state(1, 3, 3);
+            let h = tape.constant(h0);
+            let c = tape.constant(c0);
+            let (h1, _) = cell.step(tape, xv, (h, c), st);
+            let s = tape.square(h1);
+            tape.sum(s)
+        },
+        3e-2,
+    );
+}

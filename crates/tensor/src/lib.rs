@@ -1,0 +1,62 @@
+//! Dense `f32` N-dimensional tensors for the BikeCAP reproduction.
+//!
+//! This crate is the numeric substrate that every other crate in the workspace
+//! builds on: the autograd tape (`bikecap-autograd`), the layer zoo
+//! (`bikecap-nn`), the city simulator and the models. It deliberately keeps a
+//! small, predictable surface:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` array with a dynamic
+//!   shape.
+//! * NumPy-style broadcasting for elementwise arithmetic ([`broadcast_shapes`]).
+//! * Reductions, `matmul`, axis permutation, concatenation and slicing.
+//! * Convolution kernels (2-D and 3-D, plus transposed 3-D) with explicit
+//!   forward / backward-input / backward-weight entry points in [`conv`], so the
+//!   autograd crate can wire them into differentiable ops.
+//!
+//! # Example
+//!
+//! ```
+//! use bikecap_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::full(&[2, 2], 10.0);
+//! let c = a.add(&b);
+//! assert_eq!(c.as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+//! ```
+//!
+//! # Error handling
+//!
+//! Shape mismatches are programming errors, so the arithmetic API panics with a
+//! descriptive message (each method documents its panic conditions), mirroring
+//! the behaviour of `ndarray` and of indexing a slice out of bounds. Fallible,
+//! data-dependent operations (parsing, I/O) live in higher-level crates and
+//! return typed errors there.
+
+pub mod conv;
+pub mod shape;
+mod tensor;
+
+pub use shape::{broadcast_shapes, strides_for};
+pub use tensor::Tensor;
+
+/// Asserts that two tensors have the same shape and element-wise values within
+/// `tol`, panicking with a readable diff otherwise. Intended for tests.
+///
+/// # Panics
+///
+/// Panics if shapes differ or any element differs by more than `tol`.
+pub fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "tensor shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "tensors differ at flat index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}

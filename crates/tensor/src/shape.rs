@@ -1,0 +1,171 @@
+//! Shape algebra: strides, offset arithmetic and broadcasting rules.
+
+/// Returns the row-major strides for `shape`.
+///
+/// The stride of the last axis is 1; every preceding axis strides by the
+/// product of the trailing extents. A zero-dimensional shape yields an empty
+/// stride vector.
+///
+/// ```
+/// assert_eq!(bikecap_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Number of elements for `shape` (1 for a scalar shape `[]`).
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes the NumPy broadcast of two shapes, or `None` when incompatible.
+///
+/// Shapes are right-aligned; each axis pair must be equal or contain a 1.
+///
+/// ```
+/// use bikecap_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]), Some(vec![4, 2, 3]));
+/// assert_eq!(broadcast_shapes(&[4, 2], &[3, 2]), None);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+/// Right-aligns `shape` against a broadcast result of `ndim` axes and returns
+/// strides where broadcast axes (extent 1, or missing leading axes) stride 0.
+pub(crate) fn broadcast_strides(shape: &[usize], ndim: usize) -> Vec<usize> {
+    let own = strides_for(shape);
+    let mut out = vec![0; ndim];
+    let offset = ndim - shape.len();
+    for i in 0..shape.len() {
+        out[offset + i] = if shape[i] == 1 { 0 } else { own[i] };
+    }
+    out
+}
+
+/// An odometer over a multi-dimensional index space.
+///
+/// Yields nothing by itself; callers advance it and read the current index.
+/// Used to implement strided traversal for permute / broadcast / reductions.
+#[derive(Debug, Clone)]
+pub(crate) struct Odometer {
+    shape: Vec<usize>,
+    index: Vec<usize>,
+    done: bool,
+}
+
+impl Odometer {
+    pub(crate) fn new(shape: &[usize]) -> Self {
+        Odometer {
+            shape: shape.to_vec(),
+            index: vec![0; shape.len()],
+            done: num_elements(shape) == 0,
+        }
+    }
+
+    pub(crate) fn index(&self) -> &[usize] {
+        &self.index
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Advances to the next index in row-major order.
+    pub(crate) fn advance(&mut self) {
+        for axis in (0..self.shape.len()).rev() {
+            self.index[axis] += 1;
+            if self.index[axis] < self.shape[axis] {
+                return;
+            }
+            self.index[axis] = 0;
+        }
+        self.done = true;
+    }
+}
+
+/// Dot product of an index with strides: the flat offset of that index.
+pub(crate) fn offset_of(index: &[usize], strides: &[usize]) -> usize {
+    index.iter().zip(strides).map(|(i, s)| i * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[4, 2], &[3, 2]), None);
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded() {
+        // shape [3] against ndim 3 -> strides [0, 0, 1]
+        assert_eq!(broadcast_strides(&[3], 3), vec![0, 0, 1]);
+        // shape [2, 1, 3]: middle axis broadcasts
+        assert_eq!(broadcast_strides(&[2, 1, 3], 3), vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn odometer_covers_space_in_row_major_order() {
+        let mut odo = Odometer::new(&[2, 3]);
+        let mut seen = Vec::new();
+        while !odo.is_done() {
+            seen.push(odo.index().to_vec());
+            odo.advance();
+        }
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn odometer_empty_shape_is_done_immediately() {
+        let odo = Odometer::new(&[0, 3]);
+        assert!(odo.is_done());
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let strides = strides_for(&[2, 3, 4]);
+        assert_eq!(offset_of(&[1, 2, 3], &strides), 12 + 8 + 3);
+    }
+}

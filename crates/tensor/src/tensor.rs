@@ -1,0 +1,1131 @@
+//! The [`Tensor`] type: an owned, contiguous, row-major `f32` array.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::shape::{
+    broadcast_shapes, broadcast_strides, num_elements, offset_of, strides_for, Odometer,
+};
+
+/// An owned, contiguous, row-major `f32` tensor with a dynamic shape.
+///
+/// All operations allocate their result; in-place variants are provided where
+/// they matter for training throughput (`add_assign_`, `scale_`).
+///
+/// ```
+/// use bikecap_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+/// assert_eq!(t.get(&[1, 2]), 6.0);
+/// assert_eq!(t.sum(), 21.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; num_elements(shape)],
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; num_elements(shape)],
+        }
+    }
+
+    /// A zero-dimensional tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// Builds a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            num_elements(shape),
+            "from_vec: data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a tensor by evaluating `f` at every multi-index in row-major
+    /// order.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(&[usize]) -> f32) -> Self {
+        let mut data = Vec::with_capacity(num_elements(shape));
+        let mut odo = Odometer::new(shape);
+        while !odo.is_done() {
+            data.push(f(odo.index()));
+            odo.advance();
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        assert!(lo < hi, "rand_uniform: empty range [{lo}, {hi})");
+        let data = (0..num_elements(shape)).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// A tensor with elements drawn from a normal distribution via Box–Muller.
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], mean: f32, std: f32, rng: &mut R) -> Self {
+        let n = num_elements(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape (extent per axis).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (some axis has extent 0).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.shape.len(),
+            "index rank {} does not match tensor rank {}",
+            index.len(),
+            self.shape.len()
+        );
+        for (axis, (&i, &d)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (extent {d})");
+        }
+        offset_of(index, &strides_for(&self.shape))
+    }
+
+    /// The single value of a zero-dimensional or one-element tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// True when all elements are finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise unary
+    // ------------------------------------------------------------------
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|v| -v)
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|v| v * v)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// In-place `self += other` (same shape only, used on gradient buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign_(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "add_assign_: shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place multiplication of every element by `s`.
+    pub fn scale_(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise binary with broadcasting
+    // ------------------------------------------------------------------
+
+    /// Broadcasting elementwise combination of two tensors.
+    ///
+    /// Common patterns (equal shapes, scalars, a single broadcast axis, or a
+    /// right-aligned suffix operand) take allocation-light fast paths; the
+    /// general case walks an index odometer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: self
+                    .data
+                    .iter()
+                    .zip(&other.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            };
+        }
+        // Scalar-like operands. The output keeps the broadcast rank (e.g.
+        // `[1,1] op [1]` is `[1,1]`), so resolve the shape properly.
+        if self.data.len() == 1 || other.data.len() == 1 {
+            let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+                panic!("broadcast mismatch: {:?} vs {:?}", self.shape, other.shape)
+            });
+            if other.data.len() == 1 {
+                let b = other.data[0];
+                return Tensor {
+                    shape: out_shape,
+                    data: self.data.iter().map(|&a| f(a, b)).collect(),
+                };
+            }
+            let a = self.data[0];
+            return Tensor {
+                shape: out_shape,
+                data: other.data.iter().map(|&b| f(a, b)).collect(),
+            };
+        }
+        // One operand broadcasts along exactly one axis of the other
+        // (bias adds, keepdim reductions): index arithmetic, no odometer.
+        if let Some(out) = Self::single_axis_fast_path(self, other, &f, false) {
+            return out;
+        }
+        if let Some(out) = Self::single_axis_fast_path(other, self, &f, true) {
+            return out;
+        }
+        // One operand is a right-aligned suffix of the other: cyclic reuse.
+        if let Some(out) = Self::suffix_fast_path(self, other, &f, false) {
+            return out;
+        }
+        if let Some(out) = Self::suffix_fast_path(other, self, &f, true) {
+            return out;
+        }
+        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!(
+                "broadcast mismatch: {:?} vs {:?}",
+                self.shape, other.shape
+            )
+        });
+        let sa = broadcast_strides(&self.shape, out_shape.len());
+        let sb = broadcast_strides(&other.shape, out_shape.len());
+        let mut data = Vec::with_capacity(num_elements(&out_shape));
+        let mut odo = Odometer::new(&out_shape);
+        while !odo.is_done() {
+            let ia = offset_of(odo.index(), &sa);
+            let ib = offset_of(odo.index(), &sb);
+            data.push(f(self.data[ia], other.data[ib]));
+            odo.advance();
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Fast path when `small` equals `big`'s shape except for exactly one
+    /// axis where it has extent 1. `swapped` flips the argument order fed to
+    /// `f` (so non-commutative ops stay correct).
+    fn single_axis_fast_path(
+        big: &Tensor,
+        small: &Tensor,
+        f: &impl Fn(f32, f32) -> f32,
+        swapped: bool,
+    ) -> Option<Tensor> {
+        if big.shape.len() != small.shape.len() {
+            return None;
+        }
+        let mut axis = None;
+        for (k, (&db, &ds)) in big.shape.iter().zip(&small.shape).enumerate() {
+            if db == ds {
+                continue;
+            }
+            if ds == 1 && axis.is_none() {
+                axis = Some(k);
+            } else {
+                return None;
+            }
+        }
+        let k = axis?;
+        let inner: usize = big.shape[k + 1..].iter().product();
+        let dk = big.shape[k];
+        let block = inner * dk;
+        let mut data = Vec::with_capacity(big.data.len());
+        for (i, &a) in big.data.iter().enumerate() {
+            let s_off = (i / block) * inner + (i % inner);
+            let b = small.data[s_off];
+            data.push(if swapped { f(b, a) } else { f(a, b) });
+        }
+        Some(Tensor {
+            shape: big.shape.clone(),
+            data,
+        })
+    }
+
+    /// Fast path when `small`'s shape is a right-aligned suffix of `big`'s
+    /// (all leading axes broadcast): the small buffer repeats cyclically.
+    fn suffix_fast_path(
+        big: &Tensor,
+        small: &Tensor,
+        f: &impl Fn(f32, f32) -> f32,
+        swapped: bool,
+    ) -> Option<Tensor> {
+        if small.shape.len() >= big.shape.len() {
+            return None;
+        }
+        let offset = big.shape.len() - small.shape.len();
+        if big.shape[offset..] != small.shape[..] {
+            return None;
+        }
+        let n = small.data.len();
+        if n == 0 {
+            return None;
+        }
+        let mut data = Vec::with_capacity(big.data.len());
+        for (i, &a) in big.data.iter().enumerate() {
+            let b = small.data[i % n];
+            data.push(if swapped { f(b, a) } else { f(a, b) });
+        }
+        Some(Tensor {
+            shape: big.shape.clone(),
+            data,
+        })
+    }
+
+    /// Broadcasting addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a + b)
+    }
+
+    /// Broadcasting subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a - b)
+    }
+
+    /// Broadcasting multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a * b)
+    }
+
+    /// Broadcasting division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, |a, b| a / b)
+    }
+
+    /// Broadcasting elementwise maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn maximum(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, f32::max)
+    }
+
+    /// Broadcasting elementwise minimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are not broadcast-compatible.
+    pub fn minimum(&self, other: &Tensor) -> Tensor {
+        self.zip_broadcast(other, f32::min)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn max_value(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max_value on empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn min_value(&self) -> f32 {
+        assert!(!self.data.is_empty(), "min_value on empty tensor");
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sums over the given axes. With `keepdim`, reduced axes stay with
+    /// extent 1; otherwise they are removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is out of range or repeated.
+    pub fn sum_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let mut reduce = vec![false; self.shape.len()];
+        for &ax in axes {
+            assert!(ax < self.shape.len(), "sum_axes: axis {ax} out of range");
+            assert!(!reduce[ax], "sum_axes: axis {ax} repeated");
+            reduce[ax] = true;
+        }
+        let kept_shape: Vec<usize> = self
+            .shape
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| if reduce[i] { 1 } else { d })
+            .collect();
+        let out_strides = strides_for(&kept_shape);
+        let mut out = Tensor::zeros(&kept_shape);
+        let mut odo = Odometer::new(&self.shape);
+        let in_strides = strides_for(&self.shape);
+        while !odo.is_done() {
+            let mut off = 0;
+            for (i, &idx) in odo.index().iter().enumerate() {
+                if !reduce[i] {
+                    off += idx * out_strides[i];
+                }
+            }
+            out.data[off] += self.data[offset_of(odo.index(), &in_strides)];
+            odo.advance();
+        }
+        if keepdim {
+            out
+        } else {
+            let squeezed: Vec<usize> = self
+                .shape
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !reduce[*i])
+                .map(|(_, &d)| d)
+                .collect();
+            out.reshape(&squeezed)
+        }
+    }
+
+    /// Means over the given axes (see [`Tensor::sum_axes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis is out of range or repeated.
+    pub fn mean_axes(&self, axes: &[usize], keepdim: bool) -> Tensor {
+        let count: usize = axes.iter().map(|&a| self.shape[a]).product();
+        self.sum_axes(axes, keepdim).scale(1.0 / count as f32)
+    }
+
+    /// Reduces this tensor (by summation) so its shape matches `target`, the
+    /// adjoint of broadcasting. `target` must be broadcastable to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` cannot broadcast to this tensor's shape.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        let check = broadcast_shapes(&self.shape, target);
+        assert_eq!(
+            check.as_deref(),
+            Some(&self.shape[..]),
+            "reduce_to_shape: {:?} does not broadcast to {:?}",
+            target,
+            self.shape
+        );
+        // Sum away leading extra axes first, then axes where target is 1.
+        let extra = self.shape.len() - target.len();
+        let lead: Vec<usize> = (0..extra).collect();
+        let mut t = if lead.is_empty() {
+            self.clone()
+        } else {
+            self.sum_axes(&lead, false)
+        };
+        let axes: Vec<usize> = target
+            .iter()
+            .enumerate()
+            .filter(|(i, &d)| d == 1 && t.shape[*i] != 1)
+            .map(|(i, _)| i)
+            .collect();
+        if !axes.is_empty() {
+            t = t.sum_axes(&axes, true);
+        }
+        t.reshape(target)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors: `(m, k) x (k, n) -> (m, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with a matching inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul: lhs must be rank 2, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul: rhs must be rank 2, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul: inner dims differ ({k} vs {k2})");
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j ordering: the inner loop is a contiguous AXPY over the output
+        // row, which auto-vectorises well.
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is rank 2.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2d on rank-{} tensor", self.ndim());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut data = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            shape: vec![n, m],
+            data,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural ops
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.data.len(),
+            num_elements(shape),
+            "reshape: cannot view {} elements as {:?}",
+            self.data.len(),
+            shape
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Permutes axes: output axis `i` is input axis `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `perm` is a permutation of `0..ndim`.
+    pub fn permute(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.ndim(), "permute: rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "permute: invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = strides_for(&self.shape);
+        // Stride of output axis i in the *input* data.
+        let gather: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut odo = Odometer::new(&out_shape);
+        while !odo.is_done() {
+            data.push(self.data[offset_of(odo.index(), &gather)]);
+            odo.advance();
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, ranks differ, or non-`axis` extents differ.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let first = parts[0];
+        assert!(axis < first.ndim(), "concat: axis {axis} out of range");
+        let mut total = 0;
+        for p in parts {
+            assert_eq!(p.ndim(), first.ndim(), "concat: rank mismatch");
+            for (ax, (&a, &b)) in p.shape.iter().zip(&first.shape).enumerate() {
+                if ax != axis {
+                    assert_eq!(a, b, "concat: extent mismatch on axis {ax}");
+                }
+            }
+            total += p.shape[axis];
+        }
+        let mut out_shape = first.shape.clone();
+        out_shape[axis] = total;
+        let outer: usize = first.shape[..axis].iter().product();
+        let inner: usize = first.shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(num_elements(&out_shape));
+        for o in 0..outer {
+            for p in parts {
+                let rows = p.shape[axis];
+                let start = o * rows * inner;
+                data.extend_from_slice(&p.data[start..start + rows * inner]);
+            }
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// A copy of the sub-tensor spanning `start..start + len` along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the axis extent.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        assert!(axis < self.ndim(), "narrow: axis {axis} out of range");
+        assert!(
+            start + len <= self.shape[axis],
+            "narrow: {start}+{len} exceeds extent {} on axis {axis}",
+            self.shape[axis]
+        );
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = len;
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let full = self.shape[axis];
+        let mut data = Vec::with_capacity(num_elements(&out_shape));
+        for o in 0..outer {
+            let base = (o * full + start) * inner;
+            data.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Writes `src` into `self` at offset `start` along `axis` (the adjoint of
+    /// [`Tensor::narrow`]), accumulating with `+=`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are incompatible or the range exceeds the extent.
+    pub fn narrow_add_(&mut self, axis: usize, start: usize, src: &Tensor) {
+        assert!(axis < self.ndim(), "narrow_add_: axis {axis} out of range");
+        assert_eq!(src.ndim(), self.ndim(), "narrow_add_: rank mismatch");
+        let len = src.shape[axis];
+        assert!(
+            start + len <= self.shape[axis],
+            "narrow_add_: range exceeds extent on axis {axis}"
+        );
+        for (ax, (&a, &b)) in src.shape.iter().zip(&self.shape).enumerate() {
+            if ax != axis {
+                assert_eq!(a, b, "narrow_add_: extent mismatch on axis {ax}");
+            }
+        }
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let full = self.shape[axis];
+        for o in 0..outer {
+            let dst_base = (o * full + start) * inner;
+            let src_base = o * len * inner;
+            for i in 0..len * inner {
+                self.data[dst_base + i] += src.data[src_base + i];
+            }
+        }
+    }
+
+    /// Softmax over the trailing `k_axes` axes, treating the leading axes as a
+    /// batch. Numerically stabilised by max subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_axes` is 0 or exceeds the rank.
+    pub fn softmax_trailing(&self, k_axes: usize) -> Tensor {
+        assert!(k_axes >= 1 && k_axes <= self.ndim(), "softmax_trailing: invalid k_axes");
+        let split = self.ndim() - k_axes;
+        let outer: usize = self.shape[..split].iter().product();
+        let inner: usize = self.shape[split..].iter().product();
+        let mut data = vec![0.0; self.data.len()];
+        for o in 0..outer {
+            let row = &self.data[o * inner..(o + 1) * inner];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            let out_row = &mut data[o * inner..(o + 1) * inner];
+            for (d, &v) in out_row.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *d = e;
+                sum += e;
+            }
+            for d in out_row {
+                *d /= sum;
+            }
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{} elements, mean {:.4}, min {:.4}, max {:.4}]",
+                self.data.len(),
+                self.mean(),
+                self.min_value(),
+                self.max_value()
+            )
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Tensor {
+    /// A zero-dimensional tensor holding `0.0`.
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(Tensor::ones(&[2]).sum(), 2.0);
+        assert_eq!(Tensor::full(&[3], 2.5).mean(), 2.5);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let t = Tensor::from_fn(&[2, 3], |ix| (ix[0] * 10 + ix[1]) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 2, 2]);
+        t.set(&[1, 0, 1], 5.0);
+        assert_eq!(t.get(&[1, 0, 1]), 5.0);
+        assert_eq!(t.sum(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.get(&[0, 2]);
+    }
+
+    #[test]
+    fn broadcasting_add_bias_pattern() {
+        // (2, 3) + (1, 3): the classic bias broadcast.
+        let x = Tensor::from_fn(&[2, 3], |ix| ix[1] as f32);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[1, 3]);
+        let y = x.add(&b);
+        assert_eq!(y.as_slice(), &[10.0, 21.0, 32.0, 10.0, 21.0, 32.0]);
+    }
+
+    #[test]
+    fn broadcasting_scalar_like() {
+        let x = Tensor::ones(&[2, 2]);
+        let s = Tensor::scalar(3.0);
+        assert_eq!(x.mul(&s).sum(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast mismatch")]
+    fn broadcast_incompatible_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_close(&a.matmul(&eye), &a, 1e-6);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_fn(&[3, 4], |ix| (ix[0] * 4 + ix[1]) as f32);
+        assert_close(&a.transpose2d().transpose2d(), &a, 0.0);
+        assert_eq!(a.transpose2d().get(&[2, 1]), a.get(&[1, 2]));
+    }
+
+    #[test]
+    fn sum_axes_keepdim_and_squeeze() {
+        let t = Tensor::from_fn(&[2, 3], |ix| (ix[0] * 3 + ix[1]) as f32);
+        let s0 = t.sum_axes(&[0], true);
+        assert_eq!(s0.shape(), &[1, 3]);
+        assert_eq!(s0.as_slice(), &[3.0, 5.0, 7.0]);
+        let s1 = t.sum_axes(&[1], false);
+        assert_eq!(s1.shape(), &[2]);
+        assert_eq!(s1.as_slice(), &[3.0, 12.0]);
+        let all = t.sum_axes(&[0, 1], false);
+        assert_eq!(all.shape(), &[] as &[usize]);
+        assert_eq!(all.item(), 15.0);
+    }
+
+    #[test]
+    fn mean_axes_divides_by_count() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(t.mean_axes(&[0], false).as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_is_broadcast_adjoint() {
+        let g = Tensor::ones(&[4, 2, 3]);
+        let r = g.reduce_to_shape(&[2, 3]);
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.as_slice(), &[4.0; 6]);
+        let r2 = g.reduce_to_shape(&[4, 1, 3]);
+        assert_eq!(r2.shape(), &[4, 1, 3]);
+        assert_eq!(r2.as_slice(), &[2.0; 12]);
+        let r3 = g.reduce_to_shape(&[]);
+        assert_eq!(r3.item(), 24.0);
+    }
+
+    #[test]
+    fn permute_moves_axes() {
+        let t = Tensor::from_fn(&[2, 3, 4], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32);
+        let p = t.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.get(&[3, 1, 2]), t.get(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn permute_inverse_roundtrip() {
+        let t = Tensor::from_fn(&[2, 3, 4], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as f32);
+        let p = t.permute(&[1, 2, 0]);
+        let back = p.permute(&[2, 0, 1]);
+        assert_close(&back, &t, 0.0);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.shape(), &[2, 2]);
+        assert_eq!(c0.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.shape(), &[1, 4]);
+        assert_eq!(c1.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn narrow_extracts_and_narrow_add_is_adjoint() {
+        let t = Tensor::from_fn(&[2, 4], |ix| (ix[0] * 4 + ix[1]) as f32);
+        let n = t.narrow(1, 1, 2);
+        assert_eq!(n.shape(), &[2, 2]);
+        assert_eq!(n.as_slice(), &[1.0, 2.0, 5.0, 6.0]);
+        let mut acc = Tensor::zeros(&[2, 4]);
+        acc.narrow_add_(1, 1, &n);
+        assert_eq!(acc.as_slice(), &[0.0, 1.0, 2.0, 0.0, 0.0, 5.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_trailing_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 10.0, 10.0], &[2, 3]);
+        let s = t.softmax_trailing(1);
+        let row0: f32 = s.as_slice()[..3].iter().sum();
+        let row1: f32 = s.as_slice()[3..].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+        // Uniform logits -> uniform distribution.
+        assert!((s.get(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+        // Monotone in the logit.
+        assert!(s.get(&[0, 2]) > s.get(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_trailing_multi_axis_group() {
+        let t = Tensor::zeros(&[2, 2, 2]);
+        let s = t.softmax_trailing(2);
+        for v in s.as_slice() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = t.softmax_trailing(1);
+        assert!(s.all_finite());
+        assert!((s.as_slice().iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn randn_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1);
+        let var = t.map(|v| (v - t.mean()).powi(2)).mean();
+        assert!((var - 4.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn rand_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.min_value() >= -0.5 && t.max_value() < 0.5);
+    }
+
+    #[test]
+    fn inplace_ops() {
+        let mut a = Tensor::ones(&[3]);
+        a.add_assign_(&Tensor::full(&[3], 2.0));
+        a.scale_(2.0);
+        assert_eq!(a.as_slice(), &[6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.all_finite());
+        t.set(&[0], f32::NAN);
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn debug_format_never_empty() {
+        let t = Tensor::zeros(&[0]);
+        assert!(!format!("{t:?}").is_empty());
+        let big = Tensor::zeros(&[100]);
+        assert!(format!("{big:?}").contains("elements"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the tensor substrate.
+
+use bikecap_tensor::{assert_close, broadcast_shapes, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a small shape (1-4 axes, extents 1-5) and matching data.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(1usize..5, 1..4).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        proptest::collection::vec(-10.0f32..10.0, n)
+            .prop_map(move |data| Tensor::from_vec(data, &shape))
+    })
+}
+
+/// A pair of tensors with identical shapes.
+fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    proptest::collection::vec(1usize..5, 1..4).prop_flat_map(|shape| {
+        let n: usize = shape.iter().product();
+        let s2 = shape.clone();
+        (
+            proptest::collection::vec(-10.0f32..10.0, n)
+                .prop_map(move |d| Tensor::from_vec(d, &shape)),
+            proptest::collection::vec(-10.0f32..10.0, n)
+                .prop_map(move |d| Tensor::from_vec(d, &s2)),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in tensor_pair()) {
+        assert_close(&a.add(&b), &b.add(&a), 1e-5);
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips((a, b) in tensor_pair()) {
+        assert_close(&a.sub(&b).add(&b), &a, 1e-4);
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in tensor_pair(), s in -3.0f32..3.0) {
+        assert_close(&a.add(&b).scale(s), &a.scale(s).add(&b.scale(s)), 1e-3);
+    }
+
+    #[test]
+    fn sum_axes_preserves_total(t in small_tensor(), axis_seed in 0usize..4) {
+        let axis = axis_seed % t.ndim();
+        let reduced = t.sum_axes(&[axis], false);
+        prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3 * t.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in small_tensor()) {
+        let flat = t.reshape(&[t.len()]);
+        prop_assert_eq!(flat.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn permute_preserves_multiset(t in small_tensor()) {
+        // Reverse-axis permutation must keep the same elements.
+        let perm: Vec<usize> = (0..t.ndim()).rev().collect();
+        let p = t.permute(&perm);
+        let mut a: Vec<f32> = t.as_slice().to_vec();
+        let mut b: Vec<f32> = p.as_slice().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn broadcast_is_symmetric_and_contains_inputs(
+        a in proptest::collection::vec(1usize..5, 0..4),
+        b in proptest::collection::vec(1usize..5, 0..4),
+    ) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(out) = ab {
+            // Every input axis extent divides into the output (it is 1 or equal).
+            for (i, &d) in a.iter().rev().enumerate() {
+                let o = out[out.len() - 1 - i];
+                prop_assert!(d == 1 || d == o);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_trailing_is_a_distribution(t in small_tensor()) {
+        let s = t.softmax_trailing(1);
+        prop_assert!(s.all_finite());
+        let inner = *t.shape().last().unwrap();
+        let outer = t.len() / inner;
+        for o in 0..outer {
+            let sum: f32 = s.as_slice()[o * inner..(o + 1) * inner].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for &v in &s.as_slice()[o * inner..(o + 1) * inner] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..1000
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let c = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        assert_close(&a.matmul(&b.add(&c)), &a.matmul(&b).add(&a.matmul(&c)), 1e-3);
+    }
+
+    #[test]
+    fn narrow_concat_roundtrip(t in small_tensor(), axis_seed in 0usize..4, cut_seed in 0usize..4) {
+        let axis = axis_seed % t.ndim();
+        let extent = t.shape()[axis];
+        if extent >= 2 {
+            let cut = 1 + cut_seed % (extent - 1);
+            let left = t.narrow(axis, 0, cut);
+            let right = t.narrow(axis, cut, extent - cut);
+            assert_close(&Tensor::concat(&[&left, &right], axis), &t, 0.0);
+        }
+    }
+
+    /// zip_broadcast's fast paths must agree with an index-by-index
+    /// reference for every broadcast-compatible shape pair.
+    #[test]
+    fn broadcast_fast_paths_match_reference(
+        shape in proptest::collection::vec(1usize..4, 1..5),
+        mask in proptest::collection::vec(proptest::bool::ANY, 5),
+        drop_leading in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Derive b's shape from a's: set masked axes to 1, optionally drop
+        // leading axes. This covers equal, single-axis, suffix and general
+        // multi-axis broadcast patterns.
+        let mut b_shape: Vec<usize> = shape
+            .iter()
+            .zip(&mask)
+            .map(|(&d, &m)| if m { 1 } else { d })
+            .collect();
+        let cut = drop_leading.min(b_shape.len().saturating_sub(1));
+        b_shape.drain(..cut);
+        let a = Tensor::randn(&shape, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&b_shape, 0.0, 1.0, &mut rng);
+        let got = a.sub(&b); // non-commutative: catches swapped-argument bugs
+        // Reference: explicit index arithmetic.
+        let out_shape = broadcast_shapes(&shape, &b_shape).unwrap();
+        let reference = Tensor::from_fn(&out_shape, |ix| {
+            let pick = |t: &Tensor| {
+                let off = out_shape.len() - t.shape().len();
+                let idx: Vec<usize> = t
+                    .shape()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &d)| if d == 1 { 0 } else { ix[off + k] })
+                    .collect();
+                t.get(&idx)
+            };
+            pick(&a) - pick(&b)
+        });
+        assert_close(&got, &reference, 1e-6);
+        // And the mirrored orientation.
+        let got2 = b.sub(&a);
+        assert_close(&got2, &reference.neg(), 1e-6);
+    }
+
+    #[test]
+    fn reduce_to_shape_total_preserved(t in small_tensor()) {
+        let r = t.reduce_to_shape(&[]);
+        prop_assert!((r.item() - t.sum()).abs() < 1e-3 * t.sum().abs().max(1.0));
+    }
+}

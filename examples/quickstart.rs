@@ -1,0 +1,107 @@
+//! Quickstart: simulate a city, train BikeCAP, forecast multi-step bike
+//! demand and score it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bikecap::eval::{evaluate, BikeCapForecaster, Metrics};
+use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions};
+use bikecap::sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use bikecap::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Simulate ten days of a Shenzhen-like city: subway lines whose rush
+    //    hours lead the bike demand around their stations.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut config = SimConfig::paper_scale();
+    config.days = 10;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    println!(
+        "simulated {} subway trips and {} bike trips on a {}x{} grid",
+        trips.subway_trips(),
+        trips.bike_trips(),
+        trips.layout.height,
+        trips.layout.width
+    );
+
+    // 2. Aggregate records into 15-minute demand tensors and build sliding
+    //    windows: 2 hours of history, 1 hour (4 slots) of future.
+    let series = DemandSeries::from_trips(&trips, 15);
+    let dataset = ForecastDataset::new(&series, 8, 4);
+    println!(
+        "dataset: {} train / {} val / {} test windows",
+        dataset.anchors(Split::Train).len(),
+        dataset.anchors(Split::Val).len(),
+        dataset.anchors(Split::Test).len()
+    );
+
+    // 3. Train BikeCAP (briefly — raise the budget for better accuracy).
+    let model_config = BikeCapConfig::new(trips.layout.height, trips.layout.width)
+        .history(8)
+        .horizon(4);
+    let mut model = BikeCap::new(model_config, &mut rng);
+    println!("BikeCAP has {} learnable parameters", model.num_parameters());
+    let options = TrainOptions {
+        epochs: 10,
+        batch_size: 16,
+        max_batches_per_epoch: Some(16),
+        learning_rate: 3e-3,
+        ..TrainOptions::default()
+    };
+    let report = model.fit(&dataset, &options, &mut rng);
+    println!(
+        "trained {} epochs in {:.1}s (loss {:.4} -> {:.4})",
+        report.epoch_losses.len(),
+        report.seconds,
+        report.epoch_losses[0],
+        report.final_loss()
+    );
+
+    // 4. Forecast one test window (mid-split, i.e. around midday) and
+    //    inspect the multi-step output.
+    let anchors = dataset.anchors(Split::Test);
+    let batch = dataset.batch(&anchors[anchors.len() / 2..anchors.len() / 2 + 1]);
+    let forecast = dataset.denormalize_target(&model.predict(&batch.input));
+    let truth = dataset.denormalize_target(&batch.target);
+    println!("\nforecast vs truth, total city demand per 15-minute step:");
+    for step in 0..4 {
+        let f: f32 = forecast.narrow(1, step, 1).sum();
+        let t: f32 = truth.narrow(1, step, 1).sum();
+        println!("  +{:>2} min: forecast {:>6.1} bikes, actual {:>6.1}", (step + 1) * 15, f, t);
+    }
+
+    // 5. Score on the whole test split against a zero baseline.
+    let fc = BikeCapForecaster::new(model, options);
+    let m = evaluate(&fc, &dataset, Some(32));
+    let zero = ZeroForecaster;
+    let z = evaluate(&zero, &dataset, Some(32));
+    println!("\ntest metrics (denormalised bikes per cell-slot):");
+    println!("  BikeCAP: MAE {:.3}  RMSE {:.3}", m.mae, m.rmse);
+    println!("  always-zero baseline: MAE {:.3}  RMSE {:.3}", z.mae, z.rmse);
+    let _ = Metrics::between(&forecast, &truth);
+}
+
+/// The trivial baseline: predicts no demand anywhere.
+struct ZeroForecaster;
+
+impl bikecap::baselines::Forecaster for ZeroForecaster {
+    fn name(&self) -> &'static str {
+        "zero"
+    }
+    fn fit(&mut self, _: &ForecastDataset, _: &mut dyn rand::RngCore) -> f32 {
+        0.0
+    }
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        let s = input.shape();
+        Tensor::zeros(&[s[0], horizon, s[3], s[4]])
+    }
+}

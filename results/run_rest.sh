@@ -1,0 +1,17 @@
+#!/bin/bash
+# Wait for table3 to finish, then run the remaining experiment binaries,
+# cheapest and most load-bearing first.
+while kill -0 8529 2>/dev/null; do sleep 10; done
+cd /root/repo
+./target/release/fig1_leadlag --quick --out results/fig1.md > /dev/null 2>&1
+./target/release/tables12_records --quick --out results/tables12.md > /dev/null 2>&1
+./target/release/fig2_accumulation --quick --out results/fig2.md > results/fig2.stdout.log 2> results/fig2.progress.log
+touch results/FIG2_DONE
+./target/release/table4_pyramid --quick --out results/table4.md > results/table4.stdout.log 2> results/table4.progress.log
+touch results/TABLE4_DONE
+./target/release/table5_capsdim --quick --out results/table5.md > results/table5.stdout.log 2> results/table5.progress.log
+touch results/TABLE5_DONE
+./target/release/fig7_ablation --quick --out results/fig7.md > results/fig7.stdout.log 2> results/fig7.progress.log
+touch results/FIG7_DONE
+./target/release/ablation_routing --quick --out results/ablation_routing.md > results/ablation_routing.stdout.log 2> results/ablation_routing.progress.log
+echo "ALL_EXPERIMENTS_DONE" > results/DONE

@@ -1,0 +1,209 @@
+//! `bikecap` — a small CLI over the library: simulate a city, train the
+//! model, and forecast demand.
+//!
+//! ```text
+//! bikecap simulate --days 10 --seed 1 --out-dir ./data
+//! bikecap train    --days 10 --seed 1 --horizon 4 --epochs 20 --weights model.txt
+//! bikecap forecast --days 10 --seed 1 --horizon 4 --weights model.txt
+//! ```
+//!
+//! `simulate` writes the record streams as CSV (Tables I/II schema); `train`
+//! fits BikeCAP on the simulated month and saves weights; `forecast` reloads
+//! them and prints the multi-step demand forecast for the last test window.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bikecap::eval::{evaluate, BikeCapForecaster};
+use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions};
+use bikecap::nn::serialize::{load_params, save_params};
+use bikecap::sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator, TripData},
+    io::{write_bike_csv, write_subway_csv},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() -> &'static str {
+    "usage: bikecap <simulate|train|forecast> [--days N] [--seed N] [--horizon N] \
+     [--epochs N] [--weights FILE] [--out-dir DIR]"
+}
+
+struct Args {
+    days: u32,
+    seed: u64,
+    horizon: usize,
+    epochs: usize,
+    weights: PathBuf,
+    out_dir: PathBuf,
+}
+
+fn parse_flags(rest: &[String]) -> Result<Args, String> {
+    let mut map: HashMap<String, String> = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{flag}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} requires a value"))?;
+        map.insert(name.to_string(), value.clone());
+    }
+    let get = |k: &str, d: &str| map.get(k).cloned().unwrap_or_else(|| d.to_string());
+    Ok(Args {
+        days: get("days", "10").parse().map_err(|_| "invalid --days".to_string())?,
+        seed: get("seed", "1").parse().map_err(|_| "invalid --seed".to_string())?,
+        horizon: get("horizon", "4").parse().map_err(|_| "invalid --horizon".to_string())?,
+        epochs: get("epochs", "15").parse().map_err(|_| "invalid --epochs".to_string())?,
+        weights: PathBuf::from(get("weights", "bikecap-weights.txt")),
+        out_dir: PathBuf::from(get("out-dir", ".")),
+    })
+}
+
+fn simulate_city(args: &Args) -> TripData {
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut config = SimConfig::paper_scale();
+    config.days = args.days;
+    let layout = CityLayout::generate(&config, &mut rng);
+    Simulator::new(config, layout).run(&mut rng)
+}
+
+fn build_dataset(trips: &TripData, horizon: usize) -> ForecastDataset {
+    let series = DemandSeries::from_trips(trips, 15);
+    ForecastDataset::new(&series, 8, horizon)
+}
+
+fn model_for(trips: &TripData, horizon: usize, seed: u64) -> BikeCap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BikeCap::new(
+        BikeCapConfig::new(trips.layout.height, trips.layout.width)
+            .history(8)
+            .horizon(horizon),
+        &mut rng,
+    )
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let trips = simulate_city(args);
+    std::fs::create_dir_all(&args.out_dir).map_err(|e| e.to_string())?;
+    let subway = args.out_dir.join("subway.csv");
+    let bike = args.out_dir.join("bike.csv");
+    write_subway_csv(&trips.subway, &subway).map_err(|e| e.to_string())?;
+    write_bike_csv(&trips.bike, &bike).map_err(|e| e.to_string())?;
+    println!(
+        "simulated {} days: {} subway trips -> {}, {} bike trips -> {}",
+        args.days,
+        trips.subway_trips(),
+        subway.display(),
+        trips.bike_trips(),
+        bike.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let trips = simulate_city(args);
+    let dataset = build_dataset(&trips, args.horizon);
+    let mut model = model_for(&trips, args.horizon, args.seed);
+    println!(
+        "training BikeCAP ({} parameters) for {} epochs…",
+        model.num_parameters(),
+        args.epochs
+    );
+    let options = TrainOptions {
+        epochs: args.epochs,
+        batch_size: 16,
+        max_batches_per_epoch: Some(24),
+        learning_rate: 3e-3,
+        ..TrainOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbeef);
+    let report = model.fit(&dataset, &options, &mut rng);
+    println!(
+        "trained in {:.1}s, loss {:.4} -> {:.4}",
+        report.seconds,
+        report.epoch_losses[0],
+        report.final_loss()
+    );
+    let fc = BikeCapForecaster::new(model, options);
+    let m = evaluate(&fc, &dataset, Some(48));
+    println!("test MAE {:.3}, RMSE {:.3} (bikes per cell per 15 min)", m.mae, m.rmse);
+    save_params(fc.model().store(), &args.weights).map_err(|e| e.to_string())?;
+    println!("weights saved to {}", args.weights.display());
+    Ok(())
+}
+
+fn cmd_forecast(args: &Args) -> Result<(), String> {
+    let trips = simulate_city(args);
+    let dataset = build_dataset(&trips, args.horizon);
+    let mut model = model_for(&trips, args.horizon, args.seed);
+    load_params(model.store_mut(), &args.weights).map_err(|e| e.to_string())?;
+
+    let anchors = dataset.anchors(Split::Test);
+    let anchor = *anchors.last().ok_or("no test windows")?;
+    let batch = dataset.batch(&[anchor]);
+    let forecast = dataset.denormalize_target(&model.predict(&batch.input));
+    let truth = dataset.denormalize_target(&batch.target);
+    println!(
+        "forecast from the last test window ({}x{} grid):",
+        trips.layout.height, trips.layout.width
+    );
+    for step in 0..args.horizon {
+        let f: f32 = forecast.narrow(1, step, 1).sum();
+        let t: f32 = truth.narrow(1, step, 1).sum();
+        println!("  +{:>3} min: {:>7.1} bikes forecast (actual {:>7.1})", (step + 1) * 15, f, t);
+    }
+    // The busiest forecast cell at the last step.
+    let last = forecast.narrow(1, args.horizon - 1, 1);
+    let (mut best, mut best_val) = ((0, 0), f32::NEG_INFINITY);
+    for r in 0..trips.layout.height {
+        for c in 0..trips.layout.width {
+            let v = last.get(&[0, 0, r, c]);
+            if v > best_val {
+                best_val = v;
+                best = (r, c);
+            }
+        }
+    }
+    println!(
+        "hot spot at +{} min: cell ({}, {}) with {:.1} bikes",
+        args.horizon * 15,
+        best.0,
+        best.1,
+        best_val
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_flags(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "train" => cmd_train(&args),
+        "forecast" => cmd_forecast(&args),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

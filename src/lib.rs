@@ -1,0 +1,23 @@
+//! # BikeCAP — facade crate
+//!
+//! A Rust reproduction of *"BikeCAP: Deep Spatial-temporal Capsule Network for
+//! Multi-step Bike Demand Prediction"* (ICDCS 2022). This crate re-exports the
+//! whole workspace so applications can depend on a single crate:
+//!
+//! * [`tensor`] — dense f32 N-d tensors and convolution kernels.
+//! * [`autograd`] — reverse-mode automatic differentiation.
+//! * [`nn`] — layers, optimizers, parameter stores.
+//! * [`sim`] — the synthetic Shenzhen-style city simulator (subway + bike trips).
+//! * [`model`] — the BikeCAP capsule network and its ablation variants.
+//! * [`baselines`] — the seven comparison forecasters from the paper.
+//! * [`eval`] — metrics and the repeated-seed experiment harness.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use bikecap_autograd as autograd;
+pub use bikecap_baselines as baselines;
+pub use bikecap_city_sim as sim;
+pub use bikecap_core as model;
+pub use bikecap_eval as eval;
+pub use bikecap_nn as nn;
+pub use bikecap_tensor as tensor;

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full pipeline from record-level simulation
+//! through training to denormalised evaluation.
+
+use bikecap::eval::{evaluate, BikeCapForecaster};
+use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions, Variant};
+use bikecap::sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use bikecap::tensor::Tensor;
+use bikecap_baselines::Forecaster;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn pipeline_dataset(days: u32, horizon: usize) -> ForecastDataset {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut config = SimConfig::small();
+    config.days = days;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    let series = DemandSeries::from_trips(&trips, 15);
+    ForecastDataset::new(&series, 8, horizon)
+}
+
+/// Climatology: predicts the training-split mean (in normalised units)
+/// everywhere — the honest "no model" reference.
+struct Climatology(f32);
+
+impl Climatology {
+    fn fit(dataset: &ForecastDataset) -> Self {
+        let anchors = dataset.anchors(Split::Train);
+        let sample: Vec<usize> = anchors.iter().copied().step_by(7).collect();
+        let batch = dataset.batch(&sample);
+        Climatology(batch.target.mean())
+    }
+}
+
+impl Forecaster for Climatology {
+    fn name(&self) -> &'static str {
+        "climatology"
+    }
+    fn fit(&mut self, _: &ForecastDataset, _: &mut dyn RngCore) -> f32 {
+        0.0
+    }
+    fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+        let s = input.shape();
+        Tensor::full(&[s[0], horizon, s[3], s[4]], self.0)
+    }
+}
+
+#[test]
+fn full_pipeline_trains_and_beats_climatology_rmse() {
+    let dataset = pipeline_dataset(6, 2);
+    let mut rng = StdRng::seed_from_u64(9);
+    let config = BikeCapConfig::new(6, 6)
+        .history(8)
+        .horizon(2)
+        .pyramid_size(2)
+        .capsule_dim(4)
+        .out_capsule_dim(4);
+    let mut model = BikeCap::new(config, &mut rng);
+    let options = TrainOptions {
+        epochs: 12,
+        batch_size: 16,
+        max_batches_per_epoch: Some(12),
+        learning_rate: 3e-3,
+        ..TrainOptions::default()
+    };
+    let report = model.fit(&dataset, &options, &mut rng);
+    assert!(report.final_loss().is_finite());
+
+    let fc = BikeCapForecaster::new(model, options);
+    let ours = evaluate(&fc, &dataset, Some(24));
+    let clim = evaluate(&Climatology::fit(&dataset), &dataset, Some(24));
+    assert!(
+        ours.rmse < clim.rmse,
+        "BikeCAP RMSE {} should beat climatology RMSE {}",
+        ours.rmse,
+        clim.rmse
+    );
+}
+
+#[test]
+fn predictions_are_finite_and_well_shaped_for_all_variants() {
+    let dataset = pipeline_dataset(4, 3);
+    let anchors = dataset.anchors(Split::Test);
+    let batch = dataset.batch(&anchors[..4]);
+    for variant in Variant::all() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = BikeCapConfig::new(6, 6)
+            .history(8)
+            .horizon(3)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3)
+            .variant(variant);
+        let model = BikeCap::new(config, &mut rng);
+        let pred = model.predict(&batch.input);
+        assert_eq!(pred.shape(), &[4, 3, 6, 6], "{}", variant.name());
+        assert!(pred.all_finite(), "{} produced NaN", variant.name());
+    }
+}
+
+#[test]
+fn denormalised_evaluation_has_count_scale() {
+    // Normalised values live in [0,1]; denormalised errors must be on the
+    // scale of actual bike counts (the simulator averages ~1-3 per cell-slot).
+    let dataset = pipeline_dataset(4, 2);
+    struct Zero;
+    impl Forecaster for Zero {
+        fn name(&self) -> &'static str {
+            "zero"
+        }
+        fn fit(&mut self, _: &ForecastDataset, _: &mut dyn RngCore) -> f32 {
+            0.0
+        }
+        fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {
+            let s = input.shape();
+            Tensor::zeros(&[s[0], horizon, s[3], s[4]])
+        }
+    }
+    let m = evaluate(&Zero, &dataset, Some(16));
+    assert!(m.mae > 0.3, "denormalised MAE suspiciously small: {}", m.mae);
+    assert!(m.rmse > m.mae);
+}
+
+#[test]
+fn longer_horizons_are_harder_for_recursive_models() {
+    // The core multi-step claim, end to end: XGBoost's recursive MAE at
+    // PTS=6 exceeds its MAE at PTS=1-2.
+    use bikecap_baselines::{GbtConfig, GbtForecaster};
+    let short = pipeline_dataset(6, 2);
+    let long = pipeline_dataset(6, 6);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = GbtForecaster::new(GbtConfig {
+        n_trees: 25,
+        subsample_anchors: 120,
+        ..GbtConfig::default()
+    });
+    model.fit(&short, &mut rng);
+    let m_short = evaluate(&model, &short, Some(24));
+    let m_long = evaluate(&model, &long, Some(24));
+    assert!(
+        m_long.mae > m_short.mae,
+        "recursive multi-step should be harder: PTS=2 {} vs PTS=6 {}",
+        m_short.mae,
+        m_long.mae
+    );
+}

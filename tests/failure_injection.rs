@@ -1,0 +1,124 @@
+//! Failure injection: the library must fail loudly and precisely on invalid
+//! inputs, and stay numerically sane on degenerate ones.
+
+use bikecap::model::{BikeCap, BikeCapConfig};
+use bikecap::sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Normalizer,
+};
+use bikecap::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_series(days: u32) -> DemandSeries {
+    let mut rng = StdRng::seed_from_u64(55);
+    let mut config = SimConfig::small();
+    config.days = days;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    DemandSeries::from_trips(&trips, 15)
+}
+
+#[test]
+#[should_panic(expected = "too short")]
+fn dataset_rejects_horizon_longer_than_split() {
+    let series = small_series(2);
+    let _ = ForecastDataset::new(&series, 8, 50);
+}
+
+#[test]
+#[should_panic(expected = "slot length must divide a day")]
+fn aggregation_rejects_nonuniform_slot_length() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = SimConfig::small();
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    let _ = DemandSeries::from_trips(&trips, 7);
+}
+
+#[test]
+#[should_panic(expected = "empty range")]
+fn normalizer_rejects_empty_fit_range() {
+    let series = small_series(2);
+    let _ = Normalizer::fit(&series, 5..5);
+}
+
+#[test]
+#[should_panic(expected = "grid too small")]
+fn model_rejects_degenerate_grid() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let _ = BikeCap::new(BikeCapConfig::new(1, 1), &mut rng);
+}
+
+#[test]
+#[should_panic(expected = "expects (B, F, h, H, W)")]
+fn model_rejects_wrong_input_rank() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = BikeCap::new(
+        BikeCapConfig::new(6, 6).pyramid_size(2).capsule_dim(3),
+        &mut rng,
+    );
+    let _ = model.predict(&Tensor::zeros(&[4, 8, 6, 6]));
+}
+
+#[test]
+fn nan_inputs_are_detectable_in_outputs() {
+    // The library does not silently scrub NaN: a poisoned window yields a
+    // detectably non-finite prediction, so callers can guard with
+    // `all_finite` at ingestion boundaries.
+    let mut rng = StdRng::seed_from_u64(4);
+    let model = BikeCap::new(
+        BikeCapConfig::new(6, 6)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3),
+        &mut rng,
+    );
+    let mut input = Tensor::zeros(&[1, 4, 4, 6, 6]);
+    input.set(&[0, 0, 0, 0, 0], f32::NAN);
+    assert!(!input.all_finite());
+    let out = model.predict(&input);
+    assert!(!out.all_finite(), "NaN must not be silently laundered");
+}
+
+#[test]
+fn empty_demand_series_still_normalises() {
+    // A city with no trips at all: aggregation yields zeros; min-max
+    // normalisation must not divide by zero.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut config = SimConfig::small();
+    config.od_scale = 0.0;
+    config.bike_background_rate = 0.0;
+    config.days = 4;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config.clone(), layout).run(&mut rng);
+    assert_eq!(trips.bike_trips(), 0);
+    let series = DemandSeries::from_trips(&trips, 15);
+    let ds = ForecastDataset::new(&series, 8, 2);
+    let anchors = ds.anchors(bikecap::sim::Split::Train);
+    let batch = ds.batch(&anchors[..4]);
+    assert!(batch.input.all_finite());
+    assert!(batch.target.all_finite());
+}
+
+#[test]
+fn extreme_demand_values_stay_finite_through_the_model() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = BikeCap::new(
+        BikeCapConfig::new(6, 6)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3),
+        &mut rng,
+    );
+    // Inputs far outside the normalised [0,1] range (e.g. an unseen surge).
+    let input = Tensor::full(&[1, 4, 4, 6, 6], 50.0);
+    let out = model.predict(&input);
+    assert!(out.all_finite(), "squash must keep extreme inputs bounded");
+}

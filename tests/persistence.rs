@@ -1,0 +1,73 @@
+//! Weight persistence across crates: a trained BikeCAP round-trips through
+//! the text format and reproduces its predictions exactly.
+
+use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions};
+use bikecap::nn::serialize::{load_params, save_params, LoadParamsError};
+use bikecap::sim::{
+    aggregate::DemandSeries,
+    generate::{SimConfig, Simulator},
+    layout::CityLayout,
+    ForecastDataset, Split,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> ForecastDataset {
+    let mut rng = StdRng::seed_from_u64(88);
+    let mut config = SimConfig::small();
+    config.days = 4;
+    let layout = CityLayout::generate(&config, &mut rng);
+    let trips = Simulator::new(config, layout).run(&mut rng);
+    let series = DemandSeries::from_trips(&trips, 15);
+    ForecastDataset::new(&series, 8, 2)
+}
+
+fn model_config() -> BikeCapConfig {
+    BikeCapConfig::new(6, 6)
+        .history(8)
+        .horizon(2)
+        .pyramid_size(2)
+        .capsule_dim(3)
+        .out_capsule_dim(3)
+}
+
+#[test]
+fn trained_model_roundtrips_through_weight_file() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut model = BikeCap::new(model_config(), &mut rng);
+    model.fit(&ds, &TrainOptions::smoke(), &mut rng);
+
+    let path = std::env::temp_dir().join(format!("bikecap-roundtrip-{}.txt", std::process::id()));
+    save_params(model.store(), &path).expect("save weights");
+
+    // A fresh model with different init must predict differently…
+    let mut rng2 = StdRng::seed_from_u64(999);
+    let mut fresh = BikeCap::new(model_config(), &mut rng2);
+    let anchors = ds.anchors(Split::Test);
+    let batch = ds.batch(&anchors[..2]);
+    let before = fresh.predict(&batch.input);
+    assert!(before.sub(&model.predict(&batch.input)).abs().sum() > 0.0);
+
+    // …and exactly match after loading the saved weights.
+    load_params(fresh.store_mut(), &path).expect("load weights");
+    bikecap::tensor::assert_close(&fresh.predict(&batch.input), &model.predict(&batch.input), 0.0);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn loading_into_mismatched_architecture_fails_cleanly() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let model = BikeCap::new(model_config(), &mut rng);
+    let path = std::env::temp_dir().join(format!("bikecap-mismatch-{}.txt", std::process::id()));
+    save_params(model.store(), &path).expect("save weights");
+
+    // Different capsule dimension => different weight shapes.
+    let mut other = BikeCap::new(model_config().capsule_dim(5), &mut rng);
+    let err = load_params(other.store_mut(), &path).unwrap_err();
+    assert!(
+        matches!(err, LoadParamsError::Mismatch(_)),
+        "expected a shape mismatch, got {err}"
+    );
+    std::fs::remove_file(path).ok();
+}
