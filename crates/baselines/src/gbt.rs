@@ -310,8 +310,8 @@ impl Forecaster for GbtForecaster {
         for _ in 0..self.config.n_trees {
             let residual: Vec<f32> = targets.iter().zip(&pred).map(|(y, p)| y - p).collect();
             let tree = fit_tree(&x, &residual, &indices, &self.config);
-            for i in 0..n {
-                pred[i] += self.config.learning_rate * tree.predict(x.row(i));
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += self.config.learning_rate * tree.predict(x.row(i));
             }
             self.trees.push(tree);
         }

@@ -24,7 +24,8 @@ use bikecap_eval::RunnerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Seed of the shared simulated city.
+/// Seed of the shared simulated city (the paper's data month, 2018-10-01).
+#[allow(clippy::inconsistent_digit_grouping)]
 pub const CITY_SEED: u64 = 2018_10_01;
 
 /// Command-line options common to all bench binaries.

@@ -96,6 +96,7 @@ impl HistoricalCapsules {
 
     /// Reorders channel layout `(B, c*n, h, H, W)` into capsule layout
     /// `(B, c*h, n, H, W)`.
+    #[allow(clippy::too_many_arguments)]
     fn to_capsule_layout(
         tape: &mut Tape,
         y: Var,

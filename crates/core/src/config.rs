@@ -226,6 +226,47 @@ impl BikeCapConfig {
         self.hist_capsules_per_slot * self.history
     }
 
+    /// A stable fingerprint over every architecture hyper-parameter, used to
+    /// stamp checkpoints so loaders can detect configuration drift before a
+    /// tensor-shape mismatch does. FNV-1a over the field values; stable
+    /// across processes (unlike `std::hash::DefaultHasher`, which is
+    /// randomly keyed).
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.grid_height as u64);
+        mix(self.grid_width as u64);
+        mix(self.history as u64);
+        mix(self.horizon as u64);
+        mix(self.pyramid_size as u64);
+        mix(self.capsule_dim as u64);
+        mix(self.out_capsule_dim as u64);
+        mix(self.hist_capsules_per_slot as u64);
+        mix(self.hist_layers as u64);
+        mix(self.routing_iters as u64);
+        mix(self.routing_softmax_over_grid as u64);
+        mix(self.separate_slot_transforms as u64);
+        mix(self.decoder_channels as u64);
+        mix(match self.encoder {
+            Encoder::Pyramid => 0,
+            Encoder::StandardConv3d => 1,
+            Encoder::Conv2dPerSlot => 2,
+        });
+        mix(match self.decoder {
+            DecoderKind::Deconv3d => 0,
+            DecoderKind::Reshape => 1,
+        });
+        mix(self.use_subway as u64);
+        h
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -302,6 +343,30 @@ mod tests {
             names,
             vec!["BikeCAP", "BikeCap-Sub", "BikeCap-Pyra", "BikeCap-3D", "BikeCap-3D-Pyra"]
         );
+    }
+
+    #[test]
+    fn content_hash_tracks_every_field() {
+        let base = BikeCapConfig::new(8, 8);
+        assert_eq!(base.content_hash(), base.clone().content_hash());
+        let variants = [
+            BikeCapConfig::new(9, 8),
+            base.clone().history(6),
+            base.clone().horizon(5),
+            base.clone().pyramid_size(4),
+            base.clone().capsule_dim(8),
+            base.clone().out_capsule_dim(6),
+            base.clone().routing_iters(2),
+            base.clone().hist_layers(2),
+            base.clone().decoder_channels(12),
+            base.clone().separate_slot_transforms(true),
+            base.clone().variant(Variant::NoSubway),
+            base.clone().variant(Variant::NoPyramid),
+            base.clone().variant(Variant::NoDeconv3d),
+        ];
+        for v in &variants {
+            assert_ne!(v.content_hash(), base.content_hash(), "{v:?}");
+        }
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! The assembled BikeCAP model: training and prediction.
 
+use std::io;
+use std::path::Path;
 use std::time::Instant;
 
 use bikecap_autograd::{ParamStore, Tape, Var};
 use bikecap_city_sim::{ForecastDataset, Split};
+use bikecap_nn::serialize::{
+    load_params_checked, save_params_with_meta, CheckpointMeta, LoadParamsError,
+};
 use bikecap_nn::{clip_grad_norm, Adam};
 use bikecap_tensor::Tensor;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::capsules::{HistoricalCapsules, SpatialTemporalRouting};
 use crate::config::BikeCapConfig;
@@ -108,9 +114,56 @@ impl BikeCap {
         }
     }
 
+    /// Builds the model from a deterministic seed — convenient for callers
+    /// (like the serving registry) that immediately overwrite the fresh
+    /// initialisation with checkpoint weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`BikeCapConfig::validate`]).
+    pub fn seeded(config: BikeCapConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::new(config, &mut rng)
+    }
+
     /// The model's configuration.
     pub fn config(&self) -> &BikeCapConfig {
         &self.config
+    }
+
+    /// The metadata stamped onto checkpoints saved from this model.
+    pub fn checkpoint_meta(&self) -> CheckpointMeta {
+        CheckpointMeta {
+            config_hash: self.config.content_hash(),
+            grid: (self.config.grid_height, self.config.grid_width),
+            history: self.config.history,
+            horizon: self.config.horizon,
+        }
+    }
+
+    /// Saves all weights to `path` as a v2 checkpoint annotated with this
+    /// model's [`CheckpointMeta`], so loaders can verify compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        save_params_with_meta(&self.store, &self.checkpoint_meta(), path)
+    }
+
+    /// Loads a checkpoint saved by [`BikeCap::save_checkpoint`] into this
+    /// model, first verifying its metadata against this model's
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadParamsError::ConfigMismatch`] when the checkpoint was
+    /// saved from a differently-configured model (detected before any weight
+    /// is modified), or the usual parse/shape errors.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), LoadParamsError> {
+        let meta = self.checkpoint_meta();
+        load_params_checked(&mut self.store, path, &meta)
     }
 
     /// Total learnable scalars (the paper reports 646,395 at its city scale).
@@ -159,10 +212,66 @@ impl BikeCap {
     ///
     /// Panics on shape mismatches.
     pub fn predict(&self, input: &Tensor) -> Tensor {
+        self.predict_batch(std::slice::from_ref(input))
+            .pop()
+            .expect("predict_batch returns one output per input")
+    }
+
+    /// Predicts demand for several independent requests in **one** forward
+    /// pass: the inputs are stacked along the batch axis, run through the
+    /// network together, and split back so `out[i]` corresponds to
+    /// `inputs[i]`. This is what lets a serving layer amortise the cost of a
+    /// forward pass across queued requests (micro-batching).
+    ///
+    /// Each input may be a single window `(F, h, H, W)` — its output is then
+    /// `(p, H, W)` — or an already-batched `(B_i, F, h, H, W)` producing
+    /// `(B_i, p, H, W)`. Per-request results are bitwise identical to calling
+    /// [`BikeCap::predict`] on each input alone: every layer treats the batch
+    /// axis as an outer loop, so stacking never changes arithmetic order
+    /// within a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or inputs of rank other than 4 or 5.
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Vec<Tensor> {
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let staged: Vec<Tensor> = inputs
+            .iter()
+            .map(|t| match t.ndim() {
+                4 => {
+                    let mut s = vec![1];
+                    s.extend_from_slice(t.shape());
+                    t.reshape(&s)
+                }
+                5 => t.clone(),
+                n => panic!("predict_batch expects rank-4 or rank-5 inputs, got rank {n}"),
+            })
+            .collect();
+        let stacked = if staged.len() == 1 {
+            staged[0].clone()
+        } else {
+            let refs: Vec<&Tensor> = staged.iter().collect();
+            Tensor::concat(&refs, 0)
+        };
         let mut tape = Tape::new();
-        let x = tape.constant(input.clone());
+        let x = tape.constant(stacked);
         let y = self.forward(&mut tape, x);
-        tape.value(y).clone()
+        let out = tape.value(y);
+        let mut results = Vec::with_capacity(inputs.len());
+        let mut offset = 0;
+        for (input, piece) in inputs.iter().zip(&staged) {
+            let rows = piece.shape()[0];
+            let slice = out.narrow(0, offset, rows);
+            offset += rows;
+            results.push(if input.ndim() == 4 {
+                slice.reshape(&slice.shape()[1..])
+            } else {
+                slice
+            });
+        }
+        results
     }
 
     /// Trains on the dataset's training split with Adam + L1 loss (paper
@@ -307,6 +416,65 @@ mod tests {
             .abs()
             .sum();
         assert!(d > 0.0);
+    }
+
+    #[test]
+    fn predict_batch_matches_individual_predict_bitwise() {
+        let model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(11);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng))
+            .collect();
+        let batched = model.predict_batch(&inputs);
+        assert_eq!(batched.len(), inputs.len());
+        for (x, y) in inputs.iter().zip(&batched) {
+            let solo = model.predict(x);
+            assert_eq!(solo.shape(), y.shape());
+            assert_eq!(solo.as_slice(), y.as_slice(), "batched != solo");
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_single_windows_and_batches() {
+        let model = tiny_model(2, Variant::Full);
+        let mut rng = StdRng::seed_from_u64(12);
+        let window = Tensor::rand_uniform(&[4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let pair = Tensor::rand_uniform(&[2, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        let out = model.predict_batch(&[window.clone(), pair.clone()]);
+        assert_eq!(out[0].shape(), &[2, 6, 6]);
+        assert_eq!(out[1].shape(), &[2, 2, 6, 6]);
+        // The rank-4 window behaves exactly like a batch of one.
+        let mut s5 = vec![1];
+        s5.extend_from_slice(window.shape());
+        let solo = model.predict(&window.reshape(&s5));
+        assert_eq!(solo.narrow(0, 0, 1).as_slice(), out[0].as_slice());
+        assert!(model.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_config_mismatch() {
+        let model = tiny_model(2, Variant::Full);
+        let path = std::env::temp_dir().join(format!(
+            "bikecap-core-ckpt-{}.txt",
+            std::process::id()
+        ));
+        model.save_checkpoint(&path).unwrap();
+
+        // Same config, different seed: loads and reproduces predictions.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut restored = BikeCap::seeded(model.config().clone(), 123);
+        restored.load_checkpoint(&path).unwrap();
+        let x = Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(model.predict(&x).as_slice(), restored.predict(&x).as_slice());
+
+        // Different architecture: typed ConfigMismatch, not a shape error.
+        let mut other = BikeCap::seeded(model.config().clone().capsule_dim(5), 1);
+        let err = other.load_checkpoint(&path).unwrap_err();
+        assert!(
+            matches!(err, LoadParamsError::ConfigMismatch { .. }),
+            "expected ConfigMismatch, got {err}"
+        );
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

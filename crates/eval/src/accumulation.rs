@@ -59,7 +59,7 @@ pub fn error_accumulation<R: Rng + ?Sized>(
         // Autoregressive: feed predictions back.
         let mut pred = x0;
         for (k, &t) in truth.iter().enumerate() {
-            pred = a_hat * pred;
+            pred *= a_hat;
             let d = (pred - t) as f64;
             sq_auto[k] += d * d;
         }

@@ -3,11 +3,17 @@
 //! A deliberately simple, dependency-free format (one parameter per line):
 //!
 //! ```text
-//! bikecap-params v1
+//! bikecap-params v2
+//! meta config_hash=00000000deadbeef grid=16x12 history=8 horizon=4
 //! <name> <d0>x<d1>x... <v0> <v1> ...
 //! ```
 //!
 //! Floats are written with full round-trip precision via `{:?}` formatting.
+//! Version 2 adds the optional `meta` line: a hash of the producing model's
+//! configuration plus the grid/window shape, so a serving process can reject
+//! a checkpoint that disagrees with the architecture it expects *before*
+//! hitting a low-level tensor-shape mismatch. Version 1 files (no meta line)
+//! still load.
 
 use std::fmt;
 use std::fs;
@@ -17,8 +23,87 @@ use std::path::Path;
 use bikecap_autograd::ParamStore;
 use bikecap_tensor::Tensor;
 
-/// Magic header of the weight format.
-const HEADER: &str = "bikecap-params v1";
+/// Magic header of the legacy (un-annotated) weight format.
+const HEADER_V1: &str = "bikecap-params v1";
+
+/// Magic header of the current weight format (adds the `meta` line).
+const HEADER_V2: &str = "bikecap-params v2";
+
+/// Versioned description of the model a checkpoint was saved from.
+///
+/// The `config_hash` is an opaque fingerprint computed by the model crate
+/// over every architecture hyper-parameter; the remaining fields duplicate
+/// the handful of values a server needs to rebuild a compatible model (and
+/// to print actionable mismatch errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Fingerprint of the full model configuration.
+    pub config_hash: u64,
+    /// Grid extent `(rows, cols)`.
+    pub grid: (usize, usize),
+    /// Historical slots `h` consumed per window.
+    pub history: usize,
+    /// Future slots `p` predicted per window.
+    pub horizon: usize,
+}
+
+impl fmt::Display for CheckpointMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config_hash={:016x} grid={}x{} history={} horizon={}",
+            self.config_hash, self.grid.0, self.grid.1, self.history, self.horizon
+        )
+    }
+}
+
+impl CheckpointMeta {
+    fn parse(line: &str, line_no: usize) -> Result<Self, LoadParamsError> {
+        let mut hash = None;
+        let mut grid = None;
+        let mut history = None;
+        let mut horizon = None;
+        let bad = |message: String| LoadParamsError::Parse { line: line_no, message };
+        for field in line.split_whitespace().skip(1) {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| bad(format!("meta field '{field}' is not key=value")))?;
+            match key {
+                "config_hash" => {
+                    hash = Some(u64::from_str_radix(value, 16).map_err(|_| {
+                        bad(format!("invalid config_hash '{value}'"))
+                    })?)
+                }
+                "grid" => {
+                    let (h, w) = value
+                        .split_once('x')
+                        .ok_or_else(|| bad(format!("invalid grid '{value}'")))?;
+                    grid = Some((
+                        h.parse().map_err(|_| bad(format!("invalid grid rows '{h}'")))?,
+                        w.parse().map_err(|_| bad(format!("invalid grid cols '{w}'")))?,
+                    ));
+                }
+                "history" => {
+                    history =
+                        Some(value.parse().map_err(|_| bad(format!("invalid history '{value}'")))?)
+                }
+                "horizon" => {
+                    horizon =
+                        Some(value.parse().map_err(|_| bad(format!("invalid horizon '{value}'")))?)
+                }
+                // Unknown keys are ignored so future versions can extend the
+                // meta line without breaking old readers.
+                _ => {}
+            }
+        }
+        Ok(CheckpointMeta {
+            config_hash: hash.ok_or_else(|| bad("meta line missing config_hash".into()))?,
+            grid: grid.ok_or_else(|| bad("meta line missing grid".into()))?,
+            history: history.ok_or_else(|| bad("meta line missing history".into()))?,
+            horizon: horizon.ok_or_else(|| bad("meta line missing horizon".into()))?,
+        })
+    }
+}
 
 /// Errors produced when loading weights.
 #[derive(Debug)]
@@ -35,6 +120,14 @@ pub enum LoadParamsError {
     /// The file's parameters do not match the store (missing name or wrong
     /// shape).
     Mismatch(String),
+    /// The checkpoint's metadata disagrees with the configuration the caller
+    /// expects (different architecture fingerprint or grid/window shape).
+    ConfigMismatch {
+        /// What the caller (e.g. a serving registry) expected.
+        expected: CheckpointMeta,
+        /// What the checkpoint file declares.
+        found: CheckpointMeta,
+    },
 }
 
 impl fmt::Display for LoadParamsError {
@@ -45,6 +138,10 @@ impl fmt::Display for LoadParamsError {
                 write!(f, "parse error on line {line}: {message}")
             }
             LoadParamsError::Mismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+            LoadParamsError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config mismatch: expected [{expected}], checkpoint declares [{found}]"
+            ),
         }
     }
 }
@@ -64,14 +161,45 @@ impl From<io::Error> for LoadParamsError {
     }
 }
 
-/// Writes every parameter of `store` to `path`.
+/// Writes every parameter of `store` to `path` (v1, no metadata).
+///
+/// Prefer [`save_params_with_meta`] for checkpoints that will be consumed by
+/// a serving process; this bare variant remains for raw parameter dumps.
 ///
 /// # Errors
 ///
 /// Returns any underlying I/O error.
 pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    write_params(store, None, path)
+}
+
+/// Writes every parameter of `store` to `path` as a v2 checkpoint carrying
+/// `meta` so loaders can verify architecture compatibility up front.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params_with_meta(
+    store: &ParamStore,
+    meta: &CheckpointMeta,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    write_params(store, Some(meta), path)
+}
+
+fn write_params(
+    store: &ParamStore,
+    meta: Option<&CheckpointMeta>,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
     let mut out = io::BufWriter::new(fs::File::create(path)?);
-    writeln!(out, "{HEADER}")?;
+    match meta {
+        Some(meta) => {
+            writeln!(out, "{HEADER_V2}")?;
+            writeln!(out, "meta {meta}")?;
+        }
+        None => writeln!(out, "{HEADER_V1}")?,
+    }
     for (_, name, value) in store.iter() {
         let dims: Vec<String> = value.shape().iter().map(|d| d.to_string()).collect();
         write!(out, "{name} {}", if dims.is_empty() { "scalar".to_string() } else { dims.join("x") })?;
@@ -83,7 +211,46 @@ pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()>
     out.flush()
 }
 
-/// Loads parameters from `path` into `store`, matching by name.
+/// Reads the [`CheckpointMeta`] of the checkpoint at `path` without touching
+/// any parameter data. Returns `None` for v1 files, which carry no metadata.
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure or a malformed header.
+pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, LoadParamsError> {
+    let content = fs::read_to_string(path)?;
+    parse_meta(&content).map(|(meta, _)| meta)
+}
+
+/// Parses the header (+ optional meta line), returning the meta and how many
+/// leading lines belong to the preamble.
+fn parse_meta(content: &str) -> Result<(Option<CheckpointMeta>, usize), LoadParamsError> {
+    let mut lines = content.lines();
+    match lines.next() {
+        Some(l) if l.trim() == HEADER_V1 => Ok((None, 1)),
+        Some(l) if l.trim() == HEADER_V2 => match lines.next() {
+            Some(meta_line) if meta_line.trim_start().starts_with("meta ") => {
+                Ok((Some(CheckpointMeta::parse(meta_line.trim(), 2)?), 2))
+            }
+            _ => Err(LoadParamsError::Parse {
+                line: 2,
+                message: "v2 checkpoint missing 'meta' line".to_string(),
+            }),
+        },
+        Some(l) => Err(LoadParamsError::Parse {
+            line: 1,
+            message: format!("expected header '{HEADER_V1}' or '{HEADER_V2}', found '{l}'"),
+        }),
+        None => Err(LoadParamsError::Parse {
+            line: 1,
+            message: "empty file".to_string(),
+        }),
+    }
+}
+
+/// Loads parameters from `path` into `store`, matching by name. Accepts both
+/// v1 and v2 checkpoints; any v2 metadata is ignored (use
+/// [`load_params_checked`] to enforce it).
 ///
 /// Every parameter in the file must exist in the store with the same shape;
 /// store parameters absent from the file are left untouched.
@@ -93,24 +260,43 @@ pub fn save_params(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()>
 /// Returns [`LoadParamsError`] on I/O failure, malformed input, unknown names
 /// or shape mismatches.
 pub fn load_params(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), LoadParamsError> {
+    load_params_impl(store, path, None)
+}
+
+/// Like [`load_params`], but first verifies the checkpoint's metadata against
+/// `expected`, failing with [`LoadParamsError::ConfigMismatch`] *before* any
+/// parameter is modified if the architectures disagree. v1 checkpoints carry
+/// no metadata and are loaded unchecked (per-parameter shape checks still
+/// apply).
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure, malformed input, metadata
+/// disagreement, unknown names or shape mismatches.
+pub fn load_params_checked(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+    expected: &CheckpointMeta,
+) -> Result<(), LoadParamsError> {
+    load_params_impl(store, path, Some(expected))
+}
+
+fn load_params_impl(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+    expected: Option<&CheckpointMeta>,
+) -> Result<(), LoadParamsError> {
     let content = fs::read_to_string(path)?;
-    let mut lines = content.lines().enumerate();
-    match lines.next() {
-        Some((_, l)) if l.trim() == HEADER => {}
-        Some((_, l)) => {
-            return Err(LoadParamsError::Parse {
-                line: 1,
-                message: format!("expected header '{HEADER}', found '{l}'"),
-            })
-        }
-        None => {
-            return Err(LoadParamsError::Parse {
-                line: 1,
-                message: "empty file".to_string(),
-            })
+    let (meta, preamble) = parse_meta(&content)?;
+    if let (Some(expected), Some(found)) = (expected, meta) {
+        if *expected != found {
+            return Err(LoadParamsError::ConfigMismatch {
+                expected: *expected,
+                found,
+            });
         }
     }
-    for (idx, line) in lines {
+    for (idx, line) in content.lines().enumerate().skip(preamble) {
         let line_no = idx + 1;
         if line.trim().is_empty() {
             continue;
@@ -217,7 +403,7 @@ mod tests {
     #[test]
     fn load_rejects_unknown_parameter() {
         let path = tmp("unknown");
-        fs::write(&path, format!("{HEADER}\nmystery 2 1.0 2.0\n")).unwrap();
+        fs::write(&path, format!("{HEADER_V1}\nmystery 2 1.0 2.0\n")).unwrap();
         let mut store = ParamStore::new();
         let err = load_params(&mut store, &path).unwrap_err();
         assert!(matches!(err, LoadParamsError::Mismatch(_)));
@@ -227,7 +413,7 @@ mod tests {
     #[test]
     fn load_rejects_shape_mismatch() {
         let path = tmp("shape");
-        fs::write(&path, format!("{HEADER}\np 3 1.0 2.0 3.0\n")).unwrap();
+        fs::write(&path, format!("{HEADER_V1}\np 3 1.0 2.0 3.0\n")).unwrap();
         let mut store = ParamStore::new();
         store.add("p", Tensor::zeros(&[2]));
         let err = load_params(&mut store, &path).unwrap_err();
@@ -238,7 +424,7 @@ mod tests {
     #[test]
     fn load_rejects_value_count_mismatch() {
         let path = tmp("count");
-        fs::write(&path, format!("{HEADER}\np 3 1.0 2.0\n")).unwrap();
+        fs::write(&path, format!("{HEADER_V1}\np 3 1.0 2.0\n")).unwrap();
         let mut store = ParamStore::new();
         store.add("p", Tensor::zeros(&[3]));
         let err = load_params(&mut store, &path).unwrap_err();
@@ -257,6 +443,89 @@ mod tests {
         load_params(&mut restored, &path).unwrap();
         assert_eq!(restored.value(s2).item(), store.value(s).item());
         fs::remove_file(path).ok();
+    }
+
+    fn sample_meta() -> CheckpointMeta {
+        CheckpointMeta {
+            config_hash: 0xdead_beef_cafe_f00d,
+            grid: (16, 12),
+            history: 8,
+            horizon: 4,
+        }
+    }
+
+    #[test]
+    fn v2_meta_roundtrips() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.5, -2.5], &[2]));
+        let path = tmp("v2meta");
+        let meta = sample_meta();
+        save_params_with_meta(&store, &meta, &path).unwrap();
+        assert_eq!(read_meta(&path).unwrap(), Some(meta));
+
+        let mut restored = ParamStore::new();
+        let id = restored.add("w", Tensor::zeros(&[2]));
+        load_params_checked(&mut restored, &path, &meta).unwrap();
+        assert_eq!(restored.value(id).as_slice(), &[1.5, -2.5]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_files_have_no_meta_and_load_unchecked() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![3.0], &[1]));
+        let path = tmp("v1nometa");
+        save_params(&store, &path).unwrap();
+        assert_eq!(read_meta(&path).unwrap(), None);
+        // Checked load of a v1 file skips the meta check entirely.
+        let mut restored = ParamStore::new();
+        restored.add("w", Tensor::zeros(&[1]));
+        load_params_checked(&mut restored, &path, &sample_meta()).unwrap();
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checked_load_rejects_config_mismatch_before_mutating() {
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![7.0], &[1]));
+        let path = tmp("cfgmismatch");
+        save_params_with_meta(&store, &sample_meta(), &path).unwrap();
+
+        let mut restored = ParamStore::new();
+        let id = restored.add("w", Tensor::zeros(&[1]));
+        let expected = CheckpointMeta {
+            horizon: 8,
+            ..sample_meta()
+        };
+        let err = load_params_checked(&mut restored, &path, &expected).unwrap_err();
+        assert!(
+            matches!(err, LoadParamsError::ConfigMismatch { .. }),
+            "expected ConfigMismatch, got {err}"
+        );
+        let text = err.to_string();
+        assert!(text.contains("horizon=8") && text.contains("horizon=4"), "{text}");
+        // The store must be untouched: the meta gate fires before any write.
+        assert_eq!(restored.value(id).as_slice(), &[0.0]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v2_without_meta_line_is_rejected() {
+        let path = tmp("v2nometa");
+        fs::write(&path, format!("{HEADER_V2}\np scalar 1.0\n")).unwrap();
+        let mut store = ParamStore::new();
+        store.add("p", Tensor::scalar(0.0));
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Parse { line: 2, .. }));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn meta_line_ignores_unknown_keys() {
+        let line = "meta config_hash=00000000000000ff grid=4x5 history=8 horizon=2 sharding=none";
+        let meta = CheckpointMeta::parse(line, 2).unwrap();
+        assert_eq!(meta.config_hash, 0xff);
+        assert_eq!(meta.grid, (4, 5));
     }
 
     #[test]

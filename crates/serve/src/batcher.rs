@@ -1,0 +1,377 @@
+//! Dynamic micro-batching: requests land on a bounded queue; a worker pool
+//! drains up to `max_batch` of them (waiting at most `max_wait`), stacks
+//! their windows into one tensor, and runs a single batched forward pass.
+//!
+//! Backpressure is explicit: a full queue fails `submit` immediately (the
+//! HTTP layer turns that into `503 Service Unavailable`) instead of letting
+//! latency grow without bound. Shutdown is graceful: dropping the sender
+//! disconnects the channel, workers drain every job already queued, answer
+//! it, and only then exit.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bikecap_tensor::Tensor;
+
+use crate::metrics::Metrics;
+use crate::registry::ModelEntry;
+
+/// Tuning knobs for the batching queue and worker pool.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum requests waiting in the queue before submits are rejected.
+    pub queue_cap: usize,
+    /// Largest number of requests fused into one forward pass.
+    pub max_batch: usize,
+    /// How long a worker waits for the batch to fill before running it.
+    pub max_wait: Duration,
+    /// Worker threads (each runs one batch at a time; batches from distinct
+    /// workers execute concurrently).
+    pub workers: usize,
+    /// Artificial pause before each batch executes. Zero in production; tests
+    /// raise it to hold the queue full deterministically (and it doubles as a
+    /// crude pacing knob when replaying traffic).
+    pub worker_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            queue_cap: 256,
+            max_batch: 16,
+            max_wait: Duration::from_millis(5),
+            workers: 2,
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// One queued prediction request.
+pub struct PredictJob {
+    /// Which model slot serves this request.
+    pub entry: Arc<ModelEntry>,
+    /// A single input window `(F, h, H, W)`, already validated.
+    pub input: Tensor,
+    /// When the job entered the queue (for latency accounting).
+    pub enqueued: Instant,
+    /// Where the worker sends the result.
+    pub respond: mpsc::Sender<JobResult>,
+}
+
+/// What a worker sends back for one job.
+pub struct JobResult {
+    /// The prediction `(p, H, W)`, or a worker-side failure message.
+    pub output: Result<Tensor, String>,
+    /// How many requests shared the forward pass that produced this result.
+    pub batch_size: usize,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — shed load now, retry later.
+    QueueFull,
+    /// The batcher is draining for shutdown.
+    ShuttingDown,
+}
+
+/// The bounded queue plus its worker pool.
+pub struct Batcher {
+    tx: Mutex<Option<SyncSender<PredictJob>>>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Batcher {
+    /// Starts `config.workers` threads draining a queue of `config.queue_cap`.
+    pub fn start(config: BatchConfig, metrics: Arc<Metrics>) -> Self {
+        assert!(config.queue_cap >= 1, "queue_cap must be >= 1");
+        assert!(config.max_batch >= 1, "max_batch must be >= 1");
+        assert!(config.workers >= 1, "need at least one worker");
+        let (tx, rx) = mpsc::sync_channel::<PredictJob>(config.queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let metrics = Arc::clone(&metrics);
+                let config = config.clone();
+                thread::Builder::new()
+                    .name(format!("bikecap-batch-{i}"))
+                    .spawn(move || worker_loop(&rx, &config, &metrics))
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        Batcher {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            metrics,
+        }
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] once [`Batcher::shutdown`] has begun.
+    pub fn submit(&self, job: PredictJob) -> Result<(), SubmitError> {
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let tx = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Stops accepting jobs, waits for workers to drain and answer everything
+    /// already queued, then joins them. Idempotent.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the channel; workers keep receiving
+        // buffered jobs until it reports empty+disconnected, so nothing
+        // accepted is ever dropped.
+        drop(
+            self.tx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take(),
+        );
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: &Metrics) {
+    loop {
+        // Collection phase: hold the receiver while assembling one batch.
+        // Prediction happens after the lock drops, so another worker can
+        // assemble the next batch while this one computes.
+        let batch = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            let first = match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(job) => job,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            let mut batch = vec![first];
+            let deadline = Instant::now() + config.max_wait;
+            while batch.len() < config.max_batch {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                // try_recv first: already-queued jobs join the batch without
+                // paying any wait at all.
+                if let Ok(job) = rx.try_recv() {
+                    batch.push(job);
+                    continue;
+                }
+                if remaining.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+            batch
+        };
+        metrics
+            .queue_depth
+            .fetch_sub(batch.len(), Ordering::Relaxed);
+        if !config.worker_delay.is_zero() {
+            thread::sleep(config.worker_delay);
+        }
+        run_batch(batch, metrics);
+    }
+}
+
+/// Runs one collected batch: groups jobs by model slot (requests for
+/// different models can interleave on the queue), executes one forward pass
+/// per group, and answers every job.
+fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
+    let mut groups: Vec<(Arc<ModelEntry>, Vec<PredictJob>)> = Vec::new();
+    for job in batch {
+        match groups
+            .iter_mut()
+            .find(|(entry, _)| Arc::ptr_eq(entry, &job.entry))
+        {
+            Some((_, jobs)) => jobs.push(job),
+            None => {
+                let entry = Arc::clone(&job.entry);
+                groups.push((entry, vec![job]));
+            }
+        }
+    }
+    for (entry, jobs) in groups {
+        let size = jobs.len();
+        metrics.record_batch(size);
+        let model = entry.current();
+        let inputs: Vec<Tensor> = jobs.iter().map(|j| j.input.clone()).collect();
+        let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            model.predict_batch(&inputs)
+        }));
+        match outputs {
+            Ok(outputs) => {
+                for (job, output) in jobs.into_iter().zip(outputs) {
+                    let _ = job.respond.send(JobResult {
+                        output: Ok(output),
+                        batch_size: size,
+                    });
+                }
+            }
+            Err(_) => {
+                for job in jobs {
+                    let _ = job.respond.send(JobResult {
+                        output: Err("model panicked during prediction".to_string()),
+                        batch_size: size,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ModelRegistry, DEFAULT_MODEL};
+    use bikecap_core::{BikeCap, BikeCapConfig};
+
+    fn tiny_entry() -> (ModelRegistry, Arc<ModelEntry>) {
+        let config = BikeCapConfig::new(4, 4)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(2)
+            .out_capsule_dim(2)
+            .decoder_channels(2);
+        let reg = ModelRegistry::new();
+        let entry = reg.insert(DEFAULT_MODEL, BikeCap::seeded(config, 3));
+        (reg, entry)
+    }
+
+    fn job(entry: &Arc<ModelEntry>, seed: f32) -> (PredictJob, mpsc::Receiver<JobResult>) {
+        let (tx, rx) = mpsc::channel();
+        let input = Tensor::full(&[4, 4, 4, 4], seed);
+        (
+            PredictJob {
+                entry: Arc::clone(entry),
+                input,
+                enqueued: Instant::now(),
+                respond: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn answers_jobs_and_batches_them() {
+        let (_reg, entry) = tiny_entry();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(100),
+                workers: 1,
+                worker_delay: Duration::from_millis(30),
+                ..BatchConfig::default()
+            },
+            Arc::clone(&metrics),
+        );
+        let mut receivers = Vec::new();
+        for i in 0..4 {
+            let (j, rx) = job(&entry, 0.1 + i as f32 * 0.1);
+            batcher.submit(j).unwrap();
+            receivers.push((i, rx));
+        }
+        for (i, rx) in receivers {
+            let res = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            let out = res.output.expect("prediction should succeed");
+            assert_eq!(out.shape(), &[2, 4, 4]);
+            let solo = entry
+                .current()
+                .predict(&Tensor::full(&[4, 4, 4, 4], 0.1 + i as f32 * 0.1));
+            assert_eq!(out.as_slice(), solo.as_slice(), "job {i}");
+        }
+        assert!(metrics.batches_total.load(Ordering::Relaxed) >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let (_reg, entry) = tiny_entry();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(
+            BatchConfig {
+                queue_cap: 2,
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                workers: 1,
+                worker_delay: Duration::from_millis(500),
+            },
+            Arc::clone(&metrics),
+        );
+        // Saturate: the worker sleeps on the first job while these queue up.
+        let mut receivers = Vec::new();
+        let mut rejected = 0;
+        for i in 0..8 {
+            let (j, rx) = job(&entry, i as f32 * 0.05);
+            match batcher.submit(j) {
+                Ok(()) => receivers.push(rx),
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(rejected >= 1, "a bounded queue must shed load");
+        // Everything accepted still completes.
+        for rx in receivers {
+            let res = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(res.output.is_ok());
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let (_reg, entry) = tiny_entry();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(
+            BatchConfig {
+                queue_cap: 16,
+                max_batch: 2,
+                max_wait: Duration::from_millis(1),
+                workers: 1,
+                worker_delay: Duration::from_millis(50),
+            },
+            Arc::clone(&metrics),
+        );
+        let receivers: Vec<_> = (0..5)
+            .map(|i| {
+                let (j, rx) = job(&entry, i as f32 * 0.1);
+                batcher.submit(j).unwrap();
+                rx
+            })
+            .collect();
+        batcher.shutdown();
+        // Post-shutdown: everything already accepted was answered…
+        for rx in receivers {
+            assert!(rx.try_recv().unwrap().output.is_ok());
+        }
+        // …and new submissions are refused.
+        let (j, _rx) = job(&entry, 0.9);
+        assert_eq!(batcher.submit(j).unwrap_err(), SubmitError::ShuttingDown);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

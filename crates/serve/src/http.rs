@@ -1,0 +1,290 @@
+//! A minimal HTTP/1.1 layer over `std::net` — request parsing, response
+//! writing, and a tiny blocking client (used by tests and ops tooling).
+//!
+//! Scope is deliberately narrow: one request per connection
+//! (`Connection: close`), `Content-Length` bodies only (no chunked
+//! encoding), and capped header/body sizes so a misbehaving client cannot
+//! pin memory.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed inbound request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The path component, e.g. `/predict` (query strings are kept verbatim).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be served, mapped to an HTTP status.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable cause, sent in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Shorthand constructor.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// `Err(io::Error)` for transport failures (including read timeouts);
+/// `Ok(Err(HttpError))` for protocol violations the caller should answer
+/// with an error status.
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+) -> io::Result<Result<Request, HttpError>> {
+    // Accumulate until the blank line separating head from body.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end;
+    loop {
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(HttpError::new(400, "connection closed mid-request")));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(pos) = find_head_end(&buf) {
+            head_end = pos;
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Ok(Err(HttpError::new(413, "request head too large")));
+        }
+    }
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(Err(HttpError::new(400, "request head is not utf-8"))),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Ok(Err(HttpError::new(400, "malformed request line"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(HttpError::new(400, "unsupported protocol version")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = match value.trim().parse() {
+                    Ok(n) => n,
+                    Err(_) => return Ok(Err(HttpError::new(400, "invalid content-length"))),
+                };
+            }
+        }
+    }
+    if content_length > max_body_bytes {
+        return Ok(Err(HttpError::new(413, "request body too large")));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > content_length {
+        // Pipelined bytes beyond the declared body are ignored (we answer
+        // one request per connection).
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(Err(HttpError::new(400, "connection closed mid-body")));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    }))
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a JSON response and flushes. `Connection: close` always — the
+/// server handles one request per connection.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP client: sends one request, returns
+/// `(status, body)`. Used by the e2e tests and handy for smoke checks.
+///
+/// # Errors
+///
+/// Returns any transport error, or `InvalidData` on an unparseable response.
+pub fn client_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bikecap\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let head_end = find_head_end(&response)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 response head"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no status code"))?;
+    let body = String::from_utf8_lossy(&response[head_end + 4..]).into_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Round-trips a raw request through a real socket pair and returns what
+    /// the server side parsed.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the stream open briefly so the server reads everything.
+            thread::sleep(Duration::from_millis(20));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let parsed = read_request(&mut stream, 1024 * 1024).unwrap();
+        client.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_raw(b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        let err = parse_raw(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let err = parse_raw(b"POST /p HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn header_case_is_ignored() {
+        let req =
+            parse_raw(b"POST /p HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok").unwrap();
+        assert_eq!(req.body, b"ok");
+    }
+
+    #[test]
+    fn response_roundtrip_through_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let req = read_request(&mut stream, 1024).unwrap().unwrap();
+            assert_eq!(req.method, "GET");
+            write_response(&mut stream, 200, "{\"ok\":true}").unwrap();
+        });
+        let (status, body) =
+            client_request(addr, "GET", "/x", None, Duration::from_secs(2)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,231 @@
+//! Lock-light serving metrics: counters, a batch-size histogram, queue
+//! depth, and request latency quantiles over a fixed ring buffer.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Batch-size histogram bucket upper bounds (inclusive); the last bucket is
+/// open-ended.
+pub const BATCH_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// How many recent request latencies the quantile ring retains.
+pub const LATENCY_RING: usize = 1024;
+
+/// Shared serving metrics. All hot-path updates are atomic; only the latency
+/// ring takes a (short) lock.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests that reached `POST /predict` (accepted or rejected).
+    pub requests_total: AtomicU64,
+    /// Requests answered with a prediction.
+    pub responses_ok: AtomicU64,
+    /// Requests rejected with 503 because the queue was full.
+    pub rejected_total: AtomicU64,
+    /// Requests rejected with 4xx (malformed body, unknown model, bad shape).
+    pub client_errors: AtomicU64,
+    /// Current number of requests sitting in the batching queue.
+    pub queue_depth: AtomicUsize,
+    /// Completed model batches, by size bucket (see [`BATCH_BUCKETS`]).
+    batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Total batches run (sum of the histogram, kept for cheap reads).
+    pub batches_total: AtomicU64,
+    /// Model hot-swaps performed since startup.
+    pub swaps_total: AtomicU64,
+    /// Recent end-to-end request latencies, microseconds.
+    latencies: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    samples: Vec<u64>,
+    next: usize,
+    filled: bool,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            client_errors: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            batch_hist: Default::default(),
+            batches_total: AtomicU64::new(0),
+            swaps_total: AtomicU64::new(0),
+            latencies: Mutex::new(Ring {
+                samples: Vec::with_capacity(LATENCY_RING),
+                next: 0,
+                filled: false,
+            }),
+        }
+    }
+
+    /// Records one completed model batch of `size` requests.
+    pub fn record_batch(&self, size: usize) {
+        let bucket = BATCH_BUCKETS
+            .iter()
+            .position(|&b| size <= b)
+            .unwrap_or(BATCH_BUCKETS.len());
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's end-to-end latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let mut ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.samples.len() < LATENCY_RING {
+            ring.samples.push(us);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = us;
+            ring.filled = true;
+        }
+        ring.next = (ring.next + 1) % LATENCY_RING;
+    }
+
+    /// Latency quantile in microseconds over the retained window (`q` in
+    /// `[0, 1]`), or `None` before the first completed request.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        let ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = ring.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// The full metrics document served at `GET /metrics`.
+    pub fn to_json(&self) -> Json {
+        let hist: Vec<Json> = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(i, count)| {
+                let le = BATCH_BUCKETS
+                    .get(i)
+                    .map(|b| Json::Num(*b as f64))
+                    .unwrap_or(Json::Str("inf".into()));
+                Json::obj([
+                    ("le", le),
+                    ("count", Json::Num(count.load(Ordering::Relaxed) as f64)),
+                ])
+            })
+            .collect();
+        let lat = |q: f64| {
+            self.latency_quantile(q)
+                .map(|us| Json::Num(us as f64))
+                .unwrap_or(Json::Null)
+        };
+        Json::obj([
+            (
+                "requests_total",
+                Json::Num(self.requests_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "responses_ok",
+                Json::Num(self.responses_ok.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rejected_total",
+                Json::Num(self.rejected_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "client_errors",
+                Json::Num(self.client_errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "queue_depth",
+                Json::Num(self.queue_depth.load(Ordering::Relaxed) as f64),
+            ),
+            ("batch_size_histogram", Json::Arr(hist)),
+            (
+                "batches_total",
+                Json::Num(self.batches_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "swaps_total",
+                Json::Num(self.swaps_total.load(Ordering::Relaxed) as f64),
+            ),
+            ("latency_p50_us", lat(0.50)),
+            ("latency_p99_us", lat(0.99)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_buckets() {
+        let m = Metrics::new();
+        for size in [1, 2, 3, 4, 9, 100] {
+            m.record_batch(size);
+        }
+        let doc = m.to_json();
+        let hist = doc.get("batch_size_histogram").unwrap().as_arr().unwrap();
+        let counts: Vec<usize> = hist
+            .iter()
+            .map(|b| b.get("count").unwrap().as_usize().unwrap())
+            .collect();
+        // le=1:1, le=2:1, le=4:2 (3 and 4), le=8:0, le=16:1 (9), le=32:0, inf:1
+        assert_eq!(counts, vec![1, 1, 2, 0, 1, 0, 1]);
+        assert_eq!(doc.get("batches_total").unwrap().as_usize(), Some(6));
+    }
+
+    #[test]
+    fn quantiles_over_ring() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_quantile(0.5), None);
+        for i in 1..=100u64 {
+            m.record_latency(Duration::from_micros(i));
+        }
+        assert_eq!(m.latency_quantile(0.0), Some(1));
+        assert_eq!(m.latency_quantile(1.0), Some(100));
+        let p50 = m.latency_quantile(0.5).unwrap();
+        assert!((49..=52).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn ring_evicts_old_samples() {
+        let m = Metrics::new();
+        for _ in 0..LATENCY_RING {
+            m.record_latency(Duration::from_micros(1_000_000));
+        }
+        for _ in 0..LATENCY_RING {
+            m.record_latency(Duration::from_micros(5));
+        }
+        // All old samples overwritten: the max is now 5.
+        assert_eq!(m.latency_quantile(1.0), Some(5));
+    }
+
+    #[test]
+    fn metrics_json_has_required_fields() {
+        let m = Metrics::new();
+        let doc = m.to_json();
+        for key in [
+            "requests_total",
+            "queue_depth",
+            "batch_size_histogram",
+            "latency_p50_us",
+            "latency_p99_us",
+        ] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(doc.get("latency_p50_us"), Some(&Json::Null));
+    }
+}

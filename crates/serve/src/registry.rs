@@ -1,0 +1,296 @@
+//! The model registry: named models, checkpoint loading with metadata
+//! verification, and atomic hot-swap.
+//!
+//! Each registered name owns a [`ModelEntry`] whose current network sits
+//! behind `RwLock<Arc<BikeCap>>`. Readers (`ModelEntry::current`) clone the
+//! inner `Arc` under a read lock held for nanoseconds, so in-flight batches
+//! keep using the network they grabbed while [`ModelEntry::hot_swap`]
+//! atomically installs a replacement — no request ever observes a
+//! half-loaded model.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_nn::serialize::LoadParamsError;
+
+/// Errors surfaced by registry operations.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// No model registered under the requested name.
+    UnknownModel(String),
+    /// Loading the checkpoint failed (I/O, parse, shape or config mismatch).
+    Load(LoadParamsError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            RegistryError::Load(e) => write!(f, "checkpoint load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Load(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadParamsError> for RegistryError {
+    fn from(e: LoadParamsError) -> Self {
+        RegistryError::Load(e)
+    }
+}
+
+/// One named model slot.
+#[derive(Debug)]
+pub struct ModelEntry {
+    name: String,
+    config: BikeCapConfig,
+    model: RwLock<Arc<BikeCap>>,
+    checkpoint: RwLock<Option<PathBuf>>,
+    swaps: AtomicU64,
+}
+
+impl ModelEntry {
+    /// The entry's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The architecture this slot serves. Immutable for the entry's lifetime;
+    /// hot-swaps must match it.
+    pub fn config(&self) -> &BikeCapConfig {
+        &self.config
+    }
+
+    /// The checkpoint path last loaded into this slot, if any.
+    pub fn checkpoint(&self) -> Option<PathBuf> {
+        self.checkpoint
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// How many times this slot's network has been hot-swapped.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// A reference to the current network. In-flight work holds its own
+    /// `Arc`, so a concurrent hot-swap never invalidates it.
+    pub fn current(&self) -> Arc<BikeCap> {
+        Arc::clone(&self.model.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically replaces this slot's network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model`'s configuration differs from the slot's — swaps must
+    /// not change the served architecture (register a new name instead).
+    pub fn hot_swap(&self, model: BikeCap) {
+        assert_eq!(
+            model.config(),
+            &self.config,
+            "hot_swap must preserve the slot's architecture"
+        );
+        let next = Arc::new(model);
+        *self.model.write().unwrap_or_else(|e| e.into_inner()) = next;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Loads `path` into a fresh network and hot-swaps it in. The running
+    /// model is untouched if the load fails.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Load`] when the checkpoint cannot be read or
+    /// disagrees with this slot's configuration.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), RegistryError> {
+        let mut fresh = BikeCap::seeded(self.config.clone(), 0);
+        fresh.load_checkpoint(path.as_ref())?;
+        self.hot_swap(fresh);
+        *self.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
+            Some(path.as_ref().to_path_buf());
+        Ok(())
+    }
+}
+
+/// Thread-safe collection of named [`ModelEntry`]s.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+/// The model name used when a request doesn't specify one.
+pub const DEFAULT_MODEL: &str = "default";
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under `name`, replacing any existing entry wholesale
+    /// (for same-architecture updates prefer [`ModelEntry::hot_swap`], which
+    /// in-flight batches observe atomically).
+    pub fn insert(&self, name: impl Into<String>, model: BikeCap) -> Arc<ModelEntry> {
+        let name = name.into();
+        let entry = Arc::new(ModelEntry {
+            name: name.clone(),
+            config: model.config().clone(),
+            model: RwLock::new(Arc::new(model)),
+            checkpoint: RwLock::new(None),
+            swaps: AtomicU64::new(0),
+        });
+        self.entries
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name, Arc::clone(&entry));
+        entry
+    }
+
+    /// Builds a model for `config`, loads the checkpoint at `path` into it
+    /// (verifying metadata), and registers it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Load`] when the checkpoint cannot be read or
+    /// was saved from a different architecture; nothing is registered then.
+    pub fn load_checkpoint(
+        &self,
+        name: impl Into<String>,
+        config: BikeCapConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<Arc<ModelEntry>, RegistryError> {
+        let mut model = BikeCap::seeded(config, 0);
+        model.load_checkpoint(path.as_ref())?;
+        let entry = self.insert(name, model);
+        *entry.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
+            Some(path.as_ref().to_path_buf());
+        Ok(entry)
+    }
+
+    /// Looks up a model by name; `None` falls back to [`DEFAULT_MODEL`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownModel`] when nothing is registered
+    /// under the resolved name.
+    pub fn get(&self, name: Option<&str>) -> Result<Arc<ModelEntry>, RegistryError> {
+        let name = name.unwrap_or(DEFAULT_MODEL);
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
+    }
+
+    /// All registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_tensor::Tensor;
+
+    fn tiny_config() -> BikeCapConfig {
+        BikeCapConfig::new(4, 4)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(2)
+            .out_capsule_dim(2)
+            .decoder_channels(2)
+    }
+
+    #[test]
+    fn insert_get_and_names() {
+        let reg = ModelRegistry::new();
+        assert!(matches!(
+            reg.get(None),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        reg.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 1));
+        reg.insert("shadow", BikeCap::seeded(tiny_config(), 2));
+        assert_eq!(reg.names(), vec!["default".to_string(), "shadow".into()]);
+        assert_eq!(reg.get(None).unwrap().name(), "default");
+        assert_eq!(reg.get(Some("shadow")).unwrap().name(), "shadow");
+    }
+
+    #[test]
+    fn hot_swap_changes_predictions_atomically() {
+        let reg = ModelRegistry::new();
+        let entry = reg.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 1));
+        let x = Tensor::ones(&[1, 4, 4, 4, 4]);
+        let before = entry.current().predict(&x);
+
+        // A reader holding the old Arc keeps a consistent model across a swap.
+        let held = entry.current();
+        entry.hot_swap(BikeCap::seeded(tiny_config(), 99));
+        assert_eq!(entry.swap_count(), 1);
+        assert_eq!(held.predict(&x).as_slice(), before.as_slice());
+        let after = entry.current().predict(&x);
+        assert!(before.sub(&after).abs().sum() > 0.0, "swap must take effect");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_swap must preserve")]
+    fn hot_swap_rejects_architecture_change() {
+        let reg = ModelRegistry::new();
+        let entry = reg.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 1));
+        entry.hot_swap(BikeCap::seeded(tiny_config().capsule_dim(3), 1));
+    }
+
+    #[test]
+    fn checkpoint_load_and_reload() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bikecap-registry-{}.ckpt", std::process::id()));
+        let trained = BikeCap::seeded(tiny_config(), 7);
+        trained.save_checkpoint(&path).unwrap();
+
+        let reg = ModelRegistry::new();
+        let entry = reg
+            .load_checkpoint(DEFAULT_MODEL, tiny_config(), &path)
+            .unwrap();
+        assert_eq!(entry.checkpoint().as_deref(), Some(path.as_path()));
+        let x = Tensor::ones(&[1, 4, 4, 4, 4]);
+        assert_eq!(
+            entry.current().predict(&x).as_slice(),
+            trained.predict(&x).as_slice()
+        );
+
+        // Wrong architecture: typed error, nothing registered.
+        let err = reg
+            .load_checkpoint("bad", tiny_config().capsule_dim(3), &path)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Load(_)), "{err}");
+        assert!(reg.get(Some("bad")).is_err());
+
+        // Reload into the existing entry = hot swap.
+        entry.reload(&path).unwrap();
+        assert_eq!(entry.swap_count(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,554 @@
+//! The serving front end: a TCP acceptor, a thread per connection, and JSON
+//! routes wired to the model registry and batching queue.
+//!
+//! Routes:
+//!
+//! * `POST /predict` — body `{"model"?: "name", "input": {"shape": [F,h,H,W],
+//!   "data": [..]}}`; answers the predicted demand maps `(p, H, W)` plus the
+//!   batch size the request rode in on. A full queue answers `503`.
+//! * `GET /healthz` — liveness plus the registered model names.
+//! * `GET /metrics` — counters, batch-size histogram, queue depth, latency
+//!   quantiles (see [`crate::metrics::Metrics::to_json`]).
+//! * `POST /admin/reload` — body `{"model"?: "name", "checkpoint": "path"}`;
+//!   hot-swaps the named slot from a checkpoint without dropping requests.
+//!
+//! Shutdown is graceful: the acceptor stops, open connections finish, and the
+//! batcher drains every accepted job before workers exit.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bikecap_core::BikeCapConfig;
+use bikecap_tensor::Tensor;
+
+use crate::batcher::{BatchConfig, Batcher, PredictJob, SubmitError};
+use crate::http::{self, HttpError, Request};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::registry::{ModelRegistry, RegistryError};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks an ephemeral one).
+    pub addr: String,
+    /// Batching queue and worker pool settings.
+    pub batch: BatchConfig,
+    /// How long one request may wait for its prediction before `504`.
+    pub request_timeout: Duration,
+    /// Socket read/write timeout (bounds how long a slow client can pin a
+    /// connection thread).
+    pub io_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            batch: BatchConfig::default(),
+            request_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+struct Inner {
+    registry: Arc<ModelRegistry>,
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+    stop: AtomicBool,
+    conns: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops the
+/// acceptor, joins open connections, and drains the batcher.
+pub struct Server {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor and batch workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> io::Result<Server> {
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::start(config.batch.clone(), Arc::clone(&metrics));
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept lets the acceptor poll the stop flag instead of
+        // parking in `accept` forever.
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(Inner {
+            registry,
+            batcher,
+            metrics,
+            config,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("bikecap-accept".to_string())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            addr,
+            inner,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics handle.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The registry this server routes to.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Blocks until `stop` becomes true (e.g. the flag from
+    /// [`crate::signal::install_shutdown_flag`]), then shuts down gracefully.
+    pub fn run_until(self, stop: &AtomicBool) {
+        while !stop.load(Ordering::SeqCst) && !self.inner.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown();
+    }
+
+    /// Graceful shutdown: stop accepting, finish open connections, drain and
+    /// answer every queued prediction, then join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let conns: Vec<_> = self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
+        // Connections are done submitting; now drain what they queued.
+        self.inner.batcher.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_inner = Arc::clone(inner);
+                let handle = thread::Builder::new()
+                    .name("bikecap-conn".to_string())
+                    .spawn(move || handle_connection(&conn_inner, stream));
+                let mut conns = inner.conns.lock().unwrap_or_else(|e| e.into_inner());
+                if let Ok(handle) = handle {
+                    conns.push(handle);
+                }
+                // Reap finished connections so the handle list stays bounded
+                // under sustained load (dropping a finished handle is a no-op
+                // join-wise; the thread has already exited).
+                if conns.len() > 64 {
+                    conns.retain(|h| !h.is_finished());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(inner.config.io_timeout));
+    let request = match http::read_request(&mut stream, inner.config.max_body_bytes) {
+        Ok(Ok(request)) => request,
+        Ok(Err(e)) => {
+            inner.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            let (status, body) = error_response(e);
+            let _ = http::write_response(&mut stream, status, &body);
+            return;
+        }
+        // Transport error (client vanished, read timed out): nothing to say.
+        Err(_) => return,
+    };
+    let (status, body) = route(inner, &request);
+    let _ = http::write_response(&mut stream, status, &body);
+}
+
+fn route(inner: &Inner, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => predict(inner, &request.body),
+        ("GET", "/healthz") => healthz(inner),
+        ("GET", "/metrics") => (200, inner.metrics.to_json().to_string()),
+        ("POST", "/admin/reload") => reload(inner, &request.body),
+        (_, "/predict" | "/healthz" | "/metrics" | "/admin/reload") => {
+            error_response(HttpError::new(405, "method not allowed for this route"))
+        }
+        _ => error_response(HttpError::new(404, "no such route")),
+    }
+}
+
+fn error_response(e: HttpError) -> (u16, String) {
+    (
+        e.status,
+        Json::obj([("error", Json::Str(e.message))]).to_string(),
+    )
+}
+
+fn healthz(inner: &Inner) -> (u16, String) {
+    let models: Vec<Json> = inner.registry.names().into_iter().map(Json::Str).collect();
+    let doc = Json::obj([
+        ("status", Json::Str("ok".to_string())),
+        ("models", Json::Arr(models)),
+        (
+            "queue_depth",
+            Json::Num(inner.metrics.queue_depth.load(Ordering::Relaxed) as f64),
+        ),
+    ]);
+    (200, doc.to_string())
+}
+
+fn predict(inner: &Inner, body: &[u8]) -> (u16, String) {
+    inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    match predict_impl(inner, body, started) {
+        Ok(doc) => {
+            inner.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.record_latency(started.elapsed());
+            (200, doc.to_string())
+        }
+        Err(e) => {
+            if e.status == 503 {
+                inner.metrics.rejected_total.fetch_add(1, Ordering::Relaxed);
+            } else if (400..500).contains(&e.status) {
+                inner.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            error_response(e)
+        }
+    }
+}
+
+fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, HttpError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| HttpError::new(400, "body is not utf-8"))?;
+    let doc = Json::parse(text).map_err(|e| HttpError::new(400, format!("invalid json: {e}")))?;
+    let entry = inner
+        .registry
+        .get(doc.get("model").and_then(Json::as_str))
+        .map_err(|e| match e {
+            RegistryError::UnknownModel(name) => {
+                HttpError::new(404, format!("unknown model '{name}'"))
+            }
+            other => HttpError::new(500, other.to_string()),
+        })?;
+    let input = parse_input(&doc, entry.config())?;
+
+    let (respond, result_rx) = mpsc::channel();
+    inner
+        .batcher
+        .submit(PredictJob {
+            entry: Arc::clone(&entry),
+            input,
+            enqueued: started,
+            respond,
+        })
+        .map_err(|e| match e {
+            SubmitError::QueueFull => HttpError::new(503, "prediction queue full, retry later"),
+            SubmitError::ShuttingDown => HttpError::new(503, "server is shutting down"),
+        })?;
+    let result = result_rx
+        .recv_timeout(inner.config.request_timeout)
+        .map_err(|_| HttpError::new(504, "prediction timed out"))?;
+    let output = result.output.map_err(|msg| HttpError::new(500, msg))?;
+
+    Ok(Json::obj([
+        ("model", Json::Str(entry.name().to_string())),
+        ("shape", Json::from_usizes(output.shape())),
+        ("data", Json::from_f32s(output.as_slice())),
+        ("batch_size", Json::Num(result.batch_size as f64)),
+        (
+            "latency_us",
+            Json::Num(started.elapsed().as_micros() as f64),
+        ),
+    ]))
+}
+
+/// Validates the `input` payload against the model's architecture and builds
+/// the `(F, h, H, W)` window tensor.
+fn parse_input(doc: &Json, config: &BikeCapConfig) -> Result<Tensor, HttpError> {
+    let input = doc
+        .get("input")
+        .ok_or_else(|| HttpError::new(400, "missing 'input'"))?;
+    let shape: Vec<usize> = input
+        .get("shape")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| HttpError::new(400, "'input.shape' must be an array of integers"))?
+        .iter()
+        .map(Json::as_usize)
+        .collect::<Option<_>>()
+        .ok_or_else(|| HttpError::new(400, "'input.shape' must be non-negative integers"))?;
+    // The forward pass takes the full 4-feature layout and drops the subway
+    // channels itself when the variant ignores them, so both the canonical
+    // F=4 and the variant's own feature count are accepted.
+    let features_ok = shape.first() == Some(&4) || shape.first() == Some(&config.input_features());
+    let dims_ok = shape.len() == 4
+        && shape[1] == config.history
+        && shape[2] == config.grid_height
+        && shape[3] == config.grid_width;
+    if !features_ok || !dims_ok {
+        return Err(HttpError::new(
+            400,
+            format!(
+                "input shape {:?} does not match model window ({}, {}, {}, {})",
+                shape, 4, config.history, config.grid_height, config.grid_width
+            ),
+        ));
+    }
+    let data = input
+        .get("data")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| HttpError::new(400, "'input.data' must be an array of numbers"))?;
+    let expected: usize = shape.iter().product();
+    if data.len() != expected {
+        return Err(HttpError::new(
+            400,
+            format!(
+                "'input.data' has {} values, shape {:?} needs {}",
+                data.len(),
+                shape,
+                expected
+            ),
+        ));
+    }
+    let values: Vec<f32> = data
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as f32))
+        .collect::<Option<_>>()
+        .ok_or_else(|| HttpError::new(400, "'input.data' must contain only numbers"))?;
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(HttpError::new(400, "'input.data' must be finite"));
+    }
+    Ok(Tensor::from_vec(values, &shape))
+}
+
+fn reload(inner: &Inner, body: &[u8]) -> (u16, String) {
+    let outcome = (|| -> Result<Json, HttpError> {
+        let text =
+            std::str::from_utf8(body).map_err(|_| HttpError::new(400, "body is not utf-8"))?;
+        let doc =
+            Json::parse(text).map_err(|e| HttpError::new(400, format!("invalid json: {e}")))?;
+        let path = doc
+            .get("checkpoint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| HttpError::new(400, "missing 'checkpoint'"))?;
+        let entry = inner
+            .registry
+            .get(doc.get("model").and_then(Json::as_str))
+            .map_err(|e| HttpError::new(404, e.to_string()))?;
+        // 409: the running model is untouched when the checkpoint is bad.
+        entry
+            .reload(path)
+            .map_err(|e| HttpError::new(409, e.to_string()))?;
+        inner.metrics.swaps_total.fetch_add(1, Ordering::Relaxed);
+        Ok(Json::obj([
+            ("status", Json::Str("reloaded".to_string())),
+            ("model", Json::Str(entry.name().to_string())),
+            ("swaps", Json::Num(entry.swap_count() as f64)),
+        ]))
+    })();
+    match outcome {
+        Ok(doc) => (200, doc.to_string()),
+        Err(e) => {
+            inner.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            error_response(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DEFAULT_MODEL;
+    use bikecap_core::BikeCap;
+
+    fn tiny_config() -> BikeCapConfig {
+        BikeCapConfig::new(4, 4)
+            .history(4)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(2)
+            .out_capsule_dim(2)
+            .decoder_channels(2)
+    }
+
+    fn start_tiny() -> Server {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 5));
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        };
+        Server::start(config, registry).unwrap()
+    }
+
+    fn get(server: &Server, path: &str) -> (u16, String) {
+        http::client_request(
+            server.local_addr(),
+            "GET",
+            path,
+            None,
+            Duration::from_secs(5),
+        )
+        .unwrap()
+    }
+
+    fn post(server: &Server, path: &str, body: &str) -> (u16, String) {
+        http::client_request(
+            server.local_addr(),
+            "POST",
+            path,
+            Some(body),
+            Duration::from_secs(10),
+        )
+        .unwrap()
+    }
+
+    fn predict_body() -> String {
+        let data: Vec<f32> = (0..4 * 4 * 4 * 4).map(|i| (i % 7) as f32 * 0.1).collect();
+        Json::obj([(
+            "input",
+            Json::obj([
+                ("shape", Json::from_usizes(&[4, 4, 4, 4])),
+                ("data", Json::from_f32s(&data)),
+            ]),
+        )])
+        .to_string()
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let server = start_tiny();
+        let (status, body) = get(&server, "/healthz");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+
+        let (status, body) = get(&server, "/metrics");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert!(doc.get("batch_size_histogram").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn predict_end_to_end() {
+        let server = start_tiny();
+        let (status, body) = post(&server, "/predict", &predict_body());
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        let shape: Vec<usize> = doc
+            .get("shape")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_usize().unwrap())
+            .collect();
+        assert_eq!(shape, vec![2, 4, 4]);
+        assert!(doc.get("batch_size").and_then(Json::as_usize).unwrap() >= 1);
+        let metrics = server.metrics();
+        assert_eq!(metrics.responses_ok.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let server = start_tiny();
+        let (status, _) = post(&server, "/predict", "not json");
+        assert_eq!(status, 400);
+        let (status, body) = post(
+            &server,
+            "/predict",
+            r#"{"input":{"shape":[1,2,3],"data":[0]}}"#,
+        );
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = post(
+            &server,
+            "/predict",
+            &predict_body().replace("\"input\"", "\"model\":\"nope\",\"input\""),
+        );
+        assert_eq!(status, 404);
+        let (status, _) = get(&server, "/nope");
+        assert_eq!(status, 404);
+        let (status, _) = get(&server, "/predict");
+        assert_eq!(status, 405);
+        assert!(server.metrics().client_errors.load(Ordering::Relaxed) >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn admin_reload_hot_swaps() {
+        let server = start_tiny();
+        let path = std::env::temp_dir().join(format!(
+            "bikecap-serve-reload-{}.ckpt",
+            std::process::id()
+        ));
+        BikeCap::seeded(tiny_config(), 42)
+            .save_checkpoint(&path)
+            .unwrap();
+        let body = Json::obj([(
+            "checkpoint",
+            Json::Str(path.display().to_string()),
+        )])
+        .to_string();
+        let (status, reply) = post(&server, "/admin/reload", &body);
+        assert_eq!(status, 200, "{reply}");
+        assert_eq!(server.metrics().swaps_total.load(Ordering::Relaxed), 1);
+
+        // A missing checkpoint leaves the model serving and reports 409.
+        let bad = r#"{"checkpoint":"/nonexistent/nope.ckpt"}"#;
+        let (status, _) = post(&server, "/admin/reload", bad);
+        assert_eq!(status, 409);
+        let (status, _) = post(&server, "/predict", &predict_body());
+        assert_eq!(status, 200);
+        std::fs::remove_file(path).ok();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,59 @@
+//! Std-only SIGINT / SIGTERM hook for graceful shutdown.
+//!
+//! The serving crate takes no external dependencies, so instead of the `libc`
+//! or `signal-hook` crates this declares the one C function it needs —
+//! `signal(2)` — directly. std already links libc on every unix target, so
+//! the symbol is always available. The handler does the only
+//! async-signal-safe thing it can: flip an `AtomicBool` that the serve loop
+//! polls.
+
+use std::sync::atomic::AtomicBool;
+
+/// Set to `true` by the installed handler when SIGINT or SIGTERM arrives.
+pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal context: nothing but the atomic store is safe here.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {
+        // No signal story on this target; ctrl-c kills the process outright.
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the flag it
+/// sets. Pair with [`crate::server::Server::run_until`]:
+///
+/// ```no_run
+/// # use bikecap_serve::{registry::ModelRegistry, server::{ServeConfig, Server}};
+/// # use std::sync::Arc;
+/// let server = Server::start(ServeConfig::default(), Arc::new(ModelRegistry::new())).unwrap();
+/// server.run_until(bikecap_serve::signal::install_shutdown_flag());
+/// ```
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN
+}

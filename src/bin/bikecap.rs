@@ -1,23 +1,37 @@
 //! `bikecap` — a small CLI over the library: simulate a city, train the
-//! model, and forecast demand.
+//! model, forecast demand, and serve predictions over HTTP.
 //!
 //! ```text
 //! bikecap simulate --days 10 --seed 1 --out-dir ./data
 //! bikecap train    --days 10 --seed 1 --horizon 4 --epochs 20 --weights model.txt
 //! bikecap forecast --days 10 --seed 1 --horizon 4 --weights model.txt
+//! bikecap train    --days 10 --epochs 20 --save model.ckpt
+//! bikecap serve    --checkpoint model.ckpt --addr 127.0.0.1:7878
 //! ```
 //!
 //! `simulate` writes the record streams as CSV (Tables I/II schema); `train`
 //! fits BikeCAP on the simulated month and saves weights; `forecast` reloads
 //! them and prints the multi-step demand forecast for the last test window.
+//!
+//! The train → serve round trip: `train --save` writes a versioned checkpoint
+//! whose header records the architecture (config hash, grid, history,
+//! horizon); `serve --checkpoint` reads that header back, rebuilds the model,
+//! and answers `POST /predict` with dynamically micro-batched forward passes.
+//! A checkpoint from a different architecture is refused with a typed config
+//! mismatch instead of garbage predictions.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use bikecap::eval::{evaluate, BikeCapForecaster};
 use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions};
-use bikecap::nn::serialize::{load_params, save_params};
+use bikecap::nn::serialize::{load_params, read_meta, save_params};
+use bikecap::serve::{
+    signal::install_shutdown_flag, BatchConfig, ModelRegistry, ServeConfig, Server, DEFAULT_MODEL,
+};
 use bikecap::sim::{
     aggregate::DemandSeries,
     generate::{SimConfig, Simulator, TripData},
@@ -29,8 +43,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: bikecap <simulate|train|forecast> [--days N] [--seed N] [--horizon N] \
-     [--epochs N] [--weights FILE] [--out-dir DIR]"
+    "usage: bikecap <simulate|train|forecast|serve> [--days N] [--seed N] [--horizon N] \
+     [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] [--checkpoint FILE] \
+     [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] [--queue-cap N]\n\
+     round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`"
 }
 
 struct Args {
@@ -40,6 +56,13 @@ struct Args {
     epochs: usize,
     weights: PathBuf,
     out_dir: PathBuf,
+    save: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    addr: String,
+    workers: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+    queue_cap: usize,
 }
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
@@ -62,6 +85,13 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         epochs: get("epochs", "15").parse().map_err(|_| "invalid --epochs".to_string())?,
         weights: PathBuf::from(get("weights", "bikecap-weights.txt")),
         out_dir: PathBuf::from(get("out-dir", ".")),
+        save: map.get("save").map(PathBuf::from),
+        checkpoint: map.get("checkpoint").map(PathBuf::from),
+        addr: get("addr", "127.0.0.1:7878"),
+        workers: get("workers", "2").parse().map_err(|_| "invalid --workers".to_string())?,
+        max_batch: get("max-batch", "16").parse().map_err(|_| "invalid --max-batch".to_string())?,
+        max_wait_ms: get("max-wait-ms", "5").parse().map_err(|_| "invalid --max-wait-ms".to_string())?,
+        queue_cap: get("queue-cap", "256").parse().map_err(|_| "invalid --queue-cap".to_string())?,
     })
 }
 
@@ -135,6 +165,14 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     println!("test MAE {:.3}, RMSE {:.3} (bikes per cell per 15 min)", m.mae, m.rmse);
     save_params(fc.model().store(), &args.weights).map_err(|e| e.to_string())?;
     println!("weights saved to {}", args.weights.display());
+    if let Some(path) = &args.save {
+        fc.model().save_checkpoint(path).map_err(|e| e.to_string())?;
+        println!(
+            "checkpoint (weights + config metadata) saved to {0} — serve it with \
+             `bikecap serve --checkpoint {0}`",
+            path.display()
+        );
+    }
     Ok(())
 }
 
@@ -180,6 +218,63 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let path = args.checkpoint.clone().ok_or_else(|| {
+        format!(
+            "serve requires --checkpoint FILE (write one with `bikecap train --save FILE`)\n{}",
+            usage()
+        )
+    })?;
+    // The v2 checkpoint header records the architecture, so the server can
+    // rebuild the exact model the checkpoint was trained with.
+    let meta = read_meta(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+        .ok_or_else(|| {
+            format!(
+                "{} has no config metadata (legacy v1 file?) — re-save it with \
+                 `bikecap train --save`",
+                path.display()
+            )
+        })?;
+    let config = BikeCapConfig::new(meta.grid.0, meta.grid.1)
+        .history(meta.history)
+        .horizon(meta.horizon);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_checkpoint(DEFAULT_MODEL, config, &path)
+        .map_err(|e| e.to_string())?;
+
+    let serve_config = ServeConfig {
+        addr: args.addr.clone(),
+        batch: BatchConfig {
+            queue_cap: args.queue_cap,
+            max_batch: args.max_batch,
+            max_wait: Duration::from_millis(args.max_wait_ms),
+            workers: args.workers,
+            ..BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serve_config, registry).map_err(|e| e.to_string())?;
+    println!(
+        "serving {} on http://{} ({} workers, batches of up to {} within {}ms)",
+        path.display(),
+        server.local_addr(),
+        args.workers,
+        args.max_batch,
+        args.max_wait_ms
+    );
+    println!(
+        "  POST /predict  body {{\"input\":{{\"shape\":[4,{},{},{}],\"data\":[…]}}}}",
+        meta.history, meta.grid.0, meta.grid.1
+    );
+    println!("  GET  /healthz | GET /metrics | POST /admin/reload");
+    println!("ctrl-c or SIGTERM drains in-flight batches and exits");
+    server.run_until(install_shutdown_flag());
+    println!("drained and stopped");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -197,6 +292,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(&args),
         "train" => cmd_train(&args),
         "forecast" => cmd_forecast(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {

@@ -11,6 +11,8 @@
 //! * [`model`] — the BikeCAP capsule network and its ablation variants.
 //! * [`baselines`] — the seven comparison forecasters from the paper.
 //! * [`eval`] — metrics and the repeated-seed experiment harness.
+//! * [`serve`] — batched multi-threaded inference serving (registry,
+//!   micro-batching queue, std-only HTTP front end).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -20,4 +22,5 @@ pub use bikecap_city_sim as sim;
 pub use bikecap_core as model;
 pub use bikecap_eval as eval;
 pub use bikecap_nn as nn;
+pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;

@@ -53,14 +53,16 @@ fn model_rejects_degenerate_grid() {
 }
 
 #[test]
-#[should_panic(expected = "expects (B, F, h, H, W)")]
+#[should_panic(expected = "rank-4 or rank-5")]
 fn model_rejects_wrong_input_rank() {
     let mut rng = StdRng::seed_from_u64(3);
     let model = BikeCap::new(
         BikeCapConfig::new(6, 6).pyramid_size(2).capsule_dim(3),
         &mut rng,
     );
-    let _ = model.predict(&Tensor::zeros(&[4, 8, 6, 6]));
+    // Rank 4 is a valid single window and rank 5 a batch; rank 3 is refused
+    // with a typed panic rather than garbage downstream.
+    let _ = model.predict(&Tensor::zeros(&[8, 6, 6]));
 }
 
 #[test]
