@@ -512,6 +512,7 @@ impl Tape {
     /// Panics if `k_axes` is invalid for the rank.
     pub fn softmax_trailing(&mut self, a: Var, k_axes: usize) -> Var {
         let value = self.nodes[a.0].value.softmax_trailing(k_axes);
+        value.debug_assert_finite("softmax_trailing");
         self.push(
             value,
             vec![a.0],
@@ -627,7 +628,9 @@ impl Tape {
         let denom = self.mul(one_plus, norm);
         let scaled = self.div(a, denom);
         // scaled = a / ((1+|s|^2)|s|); multiply by |s|^2 (broadcast).
-        self.mul_broadcast_keepdim(scaled, sumsq)
+        let out = self.mul_broadcast_keepdim(scaled, sumsq);
+        self.value(out).debug_assert_finite("squash");
+        out
     }
 
     fn mul_broadcast_keepdim(&mut self, a: Var, b: Var) -> Var {

@@ -94,7 +94,7 @@ fn bench_model_costs(c: &mut Criterion) {
                 ..TrainOptions::default()
             };
             let mut rng = StdRng::seed_from_u64(3);
-            black_box(m.fit(&ds, &opts, &mut rng).final_loss());
+            black_box(m.fit(&ds, &opts, &mut rng).final_loss().unwrap_or(f32::NAN));
         })
     });
 }

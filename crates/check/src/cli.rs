@@ -1,0 +1,134 @@
+//! Flag parsing for `check-config`, shared between the `bikecap-check`
+//! driver and the root `bikecap check-config` subcommand.
+
+use bikecap_core::{BikeCapConfig, StrideOverrides, Variant};
+
+/// Parse `--flag value` pairs into a configuration plus what-if stride
+/// overrides. Unknown flags, malformed values, and missing arguments are
+/// errors (usage text is the caller's job).
+pub fn config_from_flags(args: &[String]) -> Result<(BikeCapConfig, StrideOverrides), String> {
+    let mut grid = (8usize, 8usize);
+    let mut config = BikeCapConfig::new(grid.0, grid.1);
+    let mut overrides = StrideOverrides::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--grid" => {
+                let v = value("--grid")?;
+                let (h, w) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--grid expects HxW, got `{v}`"))?;
+                grid = (parse_usize("--grid height", h)?, parse_usize("--grid width", w)?);
+            }
+            "--history" => config.history = parse_usize(flag, value(flag)?)?,
+            "--horizon" => config.horizon = parse_usize(flag, value(flag)?)?,
+            "--pyramid" => config.pyramid_size = parse_usize(flag, value(flag)?)?,
+            "--capsule-dim" => config.capsule_dim = parse_usize(flag, value(flag)?)?,
+            "--out-capsule-dim" => config.out_capsule_dim = parse_usize(flag, value(flag)?)?,
+            "--hist-layers" => config.hist_layers = parse_usize(flag, value(flag)?)?,
+            "--routing-iters" => config.routing_iters = parse_usize(flag, value(flag)?)?,
+            "--decoder-channels" => config.decoder_channels = parse_usize(flag, value(flag)?)?,
+            "--separate-slots" => config.separate_slot_transforms = true,
+            "--softmax-over-grid" => config.routing_softmax_over_grid = true,
+            "--variant" => {
+                let v = value("--variant")?;
+                let variant = Variant::all()
+                    .into_iter()
+                    .find(|x| x.name().eq_ignore_ascii_case(v))
+                    .ok_or_else(|| {
+                        let names: Vec<&str> = Variant::all().iter().map(|x| x.name()).collect();
+                        format!("--variant `{v}` unknown; one of {}", names.join(", "))
+                    })?;
+                config = config.variant(variant);
+            }
+            "--encoder-spatial-stride" => {
+                overrides.encoder_spatial = Some(parse_usize(flag, value(flag)?)?)
+            }
+            "--encoder-time-stride" => {
+                overrides.encoder_time = Some(parse_usize(flag, value(flag)?)?)
+            }
+            "--routing-depth-stride" => {
+                overrides.routing_depth = Some(parse_usize(flag, value(flag)?)?)
+            }
+            "--routing-spatial-stride" => {
+                overrides.routing_spatial = Some(parse_usize(flag, value(flag)?)?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    config.grid_height = grid.0;
+    config.grid_width = grid.1;
+    Ok((config, overrides))
+}
+
+fn parse_usize(flag: &str, v: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects an unsigned integer, got `{v}`"))
+}
+
+/// The `check-config` flag reference, shared by both binaries' usage text.
+pub const CHECK_CONFIG_FLAGS: &str = "\
+  --grid HxW                 grid extents (default 8x8)
+  --history N                historical slots h (default 8)
+  --horizon N                predicted slots p (default 4)
+  --pyramid N                pyramid size k (default 3)
+  --capsule-dim N            historical capsule dimension (default 4)
+  --out-capsule-dim N        future capsule dimension (default 4)
+  --hist-layers N            stacked encoder layers (default 1)
+  --routing-iters N          dynamic-routing iterations (default 3)
+  --decoder-channels N       decoder hidden width (default 8)
+  --separate-slots           per-slot prediction transforms (Sec. V-B)
+  --softmax-over-grid        literal Eq.-4 volume softmax
+  --variant NAME             BikeCAP | BikeCap-Sub | BikeCap-Pyra |
+                             BikeCap-3D | BikeCap-3D-Pyra
+  --encoder-spatial-stride N what-if: stride the encoder conv spatially
+  --encoder-time-stride N    what-if: stride the encoder conv in time
+  --routing-depth-stride N   what-if: override the routing depth stride
+  --routing-spatial-stride N what-if: stride the routing conv spatially";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let (c, ov) = config_from_flags(&[]).expect("empty is default");
+        assert_eq!((c.grid_height, c.grid_width), (8, 8));
+        assert!(ov.is_identity());
+
+        let (c, ov) = config_from_flags(&args(
+            "--grid 6x4 --history 5 --horizon 3 --pyramid 2 --capsule-dim 8 \
+             --variant BikeCap-Pyra --separate-slots --encoder-spatial-stride 3",
+        ))
+        .expect("parses");
+        assert_eq!((c.grid_height, c.grid_width), (6, 4));
+        assert_eq!(c.history, 5);
+        assert_eq!(c.horizon, 3);
+        assert_eq!(c.pyramid_size, 2);
+        assert_eq!(c.capsule_dim, 8);
+        assert!(c.separate_slot_transforms);
+        assert_eq!(ov.encoder_spatial, Some(3));
+    }
+
+    #[test]
+    fn bad_flags_are_errors_not_panics() {
+        assert!(config_from_flags(&args("--grid 8")).is_err());
+        assert!(config_from_flags(&args("--horizon x")).is_err());
+        assert!(config_from_flags(&args("--variant nope")).is_err());
+        assert!(config_from_flags(&args("--frobnicate 1")).is_err());
+        assert!(config_from_flags(&args("--history")).is_err());
+    }
+
+    #[test]
+    fn variant_names_match_paper_spelling() {
+        let (c, _) = config_from_flags(&args("--variant bikecap-3d-pyra")).expect("case-insensitive");
+        assert!(!matches!(c.encoder, bikecap_core::Encoder::Pyramid));
+    }
+}

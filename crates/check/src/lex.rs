@@ -1,0 +1,342 @@
+//! A minimal, dependency-free token scanner for Rust source.
+//!
+//! The lint pass (see [`crate::lint`]) only needs a faithful stream of
+//! identifiers, punctuation, and doc comments with correct line numbers.
+//! Everything that could confuse a naive text search — string literals,
+//! raw strings, block comments, char literals vs. lifetimes — is consumed
+//! here so the lint rules never match inside them.
+
+/// One significant token of Rust source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `pub`, ...).
+    Ident(String),
+    /// A single punctuation character (`{`, `[`, `!`, ...).
+    Punct(char),
+    /// A doc comment line (`/// ...` or `//! ...`); carries its text.
+    DocComment(String),
+    /// A numeric literal. The lint rules never inspect the digits, but the
+    /// token must exist so number suffixes (`1f32`) are not mistaken for
+    /// identifiers.
+    Number,
+    /// A string, raw string, byte string, or char literal, fully consumed.
+    Literal,
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Scan `source` into a token stream. Plain comments are dropped; doc
+/// comments are kept (the backpressure-doc lint reads them).
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if peek(&chars, i + 1) == Some('/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.starts_with("///") || text.starts_with("//!") {
+                    tokens.push(Token {
+                        kind: TokenKind::DocComment(text),
+                        line,
+                    });
+                }
+            }
+            '/' if peek(&chars, i + 1) == Some('*') => {
+                // Nested block comments, as Rust allows.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && peek(&chars, i + 1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && peek(&chars, i + 1) == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i = consume_string(&chars, i, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if raw_string_hashes(&chars, i).is_some() => {
+                let start_line = line;
+                i = consume_raw_string(&chars, i, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            'b' if peek(&chars, i + 1) == Some('"') => {
+                let start_line = line;
+                i = consume_string(&chars, i + 1, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Disambiguate char literal from lifetime: a lifetime is
+                // `'ident` NOT followed by a closing quote.
+                if is_lifetime(&chars, i) {
+                    i += 1; // skip the quote; the ident lexes as Ident
+                } else {
+                    let start_line = line;
+                    i = consume_char_literal(&chars, i, &mut line);
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: start_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers may embed letters (0xff, 1e-8, 3f32, 1_000).
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // Stop `1..n` range syntax from swallowing the second dot.
+                    if chars[i] == '.' && peek(&chars, i + 1) == Some('.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                // `1e-8` / `1E+3`: the sign belongs to the exponent.
+                if i > 0
+                    && (chars[i - 1] == 'e' || chars[i - 1] == 'E')
+                    && matches!(peek(&chars, i), Some('+') | Some('-'))
+                {
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            other => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+fn peek(chars: &[char], i: usize) -> Option<char> {
+    chars.get(i).copied()
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
+/// return the number of `#` marks; otherwise `None`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if peek(chars, j) == Some('b') {
+        j += 1;
+    }
+    if peek(chars, j) != Some('r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while peek(chars, j) == Some('#') {
+        hashes += 1;
+        j += 1;
+    }
+    if peek(chars, j) == Some('"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Consume a normal string literal starting at the opening `"`; returns the
+/// index one past the closing quote.
+fn consume_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a raw string starting at `r`/`b`; returns the index one past the
+/// closing delimiter.
+fn consume_raw_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let hashes = raw_string_hashes(chars, i).unwrap_or(0);
+    // Skip past the opening `b`? `r` `#`* `"`.
+    while i < chars.len() && chars[i] != '"' {
+        i += 1;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && peek(chars, j) == Some('#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// True when the `'` at `i` opens a lifetime (`'a`, `'static`) rather than a
+/// char literal (`'a'`, `'\n'`).
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    match peek(chars, i + 1) {
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            // `'a'` is a char literal; `'ab` can only be a lifetime.
+            peek(chars, i + 2) != Some('\'')
+        }
+        _ => false,
+    }
+}
+
+/// Consume a char literal starting at the opening `'`.
+fn consume_char_literal(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic!() in a block /* nested */ comment */
+            let s = "unwrap() inside a string";
+            let r = r#"expect() inside a raw string"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ids = idents(src);
+        assert!(ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+        // The char literal body must NOT appear as an identifier.
+        assert!(!ids.contains(&"x'".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_are_kept_with_text() {
+        let src = "/// Rejects when the queue is full.\npub fn submit() {}";
+        let docs: Vec<String> = lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::DocComment(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs.len(), 1);
+        assert!(docs[0].contains("queue is full"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let toks = lex(src);
+        let b_tok = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".to_string()))
+            .expect("b token");
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_leak_identifiers() {
+        let ids = idents("let x = 1f32 + 0xff + 1e-8;");
+        assert!(!ids.contains(&"f32".to_string()));
+        assert!(!ids.contains(&"ff".to_string()));
+        assert!(!ids.contains(&"e".to_string()));
+    }
+}

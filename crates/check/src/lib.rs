@@ -1,0 +1,25 @@
+//! `bikecap-check`: workspace static analysis.
+//!
+//! Three passes, all dependency-free (see DESIGN.md, appendix):
+//!
+//! 1. **Shape contracts** — [`bikecap_core::check_config`] symbolically
+//!    composes every layer of a configuration; [`sweep`] runs it over every
+//!    configuration EXPERIMENTS.md trains.
+//! 2. **Hot-path lints** — [`lint`] tokenizes the workspace sources
+//!    ([`lex`]) and rejects panic-prone constructs (`unwrap`, `expect`,
+//!    `panic!`, slice indexing, lossy casts) in the numeric and serving hot
+//!    paths, modulo the audited `check-allowlist.txt`.
+//! 3. **Config probing** — [`cli::config_from_flags`] powers
+//!    `bikecap-check check-config` and the root `bikecap check-config`
+//!    subcommand, including what-if stride overrides.
+//!
+//! Run everything with `cargo run -p bikecap-check -- all`.
+
+pub mod cli;
+pub mod lex;
+pub mod lint;
+pub mod sweep;
+
+pub use cli::{config_from_flags, CHECK_CONFIG_FLAGS};
+pub use lint::{lint_source, lint_workspace, Allowlist, CrateKind, Finding, Rule};
+pub use sweep::{run_sweep, sweep_configs};

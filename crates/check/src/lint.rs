@@ -1,0 +1,757 @@
+//! Hot-path source lints.
+//!
+//! A token-level pass (no syn, no rustc) over the workspace sources that
+//! rejects panic-prone constructs in the numeric hot paths and the serve
+//! request path:
+//!
+//! * **no-unwrap / no-expect / no-panic** — no `unwrap()`, `expect()`,
+//!   `panic!`/`unreachable!`/`todo!`/`unimplemented!` inside hot-path
+//!   functions. `assert!`/`debug_assert!` are allowed (contracts, not
+//!   control flow), and `unwrap_or`/`unwrap_or_else` are distinct
+//!   identifiers and never match.
+//! * **no-index** — no `expr[...]` slice indexing in hot-path functions;
+//!   prefer iterators, `get`, or pre-validated offsets. Slice *types*
+//!   (`&[f32]`), attributes (`#[...]`), `vec![...]`, and slice patterns
+//!   (`let [a, b] = ..`) do not match.
+//! * **no-lossy-cast** — in `bikecap-tensor` kernels, no `as` casts to
+//!   narrower numeric types (`usize as f32` silently loses precision past
+//!   2^24); widening/`usize` casts are fine.
+//! * **backpressure-doc** — every `pub fn` in `serve/src/batcher.rs` (the
+//!   bounded-queue module) must document its backpressure behaviour in its
+//!   doc comment (what happens when the queue is full / draining / shut
+//!   down).
+//!
+//! Code under `#[cfg(test)]` / `mod tests` / `#[test]` is exempt. Audited
+//! exceptions live in `check-allowlist.txt` at the workspace root, one per
+//! line: `rule path fn-name justification...`.
+
+use crate::lex::{lex, Token, TokenKind};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in the order they are documented above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    NoUnwrap,
+    NoExpect,
+    NoPanic,
+    NoIndex,
+    NoLossyCast,
+    BackpressureDoc,
+}
+
+impl Rule {
+    /// The stable name used in reports and `check-allowlist.txt`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::NoPanic => "no-panic",
+            Rule::NoIndex => "no-index",
+            Rule::NoLossyCast => "no-lossy-cast",
+            Rule::BackpressureDoc => "backpressure-doc",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    pub line: usize,
+    /// The enclosing hot-path function.
+    pub func: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] in fn {}: {}",
+            self.file, self.line, self.rule, self.func, self.message
+        )
+    }
+}
+
+/// Which crate a source file belongs to; decides the hot-path predicate
+/// and which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    Tensor,
+    Nn,
+    Core,
+    Serve,
+    Other,
+}
+
+impl CrateKind {
+    /// Classify a workspace-relative path.
+    pub fn of(path: &str) -> CrateKind {
+        if path.starts_with("crates/tensor/") {
+            CrateKind::Tensor
+        } else if path.starts_with("crates/nn/") {
+            CrateKind::Nn
+        } else if path.starts_with("crates/core/") {
+            CrateKind::Core
+        } else if path.starts_with("crates/serve/") {
+            CrateKind::Serve
+        } else {
+            CrateKind::Other
+        }
+    }
+}
+
+/// Numeric-stack hot-path name fragments: a function whose name contains one
+/// of these runs per training step or per inference call.
+const NUMERIC_HOT_FRAGMENTS: &[&str] = &[
+    "forward", "backward", "predict", "im2col", "col2im", "matmul", "conv", "squash", "softmax",
+];
+
+/// Serve request-path functions (exact names): everything between a request
+/// arriving and its response leaving, plus the registry's swap path.
+const SERVE_HOT_FNS: &[&str] = &[
+    "submit",
+    "worker_loop",
+    "run_batch",
+    "shutdown",
+    "handle_connection",
+    "route",
+    "predict",
+    "predict_impl",
+    "parse_input",
+    "current",
+    "hot_swap",
+    "reload",
+    "load_checkpoint",
+    "get",
+];
+
+/// Is `name` a hot-path function for its crate?
+pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
+    match kind {
+        CrateKind::Tensor | CrateKind::Nn | CrateKind::Core => {
+            NUMERIC_HOT_FRAGMENTS.iter().any(|f| name.contains(f))
+        }
+        CrateKind::Serve => SERVE_HOT_FNS.contains(&name),
+        CrateKind::Other => false,
+    }
+}
+
+/// Casting to one of these with `as` can silently lose precision or truncate.
+const LOSSY_CAST_TARGETS: &[&str] = &["f32", "f64", "i8", "u8", "i16", "u16", "i32", "u32"];
+
+/// Keywords that, when directly preceding `[`, mean the bracket opens a
+/// pattern or literal rather than an indexing expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move",
+    "unsafe", "dyn", "impl", "where", "const", "static", "as", "loop", "while", "for", "fn",
+    "pub", "use", "mod", "struct", "enum", "type",
+];
+
+/// Doc keywords (lowercased substring match) that count as documenting
+/// backpressure behaviour.
+const BACKPRESSURE_WORDS: &[&str] = &[
+    "backpressure",
+    "full",
+    "reject",
+    "shed",
+    "drain",
+    "block",
+    "capacity",
+    "shut",
+];
+
+/// One audited exception from `check-allowlist.txt`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub file: String,
+    pub func: String,
+    pub reason: String,
+    pub line: usize,
+}
+
+/// The parsed allowlist, with per-entry use tracking so stale entries can be
+/// reported.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+    used: Vec<bool>,
+}
+
+impl Allowlist {
+    /// Parse the `rule path fn reason...` line format. `#` starts a comment;
+    /// blank lines are ignored. Malformed lines are errors, not silently
+    /// skipped — a typo in the allowlist must not un-audit an exception.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, char::is_whitespace);
+            let rule = parts.next().unwrap_or_default().to_string();
+            let file = parts.next().unwrap_or_default().to_string();
+            let func = parts.next().unwrap_or_default().to_string();
+            let reason = parts.next().unwrap_or_default().trim().to_string();
+            if rule.is_empty() || file.is_empty() || func.is_empty() || reason.is_empty() {
+                return Err(format!(
+                    "check-allowlist.txt:{}: expected `rule path fn reason...`, got `{line}`",
+                    idx + 1
+                ));
+            }
+            entries.push(AllowEntry {
+                rule,
+                file,
+                func,
+                reason,
+                line: idx + 1,
+            });
+        }
+        let used = vec![false; entries.len()];
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Does an entry cover this finding? Marks the entry used.
+    fn allows(&mut self, finding: &Finding) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == finding.rule.name()
+                && finding.file.ends_with(&e.file)
+                && (e.func == "*" || e.func == finding.func)
+            {
+                self.used[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding — candidates for deletion.
+    pub fn unused(&self) -> Vec<&AllowEntry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, used)| !**used)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Lint a single source file (pure; unit-testable). `file` is the
+/// workspace-relative path used for crate classification and reporting.
+pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
+    let kind = CrateKind::of(file);
+    let is_batcher = file.ends_with("serve/src/batcher.rs");
+    let tokens = lex(source);
+    let mut findings = Vec::new();
+
+    struct FnFrame {
+        name: String,
+        depth: usize,
+        hot: bool,
+    }
+
+    let mut depth = 0usize;
+    let mut stack: Vec<FnFrame> = Vec::new();
+    let mut doc_buf = String::new();
+    let mut pub_flag = false;
+    let mut skip_test_item = false;
+    let mut i = 0;
+
+    // Identifiers that may sit between a doc comment and its `fn` without
+    // detaching the doc (visibility and qualifiers).
+    const DOC_CARRIERS: &[&str] = &["pub", "crate", "super", "self", "in", "unsafe", "const", "async", "extern"];
+
+    while i < tokens.len() {
+        let hot = stack.iter().any(|f| f.hot);
+        match &tokens[i].kind {
+            TokenKind::DocComment(text) => {
+                doc_buf.push_str(text);
+                doc_buf.push('\n');
+                i += 1;
+            }
+            TokenKind::Punct('#')
+                if matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Punct('[')) | Some(TokenKind::Punct('!'))
+                ) =>
+            {
+                let (attr_idents, next) = consume_attribute(&tokens, i);
+                if is_test_attribute(&attr_idents) {
+                    skip_test_item = true;
+                }
+                i = next;
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                let name = match tokens.get(i + 1).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(n)) => n.clone(),
+                    _ => String::new(),
+                };
+                if skip_test_item {
+                    i = skip_item(&tokens, i);
+                    skip_test_item = false;
+                    doc_buf.clear();
+                    pub_flag = false;
+                    continue;
+                }
+                if is_batcher && pub_flag {
+                    let doc = doc_buf.to_lowercase();
+                    if !BACKPRESSURE_WORDS.iter().any(|w| doc.contains(w)) {
+                        findings.push(Finding {
+                            rule: Rule::BackpressureDoc,
+                            file: file.to_string(),
+                            line: tokens[i].line,
+                            func: name.clone(),
+                            message: format!(
+                                "pub fn {name} in the batching queue module must document \
+                                 its backpressure behaviour (what happens when the queue \
+                                 is full, draining, or shut down)"
+                            ),
+                        });
+                    }
+                }
+                doc_buf.clear();
+                pub_flag = false;
+                // Scan the signature to the body `{` (or, for bodiless trait
+                // fns, the `;`). A `;` inside `(`/`[`/`<` nesting — array
+                // types like `[usize; 2]` — does not end the signature.
+                let mut j = i + 1;
+                let mut nest = 0isize;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('(') | TokenKind::Punct('[') => nest += 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => nest -= 1,
+                        TokenKind::Punct('{') => {
+                            stack.push(FnFrame {
+                                name: name.clone(),
+                                depth,
+                                hot: is_hot_path(kind, &name),
+                            });
+                            depth += 1;
+                            j += 1;
+                            break;
+                        }
+                        TokenKind::Punct(';') if nest == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            TokenKind::Ident(w) if w == "mod" => {
+                let name = match tokens.get(i + 1).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(n)) => n.as_str(),
+                    _ => "",
+                };
+                if skip_test_item || name == "tests" {
+                    i = skip_item(&tokens, i);
+                    skip_test_item = false;
+                } else {
+                    i += 1;
+                }
+                doc_buf.clear();
+                pub_flag = false;
+            }
+            _ if skip_test_item => {
+                // `#[cfg(test)]` on a non-fn, non-mod item (use, impl, ...).
+                i = skip_item(&tokens, i);
+                skip_test_item = false;
+                doc_buf.clear();
+                pub_flag = false;
+            }
+            TokenKind::Ident(w) if w == "pub" => {
+                pub_flag = true;
+                i += 1;
+            }
+            TokenKind::Ident(w) if DOC_CARRIERS.contains(&w.as_str()) => {
+                i += 1;
+            }
+            TokenKind::Punct('(') | TokenKind::Punct(')') => {
+                // Keep doc/pub state across `pub(crate)` visibility parens.
+                i += 1;
+            }
+            TokenKind::Punct('{') => {
+                depth += 1;
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while stack.last().is_some_and(|f| f.depth == depth) {
+                    stack.pop();
+                }
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Ident(w) if hot && (w == "unwrap" || w == "expect") => {
+                if matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('('))) {
+                    let func = stack.last().map(|f| f.name.clone());
+                    findings.push(Finding {
+                        rule: if w == "unwrap" { Rule::NoUnwrap } else { Rule::NoExpect },
+                        file: file.to_string(),
+                        line: tokens[i].line,
+                        func: func.unwrap_or_default(),
+                        message: format!(
+                            "`{w}()` can panic on a hot path; return a typed error or \
+                             restructure so the invariant is statically evident"
+                        ),
+                    });
+                }
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Ident(w)
+                if hot
+                    && matches!(w.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+                    && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('!'))) =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::NoPanic,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: format!("`{w}!` aborts the request/step on a hot path"),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Ident(w) if hot && kind == CrateKind::Tensor && w == "as" => {
+                if let Some(TokenKind::Ident(target)) = tokens.get(i + 1).map(|t| &t.kind) {
+                    if LOSSY_CAST_TARGETS.contains(&target.as_str()) {
+                        let func = stack.last().map(|f| f.name.clone());
+                        findings.push(Finding {
+                            rule: Rule::NoLossyCast,
+                            file: file.to_string(),
+                            line: tokens[i].line,
+                            func: func.unwrap_or_default(),
+                            message: format!(
+                                "`as {target}` in a tensor kernel can silently lose \
+                                 precision; use an exact conversion or audit and allowlist"
+                            ),
+                        });
+                    }
+                }
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Punct('[') if hot => {
+                let indexing = match tokens.get(i.wrapping_sub(1)).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(prev)) => !NON_INDEX_KEYWORDS.contains(&prev.as_str()),
+                    Some(TokenKind::Punct(')')) | Some(TokenKind::Punct(']')) => true,
+                    _ => false,
+                };
+                if i > 0 && indexing {
+                    let func = stack.last().map(|f| f.name.clone());
+                    findings.push(Finding {
+                        rule: Rule::NoIndex,
+                        file: file.to_string(),
+                        line: tokens[i].line,
+                        func: func.unwrap_or_default(),
+                        message: "slice indexing can panic on a hot path; use `get`, \
+                                  iterators, or a rank-checked accessor"
+                            .to_string(),
+                    });
+                }
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            _ => {
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+        }
+    }
+    findings
+}
+
+/// Consume an (inner or outer) attribute starting at `#`; returns the idents
+/// seen inside and the index one past the closing `]`.
+fn consume_attribute(tokens: &[Token], mut i: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    // Skip `#` and an optional `!`.
+    i += 1;
+    if matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct('!'))) {
+        i += 1;
+    }
+    if !matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::Punct('['))) {
+        return (idents, i);
+    }
+    let mut bracket = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => {
+                bracket -= 1;
+                if bracket == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            TokenKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, i)
+}
+
+/// Does this attribute mark test-only code? (`#[test]`, `#[cfg(test)]`;
+/// `#[cfg(not(test))]` is production code and does NOT match.)
+fn is_test_attribute(idents: &[String]) -> bool {
+    let has = |w: &str| idents.iter().any(|s| s == w);
+    (idents.len() == 1 && idents[0] == "test") || (has("cfg") && has("test") && !has("not"))
+}
+
+/// Skip one item starting at `i` (a `fn`, `mod`, `use`, `impl`, ...): consume
+/// to the `;` that ends it, or through its balanced `{...}` block.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut brace = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => brace += 1,
+            TokenKind::Punct('}') => {
+                brace = brace.saturating_sub(1);
+                if brace == 0 {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') if brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The source roots the lint pass covers: the numeric stack plus serving.
+pub const LINT_ROOTS: &[&str] = &[
+    "crates/tensor/src",
+    "crates/nn/src",
+    "crates/core/src",
+    "crates/serve/src",
+];
+
+/// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,
+/// filtering through `allowlist`. Returns the surviving findings.
+pub fn lint_workspace(
+    workspace_root: &Path,
+    allowlist: &mut Allowlist,
+) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for root in LINT_ROOTS {
+        let dir = workspace_root.join(root);
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)
+            .map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        files.sort();
+        for path in files {
+            let source = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let rel = path
+                .strip_prefix(workspace_root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            for f in lint_source(&rel, &source) {
+                if !allowlist.allows(&f) {
+                    findings.push(f);
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_fn_is_flagged_with_location() {
+        let src = "pub fn conv3d(x: &T) -> T {\n    let y = x.get(0).unwrap();\n    y\n}";
+        let f = lint_source("crates/tensor/src/conv.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoUnwrap]);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].func, "conv3d");
+    }
+
+    #[test]
+    fn unwrap_in_cold_fn_passes() {
+        let src = "pub fn describe() { let y = std::env::var(\"X\").unwrap(); drop(y); }";
+        assert!(lint_source("crates/tensor/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_a_different_identifier() {
+        let src = "fn forward(x: Option<f32>) -> f32 { x.unwrap_or(0.0) }";
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_but_asserts_allowed() {
+        let src = "fn backward() {\n    assert!(true);\n    debug_assert_eq!(1, 1);\n    unreachable!(\"no\");\n}";
+        let f = lint_source("crates/nn/src/layers.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoPanic]);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn indexing_flagged_but_types_patterns_and_macros_pass() {
+        let src = r#"
+fn matmul(a: &[f32], shape: &[usize; 2]) -> f32 {
+    let v = vec![1.0f32];
+    let [rows, _cols] = *shape;
+    let first = a[0];
+    first + v.iter().sum::<f32>() + rows as f32
+}
+"#;
+        let f = lint_source("crates/nn/src/layers.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoIndex]);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn lossy_cast_flagged_only_in_tensor_kernels() {
+        let src = "fn im2col3d(n: usize) -> f32 { n as f32 }";
+        let in_tensor = lint_source("crates/tensor/src/conv.rs", src);
+        assert_eq!(rules(&in_tensor), vec![Rule::NoLossyCast]);
+        // Same code in core is not a kernel.
+        assert!(lint_source("crates/core/src/model.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::NoLossyCast));
+        // `as usize` is not lossy.
+        let ok = "fn im2col3d(n: u32) -> usize { n as usize }";
+        assert!(lint_source("crates/tensor/src/conv.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_test_modules_are_exempt() {
+        let src = r##"
+// conv hot path: never unwrap() here
+fn conv2d() { let s = "unwrap()"; let _ = s; }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn uses_unwrap() { let v: Option<u8> = None; v.unwrap(); }
+    fn forward_helper(a: &[u8]) -> u8 { a[0] }
+}
+"##;
+        assert!(lint_source("crates/tensor/src/conv.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_attribute_on_single_fn_is_exempt() {
+        let src = "#[test]\nfn forward() { let v: Option<u8> = None; v.unwrap(); }";
+        assert!(lint_source("crates/core/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn forward(a: &[u8]) -> u8 { a[0] }";
+        let f = lint_source("crates/core/src/model.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoIndex]);
+    }
+
+    #[test]
+    fn serve_hot_fns_are_exact_names() {
+        let flagged = "fn submit(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert_eq!(
+            rules(&lint_source("crates/serve/src/batcher.rs", flagged)),
+            vec![Rule::NoUnwrap]
+        );
+        // `start` spawns threads at init time; not request-path.
+        let ok = "fn start(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert!(lint_source("crates/serve/src/batcher.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn batcher_pub_fns_need_backpressure_docs() {
+        let undocumented = "/// Sends a job.\npub fn submit() {}";
+        let f = lint_source("crates/serve/src/batcher.rs", undocumented);
+        assert!(f.iter().any(|f| f.rule == Rule::BackpressureDoc));
+
+        let documented =
+            "/// Sends a job; rejects with `QueueFull` when the queue is at capacity.\npub fn submit() {}";
+        assert!(lint_source("crates/serve/src/batcher.rs", documented)
+            .iter()
+            .all(|f| f.rule != Rule::BackpressureDoc));
+
+        // Private fns and pub fns outside batcher.rs are exempt.
+        let private = "fn helper() {}";
+        assert!(lint_source("crates/serve/src/batcher.rs", private).is_empty());
+        assert!(lint_source("crates/serve/src/metrics.rs", undocumented).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_tracks_usage() {
+        let mut allow = Allowlist::parse(
+            "# audited exceptions\n\
+             no-unwrap crates/tensor/src/conv.rs conv3d bounds pre-checked by spec\n\
+             no-index crates/nn/src/layers.rs * rank asserted on entry\n\
+             no-panic crates/core/src/model.rs forward stale entry\n",
+        )
+        .expect("parses");
+        let src = "pub fn conv3d(x: Option<u8>) -> u8 { x.unwrap() }";
+        let findings: Vec<Finding> = lint_source("crates/tensor/src/conv.rs", src)
+            .into_iter()
+            .filter(|f| !allow.allows(f))
+            .collect();
+        assert!(findings.is_empty());
+        let unused: Vec<&str> = allow.unused().iter().map(|e| e.rule.as_str()).collect();
+        assert_eq!(unused, vec!["no-index", "no-panic"]);
+    }
+
+    #[test]
+    fn malformed_allowlist_line_is_an_error() {
+        let err = Allowlist::parse("no-unwrap crates/tensor/src/conv.rs\n");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nested_fn_inherits_hot_context() {
+        let src = "fn forward() {\n    fn helper(a: &[u8]) -> u8 { a[0] }\n    let _ = helper(&[1]);\n}";
+        let f = lint_source("crates/core/src/model.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoIndex]);
+        assert_eq!(f[0].func, "helper");
+    }
+}

@@ -1,0 +1,167 @@
+//! The `bikecap-check` static-analysis driver.
+//!
+//! Exit codes: 0 = clean, 1 = findings or contract violations, 2 = usage or
+//! I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bikecap_check::{cli, lint, sweep};
+use bikecap_core::check_config_with;
+
+const USAGE: &str = "\
+bikecap-check — workspace static analysis for the BikeCAP reproduction
+
+USAGE:
+    bikecap-check [all]                 run the lint and sweep passes
+    bikecap-check lint [--root DIR] [--allowlist FILE]
+                                        hot-path source lints
+    bikecap-check sweep                 shape-check every EXPERIMENTS.md config
+    bikecap-check check-config [FLAGS]  shape-check one configuration
+    bikecap-check help                  this text
+
+check-config FLAGS:";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        None => ("all", &[][..]),
+        Some((c, rest)) => (c.as_str(), rest),
+    };
+    let code = match command {
+        "all" => {
+            let lint_code = run_lint(&[]);
+            let sweep_code = run_sweep_pass();
+            lint_code.max(sweep_code)
+        }
+        "lint" => run_lint(rest),
+        "sweep" => run_sweep_pass(),
+        "check-config" => run_check_config(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}\n{}", cli::CHECK_CONFIG_FLAGS);
+            0
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}\n{}", cli::CHECK_CONFIG_FLAGS);
+            2
+        }
+    };
+    ExitCode::from(code)
+}
+
+/// Locate the workspace root: the nearest ancestor of the current directory
+/// containing `Cargo.toml` and `crates/`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> u8 {
+    let mut root = None;
+    let mut allowlist_path = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--allowlist" => allowlist_path = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("lint: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+    let root = match root.or_else(workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: could not locate the workspace root (run from the repo, or pass --root)");
+            return 2;
+        }
+    };
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("check-allowlist.txt"));
+    let mut allowlist = match load_allowlist(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return 2;
+        }
+    };
+    let findings = match lint::lint_workspace(&root, &mut allowlist) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return 2;
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    for e in allowlist.unused() {
+        eprintln!(
+            "warning: check-allowlist.txt:{}: unused entry `{} {} {}` — delete it",
+            e.line, e.rule, e.file, e.func
+        );
+    }
+    if findings.is_empty() {
+        println!("lint: clean ({} roots)", lint::LINT_ROOTS.len());
+        0
+    } else {
+        eprintln!("lint: {} finding(s)", findings.len());
+        1
+    }
+}
+
+fn load_allowlist(path: &Path) -> Result<lint::Allowlist, String> {
+    if !path.is_file() {
+        return Ok(lint::Allowlist::default());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    lint::Allowlist::parse(&text)
+}
+
+fn run_sweep_pass() -> u8 {
+    match sweep::run_sweep() {
+        Ok(plans) => {
+            for (name, plan) in &plans {
+                let out = plan.output();
+                println!("sweep: {name}: ok, {} layers, output {out}", plan.layers.len());
+            }
+            println!("sweep: {} configuration(s) clean", plans.len());
+            0
+        }
+        Err((name, e)) => {
+            eprintln!("sweep: {name}: {e}");
+            1
+        }
+    }
+}
+
+fn run_check_config(args: &[String]) -> u8 {
+    let (config, overrides) = match cli::config_from_flags(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("check-config: {e}\n\ncheck-config FLAGS:\n{}", cli::CHECK_CONFIG_FLAGS);
+            return 2;
+        }
+    };
+    match check_config_with(&config, &overrides) {
+        Ok(plan) => {
+            println!("check-config: input {}", plan.input);
+            for layer in &plan.layers {
+                println!("  {:24} -> {}", layer.layer, layer.output);
+            }
+            println!("check-config: ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-config: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Shape-contract sweep over every configuration EXPERIMENTS.md exercises.
+//!
+//! The benches and result tables train dozens of configurations (horizon
+//! sweep, pyramid sweep, capsule-dimension sweep, the five Fig. 7 variants,
+//! routing ablations). Each is validated here symbolically — no tensors are
+//! allocated — so an illegal configuration fails in CI before it fails an
+//! hour into a training run.
+
+use bikecap_core::{check_config, BikeCapConfig, ShapeError, ShapePlan, Variant};
+
+/// The quick-mode grid and history EXPERIMENTS.md uses throughout.
+const GRID: usize = 8;
+const HISTORY: usize = 8;
+
+/// Every named configuration the experiment suite trains.
+pub fn sweep_configs() -> Vec<(String, BikeCapConfig)> {
+    let base = || BikeCapConfig::new(GRID, GRID).history(HISTORY);
+    let mut configs = vec![("default".to_string(), base())];
+
+    // Table III: the multi-step horizon sweep, PTS = 2..8.
+    for pts in 2..=8 {
+        configs.push((format!("table3/pts{pts}"), base().horizon(pts)));
+    }
+
+    // Fig. 7: the five ablation variants.
+    for v in Variant::all() {
+        configs.push((format!("fig7/{}", v.name()), base().variant(v)));
+    }
+
+    // Table IV: pyramid size k = 1..4 (spatial reach 1, 3, 5, 7 cells).
+    for k in 1..=4 {
+        configs.push((format!("table4/pyramid{k}"), base().pyramid_size(k)));
+    }
+
+    // Table V: capsule dimension n = 2, 4, 8, 16.
+    for n in [2, 4, 8, 16] {
+        configs.push((format!("table5/capdim{n}"), base().capsule_dim(n)));
+    }
+
+    // Routing design ablations: Eq.-4 volume softmax, 1–3 iterations, and
+    // the Sec. V-B separated per-slot transforms.
+    let mut volume = base();
+    volume.routing_softmax_over_grid = true;
+    configs.push(("routing/volume-softmax".to_string(), volume));
+    for iters in 1..=3 {
+        configs.push((format!("routing/iters{iters}"), base().routing_iters(iters)));
+    }
+    configs.push((
+        "routing/separated-transforms".to_string(),
+        base().separate_slot_transforms(true),
+    ));
+
+    configs
+}
+
+/// Check every sweep configuration; returns each config's symbolic plan, or
+/// the first failure with the offending config's name.
+pub fn run_sweep() -> Result<Vec<(String, ShapePlan)>, (String, ShapeError)> {
+    let mut plans = Vec::new();
+    for (name, config) in sweep_configs() {
+        match check_config(&config) {
+            Ok(plan) => plans.push((name, plan)),
+            Err(e) => return Err((name, e)),
+        }
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_config_passes_the_shape_check() {
+        let plans = run_sweep().unwrap_or_else(|(name, e)| panic!("{name}: {e}"));
+        // 1 default + 7 horizons + 5 variants + 4 pyramid + 4 capdim
+        // + 1 volume softmax + 3 iteration counts + 1 separated.
+        assert_eq!(plans.len(), 26);
+    }
+
+    #[test]
+    fn sweep_outputs_predict_the_decoder_contract() {
+        for (name, plan) in run_sweep().expect("sweep passes") {
+            let out = plan.output();
+            assert_eq!(out.height, GRID, "{name}");
+            assert_eq!(out.width, GRID, "{name}");
+            assert_eq!(out.channels, 1, "{name}");
+        }
+    }
+}

@@ -14,7 +14,12 @@ use crate::config::{BikeCapConfig, Encoder};
 /// `(B, S, n_l, H, W)` with `S = hist_capsules_per_slot * h`.
 #[derive(Debug, Clone)]
 pub struct HistoricalCapsules {
-    layers: Vec<EncoderLayer>,
+    /// The first encoder layer (mapping input features to capsule channels).
+    /// Holding it apart from `rest` makes "at least one layer" a structural
+    /// invariant instead of a runtime assertion.
+    first: EncoderLayer,
+    /// Further stacked layers (DeepCaps-style depth), possibly empty.
+    rest: Vec<EncoderLayer>,
     capsules_per_slot: usize,
     capsule_dim: usize,
     history: usize,
@@ -43,44 +48,54 @@ impl HistoricalCapsules {
     /// between consecutive layers.
     pub fn new<R: Rng + ?Sized>(config: &BikeCapConfig, store: &mut ParamStore, rng: &mut R) -> Self {
         let out_ch = config.hist_capsules_per_slot * config.capsule_dim;
-        let mut layers = Vec::with_capacity(config.hist_layers);
-        for li in 0..config.hist_layers {
-            let in_ch = if li == 0 { config.input_features() } else { out_ch };
-            let layer = match config.encoder {
-                Encoder::Pyramid => EncoderLayer::Pyramid(PyramidConv3d::new(
-                    store,
-                    &format!("hist.pyramid{li}"),
-                    in_ch,
-                    out_ch,
-                    config.pyramid_size,
-                    rng,
-                )),
-                Encoder::StandardConv3d => EncoderLayer::Standard(Conv3d::new(
-                    store,
-                    &format!("hist.conv3d{li}"),
-                    in_ch,
-                    out_ch,
-                    (3, 3, 3),
-                    Conv3dSpec::padded(1, 1, 1),
-                    rng,
-                )),
-                Encoder::Conv2dPerSlot => EncoderLayer::PerSlot(Conv3d::new(
-                    store,
-                    &format!("hist.conv2d{li}"),
-                    in_ch,
-                    out_ch,
-                    (1, 3, 3),
-                    Conv3dSpec::padded(0, 1, 1),
-                    rng,
-                )),
-            };
-            layers.push(layer);
-        }
+        let first = Self::make_layer(config, 0, config.input_features(), out_ch, store, rng);
+        let rest = (1..config.hist_layers)
+            .map(|li| Self::make_layer(config, li, out_ch, out_ch, store, rng))
+            .collect();
         HistoricalCapsules {
-            layers,
+            first,
+            rest,
             capsules_per_slot: config.hist_capsules_per_slot,
             capsule_dim: config.capsule_dim,
             history: config.history,
+        }
+    }
+
+    fn make_layer<R: Rng + ?Sized>(
+        config: &BikeCapConfig,
+        li: usize,
+        in_ch: usize,
+        out_ch: usize,
+        store: &mut ParamStore,
+        rng: &mut R,
+    ) -> EncoderLayer {
+        match config.encoder {
+            Encoder::Pyramid => EncoderLayer::Pyramid(PyramidConv3d::new(
+                store,
+                &format!("hist.pyramid{li}"),
+                in_ch,
+                out_ch,
+                config.pyramid_size,
+                rng,
+            )),
+            Encoder::StandardConv3d => EncoderLayer::Standard(Conv3d::new(
+                store,
+                &format!("hist.conv3d{li}"),
+                in_ch,
+                out_ch,
+                (3, 3, 3),
+                Conv3dSpec::padded(1, 1, 1),
+                rng,
+            )),
+            Encoder::Conv2dPerSlot => EncoderLayer::PerSlot(Conv3d::new(
+                store,
+                &format!("hist.conv2d{li}"),
+                in_ch,
+                out_ch,
+                (1, 3, 3),
+                Conv3dSpec::padded(0, 1, 1),
+                rng,
+            )),
         }
     }
 
@@ -91,7 +106,7 @@ impl HistoricalCapsules {
 
     /// Number of stacked encoder layers.
     pub fn num_layers(&self) -> usize {
-        self.layers.len()
+        1 + self.rest.len()
     }
 
     /// Reorders channel layout `(B, c*n, h, H, W)` into capsule layout
@@ -141,17 +156,31 @@ impl HistoricalCapsules {
         let (b, h, gh, gw) = (xs[0], xs[2], xs[3], xs[4]);
         let c = self.capsules_per_slot;
         let n = self.capsule_dim;
-        let mut cur = x;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let y = layer.forward(tape, cur, store);
-            let caps = Self::to_capsule_layout(tape, y, b, c, n, h, gh, gw);
-            let squashed = tape.squash(caps, 2);
-            if li + 1 == self.layers.len() {
-                return squashed;
-            }
-            cur = Self::to_channel_layout(tape, squashed, b, c, n, h, gh, gw);
+        let mut squashed = self.encode_one(tape, &self.first, x, store, b, h, gh, gw);
+        for layer in &self.rest {
+            let cur = Self::to_channel_layout(tape, squashed, b, c, n, h, gh, gw);
+            squashed = self.encode_one(tape, layer, cur, store, b, h, gh, gw);
         }
-        unreachable!("validated: at least one encoder layer")
+        squashed
+    }
+
+    /// One encoder layer followed by the capsule-layout reshape and squash.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_one(
+        &self,
+        tape: &mut Tape,
+        layer: &EncoderLayer,
+        x: Var,
+        store: &ParamStore,
+        b: usize,
+        h: usize,
+        gh: usize,
+        gw: usize,
+    ) -> Var {
+        let y = layer.forward(tape, x, store);
+        let caps =
+            Self::to_capsule_layout(tape, y, b, self.capsules_per_slot, self.capsule_dim, h, gh, gw);
+        tape.squash(caps, 2)
     }
 }
 
@@ -196,6 +225,10 @@ impl SpatialTemporalRouting {
             )]
         };
         let bias = store.add("routing.bias", Tensor::zeros(&[1, p * n_out, 1, 1, 1]));
+        // `forward` hoists the first routing iteration out of its loop, which
+        // is only equivalent to the paper's procedure when at least one
+        // iteration runs; make the invariant hold from construction.
+        assert!(config.routing_iters >= 1, "need >= 1 routing iteration");
         SpatialTemporalRouting {
             transforms,
             bias,
@@ -259,41 +292,78 @@ impl SpatialTemporalRouting {
     /// Panics on shape mismatches.
     pub fn forward(&self, tape: &mut Tape, phi: Var, store: &ParamStore) -> Var {
         let ps = tape.value(phi).shape().to_vec();
+        assert_eq!(ps.len(), 5, "routing expects capsules (B, S, n, H, W)");
         let (b, s, gh, gw) = (ps[0], ps[1], ps[3], ps[4]);
-        let (p, n_out) = (self.horizon, self.out_dim);
+        let p = self.horizon;
         let v = self.predictions(tape, phi, store); // (B, S, p, n_out, H, W)
 
-        // Logits B_s initialised to zero (paper Sec. III-D).
+        // Logits B_s initialised to zero (paper Sec. III-D). The first
+        // iteration is hoisted out of the loop so the "at least one result"
+        // invariant is structural rather than asserted after the fact; each
+        // further iteration refines the logits by agreement, then recouples.
         let mut logits = tape.constant(Tensor::zeros(&[b, s, gh, gw, p]));
-        let mut out = None;
-        for iter in 0..self.iters {
-            // Coupling coefficients. Default: softmax over the p predicted
-            // capsules at each grid location (the paper's prose reading of
-            // Eq. 4); optionally the literal volume normalisation over
-            // (N_g1, N_g2, p) — see `BikeCapConfig::routing_softmax_over_grid`.
-            let k = if self.softmax_over_grid {
-                tape.softmax_trailing(logits, 3)
-            } else {
-                tape.softmax_trailing(logits, 1)
-            };
-            let kp = tape.permute(k, &[0, 1, 4, 2, 3]); // (B, S, p, H, W)
-            let kb = tape.reshape(kp, &[b, s, p, 1, gh, gw]);
-            let weighted = tape.mul(v, kb);
-            let summed = tape.sum_axes_keepdim(weighted, &[1]); // (B, 1, p, n_out, H, W)
-            let s_raw = tape.reshape(summed, &[b, p, n_out, gh, gw]);
-            let s_hat = tape.squash(s_raw, 2);
-            if iter + 1 < self.iters {
-                // Agreement update: b += <V_s, S> along the capsule dim.
-                let sb = tape.reshape(s_hat, &[b, 1, p, n_out, gh, gw]);
-                let prod = tape.mul(v, sb);
-                let agree = tape.sum_axes_keepdim(prod, &[3]); // (B, S, p, 1, H, W)
-                let agree = tape.reshape(agree, &[b, s, p, gh, gw]);
-                let agree = tape.permute(agree, &[0, 1, 3, 4, 2]); // (B, S, H, W, p)
-                logits = tape.add(logits, agree);
-            }
-            out = Some(s_hat);
+        let mut s_hat = self.coupling_step(tape, v, logits, b, s, gh, gw);
+        for _ in 1..self.iters {
+            logits = self.agreement_update(tape, v, s_hat, logits, b, s, gh, gw);
+            s_hat = self.coupling_step(tape, v, logits, b, s, gh, gw);
         }
-        out.expect("routing_iters >= 1 validated at construction")
+        tape.value(s_hat).debug_assert_finite("routing.forward");
+        s_hat
+    }
+
+    /// One coupling step: softmax the logits into coefficients, combine the
+    /// per-capsule predictions `V`, and squash: `(B, p, n_out, H, W)`.
+    ///
+    /// Coupling coefficients default to a softmax over the p predicted
+    /// capsules at each grid location (the paper's prose reading of Eq. 4);
+    /// optionally the literal volume normalisation over (N_g1, N_g2, p) —
+    /// see `BikeCapConfig::routing_softmax_over_grid`.
+    #[allow(clippy::too_many_arguments)]
+    fn coupling_step(
+        &self,
+        tape: &mut Tape,
+        v: Var,
+        logits: Var,
+        b: usize,
+        s: usize,
+        gh: usize,
+        gw: usize,
+    ) -> Var {
+        let (p, n_out) = (self.horizon, self.out_dim);
+        let k = if self.softmax_over_grid {
+            tape.softmax_trailing(logits, 3)
+        } else {
+            tape.softmax_trailing(logits, 1)
+        };
+        let kp = tape.permute(k, &[0, 1, 4, 2, 3]); // (B, S, p, H, W)
+        let kb = tape.reshape(kp, &[b, s, p, 1, gh, gw]);
+        let weighted = tape.mul(v, kb);
+        let summed = tape.sum_axes_keepdim(weighted, &[1]); // (B, 1, p, n_out, H, W)
+        let s_raw = tape.reshape(summed, &[b, p, n_out, gh, gw]);
+        tape.squash(s_raw, 2)
+    }
+
+    /// Agreement update: `b += <V_s, S>` along the capsule dim, returning the
+    /// refined logits `(B, S, H, W, p)`.
+    #[allow(clippy::too_many_arguments)]
+    fn agreement_update(
+        &self,
+        tape: &mut Tape,
+        v: Var,
+        s_hat: Var,
+        logits: Var,
+        b: usize,
+        s: usize,
+        gh: usize,
+        gw: usize,
+    ) -> Var {
+        let (p, n_out) = (self.horizon, self.out_dim);
+        let sb = tape.reshape(s_hat, &[b, 1, p, n_out, gh, gw]);
+        let prod = tape.mul(v, sb);
+        let agree = tape.sum_axes_keepdim(prod, &[3]); // (B, S, p, 1, H, W)
+        let agree = tape.reshape(agree, &[b, s, p, gh, gw]);
+        let agree = tape.permute(agree, &[0, 1, 3, 4, 2]); // (B, S, H, W, p)
+        tape.add(logits, agree)
     }
 }
 
@@ -509,6 +579,52 @@ mod tests {
             assert!(
                 store.grad(id).abs().sum() > 0.0,
                 "no gradient for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn squash_is_finite_on_zero_norm_capsules() {
+        // Epsilon-guard audit (paper Eq. 2): squash divides by the capsule
+        // norm, which is exactly 0 here; the guard under the square root
+        // must keep the output finite (and zero).
+        let mut tape = Tape::new();
+        let z = tape.constant(Tensor::zeros(&[2, 4, 3, 4, 4]));
+        let s = tape.squash(z, 2);
+        let out = tape.value(s);
+        assert!(out.all_finite(), "squash(0) must be finite");
+        assert_eq!(out.abs().sum(), 0.0, "squash(0) must be exactly 0");
+    }
+
+    #[test]
+    fn encoder_output_finite_on_all_zero_input() {
+        // Zero input + zero-initialised conv bias means every capsule enters
+        // the squash with norm exactly 0.
+        let cfg = tiny_config();
+        let mut store = ParamStore::new();
+        let enc = HistoricalCapsules::new(&cfg, &mut store, &mut rng());
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, cfg.input_features(), 4, 4, 4]));
+        let caps = enc.forward(&mut tape, x, &store);
+        assert!(tape.value(caps).all_finite());
+    }
+
+    #[test]
+    fn routing_output_finite_on_all_zero_input() {
+        // All-zero historical capsules: the routing softmax sees all-zero
+        // logits and the squash sees all-zero pre-activations, in both
+        // softmax normalisation modes.
+        for over_grid in [false, true] {
+            let mut cfg = tiny_config();
+            cfg.routing_softmax_over_grid = over_grid;
+            let mut store = ParamStore::new();
+            let routing = SpatialTemporalRouting::new(&cfg, &mut store, &mut rng());
+            let mut tape = Tape::new();
+            let phi = tape.constant(Tensor::zeros(&[1, 4, 3, 4, 4]));
+            let out = routing.forward(&mut tape, phi, &store);
+            assert!(
+                tape.value(out).all_finite(),
+                "routing must stay finite on zero input (over_grid={over_grid})"
             );
         }
     }

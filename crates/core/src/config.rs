@@ -267,23 +267,29 @@ impl BikeCapConfig {
         h
     }
 
-    /// Validates internal consistency.
+    /// Runs the full static shape-contract check
+    /// ([`crate::shapecheck::check_config`]) over this configuration,
+    /// returning the symbolic layer-by-layer plan on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`crate::shapecheck::ShapeError`] naming the exact
+    /// layer and axis of the first violated contract.
+    pub fn check_shapes(&self) -> Result<crate::shapecheck::ShapePlan, crate::shapecheck::ShapeError> {
+        crate::shapecheck::check_config(self)
+    }
+
+    /// Validates internal consistency by running [`Self::check_shapes`].
     ///
     /// # Panics
     ///
     /// Panics with a descriptive message if any field is degenerate
-    /// (zero extents, zero capsules, etc.).
+    /// (zero extents, zero capsules, etc.) or any layer's shape contract
+    /// is violated.
     pub fn validate(&self) {
-        assert!(self.grid_height >= 2 && self.grid_width >= 2, "grid too small");
-        assert!(self.history >= 1, "history must be >= 1");
-        assert!(self.horizon >= 1, "horizon must be >= 1");
-        assert!(self.pyramid_size >= 1, "pyramid size must be >= 1");
-        assert!(self.capsule_dim >= 1, "capsule dim must be >= 1");
-        assert!(self.out_capsule_dim >= 1, "out capsule dim must be >= 1");
-        assert!(self.hist_capsules_per_slot >= 1, "need >= 1 capsule per slot");
-        assert!(self.hist_layers >= 1, "need >= 1 encoder layer");
-        assert!(self.routing_iters >= 1, "need >= 1 routing iteration");
-        assert!(self.decoder_channels >= 1, "decoder channels must be >= 1");
+        if let Err(e) = self.check_shapes() {
+            panic!("invalid BikeCAP configuration: {e}");
+        }
     }
 }
 

@@ -37,6 +37,11 @@ pub mod capsules;
 pub mod config;
 pub mod decoder;
 pub mod model;
+pub mod shapecheck;
 
 pub use config::{BikeCapConfig, Encoder, DecoderKind, Variant};
 pub use model::{BikeCap, TrainOptions, TrainReport};
+pub use shapecheck::{
+    check_config, check_config_with, Axis, Extents, LayerShape, ShapeError, ShapeErrorKind,
+    ShapePlan, StrideOverrides,
+};

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use crate::capsules::{HistoricalCapsules, SpatialTemporalRouting};
 use crate::config::BikeCapConfig;
 use crate::decoder::Decoder;
+use crate::shapecheck::ShapeError;
 
 /// Training hyper-parameters.
 ///
@@ -71,13 +72,9 @@ pub struct TrainReport {
 }
 
 impl TrainReport {
-    /// Final epoch's mean loss.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no epochs were run.
-    pub fn final_loss(&self) -> f32 {
-        *self.epoch_losses.last().expect("at least one epoch")
+    /// Final epoch's mean loss, or `None` when the run had zero epochs.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
     }
 }
 
@@ -100,18 +97,36 @@ impl BikeCap {
     /// Panics if the configuration is invalid (see
     /// [`BikeCapConfig::validate`]).
     pub fn new<R: Rng + ?Sized>(config: BikeCapConfig, rng: &mut R) -> Self {
-        config.validate();
+        match Self::build(config, rng) {
+            Ok(model) => model,
+            Err(e) => panic!("invalid BikeCAP configuration: {e}"),
+        }
+    }
+
+    /// Builds the model with freshly initialised parameters, first running
+    /// the full static shape-contract check
+    /// ([`BikeCapConfig::check_shapes`]) over the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ShapeError`] of the first violated contract;
+    /// no parameters are allocated in that case.
+    pub fn build<R: Rng + ?Sized>(
+        config: BikeCapConfig,
+        rng: &mut R,
+    ) -> Result<Self, ShapeError> {
+        config.check_shapes()?;
         let mut store = ParamStore::new();
         let encoder = HistoricalCapsules::new(&config, &mut store, rng);
         let routing = SpatialTemporalRouting::new(&config, &mut store, rng);
         let decoder = Decoder::new(&config, &mut store, rng);
-        BikeCap {
+        Ok(BikeCap {
             config,
             store,
             encoder,
             routing,
             decoder,
-        }
+        })
     }
 
     /// Builds the model from a deterministic seed — convenient for callers
@@ -125,6 +140,16 @@ impl BikeCap {
     pub fn seeded(config: BikeCapConfig, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         Self::new(config, &mut rng)
+    }
+
+    /// Fallible counterpart of [`BikeCap::seeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ShapeError`] of the first violated contract.
+    pub fn build_seeded(config: BikeCapConfig, seed: u64) -> Result<Self, ShapeError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::build(config, &mut rng)
     }
 
     /// The model's configuration.
@@ -212,9 +237,46 @@ impl BikeCap {
     ///
     /// Panics on shape mismatches.
     pub fn predict(&self, input: &Tensor) -> Tensor {
-        self.predict_batch(std::slice::from_ref(input))
-            .pop()
-            .expect("predict_batch returns one output per input")
+        let out = self.infer(Self::stage_input(input));
+        if input.ndim() == 4 {
+            Self::drop_batch_axis(&out)
+        } else {
+            out
+        }
+    }
+
+    /// Reshapes a rank-4 window `(F, h, H, W)` into a batch of one; passes
+    /// rank-5 batches through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other rank (the documented contract of
+    /// [`BikeCap::predict`] / [`BikeCap::predict_batch`]).
+    fn stage_input(t: &Tensor) -> Tensor {
+        match t.ndim() {
+            4 => {
+                let mut s = vec![1];
+                s.extend_from_slice(t.shape());
+                t.reshape(&s)
+            }
+            5 => t.clone(),
+            n => panic!("predict_batch expects rank-4 or rank-5 inputs, got rank {n}"),
+        }
+    }
+
+    /// One non-differentiating forward pass over a staged rank-5 batch.
+    fn infer(&self, stacked: Tensor) -> Tensor {
+        let mut tape = Tape::new();
+        let x = tape.constant(stacked);
+        let y = self.forward(&mut tape, x);
+        tape.value(y).clone()
+    }
+
+    /// Drops the leading batch axis: `(1, p, H, W)` → `(p, H, W)`.
+    fn drop_batch_axis(t: &Tensor) -> Tensor {
+        let mut s = t.shape().to_vec();
+        s.remove(0);
+        t.reshape(&s)
     }
 
     /// Predicts demand for several independent requests in **one** forward
@@ -234,39 +296,25 @@ impl BikeCap {
     ///
     /// Panics on shape mismatches or inputs of rank other than 4 or 5.
     pub fn predict_batch(&self, inputs: &[Tensor]) -> Vec<Tensor> {
-        if inputs.is_empty() {
-            return Vec::new();
-        }
-        let staged: Vec<Tensor> = inputs
-            .iter()
-            .map(|t| match t.ndim() {
-                4 => {
-                    let mut s = vec![1];
-                    s.extend_from_slice(t.shape());
-                    t.reshape(&s)
-                }
-                5 => t.clone(),
-                n => panic!("predict_batch expects rank-4 or rank-5 inputs, got rank {n}"),
-            })
-            .collect();
-        let stacked = if staged.len() == 1 {
-            staged[0].clone()
-        } else {
-            let refs: Vec<&Tensor> = staged.iter().collect();
-            Tensor::concat(&refs, 0)
+        let staged: Vec<Tensor> = inputs.iter().map(Self::stage_input).collect();
+        let stacked = match staged.as_slice() {
+            [] => return Vec::new(),
+            [only] => only.clone(),
+            many => {
+                let refs: Vec<&Tensor> = many.iter().collect();
+                Tensor::concat(&refs, 0)
+            }
         };
-        let mut tape = Tape::new();
-        let x = tape.constant(stacked);
-        let y = self.forward(&mut tape, x);
-        let out = tape.value(y);
+        let out = self.infer(stacked);
         let mut results = Vec::with_capacity(inputs.len());
         let mut offset = 0;
         for (input, piece) in inputs.iter().zip(&staged) {
-            let rows = piece.shape()[0];
+            // Staging guarantees rank 5, so a leading batch extent exists.
+            let rows = piece.shape().first().copied().unwrap_or(1);
             let slice = out.narrow(0, offset, rows);
             offset += rows;
             results.push(if input.ndim() == 4 {
-                slice.reshape(&slice.shape()[1..])
+                Self::drop_batch_axis(&slice)
             } else {
                 slice
             });
@@ -491,7 +539,7 @@ mod tests {
         let report = model.fit(&ds, &opts, &mut rng);
         assert_eq!(report.epoch_losses.len(), 6);
         let first = report.epoch_losses[0];
-        let last = report.final_loss();
+        let last = report.final_loss().expect("six epochs ran");
         assert!(
             last < first,
             "loss should decrease: first {first}, last {last}"

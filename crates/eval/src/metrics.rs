@@ -120,6 +120,7 @@ impl Forecaster for BikeCapForecaster {
         self.model
             .fit(dataset, &self.options, &mut typed)
             .final_loss()
+            .unwrap_or(f32::NAN)
     }
 
     fn predict(&self, input: &Tensor, horizon: usize) -> Tensor {

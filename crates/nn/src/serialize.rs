@@ -96,12 +96,35 @@ impl CheckpointMeta {
                 _ => {}
             }
         }
-        Ok(CheckpointMeta {
+        let meta = CheckpointMeta {
             config_hash: hash.ok_or_else(|| bad("meta line missing config_hash".into()))?,
             grid: grid.ok_or_else(|| bad("meta line missing grid".into()))?,
             history: history.ok_or_else(|| bad("meta line missing history".into()))?,
             horizon: horizon.ok_or_else(|| bad("meta line missing horizon".into()))?,
-        })
+        };
+        meta.validate(line_no)?;
+        Ok(meta)
+    }
+
+    /// Rejects headers declaring degenerate window extents: a grid below
+    /// 2×2 or a zero history/horizon can never describe a constructible
+    /// model, so the loader fails here — before any parameter data is read —
+    /// instead of deep inside a tensor-shape mismatch.
+    fn validate(&self, line_no: usize) -> Result<(), LoadParamsError> {
+        let bad = |message: String| LoadParamsError::Parse { line: line_no, message };
+        if self.grid.0 < 2 || self.grid.1 < 2 {
+            return Err(bad(format!(
+                "meta declares grid {}x{}, but a model grid must be at least 2x2",
+                self.grid.0, self.grid.1
+            )));
+        }
+        if self.history == 0 {
+            return Err(bad("meta declares history=0, but history must be >= 1".into()));
+        }
+        if self.horizon == 0 {
+            return Err(bad("meta declares horizon=0, but horizon must be >= 1".into()));
+        }
+        Ok(())
     }
 }
 
@@ -526,6 +549,38 @@ mod tests {
         let meta = CheckpointMeta::parse(line, 2).unwrap();
         assert_eq!(meta.config_hash, 0xff);
         assert_eq!(meta.grid, (4, 5));
+    }
+
+    #[test]
+    fn meta_with_degenerate_extents_is_rejected() {
+        for bad in [
+            "meta config_hash=ff grid=0x8 history=8 horizon=4",
+            "meta config_hash=ff grid=8x1 history=8 horizon=4",
+            "meta config_hash=ff grid=8x8 history=0 horizon=4",
+            "meta config_hash=ff grid=8x8 history=8 horizon=0",
+        ] {
+            let err = CheckpointMeta::parse(bad, 2).unwrap_err();
+            assert!(
+                matches!(err, LoadParamsError::Parse { line: 2, .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_degenerate_meta_before_mutating() {
+        let path = tmp("degenerate-meta");
+        fs::write(
+            &path,
+            format!("{HEADER_V2}\nmeta config_hash=ff grid=8x8 history=8 horizon=0\np scalar 1.0\n"),
+        )
+        .unwrap();
+        let mut store = ParamStore::new();
+        let id = store.add("p", Tensor::scalar(0.0));
+        let err = load_params(&mut store, &path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Parse { line: 2, .. }), "{err}");
+        assert_eq!(store.value(id).item(), 0.0);
+        fs::remove_file(path).ok();
     }
 
     #[test]

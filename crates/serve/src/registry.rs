@@ -14,7 +14,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_core::{BikeCap, BikeCapConfig, ShapeError};
 use bikecap_nn::serialize::LoadParamsError;
 
 /// Errors surfaced by registry operations.
@@ -24,6 +24,9 @@ pub enum RegistryError {
     UnknownModel(String),
     /// Loading the checkpoint failed (I/O, parse, shape or config mismatch).
     Load(LoadParamsError),
+    /// The requested configuration fails the static shape-contract check, so
+    /// no model was built (and nothing was registered or swapped).
+    InvalidConfig(ShapeError),
 }
 
 impl fmt::Display for RegistryError {
@@ -31,6 +34,7 @@ impl fmt::Display for RegistryError {
         match self {
             RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
             RegistryError::Load(e) => write!(f, "checkpoint load failed: {e}"),
+            RegistryError::InvalidConfig(e) => write!(f, "invalid model configuration: {e}"),
         }
     }
 }
@@ -39,6 +43,7 @@ impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RegistryError::Load(e) => Some(e),
+            RegistryError::InvalidConfig(e) => Some(e),
             _ => None,
         }
     }
@@ -47,6 +52,12 @@ impl std::error::Error for RegistryError {
 impl From<LoadParamsError> for RegistryError {
     fn from(e: LoadParamsError) -> Self {
         RegistryError::Load(e)
+    }
+}
+
+impl From<ShapeError> for RegistryError {
+    fn from(e: ShapeError) -> Self {
+        RegistryError::InvalidConfig(e)
     }
 }
 
@@ -116,7 +127,7 @@ impl ModelEntry {
     /// Returns [`RegistryError::Load`] when the checkpoint cannot be read or
     /// disagrees with this slot's configuration.
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), RegistryError> {
-        let mut fresh = BikeCap::seeded(self.config.clone(), 0);
+        let mut fresh = BikeCap::build_seeded(self.config.clone(), 0)?;
         fresh.load_checkpoint(path.as_ref())?;
         self.hot_swap(fresh);
         *self.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
@@ -164,15 +175,17 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`RegistryError::Load`] when the checkpoint cannot be read or
-    /// was saved from a different architecture; nothing is registered then.
+    /// Returns [`RegistryError::InvalidConfig`] when `config` fails the
+    /// static shape-contract check, and [`RegistryError::Load`] when the
+    /// checkpoint cannot be read or was saved from a different architecture;
+    /// nothing is registered in either case.
     pub fn load_checkpoint(
         &self,
         name: impl Into<String>,
         config: BikeCapConfig,
         path: impl AsRef<Path>,
     ) -> Result<Arc<ModelEntry>, RegistryError> {
-        let mut model = BikeCap::seeded(config, 0);
+        let mut model = BikeCap::build_seeded(config, 0)?;
         model.load_checkpoint(path.as_ref())?;
         let entry = self.insert(name, model);
         *entry.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
@@ -261,6 +274,17 @@ mod tests {
         let reg = ModelRegistry::new();
         let entry = reg.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 1));
         entry.hot_swap(BikeCap::seeded(tiny_config().capsule_dim(3), 1));
+    }
+
+    #[test]
+    fn load_checkpoint_rejects_invalid_config_with_typed_error() {
+        let reg = ModelRegistry::new();
+        let err = reg
+            .load_checkpoint("zero-horizon", tiny_config().horizon(0), "/nonexistent")
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("horizon must be >= 1"), "{err}");
+        assert!(reg.names().is_empty(), "nothing may be registered");
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Seeded schedule-perturbing stress harness for the serving hot path.
+//!
+//! Several submitter threads race a hot-swap/reload thread and a late
+//! shutdown against a deliberately tiny queue. The seed drives every sleep
+//! jitter and thread-local decision, so failures reproduce by re-running the
+//! same seed; looping over several seeds perturbs the interleaving the way a
+//! schedule fuzzer would. The invariants checked:
+//!
+//! 1. every job the queue *accepts* is answered exactly once, with a
+//!    well-shaped prediction, even when shutdown races the submitters;
+//! 2. rejected submits only ever report `QueueFull` or `ShuttingDown`;
+//! 3. after `shutdown` returns, further submits fail and the queue depth
+//!    metric reads zero (nothing is lost or double-counted);
+//! 4. hot-swapping models mid-traffic never tears a batch (every answer
+//!    comes from a coherent model snapshot — `predict` can't mix weights).
+//!
+//! The CI ThreadSanitizer job runs exactly this binary; keep it free of
+//! intentional data races.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_serve::batcher::PredictJob;
+use bikecap_serve::{BatchConfig, Batcher, Metrics, ModelRegistry, SubmitError, DEFAULT_MODEL};
+use bikecap_tensor::Tensor;
+
+/// Tiny deterministic generator (xorshift64*) so the harness does not need
+/// a rand dependency; serve itself has none.
+struct Schedule(u64);
+
+impl Schedule {
+    fn new(seed: u64) -> Schedule {
+        Schedule(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A jitter in `0..max_micros` microseconds.
+    fn jitter(&mut self, max_micros: u64) -> Duration {
+        Duration::from_micros(self.next() % max_micros.max(1))
+    }
+}
+
+fn tiny_config() -> BikeCapConfig {
+    BikeCapConfig::new(4, 4)
+        .history(4)
+        .horizon(2)
+        .pyramid_size(2)
+        .capsule_dim(2)
+        .out_capsule_dim(2)
+        .decoder_channels(2)
+}
+
+fn make_job(
+    entry: &Arc<bikecap_serve::ModelEntry>,
+    fill: f32,
+) -> (PredictJob, mpsc::Receiver<bikecap_serve::batcher::JobResult>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        PredictJob {
+            entry: Arc::clone(entry),
+            input: Tensor::full(&[4, 4, 4, 4], fill),
+            enqueued: Instant::now(),
+            respond: tx,
+        },
+        rx,
+    )
+}
+
+/// One full scenario at a given seed: jittered submitters vs. hot-swapper
+/// vs. shutdown.
+fn run_scenario(seed: u64) {
+    const SUBMITTERS: usize = 4;
+    const JOBS_PER_THREAD: usize = 24;
+
+    let registry = Arc::new(ModelRegistry::new());
+    let entry = registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), seed));
+    registry.insert("canary", BikeCap::seeded(tiny_config(), seed ^ 0xa5a5));
+
+    let metrics = Arc::new(Metrics::new());
+    let batcher = Arc::new(Batcher::start(
+        BatchConfig {
+            queue_cap: 4, // tiny on purpose: exercise QueueFull constantly
+            max_batch: 3,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            worker_delay: Duration::from_micros(seed % 300),
+        },
+        Arc::clone(&metrics),
+    ));
+
+    let accepted = Arc::new(AtomicUsize::new(0));
+    let rejected_full = Arc::new(AtomicUsize::new(0));
+    let rejected_shutdown = Arc::new(AtomicUsize::new(0));
+
+    // Hot-swap/reload thread: replace the default model's weights while
+    // traffic flows, and read entries back through the registry.
+    let swap_registry = Arc::clone(&registry);
+    let swapper = thread::spawn(move || {
+        let mut sched = Schedule::new(seed ^ 0x5eed);
+        for round in 0..12 {
+            let fresh = BikeCap::seeded(tiny_config(), seed.wrapping_add(round));
+            let target = swap_registry
+                .get(Some(DEFAULT_MODEL))
+                .expect("default model is always registered");
+            target.hot_swap(fresh);
+            assert!(swap_registry.get(None).is_ok());
+            assert!(swap_registry.get(Some("canary")).is_ok());
+            thread::sleep(sched.jitter(400));
+        }
+    });
+
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let batcher = Arc::clone(&batcher);
+            let entry = Arc::clone(&entry);
+            let accepted = Arc::clone(&accepted);
+            let rejected_full = Arc::clone(&rejected_full);
+            let rejected_shutdown = Arc::clone(&rejected_shutdown);
+            thread::spawn(move || {
+                let mut sched = Schedule::new(seed ^ ((t as u64 + 1) * 0x9e37_79b9));
+                let mut receivers = Vec::new();
+                for j in 0..JOBS_PER_THREAD {
+                    let fill = 0.01 * (t * JOBS_PER_THREAD + j + 1) as f32;
+                    let (job, rx) = make_job(&entry, fill);
+                    match batcher.submit(job) {
+                        Ok(()) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            receivers.push(rx);
+                        }
+                        Err(SubmitError::QueueFull) => {
+                            rejected_full.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(SubmitError::ShuttingDown) => {
+                            rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    thread::sleep(sched.jitter(300));
+                }
+                // Invariant 1: everything accepted is answered, well-shaped.
+                for rx in receivers {
+                    let result = rx
+                        .recv_timeout(Duration::from_secs(30))
+                        .expect("accepted job must be answered");
+                    let out = result.output.expect("prediction must succeed");
+                    assert_eq!(out.shape(), &[2, 4, 4]);
+                    assert!(result.batch_size >= 1);
+                }
+            })
+        })
+        .collect();
+
+    // Let roughly half the traffic through, then race shutdown against the
+    // remaining submits.
+    let mut sched = Schedule::new(seed ^ 0xdead);
+    thread::sleep(Duration::from_micros(2_000 + sched.next() % 4_000));
+    batcher.shutdown();
+
+    for handle in submitters {
+        handle.join().expect("submitter thread must not panic");
+    }
+    swapper.join().expect("swap thread must not panic");
+
+    // Invariant 3: post-shutdown submits are refused, nothing is queued.
+    let (job, _rx) = make_job(&entry, 0.5);
+    assert_eq!(batcher.submit(job).unwrap_err(), SubmitError::ShuttingDown);
+    assert_eq!(
+        metrics.queue_depth.load(Ordering::Relaxed),
+        0,
+        "seed {seed}: queue depth must return to zero after drain"
+    );
+
+    let total = accepted.load(Ordering::Relaxed)
+        + rejected_full.load(Ordering::Relaxed)
+        + rejected_shutdown.load(Ordering::Relaxed);
+    assert_eq!(
+        total,
+        SUBMITTERS * JOBS_PER_THREAD,
+        "seed {seed}: every submit must resolve to accepted or a typed rejection"
+    );
+}
+
+#[test]
+fn seeded_schedule_perturbation_preserves_queue_invariants() {
+    for seed in [1, 42, 20181001] {
+        run_scenario(seed);
+    }
+}
+
+#[test]
+fn reload_races_with_gets() {
+    // Concurrent load_checkpoint-style mutation vs. reads: insert/get/names
+    // from several threads must stay coherent (no lost entries, no panics).
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 7));
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            thread::spawn(move || {
+                let mut sched = Schedule::new(0xfeed ^ t as u64);
+                for i in 0..16 {
+                    if t % 2 == 0 {
+                        registry.insert(
+                            format!("model-{t}"),
+                            BikeCap::seeded(tiny_config(), t as u64 * 100 + i),
+                        );
+                    } else {
+                        let entry = registry.get(None).expect("default entry");
+                        let _ = entry.current().predict(&Tensor::full(&[4, 4, 4, 4], 0.1));
+                        assert!(!registry.names().is_empty());
+                    }
+                    thread::sleep(sched.jitter(200));
+                }
+            })
+        })
+        .collect();
+    for handle in threads {
+        handle.join().expect("registry thread must not panic");
+    }
+    assert!(registry.names().contains(&DEFAULT_MODEL.to_string()));
+}

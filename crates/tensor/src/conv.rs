@@ -280,7 +280,9 @@ pub fn conv3d(input: &Tensor, weight: &Tensor, spec: Conv3dSpec) -> Tensor {
     let col = im2col3d(input, (kd, kh, kw), spec);
     let w2 = weight.reshape(&[c_out, c_in * kd * kh * kw]);
     let out_mat = col.matmul(&w2.transpose2d());
-    from_position_matrix(&out_mat, n, c_out, dims)
+    let out = from_position_matrix(&out_mat, n, c_out, dims);
+    out.debug_assert_finite("conv3d");
+    out
 }
 
 /// Gradient of [`conv3d`] with respect to its input.
@@ -303,12 +305,14 @@ pub fn conv3d_backward_input(
     let g_mat = to_position_matrix(grad_out);
     let w2 = weight.reshape(&[c_out, c_in * kd * kh * kw]);
     let g_col = g_mat.matmul(&w2);
-    col2im3d(
+    let out = col2im3d(
         &g_col,
         &[n, c_in, in_dims.0, in_dims.1, in_dims.2],
         (kd, kh, kw),
         spec,
-    )
+    );
+    out.debug_assert_finite("conv3d_backward_input");
+    out
 }
 
 /// Gradient of [`conv3d`] with respect to its weight.
@@ -327,7 +331,9 @@ pub fn conv3d_backward_weight(
     let col = im2col3d(input, kernel, spec);
     let g_mat = to_position_matrix(grad_out);
     let grad_w = g_mat.transpose2d().matmul(&col);
-    grad_w.reshape(&[c_out, c_in, kernel.0, kernel.1, kernel.2])
+    let out = grad_w.reshape(&[c_out, c_in, kernel.0, kernel.1, kernel.2]);
+    out.debug_assert_finite("conv3d_backward_weight");
+    out
 }
 
 /// Gradient of [`conv3d`] with respect to a per-output-channel bias: sums
@@ -407,7 +413,9 @@ pub fn conv2d(
     };
     let out = conv3d(&x5, &w5, spec);
     let os = out.shape().to_vec();
-    out.reshape(&[os[0], os[1], os[3], os[4]])
+    let out = out.reshape(&[os[0], os[1], os[3], os[4]]);
+    out.debug_assert_finite("conv2d");
+    out
 }
 
 /// Gradient of [`conv2d`] with respect to its input.
@@ -727,5 +735,25 @@ mod tests {
         let lhs = dot(&col, &y);
         let rhs = dot(&x, &back);
         assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    #[cfg(feature = "check-finite")]
+    #[should_panic(expected = "check-finite: non-finite value produced by conv3d")]
+    fn tripwire_fires_on_nan_input() {
+        let mut x = Tensor::zeros(&[1, 1, 2, 3, 3]);
+        x.set(&[0, 0, 0, 1, 1], f32::NAN);
+        let w = Tensor::ones(&[1, 1, 1, 3, 3]);
+        conv3d(&x, &w, Conv3dSpec::padded(0, 1, 1));
+    }
+
+    #[test]
+    #[cfg(not(feature = "check-finite"))]
+    fn tripwire_is_noop_without_feature() {
+        let mut x = Tensor::zeros(&[1, 1, 2, 3, 3]);
+        x.set(&[0, 0, 0, 1, 1], f32::NAN);
+        let w = Tensor::ones(&[1, 1, 1, 3, 3]);
+        let out = conv3d(&x, &w, Conv3dSpec::padded(0, 1, 1));
+        assert!(!out.all_finite());
     }
 }

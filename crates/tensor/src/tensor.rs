@@ -214,6 +214,24 @@ impl Tensor {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Numeric tripwire: with the `check-finite` feature enabled, panics if
+    /// any element is NaN or infinite, naming `context` (the operation that
+    /// produced this tensor). A no-op otherwise, so hot paths can call it
+    /// unconditionally. Returns `self` for call chaining.
+    #[inline]
+    pub fn debug_assert_finite(&self, context: &str) -> &Tensor {
+        #[cfg(feature = "check-finite")]
+        {
+            assert!(
+                self.all_finite(),
+                "check-finite: non-finite value produced by {context} (shape {:?})",
+                self.shape
+            );
+        }
+        let _ = context;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Elementwise unary
     // ------------------------------------------------------------------

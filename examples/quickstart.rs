@@ -63,7 +63,7 @@ fn main() {
         report.epoch_losses.len(),
         report.seconds,
         report.epoch_losses[0],
-        report.final_loss()
+        report.final_loss().unwrap_or(f32::NAN)
     );
 
     // 4. Forecast one test window (mid-split, i.e. around midday) and

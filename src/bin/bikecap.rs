@@ -43,10 +43,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: bikecap <simulate|train|forecast|serve> [--days N] [--seed N] [--horizon N] \
-     [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] [--checkpoint FILE] \
-     [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] [--queue-cap N]\n\
-     round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`"
+    "usage: bikecap <simulate|train|forecast|serve|check-config> [--days N] [--seed N] \
+     [--horizon N] [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] \
+     [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
+     [--queue-cap N]\n\
+     round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`\n\
+     `bikecap check-config --help` lists the shape-checker's own flags"
 }
 
 struct Args {
@@ -158,7 +160,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "trained in {:.1}s, loss {:.4} -> {:.4}",
         report.seconds,
         report.epoch_losses[0],
-        report.final_loss()
+        report.final_loss().unwrap_or(f32::NAN)
     );
     let fc = BikeCapForecaster::new(model, options);
     let m = evaluate(&fc, &dataset, Some(48));
@@ -275,12 +277,47 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Static shape-contract check of one configuration (`bikecap check-config
+/// --grid 8x8 --horizon 6 …`); shares its flag grammar with `bikecap-check`.
+fn cmd_check_config(rest: &[String]) -> u8 {
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("bikecap check-config FLAGS:\n{}", bikecap::check::CHECK_CONFIG_FLAGS);
+        return 0;
+    }
+    let (config, overrides) = match bikecap::check::config_from_flags(rest) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("check-config: {e}\n\nFLAGS:\n{}", bikecap::check::CHECK_CONFIG_FLAGS);
+            return 2;
+        }
+    };
+    match bikecap::model::check_config_with(&config, &overrides) {
+        Ok(plan) => {
+            println!("check-config: input {}", plan.input);
+            for layer in &plan.layers {
+                println!("  {:24} -> {}", layer.layer, layer.output);
+            }
+            println!("check-config: ok");
+            0
+        }
+        Err(e) => {
+            eprintln!("check-config: {e}");
+            1
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
+    // check-config has its own flag grammar (shared with bikecap-check); it
+    // must not go through the train/serve flag parser.
+    if cmd == "check-config" {
+        return ExitCode::from(cmd_check_config(&argv[1..]));
+    }
     let args = match parse_flags(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {

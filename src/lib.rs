@@ -18,6 +18,7 @@
 
 pub use bikecap_autograd as autograd;
 pub use bikecap_baselines as baselines;
+pub use bikecap_check as check;
 pub use bikecap_city_sim as sim;
 pub use bikecap_core as model;
 pub use bikecap_eval as eval;

@@ -69,7 +69,7 @@ fn full_pipeline_trains_and_beats_climatology_rmse() {
         ..TrainOptions::default()
     };
     let report = model.fit(&dataset, &options, &mut rng);
-    assert!(report.final_loss().is_finite());
+    assert!(report.final_loss().expect("epochs ran").is_finite());
 
     let fc = BikeCapForecaster::new(model, options);
     let ours = evaluate(&fc, &dataset, Some(24));

@@ -1,0 +1,140 @@
+//! Property test tying the static shape checker to the runtime model.
+//!
+//! The contract `bikecap check-config` advertises: a configuration the
+//! checker accepts constructs and predicts without panicking, with exactly
+//! the output extents the plan promised; a configuration it rejects fails
+//! model construction with the *same* typed error. This test enumerates a
+//! seeded sweep of generated configurations (no proptest dependency — the
+//! generator is a hand-rolled splitmix so the case list is identical on
+//! every machine) plus a set of deliberately degenerate configurations, and
+//! checks both directions of the contract on each.
+
+use std::panic;
+
+use bikecap::model::{BikeCap, BikeCapConfig};
+use bikecap::tensor::Tensor;
+
+/// splitmix64 — deterministic case generator independent of the rand crate.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick from an inclusive range (small ranges only).
+    fn pick(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() as usize) % (hi - lo + 1)
+    }
+}
+
+/// Random-but-reproducible configurations spanning the knobs the checker
+/// composes: grid extent, history depth, pyramid size, capsule dims,
+/// decoder width, routing iterations. Some are valid, some violate a
+/// contract (e.g. a pyramid kernel taller than the padded history) — the
+/// test doesn't need to know which; it holds the checker to the model
+/// either way.
+fn generated_configs(cases: usize, seed: u64) -> Vec<BikeCapConfig> {
+    let mut g = Gen(seed);
+    (0..cases)
+        .map(|_| {
+            BikeCapConfig::new(g.pick(1, 8), g.pick(1, 8))
+                .history(g.pick(1, 8))
+                .horizon(g.pick(1, 4))
+                .pyramid_size(g.pick(1, 6))
+                .capsule_dim(g.pick(1, 6))
+                .out_capsule_dim(g.pick(1, 6))
+                .hist_layers(g.pick(1, 3))
+                .routing_iters(g.pick(1, 3))
+                .decoder_channels(g.pick(1, 4))
+                .separate_slot_transforms(g.next().is_multiple_of(2))
+        })
+        .collect()
+}
+
+/// Configurations known to trip specific contracts, so the rejection arm is
+/// exercised even if the generated sweep happens to produce only valid ones.
+fn degenerate_configs() -> Vec<BikeCapConfig> {
+    vec![
+        // Grid too small for any capsule column.
+        BikeCapConfig::new(1, 1).history(4).pyramid_size(4),
+        // Degenerate zero extents, one per axis family.
+        BikeCapConfig::new(4, 4).history(0),
+        BikeCapConfig::new(4, 4).horizon(0),
+        BikeCapConfig::new(4, 4).capsule_dim(0),
+        BikeCapConfig::new(4, 4).out_capsule_dim(0),
+        BikeCapConfig::new(4, 4).hist_layers(0),
+        BikeCapConfig::new(4, 4).decoder_channels(0),
+    ]
+}
+
+fn assert_contract(config: BikeCapConfig) {
+    let verdict = config.check_shapes();
+    match verdict {
+        Ok(plan) => {
+            // Accepted ⇒ constructs without error…
+            let model = BikeCap::build_seeded(config.clone(), 11)
+                .unwrap_or_else(|e| panic!("checker accepted {config:?} but build failed: {e}"));
+            // …and predicts a tensor with exactly the plan's output extents.
+            let input = Tensor::ones(&[
+                plan.input.channels,
+                plan.input.time,
+                plan.input.height,
+                plan.input.width,
+            ]);
+            let out = model.predict(&input);
+            let promised = plan.output();
+            assert_eq!(
+                out.shape(),
+                &[promised.time, promised.height, promised.width],
+                "plan promised {promised} for {config:?}"
+            );
+        }
+        Err(err) => {
+            // Rejected ⇒ the fallible constructor fails with the same error…
+            let build_err = BikeCap::build_seeded(config.clone(), 11)
+                .expect_err("checker rejected the config; build must too");
+            assert_eq!(
+                build_err.to_string(),
+                err.to_string(),
+                "build and checker must report the same contract violation"
+            );
+            // …and the panicking constructor carries the same message.
+            let message = format!("{err}");
+            let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+                BikeCap::seeded(config.clone(), 11)
+            }))
+            .expect_err("checker rejected the config; BikeCap::seeded must panic");
+            let panic_text = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                panic_text.contains(&message),
+                "panic {panic_text:?} should contain the checker error {message:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checker_verdict_matches_runtime_construction() {
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for config in generated_configs(32, 0x0b1cecab).into_iter().chain(degenerate_configs()) {
+        if config.check_shapes().is_ok() {
+            accepted += 1;
+        } else {
+            rejected += 1;
+        }
+        assert_contract(config);
+    }
+    // The sweep must genuinely exercise both arms of the contract.
+    assert!(accepted >= 4, "sweep produced too few valid configs ({accepted})");
+    assert!(rejected >= 4, "sweep produced too few invalid configs ({rejected})");
+}
