@@ -20,6 +20,11 @@
 //!   bounded-queue module) must document its backpressure behaviour in its
 //!   doc comment (what happens when the queue is full / draining / shut
 //!   down).
+//! * **atomic-checkpoint-write** — no direct `File::create` in the
+//!   checkpoint-owning crates (`bikecap-nn`, `bikecap-core`); a kill
+//!   mid-write would leave a torn file at the destination. Go through
+//!   `serialize::atomic_write` (temp sibling + fsync + rename), whose own
+//!   `File::create` on the temp path is the audited allowlist exception.
 //!
 //! Code under `#[cfg(test)]` / `mod tests` / `#[test]` is exempt. Audited
 //! exceptions live in `check-allowlist.txt` at the workspace root, one per
@@ -39,6 +44,7 @@ pub enum Rule {
     NoIndex,
     NoLossyCast,
     BackpressureDoc,
+    AtomicCheckpointWrite,
 }
 
 impl Rule {
@@ -51,6 +57,7 @@ impl Rule {
             Rule::NoIndex => "no-index",
             Rule::NoLossyCast => "no-lossy-cast",
             Rule::BackpressureDoc => "backpressure-doc",
+            Rule::AtomicCheckpointWrite => "atomic-checkpoint-write",
         }
     }
 }
@@ -435,6 +442,26 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 pub_flag = false;
                 i += 1;
             }
+            TokenKind::Ident(w)
+                if w == "File"
+                    && matches!(kind, CrateKind::Nn | CrateKind::Core)
+                    && is_path_call(&tokens, i, "create") =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::AtomicCheckpointWrite,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: "`File::create` writes in place; a kill mid-write leaves a torn \
+                              checkpoint. Use `serialize::atomic_write` (temp sibling + fsync \
+                              + rename) or audit and allowlist"
+                        .to_string(),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
             TokenKind::Ident(w) if hot && kind == CrateKind::Tensor && w == "as" => {
                 if let Some(TokenKind::Ident(target)) = tokens.get(i + 1).map(|t| &t.kind) {
                     if LOSSY_CAST_TARGETS.contains(&target.as_str()) {
@@ -485,6 +512,16 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// Does the token at `i` start a `<Ident>::method(` path call? Matches the
+/// exact sequence `:: method (` after the ident, so `File::open` or a plain
+/// `create(` never match when looking for `File::create`.
+fn is_path_call(tokens: &[Token], i: usize, method: &str) -> bool {
+    matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct(':')))
+        && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokenKind::Punct(':')))
+        && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(TokenKind::Ident(m)) if m == method)
+        && matches!(tokens.get(i + 4).map(|t| &t.kind), Some(TokenKind::Punct('(')))
 }
 
 /// Consume an (inner or outer) attribute starting at `#`; returns the idents
@@ -720,6 +757,30 @@ mod tests {
         let private = "fn helper() {}";
         assert!(lint_source("crates/serve/src/batcher.rs", private).is_empty());
         assert!(lint_source("crates/serve/src/metrics.rs", undocumented).is_empty());
+    }
+
+    #[test]
+    fn file_create_in_checkpoint_crates_is_flagged() {
+        let src = "fn save_snapshot(p: &Path) { let _ = fs::File::create(p); }";
+        let f = lint_source("crates/nn/src/serialize.rs", src);
+        assert_eq!(rules(&f), vec![Rule::AtomicCheckpointWrite]);
+        assert_eq!(f[0].func, "save_snapshot");
+        // Also flagged in core (trainer autosave lives there)...
+        assert_eq!(
+            rules(&lint_source("crates/core/src/trainer.rs", src)),
+            vec![Rule::AtomicCheckpointWrite]
+        );
+        // ...but not in crates that never write checkpoints.
+        assert!(lint_source("crates/serve/src/metrics.rs", src).is_empty());
+    }
+
+    #[test]
+    fn file_open_and_bare_create_are_not_flagged() {
+        let ok = "fn load(p: &Path) { let _ = fs::File::open(p); let _ = create(p); }";
+        assert!(lint_source("crates/nn/src/serialize.rs", ok).is_empty());
+        // Test modules stay exempt like every other rule.
+        let test_only = "#[cfg(test)]\nmod tests {\n    fn t(p: &Path) { fs::File::create(p).ok(); }\n}";
+        assert!(lint_source("crates/nn/src/serialize.rs", test_only).is_empty());
     }
 
     #[test]

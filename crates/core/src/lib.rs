@@ -38,9 +38,11 @@ pub mod config;
 pub mod decoder;
 pub mod model;
 pub mod shapecheck;
+pub mod trainer;
 
 pub use config::{BikeCapConfig, Encoder, DecoderKind, Variant};
 pub use model::{BikeCap, TrainOptions, TrainReport};
+pub use trainer::{ResilientOptions, ResilientReport, TrainerError};
 pub use shapecheck::{
     check_config, check_config_with, Axis, Extents, LayerShape, ShapeError, ShapeErrorKind,
     ShapePlan, StrideOverrides,

@@ -1,0 +1,511 @@
+//! Resilient training: autosave, resume, and divergence rollback.
+//!
+//! [`BikeCap::fit_resilient`] wraps the plain epoch loop of [`BikeCap::fit`]
+//! with three protections:
+//!
+//! 1. **Autosave** — every `autosave_every` epochs the weights checkpoint
+//!    (for serving) and a sibling `.state` file (weights + full Adam state +
+//!    progress scalars, for resuming) are written crash-atomically.
+//! 2. **Resume** — `resume: true` restores the `.state` file and continues
+//!    from the exact epoch it recorded. Epoch RNGs are derived from
+//!    `(seed, epoch)` rather than a sequential stream, so a resumed run
+//!    replays the identical shuffle/batch schedule the uninterrupted run
+//!    would have used, and (because the state file round-trips f32 exactly)
+//!    converges to the same loss bit for bit.
+//! 3. **Divergence guard** — an epoch whose mean loss is non-finite or
+//!    spikes above `spike_factor ×` the last good loss is rolled back: the
+//!    model and optimizer are restored from the in-memory snapshot of the
+//!    previous good epoch, the learning rate is halved, and the epoch is
+//!    retried, at most `max_retries` times before
+//!    [`TrainerError::Diverged`] aborts the run.
+//!
+//! The epoch-loss path carries the `train.epoch.loss` failpoint (see
+//! `bikecap-faults`): a fired hit replaces the epoch's loss with NaN,
+//! exercising the divergence guard end-to-end in chaos tests.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bikecap_city_sim::ForecastDataset;
+use bikecap_nn::serialize::{read_params, save_raw_params, LoadParamsError};
+use bikecap_nn::Adam;
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::model::{BikeCap, TrainOptions, TrainReport};
+
+/// Configuration for [`BikeCap::fit_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOptions {
+    /// The plain training hyper-parameters (epochs, batch size, LR, …).
+    pub train: TrainOptions,
+    /// Seed for the per-epoch RNG streams. Two runs with the same seed and
+    /// options follow the same trajectory, interrupted or not.
+    pub seed: u64,
+    /// Checkpoint path; autosaves write here plus a `<path>.state` sibling.
+    /// `None` disables autosave and resume.
+    pub checkpoint: Option<PathBuf>,
+    /// Epochs between autosaves (0 disables mid-run autosave; the final
+    /// checkpoint is always written when `checkpoint` is set).
+    pub autosave_every: usize,
+    /// Restore the `.state` file before training, if it exists.
+    pub resume: bool,
+    /// Divergence rollbacks allowed per epoch before aborting.
+    pub max_retries: usize,
+    /// An epoch diverges when its loss exceeds `spike_factor ×` the last
+    /// good epoch's loss (or is NaN/∞).
+    pub spike_factor: f32,
+}
+
+impl Default for ResilientOptions {
+    fn default() -> Self {
+        ResilientOptions {
+            train: TrainOptions::default(),
+            seed: 0,
+            checkpoint: None,
+            autosave_every: 1,
+            resume: false,
+            max_retries: 3,
+            spike_factor: 4.0,
+        }
+    }
+}
+
+impl ResilientOptions {
+    /// The sibling path holding optimizer state and training progress.
+    pub fn state_path(checkpoint: &Path) -> PathBuf {
+        let mut name = checkpoint
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".state");
+        checkpoint.with_file_name(name)
+    }
+}
+
+/// What a resilient training run produced, beyond the plain [`TrainReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientReport {
+    /// Per-epoch losses and wall-clock time (losses include epochs restored
+    /// from a resumed state file).
+    pub report: TrainReport,
+    /// The epoch training resumed from, when a state file was restored.
+    pub resumed_at: Option<usize>,
+    /// Divergence rollbacks performed across the run.
+    pub rollbacks: usize,
+    /// Autosaves that failed (training continues; only the final save is
+    /// load-bearing).
+    pub autosave_failures: usize,
+    /// Learning rate at the end of the run (halved on each rollback).
+    pub final_lr: f32,
+}
+
+/// Errors produced by [`BikeCap::fit_resilient`].
+#[derive(Debug)]
+pub enum TrainerError {
+    /// The final checkpoint write failed.
+    Io(io::Error),
+    /// The checkpoint or state file could not be loaded for resume.
+    Load(LoadParamsError),
+    /// The state file is readable but inconsistent with this model (missing
+    /// entry, wrong shape, malformed scalar).
+    State(String),
+    /// An epoch kept diverging after exhausting every rollback retry.
+    Diverged {
+        /// The epoch that would not converge.
+        epoch: usize,
+        /// Rollbacks spent on it.
+        retries: usize,
+        /// The last diverged loss observed.
+        loss: f32,
+    },
+}
+
+impl fmt::Display for TrainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainerError::Io(e) => write!(f, "checkpoint write failed: {e}"),
+            TrainerError::Load(e) => write!(f, "resume failed: {e}"),
+            TrainerError::State(msg) => write!(f, "training state invalid: {msg}"),
+            TrainerError::Diverged { epoch, retries, loss } => write!(
+                f,
+                "training diverged at epoch {epoch} (loss {loss}) after {retries} rollback retries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainerError::Io(e) => Some(e),
+            TrainerError::Load(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Derives the RNG seed for one epoch: a SplitMix64-style mix of the run
+/// seed and the epoch index, so each epoch's stream is independent of how
+/// many epochs ran before it in this process.
+fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+    let mut x = seed ^ (epoch as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Is `loss` a divergent epoch relative to the last good loss?
+fn divergent(loss: f32, last_good: Option<f32>, spike_factor: f32) -> bool {
+    if !loss.is_finite() {
+        return true;
+    }
+    match last_good {
+        // The floor keeps near-zero good losses from flagging ordinary
+        // fluctuation as a spike.
+        Some(good) => loss > spike_factor * good.abs().max(1e-6),
+        None => false,
+    }
+}
+
+impl BikeCap {
+    /// Trains like [`BikeCap::fit`], with autosave, resume, and a
+    /// divergence guard. See the module docs for the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainerError`] when resume state cannot be restored, an
+    /// epoch keeps diverging after `max_retries` rollbacks, or the final
+    /// checkpoint cannot be written. Mid-run autosave failures do not abort
+    /// training; they are counted in the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's horizon does not match the model's.
+    pub fn fit_resilient(
+        &mut self,
+        dataset: &ForecastDataset,
+        opts: &ResilientOptions,
+    ) -> Result<ResilientReport, TrainerError> {
+        assert_eq!(
+            dataset.horizon(),
+            self.config().horizon,
+            "dataset horizon {} does not match model horizon {}",
+            dataset.horizon(),
+            self.config().horizon
+        );
+        let start = Instant::now();
+        let mut opt = Adam::new(opts.train.learning_rate);
+        let mut losses: Vec<f32> = Vec::new();
+        let mut resumed_at = None;
+        let mut rollbacks = 0usize;
+        let mut autosave_failures = 0usize;
+
+        if opts.resume {
+            if let Some(ckpt) = &opts.checkpoint {
+                let state_path = ResilientOptions::state_path(ckpt);
+                if state_path.exists() {
+                    let (epoch, restored) = self.restore_state(&state_path, &mut opt)?;
+                    losses = restored;
+                    resumed_at = Some(epoch);
+                }
+            }
+        }
+
+        let mut epoch = resumed_at.unwrap_or(0);
+        // Last good (model, optimizer) pair for divergence rollback.
+        let mut snapshot = (self.store().clone(), opt.clone());
+        let mut retries_this_epoch = 0usize;
+        while epoch < opts.train.epochs {
+            let mut rng = StdRng::seed_from_u64(epoch_seed(opts.seed, epoch));
+            let mut loss = self.run_epoch(dataset, &opts.train, &mut opt, &mut rng);
+            if bikecap_faults::hit("train.epoch.loss").is_some() {
+                // Injected divergence: pretend the epoch exploded.
+                loss = f32::NAN;
+            }
+            if divergent(loss, losses.last().copied(), opts.spike_factor) {
+                rollbacks += 1;
+                retries_this_epoch += 1;
+                if retries_this_epoch > opts.max_retries {
+                    return Err(TrainerError::Diverged {
+                        epoch,
+                        retries: retries_this_epoch - 1,
+                        loss,
+                    });
+                }
+                // Roll back to the last good state and retry at half the
+                // learning rate. The snapshot keeps the halved rate, so a
+                // second retry halves again.
+                *self.store_mut() = snapshot.0.clone();
+                opt = snapshot.1.clone();
+                opt.set_learning_rate(opt.learning_rate() * 0.5);
+                snapshot.1 = opt.clone();
+                continue;
+            }
+            retries_this_epoch = 0;
+            losses.push(loss);
+            snapshot = (self.store().clone(), opt.clone());
+            epoch += 1;
+            if let Some(ckpt) = &opts.checkpoint {
+                let due = opts.autosave_every > 0
+                    && epoch % opts.autosave_every == 0
+                    && epoch < opts.train.epochs;
+                if due && self.autosave(ckpt, &opt, epoch, &losses).is_err() {
+                    // Transient autosave failure: keep training; the next
+                    // autosave (or the final save) supersedes it.
+                    autosave_failures += 1;
+                }
+            }
+        }
+
+        if let Some(ckpt) = &opts.checkpoint {
+            self.autosave(ckpt, &opt, epoch, &losses)
+                .map_err(TrainerError::Io)?;
+        }
+        Ok(ResilientReport {
+            report: TrainReport {
+                epoch_losses: losses,
+                seconds: start.elapsed().as_secs_f64(),
+            },
+            resumed_at,
+            rollbacks,
+            autosave_failures,
+            final_lr: opt.learning_rate(),
+        })
+    }
+
+    /// Writes the serving checkpoint and the `.state` resume file, both
+    /// crash-atomically. `next_epoch` is the epoch index training continues
+    /// from after a restore.
+    fn autosave(
+        &self,
+        checkpoint: &Path,
+        opt: &Adam,
+        next_epoch: usize,
+        losses: &[f32],
+    ) -> io::Result<()> {
+        self.save_checkpoint(checkpoint)?;
+        let mut entries = vec![
+            ("train.epoch".to_string(), Tensor::scalar(next_epoch as f32)),
+            ("train.lr".to_string(), Tensor::scalar(opt.learning_rate())),
+            (
+                "train.losses".to_string(),
+                Tensor::from_vec(losses.to_vec(), &[losses.len()]),
+            ),
+        ];
+        entries.extend(opt.export_state(self.store()));
+        for (_, name, value) in self.store().iter() {
+            entries.push((format!("param.{name}"), value.clone()));
+        }
+        save_raw_params(&entries, ResilientOptions::state_path(checkpoint))
+    }
+
+    /// Restores weights, optimizer state and progress from a `.state` file.
+    /// Returns `(next_epoch, losses_so_far)`.
+    fn restore_state(
+        &mut self,
+        state_path: &Path,
+        opt: &mut Adam,
+    ) -> Result<(usize, Vec<f32>), TrainerError> {
+        let (_, entries) = read_params(state_path).map_err(TrainerError::Load)?;
+        let get = |key: &str| entries.iter().find(|(n, _)| n == key).map(|(_, t)| t);
+        let scalar = |key: &str| -> Result<f32, TrainerError> {
+            let t = get(key).ok_or_else(|| {
+                TrainerError::State(format!("state file missing {key}"))
+            })?;
+            if !t.shape().is_empty() {
+                return Err(TrainerError::State(format!(
+                    "state entry {key} is not a scalar (shape {:?})",
+                    t.shape()
+                )));
+            }
+            Ok(t.item())
+        };
+        let epoch = scalar("train.epoch")? as usize;
+        let lr = scalar("train.lr")?;
+        let losses = get("train.losses")
+            .ok_or_else(|| TrainerError::State("state file missing train.losses".into()))?
+            .as_slice()
+            .to_vec();
+        let params: Vec<_> = self
+            .store()
+            .iter()
+            .map(|(id, name, value)| (id, name.to_string(), value.shape().to_vec()))
+            .collect();
+        for (id, name, shape) in params {
+            let key = format!("param.{name}");
+            let tensor = get(&key).ok_or_else(|| {
+                TrainerError::State(format!("state file missing {key}"))
+            })?;
+            if tensor.shape() != shape.as_slice() {
+                return Err(TrainerError::State(format!(
+                    "state entry {key}: shape {:?} vs parameter shape {shape:?}",
+                    tensor.shape()
+                )));
+            }
+            self.store_mut().set_value(id, tensor.clone());
+        }
+        opt.import_state(self.store(), &entries)
+            .map_err(TrainerError::State)?;
+        opt.set_learning_rate(lr);
+        Ok((epoch, losses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BikeCapConfig;
+    use bikecap_city_sim::{
+        aggregate::DemandSeries,
+        generate::{SimConfig, Simulator},
+        layout::CityLayout,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> ForecastDataset {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut config = SimConfig::small();
+        config.days = 4;
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let series = DemandSeries::from_trips(&trips, 15);
+        ForecastDataset::new(&series, 8, 2)
+    }
+
+    fn tiny_model() -> BikeCap {
+        let config = BikeCapConfig::new(6, 6)
+            .history(8)
+            .horizon(2)
+            .pyramid_size(2)
+            .capsule_dim(3)
+            .out_capsule_dim(3)
+            .decoder_channels(4);
+        BikeCap::seeded(config, 7)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bikecap-trainer-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn smoke_opts(checkpoint: Option<PathBuf>, epochs: usize) -> ResilientOptions {
+        ResilientOptions {
+            train: TrainOptions {
+                epochs,
+                batch_size: 4,
+                max_batches_per_epoch: Some(2),
+                ..TrainOptions::default()
+            },
+            seed: 42,
+            checkpoint,
+            autosave_every: 1,
+            ..ResilientOptions::default()
+        }
+    }
+
+    #[test]
+    fn divergence_predicate() {
+        assert!(divergent(f32::NAN, None, 4.0));
+        assert!(divergent(f32::INFINITY, Some(0.1), 4.0));
+        assert!(divergent(1.0, Some(0.1), 4.0));
+        assert!(!divergent(0.3, Some(0.1), 4.0));
+        // First epoch: any finite loss is accepted.
+        assert!(!divergent(1e9, None, 4.0));
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run_exactly() {
+        let ds = tiny_dataset();
+
+        // Uninterrupted: 4 epochs straight through.
+        let ckpt_a = tmp("uninterrupted");
+        let mut model_a = tiny_model();
+        let full = model_a.fit_resilient(&ds, &smoke_opts(Some(ckpt_a.clone()), 4)).unwrap();
+
+        // Interrupted: 2 epochs, then a fresh process resumes to 4.
+        let ckpt_b = tmp("interrupted");
+        let mut model_b = tiny_model();
+        model_b.fit_resilient(&ds, &smoke_opts(Some(ckpt_b.clone()), 2)).unwrap();
+        let mut resumed_model = tiny_model();
+        let mut resume_opts = smoke_opts(Some(ckpt_b.clone()), 4);
+        resume_opts.resume = true;
+        let resumed = resumed_model.fit_resilient(&ds, &resume_opts).unwrap();
+
+        assert_eq!(resumed.resumed_at, Some(2));
+        assert_eq!(full.report.epoch_losses, resumed.report.epoch_losses);
+        // The restored trajectory is bitwise identical, so predictions are
+        // too — far stronger than the 1e-6 requirement.
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+        assert_eq!(model_a.predict(&x).as_slice(), resumed_model.predict(&x).as_slice());
+        for p in [&ckpt_a, &ckpt_b] {
+            std::fs::remove_file(p).ok();
+            std::fs::remove_file(ResilientOptions::state_path(p)).ok();
+        }
+    }
+
+    #[test]
+    fn resume_without_state_file_starts_fresh() {
+        let ds = tiny_dataset();
+        let ckpt = tmp("nostate");
+        let mut model = tiny_model();
+        let mut opts = smoke_opts(Some(ckpt.clone()), 1);
+        opts.resume = true;
+        let report = model.fit_resilient(&ds, &opts).unwrap();
+        assert_eq!(report.resumed_at, None);
+        assert_eq!(report.report.epoch_losses.len(), 1);
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(ResilientOptions::state_path(&ckpt)).ok();
+    }
+
+    #[test]
+    fn restore_rejects_state_from_other_model() {
+        let ds = tiny_dataset();
+        let ckpt = tmp("othermodel");
+        let mut model = tiny_model();
+        model.fit_resilient(&ds, &smoke_opts(Some(ckpt.clone()), 1)).unwrap();
+
+        // A differently-shaped model must refuse the state file.
+        let mut other = BikeCap::seeded(
+            BikeCapConfig::new(6, 6)
+                .history(8)
+                .horizon(2)
+                .pyramid_size(2)
+                .capsule_dim(5)
+                .out_capsule_dim(3)
+                .decoder_channels(4),
+            1,
+        );
+        let mut opt = Adam::new(1e-3);
+        let err = other
+            .restore_state(&ResilientOptions::state_path(&ckpt), &mut opt)
+            .unwrap_err();
+        assert!(matches!(err, TrainerError::State(_)), "{err}");
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(ResilientOptions::state_path(&ckpt)).ok();
+    }
+
+    #[test]
+    fn state_file_is_v3_and_integrity_checked() {
+        let ds = tiny_dataset();
+        let ckpt = tmp("integrity");
+        let mut model = tiny_model();
+        model.fit_resilient(&ds, &smoke_opts(Some(ckpt.clone()), 1)).unwrap();
+        let state = ResilientOptions::state_path(&ckpt);
+        let mut bytes = std::fs::read(&state).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&state, &bytes).unwrap();
+        let mut opt = Adam::new(1e-3);
+        let err = model.restore_state(&state, &mut opt).unwrap_err();
+        assert!(matches!(err, TrainerError::Load(_)), "{err}");
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&state).ok();
+    }
+}

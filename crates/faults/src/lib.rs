@@ -1,0 +1,443 @@
+//! `bikecap-faults` — deterministic failpoint injection.
+//!
+//! A failpoint is a named *site* in production code (`io.checkpoint.write`,
+//! `serve.worker.predict`, `train.epoch.loss`, …) that can be made to fail on
+//! demand. A [`FaultPlan`] decides, deterministically from a seed, which hits
+//! of which sites fire; the code under test calls [`hit`] at each site and
+//! injects the returned [`FaultError`] into its own error path.
+//!
+//! Site names follow a `subsystem.component.operation` scheme documented in
+//! DESIGN.md Appendix C.
+//!
+//! Determinism: whether the *n*-th hit of a site fires depends only on the
+//! plan's seed, the site name, and *n* — never on wall-clock time, thread
+//! interleaving, or a shared RNG. Chaos tests replay the exact same fault
+//! schedule from the same seed, no matter how threads race.
+//!
+//! Zero cost when disarmed: without the `faultline` cargo feature, [`hit`] is
+//! an `#[inline(always)]` function returning `None`, so every
+//! `if let Some(f) = faults::hit(..)` in a hot path folds away entirely.
+//!
+//! ```
+//! use bikecap_faults::{FaultPlan, Trigger};
+//!
+//! let plan = FaultPlan::seeded(42)
+//!     .site("io.checkpoint.write", Trigger::Nth(2))
+//!     .site("serve.worker.predict", Trigger::Probability(0.3));
+//! bikecap_faults::install(plan);
+//! // ... exercise the system; the 2nd checkpoint write fails, and each
+//! // worker prediction fails with probability 0.3 ...
+//! bikecap_faults::clear();
+//! ```
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::io;
+
+/// Is the `faultline` feature compiled in? Callers (e.g. the CLI) use this to
+/// warn when a fault plan is requested but the failpoints are compiled out.
+pub const ENABLED: bool = cfg!(feature = "faultline");
+
+/// When a site's hits fire. Hit indices are 1-based per site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Every hit fires.
+    Always,
+    /// Only the n-th hit fires (1-based), once.
+    Nth(u64),
+    /// Every n-th hit fires (n, 2n, 3n, …).
+    EveryNth(u64),
+    /// Each hit fires independently with probability `p`, derived
+    /// deterministically from `(seed, site, hit index)`.
+    Probability(f64),
+}
+
+/// One site's rule inside a [`FaultPlan`].
+#[derive(Debug, Clone)]
+struct SiteRule {
+    site: String,
+    trigger: Trigger,
+}
+
+/// A seeded schedule of faults over named sites.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<SiteRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed. Probability triggers draw from a
+    /// deterministic hash of this seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule for `site` (builder style). Later rules for the same site
+    /// shadow earlier ones.
+    pub fn site(mut self, site: impl Into<String>, trigger: Trigger) -> Self {
+        self.rules.push(SiteRule {
+            site: site.into(),
+            trigger,
+        });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of site rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parses the CLI/env spec grammar: semicolon-separated
+    /// `site=trigger` pairs, where trigger is `always`, `nth:N`,
+    /// `every:N`, or `p:0.3`.
+    ///
+    /// ```
+    /// let plan = bikecap_faults::FaultPlan::parse(
+    ///     "io.checkpoint.write=nth:2;serve.worker.predict=p:0.3",
+    ///     7,
+    /// ).unwrap();
+    /// assert_eq!(plan.len(), 2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut plan = FaultPlan::seeded(seed);
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (site, trig) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause '{clause}' is not site=trigger"))?;
+            let site = site.trim();
+            if site.is_empty() {
+                return Err(format!("fault clause '{clause}' has an empty site name"));
+            }
+            let trigger = match trig.trim() {
+                "always" => Trigger::Always,
+                t if t.starts_with("nth:") => Trigger::Nth(parse_count(t, "nth:")?),
+                t if t.starts_with("every:") => Trigger::EveryNth(parse_count(t, "every:")?),
+                t if t.starts_with("p:") => {
+                    let p: f64 = t["p:".len()..]
+                        .parse()
+                        .map_err(|_| format!("invalid probability in '{t}'"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("probability {p} is not in [0, 1]"));
+                    }
+                    Trigger::Probability(p)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown trigger '{other}' (expected always, nth:N, every:N, or p:P)"
+                    ))
+                }
+            };
+            plan = plan.site(site, trigger);
+        }
+        Ok(plan)
+    }
+
+    /// Would the `hit_index`-th hit (1-based) of `site` fire under this plan?
+    /// Pure — used by the runtime and directly testable.
+    pub fn fires(&self, site: &str, hit_index: u64) -> bool {
+        // Last matching rule wins, so later `.site()` calls shadow earlier.
+        let rule = self.rules.iter().rev().find(|r| r.site == site);
+        let Some(rule) = rule else { return false };
+        match rule.trigger {
+            Trigger::Always => true,
+            Trigger::Nth(n) => hit_index == n,
+            Trigger::EveryNth(n) => n > 0 && hit_index.is_multiple_of(n),
+            Trigger::Probability(p) => {
+                let h = splitmix64(self.seed ^ fnv1a(site.as_bytes()) ^ hit_index);
+                // 53 high bits → uniform in [0, 1).
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+            }
+        }
+    }
+}
+
+/// The error a fired failpoint injects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that fired.
+    pub site: String,
+    /// Which hit of the site this was (1-based).
+    pub hit: u64,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {} (hit {})", self.site, self.hit)
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl FaultError {
+    /// Converts to an `io::Error` for injection into I/O paths.
+    pub fn into_io(self) -> io::Error {
+        io::Error::other(self.to_string())
+    }
+}
+
+/// Parses the `N` in a `nth:N` / `every:N` trigger clause.
+fn parse_count(clause: &str, prefix: &str) -> Result<u64, String> {
+    let n: u64 = clause[prefix.len()..]
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid count in '{clause}'"))?;
+    if n == 0 {
+        return Err(format!("count in '{clause}' must be >= 1"));
+    }
+    Ok(n)
+}
+
+/// SplitMix64 — the standard 64-bit finalizing mix; good enough to decorrelate
+/// `(seed, site, hit)` triples.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name, so distinct sites draw independent streams.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(feature = "faultline")]
+mod armed {
+    use super::{FaultError, FaultPlan};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, RwLock};
+
+    struct Active {
+        plan: FaultPlan,
+        /// Per-site 1-based hit counters, created on first hit.
+        counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    }
+
+    static ACTIVE: RwLock<Option<Arc<Active>>> = RwLock::new(None);
+
+    /// Installs `plan` as the process-wide fault schedule, replacing any
+    /// previous plan and resetting all hit counters.
+    pub fn install(plan: FaultPlan) {
+        let active = Active {
+            plan,
+            counters: RwLock::new(HashMap::new()),
+        };
+        *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(active));
+    }
+
+    /// Removes the active fault schedule; subsequent hits never fire.
+    pub fn clear() {
+        *ACTIVE.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Is a fault schedule currently installed?
+    pub fn active() -> bool {
+        ACTIVE
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Registers one hit of `site`; returns the injected error if the plan
+    /// says this hit fires.
+    pub fn hit(site: &str) -> Option<FaultError> {
+        let active = ACTIVE
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(Arc::clone)?;
+        let counter = {
+            let map = active.counters.read().unwrap_or_else(|e| e.into_inner());
+            map.get(site).map(Arc::clone)
+        };
+        let counter = counter.unwrap_or_else(|| {
+            let mut map = active.counters.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(
+                map.entry(site.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        });
+        let hit = counter.fetch_add(1, Ordering::Relaxed) + 1;
+        active.plan.fires(site, hit).then(|| FaultError {
+            site: site.to_string(),
+            hit,
+        })
+    }
+}
+
+#[cfg(feature = "faultline")]
+pub use armed::{active, clear, hit, install};
+
+#[cfg(not(feature = "faultline"))]
+mod disarmed {
+    use super::{FaultError, FaultPlan};
+
+    /// No-op: failpoints are compiled out (enable the `faultline` feature).
+    #[inline(always)]
+    pub fn install(_plan: FaultPlan) {}
+
+    /// No-op: failpoints are compiled out.
+    #[inline(always)]
+    pub fn clear() {}
+
+    /// Always `false`: failpoints are compiled out.
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+
+    /// Always `None`: failpoints are compiled out, so this call (and the
+    /// caller's error branch) disappears at compile time.
+    #[inline(always)]
+    pub fn hit(_site: &str) -> Option<FaultError> {
+        None
+    }
+}
+
+#[cfg(not(feature = "faultline"))]
+pub use disarmed::{active, clear, hit, install};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_grammar_roundtrips() {
+        let plan = FaultPlan::parse(
+            "io.checkpoint.write=always; train.epoch.loss=nth:3 ;serve.worker.predict=p:0.25;x=every:2",
+            9,
+        )
+        .unwrap();
+        assert_eq!(plan.len(), 4);
+        assert!(plan.fires("io.checkpoint.write", 1));
+        assert!(plan.fires("train.epoch.loss", 3));
+        assert!(!plan.fires("train.epoch.loss", 4));
+        assert!(plan.fires("x", 2) && plan.fires("x", 4) && !plan.fires("x", 3));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for bad in [
+            "noequals",
+            "=always",
+            "a=sometimes",
+            "a=p:1.5",
+            "a=nth:x",
+            "a=p:nan",
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "{bad} should be rejected");
+        }
+        // NaN parses as f64 but fails the [0,1] check via contains().
+        assert!(FaultPlan::parse("a=p:NaN", 0).is_err());
+    }
+
+    #[test]
+    fn unlisted_sites_never_fire() {
+        let plan = FaultPlan::seeded(1).site("a.b.c", Trigger::Always);
+        assert!(!plan.fires("other.site", 1));
+        assert!(plan.fires("a.b.c", 99));
+    }
+
+    #[test]
+    fn probability_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::seeded(1234).site("s", Trigger::Probability(0.3));
+        let fired: Vec<bool> = (1..=10_000).map(|i| plan.fires("s", i)).collect();
+        let again: Vec<bool> = (1..=10_000).map(|i| plan.fires("s", i)).collect();
+        assert_eq!(fired, again, "same seed must give the same schedule");
+        let rate = fired.iter().filter(|&&f| f).count() as f64 / fired.len() as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate} far from 0.3");
+        // A different seed gives a different schedule.
+        let other = FaultPlan::seeded(4321).site("s", Trigger::Probability(0.3));
+        let other_fired: Vec<bool> = (1..=10_000).map(|i| other.fires("s", i)).collect();
+        assert_ne!(fired, other_fired);
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never = FaultPlan::seeded(0).site("s", Trigger::Probability(0.0));
+        assert!((1..=1000).all(|i| !never.fires("s", i)));
+        let always = FaultPlan::seeded(0).site("s", Trigger::Probability(1.0));
+        assert!((1..=1000).all(|i| always.fires("s", i)));
+    }
+
+    #[test]
+    fn later_rules_shadow_earlier() {
+        let plan = FaultPlan::seeded(0)
+            .site("s", Trigger::Always)
+            .site("s", Trigger::Nth(2));
+        assert!(!plan.fires("s", 1));
+        assert!(plan.fires("s", 2));
+    }
+
+    #[test]
+    fn fault_error_formats_and_converts() {
+        let e = FaultError {
+            site: "io.checkpoint.write".into(),
+            hit: 3,
+        };
+        let io = e.clone().into_io();
+        assert!(io.to_string().contains("io.checkpoint.write"));
+        assert!(e.to_string().contains("hit 3"));
+    }
+
+    #[cfg(feature = "faultline")]
+    mod runtime {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        // The installed plan is process-global; serialize tests that use it.
+        static LOCK: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn install_hit_clear_lifecycle() {
+            let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            clear();
+            assert!(!active());
+            assert!(hit("s").is_none());
+            install(FaultPlan::seeded(0).site("s", Trigger::Nth(2)));
+            assert!(active());
+            assert!(hit("s").is_none(), "hit 1 must not fire");
+            let fired = hit("s").expect("hit 2 fires");
+            assert_eq!(fired.hit, 2);
+            assert!(hit("s").is_none(), "hit 3 must not fire");
+            clear();
+            assert!(!active());
+            assert!(hit("s").is_none());
+        }
+
+        #[test]
+        fn reinstall_resets_counters() {
+            let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            install(FaultPlan::seeded(0).site("s", Trigger::Nth(1)));
+            assert!(hit("s").is_some());
+            install(FaultPlan::seeded(0).site("s", Trigger::Nth(1)));
+            assert!(hit("s").is_some(), "counters must reset on reinstall");
+            clear();
+        }
+    }
+}

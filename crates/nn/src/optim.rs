@@ -121,6 +121,61 @@ impl Adam {
         self.t
     }
 
+    /// Exports the full optimizer state — the step counter plus per-slot
+    /// first/second moment estimates, named by the parameter they track —
+    /// for checkpointing. Restored with [`Adam::import_state`].
+    pub fn export_state(&self, store: &ParamStore) -> Vec<(String, Tensor)> {
+        // `store.iter()` yields parameters in slot order, which is exactly
+        // how the m/v banks are indexed.
+        let moment = |bank: &[Tensor], slot: usize, value: &Tensor| match bank.get(slot) {
+            // Zeros for never-touched slots (the banks grow lazily).
+            Some(t) if t.shape() == value.shape() => t.clone(),
+            _ => Tensor::zeros(value.shape()),
+        };
+        let mut out = vec![("adam.t".to_string(), Tensor::scalar(self.t as f32))];
+        for (slot, (_, name, value)) in store.iter().enumerate() {
+            out.push((format!("adam.m.{name}"), moment(&self.m, slot, value)));
+            out.push((format!("adam.v.{name}"), moment(&self.v, slot, value)));
+        }
+        out
+    }
+
+    /// Restores state exported by [`Adam::export_state`]. Entries are matched
+    /// by parameter name against `store`'s slot order, so the store must hold
+    /// the same parameters (in any slot order) as when the state was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or shape-mismatched entry.
+    pub fn import_state(
+        &mut self,
+        store: &ParamStore,
+        state: &[(String, Tensor)],
+    ) -> Result<(), String> {
+        let lookup = |key: &str| state.iter().find(|(n, _)| n == key).map(|(_, t)| t);
+        let t_scalar = lookup("adam.t").ok_or("optimizer state missing adam.t")?;
+        let mut m = Vec::new();
+        let mut v = Vec::new();
+        for (_, name, value) in store.iter() {
+            for (bank, kind) in [(&mut m, "m"), (&mut v, "v")] {
+                let key = format!("adam.{kind}.{name}");
+                let tensor = lookup(&key).ok_or_else(|| format!("optimizer state missing {key}"))?;
+                if tensor.shape() != value.shape() {
+                    return Err(format!(
+                        "optimizer state {key}: shape {:?} vs parameter shape {:?}",
+                        tensor.shape(),
+                        value.shape()
+                    ));
+                }
+                bank.push(tensor.clone());
+            }
+        }
+        self.t = t_scalar.item() as u32;
+        self.m = m;
+        self.v = v;
+        Ok(())
+    }
+
     /// Applies one Adam update from the accumulated gradients.
     pub fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
@@ -233,6 +288,53 @@ mod tests {
         let pre2 = clip_grad_norm(&mut store, 10.0);
         assert!((pre2 - 1.0).abs() < 1e-5);
         assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        // Optimize, snapshot mid-way, keep optimizing; then restore the
+        // snapshot into a fresh Adam and replay — trajectories must match
+        // bit for bit, which is what `train --resume` relies on.
+        let run = |resume_at: Option<usize>| -> Vec<f32> {
+            let mut store = ParamStore::new();
+            let x = store.add("x", Tensor::from_vec(vec![-2.0, 5.0], &[2]));
+            let mut opt = Adam::new(0.1);
+            let mut trace = Vec::new();
+            for step in 0..40 {
+                if resume_at == Some(step) {
+                    let state = opt.export_state(&store);
+                    let mut fresh = Adam::new(0.1);
+                    fresh.import_state(&store, &state).unwrap();
+                    opt = fresh;
+                }
+                store.zero_grads();
+                let mut tape = Tape::new();
+                let xv = tape.param(&store, x);
+                let sq = tape.square(xv);
+                let loss = tape.sum(sq);
+                tape.backward(loss, &mut store);
+                opt.step(&mut store);
+                trace.extend_from_slice(store.value(x).as_slice());
+            }
+            trace
+        };
+        assert_eq!(run(None), run(Some(20)));
+    }
+
+    #[test]
+    fn adam_import_rejects_missing_and_mismatched_entries() {
+        let mut store = ParamStore::new();
+        store.add("x", Tensor::zeros(&[2]));
+        let mut opt = Adam::new(0.1);
+        assert!(opt.import_state(&store, &[]).unwrap_err().contains("adam.t"));
+        let partial = vec![("adam.t".to_string(), Tensor::scalar(3.0))];
+        assert!(opt.import_state(&store, &partial).unwrap_err().contains("adam.m.x"));
+        let wrong_shape = vec![
+            ("adam.t".to_string(), Tensor::scalar(3.0)),
+            ("adam.m.x".to_string(), Tensor::zeros(&[5])),
+            ("adam.v.x".to_string(), Tensor::zeros(&[2])),
+        ];
+        assert!(opt.import_state(&store, &wrong_shape).unwrap_err().contains("shape"));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! A deliberately simple, dependency-free format (one parameter per line):
 //!
 //! ```text
-//! bikecap-params v2
+//! bikecap-params v3
 //! meta config_hash=00000000deadbeef grid=16x12 history=8 horizon=4
+//! body bytes=1234 crc32=9f0a3c11
 //! <name> <d0>x<d1>x... <v0> <v1> ...
 //! ```
 //!
@@ -12,13 +13,27 @@
 //! Version 2 adds the optional `meta` line: a hash of the producing model's
 //! configuration plus the grid/window shape, so a serving process can reject
 //! a checkpoint that disagrees with the architecture it expects *before*
-//! hitting a low-level tensor-shape mismatch. Version 1 files (no meta line)
-//! still load.
+//! hitting a low-level tensor-shape mismatch. Version 3 adds the `body`
+//! integrity line — the exact byte length of the parameter block (so a
+//! truncated file is reported as [`LoadParamsError::Truncated`]) and a CRC32
+//! over everything *except* the body line itself (so any bit flip in the
+//! header, the meta line or the weights is reported as
+//! [`LoadParamsError::ChecksumMismatch`], and a flip inside the body line
+//! invalidates the declared length/CRC). Versions 1 and 2 still load,
+//! without integrity checking.
+//!
+//! All writers are crash-atomic: content is rendered in memory, written to a
+//! `<name>.<pid>.tmp` sibling, fsynced, and renamed over the destination, so
+//! a kill at any instant leaves either the old file or the new file — never
+//! a torn one. [`clean_stale_tmp`] sweeps orphaned temp files at startup.
+//! The write path carries the `io.checkpoint.write` failpoint
+//! (see `bikecap-faults`), which simulates a mid-write crash by leaving a
+//! half-written temp file behind.
 
 use std::fmt;
 use std::fs;
 use std::io::{self, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bikecap_autograd::ParamStore;
 use bikecap_tensor::Tensor;
@@ -26,8 +41,42 @@ use bikecap_tensor::Tensor;
 /// Magic header of the legacy (un-annotated) weight format.
 const HEADER_V1: &str = "bikecap-params v1";
 
-/// Magic header of the current weight format (adds the `meta` line).
+/// Magic header of the v2 weight format (adds the `meta` line).
 const HEADER_V2: &str = "bikecap-params v2";
+
+/// Magic header of the current weight format (adds the `body` integrity
+/// line carrying the parameter-block byte length and content CRC32).
+const HEADER_V3: &str = "bikecap-params v3";
+
+/// Lookup table for the IEEE 802.3 CRC32 polynomial (reflected 0xedb88320).
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) over a sequence of byte chunks, as if concatenated.
+fn crc32(chunks: &[&[u8]]) -> u32 {
+    let mut c = !0u32;
+    for chunk in chunks {
+        for &b in *chunk {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
 
 /// Versioned description of the model a checkpoint was saved from.
 ///
@@ -151,6 +200,23 @@ pub enum LoadParamsError {
         /// What the checkpoint file declares.
         found: CheckpointMeta,
     },
+    /// The file ends before the parameter-block byte count its header
+    /// declares — the classic signature of a crash mid-write or a partial
+    /// copy.
+    Truncated {
+        /// Parameter-block bytes the `body` line declares.
+        expected: u64,
+        /// Parameter-block bytes actually present.
+        found: u64,
+    },
+    /// The CRC32 stored in the header disagrees with the CRC32 computed over
+    /// the file content — the file was corrupted after it was written.
+    ChecksumMismatch {
+        /// CRC32 declared in the `body` line.
+        stored: u32,
+        /// CRC32 computed over the file content.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for LoadParamsError {
@@ -164,6 +230,14 @@ impl fmt::Display for LoadParamsError {
             LoadParamsError::ConfigMismatch { expected, found } => write!(
                 f,
                 "checkpoint config mismatch: expected [{expected}], checkpoint declares [{found}]"
+            ),
+            LoadParamsError::Truncated { expected, found } => write!(
+                f,
+                "checkpoint truncated: header declares {expected} parameter bytes, file has {found}"
+            ),
+            LoadParamsError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: header declares crc32={stored:08x}, content hashes to {computed:08x}"
             ),
         }
     }
@@ -215,60 +289,291 @@ fn write_params(
     meta: Option<&CheckpointMeta>,
     path: impl AsRef<Path>,
 ) -> io::Result<()> {
-    let mut out = io::BufWriter::new(fs::File::create(path)?);
-    match meta {
-        Some(meta) => {
-            writeln!(out, "{HEADER_V2}")?;
-            writeln!(out, "meta {meta}")?;
-        }
-        None => writeln!(out, "{HEADER_V1}")?,
+    let pairs: Vec<(&str, &Tensor)> =
+        store.iter().map(|(_, name, value)| (name, value)).collect();
+    atomic_write(path.as_ref(), &render_checkpoint(&pairs, meta))
+}
+
+/// Writes arbitrary named tensors (e.g. optimizer state) as a v3 checkpoint,
+/// atomically. Loaded back with [`read_params`].
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_raw_params(pairs: &[(String, Tensor)], path: impl AsRef<Path>) -> io::Result<()> {
+    let view: Vec<(&str, &Tensor)> = pairs.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    atomic_write(path.as_ref(), &render_checkpoint(&view, None))
+}
+
+/// Renders the full v3 checkpoint byte image: header (+ optional meta),
+/// `body` integrity line, parameter block. The CRC32 covers every byte
+/// except the body line itself, so no single-bit flip anywhere in the file
+/// can go unnoticed.
+fn render_checkpoint(pairs: &[(&str, &Tensor)], meta: Option<&CheckpointMeta>) -> Vec<u8> {
+    use fmt::Write as _;
+    let mut preamble = format!("{HEADER_V3}\n");
+    if let Some(meta) = meta {
+        let _ = writeln!(preamble, "meta {meta}");
     }
-    for (_, name, value) in store.iter() {
+    let mut body = String::new();
+    for (name, value) in pairs {
         let dims: Vec<String> = value.shape().iter().map(|d| d.to_string()).collect();
-        write!(out, "{name} {}", if dims.is_empty() { "scalar".to_string() } else { dims.join("x") })?;
+        let _ = write!(
+            body,
+            "{name} {}",
+            if dims.is_empty() { "scalar".to_string() } else { dims.join("x") }
+        );
         for v in value.as_slice() {
-            write!(out, " {v:?}")?;
+            let _ = write!(body, " {v:?}");
         }
-        writeln!(out)?;
+        let _ = writeln!(body);
     }
-    out.flush()
+    let crc = crc32(&[preamble.as_bytes(), body.as_bytes()]);
+    let mut out = preamble.into_bytes();
+    out.extend_from_slice(format!("body bytes={} crc32={crc:08x}\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// The sibling temp path a checkpoint write stages into before renaming.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Crash-atomically replaces `path` with `bytes`: write to a `.tmp`
+/// sibling, fsync, rename over the destination, then best-effort fsync the
+/// directory. A kill at any instant leaves either the previous file intact
+/// or the complete new one — plus at worst an orphaned `.tmp` that
+/// [`clean_stale_tmp`] sweeps on the next startup.
+///
+/// Carries the `io.checkpoint.write` failpoint: when it fires, half the
+/// payload is written to the temp file and the injected error is returned,
+/// emulating a crash mid-write (the destination is untouched).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; the temp file is removed on real
+/// failures.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let mut out = fs::File::create(&tmp)?;
+    if let Some(fault) = bikecap_faults::hit("io.checkpoint.write") {
+        // Simulated crash: leave a torn temp file behind, exactly like a
+        // real kill -9 would, and surface the injected error.
+        let _ = out.write_all(&bytes[..bytes.len() / 2]);
+        let _ = out.sync_all();
+        return Err(fault.into_io());
+    }
+    let result = out
+        .write_all(bytes)
+        .and_then(|()| out.sync_all())
+        .and_then(|()| fs::rename(&tmp, path));
+    match result {
+        Ok(()) => {
+            // Persist the rename itself. Failure here is not fatal: the
+            // data is durable, only the directory entry might replay.
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Removes orphaned checkpoint temp files (`*.tmp`) left in `dir` by a
+/// crashed writer. Returns the paths removed. Call at process startup
+/// before reading or writing checkpoints in `dir`.
+///
+/// # Errors
+///
+/// Returns an error only if `dir` cannot be listed; unremovable entries are
+/// skipped.
+pub fn clean_stale_tmp(dir: impl AsRef<Path>) -> io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let is_tmp = path
+            .extension()
+            .is_some_and(|e| e == "tmp")
+            && entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+        if is_tmp && fs::remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    Ok(removed)
 }
 
 /// Reads the [`CheckpointMeta`] of the checkpoint at `path` without touching
 /// any parameter data. Returns `None` for v1 files, which carry no metadata.
+/// For v3 files the content CRC is verified first, so corruption is caught
+/// here rather than at load time.
 ///
 /// # Errors
 ///
-/// Returns [`LoadParamsError`] on I/O failure or a malformed header.
+/// Returns [`LoadParamsError`] on I/O failure, a malformed header, or a
+/// failed integrity check.
 pub fn read_meta(path: impl AsRef<Path>) -> Result<Option<CheckpointMeta>, LoadParamsError> {
-    let content = fs::read_to_string(path)?;
-    parse_meta(&content).map(|(meta, _)| meta)
+    let data = fs::read(path)?;
+    open_checkpoint(&data).map(|opened| opened.meta)
 }
 
-/// Parses the header (+ optional meta line), returning the meta and how many
-/// leading lines belong to the preamble.
-fn parse_meta(content: &str) -> Result<(Option<CheckpointMeta>, usize), LoadParamsError> {
-    let mut lines = content.lines();
-    match lines.next() {
-        Some(l) if l.trim() == HEADER_V1 => Ok((None, 1)),
-        Some(l) if l.trim() == HEADER_V2 => match lines.next() {
-            Some(meta_line) if meta_line.trim_start().starts_with("meta ") => {
-                Ok((Some(CheckpointMeta::parse(meta_line.trim(), 2)?), 2))
-            }
-            _ => Err(LoadParamsError::Parse {
-                line: 2,
-                message: "v2 checkpoint missing 'meta' line".to_string(),
-            }),
-        },
-        Some(l) => Err(LoadParamsError::Parse {
-            line: 1,
-            message: format!("expected header '{HEADER_V1}' or '{HEADER_V2}', found '{l}'"),
-        }),
-        None => Err(LoadParamsError::Parse {
+/// A checkpoint whose preamble has been parsed and (for v3) whose integrity
+/// has been verified; `body` is the raw parameter block.
+struct OpenedCheckpoint<'a> {
+    meta: Option<CheckpointMeta>,
+    body: &'a str,
+    /// File lines preceding the parameter block (header, meta, body lines),
+    /// so parse errors report absolute line numbers.
+    preamble_lines: usize,
+}
+
+fn line_str(bytes: &[u8], line: usize) -> Result<&str, LoadParamsError> {
+    std::str::from_utf8(bytes).map_err(|_| LoadParamsError::Parse {
+        line,
+        message: "line is not valid UTF-8".to_string(),
+    })
+}
+
+/// Returns `(end_of_line, start_of_next_line)` byte offsets from `start`.
+fn line_end(data: &[u8], start: usize) -> (usize, usize) {
+    match data[start..].iter().position(|&b| b == b'\n') {
+        Some(i) => (start + i, start + i + 1),
+        None => (data.len(), data.len()),
+    }
+}
+
+/// Parses the preamble of any supported version and, for v3, verifies the
+/// declared byte length and CRC32 before exposing the parameter block.
+fn open_checkpoint(data: &[u8]) -> Result<OpenedCheckpoint<'_>, LoadParamsError> {
+    if data.is_empty() {
+        return Err(LoadParamsError::Parse {
             line: 1,
             message: "empty file".to_string(),
+        });
+    }
+    let (header_end, mut pos) = line_end(data, 0);
+    let header = line_str(&data[..header_end], 1)?;
+    match header.trim() {
+        h if h == HEADER_V1 => Ok(OpenedCheckpoint {
+            meta: None,
+            body: line_str(&data[pos..], 2)?,
+            preamble_lines: 1,
+        }),
+        h if h == HEADER_V2 => {
+            let (meta_end, next) = line_end(data, pos);
+            let meta_line = line_str(&data[pos..meta_end], 2)?;
+            if pos >= data.len() || !meta_line.trim_start().starts_with("meta ") {
+                return Err(LoadParamsError::Parse {
+                    line: 2,
+                    message: "v2 checkpoint missing 'meta' line".to_string(),
+                });
+            }
+            Ok(OpenedCheckpoint {
+                meta: Some(CheckpointMeta::parse(meta_line.trim(), 2)?),
+                body: line_str(&data[next..], 3)?,
+                preamble_lines: 2,
+            })
+        }
+        h if h == HEADER_V3 => {
+            let mut line_no = 2;
+            let (mut eol, mut next) = line_end(data, pos);
+            let mut meta = None;
+            if line_str(&data[pos..eol], line_no)?.trim_start().starts_with("meta ") {
+                meta = Some(CheckpointMeta::parse(
+                    line_str(&data[pos..eol], line_no)?.trim(),
+                    line_no,
+                )?);
+                pos = next;
+                line_no += 1;
+                (eol, next) = line_end(data, pos);
+            }
+            // `pos` now marks the end of the CRC-covered preamble and the
+            // start of the body line.
+            let body_line = line_str(&data[pos..eol], line_no)?;
+            let (expected_bytes, stored_crc) = parse_body_line(body_line, line_no)?;
+            let payload = &data[next..];
+            if (payload.len() as u64) < expected_bytes {
+                return Err(LoadParamsError::Truncated {
+                    expected: expected_bytes,
+                    found: payload.len() as u64,
+                });
+            }
+            if (payload.len() as u64) > expected_bytes {
+                return Err(LoadParamsError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "trailing data: body declares {expected_bytes} bytes, file has {}",
+                        payload.len()
+                    ),
+                });
+            }
+            let computed = crc32(&[&data[..pos], payload]);
+            if computed != stored_crc {
+                return Err(LoadParamsError::ChecksumMismatch {
+                    stored: stored_crc,
+                    computed,
+                });
+            }
+            Ok(OpenedCheckpoint {
+                meta,
+                body: line_str(payload, line_no + 1)?,
+                preamble_lines: line_no,
+            })
+        }
+        other => Err(LoadParamsError::Parse {
+            line: 1,
+            message: format!(
+                "expected header '{HEADER_V1}', '{HEADER_V2}' or '{HEADER_V3}', found '{other}'"
+            ),
         }),
     }
+}
+
+/// Parses `body bytes=N crc32=HEX` into `(N, crc)`.
+fn parse_body_line(line: &str, line_no: usize) -> Result<(u64, u32), LoadParamsError> {
+    let bad = |message: String| LoadParamsError::Parse { line: line_no, message };
+    let trimmed = line.trim();
+    if trimmed != "body" && !trimmed.starts_with("body ") {
+        return Err(bad("v3 checkpoint missing 'body' line".to_string()));
+    }
+    let mut bytes = None;
+    let mut crc = None;
+    for field in trimmed.split_whitespace().skip(1) {
+        let (key, value) = field
+            .split_once('=')
+            .ok_or_else(|| bad(format!("body field '{field}' is not key=value")))?;
+        match key {
+            "bytes" => {
+                bytes = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| bad(format!("invalid body byte count '{value}'")))?,
+                )
+            }
+            "crc32" => {
+                crc = Some(
+                    u32::from_str_radix(value, 16)
+                        .map_err(|_| bad(format!("invalid body crc32 '{value}'")))?,
+                )
+            }
+            // Unknown keys are ignored so future versions can extend the
+            // body line without breaking old readers.
+            _ => {}
+        }
+    }
+    Ok((
+        bytes.ok_or_else(|| bad("body line missing bytes".to_string()))?,
+        crc.ok_or_else(|| bad("body line missing crc32".to_string()))?,
+    ))
 }
 
 /// Loads parameters from `path` into `store`, matching by name. Accepts both
@@ -309,9 +614,9 @@ fn load_params_impl(
     path: impl AsRef<Path>,
     expected: Option<&CheckpointMeta>,
 ) -> Result<(), LoadParamsError> {
-    let content = fs::read_to_string(path)?;
-    let (meta, preamble) = parse_meta(&content)?;
-    if let (Some(expected), Some(found)) = (expected, meta) {
+    let data = fs::read(path)?;
+    let opened = open_checkpoint(&data)?;
+    if let (Some(expected), Some(found)) = (expected, opened.meta) {
         if *expected != found {
             return Err(LoadParamsError::ConfigMismatch {
                 expected: *expected,
@@ -319,8 +624,54 @@ fn load_params_impl(
             });
         }
     }
-    for (idx, line) in content.lines().enumerate().skip(preamble) {
-        let line_no = idx + 1;
+    for (name, value) in parse_params(opened.body, opened.preamble_lines)? {
+        let id = store
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .map(|(id, _, _)| id)
+            .ok_or_else(|| {
+                LoadParamsError::Mismatch(format!("store has no parameter named '{name}'"))
+            })?;
+        if store.value(id).shape() != value.shape() {
+            return Err(LoadParamsError::Mismatch(format!(
+                "parameter '{name}': file shape {:?} vs store shape {:?}",
+                value.shape(),
+                store.value(id).shape()
+            )));
+        }
+        store.set_value(id, value);
+    }
+    Ok(())
+}
+
+/// Everything a checkpoint holds: the optional config header and the named
+/// tensors in file order.
+pub type RawCheckpoint = (Option<CheckpointMeta>, Vec<(String, Tensor)>);
+
+/// Reads every named tensor in the checkpoint at `path`, without needing a
+/// pre-populated [`ParamStore`] — used for optimizer-state files whose
+/// entries (slot names, step scalars) are not model parameters.
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure, malformed input, or a failed
+/// integrity check.
+pub fn read_params(path: impl AsRef<Path>) -> Result<RawCheckpoint, LoadParamsError> {
+    let data = fs::read(path)?;
+    let opened = open_checkpoint(&data)?;
+    let params = parse_params(opened.body, opened.preamble_lines)?;
+    Ok((opened.meta, params))
+}
+
+/// Parses the parameter block. `preamble_lines` is how many file lines
+/// precede it, so errors report absolute line numbers.
+fn parse_params(
+    body: &str,
+    preamble_lines: usize,
+) -> Result<Vec<(String, Tensor)>, LoadParamsError> {
+    let mut out = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let line_no = preamble_lines + idx + 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -364,23 +715,9 @@ fn load_params_impl(
                 ),
             });
         }
-        let id = store
-            .iter()
-            .find(|(_, n, _)| *n == name)
-            .map(|(id, _, _)| id)
-            .ok_or_else(|| {
-                LoadParamsError::Mismatch(format!("store has no parameter named '{name}'"))
-            })?;
-        if store.value(id).shape() != shape.as_slice() {
-            return Err(LoadParamsError::Mismatch(format!(
-                "parameter '{name}': file shape {:?} vs store shape {:?}",
-                shape,
-                store.value(id).shape()
-            )));
-        }
-        store.set_value(id, Tensor::from_vec(values, &shape));
+        out.push((name.to_string(), Tensor::from_vec(values, &shape)));
     }
-    Ok(())
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -591,5 +928,161 @@ mod tests {
         };
         let text = err.to_string();
         assert!(text.contains("line 7") && text.contains("boom"));
+        let err = LoadParamsError::Truncated { expected: 100, found: 64 };
+        let text = err.to_string();
+        assert!(text.contains("100") && text.contains("64"), "{text}");
+        let err = LoadParamsError::ChecksumMismatch { stored: 0xdead, computed: 0xbeef };
+        let text = err.to_string();
+        assert!(text.contains("0000dead") && text.contains("0000beef"), "{text}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xcbf4_3926);
+        // Chunked input hashes identically to concatenated input.
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xcbf4_3926);
+    }
+
+    fn sample_file(name: &str) -> std::path::PathBuf {
+        let mut store = ParamStore::new();
+        store.add("layer.weight", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        store.add("layer.bias", Tensor::from_vec(vec![-0.5, 0.5], &[2]));
+        let path = tmp(name);
+        save_params_with_meta(&store, &sample_meta(), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn v3_truncation_yields_truncated_error() {
+        let path = sample_file("trunc");
+        let full = fs::read(&path).unwrap();
+        // Cut inside the parameter block: must be Truncated, never a load.
+        let cut = full.len() - 10;
+        fs::write(&path, &full[..cut]).unwrap();
+        let err = read_meta(&path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Truncated { .. }), "{err}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_truncation_at_every_64_byte_boundary_yields_typed_error() {
+        let path = sample_file("trunc-sweep");
+        let full = fs::read(&path).unwrap();
+        let mut store = ParamStore::new();
+        store.add("layer.weight", Tensor::zeros(&[2, 2]));
+        store.add("layer.bias", Tensor::zeros(&[2]));
+        // Cut the file at every 64-byte boundary (and the final partial
+        // block): a torn write of any length must surface a typed error,
+        // never a panic and never a silent partial load.
+        for cut in (0..full.len()).step_by(64).chain([full.len() - 1]) {
+            fs::write(&path, &full[..cut]).unwrap();
+            let err = load_params(&mut store, &path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    LoadParamsError::Truncated { .. }
+                        | LoadParamsError::Parse { .. }
+                        | LoadParamsError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_yields_typed_error_not_panic() {
+        let path = tmp("empty");
+        fs::write(&path, b"").unwrap();
+        let err = read_meta(&path).unwrap_err();
+        assert!(
+            matches!(err, LoadParamsError::Truncated { .. } | LoadParamsError::Parse { .. }),
+            "{err}"
+        );
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::zeros(&[1]));
+        assert!(load_params(&mut store, &path).is_err());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_bit_flip_anywhere_yields_typed_error() {
+        let path = sample_file("bitflip");
+        let full = fs::read(&path).unwrap();
+        for byte in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[byte] ^= 0x01;
+            fs::write(&path, &corrupt).unwrap();
+            let mut store = ParamStore::new();
+            store.add("layer.weight", Tensor::zeros(&[2, 2]));
+            store.add("layer.bias", Tensor::zeros(&[2]));
+            // Every flip must surface a typed error — a flip can never
+            // produce a silent, successful load of different content.
+            let err = load_params(&mut store, &path);
+            assert!(err.is_err(), "flip at byte {byte} loaded silently");
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v3_trailing_garbage_is_rejected() {
+        let path = sample_file("trailing");
+        let mut full = fs::read(&path).unwrap();
+        full.extend_from_slice(b"extra 2 9.0 9.0\n");
+        fs::write(&path, &full).unwrap();
+        let err = read_meta(&path).unwrap_err();
+        assert!(matches!(err, LoadParamsError::Parse { .. }), "{err}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn writes_are_atomic_and_leave_no_tmp() {
+        let path = tmp("atomic");
+        let dir = path.parent().unwrap();
+        let mut store = ParamStore::new();
+        store.add("w", Tensor::from_vec(vec![1.0], &[1]));
+        save_params(&store, &path).unwrap();
+        let stale: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                let n = e.file_name().to_string_lossy().to_string();
+                n.starts_with("bikecap-serialize-atomic") && n.ends_with(".tmp")
+            })
+            .collect();
+        assert!(stale.is_empty(), "temp file left behind: {stale:?}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn clean_stale_tmp_removes_only_tmp_files() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("bikecap-stale-tmp-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("model.ckpt"), b"keep").unwrap();
+        fs::write(dir.join(format!("model.ckpt.{}.tmp", std::process::id())), b"stale").unwrap();
+        let removed = clean_stale_tmp(&dir).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(dir.join("model.ckpt").exists());
+        assert!(!removed[0].exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn raw_params_roundtrip_dynamically() {
+        let pairs = vec![
+            ("adam.t".to_string(), Tensor::scalar(17.0)),
+            ("adam.m.w".to_string(), Tensor::from_vec(vec![0.25, -0.75], &[2])),
+        ];
+        let path = tmp("raw");
+        save_raw_params(&pairs, &path).unwrap();
+        let (meta, loaded) = read_params(&path).unwrap();
+        assert_eq!(meta, None);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].0, "adam.t");
+        assert_eq!(loaded[0].1.item(), 17.0);
+        assert_eq!(loaded[1].1.as_slice(), &[0.25, -0.75]);
+        fs::remove_file(path).ok();
     }
 }

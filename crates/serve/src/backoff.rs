@@ -1,0 +1,53 @@
+//! Deterministic retry backoff: exponential growth with seeded jitter.
+//!
+//! The jitter is a pure function of `(salt, attempt)` (SplitMix64), so a
+//! chaos run with a fixed fault seed replays the exact same sleep
+//! schedule — no wall-clock or thread-local randomness sneaks into the
+//! timeline. Growth is capped at 2^6 · base to keep the worst single
+//! sleep bounded.
+
+use std::time::Duration;
+
+/// Largest exponent applied to the base delay.
+const MAX_SHIFT: u32 = 6;
+
+/// SplitMix64 finalizer — decorrelates consecutive salts.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Delay before retry number `attempt` (0-based): `base << attempt`
+/// (capped) plus up to 50% deterministic jitter derived from `salt`.
+pub(crate) fn jittered(base: Duration, attempt: u32, salt: u64) -> Duration {
+    let grown = base.saturating_mul(1u32 << attempt.min(MAX_SHIFT));
+    let span = (grown.as_nanos() / 2).max(1) as u64;
+    let jitter = mix(salt ^ u64::from(attempt).wrapping_mul(0x5851_f42d_4c95_7f2d)) % span;
+    grown.saturating_add(Duration::from_nanos(jitter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_and_caps() {
+        let base = Duration::from_millis(2);
+        let d0 = jittered(base, 0, 7);
+        let d3 = jittered(base, 3, 7);
+        assert!(d0 >= base && d0 < base * 2, "{d0:?}");
+        assert!(d3 >= base * 8 && d3 < base * 16, "{d3:?}");
+        // Attempts beyond the cap stop growing.
+        let capped = jittered(base, 40, 7);
+        assert!(capped < base * (1 << (MAX_SHIFT + 1)), "{capped:?}");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_salt() {
+        let base = Duration::from_millis(5);
+        assert_eq!(jittered(base, 2, 11), jittered(base, 2, 11));
+        assert_ne!(jittered(base, 2, 11), jittered(base, 2, 12));
+    }
+}

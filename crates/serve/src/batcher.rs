@@ -57,6 +57,11 @@ pub struct PredictJob {
     pub input: Tensor,
     /// When the job entered the queue (for latency accounting).
     pub enqueued: Instant,
+    /// When the client stops waiting. Workers drop jobs that expire in the
+    /// queue instead of spending a forward pass on an abandoned request
+    /// (dropping the responder makes the HTTP side answer `504`), and use
+    /// the batch's latest deadline to bound fault-retry loops.
+    pub deadline: Instant,
     /// Where the worker sends the result.
     pub respond: mpsc::Sender<JobResult>,
 }
@@ -118,15 +123,28 @@ impl Batcher {
     /// [`SubmitError::QueueFull`] when the queue is at capacity,
     /// [`SubmitError::ShuttingDown`] once [`Batcher::shutdown`] has begun.
     pub fn submit(&self, job: PredictJob) -> Result<(), SubmitError> {
+        self.submit_or_return(job).map_err(|(e, _)| e)
+    }
+
+    /// Like [`Batcher::submit`], but hands a rejected job back so the
+    /// caller can retry with backoff without rebuilding (or cloning) the
+    /// input tensor.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`Batcher::submit`], paired with the job.
+    pub fn submit_or_return(&self, job: PredictJob) -> Result<(), (SubmitError, PredictJob)> {
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
-        let tx = guard.as_ref().ok_or(SubmitError::ShuttingDown)?;
+        let Some(tx) = guard.as_ref() else {
+            return Err((SubmitError::ShuttingDown, job));
+        };
         match tx.try_send(job) {
             Ok(()) => {
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
-            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
-            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+            Err(TrySendError::Full(job)) => Err((SubmitError::QueueFull, job)),
+            Err(TrySendError::Disconnected(job)) => Err((SubmitError::ShuttingDown, job)),
         }
     }
 
@@ -197,12 +215,27 @@ fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: 
     }
 }
 
-/// Runs one collected batch: groups jobs by model slot (requests for
-/// different models can interleave on the queue), executes one forward pass
-/// per group, and answers every job.
+/// Runs one collected batch: sheds jobs whose deadline already passed,
+/// groups the rest by model slot (requests for different models can
+/// interleave on the queue), executes one forward pass per group, and
+/// answers every surviving job. Transient worker faults (the
+/// `serve.worker.predict` failpoint) are retried with deterministic
+/// jittered backoff for as long as any job in the group still has
+/// deadline budget; a group that runs out of budget is dropped, which the
+/// waiting HTTP threads observe as a disconnected responder and answer
+/// with `504`.
 fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
+    let now = Instant::now();
+    let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|j| j.deadline > now);
+    if !expired.is_empty() {
+        metrics
+            .deadline_expired_total
+            .fetch_add(expired.len() as u64, Ordering::Relaxed);
+        // Dropping `expired` here drops the responders: the HTTP side's
+        // recv_timeout fails fast instead of waiting out its full timer.
+    }
     let mut groups: Vec<(Arc<ModelEntry>, Vec<PredictJob>)> = Vec::new();
-    for job in batch {
+    for job in live {
         match groups
             .iter_mut()
             .find(|(entry, _)| Arc::ptr_eq(entry, &job.entry))
@@ -216,14 +249,46 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
     }
     for (entry, jobs) in groups {
         let size = jobs.len();
-        metrics.record_batch(size);
         let model = entry.current();
         let inputs: Vec<Tensor> = jobs.iter().map(|j| j.input.clone()).collect();
-        let outputs = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.predict_batch(&inputs)
-        }));
-        match outputs {
-            Ok(outputs) => {
+        // The group's budget is its most patient request: retrying up to
+        // that point can still answer at least one job in time.
+        let budget = jobs
+            .iter()
+            .map(|j| j.deadline)
+            .max()
+            .unwrap_or_else(Instant::now);
+        enum Outcome {
+            Done(Vec<Tensor>),
+            Panicked,
+            Expired,
+        }
+        let mut attempt = 0u32;
+        let outcome = loop {
+            if let Some(fault) = bikecap_faults::hit("serve.worker.predict") {
+                metrics.worker_faults_total.fetch_add(1, Ordering::Relaxed);
+                let pause = crate::backoff::jittered(
+                    Duration::from_millis(2),
+                    attempt,
+                    fault.hit ^ ((size as u64) << 32),
+                );
+                if Instant::now() + pause >= budget {
+                    break Outcome::Expired;
+                }
+                thread::sleep(pause);
+                attempt += 1;
+                continue;
+            }
+            break match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                model.predict_batch(&inputs)
+            })) {
+                Ok(outputs) => Outcome::Done(outputs),
+                Err(_) => Outcome::Panicked,
+            };
+        };
+        match outcome {
+            Outcome::Done(outputs) => {
+                metrics.record_batch(size);
                 for (job, output) in jobs.into_iter().zip(outputs) {
                     let _ = job.respond.send(JobResult {
                         output: Ok(output),
@@ -231,7 +296,16 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
                     });
                 }
             }
-            Err(_) => {
+            // Budget exhausted mid-retry: drop the group, the waiting HTTP
+            // threads observe the hang-up and answer 504.
+            Outcome::Expired => {
+                metrics
+                    .deadline_expired_total
+                    .fetch_add(size as u64, Ordering::Relaxed);
+            }
+            // A model panic answers explicitly so the client gets a 500
+            // with a reason instead of waiting out its deadline.
+            Outcome::Panicked => {
                 for job in jobs {
                     let _ = job.respond.send(JobResult {
                         output: Err("model panicked during prediction".to_string()),
@@ -270,6 +344,7 @@ mod tests {
                 entry: Arc::clone(entry),
                 input,
                 enqueued: Instant::now(),
+                deadline: Instant::now() + Duration::from_secs(60),
                 respond: tx,
             },
             rx,

@@ -29,17 +29,48 @@ pub struct Request {
 pub struct HttpError {
     /// Status code to answer with.
     pub status: u16,
+    /// Stable machine-readable error code, sent as `"code"` in the JSON
+    /// error body so clients can branch without parsing prose.
+    pub code: &'static str,
     /// Human-readable cause, sent in the JSON error body.
     pub message: String,
 }
 
 impl HttpError {
-    /// Shorthand constructor.
+    /// Shorthand constructor; the error code defaults to a generic one
+    /// derived from the status (see [`HttpError::with_code`] for a
+    /// specific code).
     pub fn new(status: u16, message: impl Into<String>) -> Self {
         HttpError {
             status,
+            code: default_code(status),
             message: message.into(),
         }
+    }
+
+    /// Constructor with an explicit machine-readable code.
+    pub fn with_code(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// The fallback `"code"` value for a status without a more specific one.
+fn default_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "request_timeout",
+        409 => "conflict",
+        413 => "payload_too_large",
+        500 => "internal",
+        503 => "unavailable",
+        504 => "deadline_exceeded",
+        _ => "error",
     }
 }
 

@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+mod backoff;
 pub mod batcher;
 pub mod http;
 pub mod json;

@@ -1,7 +1,7 @@
 //! Lock-light serving metrics: counters, a batch-size histogram, queue
 //! depth, and request latency quantiles over a fixed ring buffer.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -34,6 +34,18 @@ pub struct Metrics {
     pub batches_total: AtomicU64,
     /// Model hot-swaps performed since startup.
     pub swaps_total: AtomicU64,
+    /// Transient worker-side prediction faults that were retried (injected
+    /// or real); each increment is one failed attempt, not one request.
+    pub worker_faults_total: AtomicU64,
+    /// `POST /predict` submissions re-tried after a full-queue rejection.
+    pub submit_retries_total: AtomicU64,
+    /// Jobs dropped unanswered because their deadline passed before a
+    /// worker could run them (the client got `504` from its own timer).
+    pub deadline_expired_total: AtomicU64,
+    /// Whether the server is in degraded mode: a hot-swap failed or a
+    /// fault schedule is active, and requests are served by the last
+    /// known-good model. Mirrored in `/healthz` and `/metrics`.
+    pub degraded: AtomicBool,
     /// Recent end-to-end request latencies, microseconds.
     latencies: Mutex<Ring>,
 }
@@ -63,6 +75,10 @@ impl Metrics {
             batch_hist: Default::default(),
             batches_total: AtomicU64::new(0),
             swaps_total: AtomicU64::new(0),
+            worker_faults_total: AtomicU64::new(0),
+            submit_retries_total: AtomicU64::new(0),
+            deadline_expired_total: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             latencies: Mutex::new(Ring {
                 samples: Vec::with_capacity(LATENCY_RING),
                 next: 0,
@@ -160,6 +176,19 @@ impl Metrics {
                 "swaps_total",
                 Json::Num(self.swaps_total.load(Ordering::Relaxed) as f64),
             ),
+            (
+                "worker_faults_total",
+                Json::Num(self.worker_faults_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "submit_retries_total",
+                Json::Num(self.submit_retries_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "deadline_expired_total",
+                Json::Num(self.deadline_expired_total.load(Ordering::Relaxed) as f64),
+            ),
+            ("degraded", Json::Bool(self.degraded.load(Ordering::Relaxed))),
             ("latency_p50_us", lat(0.50)),
             ("latency_p99_us", lat(0.99)),
         ])

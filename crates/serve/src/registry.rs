@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use bikecap_core::{BikeCap, BikeCapConfig, ShapeError};
@@ -27,6 +27,10 @@ pub enum RegistryError {
     /// The requested configuration fails the static shape-contract check, so
     /// no model was built (and nothing was registered or swapped).
     InvalidConfig(ShapeError),
+    /// The swap itself failed after a successful load (today only via the
+    /// `serve.reload.swap` failpoint); the slot keeps serving its last
+    /// known-good model and is marked degraded.
+    SwapFailed(String),
 }
 
 impl fmt::Display for RegistryError {
@@ -35,6 +39,7 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
             RegistryError::Load(e) => write!(f, "checkpoint load failed: {e}"),
             RegistryError::InvalidConfig(e) => write!(f, "invalid model configuration: {e}"),
+            RegistryError::SwapFailed(msg) => write!(f, "hot-swap failed: {msg}"),
         }
     }
 }
@@ -69,6 +74,7 @@ pub struct ModelEntry {
     model: RwLock<Arc<BikeCap>>,
     checkpoint: RwLock<Option<PathBuf>>,
     swaps: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl ModelEntry {
@@ -96,6 +102,12 @@ impl ModelEntry {
         self.swaps.load(Ordering::Relaxed)
     }
 
+    /// Whether this slot is degraded: its most recent reload failed, so it
+    /// is pinned to the last known-good network until a reload succeeds.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     /// A reference to the current network. In-flight work holds its own
     /// `Arc`, so a concurrent hot-swap never invalidates it.
     pub fn current(&self) -> Arc<BikeCap> {
@@ -120,19 +132,30 @@ impl ModelEntry {
     }
 
     /// Loads `path` into a fresh network and hot-swaps it in. The running
-    /// model is untouched if the load fails.
+    /// model is untouched if the load fails; a failed reload additionally
+    /// marks the slot degraded (cleared again by the next success), so
+    /// `/healthz` surfaces that the slot is pinned to a stale network.
     ///
     /// # Errors
     ///
     /// Returns [`RegistryError::Load`] when the checkpoint cannot be read or
-    /// disagrees with this slot's configuration.
+    /// disagrees with this slot's configuration, and
+    /// [`RegistryError::SwapFailed`] when the `serve.reload.swap` failpoint
+    /// fires after a successful load.
     pub fn reload(&self, path: impl AsRef<Path>) -> Result<(), RegistryError> {
-        let mut fresh = BikeCap::build_seeded(self.config.clone(), 0)?;
-        fresh.load_checkpoint(path.as_ref())?;
-        self.hot_swap(fresh);
-        *self.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
-            Some(path.as_ref().to_path_buf());
-        Ok(())
+        let outcome = (|| {
+            let mut fresh = BikeCap::build_seeded(self.config.clone(), 0)?;
+            fresh.load_checkpoint(path.as_ref())?;
+            if let Some(fault) = bikecap_faults::hit("serve.reload.swap") {
+                return Err(RegistryError::SwapFailed(fault.to_string()));
+            }
+            self.hot_swap(fresh);
+            *self.checkpoint.write().unwrap_or_else(|e| e.into_inner()) =
+                Some(path.as_ref().to_path_buf());
+            Ok(())
+        })();
+        self.degraded.store(outcome.is_err(), Ordering::Relaxed);
+        outcome
     }
 }
 
@@ -162,6 +185,7 @@ impl ModelRegistry {
             model: RwLock::new(Arc::new(model)),
             checkpoint: RwLock::new(None),
             swaps: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         });
         self.entries
             .write()
@@ -207,6 +231,16 @@ impl ModelRegistry {
             .get(name)
             .cloned()
             .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))
+    }
+
+    /// Whether any registered slot is degraded (pinned to a stale network
+    /// after a failed reload).
+    pub fn any_degraded(&self) -> bool {
+        self.entries
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .any(|entry| entry.is_degraded())
     }
 
     /// All registered model names, sorted.

@@ -45,6 +45,17 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
+    /// Extra bind attempts when the address is already in use (covers the
+    /// `TIME_WAIT` window after a restart); `0` fails immediately.
+    pub bind_retries: u32,
+    /// Base delay between bind attempts (grows exponentially with jitter).
+    pub bind_backoff: Duration,
+    /// Extra submit attempts when the batching queue rejects a request
+    /// before answering `503`; `0` sheds load on the first rejection.
+    pub submit_retries: u32,
+    /// Base delay between submit attempts (grows exponentially with
+    /// jitter, never past the request deadline).
+    pub submit_backoff: Duration,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +66,10 @@ impl Default for ServeConfig {
             request_timeout: Duration::from_secs(30),
             io_timeout: Duration::from_secs(10),
             max_body_bytes: 16 * 1024 * 1024,
+            bind_retries: 3,
+            bind_backoff: Duration::from_millis(200),
+            submit_retries: 2,
+            submit_backoff: Duration::from_millis(2),
         }
     }
 }
@@ -77,15 +92,19 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and starts the acceptor and batch workers.
+    /// Binds `config.addr` and starts the acceptor and batch workers. An
+    /// address already in use (the `TIME_WAIT` window after a restart, or a
+    /// predecessor still draining) is retried `config.bind_retries` times
+    /// with jittered exponential backoff before giving up.
     ///
     /// # Errors
     ///
-    /// Returns the bind error if the address is unavailable.
+    /// Returns the bind error if the address is unavailable after all
+    /// retries (non-`AddrInUse` bind errors fail immediately).
     pub fn start(config: ServeConfig, registry: Arc<ModelRegistry>) -> io::Result<Server> {
         let metrics = Arc::new(Metrics::new());
         let batcher = Batcher::start(config.batch.clone(), Arc::clone(&metrics));
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = bind_with_retry(&config)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept lets the acceptor poll the stop flag instead of
         // parking in `accept` forever.
@@ -168,6 +187,26 @@ impl Drop for Server {
     }
 }
 
+/// Binds the configured address, retrying `bind_retries` times with
+/// jittered exponential backoff when the error is `AddrInUse`.
+fn bind_with_retry(config: &ServeConfig) -> io::Result<TcpListener> {
+    let mut attempt = 0u32;
+    loop {
+        match TcpListener::bind(&config.addr) {
+            Ok(listener) => return Ok(listener),
+            Err(e) if e.kind() == io::ErrorKind::AddrInUse && attempt < config.bind_retries => {
+                thread::sleep(crate::backoff::jittered(
+                    config.bind_backoff,
+                    attempt,
+                    0xb1de_ca9b,
+                ));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
     while !inner.stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -217,7 +256,11 @@ fn route(inner: &Inner, request: &Request) -> (u16, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => predict(inner, &request.body),
         ("GET", "/healthz") => healthz(inner),
-        ("GET", "/metrics") => (200, inner.metrics.to_json().to_string()),
+        ("GET", "/metrics") => {
+            let degraded = is_degraded(inner);
+            inner.metrics.degraded.store(degraded, Ordering::Relaxed);
+            (200, inner.metrics.to_json().to_string())
+        }
         ("POST", "/admin/reload") => reload(inner, &request.body),
         (_, "/predict" | "/healthz" | "/metrics" | "/admin/reload") => {
             error_response(HttpError::new(405, "method not allowed for this route"))
@@ -229,14 +272,34 @@ fn route(inner: &Inner, request: &Request) -> (u16, String) {
 fn error_response(e: HttpError) -> (u16, String) {
     (
         e.status,
-        Json::obj([("error", Json::Str(e.message))]).to_string(),
+        Json::obj([
+            ("error", Json::Str(e.message)),
+            ("code", Json::Str(e.code.to_string())),
+        ])
+        .to_string(),
     )
 }
 
+/// Whether the server is running in degraded mode: still answering, but a
+/// registry slot is pinned to a stale network after a failed reload, or a
+/// fault schedule is actively armed (chaos testing). `metrics.degraded` is
+/// a mirror of this value, never an input — reading it back would latch
+/// degraded on permanently.
+fn is_degraded(inner: &Inner) -> bool {
+    inner.registry.any_degraded() || bikecap_faults::active()
+}
+
 fn healthz(inner: &Inner) -> (u16, String) {
+    let degraded = is_degraded(inner);
+    // Keep the metrics mirror current even if nobody polls /metrics.
+    inner.metrics.degraded.store(degraded, Ordering::Relaxed);
     let models: Vec<Json> = inner.registry.names().into_iter().map(Json::Str).collect();
     let doc = Json::obj([
-        ("status", Json::Str("ok".to_string())),
+        (
+            "status",
+            Json::Str(if degraded { "degraded" } else { "ok" }.to_string()),
+        ),
+        ("degraded", Json::Bool(degraded)),
         ("models", Json::Arr(models)),
         (
             "queue_depth",
@@ -267,36 +330,68 @@ fn predict(inner: &Inner, body: &[u8]) -> (u16, String) {
 }
 
 fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, HttpError> {
-    let text =
-        std::str::from_utf8(body).map_err(|_| HttpError::new(400, "body is not utf-8"))?;
-    let doc = Json::parse(text).map_err(|e| HttpError::new(400, format!("invalid json: {e}")))?;
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::with_code(400, "bad_encoding", "body is not utf-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| HttpError::with_code(400, "bad_json", format!("invalid json: {e}")))?;
     let entry = inner
         .registry
         .get(doc.get("model").and_then(Json::as_str))
         .map_err(|e| match e {
             RegistryError::UnknownModel(name) => {
-                HttpError::new(404, format!("unknown model '{name}'"))
+                HttpError::with_code(404, "unknown_model", format!("unknown model '{name}'"))
             }
             other => HttpError::new(500, other.to_string()),
         })?;
     let input = parse_input(&doc, entry.config())?;
+    let deadline = started + inner.config.request_timeout;
 
     let (respond, result_rx) = mpsc::channel();
-    inner
-        .batcher
-        .submit(PredictJob {
-            entry: Arc::clone(&entry),
-            input,
-            enqueued: started,
-            respond,
-        })
-        .map_err(|e| match e {
-            SubmitError::QueueFull => HttpError::new(503, "prediction queue full, retry later"),
-            SubmitError::ShuttingDown => HttpError::new(503, "server is shutting down"),
-        })?;
+    let mut job = PredictJob {
+        entry: Arc::clone(&entry),
+        input,
+        enqueued: started,
+        deadline,
+        respond,
+    };
+    // A full queue is often a few-millisecond condition (one batch draining),
+    // so retry with jittered backoff before answering 503 — but never past
+    // the request deadline, and never when the server is shutting down.
+    let mut attempt = 0u32;
+    loop {
+        match inner.batcher.submit_or_return(job) {
+            Ok(()) => break,
+            Err((SubmitError::ShuttingDown, _)) => {
+                return Err(HttpError::with_code(
+                    503,
+                    "shutting_down",
+                    "server is shutting down",
+                ));
+            }
+            Err((SubmitError::QueueFull, rejected)) => {
+                let pause =
+                    crate::backoff::jittered(inner.config.submit_backoff, attempt, 0x5e7b_cafe);
+                if attempt >= inner.config.submit_retries || Instant::now() + pause >= deadline {
+                    return Err(HttpError::with_code(
+                        503,
+                        "queue_full",
+                        "prediction queue full, retry later",
+                    ));
+                }
+                inner
+                    .metrics
+                    .submit_retries_total
+                    .fetch_add(1, Ordering::Relaxed);
+                thread::sleep(pause);
+                attempt += 1;
+                job = rejected;
+            }
+        }
+    }
+    let wait = deadline.saturating_duration_since(Instant::now());
     let result = result_rx
-        .recv_timeout(inner.config.request_timeout)
-        .map_err(|_| HttpError::new(504, "prediction timed out"))?;
+        .recv_timeout(wait)
+        .map_err(|_| HttpError::with_code(504, "deadline_exceeded", "prediction timed out"))?;
     let output = result.output.map_err(|msg| HttpError::new(500, msg))?;
 
     Ok(Json::obj([
@@ -316,15 +411,19 @@ fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, Ht
 fn parse_input(doc: &Json, config: &BikeCapConfig) -> Result<Tensor, HttpError> {
     let input = doc
         .get("input")
-        .ok_or_else(|| HttpError::new(400, "missing 'input'"))?;
+        .ok_or_else(|| HttpError::with_code(400, "missing_input", "missing 'input'"))?;
     let shape: Vec<usize> = input
         .get("shape")
         .and_then(Json::as_arr)
-        .ok_or_else(|| HttpError::new(400, "'input.shape' must be an array of integers"))?
+        .ok_or_else(|| {
+            HttpError::with_code(400, "bad_shape", "'input.shape' must be an array of integers")
+        })?
         .iter()
         .map(Json::as_usize)
         .collect::<Option<_>>()
-        .ok_or_else(|| HttpError::new(400, "'input.shape' must be non-negative integers"))?;
+        .ok_or_else(|| {
+            HttpError::with_code(400, "bad_shape", "'input.shape' must be non-negative integers")
+        })?;
     // The forward pass takes the full 4-feature layout and drops the subway
     // channels itself when the variant ignores them, so both the canonical
     // F=4 and the variant's own feature count are accepted.
@@ -334,8 +433,9 @@ fn parse_input(doc: &Json, config: &BikeCapConfig) -> Result<Tensor, HttpError> 
         && shape[2] == config.grid_height
         && shape[3] == config.grid_width;
     if !features_ok || !dims_ok {
-        return Err(HttpError::new(
+        return Err(HttpError::with_code(
             400,
+            "bad_shape",
             format!(
                 "input shape {:?} does not match model window ({}, {}, {}, {})",
                 shape, 4, config.history, config.grid_height, config.grid_width
@@ -345,11 +445,14 @@ fn parse_input(doc: &Json, config: &BikeCapConfig) -> Result<Tensor, HttpError> 
     let data = input
         .get("data")
         .and_then(Json::as_arr)
-        .ok_or_else(|| HttpError::new(400, "'input.data' must be an array of numbers"))?;
+        .ok_or_else(|| {
+            HttpError::with_code(400, "bad_data", "'input.data' must be an array of numbers")
+        })?;
     let expected: usize = shape.iter().product();
     if data.len() != expected {
-        return Err(HttpError::new(
+        return Err(HttpError::with_code(
             400,
+            "bad_shape",
             format!(
                 "'input.data' has {} values, shape {:?} needs {}",
                 data.len(),
@@ -362,9 +465,15 @@ fn parse_input(doc: &Json, config: &BikeCapConfig) -> Result<Tensor, HttpError> 
         .iter()
         .map(|v| v.as_f64().map(|f| f as f32))
         .collect::<Option<_>>()
-        .ok_or_else(|| HttpError::new(400, "'input.data' must contain only numbers"))?;
+        .ok_or_else(|| {
+            HttpError::with_code(400, "bad_data", "'input.data' must contain only numbers")
+        })?;
     if values.iter().any(|v| !v.is_finite()) {
-        return Err(HttpError::new(400, "'input.data' must be finite"));
+        return Err(HttpError::with_code(
+            400,
+            "non_finite_input",
+            "'input.data' must be finite (no NaN or Inf)",
+        ));
     }
     Ok(Tensor::from_vec(values, &shape))
 }

@@ -1,0 +1,262 @@
+//! Serving chaos suite: seeded fault schedules against a live server.
+//!
+//! Requires the `faultline` feature (`cargo test -p bikecap-serve
+//! --features faultline --test chaos`); without it the failpoints are
+//! compiled out and this file is empty. The schedule seed comes from
+//! `BIKECAP_CHAOS_SEED` (default 0).
+//!
+//! Fault plans are process-global, so every test body runs under one lock.
+#![cfg(feature = "faultline")]
+
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_faults::{self as faults, FaultPlan};
+use bikecap_serve::http;
+use bikecap_serve::json::Json;
+use bikecap_serve::registry::{ModelRegistry, DEFAULT_MODEL};
+use bikecap_serve::server::{ServeConfig, Server};
+
+fn chaos_seed() -> u64 {
+    std::env::var("BIKECAP_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    guard
+}
+
+fn arm(spec: &str) {
+    faults::install(FaultPlan::parse(spec, chaos_seed()).expect("valid fault spec"));
+}
+
+fn tiny_config() -> BikeCapConfig {
+    BikeCapConfig::new(4, 4)
+        .history(4)
+        .horizon(2)
+        .pyramid_size(2)
+        .capsule_dim(2)
+        .out_capsule_dim(2)
+        .decoder_channels(2)
+}
+
+fn start_tiny(request_timeout: Duration) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 5));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        request_timeout,
+        ..ServeConfig::default()
+    };
+    Server::start(config, registry).unwrap()
+}
+
+fn predict_body() -> String {
+    let data: Vec<f32> = (0..4 * 4 * 4 * 4).map(|i| (i % 7) as f32 * 0.1).collect();
+    Json::obj([(
+        "input",
+        Json::obj([
+            ("shape", Json::from_usizes(&[4, 4, 4, 4])),
+            ("data", Json::from_f32s(&data)),
+        ]),
+    )])
+    .to_string()
+}
+
+fn get(server: &Server, path: &str) -> (u16, String) {
+    http::client_request(server.local_addr(), "GET", path, None, Duration::from_secs(5)).unwrap()
+}
+
+fn post(server: &Server, path: &str, body: &str) -> (u16, String) {
+    http::client_request(
+        server.local_addr(),
+        "POST",
+        path,
+        Some(body),
+        Duration::from_secs(10),
+    )
+    .unwrap()
+}
+
+/// Under 30% worker-side prediction faults, the server answers every
+/// request with 200 (valid, finite prediction), 503 (backpressure), or 504
+/// (deadline) — never a hang, panic, or malformed body — and `/healthz`
+/// reports degraded while the schedule is armed.
+#[test]
+fn worker_faults_yield_only_valid_statuses() {
+    let _guard = chaos_lock();
+    let server = start_tiny(Duration::from_secs(2));
+    arm("serve.worker.predict=p:0.3");
+
+    let (status, body) = get(&server, "/healthz");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("degraded"));
+    assert_eq!(doc.get("degraded"), Some(&Json::Bool(true)));
+
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            thread::spawn(move || {
+                let mut statuses = Vec::new();
+                for _ in 0..8 {
+                    let (status, body) = http::client_request(
+                        addr,
+                        "POST",
+                        "/predict",
+                        Some(&predict_body()),
+                        Duration::from_secs(10),
+                    )
+                    .expect("transport must stay up under faults");
+                    let doc = Json::parse(&body)
+                        .unwrap_or_else(|e| panic!("malformed body ({e}): {body}"));
+                    match status {
+                        200 => {
+                            let data = doc.get("data").and_then(Json::as_arr).unwrap();
+                            assert_eq!(data.len(), 2 * 4 * 4);
+                            assert!(data
+                                .iter()
+                                .all(|v| v.as_f64().is_some_and(f64::is_finite)));
+                        }
+                        503 | 504 => {
+                            assert!(doc.get("error").is_some(), "{body}");
+                            assert!(doc.get("code").is_some(), "{body}");
+                        }
+                        other => panic!("unexpected status {other}: {body}"),
+                    }
+                    statuses.push(status);
+                }
+                statuses
+            })
+        })
+        .collect();
+    let all: Vec<u16> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("no request thread may panic"))
+        .collect();
+    assert_eq!(all.len(), 32);
+    assert!(
+        all.iter().any(|&s| s == 200),
+        "retries should recover most requests: {all:?}"
+    );
+
+    // Metrics stay parseable and report the degraded flag while armed.
+    let (status, body) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = Json::parse(&body).unwrap();
+    assert_eq!(metrics.get("degraded"), Some(&Json::Bool(true)));
+
+    faults::clear();
+    let (_, body) = get(&server, "/healthz");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    server.shutdown();
+}
+
+/// A hot-swap that fails (injected at `serve.reload.swap`) pins the last
+/// known-good model: predictions keep answering 200 with the old weights,
+/// the reload reports 409, and the slot stays degraded until a reload
+/// succeeds — even after the fault schedule is gone.
+#[test]
+fn failed_reload_pins_last_known_good_model() {
+    let _guard = chaos_lock();
+    let server = start_tiny(Duration::from_secs(5));
+    let path = std::env::temp_dir().join(format!(
+        "bikecap-serve-chaos-{}-{}.ckpt",
+        std::process::id(),
+        chaos_seed()
+    ));
+    BikeCap::seeded(tiny_config(), 42).save_checkpoint(&path).unwrap();
+    let reload_body =
+        Json::obj([("checkpoint", Json::Str(path.display().to_string()))]).to_string();
+
+    let (status, before) = post(&server, "/predict", &predict_body());
+    assert_eq!(status, 200, "{before}");
+
+    arm("serve.reload.swap=always");
+    let (status, body) = post(&server, "/admin/reload", &reload_body);
+    assert_eq!(status, 409, "{body}");
+    faults::clear();
+
+    // Degraded sticks after the schedule clears: the slot really is pinned.
+    let (_, health) = get(&server, "/healthz");
+    let doc = Json::parse(&health).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("degraded"));
+
+    // The pinned model still serves — and serves the *old* weights.
+    let (status, after) = post(&server, "/predict", &predict_body());
+    assert_eq!(status, 200, "{after}");
+    let field = |body: &str, key: &str| {
+        Json::parse(body).unwrap().get(key).cloned().unwrap()
+    };
+    assert_eq!(field(&before, "data"), field(&after, "data"));
+
+    // A successful reload swaps in the new weights and clears degraded.
+    let (status, body) = post(&server, "/admin/reload", &reload_body);
+    assert_eq!(status, 200, "{body}");
+    let (_, health) = get(&server, "/healthz");
+    let doc = Json::parse(&health).unwrap();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_ne!(
+        field(&after, "data"),
+        field(&post(&server, "/predict", &predict_body()).1, "data"),
+        "the new checkpoint must actually serve"
+    );
+    std::fs::remove_file(&path).ok();
+    server.shutdown();
+}
+
+/// `EADDRINUSE` at startup is retried with backoff: a server asked to bind
+/// a port that frees up moments later comes up instead of failing.
+#[test]
+fn bind_retries_survive_transient_addr_in_use() {
+    let _guard = chaos_lock();
+    // Occupy a concrete port, then free it while the server is retrying.
+    let blocker = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = blocker.local_addr().unwrap();
+    let release = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(300));
+        drop(blocker);
+    });
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 5));
+    let config = ServeConfig {
+        addr: addr.to_string(),
+        bind_retries: 6,
+        bind_backoff: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config, registry).expect("retries must outlast the blocker");
+    release.join().unwrap();
+    assert_eq!(server.local_addr(), addr);
+    let (status, _) = get(&server, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+
+    // With no retries, a held port still fails fast with AddrInUse.
+    let blocker = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = blocker.local_addr().unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 5));
+    let config = ServeConfig {
+        addr: addr.to_string(),
+        bind_retries: 0,
+        ..ServeConfig::default()
+    };
+    match Server::start(config, registry) {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse),
+        Ok(_) => panic!("bind must fail while the port is held"),
+    }
+}

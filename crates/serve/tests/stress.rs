@@ -71,6 +71,7 @@ fn make_job(
             entry: Arc::clone(entry),
             input: Tensor::full(&[4, 4, 4, 4], fill),
             enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(60),
             respond: tx,
         },
         rx,

@@ -27,8 +27,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bikecap::eval::{evaluate, BikeCapForecaster};
-use bikecap::model::{BikeCap, BikeCapConfig, TrainOptions};
-use bikecap::nn::serialize::{load_params, read_meta, save_params};
+use bikecap::faults::{self, FaultPlan};
+use bikecap::model::{BikeCap, BikeCapConfig, ResilientOptions, TrainOptions};
+use bikecap::nn::serialize::{clean_stale_tmp, load_params, read_meta, save_params};
 use bikecap::serve::{
     signal::install_shutdown_flag, BatchConfig, ModelRegistry, ServeConfig, Server, DEFAULT_MODEL,
 };
@@ -45,9 +46,13 @@ use rand::SeedableRng;
 fn usage() -> &'static str {
     "usage: bikecap <simulate|train|forecast|serve|check-config> [--days N] [--seed N] \
      [--horizon N] [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] \
+     [--resume] [--autosave-every N] \
      [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
-     [--queue-cap N]\n\
+     [--queue-cap N] [--bind-retries N] [--faults SPEC] [--fault-seed N]\n\
      round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`\n\
+     resume an interrupted run: `bikecap train --save model.ckpt --resume`\n\
+     `--faults 'io.checkpoint.write=p:0.3'` arms seeded failpoints (needs the \
+     `faultline` build feature)\n\
      `bikecap check-config --help` lists the shape-checker's own flags"
 }
 
@@ -59,13 +64,22 @@ struct Args {
     weights: PathBuf,
     out_dir: PathBuf,
     save: Option<PathBuf>,
+    resume: bool,
+    autosave_every: usize,
     checkpoint: Option<PathBuf>,
     addr: String,
     workers: usize,
     max_batch: usize,
     max_wait_ms: u64,
     queue_cap: usize,
+    bind_retries: u32,
+    faults: Option<String>,
+    fault_seed: u64,
 }
+
+/// Flags that are plain switches: present means true, they never consume the
+/// next argument.
+const BOOL_FLAGS: &[&str] = &["resume"];
 
 fn parse_flags(rest: &[String]) -> Result<Args, String> {
     let mut map: HashMap<String, String> = HashMap::new();
@@ -74,6 +88,10 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("unexpected argument '{flag}'"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            map.insert(name.to_string(), "true".to_string());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("flag --{name} requires a value"))?;
@@ -88,13 +106,39 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         weights: PathBuf::from(get("weights", "bikecap-weights.txt")),
         out_dir: PathBuf::from(get("out-dir", ".")),
         save: map.get("save").map(PathBuf::from),
+        resume: map.contains_key("resume"),
+        autosave_every: get("autosave-every", "1")
+            .parse()
+            .map_err(|_| "invalid --autosave-every".to_string())?,
         checkpoint: map.get("checkpoint").map(PathBuf::from),
         addr: get("addr", "127.0.0.1:7878"),
         workers: get("workers", "2").parse().map_err(|_| "invalid --workers".to_string())?,
         max_batch: get("max-batch", "16").parse().map_err(|_| "invalid --max-batch".to_string())?,
         max_wait_ms: get("max-wait-ms", "5").parse().map_err(|_| "invalid --max-wait-ms".to_string())?,
         queue_cap: get("queue-cap", "256").parse().map_err(|_| "invalid --queue-cap".to_string())?,
+        bind_retries: get("bind-retries", "3")
+            .parse()
+            .map_err(|_| "invalid --bind-retries".to_string())?,
+        faults: map.get("faults").cloned(),
+        fault_seed: get("fault-seed", "0")
+            .parse()
+            .map_err(|_| "invalid --fault-seed".to_string())?,
     })
+}
+
+/// Deletes torn `*.tmp` siblings a killed process left next to `path`, so a
+/// crashed save never masquerades as a checkpoint. Best-effort: an unreadable
+/// directory only means nothing to clean.
+fn clean_checkpoint_dir(path: &std::path::Path) {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    if let Ok(removed) = clean_stale_tmp(&dir) {
+        for tmp in removed {
+            eprintln!("removed stale checkpoint temp file {}", tmp.display());
+        }
+    }
 }
 
 fn simulate_city(args: &Args) -> TripData {
@@ -154,12 +198,40 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         learning_rate: 3e-3,
         ..TrainOptions::default()
     };
-    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbeef);
-    let report = model.fit(&dataset, &options, &mut rng);
+    let report = if args.save.is_some() || args.resume {
+        // Fault-tolerant path: autosave after every Nth epoch, resume from
+        // the last autosave, divergence guard with rollback.
+        let checkpoint = args.save.clone().ok_or_else(|| {
+            "--resume needs --save FILE (the checkpoint to resume from)".to_string()
+        })?;
+        clean_checkpoint_dir(&checkpoint);
+        let resilient = ResilientOptions {
+            train: options.clone(),
+            seed: args.seed ^ 0xbeef,
+            checkpoint: Some(checkpoint),
+            autosave_every: args.autosave_every.max(1),
+            resume: args.resume,
+            ..ResilientOptions::default()
+        };
+        let run = model.fit_resilient(&dataset, &resilient).map_err(|e| e.to_string())?;
+        if let Some(epoch) = run.resumed_at {
+            println!("resumed from epoch {epoch}");
+        }
+        if run.rollbacks > 0 {
+            println!(
+                "divergence guard rolled back {} epoch(s); final learning rate {:.2e}",
+                run.rollbacks, run.final_lr
+            );
+        }
+        run.report
+    } else {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbeef);
+        model.fit(&dataset, &options, &mut rng)
+    };
     println!(
         "trained in {:.1}s, loss {:.4} -> {:.4}",
         report.seconds,
-        report.epoch_losses[0],
+        report.epoch_losses.first().copied().unwrap_or(f32::NAN),
         report.final_loss().unwrap_or(f32::NAN)
     );
     let fc = BikeCapForecaster::new(model, options);
@@ -227,6 +299,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             usage()
         )
     })?;
+    // A crash during a previous save may have left torn temp files next to
+    // the checkpoint; remove them before trusting the directory.
+    clean_checkpoint_dir(&path);
     // The v2 checkpoint header records the architecture, so the server can
     // rebuild the exact model the checkpoint was trained with.
     let meta = read_meta(&path)
@@ -248,6 +323,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     let serve_config = ServeConfig {
         addr: args.addr.clone(),
+        bind_retries: args.bind_retries,
         batch: BatchConfig {
             queue_cap: args.queue_cap,
             max_batch: args.max_batch,
@@ -325,6 +401,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(spec) = &args.faults {
+        let plan = match FaultPlan::parse(spec, args.fault_seed) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if faults::ENABLED {
+            eprintln!(
+                "failpoints armed: {spec} (seed {}) — expect injected failures",
+                args.fault_seed
+            );
+            faults::install(plan);
+        } else {
+            eprintln!(
+                "warning: --faults ignored; this binary was built without the \
+                 `faultline` feature (rebuild with `--features faultline`)"
+            );
+        }
+    }
     let result = match cmd.as_str() {
         "simulate" => cmd_simulate(&args),
         "train" => cmd_train(&args),

@@ -13,6 +13,8 @@
 //! * [`eval`] — metrics and the repeated-seed experiment harness.
 //! * [`serve`] — batched multi-threaded inference serving (registry,
 //!   micro-batching queue, std-only HTTP front end).
+//! * [`faults`] — deterministic seeded failpoints; armed only with the
+//!   `faultline` feature, compiled to no-ops otherwise.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -22,6 +24,7 @@ pub use bikecap_check as check;
 pub use bikecap_city_sim as sim;
 pub use bikecap_core as model;
 pub use bikecap_eval as eval;
+pub use bikecap_faults as faults;
 pub use bikecap_nn as nn;
 pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;

@@ -1,0 +1,162 @@
+//! Offline vendored stand-in for `criterion` 0.5.
+//!
+//! The build container has no network access, so this crate implements
+//! only the API the bikecap bench suites use: `Criterion::default()`,
+//! `sample_size`, `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros (both the simple and the
+//! `name = ..; config = ..; targets = ..` forms). Each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the mean
+//! and minimum time per iteration. There are no plots, no statistics
+//! beyond mean/min, and no baseline persistence.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one benchmark body; handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Calibrate: aim for samples of at least ~5 ms each so the clock
+        // resolution does not dominate, capped to keep fast suites fast.
+        let probe = Instant::now();
+        black_box(body());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        self.iters_per_sample = (target.as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
+
+        let n_samples = self.samples.capacity().max(1);
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(body());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be >= 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 1,
+        };
+        body(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{name:<44} (no samples: Bencher::iter never called)");
+            return self;
+        }
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<44} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            per_iter.len(),
+            bencher.iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = quick
+    }
+
+    #[test]
+    fn group_runs_and_samples() {
+        group();
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher { samples: Vec::with_capacity(4), iters_per_sample: 1 };
+        b.iter(|| black_box(3u32).wrapping_mul(7));
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.iters_per_sample >= 1);
+    }
+}
