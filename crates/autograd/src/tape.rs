@@ -35,6 +35,10 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    /// Observability segment markers: `(first_node_index, label)`, ascending
+    /// by index. Recorded only while `bikecap_obs` is enabled (see
+    /// [`Tape::mark`]), so the vector stays empty — and free — otherwise.
+    marks: Vec<(usize, String)>,
 }
 
 impl std::fmt::Debug for Tape {
@@ -83,6 +87,17 @@ impl Tape {
         self.push(value, vec![], None, None)
     }
 
+    /// Marks the start of a named tape segment for backward attribution:
+    /// every node recorded after this call (until the next mark) belongs to
+    /// `label`, and [`Tape::backward`] wraps the reverse sweep over that
+    /// range in a `bwd:<label>` span. No-op unless `bikecap_obs` is enabled,
+    /// so un-instrumented runs pay nothing.
+    pub fn mark(&mut self, label: &str) {
+        if bikecap_obs::enabled() {
+            self.marks.push((self.nodes.len(), label.to_string()));
+        }
+    }
+
     /// Leafs a parameter onto the tape; `backward` will accumulate its
     /// gradient into the store.
     ///
@@ -112,9 +127,39 @@ impl Tape {
     /// Panics if `loss` is not a node of this tape.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
         assert!(loss.0 < self.nodes.len(), "backward: loss var not on this tape");
+        let _bwd_span = bikecap_obs::span("autograd.backward");
+        // Segment attribution: node `i` belongs to the last mark at or
+        // before it. The reverse sweep visits each segment as one contiguous
+        // run, so one `bwd:<label>` span per segment nests correctly under
+        // the outer span. `seg_cursor` counts marks at or before `i`.
+        let obs_on = bikecap_obs::enabled() && !self.marks.is_empty();
+        let mut seg_cursor = if obs_on {
+            self.marks.partition_point(|(start, _)| *start <= loss.0)
+        } else {
+            0
+        };
+        let mut seg_open = usize::MAX;
+        let mut seg_guard: Option<bikecap_obs::SpanGuard> = None;
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::ones(self.nodes[loss.0].value.shape()));
         for i in (0..=loss.0).rev() {
+            if obs_on {
+                while seg_cursor > 0 && self.marks[seg_cursor - 1].0 > i {
+                    seg_cursor -= 1;
+                }
+                if seg_cursor == 0 {
+                    // Before the first mark: close any open segment span.
+                    seg_guard.take();
+                    seg_open = usize::MAX;
+                } else if seg_open != seg_cursor - 1 {
+                    // Entering a new segment: end the previous span *before*
+                    // beginning the next so B/E pairs stay properly nested.
+                    seg_guard.take();
+                    let label = &self.marks[seg_cursor - 1].1;
+                    seg_guard.replace(bikecap_obs::span_with(|| format!("bwd:{label}")));
+                    seg_open = seg_cursor - 1;
+                }
+            }
             let Some(g) = grads[i].take() else { continue };
             let node = &self.nodes[i];
             if let Some(pid) = node.param {

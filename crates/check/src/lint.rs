@@ -25,6 +25,11 @@
 //!   mid-write would leave a torn file at the destination. Go through
 //!   `serialize::atomic_write` (temp sibling + fsync + rename), whose own
 //!   `File::create` on the temp path is the audited allowlist exception.
+//! * **no-println** — no `println!`/`eprintln!` anywhere in library crates
+//!   (tensor, nn, core, serve, obs) outside test code. Libraries report
+//!   through return values, metrics, or the obs event stream; stray prints
+//!   corrupt structured output (JSONL traces, Prometheus scrapes) and are
+//!   invisible to operators. CLI binaries and benches are not linted.
 //!
 //! Code under `#[cfg(test)]` / `mod tests` / `#[test]` is exempt. Audited
 //! exceptions live in `check-allowlist.txt` at the workspace root, one per
@@ -45,6 +50,7 @@ pub enum Rule {
     NoLossyCast,
     BackpressureDoc,
     AtomicCheckpointWrite,
+    NoPrintln,
 }
 
 impl Rule {
@@ -58,6 +64,7 @@ impl Rule {
             Rule::NoLossyCast => "no-lossy-cast",
             Rule::BackpressureDoc => "backpressure-doc",
             Rule::AtomicCheckpointWrite => "atomic-checkpoint-write",
+            Rule::NoPrintln => "no-println",
         }
     }
 }
@@ -98,6 +105,7 @@ pub enum CrateKind {
     Nn,
     Core,
     Serve,
+    Obs,
     Other,
 }
 
@@ -112,6 +120,8 @@ impl CrateKind {
             CrateKind::Core
         } else if path.starts_with("crates/serve/") {
             CrateKind::Serve
+        } else if path.starts_with("crates/obs/") {
+            CrateKind::Obs
         } else {
             CrateKind::Other
         }
@@ -150,7 +160,7 @@ pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
             NUMERIC_HOT_FRAGMENTS.iter().any(|f| name.contains(f))
         }
         CrateKind::Serve => SERVE_HOT_FNS.contains(&name),
-        CrateKind::Other => false,
+        CrateKind::Obs | CrateKind::Other => false,
     }
 }
 
@@ -443,6 +453,26 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 i += 1;
             }
             TokenKind::Ident(w)
+                if kind != CrateKind::Other
+                    && matches!(w.as_str(), "println" | "eprintln")
+                    && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('!'))) =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::NoPrintln,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: format!(
+                        "`{w}!` in a library crate; report through return values, metrics, \
+                         or the obs event stream (CLI binaries and benches are exempt)"
+                    ),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Ident(w)
                 if w == "File"
                     && matches!(kind, CrateKind::Nn | CrateKind::Core)
                     && is_path_call(&tokens, i, "create") =>
@@ -588,6 +618,7 @@ pub const LINT_ROOTS: &[&str] = &[
     "crates/nn/src",
     "crates/core/src",
     "crates/serve/src",
+    "crates/obs/src",
 ];
 
 /// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,
@@ -781,6 +812,43 @@ mod tests {
         // Test modules stay exempt like every other rule.
         let test_only = "#[cfg(test)]\nmod tests {\n    fn t(p: &Path) { fs::File::create(p).ok(); }\n}";
         assert!(lint_source("crates/nn/src/serialize.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn println_flagged_in_library_crates_everywhere() {
+        // Not hot-gated: a cold helper in a library crate is still flagged.
+        let src = "fn describe() { println!(\"hi\"); }";
+        for file in [
+            "crates/tensor/src/lib.rs",
+            "crates/nn/src/layers.rs",
+            "crates/core/src/trainer.rs",
+            "crates/serve/src/metrics.rs",
+            "crates/obs/src/sink.rs",
+        ] {
+            let f = lint_source(file, src);
+            assert_eq!(rules(&f), vec![Rule::NoPrintln], "{file}");
+            assert_eq!(f[0].func, "describe");
+        }
+        let e = lint_source("crates/core/src/lib.rs", "fn warn() { eprintln!(\"x\"); }");
+        assert_eq!(rules(&e), vec![Rule::NoPrintln]);
+    }
+
+    #[test]
+    fn println_allowed_in_binaries_tests_and_lookalikes() {
+        // CLI binaries and benches are outside the lint roots / library kinds.
+        let src = "fn main() { println!(\"hi\"); }";
+        assert!(lint_source("src/bin/bikecap.rs", src).is_empty());
+        assert!(lint_source("crates/check/src/main.rs", src).is_empty());
+        // Test code in a library crate stays exempt like every other rule.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { println!(\"dbg\"); }\n}";
+        assert!(lint_source("crates/obs/src/lib.rs", test_only).is_empty());
+        // `println` without `!` is a plain identifier (e.g. a field or fn).
+        let ident = "fn f() { let println = 1; let _ = println; }";
+        assert!(lint_source("crates/core/src/model.rs", ident).is_empty());
+        // Strings and comments never match.
+        let quoted = "// println! is banned\nfn f() { let s = \"println!\"; let _ = s; }";
+        assert!(lint_source("crates/core/src/model.rs", quoted).is_empty());
     }
 
     #[test]

@@ -40,6 +40,15 @@ impl EncoderLayer {
             EncoderLayer::PerSlot(l) => l.forward(tape, x, store),
         }
     }
+
+    /// Observability site name for layer index `li` (DESIGN.md Appendix D).
+    fn site(&self, li: usize) -> String {
+        match self {
+            EncoderLayer::Pyramid(_) => format!("core.encoder.pyramid{li}"),
+            EncoderLayer::Standard(_) => format!("core.encoder.conv3d{li}"),
+            EncoderLayer::PerSlot(_) => format!("core.encoder.conv2d{li}"),
+        }
+    }
 }
 
 impl HistoricalCapsules {
@@ -156,15 +165,17 @@ impl HistoricalCapsules {
         let (b, h, gh, gw) = (xs[0], xs[2], xs[3], xs[4]);
         let c = self.capsules_per_slot;
         let n = self.capsule_dim;
-        let mut squashed = self.encode_one(tape, &self.first, x, store, b, h, gh, gw);
-        for layer in &self.rest {
+        let _enc_span = bikecap_obs::span("core.encoder");
+        let mut squashed = self.encode_one(tape, &self.first, x, store, b, h, gh, gw, 0);
+        for (li, layer) in self.rest.iter().enumerate() {
             let cur = Self::to_channel_layout(tape, squashed, b, c, n, h, gh, gw);
-            squashed = self.encode_one(tape, layer, cur, store, b, h, gh, gw);
+            squashed = self.encode_one(tape, layer, cur, store, b, h, gh, gw, li + 1);
         }
         squashed
     }
 
-    /// One encoder layer followed by the capsule-layout reshape and squash.
+    /// One encoder layer followed by the capsule-layout reshape and squash,
+    /// with a forward span and a backward segment mark per stage.
     #[allow(clippy::too_many_arguments)]
     fn encode_one(
         &self,
@@ -176,10 +187,21 @@ impl HistoricalCapsules {
         h: usize,
         gh: usize,
         gw: usize,
+        li: usize,
     ) -> Var {
-        let y = layer.forward(tape, x, store);
+        if bikecap_obs::enabled() {
+            tape.mark(&layer.site(li));
+        }
+        let y = {
+            let _span = bikecap_obs::span_with(|| layer.site(li));
+            layer.forward(tape, x, store)
+        };
         let caps =
             Self::to_capsule_layout(tape, y, b, self.capsules_per_slot, self.capsule_dim, h, gh, gw);
+        if bikecap_obs::enabled() {
+            tape.mark(&format!("core.encoder.squash{li}"));
+        }
+        let _span = bikecap_obs::span_with(|| format!("core.encoder.squash{li}"));
         tape.squash(caps, 2)
     }
 }
@@ -295,24 +317,79 @@ impl SpatialTemporalRouting {
         assert_eq!(ps.len(), 5, "routing expects capsules (B, S, n, H, W)");
         let (b, s, gh, gw) = (ps[0], ps[1], ps[3], ps[4]);
         let p = self.horizon;
-        let v = self.predictions(tape, phi, store); // (B, S, p, n_out, H, W)
+        let _routing_span = bikecap_obs::span("core.routing");
+        if bikecap_obs::enabled() {
+            tape.mark("core.routing.transform");
+        }
+        let v = {
+            let _span = bikecap_obs::span("core.routing.transform");
+            self.predictions(tape, phi, store) // (B, S, p, n_out, H, W)
+        };
 
         // Logits B_s initialised to zero (paper Sec. III-D). The first
         // iteration is hoisted out of the loop so the "at least one result"
         // invariant is structural rather than asserted after the fact; each
         // further iteration refines the logits by agreement, then recouples.
         let mut logits = tape.constant(Tensor::zeros(&[b, s, gh, gw, p]));
-        let mut s_hat = self.coupling_step(tape, v, logits, b, s, gh, gw);
-        for _ in 1..self.iters {
-            logits = self.agreement_update(tape, v, s_hat, logits, b, s, gh, gw);
-            s_hat = self.coupling_step(tape, v, logits, b, s, gh, gw);
+        if bikecap_obs::enabled() {
+            tape.mark("core.routing.iter0");
+        }
+        let (mut s_hat, first_k) = {
+            let _span = bikecap_obs::span("core.routing.iter0");
+            self.coupling_step(tape, v, logits, b, s, gh, gw)
+        };
+        self.iteration_telemetry(tape, 0, first_k, None);
+        for it in 1..self.iters {
+            if bikecap_obs::enabled() {
+                tape.mark(&format!("core.routing.iter{it}"));
+            }
+            let _span = bikecap_obs::span_with(|| format!("core.routing.iter{it}"));
+            let refined = self.agreement_update(tape, v, s_hat, logits, b, s, gh, gw);
+            let (next, k) = self.coupling_step(tape, v, refined, b, s, gh, gw);
+            self.iteration_telemetry(tape, it, k, Some((logits, refined)));
+            logits = refined;
+            s_hat = next;
         }
         tape.value(s_hat).debug_assert_finite("routing.forward");
         s_hat
     }
 
+    /// Per-iteration routing telemetry (paper-specific convergence signals),
+    /// recorded only when obs is enabled: the mean entropy of the coupling
+    /// coefficients over their softmax group (low entropy = capsules have
+    /// committed) and the mean absolute logit update contributed by the
+    /// agreement step (shrinking deltas = routing has converged).
+    fn iteration_telemetry(
+        &self,
+        tape: &Tape,
+        iteration: usize,
+        coupling: Var,
+        logit_update: Option<(Var, Var)>,
+    ) {
+        if !bikecap_obs::enabled() {
+            return;
+        }
+        let trailing = if self.softmax_over_grid { 3 } else { 1 };
+        let entropy = coupling_entropy(tape.value(coupling), trailing);
+        bikecap_obs::value_with(
+            || format!("core.routing.iter{iteration}.entropy"),
+            entropy,
+        );
+        if let Some((before, after)) = logit_update {
+            let diff = tape.value(after).sub(tape.value(before));
+            let count = diff.as_slice().len().max(1);
+            let delta = diff.abs().sum() as f64 / count as f64;
+            bikecap_obs::value_with(
+                || format!("core.routing.iter{iteration}.agreement_delta"),
+                delta,
+            );
+        }
+    }
+
     /// One coupling step: softmax the logits into coefficients, combine the
     /// per-capsule predictions `V`, and squash: `(B, p, n_out, H, W)`.
+    /// Also returns the coupling coefficients (pre-permute layout
+    /// `(B, S, H, W, p)`) so the caller can derive convergence telemetry.
     ///
     /// Coupling coefficients default to a softmax over the p predicted
     /// capsules at each grid location (the paper's prose reading of Eq. 4);
@@ -328,7 +405,7 @@ impl SpatialTemporalRouting {
         s: usize,
         gh: usize,
         gw: usize,
-    ) -> Var {
+    ) -> (Var, Var) {
         let (p, n_out) = (self.horizon, self.out_dim);
         let k = if self.softmax_over_grid {
             tape.softmax_trailing(logits, 3)
@@ -340,7 +417,7 @@ impl SpatialTemporalRouting {
         let weighted = tape.mul(v, kb);
         let summed = tape.sum_axes_keepdim(weighted, &[1]); // (B, 1, p, n_out, H, W)
         let s_raw = tape.reshape(summed, &[b, p, n_out, gh, gw]);
-        tape.squash(s_raw, 2)
+        (tape.squash(s_raw, 2), k)
     }
 
     /// Agreement update: `b += <V_s, S>` along the capsule dim, returning the
@@ -365,6 +442,30 @@ impl SpatialTemporalRouting {
         let agree = tape.permute(agree, &[0, 1, 3, 4, 2]); // (B, S, H, W, p)
         tape.add(logits, agree)
     }
+}
+
+/// Mean Shannon entropy (nats) of the coupling coefficients over their
+/// softmax group: the trailing `trailing` axes of `k` form one distribution,
+/// and the result averages `-Σ p·ln p` over all leading positions. Uniform
+/// coupling over `g` options gives `ln g`; fully committed routing gives 0.
+pub(crate) fn coupling_entropy(k: &Tensor, trailing: usize) -> f64 {
+    let shape = k.shape();
+    let group: usize = shape.iter().rev().take(trailing).product();
+    let data = k.as_slice();
+    if group == 0 || data.is_empty() {
+        return 0.0;
+    }
+    let rows = (data.len() / group).max(1);
+    let mut total = 0.0f64;
+    for row in data.chunks(group) {
+        for &p in row {
+            let p = f64::from(p);
+            if p > 0.0 {
+                total -= p * p.ln();
+            }
+        }
+    }
+    total / rows as f64
 }
 
 #[cfg(test)]
@@ -627,6 +728,19 @@ mod tests {
                 "routing must stay finite on zero input (over_grid={over_grid})"
             );
         }
+    }
+
+    #[test]
+    fn coupling_entropy_of_uniform_and_committed_distributions() {
+        // Uniform over 4 options -> ln 4; one-hot -> 0.
+        let uniform = Tensor::from_vec(vec![0.25; 8], &[2, 4]);
+        let e = coupling_entropy(&uniform, 1);
+        assert!((e - (4.0f64).ln()).abs() < 1e-6, "uniform entropy {e}");
+        let onehot = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[1, 4]);
+        assert_eq!(coupling_entropy(&onehot, 1), 0.0);
+        // Grouping over 2 trailing axes: (2, 2) uniform -> ln 4 as well.
+        let grid = Tensor::from_vec(vec![0.25; 4], &[1, 2, 2]);
+        assert!((coupling_entropy(&grid, 2) - (4.0f64).ln()).abs() < 1e-6);
     }
 
     #[test]

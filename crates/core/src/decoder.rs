@@ -78,6 +78,10 @@ impl Decoder {
         let (b, p, n, gh, gw) = (cs[0], cs[1], cs[2], cs[3], cs[4]);
         match self {
             Decoder::Deconv3d { d1, d2 } => {
+                if bikecap_obs::enabled() {
+                    tape.mark("core.decoder.deconv");
+                }
+                let _span = bikecap_obs::span("core.decoder.deconv");
                 let x = tape.permute(caps, &[0, 2, 1, 3, 4]); // (B, n_out, p, H, W)
                 let y = d1.forward(tape, x, store);
                 let y = tape.relu(y);
@@ -85,6 +89,10 @@ impl Decoder {
                 tape.reshape(y, &[b, p, gh, gw])
             }
             Decoder::Reshape { fc1, fc2 } => {
+                if bikecap_obs::enabled() {
+                    tape.mark("core.decoder.reshape");
+                }
+                let _span = bikecap_obs::span("core.decoder.reshape");
                 let x = tape.permute(caps, &[0, 1, 3, 4, 2]); // (B, p, H, W, n_out)
                 let flat = tape.reshape(x, &[b * p * gh * gw, n]);
                 let y = fc1.forward(tape, flat, store);

@@ -216,6 +216,7 @@ impl BikeCap {
     ///
     /// Panics on shape mismatches.
     pub fn forward(&self, tape: &mut Tape, x: Var) -> Var {
+        let _span = bikecap_obs::span("core.forward");
         let xs = tape.value(x).shape().to_vec();
         assert_eq!(xs.len(), 5, "BikeCap expects (B, F, h, H, W), got {xs:?}");
         let x = if self.config.use_subway {
@@ -362,31 +363,63 @@ impl BikeCap {
         opt: &mut Adam,
         rng: &mut R,
     ) -> f32 {
+        let _epoch_span = bikecap_obs::span("train.epoch");
+        let epoch_start = Instant::now();
         let anchors = dataset.shuffled_anchors(Split::Train, rng);
         let mut total = 0.0f32;
         let mut batches = 0usize;
+        let mut examples = 0usize;
         for chunk in anchors.chunks(opts.batch_size) {
             if let Some(cap) = opts.max_batches_per_epoch {
                 if batches >= cap {
                     break;
                 }
             }
+            let _step_span = bikecap_obs::span("train.step");
             let batch = dataset.batch(chunk);
             self.store.zero_grads();
             let mut tape = Tape::new();
             let x = tape.constant(batch.input);
             let t = tape.constant(batch.target);
             let pred = self.forward(&mut tape, x);
+            if bikecap_obs::enabled() {
+                tape.mark("core.loss");
+            }
             let loss = tape.l1_loss(pred, t);
-            total += tape.value(loss).item();
+            let step_loss = tape.value(loss).item();
+            total += step_loss;
             tape.backward(loss, &mut self.store);
+            if bikecap_obs::enabled() {
+                bikecap_obs::value("train.step.loss", f64::from(step_loss));
+                bikecap_obs::value("train.step.grad_norm", self.grad_norm());
+            }
             if let Some(max) = opts.clip_norm {
                 clip_grad_norm(&mut self.store, max);
             }
             opt.step(&mut self.store);
             batches += 1;
+            examples += chunk.len();
+        }
+        if bikecap_obs::enabled() && batches > 0 {
+            bikecap_obs::value("train.epoch.loss", f64::from(total / batches as f32));
+            let secs = epoch_start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                bikecap_obs::value("train.epoch.examples_per_sec", examples as f64 / secs);
+            }
         }
         if batches > 0 { total / batches as f32 } else { f32::NAN }
+    }
+
+    /// Global L2 norm over every parameter's current gradient (telemetry;
+    /// computed only when observability is enabled).
+    fn grad_norm(&self) -> f64 {
+        let mut sum_sq = 0.0f64;
+        for (id, _, _) in self.store.iter() {
+            for &g in self.store.grad(id).as_slice() {
+                sum_sq += f64::from(g) * f64::from(g);
+            }
+        }
+        sum_sq.sqrt()
     }
 }
 

@@ -211,6 +211,7 @@ impl BikeCap {
                     let (epoch, restored) = self.restore_state(&state_path, &mut opt)?;
                     losses = restored;
                     resumed_at = Some(epoch);
+                    bikecap_obs::value("train.resume.epoch", epoch as f64);
                 }
             }
         }
@@ -243,6 +244,10 @@ impl BikeCap {
                 opt = snapshot.1.clone();
                 opt.set_learning_rate(opt.learning_rate() * 0.5);
                 snapshot.1 = opt.clone();
+                if bikecap_obs::enabled() {
+                    bikecap_obs::value("train.rollback.loss", f64::from(loss));
+                    bikecap_obs::value("train.rollback.lr", f64::from(opt.learning_rate()));
+                }
                 continue;
             }
             retries_this_epoch = 0;
@@ -253,10 +258,16 @@ impl BikeCap {
                 let due = opts.autosave_every > 0
                     && epoch % opts.autosave_every == 0
                     && epoch < opts.train.epochs;
-                if due && self.autosave(ckpt, &opt, epoch, &losses).is_err() {
-                    // Transient autosave failure: keep training; the next
-                    // autosave (or the final save) supersedes it.
-                    autosave_failures += 1;
+                if due {
+                    match self.autosave(ckpt, &opt, epoch, &losses) {
+                        Ok(()) => bikecap_obs::value("train.autosave.ok", epoch as f64),
+                        Err(_) => {
+                            // Transient autosave failure: keep training; the
+                            // next autosave (or the final save) supersedes it.
+                            autosave_failures += 1;
+                            bikecap_obs::value("train.autosave.failed", epoch as f64);
+                        }
+                    }
                 }
             }
         }
@@ -287,6 +298,7 @@ impl BikeCap {
         next_epoch: usize,
         losses: &[f32],
     ) -> io::Result<()> {
+        let _span = bikecap_obs::span("train.autosave");
         self.save_checkpoint(checkpoint)?;
         let mut entries = vec![
             ("train.epoch".to_string(), Tensor::scalar(next_epoch as f32)),

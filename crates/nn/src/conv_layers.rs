@@ -57,6 +57,7 @@ impl Conv2d {
     ///
     /// Panics on rank or channel mismatch.
     pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let _span = bikecap_obs::span("nn.conv2d");
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
         let y = tape.conv2d(x, w, self.stride, self.padding);
@@ -107,6 +108,7 @@ impl Conv3d {
     ///
     /// Panics on rank or channel mismatch.
     pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let _span = bikecap_obs::span("nn.conv3d");
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
         let y = tape.conv3d(x, w, self.spec);
@@ -158,6 +160,7 @@ impl ConvTranspose3d {
     ///
     /// Panics on rank or channel mismatch.
     pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let _span = bikecap_obs::span("nn.deconv3d");
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
         let y = tape.conv_transpose3d(x, w, self.spec);
@@ -267,6 +270,7 @@ impl PyramidConv3d {
     ///
     /// Panics on rank or channel mismatch.
     pub fn forward(&self, tape: &mut Tape, x: Var, store: &ParamStore) -> Var {
+        let _span = bikecap_obs::span("nn.pyramid");
         let k = self.pyramid_size;
         let xs = tape.value(x).shape().to_vec();
         assert_eq!(xs.len(), 5, "PyramidConv3d expects rank-5 input, got {xs:?}");

@@ -1,0 +1,288 @@
+//! Chrome `trace_event` export: converts a slice of [`Event`]s into the
+//! JSON object format understood by `chrome://tracing` and Perfetto
+//! (<https://ui.perfetto.dev>): `Begin`/`End` become `"B"`/`"E"` duration
+//! events keyed by (pid, tid, ts), `Value` becomes a `"C"` counter event so
+//! losses and entropies render as tracks alongside the span flame graph.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::{escape_json_into, format_f64, Event, Kind};
+
+/// Renders `events` as a complete Chrome trace JSON document.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        push_trace_event(&mut out, event);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+///
+/// # Errors
+///
+/// Any error from creating or writing the file.
+pub fn write_chrome_trace(path: &Path, events: &[Event]) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(chrome_trace(events).as_bytes())?;
+    out.flush()
+}
+
+fn push_trace_event(out: &mut String, event: &Event) {
+    let ph = match event.kind {
+        Kind::Begin => "B",
+        Kind::End => "E",
+        Kind::Value => "C",
+    };
+    out.push_str("{\"ph\":\"");
+    out.push_str(ph);
+    out.push_str("\",\"pid\":1,\"tid\":");
+    out.push_str(&event.tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"cat\":\"bikecap\",\"name\":\"");
+    escape_json_into(out, &event.name);
+    out.push('"');
+    if event.kind == Kind::Value {
+        let value = if event.value.is_finite() {
+            event.value
+        } else {
+            0.0
+        };
+        out.push_str(",\"args\":{\"value\":");
+        out.push_str(&format_f64(value));
+        out.push('}');
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    /// Minimal recursive-descent JSON well-formedness checker, enough to
+    /// prove the exporter emits valid JSON without pulling a parser crate
+    /// into this dependency-free crate.
+    fn validate_json(text: &str) -> Result<(), String> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        skip_ws(&bytes, &mut pos);
+        parse_value(&bytes, &mut pos)?;
+        skip_ws(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at char {pos}"));
+        }
+        Ok(())
+    }
+
+    fn peek(bytes: &[char], pos: usize) -> Option<char> {
+        bytes.get(pos).copied()
+    }
+
+    fn skip_ws(bytes: &[char], pos: &mut usize) {
+        while matches!(peek(bytes, *pos), Some(' ' | '\t' | '\n' | '\r')) {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[char], pos: &mut usize) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        match peek(bytes, *pos) {
+            Some('{') => parse_object(bytes, pos),
+            Some('[') => parse_array(bytes, pos),
+            Some('"') => parse_string(bytes, pos),
+            Some(c) if c == '-' || c.is_ascii_digit() => parse_number(bytes, pos),
+            Some('t') => parse_literal(bytes, pos, "true"),
+            Some('f') => parse_literal(bytes, pos, "false"),
+            Some('n') => parse_literal(bytes, pos, "null"),
+            other => Err(format!("unexpected {other:?} at char {pos}", pos = *pos)),
+        }
+    }
+
+    fn parse_literal(bytes: &[char], pos: &mut usize, lit: &str) -> Result<(), String> {
+        for expected in lit.chars() {
+            if peek(bytes, *pos) != Some(expected) {
+                return Err(format!("bad literal at char {}", *pos));
+            }
+            *pos += 1;
+        }
+        Ok(())
+    }
+
+    fn parse_object(bytes: &[char], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '{'
+        skip_ws(bytes, pos);
+        if peek(bytes, *pos) == Some('}') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            skip_ws(bytes, pos);
+            parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if peek(bytes, *pos) != Some(':') {
+                return Err(format!("expected ':' at char {}", *pos));
+            }
+            *pos += 1;
+            parse_value(bytes, pos)?;
+            skip_ws(bytes, pos);
+            match peek(bytes, *pos) {
+                Some(',') => *pos += 1,
+                Some('}') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[char], pos: &mut usize) -> Result<(), String> {
+        *pos += 1; // '['
+        skip_ws(bytes, pos);
+        if peek(bytes, *pos) == Some(']') {
+            *pos += 1;
+            return Ok(());
+        }
+        loop {
+            parse_value(bytes, pos)?;
+            skip_ws(bytes, pos);
+            match peek(bytes, *pos) {
+                Some(',') => *pos += 1,
+                Some(']') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[char], pos: &mut usize) -> Result<(), String> {
+        if peek(bytes, *pos) != Some('"') {
+            return Err(format!("expected string at char {}", *pos));
+        }
+        *pos += 1;
+        loop {
+            match peek(bytes, *pos) {
+                Some('"') => {
+                    *pos += 1;
+                    return Ok(());
+                }
+                Some('\\') => {
+                    *pos += 2;
+                }
+                Some(_) => *pos += 1,
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[char], pos: &mut usize) -> Result<(), String> {
+        let start = *pos;
+        while matches!(
+            peek(bytes, *pos),
+            Some('-' | '+' | '.' | 'e' | 'E') | Some('0'..='9')
+        ) {
+            *pos += 1;
+        }
+        if *pos == start {
+            return Err(format!("expected number at char {start}"));
+        }
+        Ok(())
+    }
+
+    /// Records a nested span tree plus a counter and exports it.
+    fn sample_trace() -> String {
+        let _guard = crate::tests::obs_lock();
+        let sink = Arc::new(crate::MemorySink::new(128));
+        crate::install(sink.clone());
+        {
+            let _epoch = crate::span("chrome.test.outer");
+            for i in 0..3 {
+                let _iter = crate::span_with(|| format!("chrome.test.iter{i}"));
+                crate::value("chrome.test.entropy", 0.25 * i as f64);
+            }
+        }
+        crate::clear();
+        chrome_trace(&sink.snapshot())
+    }
+
+    #[test]
+    fn export_is_well_formed_json() {
+        let trace = sample_trace();
+        validate_json(&trace).unwrap();
+        assert!(trace.contains("\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"chrome.test.iter2\""));
+    }
+
+    #[test]
+    fn begin_end_pairs_are_balanced_and_nested() {
+        let _guard = crate::tests::obs_lock();
+        let sink = Arc::new(crate::MemorySink::new(128));
+        crate::install(sink.clone());
+        {
+            let _a = crate::span("bal.a");
+            let _b = crate::span("bal.b");
+            drop(crate::span("bal.c"));
+        }
+        crate::clear();
+        let events = sink.snapshot();
+        // Walk events per tid with a stack: every E must match the top B.
+        let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+        for event in &events {
+            let stack = stacks.entry(event.tid).or_default();
+            match event.kind {
+                Kind::Begin => stack.push(event.name.to_string()),
+                Kind::End => {
+                    let top = stack.pop();
+                    assert_eq!(
+                        top.as_deref(),
+                        Some(event.name.as_ref()),
+                        "E must close the innermost open B"
+                    );
+                }
+                Kind::Value => {}
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "tid {tid} left open spans: {stack:?}");
+        }
+        // And the rendered trace carries one B and one E per span.
+        let trace = chrome_trace(&events);
+        validate_json(&trace).unwrap();
+        let b_count = trace.matches("\"ph\":\"B\"").count();
+        let e_count = trace.matches("\"ph\":\"E\"").count();
+        assert_eq!(b_count, 3);
+        assert_eq!(e_count, 3);
+    }
+
+    #[test]
+    fn counter_events_carry_args() {
+        let event = Event {
+            ts_us: 5,
+            tid: 1,
+            depth: 0,
+            kind: Kind::Value,
+            name: Cow::Borrowed("m"),
+            value: 2.5,
+        };
+        let trace = chrome_trace(std::slice::from_ref(&event));
+        validate_json(&trace).unwrap();
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"args\":{\"value\":2.5}"));
+    }
+}

@@ -1,0 +1,480 @@
+//! Structured tracing and telemetry for the BikeCAP stack.
+//!
+//! The design mirrors `bikecap-faults`: a process-global switch that every
+//! call site checks with a single relaxed atomic load, so the instrumented
+//! hot paths (pyramid conv, squash, routing iterations, batcher stages) cost
+//! nothing measurable while observability is off. When a [`Sink`] is
+//! installed, spans and values flow to it as typed [`Event`]s.
+//!
+//! Three pieces:
+//!
+//! * **Spans** — [`span`] returns an RAII [`SpanGuard`]; the matching end
+//!   event (with duration) is emitted when the guard drops, including during
+//!   panic unwinding, so traces stay balanced even when a layer blows up.
+//!   Nesting depth is tracked per thread.
+//! * **Values** — [`value`] records a named scalar sample (loss, grad norm,
+//!   coupling entropy, queue depth) at the current time and depth.
+//! * **Sinks** — [`sink::NoopSink`] (default), [`sink::MemorySink`] (bounded
+//!   ring for tests and chaos dumps), [`sink::JsonlSink`] (streaming file),
+//!   plus [`chrome::chrome_trace`] to export any event slice as a Chrome
+//!   `trace_event` JSON viewable in `chrome://tracing` or Perfetto.
+//!
+//! Span names follow the failpoint-site scheme from DESIGN.md Appendix C/D:
+//! `subsystem.component.operation`, e.g. `core.routing.iter0` or
+//! `serve.batch.compute`, so a failpoint and the span it fires inside share
+//! a name.
+//!
+//! ```
+//! use std::sync::Arc;
+//! let sink = Arc::new(bikecap_obs::sink::MemorySink::new(64));
+//! bikecap_obs::install(sink.clone());
+//! {
+//!     let _outer = bikecap_obs::span("demo.outer");
+//!     let _inner = bikecap_obs::span("demo.inner");
+//!     bikecap_obs::value("demo.metric", 1.5);
+//! }
+//! bikecap_obs::clear();
+//! assert_eq!(sink.snapshot().len(), 5); // 2 begins, 1 value, 2 ends
+//! ```
+
+pub mod chrome;
+pub mod sink;
+pub mod table;
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+pub use sink::{JsonlSink, MemorySink, NoopSink, PanicDump, Sink};
+pub use table::{cost_table, render_cost_table, CostRow};
+
+/// Process-global on/off switch. Off by default; flipped by [`install`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink. `RwLock` so the hot path takes a shared lock only
+/// when enabled; writers are install/clear, which are rare.
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Monotonic timebase shared by every event in the process; set on first use
+/// so timestamps are small, positive, and comparable across threads.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Source of compact numeric thread ids (Chrome traces key lanes on `tid`).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Cached numeric id for this thread (0 = not yet assigned).
+    static TID: Cell<u64> = const { Cell::new(0) };
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+}
+
+/// What an [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A span opened. `value` is 0.
+    Begin,
+    /// A span closed. `value` is the span duration in microseconds.
+    End,
+    /// A scalar sample. `value` is the sample.
+    Value,
+}
+
+impl Kind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kind::Begin => "begin",
+            Kind::End => "end",
+            Kind::Value => "value",
+        }
+    }
+}
+
+/// One telemetry record. Everything a sink ever sees is one of these.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Microseconds since the process-wide epoch (first event).
+    pub ts_us: u64,
+    /// Compact numeric thread id (stable within the process).
+    pub tid: u64,
+    /// Span nesting depth at emission time (begin: depth of the new span).
+    pub depth: u16,
+    /// Begin / End / Value.
+    pub kind: Kind,
+    /// Dotted site name (`subsystem.component.operation`).
+    pub name: Cow<'static, str>,
+    /// Duration in µs for `End`, the sample for `Value`, 0 for `Begin`.
+    pub value: f64,
+}
+
+/// Whether a sink is installed. One relaxed load; `#[inline]` so disabled
+/// call sites compile down to a test-and-skip.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-global event destination and enables
+/// recording. Replaces (and flushes) any previous sink.
+pub fn install(sink: Arc<dyn Sink>) {
+    if let Ok(mut slot) = SINK.write() {
+        if let Some(prev) = slot.replace(sink) {
+            prev.flush();
+        }
+        ENABLED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Disables recording, flushes, and drops the installed sink. Safe to call
+/// when nothing is installed.
+pub fn clear() {
+    ENABLED.store(false, Ordering::SeqCst);
+    let prev = match SINK.write() {
+        Ok(mut slot) => slot.take(),
+        Err(_) => None,
+    };
+    if let Some(sink) = prev {
+        sink.flush();
+    }
+}
+
+/// Asks the installed sink (if any) to flush buffered output.
+pub fn flush() {
+    if let Some(sink) = current_sink() {
+        sink.flush();
+    }
+}
+
+/// Microseconds since the process epoch.
+fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// This thread's compact numeric id, assigning one on first use.
+fn tid() -> u64 {
+    TID.with(|cell| {
+        let cached = cell.get();
+        if cached != 0 {
+            return cached;
+        }
+        let fresh = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        cell.set(fresh);
+        fresh
+    })
+}
+
+/// Clones the installed sink handle, or `None` when disabled/poisoned.
+fn current_sink() -> Option<Arc<dyn Sink>> {
+    match SINK.read() {
+        Ok(slot) => slot.clone(),
+        Err(_) => None,
+    }
+}
+
+/// Hands `event` to the installed sink, if any.
+fn emit(event: &Event) {
+    if let Some(sink) = current_sink() {
+        sink.record(event);
+    }
+}
+
+/// RAII handle for an open span; emits the `End` event on drop (normal exit
+/// or panic unwinding alike). Inert — no allocation, no events — when obs
+/// was disabled at open time.
+#[must_use = "a span guard measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    /// `None` when inert (disabled at open time).
+    name: Option<Cow<'static, str>>,
+    start_us: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else {
+            return;
+        };
+        let end_us = now_us();
+        let depth = DEPTH.with(|d| {
+            let popped = d.get().saturating_sub(1);
+            d.set(popped);
+            popped
+        });
+        emit(&Event {
+            ts_us: end_us,
+            tid: tid(),
+            depth,
+            kind: Kind::End,
+            name,
+            value: end_us.saturating_sub(self.start_us) as f64,
+        });
+    }
+}
+
+/// Opens a span with a static name. Returns an inert guard when disabled —
+/// the fast path is one atomic load and a struct of two words.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name: None,
+            start_us: 0,
+        };
+    }
+    open(Cow::Borrowed(name))
+}
+
+/// Opens a span whose name is built lazily — `make_name` runs only when
+/// enabled, so dynamic names (e.g. `routing.iter3`) cost nothing while off.
+#[inline]
+pub fn span_with(make_name: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name: None,
+            start_us: 0,
+        };
+    }
+    open(Cow::Owned(make_name()))
+}
+
+/// Slow path shared by [`span`]/[`span_with`]: stamp, push depth, emit.
+fn open(name: Cow<'static, str>) -> SpanGuard {
+    let start_us = now_us();
+    let depth = DEPTH.with(|d| {
+        let current = d.get();
+        d.set(current.saturating_add(1));
+        current
+    });
+    emit(&Event {
+        ts_us: start_us,
+        tid: tid(),
+        depth,
+        kind: Kind::Begin,
+        name: name.clone(),
+        value: 0.0,
+    });
+    SpanGuard {
+        name: Some(name),
+        start_us,
+    }
+}
+
+/// Records a named scalar sample (loss, grad norm, entropy, gauge reading).
+/// One atomic load and out when disabled.
+#[inline]
+pub fn value(name: &'static str, sample: f64) {
+    if !enabled() {
+        return;
+    }
+    record_value(Cow::Borrowed(name), sample);
+}
+
+/// [`value`] with a lazily built name; `make_name` runs only when enabled.
+#[inline]
+pub fn value_with(make_name: impl FnOnce() -> String, sample: f64) {
+    if !enabled() {
+        return;
+    }
+    record_value(Cow::Owned(make_name()), sample);
+}
+
+fn record_value(name: Cow<'static, str>, sample: f64) {
+    emit(&Event {
+        ts_us: now_us(),
+        tid: tid(),
+        depth: DEPTH.with(Cell::get),
+        kind: Kind::Value,
+        name,
+        value: sample,
+    });
+}
+
+/// Serializes one event as a single JSONL line (no trailing newline).
+/// Non-finite values are clamped to 0 so every line stays valid JSON.
+pub fn to_jsonl(event: &Event) -> String {
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"ts_us\":");
+    line.push_str(&event.ts_us.to_string());
+    line.push_str(",\"tid\":");
+    line.push_str(&event.tid.to_string());
+    line.push_str(",\"depth\":");
+    line.push_str(&event.depth.to_string());
+    line.push_str(",\"kind\":\"");
+    line.push_str(event.kind.as_str());
+    line.push_str("\",\"name\":\"");
+    escape_json_into(&mut line, &event.name);
+    line.push_str("\",\"value\":");
+    let value = if event.value.is_finite() {
+        event.value
+    } else {
+        0.0
+    };
+    line.push_str(&format_f64(value));
+    line.push('}');
+    line
+}
+
+/// Formats an f64 compactly: integers without a fraction, otherwise `{}`.
+pub(crate) fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Appends `raw` to `out` with JSON string escaping.
+pub(crate) fn escape_json_into(out: &mut String, raw: &str) {
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes access to the process-global sink across tests.
+    pub(crate) fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = obs_lock();
+        clear();
+        let span_guard = span("never.recorded");
+        assert!(span_guard.name.is_none());
+        drop(span_guard);
+        // span_with must not run its closure while disabled.
+        let _inert = span_with(|| unreachable!("closure ran while disabled"));
+        value_with(|| unreachable!("closure ran while disabled"), 1.0);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let _guard = obs_lock();
+        let sink = Arc::new(MemorySink::new(64));
+        install(sink.clone());
+        {
+            let _outer = span("t.outer");
+            {
+                let _inner = span("t.inner");
+                value("t.sample", 42.0);
+            }
+        }
+        clear();
+        let events = sink.snapshot();
+        let shape: Vec<(Kind, &str, u16)> = events
+            .iter()
+            .map(|e| (e.kind, e.name.as_ref(), e.depth))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (Kind::Begin, "t.outer", 0),
+                (Kind::Begin, "t.inner", 1),
+                (Kind::Value, "t.sample", 2),
+                (Kind::End, "t.inner", 1),
+                (Kind::End, "t.outer", 0),
+            ]
+        );
+        // End durations are non-negative and outer >= inner.
+        let inner = events.iter().find(|e| e.kind == Kind::End && e.name == "t.inner");
+        let outer = events.iter().find(|e| e.kind == Kind::End && e.name == "t.outer");
+        match (inner, outer) {
+            (Some(i), Some(o)) => assert!(o.value >= i.value),
+            _ => unreachable!("both end events must exist"),
+        }
+    }
+
+    #[test]
+    fn spans_unwind_on_panic() {
+        let _guard = obs_lock();
+        let sink = Arc::new(MemorySink::new(64));
+        install(sink.clone());
+        let result = std::panic::catch_unwind(|| {
+            let _outer = span("t.panic.outer");
+            let _inner = span("t.panic.inner");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        clear();
+        let events = sink.snapshot();
+        let begins = events.iter().filter(|e| e.kind == Kind::Begin).count();
+        let ends = events.iter().filter(|e| e.kind == Kind::End).count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2, "unwinding must close every open span");
+        // Inner closes before outer even during unwinding.
+        let order: Vec<&str> = events
+            .iter()
+            .filter(|e| e.kind == Kind::End)
+            .map(|e| e.name.as_ref())
+            .collect();
+        assert_eq!(order, vec!["t.panic.inner", "t.panic.outer"]);
+        // Depth counter is back to zero: a fresh span starts at depth 0.
+        install(sink.clone());
+        drop(span("t.after"));
+        clear();
+        let after = sink.snapshot();
+        let reopened = after
+            .iter()
+            .find(|e| e.name == "t.after" && e.kind == Kind::Begin);
+        match reopened {
+            Some(e) => assert_eq!(e.depth, 0),
+            None => unreachable!("t.after begin must be recorded"),
+        }
+    }
+
+    #[test]
+    fn dynamic_names_reach_the_sink() {
+        let _guard = obs_lock();
+        let sink = Arc::new(MemorySink::new(16));
+        install(sink.clone());
+        let iteration = 3;
+        drop(span_with(|| format!("t.iter{iteration}")));
+        value_with(|| format!("t.metric{iteration}"), 0.5);
+        clear();
+        let names: Vec<String> = sink
+            .snapshot()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+        assert!(names.contains(&"t.iter3".to_string()));
+        assert!(names.contains(&"t.metric3".to_string()));
+    }
+
+    #[test]
+    fn jsonl_line_shape() {
+        let event = Event {
+            ts_us: 12,
+            tid: 2,
+            depth: 1,
+            kind: Kind::End,
+            name: Cow::Borrowed("a.b\"c"),
+            value: 3.5,
+        };
+        assert_eq!(
+            to_jsonl(&event),
+            "{\"ts_us\":12,\"tid\":2,\"depth\":1,\"kind\":\"end\",\"name\":\"a.b\\\"c\",\"value\":3.5}"
+        );
+        let clamped = Event {
+            value: f64::NAN,
+            ..event
+        };
+        assert!(to_jsonl(&clamped).ends_with("\"value\":0}"));
+    }
+}

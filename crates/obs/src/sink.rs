@@ -1,0 +1,264 @@
+//! Event sinks: where recorded [`Event`]s go.
+//!
+//! * [`NoopSink`] — discards everything; useful to measure pure span
+//!   overhead with recording "on" but storage free.
+//! * [`MemorySink`] — bounded in-memory ring; the test sink, and the chaos
+//!   suite's black box (see [`PanicDump`]).
+//! * [`JsonlSink`] — streams one JSON object per line to a file; the
+//!   `--trace foo.jsonl` backend for long training runs where an in-memory
+//!   ring would drop early events.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::{to_jsonl, Event};
+
+/// Destination for recorded events. Implementations must be cheap and
+/// non-blocking-ish: `record` runs inline at the instrumentation site.
+pub trait Sink: Send + Sync {
+    /// Accepts one event. Must not panic.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output; default no-op.
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+#[derive(Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Bounded in-memory ring buffer. When full, the oldest event is dropped,
+/// so a long chaos run keeps the *latest* window — the part that explains
+/// a failure.
+pub struct MemorySink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl MemorySink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        MemorySink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Copies out the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        match self.buf.lock() {
+            Ok(buf) => buf.iter().cloned().collect(),
+            Err(poisoned) => poisoned.into_inner().iter().cloned().collect(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match self.buf.lock() {
+            Ok(buf) => buf.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// True when nothing has been recorded (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all buffered events.
+    pub fn reset(&self) {
+        if let Ok(mut buf) = self.buf.lock() {
+            buf.clear();
+        }
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        let mut buf = match self.buf.lock() {
+            Ok(buf) => buf,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines: one object per event, append
+/// order = record order. Buffered; call [`Sink::flush`] (or drop the sink
+/// via `obs::clear`) to guarantee the tail hits disk.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Any error from [`File::create`].
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut out = match self.out.lock() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Write errors are swallowed: tracing must never take down the
+        // traced process. A torn tail line is detectable by the reader.
+        let _ = writeln!(out, "{}", to_jsonl(event));
+    }
+
+    fn flush(&self) {
+        let mut out = match self.out.lock() {
+            Ok(out) => out,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = out.flush();
+    }
+}
+
+/// Writes `events` to stderr, one JSONL line each, under a labelled banner.
+/// Used by the chaos suite so a failing seeded run leaves its event ring in
+/// the CI log.
+pub fn dump_to_stderr(label: &str, events: &[Event]) {
+    let mut err = io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "--- bikecap-obs event ring dump [{label}]: {} events ---",
+        events.len()
+    );
+    for event in events {
+        let _ = writeln!(err, "{}", to_jsonl(event));
+    }
+    let _ = writeln!(err, "--- end event ring dump [{label}] ---");
+}
+
+/// Scope guard for chaos tests: holds a [`MemorySink`] and, if the scope
+/// unwinds (test assertion failure, injected fault escaping), dumps the ring
+/// to stderr so the failure is diagnosable from CI logs alone.
+///
+/// ```
+/// use std::sync::Arc;
+/// let sink = Arc::new(bikecap_obs::MemorySink::new(256));
+/// bikecap_obs::install(sink.clone());
+/// let _dump = bikecap_obs::PanicDump::new("chaos seed 3", sink);
+/// // ... exercise the system; on panic the ring lands in stderr ...
+/// bikecap_obs::clear();
+/// ```
+pub struct PanicDump {
+    label: String,
+    sink: Arc<MemorySink>,
+}
+
+impl PanicDump {
+    /// Arms a dump of `sink` labelled `label` to fire only on unwind.
+    pub fn new(label: impl Into<String>, sink: Arc<MemorySink>) -> Self {
+        PanicDump {
+            label: label.into(),
+            sink,
+        }
+    }
+}
+
+impl Drop for PanicDump {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            dump_to_stderr(&self.label, &self.sink.snapshot());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kind, MemorySink};
+    use std::borrow::Cow;
+
+    fn event(ts_us: u64, name: &'static str) -> Event {
+        Event {
+            ts_us,
+            tid: 1,
+            depth: 0,
+            kind: Kind::Value,
+            name: Cow::Borrowed(name),
+            value: 1.0,
+        }
+    }
+
+    #[test]
+    fn memory_sink_is_a_ring() {
+        let sink = MemorySink::new(3);
+        for i in 0..5 {
+            sink.record(&event(i, "x"));
+        }
+        let kept: Vec<u64> = sink.snapshot().iter().map(|e| e.ts_us).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn jsonl_sink_golden() {
+        let dir = std::env::temp_dir().join(format!(
+            "bikecap-obs-jsonl-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("golden.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&Event {
+            ts_us: 10,
+            tid: 1,
+            depth: 0,
+            kind: Kind::Begin,
+            name: Cow::Borrowed("g.outer"),
+            value: 0.0,
+        });
+        sink.record(&Event {
+            ts_us: 25,
+            tid: 1,
+            depth: 0,
+            kind: Kind::End,
+            name: Cow::Borrowed("g.outer"),
+            value: 15.0,
+        });
+        sink.flush();
+        let written = std::fs::read_to_string(&path).unwrap();
+        let expected = "\
+{\"ts_us\":10,\"tid\":1,\"depth\":0,\"kind\":\"begin\",\"name\":\"g.outer\",\"value\":0}\n\
+{\"ts_us\":25,\"tid\":1,\"depth\":0,\"kind\":\"end\",\"name\":\"g.outer\",\"value\":15}\n";
+        assert_eq!(written, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panic_dump_fires_only_on_unwind() {
+        // Quiet path: no panic, drop must not print (we can't capture
+        // stderr here, but we can at least assert it doesn't panic).
+        let sink = Arc::new(MemorySink::new(8));
+        drop(PanicDump::new("quiet", sink.clone()));
+        // Unwinding path: the guard must survive a dump during panic.
+        let sink2 = sink.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _dump = PanicDump::new("loud", sink2);
+            panic!("chaos");
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-layer cost aggregation: folds a recorded event stream into a table
+//! of (span name → call count, total/mean/max µs), the summary `bikecap
+//! profile` prints next to the trace file.
+
+use std::collections::HashMap;
+
+use crate::{Event, Kind};
+
+/// Aggregated cost of one span name across a recording.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostRow {
+    /// Span name (`subsystem.component.operation`).
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: f64,
+    /// Mean span duration, µs.
+    pub mean_us: f64,
+    /// Largest single span duration, µs.
+    pub max_us: f64,
+}
+
+/// Folds `End` events into per-name cost rows, sorted by total time
+/// descending (ties broken by name for determinism).
+pub fn cost_table(events: &[Event]) -> Vec<CostRow> {
+    let mut acc: HashMap<&str, (u64, f64, f64)> = HashMap::new();
+    for event in events {
+        if event.kind != Kind::End {
+            continue;
+        }
+        let slot = acc.entry(event.name.as_ref()).or_insert((0, 0.0, 0.0));
+        slot.0 += 1;
+        slot.1 += event.value;
+        slot.2 = slot.2.max(event.value);
+    }
+    let mut rows: Vec<CostRow> = acc
+        .into_iter()
+        .map(|(name, (count, total_us, max_us))| CostRow {
+            name: name.to_string(),
+            count,
+            total_us,
+            mean_us: total_us / count as f64,
+            max_us,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total_us
+            .partial_cmp(&a.total_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders rows as an aligned plain-text table (header + one line per row).
+pub fn render_cost_table(rows: &[CostRow]) -> String {
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_width$}  {:>7}  {:>12}  {:>10}  {:>10}\n",
+        "span", "calls", "total_us", "mean_us", "max_us"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<name_width$}  {:>7}  {:>12.0}  {:>10.1}  {:>10.0}\n",
+            row.name, row.count, row.total_us, row.mean_us, row.max_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn end(name: &'static str, dur: f64) -> Event {
+        Event {
+            ts_us: 0,
+            tid: 1,
+            depth: 0,
+            kind: Kind::End,
+            name: Cow::Borrowed(name),
+            value: dur,
+        }
+    }
+
+    #[test]
+    fn aggregates_and_sorts_by_total() {
+        let events = vec![
+            end("fast", 10.0),
+            end("slow", 100.0),
+            end("fast", 30.0),
+            Event {
+                kind: Kind::Begin,
+                ..end("ignored", 0.0)
+            },
+        ];
+        let rows = cost_table(&events);
+        assert_eq!(rows.len(), 2);
+        let first = rows.first().expect("two rows");
+        assert_eq!(first.name, "slow");
+        assert_eq!(first.count, 1);
+        let second = rows.get(1).expect("two rows");
+        assert_eq!(second.name, "fast");
+        assert_eq!(second.count, 2);
+        assert!((second.total_us - 40.0).abs() < 1e-9);
+        assert!((second.mean_us - 20.0).abs() < 1e-9);
+        assert!((second.max_us - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_includes_header_and_rows() {
+        let rows = cost_table(&[end("a.b", 5.0)]);
+        let text = render_cost_table(&rows);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
+        assert!(header.contains("span") && header.contains("total_us"));
+        let line = lines.next().unwrap_or_default();
+        assert!(line.starts_with("a.b"));
+        assert!(line.contains('5'));
+    }
+}

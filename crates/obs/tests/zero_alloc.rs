@@ -1,0 +1,56 @@
+//! Disabled-mode cost contract: with no sink installed, opening spans and
+//! recording values must not allocate at all. A counting global allocator
+//! (this test binary only) makes the claim checkable rather than aspirational.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_and_values_do_not_allocate() {
+    bikecap_obs::clear();
+    assert!(!bikecap_obs::enabled());
+
+    // Warm up thread-locals and lazy statics outside the measured window.
+    {
+        let _warm = bikecap_obs::span("warmup");
+        bikecap_obs::value("warmup", 0.0);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        let _outer = bikecap_obs::span("zero.alloc.outer");
+        let _inner = bikecap_obs::span_with(|| format!("zero.alloc.iter{i}"));
+        bikecap_obs::value("zero.alloc.metric", i as f64);
+        bikecap_obs::value_with(|| format!("zero.alloc.metric{i}"), i as f64);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled obs must be allocation-free on the hot path"
+    );
+}

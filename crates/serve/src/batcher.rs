@@ -178,13 +178,15 @@ fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: 
         // Collection phase: hold the receiver while assembling one batch.
         // Prediction happens after the lock drops, so another worker can
         // assemble the next batch while this one computes.
-        let batch = {
+        let (batch, assembly) = {
             let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
             let first = match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(job) => job,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => return,
             };
+            let assembly_start = Instant::now();
+            let _assembly_span = bikecap_obs::span("serve.batch.assemble");
             let mut batch = vec![first];
             let deadline = Instant::now() + config.max_wait;
             while batch.len() < config.max_batch {
@@ -203,11 +205,23 @@ fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: 
                     Err(_) => break,
                 }
             }
-            batch
+            (batch, assembly_start.elapsed())
         };
         metrics
             .queue_depth
             .fetch_sub(batch.len(), Ordering::Relaxed);
+        metrics.stage_batch_assembly.observe(assembly);
+        // Queue wait is measured at drain time: how long each job sat on
+        // the queue before a worker picked its batch up.
+        let drained = Instant::now();
+        for job in &batch {
+            metrics
+                .stage_queue_wait
+                .observe(drained.saturating_duration_since(job.enqueued));
+        }
+        if bikecap_obs::enabled() {
+            bikecap_obs::value("serve.batch.size", batch.len() as f64);
+        }
         if !config.worker_delay.is_zero() {
             thread::sleep(config.worker_delay);
         }
@@ -263,6 +277,8 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
             Panicked,
             Expired,
         }
+        let compute_start = Instant::now();
+        let _compute_span = bikecap_obs::span("serve.batch.compute");
         let mut attempt = 0u32;
         let outcome = loop {
             if let Some(fault) = bikecap_faults::hit("serve.worker.predict") {
@@ -288,6 +304,7 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
         };
         match outcome {
             Outcome::Done(outputs) => {
+                metrics.stage_compute.observe(compute_start.elapsed());
                 metrics.record_batch(size);
                 for (job, output) in jobs.into_iter().zip(outputs) {
                     let _ = job.respond.send(JobResult {

@@ -184,10 +184,26 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 ///
 /// Returns any underlying I/O error.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// Like [`write_response`] but with an explicit `Content-Type` (the
+/// Prometheus exposition at `/metrics` is plain text, not JSON).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     stream.write_all(head.as_bytes())?;

@@ -1,6 +1,13 @@
 //! Lock-light serving metrics: counters, a batch-size histogram, queue
-//! depth, and request latency quantiles over a fixed ring buffer.
+//! depth, per-stage duration histograms, and request latency quantiles
+//! over a fixed ring buffer.
+//!
+//! Two read formats: [`Metrics::to_prometheus`] renders the Prometheus
+//! text exposition served at `GET /metrics`; [`Metrics::to_json`] keeps
+//! the key/value snapshot (served at `GET /metrics.json`) that tests and
+//! ops scripts consume.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -11,8 +18,73 @@ use crate::json::Json;
 /// open-ended.
 pub const BATCH_BUCKETS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+/// Duration-histogram bucket upper bounds in microseconds (inclusive); the
+/// last bucket is open-ended. Spans 50 µs to 1 s, which covers everything
+/// from queue hops on an idle server to a full forward pass on a big grid.
+pub const DURATION_BUCKETS_US: [u64; 9] =
+    [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
 /// How many recent request latencies the quantile ring retains.
 pub const LATENCY_RING: usize = 1024;
+
+/// The serving pipeline stages we time individually. The order here is the
+/// order a request experiences them.
+pub const STAGES: [&str; 4] = ["queue_wait", "batch_assembly", "compute", "serialize"];
+
+/// A fixed-bucket duration histogram with atomic cells: Prometheus-style
+/// cumulative rendering, lock-free recording.
+#[derive(Debug, Default)]
+pub struct DurationHist {
+    buckets: [AtomicU64; DURATION_BUCKETS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl DurationHist {
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = DURATION_BUCKETS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(DURATION_BUCKETS_US.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Appends Prometheus exposition lines for this histogram. `labels` is
+    /// either empty or a `key="value"` fragment without braces.
+    fn render_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, cell) in self.buckets.iter().enumerate() {
+            cumulative += cell.load(Ordering::Relaxed);
+            let le = DURATION_BUCKETS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_string());
+            let sep = if labels.is_empty() { "" } else { "," };
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}");
+        }
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{braces} {}", self.sum_us());
+        let _ = writeln!(out, "{name}_count{braces} {}", self.count());
+    }
+}
 
 /// Shared serving metrics. All hot-path updates are atomic; only the latency
 /// ring takes a (short) lock.
@@ -28,10 +100,27 @@ pub struct Metrics {
     pub client_errors: AtomicU64,
     /// Current number of requests sitting in the batching queue.
     pub queue_depth: AtomicUsize,
+    /// Requests currently inside `POST /predict` handling (parsing, queue
+    /// wait, compute, serialisation). Balanced on every exit path.
+    pub in_flight: AtomicUsize,
     /// Completed model batches, by size bucket (see [`BATCH_BUCKETS`]).
     batch_hist: [AtomicU64; BATCH_BUCKETS.len() + 1],
+    /// Sum of all batch sizes (the `_sum` of the batch-size histogram).
+    batch_size_sum: AtomicU64,
     /// Total batches run (sum of the histogram, kept for cheap reads).
     pub batches_total: AtomicU64,
+    /// Time jobs spent queued before a worker drained them.
+    pub stage_queue_wait: DurationHist,
+    /// Time a worker spent assembling one batch after its first job.
+    pub stage_batch_assembly: DurationHist,
+    /// Time one batched forward pass took (including fault retries).
+    pub stage_compute: DurationHist,
+    /// Time spent serialising a prediction response body.
+    pub stage_serialize: DurationHist,
+    /// End-to-end request latency as a fixed-bucket histogram (the quantile
+    /// ring below gives p50/p99 over a sliding window; this gives the
+    /// cumulative distribution Prometheus wants).
+    pub request_latency: DurationHist,
     /// Model hot-swaps performed since startup.
     pub swaps_total: AtomicU64,
     /// Transient worker-side prediction faults that were retried (injected
@@ -72,8 +161,15 @@ impl Metrics {
             rejected_total: AtomicU64::new(0),
             client_errors: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
             batch_hist: Default::default(),
+            batch_size_sum: AtomicU64::new(0),
             batches_total: AtomicU64::new(0),
+            stage_queue_wait: DurationHist::default(),
+            stage_batch_assembly: DurationHist::default(),
+            stage_compute: DurationHist::default(),
+            stage_serialize: DurationHist::default(),
+            request_latency: DurationHist::default(),
             swaps_total: AtomicU64::new(0),
             worker_faults_total: AtomicU64::new(0),
             submit_retries_total: AtomicU64::new(0),
@@ -94,11 +190,24 @@ impl Metrics {
             .position(|&b| size <= b)
             .unwrap_or(BATCH_BUCKETS.len());
         self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batch_size_sum.fetch_add(size as u64, Ordering::Relaxed);
         self.batches_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The duration histogram for a named pipeline stage (see [`STAGES`]).
+    pub fn stage(&self, name: &str) -> Option<&DurationHist> {
+        match name {
+            "queue_wait" => Some(&self.stage_queue_wait),
+            "batch_assembly" => Some(&self.stage_batch_assembly),
+            "compute" => Some(&self.stage_compute),
+            "serialize" => Some(&self.stage_serialize),
+            _ => None,
+        }
     }
 
     /// Records one request's end-to-end latency.
     pub fn record_latency(&self, latency: Duration) {
+        self.request_latency.observe(latency);
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         let mut ring = self.latencies.lock().unwrap_or_else(|e| e.into_inner());
         if ring.samples.len() < LATENCY_RING {
@@ -167,6 +276,10 @@ impl Metrics {
                 "queue_depth",
                 Json::Num(self.queue_depth.load(Ordering::Relaxed) as f64),
             ),
+            (
+                "in_flight",
+                Json::Num(self.in_flight.load(Ordering::Relaxed) as f64),
+            ),
             ("batch_size_histogram", Json::Arr(hist)),
             (
                 "batches_total",
@@ -192,6 +305,152 @@ impl Metrics {
             ("latency_p50_us", lat(0.50)),
             ("latency_p99_us", lat(0.99)),
         ])
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4) served
+    /// at `GET /metrics`: every counter and gauge with `# HELP`/`# TYPE`
+    /// headers, the batch-size histogram, the end-to-end latency histogram,
+    /// and one `bikecap_stage_duration_us` histogram per pipeline stage.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = writeln!(out, "{name} {}", v as i64);
+            } else {
+                let _ = writeln!(out, "{name} {v}");
+            }
+        };
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+
+        counter(
+            &mut out,
+            "bikecap_requests_total",
+            "Requests that reached POST /predict.",
+            load(&self.requests_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_responses_ok_total",
+            "Requests answered with a prediction.",
+            load(&self.responses_ok),
+        );
+        counter(
+            &mut out,
+            "bikecap_rejected_total",
+            "Requests shed with 503 because the queue was full.",
+            load(&self.rejected_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_client_errors_total",
+            "Requests rejected with a 4xx status.",
+            load(&self.client_errors),
+        );
+        counter(
+            &mut out,
+            "bikecap_batches_total",
+            "Completed model batches.",
+            load(&self.batches_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_swaps_total",
+            "Model hot-swaps performed since startup.",
+            load(&self.swaps_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_worker_faults_total",
+            "Transient worker-side prediction faults that were retried.",
+            load(&self.worker_faults_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_submit_retries_total",
+            "Submissions retried after a full-queue rejection.",
+            load(&self.submit_retries_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_deadline_expired_total",
+            "Jobs dropped because their deadline passed before compute.",
+            load(&self.deadline_expired_total),
+        );
+
+        gauge(
+            &mut out,
+            "bikecap_queue_depth",
+            "Requests currently waiting in the batching queue.",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "bikecap_in_flight",
+            "Requests currently inside POST /predict handling.",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "bikecap_degraded",
+            "1 when serving from a stale model or with faults armed.",
+            if self.degraded.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            },
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP bikecap_batch_size Requests fused per completed model batch."
+        );
+        let _ = writeln!(out, "# TYPE bikecap_batch_size histogram");
+        let mut cumulative = 0u64;
+        for (i, cell) in self.batch_hist.iter().enumerate() {
+            cumulative += cell.load(Ordering::Relaxed);
+            let le = BATCH_BUCKETS
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_string());
+            let _ = writeln!(out, "bikecap_batch_size_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(
+            out,
+            "bikecap_batch_size_sum {}",
+            self.batch_size_sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "bikecap_batch_size_count {}", load(&self.batches_total));
+
+        let _ = writeln!(
+            out,
+            "# HELP bikecap_request_latency_us End-to-end POST /predict latency, microseconds."
+        );
+        let _ = writeln!(out, "# TYPE bikecap_request_latency_us histogram");
+        self.request_latency
+            .render_prometheus(&mut out, "bikecap_request_latency_us", "");
+
+        let _ = writeln!(
+            out,
+            "# HELP bikecap_stage_duration_us Per-stage serving pipeline time, microseconds."
+        );
+        let _ = writeln!(out, "# TYPE bikecap_stage_duration_us histogram");
+        for stage in STAGES {
+            if let Some(hist) = self.stage(stage) {
+                hist.render_prometheus(
+                    &mut out,
+                    "bikecap_stage_duration_us",
+                    &format!("stage=\"{stage}\""),
+                );
+            }
+        }
+        out
     }
 }
 
@@ -240,6 +499,104 @@ mod tests {
         }
         // All old samples overwritten: the max is now 5.
         assert_eq!(m.latency_quantile(1.0), Some(5));
+    }
+
+    /// A hand-rolled check of the exposition format: every sample line is
+    /// `name{labels} value`, every sample's family has a `# TYPE` line
+    /// first, and histogram buckets are cumulative and end at `+Inf`.
+    fn parse_prometheus(text: &str) -> std::collections::BTreeMap<String, f64> {
+        let mut typed: std::collections::BTreeMap<String, String> = Default::default();
+        let mut samples = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE needs a name").to_string();
+                let kind = it.next().expect("TYPE needs a kind").to_string();
+                assert!(
+                    matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                    "unknown type {kind}"
+                );
+                typed.insert(name, kind);
+                continue;
+            }
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP "), "only HELP/TYPE comments: {line}");
+                continue;
+            }
+            let (key, value) = line.rsplit_once(' ').expect("sample needs a value");
+            let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in {line}"));
+            let name = key.split('{').next().unwrap();
+            let family = name
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            assert!(
+                typed.contains_key(name) || typed.contains_key(family),
+                "sample {name} has no # TYPE"
+            );
+            samples.insert(key.to_string(), value);
+        }
+        samples
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.record_batch(2);
+        m.record_batch(5);
+        m.record_latency(Duration::from_micros(300));
+        m.stage_queue_wait.observe(Duration::from_micros(40));
+        m.stage_compute.observe(Duration::from_micros(900));
+        m.stage_serialize.observe(Duration::from_micros(10));
+        m.stage_batch_assembly.observe(Duration::from_micros(70));
+        let text = m.to_prometheus();
+        let samples = parse_prometheus(&text);
+
+        assert_eq!(samples.get("bikecap_requests_total"), Some(&3.0));
+        assert_eq!(samples.get("bikecap_batches_total"), Some(&2.0));
+        assert_eq!(samples.get("bikecap_batch_size_sum"), Some(&7.0));
+        assert_eq!(samples.get("bikecap_batch_size_count"), Some(&2.0));
+        assert_eq!(samples.get("bikecap_queue_depth"), Some(&0.0));
+        assert_eq!(samples.get("bikecap_in_flight"), Some(&0.0));
+
+        // Every stage histogram is present with cumulative buckets.
+        for stage in STAGES {
+            let inf = format!("bikecap_stage_duration_us_bucket{{stage=\"{stage}\",le=\"+Inf\"}}");
+            let count = format!("bikecap_stage_duration_us_count{{stage=\"{stage}\"}}");
+            assert_eq!(samples.get(&inf), Some(&1.0), "{stage}");
+            assert_eq!(samples.get(&count), Some(&1.0), "{stage}");
+            let mut prev = 0.0;
+            for b in DURATION_BUCKETS_US {
+                let key =
+                    format!("bikecap_stage_duration_us_bucket{{stage=\"{stage}\",le=\"{b}\"}}");
+                let v = *samples.get(&key).unwrap_or_else(|| panic!("missing {key}"));
+                assert!(v >= prev, "buckets must be cumulative ({key})");
+                prev = v;
+            }
+        }
+
+        // Latency histogram saw exactly the one recorded request.
+        assert_eq!(
+            samples.get("bikecap_request_latency_us_bucket{le=\"+Inf\"}"),
+            Some(&1.0)
+        );
+        assert_eq!(samples.get("bikecap_request_latency_us_sum"), Some(&300.0));
+    }
+
+    #[test]
+    fn duration_hist_buckets_are_inclusive() {
+        let h = DurationHist::default();
+        h.observe(Duration::from_micros(50)); // lands in le=50
+        h.observe(Duration::from_micros(51)); // lands in le=100
+        h.observe(Duration::from_secs(10)); // overflows to +Inf
+        let mut out = String::new();
+        h.render_prometheus(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"50\"} 1"), "{out}");
+        assert!(out.contains("x_bucket{le=\"100\"} 2"), "{out}");
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 3"), "{out}");
+        assert!(out.contains("x_count 3"), "{out}");
     }
 
     #[test]

@@ -249,7 +249,12 @@ fn handle_connection(inner: &Inner, mut stream: TcpStream) {
         Err(_) => return,
     };
     let (status, body) = route(inner, &request);
-    let _ = http::write_response(&mut stream, status, &body);
+    let content_type = if request.path == "/metrics" && status == 200 {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    let _ = http::write_response_typed(&mut stream, status, content_type, &body);
 }
 
 fn route(inner: &Inner, request: &Request) -> (u16, String) {
@@ -259,10 +264,15 @@ fn route(inner: &Inner, request: &Request) -> (u16, String) {
         ("GET", "/metrics") => {
             let degraded = is_degraded(inner);
             inner.metrics.degraded.store(degraded, Ordering::Relaxed);
+            (200, inner.metrics.to_prometheus())
+        }
+        ("GET", "/metrics.json") => {
+            let degraded = is_degraded(inner);
+            inner.metrics.degraded.store(degraded, Ordering::Relaxed);
             (200, inner.metrics.to_json().to_string())
         }
         ("POST", "/admin/reload") => reload(inner, &request.body),
-        (_, "/predict" | "/healthz" | "/metrics" | "/admin/reload") => {
+        (_, "/predict" | "/healthz" | "/metrics" | "/metrics.json" | "/admin/reload") => {
             error_response(HttpError::new(405, "method not allowed for this route"))
         }
         _ => error_response(HttpError::new(404, "no such route")),
@@ -309,14 +319,42 @@ fn healthz(inner: &Inner) -> (u16, String) {
     (200, doc.to_string())
 }
 
+/// Decrements `in_flight` on drop so every exit path of [`predict`] —
+/// success, client error, shed, timeout, or panic unwind — stays balanced.
+struct InFlightGuard<'a>(&'a Metrics);
+
+impl<'a> InFlightGuard<'a> {
+    fn enter(metrics: &'a Metrics) -> Self {
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(metrics)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 fn predict(inner: &Inner, body: &[u8]) -> (u16, String) {
     inner.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let _in_flight = InFlightGuard::enter(&inner.metrics);
+    let _span = bikecap_obs::span("serve.predict");
     let started = Instant::now();
     match predict_impl(inner, body, started) {
         Ok(doc) => {
             inner.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+            let serialize_start = Instant::now();
+            let body = {
+                let _ser_span = bikecap_obs::span("serve.predict.serialize");
+                doc.to_string()
+            };
+            inner
+                .metrics
+                .stage_serialize
+                .observe(serialize_start.elapsed());
             inner.metrics.record_latency(started.elapsed());
-            (200, doc.to_string())
+            (200, body)
         }
         Err(e) => {
             if e.status == 503 {
@@ -389,9 +427,11 @@ fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, Ht
         }
     }
     let wait = deadline.saturating_duration_since(Instant::now());
+    let _wait_span = bikecap_obs::span("serve.predict.wait");
     let result = result_rx
         .recv_timeout(wait)
         .map_err(|_| HttpError::with_code(504, "deadline_exceeded", "prediction timed out"))?;
+    drop(_wait_span);
     let output = result.output.map_err(|msg| HttpError::new(500, msg))?;
 
     Ok(Json::obj([
@@ -580,11 +620,74 @@ mod tests {
         let doc = Json::parse(&body).unwrap();
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
 
+        // /metrics is Prometheus text now…
         let (status, body) = get(&server, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE bikecap_requests_total counter"), "{body}");
+        assert!(
+            body.contains("bikecap_stage_duration_us_bucket{stage=\"compute\""),
+            "{body}"
+        );
+
+        // …and the JSON snapshot moved to /metrics.json.
+        let (status, body) = get(&server, "/metrics.json");
         assert_eq!(status, 200);
         let doc = Json::parse(&body).unwrap();
         assert!(doc.get("batch_size_histogram").is_some());
+        assert_eq!(doc.get("in_flight").and_then(Json::as_usize), Some(0));
         server.shutdown();
+    }
+
+    #[test]
+    fn gauges_balance_after_retries_and_timeouts() {
+        // A saturating burst exercises the retry, shed, and deadline paths;
+        // afterwards the queue-depth and in-flight gauges must both read 0.
+        let registry = Arc::new(ModelRegistry::new());
+        registry.insert(DEFAULT_MODEL, BikeCap::seeded(tiny_config(), 5));
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch: BatchConfig {
+                queue_cap: 2,
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                workers: 1,
+                worker_delay: Duration::from_millis(80),
+            },
+            request_timeout: Duration::from_millis(200),
+            submit_retries: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(config, registry).unwrap();
+        let addr = server.local_addr();
+        let body = predict_body();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let body = body.clone();
+                thread::spawn(move || {
+                    http::client_request(addr, "POST", "/predict", Some(&body), Duration::from_secs(10))
+                        .map(|(status, _)| status)
+                })
+            })
+            .collect();
+        let mut statuses = Vec::new();
+        for h in handles {
+            statuses.push(h.join().unwrap().unwrap());
+        }
+        // Every request got a definite answer (200, shed 503, or timeout 504).
+        assert!(statuses.iter().all(|s| [200, 503, 504].contains(s)), "{statuses:?}");
+        let metrics = server.metrics();
+        // Give the worker a beat to finish the last drained batch.
+        for _ in 0..100 {
+            if metrics.in_flight.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 0);
+        server.shutdown();
+        // Post-drain: nothing left queued, nothing left in flight.
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.in_flight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

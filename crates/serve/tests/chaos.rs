@@ -27,14 +27,27 @@ fn chaos_seed() -> u64 {
         .unwrap_or(0)
 }
 
-fn chaos_lock() -> MutexGuard<'static, ()> {
+/// Held for a chaos test's whole body: the fault-plan lock plus a
+/// [`PanicDump`] (declared first, dropped last) that replays the obs
+/// event ring to stderr if the test panics under an injected schedule.
+struct ChaosGuard {
+    _dump: bikecap_obs::PanicDump,
+    _lock: MutexGuard<'static, ()>,
+}
+
+fn chaos_lock() -> ChaosGuard {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     let guard = LOCK
         .get_or_init(|| Mutex::new(()))
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     faults::clear();
-    guard
+    let ring = Arc::new(bikecap_obs::MemorySink::new(4096));
+    bikecap_obs::install(ring.clone());
+    ChaosGuard {
+        _dump: bikecap_obs::PanicDump::new(format!("chaos seed {}", chaos_seed()), ring),
+        _lock: guard,
+    }
 }
 
 fn arm(spec: &str) {
@@ -151,8 +164,12 @@ fn worker_faults_yield_only_valid_statuses() {
         "retries should recover most requests: {all:?}"
     );
 
-    // Metrics stay parseable and report the degraded flag while armed.
-    let (status, body) = get(&server, "/metrics");
+    // Metrics stay parseable and report the degraded flag while armed —
+    // in both the Prometheus text and the JSON snapshot.
+    let (status, prom) = get(&server, "/metrics");
+    assert_eq!(status, 200);
+    assert!(prom.contains("bikecap_degraded 1"), "{prom}");
+    let (status, body) = get(&server, "/metrics.json");
     assert_eq!(status, 200);
     let metrics = Json::parse(&body).unwrap();
     assert_eq!(metrics.get("degraded"), Some(&Json::Bool(true)));

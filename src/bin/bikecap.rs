@@ -44,13 +44,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: bikecap <simulate|train|forecast|serve|check-config> [--days N] [--seed N] \
+    "usage: bikecap <simulate|train|forecast|serve|profile|check-config> [--days N] [--seed N] \
      [--horizon N] [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] \
      [--resume] [--autosave-every N] \
      [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
-     [--queue-cap N] [--bind-retries N] [--faults SPEC] [--fault-seed N]\n\
+     [--queue-cap N] [--bind-retries N] [--faults SPEC] [--fault-seed N] \
+     [--steps N] [--trace FILE]\n\
      round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`\n\
      resume an interrupted run: `bikecap train --save model.ckpt --resume`\n\
+     profile N train steps: `bikecap profile --steps 10 --trace trace.json` (open the \
+     trace in chrome://tracing or Perfetto)\n\
+     `--trace FILE` on train/serve records spans too: `.jsonl` streams events, any \
+     other extension writes a Chrome trace on exit\n\
      `--faults 'io.checkpoint.write=p:0.3'` arms seeded failpoints (needs the \
      `faultline` build feature)\n\
      `bikecap check-config --help` lists the shape-checker's own flags"
@@ -75,6 +80,8 @@ struct Args {
     bind_retries: u32,
     faults: Option<String>,
     fault_seed: u64,
+    steps: usize,
+    trace: Option<PathBuf>,
 }
 
 /// Flags that are plain switches: present means true, they never consume the
@@ -123,6 +130,8 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
         fault_seed: get("fault-seed", "0")
             .parse()
             .map_err(|_| "invalid --fault-seed".to_string())?,
+        steps: get("steps", "10").parse().map_err(|_| "invalid --steps".to_string())?,
+        trace: map.get("trace").map(PathBuf::from),
     })
 }
 
@@ -164,6 +173,97 @@ fn model_for(trips: &TripData, horizon: usize, seed: u64) -> BikeCap {
     )
 }
 
+/// What `finish_trace` still owes the user once the traced run ends: for
+/// Chrome-trace mode the buffered events and their destination, for JSONL
+/// mode nothing (events already streamed to disk).
+enum TraceMode {
+    Chrome(Arc<bikecap::obs::MemorySink>, PathBuf),
+    Jsonl(PathBuf),
+}
+
+/// Installs the span sink `--trace FILE` asked for: `.jsonl` streams events
+/// as they happen; any other extension buffers in memory and writes a
+/// Chrome `trace_event` file when the run ends.
+fn start_trace(path: &std::path::Path) -> Result<TraceMode, String> {
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        let sink = bikecap::obs::JsonlSink::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        bikecap::obs::install(Arc::new(sink));
+        Ok(TraceMode::Jsonl(path.to_path_buf()))
+    } else {
+        let sink = Arc::new(bikecap::obs::MemorySink::new(1 << 20));
+        bikecap::obs::install(sink.clone());
+        Ok(TraceMode::Chrome(sink, path.to_path_buf()))
+    }
+}
+
+/// Flushes/exports the trace started by [`start_trace`] and reports where
+/// it went. Returns the captured events for further reporting (Chrome mode
+/// only; JSONL mode returns an empty vec — the file already has them).
+fn finish_trace(mode: TraceMode) -> Result<Vec<bikecap::obs::Event>, String> {
+    bikecap::obs::clear();
+    match mode {
+        TraceMode::Jsonl(path) => {
+            println!("trace: events streamed to {} (JSONL)", path.display());
+            Ok(Vec::new())
+        }
+        TraceMode::Chrome(sink, path) => {
+            let events = sink.snapshot();
+            bikecap::obs::chrome::write_chrome_trace(&path, &events)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            println!(
+                "trace: {} events -> {} (open in chrome://tracing or Perfetto)",
+                events.len(),
+                path.display()
+            );
+            Ok(events)
+        }
+    }
+}
+
+/// `bikecap profile`: run `--steps` forward/backward training steps on a
+/// simulated dataset with span recording on, write a Chrome trace, and
+/// print the per-layer cost table.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let trace_path = args
+        .trace
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("bikecap-trace.json"));
+    let sink = Arc::new(bikecap::obs::MemorySink::new(1 << 20));
+    bikecap::obs::install(sink.clone());
+
+    let trips = simulate_city(args);
+    let dataset = build_dataset(&trips, args.horizon);
+    let mut model = model_for(&trips, args.horizon, args.seed);
+    println!(
+        "profiling {} forward/backward steps on a {}x{} grid ({} parameters)…",
+        args.steps,
+        trips.layout.height,
+        trips.layout.width,
+        model.num_parameters()
+    );
+    let options = TrainOptions {
+        epochs: 1,
+        batch_size: 4,
+        max_batches_per_epoch: Some(args.steps.max(1)),
+        learning_rate: 3e-3,
+        ..TrainOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbeef);
+    let report = model.fit(&dataset, &options, &mut rng);
+
+    let events = finish_trace(TraceMode::Chrome(sink, trace_path))?;
+    let rows = bikecap::obs::cost_table(&events);
+    print!("{}", bikecap::obs::render_cost_table(&rows));
+    println!(
+        "profiled {} step(s) in {:.2}s, final loss {:.4}",
+        args.steps,
+        report.seconds,
+        report.final_loss().unwrap_or(f32::NAN)
+    );
+    Ok(())
+}
+
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     let trips = simulate_city(args);
     std::fs::create_dir_all(&args.out_dir).map_err(|e| e.to_string())?;
@@ -183,6 +283,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
+    let trace = args.trace.as_deref().map(start_trace).transpose()?;
     let trips = simulate_city(args);
     let dataset = build_dataset(&trips, args.horizon);
     let mut model = model_for(&trips, args.horizon, args.seed);
@@ -247,6 +348,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             path.display()
         );
     }
+    if let Some(mode) = trace {
+        finish_trace(mode)?;
+    }
     Ok(())
 }
 
@@ -293,6 +397,7 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    let trace = args.trace.as_deref().map(start_trace).transpose()?;
     let path = args.checkpoint.clone().ok_or_else(|| {
         format!(
             "serve requires --checkpoint FILE (write one with `bikecap train --save FILE`)\n{}",
@@ -350,6 +455,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     println!("ctrl-c or SIGTERM drains in-flight batches and exits");
     server.run_until(install_shutdown_flag());
     println!("drained and stopped");
+    if let Some(mode) = trace {
+        finish_trace(mode)?;
+    }
     Ok(())
 }
 
@@ -427,6 +535,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "forecast" => cmd_forecast(&args),
         "serve" => cmd_serve(&args),
+        "profile" => cmd_profile(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {

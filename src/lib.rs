@@ -26,5 +26,6 @@ pub use bikecap_core as model;
 pub use bikecap_eval as eval;
 pub use bikecap_faults as faults;
 pub use bikecap_nn as nn;
+pub use bikecap_obs as obs;
 pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;

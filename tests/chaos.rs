@@ -33,17 +33,33 @@ fn chaos_seed() -> u64 {
         .unwrap_or(0)
 }
 
+/// Held for a chaos test's whole body: serialises on the process-global
+/// fault plan, and — declared first so it drops last — a [`PanicDump`]
+/// that replays the in-memory obs event ring to stderr if the test
+/// panics, so a failing seed ships its span/value history with the
+/// assertion message.
+struct ChaosGuard {
+    _dump: bikecap::obs::PanicDump,
+    _lock: MutexGuard<'static, ()>,
+}
+
 /// Fault plans are process-global, so every test body — including its
 /// fault-free phases — runs under this lock, and clears any plan a
-/// panicked predecessor left behind.
-fn chaos_lock() -> MutexGuard<'static, ()> {
+/// panicked predecessor left behind. Also arms span recording into a
+/// fresh in-memory ring that is dumped to stderr on panic.
+fn chaos_lock() -> ChaosGuard {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     let guard = LOCK
         .get_or_init(|| Mutex::new(()))
         .lock()
         .unwrap_or_else(|e| e.into_inner());
     faults::clear();
-    guard
+    let ring = std::sync::Arc::new(bikecap::obs::MemorySink::new(4096));
+    bikecap::obs::install(ring.clone());
+    ChaosGuard {
+        _dump: bikecap::obs::PanicDump::new(format!("chaos seed {}", chaos_seed()), ring),
+        _lock: guard,
+    }
 }
 
 /// Installs the fault schedule for this process's sweep seed.

@@ -132,7 +132,15 @@ fn batched_responses_match_single_requests_bit_for_bit() {
     );
 
     // Metrics agree with what just happened.
-    let (status, body) = client_request(addr, "GET", "/metrics", None, Duration::from_secs(5))
+    let (status, prom) = client_request(addr, "GET", "/metrics", None, Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(prom.contains("bikecap_requests_total 12"), "{prom}");
+    assert!(
+        prom.contains("# TYPE bikecap_stage_duration_us histogram"),
+        "{prom}"
+    );
+    let (status, body) = client_request(addr, "GET", "/metrics.json", None, Duration::from_secs(5))
         .unwrap();
     assert_eq!(status, 200);
     let m = Json::parse(&body).unwrap();
