@@ -1,0 +1,142 @@
+//! Parallel-kernel microbenchmarks: times the `bikecap-rt`-backed hot paths
+//! (matmul, conv3d, conv_transpose3d, full `BikeCap::predict`) across thread
+//! counts and writes a machine-readable `BENCH_parallel.json` at the
+//! workspace root (op name, shape, threads, ns/iter, speedup vs 1 thread).
+//!
+//! Every timed op is also checked bitwise against the serial backend at
+//! every thread count — the deterministic-reduction contract means the
+//! numbers in the JSON always describe *identical* outputs.
+//!
+//! ```text
+//! cargo run -p bikecap-bench --release --bin kernels -- [--quick|--full] [--out FILE]
+//! ```
+//!
+//! `--out` overrides the JSON path (default `BENCH_parallel.json`). Speedups
+//! depend on the machine's core count: a single-core container reports ~1.0×
+//! (the pool degrades to the serial fast path), which is recorded honestly.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bikecap_bench::BenchArgs;
+use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_rt as rt;
+use bikecap_tensor::conv::{conv3d, conv_transpose3d, Conv3dSpec};
+use bikecap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Thread counts swept per op; 1 is the speedup baseline.
+const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    threads: usize,
+    ns_per_iter: u128,
+    speedup: f64,
+}
+
+/// Times `op` at every [`THREAD_SWEEP`] count and checks each output bitwise
+/// against the serial backend.
+fn bench_op(
+    records: &mut Vec<Record>,
+    op: &'static str,
+    shape: String,
+    iters: u32,
+    run: impl Fn() -> Tensor,
+) {
+    rt::set_backend(rt::Backend::Serial);
+    let reference = run();
+    rt::set_backend(rt::Backend::Parallel);
+
+    let mut baseline_ns = 0u128;
+    for &threads in THREAD_SWEEP {
+        rt::set_threads(threads);
+        let out = run(); // warmup + determinism probe
+        assert_bitwise_eq(op, threads, &reference, &out);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(run());
+        }
+        let ns = start.elapsed().as_nanos() / u128::from(iters.max(1));
+        if threads == 1 {
+            baseline_ns = ns;
+        }
+        let speedup = baseline_ns as f64 / (ns as f64).max(1.0);
+        eprintln!("[kernels] {op:<18} {shape:<24} threads={threads} {ns:>12} ns/iter  {speedup:.2}x");
+        records.push(Record { op, shape: shape.clone(), threads, ns_per_iter: ns, speedup });
+    }
+    rt::set_threads(0); // back to auto for the next op
+}
+
+fn assert_bitwise_eq(op: &str, threads: usize, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{op}: shape drift at {threads} threads");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{op}: output diverges from serial at {threads} threads (element {i}: {x} vs {y})"
+        );
+    }
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"speedup\": {:.3}}}{sep}",
+            r.op, r.shape, r.threads, r.ns_per_iter, r.speedup
+        );
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("BENCH_parallel.json"));
+    // (iters per op) scaled by mode; full mode averages over more repeats.
+    let scale: u32 = if args.quick { 1 } else { 5 };
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut records = Vec::new();
+
+    // The matmul core everything reduces to (ops.rs shape).
+    let a = Tensor::randn(&[128, 256], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 128], 0.0, 1.0, &mut rng);
+    bench_op(&mut records, "matmul", "128x256 * 256x128".into(), 40 * scale, || {
+        a.matmul(&b)
+    });
+
+    // Encoder-shaped dense conv3d and its transpose (decoder upsampling).
+    let x = Tensor::randn(&[16, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[4, 4, 3, 3, 3], 0.0, 0.1, &mut rng);
+    bench_op(&mut records, "conv3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, || {
+        conv3d(&x, &w, Conv3dSpec::padded(1, 1, 1))
+    });
+    bench_op(&mut records, "conv_transpose3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, || {
+        conv_transpose3d(&x, &w, Conv3dSpec::padded(1, 1, 1))
+    });
+
+    // The full inference path: encoder → routing → decoder.
+    let cfg = BikeCapConfig::new(8, 8).history(8).horizon(4);
+    let model = BikeCap::seeded(cfg, 11);
+    let window = Tensor::rand_uniform(&[8, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+    bench_op(&mut records, "predict", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
+        model.predict(&window)
+    });
+
+    let json = render_json(&records);
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!(
+        "wrote {} ({} records, {} mode); all outputs bitwise-identical to serial",
+        out.display(),
+        records.len(),
+        args.mode()
+    );
+}

@@ -26,10 +26,15 @@
 //!   `serialize::atomic_write` (temp sibling + fsync + rename), whose own
 //!   `File::create` on the temp path is the audited allowlist exception.
 //! * **no-println** — no `println!`/`eprintln!` anywhere in library crates
-//!   (tensor, nn, core, serve, obs) outside test code. Libraries report
+//!   (tensor, nn, core, serve, obs, rt) outside test code. Libraries report
 //!   through return values, metrics, or the obs event stream; stray prints
 //!   corrupt structured output (JSONL traces, Prometheus scrapes) and are
 //!   invisible to operators. CLI binaries and benches are not linted.
+//! * **no-raw-spawn** — no `thread::spawn` outside `bikecap-rt` (the pool
+//!   owns compute threads) and `bikecap-serve` (the batch workers own their
+//!   lifecycle). An ad-hoc thread escapes the `--threads` budget, the
+//!   pool's panic containment, and the rt.* observability spans; fan work
+//!   out through `bikecap_rt::parallel_for` / `for_each_chunk` instead.
 //!
 //! Code under `#[cfg(test)]` / `mod tests` / `#[test]` is exempt. Audited
 //! exceptions live in `check-allowlist.txt` at the workspace root, one per
@@ -51,6 +56,7 @@ pub enum Rule {
     BackpressureDoc,
     AtomicCheckpointWrite,
     NoPrintln,
+    NoRawSpawn,
 }
 
 impl Rule {
@@ -65,6 +71,7 @@ impl Rule {
             Rule::BackpressureDoc => "backpressure-doc",
             Rule::AtomicCheckpointWrite => "atomic-checkpoint-write",
             Rule::NoPrintln => "no-println",
+            Rule::NoRawSpawn => "no-raw-spawn",
         }
     }
 }
@@ -106,6 +113,7 @@ pub enum CrateKind {
     Core,
     Serve,
     Obs,
+    Rt,
     Other,
 }
 
@@ -122,6 +130,8 @@ impl CrateKind {
             CrateKind::Serve
         } else if path.starts_with("crates/obs/") {
             CrateKind::Obs
+        } else if path.starts_with("crates/rt/") {
+            CrateKind::Rt
         } else {
             CrateKind::Other
         }
@@ -160,7 +170,7 @@ pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
             NUMERIC_HOT_FRAGMENTS.iter().any(|f| name.contains(f))
         }
         CrateKind::Serve => SERVE_HOT_FNS.contains(&name),
-        CrateKind::Obs | CrateKind::Other => false,
+        CrateKind::Obs | CrateKind::Rt | CrateKind::Other => false,
     }
 }
 
@@ -473,6 +483,26 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 i += 1;
             }
             TokenKind::Ident(w)
+                if w == "thread"
+                    && !matches!(kind, CrateKind::Rt | CrateKind::Serve | CrateKind::Other)
+                    && is_path_call(&tokens, i, "spawn") =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::NoRawSpawn,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: "`thread::spawn` outside bikecap-rt/bikecap-serve escapes the \
+                              --threads budget, panic containment, and rt.* spans; fan out \
+                              through `bikecap_rt::parallel_for` or audit and allowlist"
+                        .to_string(),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
+            TokenKind::Ident(w)
                 if w == "File"
                     && matches!(kind, CrateKind::Nn | CrateKind::Core)
                     && is_path_call(&tokens, i, "create") =>
@@ -619,6 +649,7 @@ pub const LINT_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/serve/src",
     "crates/obs/src",
+    "crates/rt/src",
 ];
 
 /// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,
@@ -849,6 +880,44 @@ mod tests {
         // Strings and comments never match.
         let quoted = "// println! is banned\nfn f() { let s = \"println!\"; let _ = s; }";
         assert!(lint_source("crates/core/src/model.rs", quoted).is_empty());
+    }
+
+    #[test]
+    fn raw_spawn_is_flagged_in_library_crates() {
+        // Anywhere in a linted library crate, not just hot fns; both the
+        // bare and fully-qualified forms resolve through `thread::spawn`.
+        let bare = "fn helper() { thread::spawn(|| {}); }";
+        let qualified = "fn helper() { std::thread::spawn(|| {}); }";
+        for file in [
+            "crates/tensor/src/tensor.rs",
+            "crates/nn/src/layers.rs",
+            "crates/core/src/trainer.rs",
+            "crates/obs/src/sink.rs",
+        ] {
+            for src in [bare, qualified] {
+                let f = lint_source(file, src);
+                assert_eq!(rules(&f), vec![Rule::NoRawSpawn], "{file}");
+                assert_eq!(f[0].func, "helper");
+            }
+        }
+    }
+
+    #[test]
+    fn raw_spawn_allowed_where_threads_are_owned() {
+        let src = "fn helper() { thread::spawn(|| {}); }";
+        // The pool and the batch workers own their thread lifecycles.
+        assert!(lint_source("crates/rt/src/lib.rs", src).is_empty());
+        assert!(lint_source("crates/serve/src/batcher.rs", src).is_empty());
+        // CLI binaries are outside the library kinds.
+        assert!(lint_source("src/bin/bikecap.rs", src).is_empty());
+        // Test code stays exempt like every other rule.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { thread::spawn(|| {}); }\n}";
+        assert!(lint_source("crates/core/src/trainer.rs", test_only).is_empty());
+        // `Builder::new().spawn(...)` is a method call, not the raw path
+        // form, and only serve uses it; a plain `spawn(` never matches.
+        let plain = "fn helper() { spawn(|| {}); }";
+        assert!(lint_source("crates/core/src/trainer.rs", plain).is_empty());
     }
 
     #[test]

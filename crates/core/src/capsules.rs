@@ -277,6 +277,11 @@ impl SpatialTemporalRouting {
             stride: (n, 1, 1),
             padding: (0, 1, 1),
         };
+        // Parallelism: both branches bottom out in the bikecap-rt-parallel
+        // conv3d/matmul kernels, whose patch rows span batch × historical
+        // slot × grid cell — the routing transform fans out over the S
+        // historical capsules without any tape-level threading (the tape is
+        // `&mut` and must stay single-writer).
         if self.transforms.len() == 1 {
             // Shared transform over all slots: one strided conv.
             let flat = tape.reshape(phi, &[b, 1, s * n, gh, gw]);
@@ -456,15 +461,26 @@ pub(crate) fn coupling_entropy(k: &Tensor, trailing: usize) -> f64 {
         return 0.0;
     }
     let rows = (data.len() / group).max(1);
-    let mut total = 0.0f64;
-    for row in data.chunks(group) {
-        for &p in row {
-            let p = f64::from(p);
-            if p > 0.0 {
-                total -= p * p.ln();
+    // Row chunks map in parallel on the bikecap-rt pool and fold on its
+    // fixed binary reduction tree, so the recorded entropy is bitwise-stable
+    // across thread counts (and identical under Backend::Serial).
+    let total = bikecap_rt::reduce(
+        rows,
+        64,
+        |r| {
+            let seg = &data[r.start * group..(r.end * group).min(data.len())];
+            let mut part = 0.0f64;
+            for &p in seg {
+                let p = f64::from(p);
+                if p > 0.0 {
+                    part -= p * p.ln();
+                }
             }
-        }
-    }
+            part
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0);
     total / rows as f64
 }
 

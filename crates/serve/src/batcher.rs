@@ -31,6 +31,17 @@ pub struct BatchConfig {
     /// Worker threads (each runs one batch at a time; batches from distinct
     /// workers execute concurrently).
     pub workers: usize,
+    /// Total compute-thread budget shared by the whole serving process.
+    ///
+    /// Each worker's batched forward pass additionally fans out over the
+    /// process-global `bikecap-rt` pool, so the real thread demand is
+    /// `workers × compute_threads`, not `workers`. When set, the pool is
+    /// resized to [`compute_threads_per_worker`] at startup so that product
+    /// never exceeds the budget — one knob caps oversubscription under
+    /// load. `None` leaves the pool as configured by `BIKECAP_THREADS` /
+    /// `--threads` (which then bounds *each* worker's fan-out, not the
+    /// total).
+    pub total_threads: Option<usize>,
     /// Artificial pause before each batch executes. Zero in production; tests
     /// raise it to hold the queue full deterministically (and it doubles as a
     /// crude pacing knob when replaying traffic).
@@ -45,8 +56,18 @@ impl Default for BatchConfig {
             max_wait: Duration::from_millis(5),
             workers: 2,
             worker_delay: Duration::ZERO,
+            total_threads: None,
         }
     }
+}
+
+/// Splits a total compute-thread budget across `workers` batch workers:
+/// `max(1, total / workers)` `bikecap-rt` threads each, so the combined
+/// demand `workers × compute_threads` never exceeds the budget's capacity
+/// (a budget smaller than the worker count degrades each worker to serial
+/// compute rather than oversubscribing the machine).
+pub fn compute_threads_per_worker(total_threads: usize, workers: usize) -> usize {
+    (total_threads / workers.max(1)).max(1)
 }
 
 /// One queued prediction request.
@@ -96,6 +117,9 @@ impl Batcher {
         assert!(config.queue_cap >= 1, "queue_cap must be >= 1");
         assert!(config.max_batch >= 1, "max_batch must be >= 1");
         assert!(config.workers >= 1, "need at least one worker");
+        if let Some(total) = config.total_threads {
+            bikecap_rt::set_threads(compute_threads_per_worker(total, config.workers));
+        }
         let (tx, rx) = mpsc::sync_channel::<PredictJob>(config.queue_cap);
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.workers)
@@ -353,6 +377,27 @@ mod tests {
         (reg, entry)
     }
 
+    #[test]
+    fn thread_budget_splits_across_workers_without_oversubscribing() {
+        // workers × compute_threads never exceeds the budget…
+        for total in 1..=16 {
+            for workers in 1..=8 {
+                let per = compute_threads_per_worker(total, workers);
+                assert!(per >= 1);
+                if per > 1 {
+                    assert!(workers * per <= total, "{workers}×{per} > {total}");
+                }
+            }
+        }
+        // …with exact division when the budget is a multiple.
+        assert_eq!(compute_threads_per_worker(8, 2), 4);
+        assert_eq!(compute_threads_per_worker(7, 2), 3);
+        // A budget below the worker count degrades to serial compute.
+        assert_eq!(compute_threads_per_worker(1, 4), 1);
+        // Degenerate worker count is clamped rather than dividing by zero.
+        assert_eq!(compute_threads_per_worker(4, 0), 4);
+    }
+
     fn job(entry: &Arc<ModelEntry>, seed: f32) -> (PredictJob, mpsc::Receiver<JobResult>) {
         let (tx, rx) = mpsc::channel();
         let input = Tensor::full(&[4, 4, 4, 4], seed);
@@ -412,6 +457,7 @@ mod tests {
                 max_wait: Duration::ZERO,
                 workers: 1,
                 worker_delay: Duration::from_millis(500),
+                ..BatchConfig::default()
             },
             Arc::clone(&metrics),
         );
@@ -446,6 +492,7 @@ mod tests {
                 max_wait: Duration::from_millis(1),
                 workers: 1,
                 worker_delay: Duration::from_millis(50),
+                ..BatchConfig::default()
             },
             Arc::clone(&metrics),
         );

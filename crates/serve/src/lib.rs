@@ -49,7 +49,7 @@ pub mod registry;
 pub mod server;
 pub mod signal;
 
-pub use batcher::{BatchConfig, Batcher, SubmitError};
+pub use batcher::{compute_threads_per_worker, BatchConfig, Batcher, SubmitError};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use registry::{ModelEntry, ModelRegistry, RegistryError, DEFAULT_MODEL};

@@ -652,6 +652,7 @@ mod tests {
                 max_wait: Duration::ZERO,
                 workers: 1,
                 worker_delay: Duration::from_millis(80),
+                ..BatchConfig::default()
             },
             request_timeout: Duration::from_millis(200),
             submit_retries: 2,

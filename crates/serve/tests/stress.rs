@@ -96,6 +96,7 @@ fn run_scenario(seed: u64) {
             max_wait: Duration::from_millis(1),
             workers: 2,
             worker_delay: Duration::from_micros(seed % 300),
+            ..BatchConfig::default()
         },
         Arc::clone(&metrics),
     ));

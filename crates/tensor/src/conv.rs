@@ -118,43 +118,48 @@ pub fn im2col3d(input: &Tensor, kernel: (usize, usize, usize), spec: Conv3dSpec)
     let rows = n * od * oh * ow;
     let x = input.as_slice();
     let mut col = vec![0.0f32; rows * k];
-    let mut row = 0;
-    for bn in 0..n {
-        let base_n = bn * c * d * h * w;
-        for zod in 0..od {
-            for zoh in 0..oh {
-                for zow in 0..ow {
-                    let dst = &mut col[row * k..(row + 1) * k];
-                    let mut ci = 0;
-                    for cc in 0..c {
-                        let base_c = base_n + cc * d * h * w;
-                        for fkd in 0..kd {
-                            let id = (zod * sd + fkd) as isize - pd as isize;
-                            for fkh in 0..kh {
-                                let ih = (zoh * sh + fkh) as isize - ph as isize;
-                                let in_plane = id >= 0 && (id as usize) < d && ih >= 0 && (ih as usize) < h;
-                                let base_dh = if in_plane {
-                                    base_c + (id as usize) * h * w + (ih as usize) * w
-                                } else {
-                                    0
-                                };
-                                for fkw in 0..kw {
-                                    let iw = (zow * sw + fkw) as isize - pw as isize;
-                                    dst[ci] = if in_plane && iw >= 0 && (iw as usize) < w {
-                                        x[base_dh + iw as usize]
-                                    } else {
-                                        0.0
-                                    };
-                                    ci += 1;
-                                }
-                            }
+    // One owner per patch row — rows fan out over the bikecap-rt pool (this
+    // covers every output position: batch × time slice × spatial cell) and
+    // each is filled by the identical serial code, so the unrolled matrix is
+    // bitwise-identical at any thread count.
+    let positions = od * oh * ow;
+    let min_rows = (crate::tensor::PAR_MIN_WORK / k.max(1)).max(1);
+    bikecap_rt::parallel_items_mut(&mut col, k, min_rows, |row0, block| {
+        for (dr, dst) in block.chunks_mut(k).enumerate() {
+            let row = row0 + dr;
+            let bn = row / positions;
+            let rem = row % positions;
+            let zod = rem / (oh * ow);
+            let zoh = (rem / ow) % oh;
+            let zow = rem % ow;
+            let base_n = bn * c * d * h * w;
+            let mut ci = 0;
+            for cc in 0..c {
+                let base_c = base_n + cc * d * h * w;
+                for fkd in 0..kd {
+                    let id = (zod * sd + fkd) as isize - pd as isize;
+                    for fkh in 0..kh {
+                        let ih = (zoh * sh + fkh) as isize - ph as isize;
+                        let in_plane = id >= 0 && (id as usize) < d && ih >= 0 && (ih as usize) < h;
+                        let base_dh = if in_plane {
+                            base_c + (id as usize) * h * w + (ih as usize) * w
+                        } else {
+                            0
+                        };
+                        for fkw in 0..kw {
+                            let iw = (zow * sw + fkw) as isize - pw as isize;
+                            dst[ci] = if in_plane && iw >= 0 && (iw as usize) < w {
+                                x[base_dh + iw as usize]
+                            } else {
+                                0.0
+                            };
+                            ci += 1;
                         }
                     }
-                    row += 1;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(col, &[rows, k])
 }
 
@@ -184,42 +189,53 @@ pub fn col2im3d(
         "col2im3d: column matrix shape mismatch"
     );
     let cdata = col.as_slice();
-    let mut out = vec![0.0f32; n * c * d * h * w];
-    let mut row = 0;
-    for bn in 0..n {
-        let base_n = bn * c * d * h * w;
-        for zod in 0..od {
-            for zoh in 0..oh {
-                for zow in 0..ow {
-                    let src = &cdata[row * k..(row + 1) * k];
-                    let mut ci = 0;
-                    for cc in 0..c {
-                        let base_c = base_n + cc * d * h * w;
-                        for fkd in 0..kd {
-                            let id = (zod * sd + fkd) as isize - pd as isize;
-                            for fkh in 0..kh {
-                                let ih = (zoh * sh + fkh) as isize - ph as isize;
-                                let in_plane = id >= 0 && (id as usize) < d && ih >= 0 && (ih as usize) < h;
-                                let base_dh = if in_plane {
-                                    base_c + (id as usize) * h * w + (ih as usize) * w
-                                } else {
-                                    0
-                                };
-                                for fkw in 0..kw {
-                                    let iw = (zow * sw + fkw) as isize - pw as isize;
-                                    if in_plane && iw >= 0 && (iw as usize) < w {
-                                        out[base_dh + iw as usize] += src[ci];
+    let positions = od * oh * ow;
+    let slab = c * d * h * w;
+    let mut out = vec![0.0f32; n * slab];
+    // Overlapping patches scatter-add into the *same* input cells, so rows
+    // cannot fan out freely; batch entries can — each owns a disjoint input
+    // slab, and within a slab the accumulation order is exactly the serial
+    // one. Deterministic at any thread count; single-sample grads stay on
+    // one chunk (and run inline).
+    let min_batches = (crate::tensor::PAR_MIN_WORK / (positions * k).max(1)).max(1);
+    bikecap_rt::parallel_items_mut(&mut out, slab, min_batches, |bn0, block| {
+        for (db, out_b) in block.chunks_mut(slab).enumerate() {
+            let bn = bn0 + db;
+            let mut row = bn * positions;
+            for zod in 0..od {
+                for zoh in 0..oh {
+                    for zow in 0..ow {
+                        let src = &cdata[row * k..(row + 1) * k];
+                        let mut ci = 0;
+                        for cc in 0..c {
+                            let base_c = cc * d * h * w;
+                            for fkd in 0..kd {
+                                let id = (zod * sd + fkd) as isize - pd as isize;
+                                for fkh in 0..kh {
+                                    let ih = (zoh * sh + fkh) as isize - ph as isize;
+                                    let in_plane =
+                                        id >= 0 && (id as usize) < d && ih >= 0 && (ih as usize) < h;
+                                    let base_dh = if in_plane {
+                                        base_c + (id as usize) * h * w + (ih as usize) * w
+                                    } else {
+                                        0
+                                    };
+                                    for fkw in 0..kw {
+                                        let iw = (zow * sw + fkw) as isize - pw as isize;
+                                        if in_plane && iw >= 0 && (iw as usize) < w {
+                                            out_b[base_dh + iw as usize] += src[ci];
+                                        }
+                                        ci += 1;
                                     }
-                                    ci += 1;
                                 }
                             }
                         }
+                        row += 1;
                     }
-                    row += 1;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, input_shape)
 }
 

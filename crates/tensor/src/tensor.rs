@@ -8,6 +8,12 @@ use crate::shape::{
     broadcast_shapes, broadcast_strides, num_elements, offset_of, strides_for, Odometer,
 };
 
+/// Minimum useful work (output elements × inner length, roughly flops) per
+/// chunk before a kernel fans out over the `bikecap-rt` pool. Shape-derived
+/// only — never thread-count-derived — so decompositions stay deterministic;
+/// small tensors fold to a single chunk, which `bikecap-rt` runs inline.
+pub(crate) const PAR_MIN_WORK: usize = 8 * 1024;
+
 /// An owned, contiguous, row-major `f32` tensor with a dynamic shape.
 ///
 /// All operations allocate their result; in-place variants are provided where
@@ -661,20 +667,25 @@ impl Tensor {
         assert_eq!(k, k2, "matmul: inner dims differ ({k} vs {k2})");
         let mut out = vec![0.0f32; m * n];
         // i-k-j ordering: the inner loop is a contiguous AXPY over the output
-        // row, which auto-vectorises well.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+        // row, which auto-vectorises well. Each output row has exactly one
+        // owner and is produced by the identical serial loop, so fanning rows
+        // out over the pool is bitwise-deterministic at any thread count.
+        let min_rows = (PAR_MIN_WORK / (k * n).max(1)).max(1);
+        bikecap_rt::parallel_items_mut(&mut out, n, min_rows, |row0, block| {
+            for (di, orow) in block.chunks_mut(n).enumerate() {
+                let i = row0 + di;
+                let arow = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -857,23 +868,28 @@ impl Tensor {
     pub fn softmax_trailing(&self, k_axes: usize) -> Tensor {
         assert!(k_axes >= 1 && k_axes <= self.ndim(), "softmax_trailing: invalid k_axes");
         let split = self.ndim() - k_axes;
-        let outer: usize = self.shape[..split].iter().product();
         let inner: usize = self.shape[split..].iter().product();
         let mut data = vec![0.0; self.data.len()];
-        for o in 0..outer {
-            let row = &self.data[o * inner..(o + 1) * inner];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            let out_row = &mut data[o * inner..(o + 1) * inner];
-            for (d, &v) in out_row.iter_mut().zip(row) {
-                let e = (v - max).exp();
-                *d = e;
-                sum += e;
+        // Each softmax group is normalised independently with one owner per
+        // output row: parallel == serial bitwise (the routing coupling step
+        // leans on this).
+        let min_rows = (PAR_MIN_WORK / inner.max(1)).max(1);
+        bikecap_rt::parallel_items_mut(&mut data, inner, min_rows, |o0, block| {
+            for (di, out_row) in block.chunks_mut(inner).enumerate() {
+                let o = o0 + di;
+                let row = &self.data[o * inner..(o + 1) * inner];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for (d, &v) in out_row.iter_mut().zip(row) {
+                    let e = (v - max).exp();
+                    *d = e;
+                    sum += e;
+                }
+                for d in out_row {
+                    *d /= sum;
+                }
             }
-            for d in out_row {
-                *d /= sum;
-            }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data,

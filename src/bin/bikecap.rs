@@ -31,7 +31,8 @@ use bikecap::faults::{self, FaultPlan};
 use bikecap::model::{BikeCap, BikeCapConfig, ResilientOptions, TrainOptions};
 use bikecap::nn::serialize::{clean_stale_tmp, load_params, read_meta, save_params};
 use bikecap::serve::{
-    signal::install_shutdown_flag, BatchConfig, ModelRegistry, ServeConfig, Server, DEFAULT_MODEL,
+    compute_threads_per_worker, signal::install_shutdown_flag, BatchConfig, ModelRegistry,
+    ServeConfig, Server, DEFAULT_MODEL,
 };
 use bikecap::sim::{
     aggregate::DemandSeries,
@@ -49,7 +50,7 @@ fn usage() -> &'static str {
      [--resume] [--autosave-every N] \
      [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
      [--queue-cap N] [--bind-retries N] [--faults SPEC] [--fault-seed N] \
-     [--steps N] [--trace FILE]\n\
+     [--steps N] [--trace FILE] [--threads N]\n\
      round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`\n\
      resume an interrupted run: `bikecap train --save model.ckpt --resume`\n\
      profile N train steps: `bikecap profile --steps 10 --trace trace.json` (open the \
@@ -58,6 +59,9 @@ fn usage() -> &'static str {
      other extension writes a Chrome trace on exit\n\
      `--faults 'io.checkpoint.write=p:0.3'` arms seeded failpoints (needs the \
      `faultline` build feature)\n\
+     `--threads N` sizes the bikecap-rt compute pool (0 = auto; overrides \
+     BIKECAP_THREADS); under `serve` it is the TOTAL budget split across the \
+     --workers batch workers\n\
      `bikecap check-config --help` lists the shape-checker's own flags"
 }
 
@@ -82,6 +86,7 @@ struct Args {
     fault_seed: u64,
     steps: usize,
     trace: Option<PathBuf>,
+    threads: Option<usize>,
 }
 
 /// Flags that are plain switches: present means true, they never consume the
@@ -132,6 +137,10 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             .map_err(|_| "invalid --fault-seed".to_string())?,
         steps: get("steps", "10").parse().map_err(|_| "invalid --steps".to_string())?,
         trace: map.get("trace").map(PathBuf::from),
+        threads: map
+            .get("threads")
+            .map(|v| v.parse().map_err(|_| "invalid --threads".to_string()))
+            .transpose()?,
     })
 }
 
@@ -426,6 +435,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .load_checkpoint(DEFAULT_MODEL, config, &path)
         .map_err(|e| e.to_string())?;
 
+    // One knob for the whole process: `--threads` (already applied to the
+    // global pool in `main`) is the TOTAL compute budget, split evenly across
+    // the batch workers so `workers × compute_threads` never oversubscribes.
+    let total_threads = bikecap::rt::threads().max(1);
     let serve_config = ServeConfig {
         addr: args.addr.clone(),
         bind_retries: args.bind_retries,
@@ -434,6 +447,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             max_batch: args.max_batch,
             max_wait: Duration::from_millis(args.max_wait_ms),
             workers: args.workers,
+            total_threads: Some(total_threads),
             ..BatchConfig::default()
         },
         ..ServeConfig::default()
@@ -446,6 +460,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         args.workers,
         args.max_batch,
         args.max_wait_ms
+    );
+    println!(
+        "  thread budget: {} total = {} workers × {} compute threads each",
+        total_threads,
+        args.workers,
+        compute_threads_per_worker(total_threads, args.workers)
     );
     println!(
         "  POST /predict  body {{\"input\":{{\"shape\":[4,{},{},{}],\"data\":[…]}}}}",
@@ -509,6 +529,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(n) = args.threads {
+        // 0 = auto (BIKECAP_THREADS, else available parallelism). Applies to
+        // every command; `serve` additionally treats it as the total budget
+        // and re-splits it across batch workers.
+        bikecap::rt::set_threads(n);
+    }
     if let Some(spec) = &args.faults {
         let plan = match FaultPlan::parse(spec, args.fault_seed) {
             Ok(plan) => plan,

@@ -15,6 +15,9 @@
 //!   micro-batching queue, std-only HTTP front end).
 //! * [`faults`] — deterministic seeded failpoints; armed only with the
 //!   `faultline` feature, compiled to no-ops otherwise.
+//! * [`rt`] — deterministic parallel runtime: the chunk-stealing thread
+//!   pool behind the conv/routing hot paths (`BIKECAP_THREADS`,
+//!   `--threads`), bitwise-identical at every thread count.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -27,5 +30,6 @@ pub use bikecap_eval as eval;
 pub use bikecap_faults as faults;
 pub use bikecap_nn as nn;
 pub use bikecap_obs as obs;
+pub use bikecap_rt as rt;
 pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;

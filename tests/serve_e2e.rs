@@ -173,6 +173,7 @@ fn saturated_queue_answers_503_and_accepted_requests_still_complete() {
             // Hold the single worker long enough that the bounded queue
             // demonstrably fills while the clients fire.
             worker_delay: Duration::from_millis(600),
+            ..BatchConfig::default()
         },
     );
     let addr = server.local_addr();
