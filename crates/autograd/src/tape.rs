@@ -13,6 +13,84 @@ use crate::params::{ParamId, ParamStore};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(usize);
 
+impl Var {
+    /// The node index on the owning tape. Stable for the tape's lifetime;
+    /// used by the IR lowering to address trace records.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A symbolic record of the operation that produced one tape node.
+///
+/// Recorded only on tapes created with [`Tape::traced`]; ordinary tapes keep
+/// just the backward closures and pay nothing for tracing. One `TraceOp` is
+/// pushed per node, in node order, so `trace[i]` describes node `i` and the
+/// node's parents give the operand indices. Output shapes are not duplicated
+/// here — read them from [`Tape::node_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// A non-differentiable leaf ([`Tape::constant`]).
+    Constant,
+    /// A parameter leaf ([`Tape::param`]), resolvable live from a store.
+    Param(ParamId),
+    /// Broadcasting addition.
+    Add,
+    /// Broadcasting subtraction.
+    Sub,
+    /// Broadcasting multiplication.
+    Mul,
+    /// Broadcasting division.
+    Div,
+    /// Elementwise negation.
+    Neg,
+    /// Elementwise absolute value.
+    Abs,
+    /// Rectified linear unit (`(v + |v|) / 2`).
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Elementwise exponential.
+    Exp,
+    /// Elementwise square.
+    Square,
+    /// Elementwise square root.
+    Sqrt,
+    /// Adds a scalar to every element.
+    AddScalar(f32),
+    /// Multiplies every element by a scalar.
+    Scale(f32),
+    /// Rank-2 matrix product.
+    Matmul,
+    /// Full reduction to a scalar.
+    Sum,
+    /// Sum over the given axes, kept with extent 1.
+    SumAxesKeepdim(Vec<usize>),
+    /// Shape view; the target shape is the node's value shape.
+    Reshape,
+    /// Axis permutation.
+    Permute(Vec<usize>),
+    /// Concatenation along an axis.
+    Concat(usize),
+    /// Slice `start..start + len` along `axis`.
+    Narrow {
+        /// Sliced axis.
+        axis: usize,
+        /// First kept index.
+        start: usize,
+        /// Number of kept indices.
+        len: usize,
+    },
+    /// Softmax over the trailing `k` axes.
+    SoftmaxTrailing(usize),
+    /// 3-D convolution with the given stride/padding.
+    Conv3d(Conv3dSpec),
+    /// Transposed 3-D convolution with the given stride/padding.
+    ConvTranspose3d(Conv3dSpec),
+}
+
 /// Backward closure: given the output gradient, the parent values, the node's
 /// own forward value, and which parents need gradients, return one optional
 /// gradient per parent (`None` where not needed).
@@ -39,6 +117,9 @@ pub struct Tape {
     /// by index. Recorded only while `bikecap_obs` is enabled (see
     /// [`Tape::mark`]), so the vector stays empty — and free — otherwise.
     marks: Vec<(usize, String)>,
+    /// Symbolic operation records, one per node, present only on tapes made
+    /// with [`Tape::traced`]. Invariant: `trace.len() == nodes.len()`.
+    trace: Option<Vec<TraceOp>>,
 }
 
 impl std::fmt::Debug for Tape {
@@ -51,6 +132,44 @@ impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Tape::default()
+    }
+
+    /// Creates an empty tape that additionally records one [`TraceOp`] per
+    /// node, enabling symbolic lowering (see `bikecap-ir`). Ordinary tapes
+    /// skip the recording entirely.
+    pub fn traced() -> Self {
+        Tape {
+            trace: Some(Vec::new()),
+            ..Tape::default()
+        }
+    }
+
+    /// True when this tape records [`TraceOp`]s.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The symbolic record for node `i`, when this tape is traced.
+    pub fn trace_op(&self, i: usize) -> Option<&TraceOp> {
+        self.trace.as_ref().and_then(|t| t.get(i))
+    }
+
+    /// The parent node indices of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node_parents(&self, i: usize) -> &[usize] {
+        &self.nodes[i].parents
+    }
+
+    /// The forward value of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node_value(&self, i: usize) -> &Tensor {
+        &self.nodes[i].value
     }
 
     /// Number of recorded nodes.
@@ -69,7 +188,11 @@ impl Tape {
         parents: Vec<usize>,
         backward: Option<BackwardFn>,
         param: Option<ParamId>,
+        trace_op: impl FnOnce() -> TraceOp,
     ) -> Var {
+        if let Some(trace) = &mut self.trace {
+            trace.push(trace_op());
+        }
         let needs_grad =
             param.is_some() || parents.iter().any(|&p| self.nodes[p].needs_grad);
         self.nodes.push(Node {
@@ -84,7 +207,7 @@ impl Tape {
 
     /// Leafs a non-differentiable tensor (input data) onto the tape.
     pub fn constant(&mut self, value: Tensor) -> Var {
-        self.push(value, vec![], None, None)
+        self.push(value, vec![], None, None, || TraceOp::Constant)
     }
 
     /// Marks the start of a named tape segment for backward attribution:
@@ -105,7 +228,9 @@ impl Tape {
     ///
     /// Panics if `id` does not belong to `store`.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), vec![], None, Some(id))
+        self.push(store.value(id).clone(), vec![], None, Some(id), || {
+            TraceOp::Param(id)
+        })
     }
 
     /// The forward value of a node.
@@ -206,6 +331,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Add,
         )
     }
 
@@ -222,6 +348,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Sub,
         )
     }
 
@@ -238,6 +365,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Mul,
         )
     }
 
@@ -259,6 +387,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Div,
         )
     }
 
@@ -274,6 +403,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, _, _, _| vec![Some(g.neg())])),
             None,
+            || TraceOp::Neg,
         )
     }
 
@@ -296,6 +426,7 @@ impl Tape {
                 vec![Some(g.mul(&sign))]
             })),
             None,
+            || TraceOp::Abs,
         )
     }
 
@@ -311,6 +442,7 @@ impl Tape {
                 vec![Some(g.mul(&mask))]
             })),
             None,
+            || TraceOp::Relu,
         )
     }
 
@@ -325,6 +457,7 @@ impl Tape {
                 vec![Some(g.mul(&dy))]
             })),
             None,
+            || TraceOp::Sigmoid,
         )
     }
 
@@ -339,6 +472,7 @@ impl Tape {
                 vec![Some(g.mul(&dy))]
             })),
             None,
+            || TraceOp::Tanh,
         )
     }
 
@@ -350,6 +484,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, _, y, _| vec![Some(g.mul(y))])),
             None,
+            || TraceOp::Exp,
         )
     }
 
@@ -361,6 +496,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, p, _, _| vec![Some(g.mul(&p[0].scale(2.0)))])),
             None,
+            || TraceOp::Square,
         )
     }
 
@@ -376,6 +512,7 @@ impl Tape {
                 vec![Some(g.mul(&dy))]
             })),
             None,
+            || TraceOp::Sqrt,
         )
     }
 
@@ -387,6 +524,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, _, _, _| vec![Some(g.clone())])),
             None,
+            || TraceOp::AddScalar(s),
         )
     }
 
@@ -398,6 +536,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(move |g, _, _, _| vec![Some(g.scale(s))])),
             None,
+            || TraceOp::Scale(s),
         )
     }
 
@@ -422,6 +561,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Matmul,
         )
     }
 
@@ -439,6 +579,7 @@ impl Tape {
                 vec![Some(Tensor::full(p[0].shape(), g.item()))]
             })),
             None,
+            || TraceOp::Sum,
         )
     }
 
@@ -464,6 +605,7 @@ impl Tape {
                 vec![Some(Tensor::zeros(p[0].shape()).add(g))]
             })),
             None,
+            || TraceOp::SumAxesKeepdim(axes.to_vec()),
         )
     }
 
@@ -483,6 +625,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(|g, p, _, _| vec![Some(g.reshape(p[0].shape()))])),
             None,
+            || TraceOp::Reshape,
         )
     }
 
@@ -502,6 +645,7 @@ impl Tape {
             vec![a.0],
             Some(Box::new(move |g, _, _, _| vec![Some(g.permute(&inverse))])),
             None,
+            || TraceOp::Permute(perm.to_vec()),
         )
     }
 
@@ -527,6 +671,7 @@ impl Tape {
                 out
             })),
             None,
+            || TraceOp::Concat(axis),
         )
     }
 
@@ -546,6 +691,7 @@ impl Tape {
                 vec![Some(full)]
             })),
             None,
+            || TraceOp::Narrow { axis, start, len },
         )
     }
 
@@ -568,6 +714,7 @@ impl Tape {
                 vec![Some(y.mul(&g.sub(&inner)))]
             })),
             None,
+            || TraceOp::SoftmaxTrailing(k_axes),
         )
     }
 
@@ -597,6 +744,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::Conv3d(spec),
         )
     }
 
@@ -620,6 +768,7 @@ impl Tape {
                 ]
             })),
             None,
+            || TraceOp::ConvTranspose3d(spec),
         )
     }
 
@@ -865,6 +1014,31 @@ mod tests {
         let w = tape.constant(Tensor::randn(&[3, 2, 3, 3, 3], 0.0, 1.0, &mut rng));
         let y = tape.conv3d(x, w, Conv3dSpec::padded(1, 1, 1));
         assert_eq!(tape.value(y).shape(), &[1, 3, 4, 5, 5]);
+    }
+
+    #[test]
+    fn traced_tape_records_one_op_per_node() {
+        let mut tape = Tape::traced();
+        assert!(tape.is_traced());
+        let a = tape.constant(Tensor::ones(&[2, 2]));
+        let b = tape.constant(Tensor::ones(&[2, 2]));
+        let c = tape.matmul(a, b);
+        let _s = tape.squash(c, 1);
+        assert_eq!(tape.trace_op(a.index()), Some(&TraceOp::Constant));
+        assert_eq!(tape.trace_op(c.index()), Some(&TraceOp::Matmul));
+        assert_eq!(tape.node_parents(c.index()), &[a.index(), b.index()]);
+        // Composite ops register every primitive: one record per node.
+        for i in 0..tape.len() {
+            assert!(tape.trace_op(i).is_some(), "missing trace for node {i}");
+        }
+    }
+
+    #[test]
+    fn untraced_tape_records_nothing() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Tensor::ones(&[2]));
+        assert!(!tape.is_traced());
+        assert!(tape.trace_op(a.index()).is_none());
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Parallel-kernel microbenchmarks: times the `bikecap-rt`-backed hot paths
-//! (matmul, conv3d, conv_transpose3d, full `BikeCap::predict`) across thread
-//! counts and writes a machine-readable `BENCH_parallel.json` at the
-//! workspace root (op name, shape, threads, ns/iter, speedup vs 1 thread).
+//! (matmul, conv3d, conv_transpose3d, full `BikeCap::predict` — eager *and*
+//! compiled-executor) across thread counts and writes a machine-readable
+//! `BENCH_parallel.json` at the workspace root (op name, shape, threads,
+//! ns/iter, speedup vs 1 thread, heap allocations per iteration).
 //!
 //! Every timed op is also checked bitwise against the serial backend at
 //! every thread count — the deterministic-reduction contract means the
 //! numbers in the JSON always describe *identical* outputs.
+//!
+//! Allocations are counted by a global counting allocator (this binary
+//! only), so `allocs_per_iter` captures everything the op touches: the
+//! eager path's per-node tensors versus the compiled path's arena reuse
+//! (`predict_into` on the serial backend is the zero-alloc extreme, pinned
+//! separately by tests/ir_zero_alloc.rs; here the parallel pool's per-fanout
+//! job allocations are included and reported honestly).
 //!
 //! ```text
 //! cargo run -p bikecap-bench --release --bin kernels -- [--quick|--full] [--out FILE]
@@ -15,12 +23,14 @@
 //! depend on the machine's core count: a single-core container reports ~1.0×
 //! (the pool degrades to the serial fast path), which is recorded honestly.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use bikecap_bench::BenchArgs;
-use bikecap_core::{BikeCap, BikeCapConfig};
+use bikecap_core::{BikeCap, BikeCapConfig, ExecMode};
 use bikecap_rt as rt;
 use bikecap_tensor::conv::{conv3d, conv_transpose3d, Conv3dSpec};
 use bikecap_tensor::Tensor;
@@ -31,12 +41,38 @@ use std::hint::black_box;
 /// Thread counts swept per op; 1 is the speedup baseline.
 const THREAD_SWEEP: &[usize] = &[1, 2, 4];
 
+/// Counts every heap allocation (and growth realloc) in the process so each
+/// record can report `allocs_per_iter` alongside its timing.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
 struct Record {
     op: &'static str,
     shape: String,
     threads: usize,
     ns_per_iter: u128,
     speedup: f64,
+    allocs_per_iter: u64,
 }
 
 /// Times `op` at every [`THREAD_SWEEP`] count and checks each output bitwise
@@ -57,17 +93,29 @@ fn bench_op(
         rt::set_threads(threads);
         let out = run(); // warmup + determinism probe
         assert_bitwise_eq(op, threads, &reference, &out);
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
         let start = Instant::now();
         for _ in 0..iters {
             black_box(run());
         }
         let ns = start.elapsed().as_nanos() / u128::from(iters.max(1));
+        let allocs_per_iter =
+            (ALLOCATIONS.load(Ordering::Relaxed) - allocs_before) / u64::from(iters.max(1));
         if threads == 1 {
             baseline_ns = ns;
         }
         let speedup = baseline_ns as f64 / (ns as f64).max(1.0);
-        eprintln!("[kernels] {op:<18} {shape:<24} threads={threads} {ns:>12} ns/iter  {speedup:.2}x");
-        records.push(Record { op, shape: shape.clone(), threads, ns_per_iter: ns, speedup });
+        eprintln!(
+            "[kernels] {op:<18} {shape:<24} threads={threads} {ns:>12} ns/iter  {speedup:.2}x  {allocs_per_iter:>6} allocs/iter"
+        );
+        records.push(Record {
+            op,
+            shape: shape.clone(),
+            threads,
+            ns_per_iter: ns,
+            speedup,
+            allocs_per_iter,
+        });
     }
     rt::set_threads(0); // back to auto for the next op
 }
@@ -89,8 +137,8 @@ fn render_json(records: &[Record]) -> String {
         let sep = if i + 1 == records.len() { "" } else { "," };
         let _ = writeln!(
             s,
-            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"speedup\": {:.3}}}{sep}",
-            r.op, r.shape, r.threads, r.ns_per_iter, r.speedup
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"speedup\": {:.3}, \"allocs_per_iter\": {}}}{sep}",
+            r.op, r.shape, r.threads, r.ns_per_iter, r.speedup, r.allocs_per_iter
         );
     }
     s.push_str("]\n");
@@ -122,13 +170,25 @@ fn main() {
         conv_transpose3d(&x, &w, Conv3dSpec::padded(1, 1, 1))
     });
 
-    // The full inference path: encoder → routing → decoder.
+    // The full inference path: encoder → routing → decoder — once through
+    // the eager tape walk, once through the compiled arena executor. The
+    // allocs_per_iter gap between the two is the arena-reuse payoff.
     let cfg = BikeCapConfig::new(8, 8).history(8).horizon(4);
-    let model = BikeCap::seeded(cfg, 11);
     let window = Tensor::rand_uniform(&[8, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
-    bench_op(&mut records, "predict", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
-        model.predict(&window)
+
+    let mut eager = BikeCap::seeded(cfg.clone(), 11);
+    eager.set_exec_mode(ExecMode::Eager);
+    bench_op(&mut records, "predict_eager", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
+        eager.predict(&window)
     });
+
+    let mut compiled = BikeCap::seeded(cfg, 11);
+    compiled.set_exec_mode(ExecMode::Compiled);
+    compiled.predict(&window); // compile the plan outside the timed window
+    bench_op(&mut records, "predict_compiled", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
+        compiled.predict(&window)
+    });
+
 
     let json = render_json(&records);
     std::fs::write(&out, &json)

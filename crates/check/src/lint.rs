@@ -30,6 +30,14 @@
 //!   through return values, metrics, or the obs event stream; stray prints
 //!   corrupt structured output (JSONL traces, Prometheus scrapes) and are
 //!   invisible to operators. CLI binaries and benches are not linted.
+//! * **no-alloc-in-hot-path** — no allocating constructs (`Vec::new(`,
+//!   `Box::new(`, `vec![`, `format!`, `.to_vec(`, `.to_owned(`, `.clone(`,
+//!   `.collect(`) in the `bikecap-ir` schedule-execution functions
+//!   (`execute` / `run_step` / `fetch`). The compiled executor's contract is
+//!   that steady-state prediction performs **zero** heap allocations (pinned
+//!   by tests/ir_zero_alloc.rs); every buffer must come from the plan's
+//!   arena. Plan *construction* (`ModelPlan::compile`, `Arena::for_plan`)
+//!   allocates freely — only the per-step execution path is covered.
 //! * **no-raw-spawn** — no `thread::spawn` outside `bikecap-rt` (the pool
 //!   owns compute threads) and `bikecap-serve` (the batch workers own their
 //!   lifecycle). An ad-hoc thread escapes the `--threads` budget, the
@@ -57,6 +65,7 @@ pub enum Rule {
     AtomicCheckpointWrite,
     NoPrintln,
     NoRawSpawn,
+    NoAllocInHotPath,
 }
 
 impl Rule {
@@ -72,6 +81,7 @@ impl Rule {
             Rule::AtomicCheckpointWrite => "atomic-checkpoint-write",
             Rule::NoPrintln => "no-println",
             Rule::NoRawSpawn => "no-raw-spawn",
+            Rule::NoAllocInHotPath => "no-alloc-in-hot-path",
         }
     }
 }
@@ -114,6 +124,7 @@ pub enum CrateKind {
     Serve,
     Obs,
     Rt,
+    Ir,
     Other,
 }
 
@@ -132,6 +143,8 @@ impl CrateKind {
             CrateKind::Obs
         } else if path.starts_with("crates/rt/") {
             CrateKind::Rt
+        } else if path.starts_with("crates/ir/") {
+            CrateKind::Ir
         } else {
             CrateKind::Other
         }
@@ -163,6 +176,11 @@ const SERVE_HOT_FNS: &[&str] = &[
     "get",
 ];
 
+/// The `bikecap-ir` schedule-execution path (exact names): everything that
+/// runs per compiled prediction. Plan construction (`compile`, `for_plan`)
+/// allocates by design and is deliberately NOT listed.
+const IR_HOT_FNS: &[&str] = &["execute", "run_step", "fetch"];
+
 /// Is `name` a hot-path function for its crate?
 pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
     match kind {
@@ -170,9 +188,17 @@ pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
             NUMERIC_HOT_FRAGMENTS.iter().any(|f| name.contains(f))
         }
         CrateKind::Serve => SERVE_HOT_FNS.contains(&name),
+        CrateKind::Ir => IR_HOT_FNS.contains(&name),
         CrateKind::Obs | CrateKind::Rt | CrateKind::Other => false,
     }
 }
+
+/// Allocating method calls forbidden on the IR execution path (matched as
+/// `ident (`; the receiver form `.ident(` lexes to the same sequence).
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_owned", "clone", "collect"];
+
+/// Allocating macros forbidden on the IR execution path (matched as `ident !`).
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Casting to one of these with `as` can silently lose precision or truncate.
 const LOSSY_CAST_TARGETS: &[&str] = &["f32", "f64", "i8", "u8", "i16", "u16", "i32", "u32"];
@@ -522,6 +548,37 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 pub_flag = false;
                 i += 1;
             }
+            TokenKind::Ident(w)
+                if hot
+                    && kind == CrateKind::Ir
+                    && ((matches!(w.as_str(), "Vec" | "Box") && is_path_call(&tokens, i, "new"))
+                        || (ALLOC_METHODS.contains(&w.as_str())
+                            && matches!(
+                                tokens.get(i + 1).map(|t| &t.kind),
+                                Some(TokenKind::Punct('('))
+                            ))
+                        || (ALLOC_MACROS.contains(&w.as_str())
+                            && matches!(
+                                tokens.get(i + 1).map(|t| &t.kind),
+                                Some(TokenKind::Punct('!'))
+                            ))) =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::NoAllocInHotPath,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: format!(
+                        "`{w}` allocates on the compiled-executor hot path; the zero-alloc \
+                         contract (tests/ir_zero_alloc.rs) requires every buffer to come \
+                         from the plan's arena — reuse a planned slab or audit and allowlist"
+                    ),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
             TokenKind::Ident(w) if hot && kind == CrateKind::Tensor && w == "as" => {
                 if let Some(TokenKind::Ident(target)) = tokens.get(i + 1).map(|t| &t.kind) {
                     if LOSSY_CAST_TARGETS.contains(&target.as_str()) {
@@ -650,6 +707,7 @@ pub const LINT_ROOTS: &[&str] = &[
     "crates/serve/src",
     "crates/obs/src",
     "crates/rt/src",
+    "crates/ir/src",
 ];
 
 /// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,
@@ -918,6 +976,53 @@ mod tests {
         // form, and only serve uses it; a plain `spawn(` never matches.
         let plain = "fn helper() { spawn(|| {}); }";
         assert!(lint_source("crates/core/src/trainer.rs", plain).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_ir_execution_fns_is_flagged() {
+        // Every forbidden construct, each inside a schedule-execution fn.
+        for (src, what) in [
+            ("fn run_step(s: &S) { let v: Vec<f32> = Vec::new(); drop(v); }", "Vec::new"),
+            ("fn execute(x: &[f32]) { let v = x.to_vec(); drop(v); }", "to_vec"),
+            ("fn fetch(t: &T) -> T { t.clone() }", "clone"),
+            ("fn run_step(n: usize) { let v = vec![0.0; n]; drop(v); }", "vec!"),
+            ("fn execute(e: u8) { let s = format!(\"{e}\"); drop(s); }", "format!"),
+            ("fn run_step(b: B) { let x = Box::new(b); drop(x); }", "Box::new"),
+            ("fn execute<I: Iterator<Item = f32>>(it: I) { let v: Vec<f32> = it.collect(); drop(v); }", "collect"),
+        ] {
+            let f = lint_source("crates/ir/src/exec.rs", src);
+            assert_eq!(rules(&f), vec![Rule::NoAllocInHotPath], "{what}");
+        }
+    }
+
+    #[test]
+    fn alloc_outside_ir_hot_fns_passes() {
+        // Plan construction allocates by design.
+        let compile = "fn compile(n: usize) -> Vec<f32> { let mut v = Vec::new(); v.resize(n, 0.0); v }";
+        assert!(lint_source("crates/ir/src/plan.rs", compile).is_empty());
+        let for_plan = "fn for_plan(n: usize) -> Vec<f32> { vec![0.0; n] }";
+        assert!(lint_source("crates/ir/src/exec.rs", for_plan).is_empty());
+        // The same tokens in other crates' hot fns are not this rule's business.
+        let conv = "fn conv3d(x: &[f32]) { let v = x.to_vec(); drop(v); }";
+        assert!(lint_source("crates/tensor/src/conv.rs", conv)
+            .iter()
+            .all(|f| f.rule != Rule::NoAllocInHotPath));
+        // Non-allocating calls on the hot path are fine; `clone` without the
+        // call parenthesis is a plain identifier.
+        let ok = "fn run_step(a: &mut [f32], b: &[f32]) { a.copy_from_slice(b); }";
+        assert!(lint_source("crates/ir/src/exec.rs", ok).is_empty());
+        // Test modules stay exempt like every other rule.
+        let test_only =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t(x: &[f32]) { let _ = x.to_vec(); }\n}";
+        assert!(lint_source("crates/ir/src/exec.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn ir_execution_fns_inherit_the_panic_rules() {
+        // The hot predicate also arms no-unwrap/no-index for the executor.
+        let src = "fn run_step(v: Option<u8>, a: &[u8]) -> u8 { v.unwrap() + a[0] }";
+        let f = lint_source("crates/ir/src/exec.rs", src);
+        assert_eq!(rules(&f), vec![Rule::NoUnwrap, Rule::NoIndex]);
     }
 
     #[test]

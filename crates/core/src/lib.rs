@@ -41,7 +41,7 @@ pub mod shapecheck;
 pub mod trainer;
 
 pub use config::{BikeCapConfig, Encoder, DecoderKind, Variant};
-pub use model::{BikeCap, TrainOptions, TrainReport};
+pub use model::{BikeCap, ExecMode, TrainOptions, TrainReport};
 pub use trainer::{ResilientOptions, ResilientReport, TrainerError};
 pub use shapecheck::{
     check_config, check_config_with, Axis, Extents, LayerShape, ShapeError, ShapeErrorKind,

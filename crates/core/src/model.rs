@@ -1,11 +1,15 @@
 //! The assembled BikeCAP model: training and prediction.
 
+use std::collections::HashMap;
+use std::fmt;
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bikecap_autograd::{ParamStore, Tape, Var};
 use bikecap_city_sim::{ForecastDataset, Split};
+use bikecap_ir::{Arena, CompileOptions, CpuExecutor, Executor, Graph, IrError, ModelPlan};
 use bikecap_nn::serialize::{
     load_params_checked, save_params_with_meta, CheckpointMeta, LoadParamsError,
 };
@@ -78,6 +82,85 @@ impl TrainReport {
     }
 }
 
+/// Locks a mutex, recovering the guard from a poisoned lock (the protected
+/// caches stay structurally valid even if a panicking thread held them).
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which inference engine [`BikeCap::predict`] routes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Lower the forward pass into `bikecap-ir` once per input shape and
+    /// run the compiled, arena-planned schedule (the default). Falls back
+    /// to eager on any compilation or execution error.
+    Compiled,
+    /// Walk an autograd tape on every call — the reference oracle. Selected
+    /// by `BIKECAP_EXECUTOR=eager`.
+    Eager,
+}
+
+impl ExecMode {
+    /// Reads `BIKECAP_EXECUTOR` once at model-build time.
+    fn from_env() -> ExecMode {
+        match std::env::var("BIKECAP_EXECUTOR") {
+            Ok(v) if v.eq_ignore_ascii_case("eager") => ExecMode::Eager,
+            _ => ExecMode::Compiled,
+        }
+    }
+
+    /// The stable name used in status endpoints and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Compiled => "compiled",
+            ExecMode::Eager => "eager",
+        }
+    }
+}
+
+/// Per-model compiled-execution state: one plan per staged input shape
+/// (batch sizes compile independently), plus pooled arenas so steady-state
+/// prediction reuses buffers instead of allocating.
+///
+/// A `None` plan entry records a failed compilation — the model stays on
+/// the eager path for that shape without retrying (and without re-paying
+/// the probe pass).
+struct ExecState {
+    mode: ExecMode,
+    fusion: bool,
+    plans: Mutex<HashMap<Vec<usize>, Option<Arc<ModelPlan>>>>,
+    arenas: Mutex<HashMap<Vec<usize>, Vec<Arena>>>,
+}
+
+impl ExecState {
+    fn new() -> ExecState {
+        let fusion = !std::env::var("BIKECAP_FUSION")
+            .map(|v| v.eq_ignore_ascii_case("off"))
+            .unwrap_or(false);
+        ExecState {
+            mode: ExecMode::from_env(),
+            fusion,
+            plans: Mutex::new(HashMap::new()),
+            arenas: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl fmt::Debug for ExecState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let plans = self
+            .plans
+            .lock()
+            .map(|p| p.len())
+            .unwrap_or_else(|e| e.into_inner().len());
+        write!(
+            f,
+            "ExecState {{ mode: {:?}, fusion: {}, plans: {plans} }}",
+            self.mode, self.fusion
+        )
+    }
+}
+
 /// The BikeCAP network (paper Fig. 4): historical capsules → spatial-temporal
 /// routing → 3-D decoder.
 #[derive(Debug)]
@@ -87,6 +170,7 @@ pub struct BikeCap {
     encoder: HistoricalCapsules,
     routing: SpatialTemporalRouting,
     decoder: Decoder,
+    exec: ExecState,
 }
 
 impl BikeCap {
@@ -126,6 +210,7 @@ impl BikeCap {
             encoder,
             routing,
             decoder,
+            exec: ExecState::new(),
         })
     }
 
@@ -265,12 +350,183 @@ impl BikeCap {
         }
     }
 
-    /// One non-differentiating forward pass over a staged rank-5 batch.
+    /// One non-differentiating forward pass over a staged rank-5 batch:
+    /// the compiled executor when available, the eager tape otherwise.
     fn infer(&self, stacked: Tensor) -> Tensor {
+        if let Some(out) = self.infer_compiled(&stacked) {
+            return out;
+        }
+        self.infer_eager(stacked)
+    }
+
+    /// The eager oracle: walks a fresh autograd tape. Kept callable under
+    /// any [`ExecMode`] — it is the reference the compiled path must match
+    /// bitwise, and the fallback when compilation or execution errors.
+    fn infer_eager(&self, stacked: Tensor) -> Tensor {
         let mut tape = Tape::new();
         let x = tape.constant(stacked);
         let y = self.forward(&mut tape, x);
         tape.value(y).clone()
+    }
+
+    /// Runs the compiled plan for `stacked`'s shape, compiling on first
+    /// sight. `None` means "use the eager path" (mode is eager, this shape
+    /// failed to compile, or a failpoint fired mid-execution).
+    fn infer_compiled(&self, stacked: &Tensor) -> Option<Tensor> {
+        if self.exec.mode != ExecMode::Compiled {
+            return None;
+        }
+        let plan = self.plan_for(stacked.shape())?;
+        let mut out = vec![0.0f32; plan.output_len()];
+        match self.run_plan(&plan, stacked.shape(), stacked.as_slice(), &mut out) {
+            Ok(()) => Some(Tensor::from_vec(out, plan.out_shape())),
+            Err(_) => {
+                bikecap_obs::value("ir.exec.fallback", 1.0);
+                None
+            }
+        }
+    }
+
+    /// Executes `plan` over a pooled arena. Zero steady-state heap
+    /// allocations: the arena is reused, the plan is cached, and every
+    /// dispatch decision was baked at compile time.
+    fn run_plan(
+        &self,
+        plan: &ModelPlan,
+        shape: &[usize],
+        input: &[f32],
+        out: &mut [f32],
+    ) -> Result<(), IrError> {
+        let mut arena = {
+            let mut pool = lock_clean(&self.exec.arenas);
+            match pool.get_mut(shape).and_then(Vec::pop) {
+                Some(existing) if existing.fits(plan) => existing,
+                _ => Arena::for_plan(plan),
+            }
+        };
+        let result = CpuExecutor.execute(plan, &self.store, input, &mut arena, out);
+        let mut pool = lock_clean(&self.exec.arenas);
+        match pool.get_mut(shape) {
+            Some(slot) => slot.push(arena),
+            None => {
+                pool.insert(shape.to_vec(), vec![arena]);
+            }
+        }
+        result
+    }
+
+    /// The cached plan for a staged input shape, compiling (once) on a
+    /// miss. Failed compilations are cached as `None` so the model settles
+    /// on the eager path without re-probing every call.
+    fn plan_for(&self, shape: &[usize]) -> Option<Arc<ModelPlan>> {
+        {
+            let plans = lock_clean(&self.exec.plans);
+            if let Some(entry) = plans.get(shape) {
+                return entry.clone();
+            }
+        }
+        let compiled = self.compile_plan(shape);
+        if compiled.is_none() {
+            bikecap_obs::value("ir.compile.fallback", 1.0);
+        }
+        lock_clean(&self.exec.plans).insert(shape.to_vec(), compiled.clone());
+        compiled
+    }
+
+    /// Probes the forward pass once on a traced tape with a zero input of
+    /// `shape`, lowers it, compiles it, and cross-validates the compiled
+    /// output shape against the configuration's static shape contract
+    /// ([`BikeCapConfig::check_shapes`]).
+    fn compile_plan(&self, shape: &[usize]) -> Option<Arc<ModelPlan>> {
+        if shape.len() != 5 {
+            return None;
+        }
+        let mut tape = Tape::traced();
+        let x = tape.constant(Tensor::zeros(shape));
+        let y = self.forward(&mut tape, x);
+        let graph = Graph::from_tape(&tape, x, y).ok()?;
+        let opts = CompileOptions {
+            fusion: self.exec.fusion,
+        };
+        let plan = ModelPlan::compile(graph, &opts).ok()?;
+        let contract = self.config.check_shapes().ok()?;
+        let want = contract.output();
+        let expect = [shape[0], want.time, want.height, want.width];
+        if want.channels != 1 || plan.out_shape() != expect {
+            return None;
+        }
+        Some(Arc::new(plan))
+    }
+
+    /// The inference engine this model resolved at build time (from
+    /// `BIKECAP_EXECUTOR`).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec.mode
+    }
+
+    /// Overrides the inference engine — used by tests and benches that
+    /// compare both paths in one process without racing on environment
+    /// variables.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec.mode = mode;
+    }
+
+    /// Predicts into a caller-provided buffer without allocating on the
+    /// steady-state compiled path: after the first call of a given input
+    /// shape (which compiles the plan and builds its arena), subsequent
+    /// calls perform **zero** heap allocations end to end.
+    ///
+    /// `out` must hold exactly `B * p * H * W` scalars (`p * H * W` for a
+    /// rank-4 single window), laid out as the corresponding
+    /// [`BikeCap::predict`] result.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::Exec`] when `out` has the wrong length, [`IrError::Shape`]
+    /// on inputs of rank other than 4 or 5. Compilation or execution
+    /// failures fall back to the (allocating) eager oracle rather than
+    /// erroring.
+    pub fn predict_into(&self, input: &Tensor, out: &mut [f32]) -> Result<(), IrError> {
+        // Stage the shape only — rank-4 data is bit-identical to its
+        // rank-5 staging, so the raw slice feeds the executor directly.
+        let staged: [usize; 5] = match input.shape() {
+            &[c, d, h, w] => [1, c, d, h, w],
+            &[b, c, d, h, w] => [b, c, d, h, w],
+            s => {
+                return Err(IrError::Shape(format!(
+                    "predict_into expects rank-4 or rank-5 inputs, got rank {}",
+                    s.len()
+                )))
+            }
+        };
+        if self.exec.mode == ExecMode::Compiled {
+            if let Some(plan) = self.plan_for(&staged) {
+                if out.len() != plan.output_len() {
+                    return Err(IrError::Exec(format!(
+                        "output buffer has {} scalars, model produces {}",
+                        out.len(),
+                        plan.output_len()
+                    )));
+                }
+                if self
+                    .run_plan(&plan, &staged, input.as_slice(), out)
+                    .is_ok()
+                {
+                    return Ok(());
+                }
+                bikecap_obs::value("ir.exec.fallback", 1.0);
+            }
+        }
+        let eager = self.infer_eager(Self::stage_input(input));
+        if out.len() != eager.as_slice().len() {
+            return Err(IrError::Exec(format!(
+                "output buffer has {} scalars, model produces {}",
+                out.len(),
+                eager.as_slice().len()
+            )));
+        }
+        out.copy_from_slice(eager.as_slice());
+        Ok(())
     }
 
     /// Drops the leading batch axis: `(1, p, H, W)` → `(p, H, W)`.

@@ -1,0 +1,60 @@
+//! Typed errors for graph lowering, planning and execution.
+
+use std::fmt;
+
+use bikecap_faults::FaultError;
+
+/// Everything that can go wrong between a recorded tape and a finished
+/// compiled prediction.
+///
+/// The compiling path is an *optimisation* of the eager tape walk, so every
+/// variant is recoverable: callers (see `bikecap-core`) fall back to the
+/// eager oracle on any `IrError` rather than surfacing it to users. That
+/// contract is why the planner and executor never panic on malformed input —
+/// a panic would take down the serving worker that a fallback would have
+/// saved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// The tape used an operation the IR cannot lower (e.g. the scalar
+    /// training-loss reduction). Carries the operation's name.
+    Unsupported(String),
+    /// Shape inference disagreed with the shapes the eager probe recorded,
+    /// or an operand combination is dimensionally impossible.
+    Shape(String),
+    /// The planner violated one of its own invariants (an internal bug
+    /// surfaced as a typed error so serving can fall back instead of dying).
+    Plan(String),
+    /// A runtime precondition failed at execution time (wrong input length,
+    /// arena from a different plan).
+    Exec(String),
+    /// A deterministic chaos failpoint fired (`ir.plan.build` /
+    /// `ir.exec.step`; only with the `faultline` feature).
+    Injected(FaultError),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Unsupported(what) => write!(f, "unsupported op in trace: {what}"),
+            IrError::Shape(why) => write!(f, "shape mismatch while lowering: {why}"),
+            IrError::Plan(why) => write!(f, "planner invariant violated: {why}"),
+            IrError::Exec(why) => write!(f, "executor precondition failed: {why}"),
+            IrError::Injected(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Injected(fault) => Some(fault),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultError> for IrError {
+    fn from(fault: FaultError) -> Self {
+        IrError::Injected(fault)
+    }
+}

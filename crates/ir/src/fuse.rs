@@ -1,0 +1,169 @@
+//! Elementwise fusion over the lowered graph.
+//!
+//! Two patterns cover the hot elementwise chains of the BikeCAP forward
+//! pass:
+//!
+//! * **Squash.** The tape composes the capsule squash from eight primitive
+//!   nodes (`square → sum_axes_keepdim → +1e-8 → sqrt → +1.0 → mul → div →
+//!   mul`), materialising seven intermediates per call. The fused kernel
+//!   ([`bikecap_tensor::exec::fused_squash_into`]) produces the bitwise-
+//!   identical result in one pass with zero intermediates.
+//! * **Bias + ReLU.** The decoder's `relu(x + bias)` pairs collapse into a
+//!   single broadcast traversal.
+//!
+//! Fusion rewrites the matched root node in place and re-parents it onto the
+//! chain's true inputs; the orphaned intermediates become unreachable and
+//! the planner drops them, so no buffer is ever allocated for them.
+//!
+//! Both rewrites demand that intermediates have no consumers outside the
+//! pattern — otherwise a sibling node would read a tensor that no longer
+//! exists. Consumer counts are recomputed between the two passes because the
+//! first pass changes the in-degree of the chain inputs.
+
+use crate::graph::{Graph, MapOp, Op, ZipOp};
+
+/// Runs all fusion patterns over `graph` in place, returning how many fused
+/// kernels were introduced. Idempotent: a second call finds nothing new.
+pub fn fuse(graph: &mut Graph) -> usize {
+    let mut fused = fuse_squash(graph);
+    fused += fuse_bias_relu(graph);
+    fused
+}
+
+/// Per-node consumer counts (the designated output counts as one extra
+/// consumer, so it can never be matched away as a dead intermediate).
+fn consumer_counts(graph: &Graph) -> Vec<usize> {
+    let mut counts = vec![0usize; graph.nodes.len()];
+    for node in &graph.nodes {
+        for &p in &node.parents {
+            counts[p] += 1;
+        }
+    }
+    counts[graph.output] += 1;
+    counts
+}
+
+/// Matches the eight-node squash chain rooted at `Mul(scaled, sumsq)` and
+/// collapses it to [`Op::FusedSquash`].
+fn fuse_squash(graph: &mut Graph) -> usize {
+    let counts = consumer_counts(graph);
+    let mut rewrites: Vec<(usize, usize, usize)> = Vec::new(); // (root, input, axis)
+    for i in 0..graph.nodes.len() {
+        if let Some((input, axis)) = match_squash(graph, &counts, i) {
+            rewrites.push((i, input, axis));
+        }
+    }
+    for &(root, input, axis) in &rewrites {
+        graph.nodes[root].op = Op::FusedSquash { axis };
+        graph.nodes[root].parents = vec![input];
+    }
+    rewrites.len()
+}
+
+/// Returns `(input_node, axis)` when node `i` roots a squash chain.
+fn match_squash(graph: &Graph, counts: &[usize], i: usize) -> Option<(usize, usize)> {
+    let at = |j: usize| &graph.nodes[j];
+    // out = mul(scaled, sumsq)
+    let Op::Zip(ZipOp::Mul) = at(i).op else {
+        return None;
+    };
+    let [scaled, sumsq] = at(i).parents[..] else {
+        return None;
+    };
+    // scaled = div(a, denom), single consumer
+    let Op::Zip(ZipOp::Div) = at(scaled).op else {
+        return None;
+    };
+    let [a, denom] = at(scaled).parents[..] else {
+        return None;
+    };
+    // denom = mul(one_plus, norm), single consumer
+    let Op::Zip(ZipOp::Mul) = at(denom).op else {
+        return None;
+    };
+    let [one_plus, norm] = at(denom).parents[..] else {
+        return None;
+    };
+    // one_plus = sumsq + 1.0
+    let Op::AddScalar(one) = at(one_plus).op else {
+        return None;
+    };
+    // norm = sqrt(eps)
+    let Op::Map(MapOp::Sqrt) = at(norm).op else {
+        return None;
+    };
+    let [eps] = at(norm).parents[..] else {
+        return None;
+    };
+    // eps = sumsq + 1e-8
+    let Op::AddScalar(tiny) = at(eps).op else {
+        return None;
+    };
+    if one != 1.0 || tiny != 1e-8 {
+        return None;
+    }
+    if at(one_plus).parents != [sumsq] || at(eps).parents != [sumsq] {
+        return None;
+    }
+    // sumsq = sum_axes_keepdim(sq, [axis])
+    let Op::Reduce(ref axes) = at(sumsq).op else {
+        return None;
+    };
+    let [axis] = axes[..] else {
+        return None;
+    };
+    let [sq] = at(sumsq).parents[..] else {
+        return None;
+    };
+    // sq = square(a)
+    let Op::Map(MapOp::Square) = at(sq).op else {
+        return None;
+    };
+    if at(sq).parents != [a] {
+        return None;
+    }
+    // Every intermediate is private to the pattern: sumsq feeds exactly its
+    // three in-pattern consumers (eps, one_plus, the root mul); the rest
+    // feed exactly one.
+    let private = counts[scaled] == 1
+        && counts[denom] == 1
+        && counts[one_plus] == 1
+        && counts[norm] == 1
+        && counts[eps] == 1
+        && counts[sq] == 1
+        && counts[sumsq] == 3;
+    if !private {
+        return None;
+    }
+    Some((a, axis))
+}
+
+/// Collapses `relu(add(a, b))` pairs (bias applications) into
+/// [`Op::FusedBiasRelu`] when the sum has no other consumer.
+fn fuse_bias_relu(graph: &mut Graph) -> usize {
+    let counts = consumer_counts(graph);
+    let mut rewrites: Vec<(usize, usize, usize)> = Vec::new(); // (root, a, b)
+    for i in 0..graph.nodes.len() {
+        let Op::Map(MapOp::Relu) = graph.nodes[i].op else {
+            continue;
+        };
+        let [sum] = graph.nodes[i].parents[..] else {
+            continue;
+        };
+        let Op::Zip(ZipOp::Add) = graph.nodes[sum].op else {
+            continue;
+        };
+        if counts[sum] != 1 {
+            continue;
+        }
+        let [a, b] = graph.nodes[sum].parents[..] else {
+            continue;
+        };
+        rewrites.push((i, a, b));
+    }
+    for &(root, a, b) in &rewrites {
+        graph.nodes[root].op = Op::FusedBiasRelu;
+        graph.nodes[root].parents = vec![a, b];
+    }
+    rewrites.len()
+}

@@ -29,6 +29,14 @@
 //! The write path carries the `io.checkpoint.write` failpoint
 //! (see `bikecap-faults`), which simulates a mid-write crash by leaving a
 //! half-written temp file behind.
+//!
+//! Loading writes values **in place** through [`ParamStore::set_value`],
+//! which is what lets a serving process hot-swap weights without
+//! recompiling: `bikecap-ir` plans reference parameters by
+//! [`bikecap_autograd::ParamId`] and
+//! resolve them from the store at execution time, so a checkpoint load (or
+//! an optimizer step) is immediately visible to every cached compiled plan
+//! (DESIGN.md Appendix F).
 
 use std::fmt;
 use std::fs;

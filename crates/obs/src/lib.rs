@@ -22,7 +22,12 @@
 //! Span names follow the failpoint-site scheme from DESIGN.md Appendix C/D:
 //! `subsystem.component.operation`, e.g. `core.routing.iter0` or
 //! `serve.batch.compute`, so a failpoint and the span it fires inside share
-//! a name.
+//! a name. The compiled executor (DESIGN.md Appendix F) contributes the
+//! `ir.*` family: `ir.compile` / `ir.exec` spans, `ir.plan.slabs` /
+//! `ir.plan.steps` / `ir.plan.fused` / `ir.plan.arena_scalars` value events
+//! describing each compiled plan, and `ir.compile.fallback` /
+//! `ir.exec.fallback` value events marking silent degradations to the
+//! eager path.
 //!
 //! ```
 //! use std::sync::Arc;

@@ -304,12 +304,21 @@ fn healthz(inner: &Inner) -> (u16, String) {
     // Keep the metrics mirror current even if nobody polls /metrics.
     inner.metrics.degraded.store(degraded, Ordering::Relaxed);
     let models: Vec<Json> = inner.registry.names().into_iter().map(Json::Str).collect();
+    // The executor every request routes through: read from the default
+    // model so the answer reflects what is actually serving (hot-swapped
+    // models included), not just how the process was configured.
+    let executor = inner
+        .registry
+        .get(None)
+        .map(|entry| entry.current().exec_mode().name())
+        .unwrap_or("none");
     let doc = Json::obj([
         (
             "status",
             Json::Str(if degraded { "degraded" } else { "ok" }.to_string()),
         ),
         ("degraded", Json::Bool(degraded)),
+        ("executor", Json::Str(executor.to_string())),
         ("models", Json::Arr(models)),
         (
             "queue_depth",

@@ -112,19 +112,43 @@ pub fn im2col3d(input: &Tensor, kernel: (usize, usize, usize), spec: Conv3dSpec)
     let (n, c, d, h, w) = check_input5(input);
     let (kd, kh, kw) = kernel;
     let (od, oh, ow) = conv3d_out_dims((d, h, w), kernel, spec);
+    let k = c * kd * kh * kw;
+    let rows = n * od * oh * ow;
+    let mut col = vec![0.0f32; rows * k];
+    im2col3d_into(input.as_slice(), (n, c, d, h, w), kernel, spec, &mut col);
+    Tensor::from_vec(col, &[rows, k])
+}
+
+/// Allocation-free body of [`im2col3d`]: unrolls a raw `(N, C, D, H, W)`
+/// buffer into the caller-provided patch matrix. Fully overwrites `col`.
+///
+/// One owner per patch row — rows fan out over the bikecap-rt pool (this
+/// covers every output position: batch × time slice × spatial cell) and
+/// each is filled by the identical serial code, so the unrolled matrix is
+/// bitwise-identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn im2col3d_into(
+    x: &[f32],
+    input_dims: (usize, usize, usize, usize, usize),
+    kernel: (usize, usize, usize),
+    spec: Conv3dSpec,
+    col: &mut [f32],
+) {
+    let (n, c, d, h, w) = input_dims;
+    let (kd, kh, kw) = kernel;
+    let (od, oh, ow) = conv3d_out_dims((d, h, w), kernel, spec);
     let (sd, sh, sw) = spec.stride;
     let (pd, ph, pw) = spec.padding;
     let k = c * kd * kh * kw;
     let rows = n * od * oh * ow;
-    let x = input.as_slice();
-    let mut col = vec![0.0f32; rows * k];
-    // One owner per patch row — rows fan out over the bikecap-rt pool (this
-    // covers every output position: batch × time slice × spatial cell) and
-    // each is filled by the identical serial code, so the unrolled matrix is
-    // bitwise-identical at any thread count.
+    assert_eq!(x.len(), n * c * d * h * w, "im2col3d_into: input length mismatch");
+    assert_eq!(col.len(), rows * k, "im2col3d_into: col length mismatch");
     let positions = od * oh * ow;
     let min_rows = (crate::tensor::PAR_MIN_WORK / k.max(1)).max(1);
-    bikecap_rt::parallel_items_mut(&mut col, k, min_rows, |row0, block| {
+    bikecap_rt::parallel_items_mut(col, k, min_rows, |row0, block| {
         for (dr, dst) in block.chunks_mut(k).enumerate() {
             let row = row0 + dr;
             let bn = row / positions;
@@ -160,7 +184,6 @@ pub fn im2col3d(input: &Tensor, kernel: (usize, usize, usize), spec: Conv3dSpec)
             }
         }
     });
-    Tensor::from_vec(col, &[rows, k])
 }
 
 /// Scatter-adds a patch matrix back into an input tensor (the adjoint of
@@ -178,27 +201,51 @@ pub fn col2im3d(
         input_shape[3],
         input_shape[4],
     );
-    let (kd, kh, kw) = kernel;
     let (od, oh, ow) = conv3d_out_dims((d, h, w), kernel, spec);
-    let (sd, sh, sw) = spec.stride;
-    let (pd, ph, pw) = spec.padding;
-    let k = c * kd * kh * kw;
+    let k = c * kernel.0 * kernel.1 * kernel.2;
     assert_eq!(
         col.shape(),
         &[n * od * oh * ow, k],
         "col2im3d: column matrix shape mismatch"
     );
-    let cdata = col.as_slice();
+    let mut out = vec![0.0f32; n * c * d * h * w];
+    col2im3d_into(col.as_slice(), (n, c, d, h, w), kernel, spec, &mut out);
+    Tensor::from_vec(out, input_shape)
+}
+
+/// Allocation-free body of [`col2im3d`]: scatter-adds a patch matrix into
+/// the caller-provided `(N, C, D, H, W)` buffer. Zeroes `out` first (arena
+/// slabs are reused and may hold stale data).
+///
+/// Overlapping patches scatter-add into the *same* input cells, so rows
+/// cannot fan out freely; batch entries can — each owns a disjoint input
+/// slab, and within a slab the accumulation order is exactly the serial
+/// one. Deterministic at any thread count; single-sample grads stay on
+/// one chunk (and run inline).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn col2im3d_into(
+    cdata: &[f32],
+    input_dims: (usize, usize, usize, usize, usize),
+    kernel: (usize, usize, usize),
+    spec: Conv3dSpec,
+    out: &mut [f32],
+) {
+    let (n, c, d, h, w) = input_dims;
+    let (kd, kh, kw) = kernel;
+    let (od, oh, ow) = conv3d_out_dims((d, h, w), kernel, spec);
+    let (sd, sh, sw) = spec.stride;
+    let (pd, ph, pw) = spec.padding;
+    let k = c * kd * kh * kw;
     let positions = od * oh * ow;
     let slab = c * d * h * w;
-    let mut out = vec![0.0f32; n * slab];
-    // Overlapping patches scatter-add into the *same* input cells, so rows
-    // cannot fan out freely; batch entries can — each owns a disjoint input
-    // slab, and within a slab the accumulation order is exactly the serial
-    // one. Deterministic at any thread count; single-sample grads stay on
-    // one chunk (and run inline).
+    assert_eq!(cdata.len(), n * positions * k, "col2im3d_into: col length mismatch");
+    assert_eq!(out.len(), n * slab, "col2im3d_into: out length mismatch");
+    out.fill(0.0);
     let min_batches = (crate::tensor::PAR_MIN_WORK / (positions * k).max(1)).max(1);
-    bikecap_rt::parallel_items_mut(&mut out, slab, min_batches, |bn0, block| {
+    bikecap_rt::parallel_items_mut(out, slab, min_batches, |bn0, block| {
         for (db, out_b) in block.chunks_mut(slab).enumerate() {
             let bn = bn0 + db;
             let mut row = bn * positions;
@@ -236,7 +283,6 @@ pub fn col2im3d(
             }
         }
     });
-    Tensor::from_vec(out, input_shape)
 }
 
 /// Reorders `(N, C, OD, OH, OW)` into the row-per-position matrix
@@ -245,8 +291,20 @@ fn to_position_matrix(t: &Tensor) -> Tensor {
     let s = t.shape();
     let (n, c, od, oh, ow) = (s[0], s[1], s[2], s[3], s[4]);
     let p = od * oh * ow;
-    let x = t.as_slice();
     let mut out = vec![0.0f32; n * p * c];
+    to_position_matrix_into(t.as_slice(), n, c, p, &mut out);
+    Tensor::from_vec(out, &[n * p, c])
+}
+
+/// Allocation-free body of [`to_position_matrix`]: transposes `(N, C, P)`
+/// data into `(N*P, C)` rows. Fully overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `n * c * p`.
+pub fn to_position_matrix_into(x: &[f32], n: usize, c: usize, p: usize, out: &mut [f32]) {
+    assert_eq!(x.len(), n * c * p, "to_position_matrix_into: input length mismatch");
+    assert_eq!(out.len(), n * p * c, "to_position_matrix_into: out length mismatch");
     for bn in 0..n {
         for cc in 0..c {
             let src = &x[(bn * c + cc) * p..(bn * c + cc + 1) * p];
@@ -255,15 +313,26 @@ fn to_position_matrix(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[n * p, c])
 }
 
 /// Inverse of [`to_position_matrix`].
 fn from_position_matrix(m: &Tensor, n: usize, c: usize, dims: (usize, usize, usize)) -> Tensor {
     let p = dims.0 * dims.1 * dims.2;
     assert_eq!(m.shape(), &[n * p, c], "from_position_matrix: shape mismatch");
-    let x = m.as_slice();
     let mut out = vec![0.0f32; n * c * p];
+    from_position_matrix_into(m.as_slice(), n, c, p, &mut out);
+    Tensor::from_vec(out, &[n, c, dims.0, dims.1, dims.2])
+}
+
+/// Allocation-free body of [`from_position_matrix`]: transposes `(N*P, C)`
+/// rows back into `(N, C, P)` layout. Fully overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `n * c * p`.
+pub fn from_position_matrix_into(x: &[f32], n: usize, c: usize, p: usize, out: &mut [f32]) {
+    assert_eq!(x.len(), n * p * c, "from_position_matrix_into: input length mismatch");
+    assert_eq!(out.len(), n * c * p, "from_position_matrix_into: out length mismatch");
     for bn in 0..n {
         for pos in 0..p {
             let src = &x[(bn * p + pos) * c..(bn * p + pos + 1) * c];
@@ -272,7 +341,6 @@ fn from_position_matrix(m: &Tensor, n: usize, c: usize, dims: (usize, usize, usi
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, dims.0, dims.1, dims.2])
 }
 
 /// 3-D convolution forward pass.

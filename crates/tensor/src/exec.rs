@@ -1,0 +1,651 @@
+//! Planned, allocation-free kernels shared by the eager [`Tensor`] ops and
+//! the `bikecap-ir` compiled executor.
+//!
+//! Every kernel here follows the same contract: a `plan_*` function performs
+//! all shape analysis and dispatch selection up front (allocating freely),
+//! and an `*_into` function executes the plan into a caller-provided output
+//! slice without touching the heap. The eager tensor methods allocate their
+//! result and delegate to the same `*_into` bodies the compiled executor
+//! runs over its buffer arena, so eager and compiled paths are bitwise
+//! identical *by construction* — there is exactly one implementation of each
+//! numeric loop.
+//!
+//! Kernels that do not fully overwrite their output (`matmul_into`,
+//! `reduce_sum_into`) zero it first, because arena slabs are reused across
+//! steps and may hold stale data. All others write every output element.
+
+use crate::shape::{broadcast_shapes, broadcast_strides, num_elements, strides_for};
+use crate::tensor::PAR_MIN_WORK;
+
+// ---------------------------------------------------------------------
+// Broadcast zip
+// ---------------------------------------------------------------------
+
+/// Pre-resolved dispatch for a broadcasting elementwise combination.
+///
+/// Encodes the exact fast-path selection order of the eager
+/// [`Tensor::zip_broadcast`][crate::Tensor::zip_broadcast] so planned
+/// execution visits elements in the identical order with identical index
+/// arithmetic.
+#[derive(Debug, Clone)]
+pub struct BroadcastPlan {
+    out_shape: Vec<usize>,
+    kind: BroadcastKind,
+}
+
+#[derive(Debug, Clone)]
+enum BroadcastKind {
+    /// Equal shapes: straight element zip.
+    Same,
+    /// Left operand is a single element; iterate the right.
+    ScalarA,
+    /// Right operand is a single element; iterate the left.
+    ScalarB,
+    /// One operand broadcasts along exactly one axis of the other.
+    /// `swapped` means the *left* operand is the small one.
+    SingleAxis { swapped: bool, inner: usize, block: usize },
+    /// The small operand is a right-aligned suffix, reused cyclically.
+    Suffix { swapped: bool, n: usize },
+    /// Fully general strided broadcast via div/mod index arithmetic.
+    General { sa: Vec<usize>, sb: Vec<usize>, out_strides: Vec<usize> },
+}
+
+impl BroadcastPlan {
+    /// The broadcast result shape.
+    pub fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// Number of output elements.
+    pub fn len(&self) -> usize {
+        num_elements(&self.out_shape)
+    }
+
+    /// True when the output holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consumes the plan, returning the result shape without a copy.
+    pub fn into_out_shape(self) -> Vec<usize> {
+        self.out_shape
+    }
+}
+
+/// Detects the single-broadcast-axis pattern: `small` equals `big` except
+/// for exactly one axis where it has extent 1.
+fn single_axis_kind(big: &[usize], small: &[usize], swapped: bool) -> Option<BroadcastKind> {
+    if big.len() != small.len() {
+        return None;
+    }
+    let mut axis = None;
+    for (k, (&db, &ds)) in big.iter().zip(small).enumerate() {
+        if db == ds {
+            continue;
+        }
+        if ds == 1 && axis.is_none() {
+            axis = Some(k);
+        } else {
+            return None;
+        }
+    }
+    let k = axis?;
+    let inner: usize = big[k + 1..].iter().product();
+    let block = inner * big[k];
+    Some(BroadcastKind::SingleAxis { swapped, inner, block })
+}
+
+/// Detects the suffix pattern: `small` is a right-aligned suffix of `big`.
+fn suffix_kind(big: &[usize], small: &[usize], swapped: bool) -> Option<BroadcastKind> {
+    if small.len() >= big.len() {
+        return None;
+    }
+    let offset = big.len() - small.len();
+    if big[offset..] != small[..] {
+        return None;
+    }
+    let n = num_elements(small);
+    if n == 0 {
+        return None;
+    }
+    Some(BroadcastKind::Suffix { swapped, n })
+}
+
+/// Plans the broadcast combination of two shapes, or `None` when they are
+/// incompatible. Dispatch order mirrors the eager fast paths exactly.
+pub fn plan_broadcast(a: &[usize], b: &[usize]) -> Option<BroadcastPlan> {
+    if a == b {
+        return Some(BroadcastPlan {
+            out_shape: a.to_vec(),
+            kind: BroadcastKind::Same,
+        });
+    }
+    if num_elements(a) == 1 || num_elements(b) == 1 {
+        let out_shape = broadcast_shapes(a, b)?;
+        let kind = if num_elements(b) == 1 {
+            BroadcastKind::ScalarB
+        } else {
+            BroadcastKind::ScalarA
+        };
+        return Some(BroadcastPlan { out_shape, kind });
+    }
+    if let Some(kind) = single_axis_kind(a, b, false) {
+        return Some(BroadcastPlan {
+            out_shape: a.to_vec(),
+            kind,
+        });
+    }
+    if let Some(kind) = single_axis_kind(b, a, true) {
+        return Some(BroadcastPlan {
+            out_shape: b.to_vec(),
+            kind,
+        });
+    }
+    if let Some(kind) = suffix_kind(a, b, false) {
+        return Some(BroadcastPlan {
+            out_shape: a.to_vec(),
+            kind,
+        });
+    }
+    if let Some(kind) = suffix_kind(b, a, true) {
+        return Some(BroadcastPlan {
+            out_shape: b.to_vec(),
+            kind,
+        });
+    }
+    let out_shape = broadcast_shapes(a, b)?;
+    let sa = broadcast_strides(a, out_shape.len());
+    let sb = broadcast_strides(b, out_shape.len());
+    let out_strides = strides_for(&out_shape);
+    Some(BroadcastPlan {
+        kind: BroadcastKind::General { sa, sb, out_strides },
+        out_shape,
+    })
+}
+
+/// Executes a planned broadcast zip into `out`. Fully overwrites `out`.
+///
+/// # Panics
+///
+/// Panics (on slice indexing) if `a`/`b`/`out` do not match the shapes the
+/// plan was built from.
+pub fn zip_planned_into(
+    plan: &BroadcastPlan,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    f: impl Fn(f32, f32) -> f32,
+) {
+    match &plan.kind {
+        BroadcastKind::Same => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        }
+        BroadcastKind::ScalarB => {
+            let y = b[0];
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = f(x, y);
+            }
+        }
+        BroadcastKind::ScalarA => {
+            let x = a[0];
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = f(x, y);
+            }
+        }
+        BroadcastKind::SingleAxis { swapped, inner, block } => {
+            let (big, small) = if *swapped { (b, a) } else { (a, b) };
+            for (i, (o, &x)) in out.iter_mut().zip(big).enumerate() {
+                let s_off = (i / block) * inner + (i % inner);
+                let y = small[s_off];
+                *o = if *swapped { f(y, x) } else { f(x, y) };
+            }
+        }
+        BroadcastKind::Suffix { swapped, n } => {
+            let (big, small) = if *swapped { (b, a) } else { (a, b) };
+            for (i, (o, &x)) in out.iter_mut().zip(big).enumerate() {
+                let y = small[i % n];
+                *o = if *swapped { f(y, x) } else { f(x, y) };
+            }
+        }
+        BroadcastKind::General { sa, sb, out_strides } => {
+            // Row-major walk of the output space via div/mod arithmetic:
+            // visits the same (ia, ib) pairs in the same order as an index
+            // odometer, without materialising indices.
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut ia = 0;
+                let mut ib = 0;
+                for (ax, &os) in out_strides.iter().enumerate() {
+                    let idx = (i / os) % plan.out_shape[ax];
+                    ia += idx * sa[ax];
+                    ib += idx * sb[ax];
+                }
+                *o = f(a[ia], b[ib]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elementwise map
+// ---------------------------------------------------------------------
+
+/// Applies `f` to every element of `src`, writing into `out`. Fully
+/// overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn map_into(src: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+    assert_eq!(src.len(), out.len(), "map_into: length mismatch");
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = f(v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matmul / transpose
+// ---------------------------------------------------------------------
+
+/// Matrix product `(m, k) x (k, n) -> (m, n)` into `out`, zeroing it first.
+///
+/// Same i-k-j AXPY loop and `bikecap-rt` row decomposition as the eager
+/// [`Tensor::matmul`][crate::Tensor::matmul]: one owner per output row, so
+/// serial and parallel execution are bitwise identical.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_into: lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul_into: rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_into: out length mismatch");
+    out.fill(0.0);
+    let min_rows = (PAR_MIN_WORK / (k * n).max(1)).max(1);
+    bikecap_rt::parallel_items_mut(out, n, min_rows, |row0, block| {
+        for (di, orow) in block.chunks_mut(n).enumerate() {
+            let i = row0 + di;
+            let arow = &a[i * k..(i + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Transpose of an `(m, n)` matrix into `out` (which becomes `(n, m)`).
+/// Fully overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the given dimensions.
+pub fn transpose2d_into(src: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(src.len(), m * n, "transpose2d_into: src length mismatch");
+    assert_eq!(out.len(), m * n, "transpose2d_into: out length mismatch");
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------
+
+/// Softmax over contiguous rows of length `inner` (max-subtracted), into
+/// `out`. Fully overwrites `out`. One owner per row under the `bikecap-rt`
+/// decomposition, so parallel == serial bitwise. The normalising division
+/// happens inside this kernel, which is why softmax needs no separate
+/// fusion: it is already a single fused op.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are not a multiple of `inner`.
+pub fn softmax_trailing_into(src: &[f32], inner: usize, out: &mut [f32]) {
+    assert_eq!(src.len(), out.len(), "softmax_trailing_into: length mismatch");
+    let min_rows = (PAR_MIN_WORK / inner.max(1)).max(1);
+    bikecap_rt::parallel_items_mut(out, inner, min_rows, |o0, block| {
+        for (di, out_row) in block.chunks_mut(inner).enumerate() {
+            let o = o0 + di;
+            let row = &src[o * inner..(o + 1) * inner];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for (d, &v) in out_row.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *d = e;
+                sum += e;
+            }
+            for d in out_row {
+                *d /= sum;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Reduction
+// ---------------------------------------------------------------------
+
+/// Pre-resolved summation over a set of axes (keepdim layout).
+#[derive(Debug, Clone)]
+pub struct ReducePlan {
+    out_shape: Vec<usize>,
+    in_shape: Vec<usize>,
+    in_strides: Vec<usize>,
+    /// Output stride per input axis, 0 on reduced axes.
+    out_strides_masked: Vec<usize>,
+}
+
+impl ReducePlan {
+    /// The kept-dim output shape (reduced axes have extent 1).
+    pub fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// Number of output elements.
+    pub fn len(&self) -> usize {
+        num_elements(&self.out_shape)
+    }
+
+    /// True when the output holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plans a keepdim summation of `shape` over `axes`.
+///
+/// # Panics
+///
+/// Panics if an axis is out of range or repeated.
+pub fn plan_reduce_sum(shape: &[usize], axes: &[usize]) -> ReducePlan {
+    let mut reduce = vec![false; shape.len()];
+    for &ax in axes {
+        assert!(ax < shape.len(), "plan_reduce_sum: axis {ax} out of range");
+        assert!(!reduce[ax], "plan_reduce_sum: axis {ax} repeated");
+        reduce[ax] = true;
+    }
+    let out_shape: Vec<usize> = shape
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| if reduce[i] { 1 } else { d })
+        .collect();
+    let kept = strides_for(&out_shape);
+    let out_strides_masked = kept
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| if reduce[i] { 0 } else { s })
+        .collect();
+    ReducePlan {
+        in_strides: strides_for(shape),
+        in_shape: shape.to_vec(),
+        out_shape,
+        out_strides_masked,
+    }
+}
+
+/// Executes a planned keepdim summation into `out`, zeroing it first.
+///
+/// Walks the input linearly (row-major), accumulating each element into its
+/// output cell — the identical accumulation order to the eager odometer walk
+/// in [`Tensor::sum_axes`][crate::Tensor::sum_axes], so results are bitwise
+/// equal.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the plan.
+pub fn reduce_sum_into(plan: &ReducePlan, src: &[f32], out: &mut [f32]) {
+    assert_eq!(
+        src.len(),
+        num_elements(&plan.in_shape),
+        "reduce_sum_into: src length mismatch"
+    );
+    assert_eq!(out.len(), plan.len(), "reduce_sum_into: out length mismatch");
+    out.fill(0.0);
+    for (i, &v) in src.iter().enumerate() {
+        let mut off = 0;
+        for (ax, &is) in plan.in_strides.iter().enumerate() {
+            off += ((i / is) % plan.in_shape[ax]) * plan.out_strides_masked[ax];
+        }
+        out[off] += v;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Permute
+// ---------------------------------------------------------------------
+
+/// Pre-resolved axis permutation.
+#[derive(Debug, Clone)]
+pub struct PermutePlan {
+    out_shape: Vec<usize>,
+    out_strides: Vec<usize>,
+    /// Stride of output axis `i` in the *input* data.
+    gather: Vec<usize>,
+}
+
+impl PermutePlan {
+    /// The permuted output shape.
+    pub fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        num_elements(&self.out_shape)
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plans the permutation of `shape` by `perm` (output axis `i` is input axis
+/// `perm[i]`).
+///
+/// # Panics
+///
+/// Panics unless `perm` is a permutation of `0..shape.len()`.
+pub fn plan_permute(shape: &[usize], perm: &[usize]) -> PermutePlan {
+    assert_eq!(perm.len(), shape.len(), "plan_permute: rank mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(
+            p < perm.len() && !seen[p],
+            "plan_permute: invalid permutation {perm:?}"
+        );
+        seen[p] = true;
+    }
+    let out_shape: Vec<usize> = perm.iter().map(|&p| shape[p]).collect();
+    let in_strides = strides_for(shape);
+    let gather = perm.iter().map(|&p| in_strides[p]).collect();
+    PermutePlan {
+        out_strides: strides_for(&out_shape),
+        out_shape,
+        gather,
+    }
+}
+
+/// Executes a planned permutation into `out` (a row-major gather). Fully
+/// overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the plan.
+pub fn permute_into(plan: &PermutePlan, src: &[f32], out: &mut [f32]) {
+    assert_eq!(src.len(), plan.len(), "permute_into: src length mismatch");
+    assert_eq!(out.len(), plan.len(), "permute_into: out length mismatch");
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut src_off = 0;
+        for (ax, &os) in plan.out_strides.iter().enumerate() {
+            src_off += ((i / os) % plan.out_shape[ax]) * plan.gather[ax];
+        }
+        *o = src[src_off];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused elementwise chains
+// ---------------------------------------------------------------------
+
+/// Fused capsule squash over the middle axis of an `[outer, dk, inner]`
+/// layout: replaces the eight-node primitive chain the tape emits for
+/// `squash` (square → sum → +eps → sqrt → +1 → mul → div → mul) with one
+/// kernel performing the *identical* `f32` operation sequence per element:
+///
+/// ```text
+/// sumsq  = Σ_ax (v·v)              (ascending ax, like the reduction walk)
+/// denom  = (sumsq + 1.0) · sqrt(sumsq + 1e-8)
+/// out    = (v / denom) · sumsq
+/// ```
+///
+/// Outer rows fan out over the `bikecap-rt` pool with one owner per row, so
+/// serial == parallel bitwise. Fully overwrites `out`.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match `outer * dk * inner`.
+pub fn fused_squash_into(src: &[f32], outer: usize, dk: usize, inner: usize, out: &mut [f32]) {
+    let item = dk * inner;
+    assert_eq!(src.len(), outer * item, "fused_squash_into: src length mismatch");
+    assert_eq!(out.len(), outer * item, "fused_squash_into: out length mismatch");
+    let min_rows = (PAR_MIN_WORK / item.max(1)).max(1);
+    bikecap_rt::parallel_items_mut(out, item, min_rows, |o0, block| {
+        for (di, out_row) in block.chunks_mut(item).enumerate() {
+            let base = (o0 + di) * item;
+            let row = &src[base..base + item];
+            for i in 0..inner {
+                let mut sumsq = 0.0f32;
+                for ax in 0..dk {
+                    let v = row[ax * inner + i];
+                    sumsq += v * v;
+                }
+                let denom = (sumsq + 1.0) * (sumsq + 1e-8).sqrt();
+                for ax in 0..dk {
+                    let idx = ax * inner + i;
+                    out_row[idx] = row[idx] / denom * sumsq;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(41)
+    }
+
+    fn planned_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let plan = plan_broadcast(a.shape(), b.shape()).unwrap();
+        let mut out = vec![0.0; plan.len()];
+        zip_planned_into(&plan, a.as_slice(), b.as_slice(), &mut out, f);
+        Tensor::from_vec(out, plan.out_shape())
+    }
+
+    #[test]
+    fn planned_broadcast_matches_eager_on_every_dispatch_kind() {
+        let mut r = rng();
+        let cases: Vec<(Vec<usize>, Vec<usize>)> = vec![
+            (vec![2, 3], vec![2, 3]),               // same
+            (vec![2, 3], vec![1]),                  // scalar rhs
+            (vec![1, 1], vec![4, 2]),               // scalar lhs
+            (vec![2, 5, 3], vec![2, 1, 3]),         // single axis
+            (vec![2, 1, 3], vec![2, 5, 3]),         // single axis swapped
+            (vec![4, 2, 3], vec![2, 3]),            // suffix
+            (vec![2, 3], vec![4, 2, 3]),            // suffix swapped
+            (vec![2, 4, 3, 5, 5], vec![1, 4, 1, 1, 1]), // general (bias add)
+            (vec![1, 4, 1, 1, 1], vec![2, 4, 3, 5, 5]), // general swapped
+        ];
+        for (sa, sb) in cases {
+            let a = Tensor::rand_uniform(&sa, -2.0, 2.0, &mut r);
+            let b = Tensor::rand_uniform(&sb, 0.5, 2.0, &mut r);
+            for f in [
+                |x: f32, y: f32| x + y,
+                |x: f32, y: f32| x - y,
+                |x: f32, y: f32| x / y,
+            ] {
+                let eager = a.zip_broadcast(&b, f);
+                let planned = planned_zip(&a, &b, f);
+                assert_eq!(eager.shape(), planned.shape(), "{sa:?} op {sb:?}");
+                assert_eq!(eager.as_slice(), planned.as_slice(), "{sa:?} op {sb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn planned_reduce_matches_eager_sum_axes() {
+        let mut r = rng();
+        let t = Tensor::rand_uniform(&[3, 4, 2, 5], -1.0, 1.0, &mut r);
+        for axes in [vec![1usize], vec![3], vec![0, 2], vec![1, 3]] {
+            let plan = plan_reduce_sum(t.shape(), &axes);
+            let mut out = vec![7.7; plan.len()]; // stale data must be cleared
+            reduce_sum_into(&plan, t.as_slice(), &mut out);
+            let eager = t.sum_axes(&axes, true);
+            assert_eq!(eager.shape(), plan.out_shape());
+            assert_eq!(eager.as_slice(), &out[..], "axes {axes:?}");
+        }
+    }
+
+    #[test]
+    fn planned_permute_matches_eager() {
+        let mut r = rng();
+        let t = Tensor::rand_uniform(&[2, 3, 4, 5], -1.0, 1.0, &mut r);
+        for perm in [vec![3usize, 1, 0, 2], vec![0, 2, 1, 3], vec![1, 0, 3, 2]] {
+            let plan = plan_permute(t.shape(), &perm);
+            let mut out = vec![0.0; plan.len()];
+            permute_into(&plan, t.as_slice(), &mut out);
+            let eager = t.permute(&perm);
+            assert_eq!(eager.shape(), plan.out_shape());
+            assert_eq!(eager.as_slice(), &out[..], "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_into_clears_stale_output() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let mut out = vec![99.0; 4];
+        matmul_into(a.as_slice(), b.as_slice(), 2, 2, 2, &mut out);
+        assert_eq!(out, a.matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn fused_squash_matches_primitive_chain_bitwise() {
+        let mut r = rng();
+        // [outer, dk, inner] layouts covering both tiny and rt-parallel sizes.
+        for (outer, dk, inner) in [(2, 4, 9), (1, 2, 3), (64, 8, 64)] {
+            let t = Tensor::rand_uniform(&[outer, dk, inner], -3.0, 3.0, &mut r);
+            // The tape's primitive emission, replayed on eager tensors.
+            let sq = t.square();
+            let sumsq = sq.sum_axes(&[1], true);
+            let norm = sumsq.add_scalar(1e-8).sqrt();
+            let denom = sumsq.add_scalar(1.0).mul(&norm);
+            let expect = t.div(&denom).mul(&sumsq);
+            let mut out = vec![0.0; t.len()];
+            fused_squash_into(t.as_slice(), outer, dk, inner, &mut out);
+            assert_eq!(expect.as_slice(), &out[..], "({outer},{dk},{inner})");
+        }
+    }
+
+    #[test]
+    fn fused_squash_of_zero_vector_is_zero() {
+        let mut out = vec![1.0; 6];
+        fused_squash_into(&[0.0; 6], 1, 2, 3, &mut out);
+        assert_eq!(out, [0.0; 6]);
+    }
+}

@@ -33,6 +33,7 @@
 //! return typed errors there.
 
 pub mod conv;
+pub mod exec;
 pub mod shape;
 mod tensor;
 

@@ -4,9 +4,7 @@ use std::fmt;
 
 use rand::Rng;
 
-use crate::shape::{
-    broadcast_shapes, broadcast_strides, num_elements, offset_of, strides_for, Odometer,
-};
+use crate::shape::{broadcast_shapes, num_elements, offset_of, strides_for, Odometer};
 
 /// Minimum useful work (output elements × inner length, roughly flops) per
 /// chunk before a kernel fans out over the `bikecap-rt` pool. Shape-derived
@@ -327,140 +325,15 @@ impl Tensor {
     ///
     /// Panics if the shapes are not broadcast-compatible.
     pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        if self.shape == other.shape {
-            return Tensor {
-                shape: self.shape.clone(),
-                data: self
-                    .data
-                    .iter()
-                    .zip(&other.data)
-                    .map(|(&a, &b)| f(a, b))
-                    .collect(),
-            };
-        }
-        // Scalar-like operands. The output keeps the broadcast rank (e.g.
-        // `[1,1] op [1]` is `[1,1]`), so resolve the shape properly.
-        if self.data.len() == 1 || other.data.len() == 1 {
-            let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
-                panic!("broadcast mismatch: {:?} vs {:?}", self.shape, other.shape)
-            });
-            if other.data.len() == 1 {
-                let b = other.data[0];
-                return Tensor {
-                    shape: out_shape,
-                    data: self.data.iter().map(|&a| f(a, b)).collect(),
-                };
-            }
-            let a = self.data[0];
-            return Tensor {
-                shape: out_shape,
-                data: other.data.iter().map(|&b| f(a, b)).collect(),
-            };
-        }
-        // One operand broadcasts along exactly one axis of the other
-        // (bias adds, keepdim reductions): index arithmetic, no odometer.
-        if let Some(out) = Self::single_axis_fast_path(self, other, &f, false) {
-            return out;
-        }
-        if let Some(out) = Self::single_axis_fast_path(other, self, &f, true) {
-            return out;
-        }
-        // One operand is a right-aligned suffix of the other: cyclic reuse.
-        if let Some(out) = Self::suffix_fast_path(self, other, &f, false) {
-            return out;
-        }
-        if let Some(out) = Self::suffix_fast_path(other, self, &f, true) {
-            return out;
-        }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|| {
-            panic!(
-                "broadcast mismatch: {:?} vs {:?}",
-                self.shape, other.shape
-            )
+        let plan = crate::exec::plan_broadcast(&self.shape, &other.shape).unwrap_or_else(|| {
+            panic!("broadcast mismatch: {:?} vs {:?}", self.shape, other.shape)
         });
-        let sa = broadcast_strides(&self.shape, out_shape.len());
-        let sb = broadcast_strides(&other.shape, out_shape.len());
-        let mut data = Vec::with_capacity(num_elements(&out_shape));
-        let mut odo = Odometer::new(&out_shape);
-        while !odo.is_done() {
-            let ia = offset_of(odo.index(), &sa);
-            let ib = offset_of(odo.index(), &sb);
-            data.push(f(self.data[ia], other.data[ib]));
-            odo.advance();
-        }
+        let mut data = vec![0.0; plan.len()];
+        crate::exec::zip_planned_into(&plan, &self.data, &other.data, &mut data, f);
         Tensor {
-            shape: out_shape,
+            shape: plan.into_out_shape(),
             data,
         }
-    }
-
-    /// Fast path when `small` equals `big`'s shape except for exactly one
-    /// axis where it has extent 1. `swapped` flips the argument order fed to
-    /// `f` (so non-commutative ops stay correct).
-    fn single_axis_fast_path(
-        big: &Tensor,
-        small: &Tensor,
-        f: &impl Fn(f32, f32) -> f32,
-        swapped: bool,
-    ) -> Option<Tensor> {
-        if big.shape.len() != small.shape.len() {
-            return None;
-        }
-        let mut axis = None;
-        for (k, (&db, &ds)) in big.shape.iter().zip(&small.shape).enumerate() {
-            if db == ds {
-                continue;
-            }
-            if ds == 1 && axis.is_none() {
-                axis = Some(k);
-            } else {
-                return None;
-            }
-        }
-        let k = axis?;
-        let inner: usize = big.shape[k + 1..].iter().product();
-        let dk = big.shape[k];
-        let block = inner * dk;
-        let mut data = Vec::with_capacity(big.data.len());
-        for (i, &a) in big.data.iter().enumerate() {
-            let s_off = (i / block) * inner + (i % inner);
-            let b = small.data[s_off];
-            data.push(if swapped { f(b, a) } else { f(a, b) });
-        }
-        Some(Tensor {
-            shape: big.shape.clone(),
-            data,
-        })
-    }
-
-    /// Fast path when `small`'s shape is a right-aligned suffix of `big`'s
-    /// (all leading axes broadcast): the small buffer repeats cyclically.
-    fn suffix_fast_path(
-        big: &Tensor,
-        small: &Tensor,
-        f: &impl Fn(f32, f32) -> f32,
-        swapped: bool,
-    ) -> Option<Tensor> {
-        if small.shape.len() >= big.shape.len() {
-            return None;
-        }
-        let offset = big.shape.len() - small.shape.len();
-        if big.shape[offset..] != small.shape[..] {
-            return None;
-        }
-        let n = small.data.len();
-        if n == 0 {
-            return None;
-        }
-        let mut data = Vec::with_capacity(big.data.len());
-        for (i, &a) in big.data.iter().enumerate() {
-            let b = small.data[i % n];
-            data.push(if swapped { f(b, a) } else { f(a, b) });
-        }
-        Some(Tensor {
-            shape: big.shape.clone(),
-            data,
-        })
     }
 
     /// Broadcasting addition.
@@ -568,26 +441,9 @@ impl Tensor {
             assert!(!reduce[ax], "sum_axes: axis {ax} repeated");
             reduce[ax] = true;
         }
-        let kept_shape: Vec<usize> = self
-            .shape
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| if reduce[i] { 1 } else { d })
-            .collect();
-        let out_strides = strides_for(&kept_shape);
-        let mut out = Tensor::zeros(&kept_shape);
-        let mut odo = Odometer::new(&self.shape);
-        let in_strides = strides_for(&self.shape);
-        while !odo.is_done() {
-            let mut off = 0;
-            for (i, &idx) in odo.index().iter().enumerate() {
-                if !reduce[i] {
-                    off += idx * out_strides[i];
-                }
-            }
-            out.data[off] += self.data[offset_of(odo.index(), &in_strides)];
-            odo.advance();
-        }
+        let plan = crate::exec::plan_reduce_sum(&self.shape, axes);
+        let mut out = Tensor::zeros(plan.out_shape());
+        crate::exec::reduce_sum_into(&plan, &self.data, &mut out.data);
         if keepdim {
             out
         } else {
@@ -666,26 +522,7 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul: inner dims differ ({k} vs {k2})");
         let mut out = vec![0.0f32; m * n];
-        // i-k-j ordering: the inner loop is a contiguous AXPY over the output
-        // row, which auto-vectorises well. Each output row has exactly one
-        // owner and is produced by the identical serial loop, so fanning rows
-        // out over the pool is bitwise-deterministic at any thread count.
-        let min_rows = (PAR_MIN_WORK / (k * n).max(1)).max(1);
-        bikecap_rt::parallel_items_mut(&mut out, n, min_rows, |row0, block| {
-            for (di, orow) in block.chunks_mut(n).enumerate() {
-                let i = row0 + di;
-                let arow = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[kk * n..(kk + 1) * n];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::exec::matmul_into(&self.data, &other.data, m, k, n, &mut out);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -701,11 +538,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose2d on rank-{} tensor", self.ndim());
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut data = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                data[j * m + i] = self.data[i * n + j];
-            }
-        }
+        crate::exec::transpose2d_into(&self.data, m, n, &mut data);
         Tensor {
             shape: vec![n, m],
             data,
@@ -741,24 +574,11 @@ impl Tensor {
     ///
     /// Panics unless `perm` is a permutation of `0..ndim`.
     pub fn permute(&self, perm: &[usize]) -> Tensor {
-        assert_eq!(perm.len(), self.ndim(), "permute: rank mismatch");
-        let mut seen = vec![false; perm.len()];
-        for &p in perm {
-            assert!(p < perm.len() && !seen[p], "permute: invalid permutation {perm:?}");
-            seen[p] = true;
-        }
-        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
-        let in_strides = strides_for(&self.shape);
-        // Stride of output axis i in the *input* data.
-        let gather: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
-        let mut data = Vec::with_capacity(self.data.len());
-        let mut odo = Odometer::new(&out_shape);
-        while !odo.is_done() {
-            data.push(self.data[offset_of(odo.index(), &gather)]);
-            odo.advance();
-        }
+        let plan = crate::exec::plan_permute(&self.shape, perm);
+        let mut data = vec![0.0; plan.len()];
+        crate::exec::permute_into(&plan, &self.data, &mut data);
         Tensor {
-            shape: out_shape,
+            shape: plan.out_shape().to_vec(),
             data,
         }
     }
@@ -870,26 +690,7 @@ impl Tensor {
         let split = self.ndim() - k_axes;
         let inner: usize = self.shape[split..].iter().product();
         let mut data = vec![0.0; self.data.len()];
-        // Each softmax group is normalised independently with one owner per
-        // output row: parallel == serial bitwise (the routing coupling step
-        // leans on this).
-        let min_rows = (PAR_MIN_WORK / inner.max(1)).max(1);
-        bikecap_rt::parallel_items_mut(&mut data, inner, min_rows, |o0, block| {
-            for (di, out_row) in block.chunks_mut(inner).enumerate() {
-                let o = o0 + di;
-                let row = &self.data[o * inner..(o + 1) * inner];
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for (d, &v) in out_row.iter_mut().zip(row) {
-                    let e = (v - max).exp();
-                    *d = e;
-                    sum += e;
-                }
-                for d in out_row {
-                    *d /= sum;
-                }
-            }
-        });
+        crate::exec::softmax_trailing_into(&self.data, inner, &mut data);
         Tensor {
             shape: self.shape.clone(),
             data,

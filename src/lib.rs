@@ -28,6 +28,7 @@ pub use bikecap_city_sim as sim;
 pub use bikecap_core as model;
 pub use bikecap_eval as eval;
 pub use bikecap_faults as faults;
+pub use bikecap_ir as ir;
 pub use bikecap_nn as nn;
 pub use bikecap_obs as obs;
 pub use bikecap_rt as rt;
