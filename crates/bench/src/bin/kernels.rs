@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use bikecap_bench::BenchArgs;
-use bikecap_core::{BikeCap, BikeCapConfig, ExecMode};
+use bikecap_core::{BikeCap, BikeCapConfig, ExecMode, VerifyMode};
 use bikecap_rt as rt;
 use bikecap_tensor::conv::{conv3d, conv_transpose3d, Conv3dSpec};
 use bikecap_tensor::Tensor;
@@ -189,6 +189,45 @@ fn main() {
         compiled.predict(&window)
     });
 
+
+    // Plan-build latency with the verifier off vs strict. The strict
+    // record's `speedup` is off_ns / strict_ns — the acceptance bar for
+    // `BIKECAP_VERIFY=strict` is < 10% overhead, i.e. a ratio above ~0.9.
+    let mut builder = BikeCap::seeded(BikeCapConfig::new(8, 8).history(8).horizon(4), 11);
+    let plan_iters = 10 * scale;
+    let mut off_ns = 0u128;
+    for (mode, op) in [
+        (VerifyMode::Off, "plan_build_verify_off"),
+        (VerifyMode::Strict, "plan_build_verify_strict"),
+    ] {
+        builder.set_verify_mode(mode);
+        black_box(builder.compile_fresh_plan(8)).expect("plan compiles"); // warmup
+        let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+        let start = Instant::now();
+        for _ in 0..plan_iters {
+            black_box(builder.compile_fresh_plan(8));
+        }
+        let ns = start.elapsed().as_nanos() / u128::from(plan_iters.max(1));
+        let allocs_per_iter = (ALLOCATIONS.load(Ordering::Relaxed) - allocs_before)
+            / u64::from(plan_iters.max(1));
+        let speedup = if mode == VerifyMode::Off {
+            off_ns = ns;
+            1.0
+        } else {
+            off_ns as f64 / (ns as f64).max(1.0)
+        };
+        eprintln!(
+            "[kernels] {op:<24} batch 8, 8x8 grid, h=8   {ns:>12} ns/iter  {speedup:.2}x  {allocs_per_iter:>6} allocs/iter"
+        );
+        records.push(Record {
+            op,
+            shape: "batch 8, 8x8 grid, h=8".into(),
+            threads: 1,
+            ns_per_iter: ns,
+            speedup,
+            allocs_per_iter,
+        });
+    }
 
     let json = render_json(&records);
     std::fs::write(&out, &json)

@@ -60,6 +60,8 @@ pub fn lex(source: &str) -> Vec<Token> {
             }
             '/' if peek(&chars, i + 1) == Some('*') => {
                 // Nested block comments, as Rust allows.
+                let start = i;
+                let start_line = line;
                 let mut depth = 1;
                 i += 2;
                 while i < chars.len() && depth > 0 {
@@ -75,6 +77,18 @@ pub fn lex(source: &str) -> Vec<Token> {
                     } else {
                         i += 1;
                     }
+                }
+                // Block doc comments (`/** .. */`, `/*! .. */`) carry doc
+                // text like their line forms. Per rustdoc, the empty `/**/`
+                // and `/*** ..` are plain comments, not docs.
+                let text: String = chars[start..i].iter().collect();
+                let is_outer_doc =
+                    text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4;
+                if is_outer_doc || text.starts_with("/*!") {
+                    tokens.push(Token {
+                        kind: TokenKind::DocComment(text),
+                        line: start_line,
+                    });
                 }
             }
             '"' => {
@@ -96,6 +110,16 @@ pub fn lex(source: &str) -> Vec<Token> {
             'b' if peek(&chars, i + 1) == Some('"') => {
                 let start_line = line;
                 i = consume_string(&chars, i + 1, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: start_line,
+                });
+            }
+            'b' if peek(&chars, i + 1) == Some('\'') => {
+                // Byte-char literal (`b'x'`, `b'\''`); without this arm the
+                // `b` would leak as a stray identifier.
+                let start_line = line;
+                i = consume_char_literal(&chars, i + 1, &mut line);
                 tokens.push(Token {
                     kind: TokenKind::Literal,
                     line: start_line,
@@ -196,7 +220,15 @@ fn consume_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
     i += 1; // opening quote
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // An escaped newline (line continuation) still ends a
+                // source line; skipping it blind would shift every line
+                // number after the string.
+                if peek(chars, i + 1) == Some('\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -256,7 +288,12 @@ fn consume_char_literal(chars: &[char], mut i: usize, line: &mut usize) -> usize
     i += 1;
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                if peek(chars, i + 1) == Some('\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '\'' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -338,5 +375,82 @@ mod tests {
         assert!(!ids.contains(&"f32".to_string()));
         assert!(!ids.contains(&"ff".to_string()));
         assert!(!ids.contains(&"e".to_string()));
+    }
+
+    fn docs(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::DocComment(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_doc_comments_are_doc_comments() {
+        let outer = "/** Rejects when the queue is full. */\npub fn submit() {}";
+        let d = docs(outer);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].contains("queue is full"));
+
+        let inner = "/*! module docs: shuts down cleanly. */\nfn f() {}";
+        assert!(docs(inner)[0].contains("shuts down"));
+
+        // `/**/` (empty) and `/*** ...` (decorative) are plain comments.
+        assert!(docs("/**/\nfn f() {}").is_empty());
+        assert!(docs("/*** banner ***/\nfn f() {}").is_empty());
+
+        // Multi-line block docs keep later line numbers intact.
+        let toks = lex("/** one\ntwo\nthree */\nlet b = 1;");
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".to_string()))
+            .expect("b token");
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_are_opaque() {
+        // The `"#` inside does not close an `r##"..."##` string.
+        let src = "let s = r##\"has \"# unwrap() inside\"##;\nlet after = 1;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        // Raw byte strings take the same path.
+        let ids = idents("let s = br#\"panic!()\"#; let tail = 2;");
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A `\` line continuation inside a string still ends a source line.
+        let src = "let a = \"one\\\ntwo\";\nlet b = 1;";
+        let toks = lex(src);
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".to_string()))
+            .expect("b token");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_leak_the_b() {
+        let ids = idents("let x = b'a'; let y = b'\\''; let z = 1;");
+        assert!(!ids.contains(&"b".to_string()));
+        assert!(!ids.contains(&"a".to_string()));
+        assert!(ids.contains(&"z".to_string()));
+        // A lone `b` identifier still lexes as an identifier.
+        assert!(idents("let b = 1;").contains(&"b".to_string()));
+    }
+
+    #[test]
+    fn labels_and_lifetimes_next_to_literals_disambiguate() {
+        // Loop labels are lifetimes syntactically; `'x'` stays a literal.
+        let src = "'outer: loop { break 'outer; }\nlet c = 'q';";
+        let ids = idents(src);
+        assert!(ids.contains(&"outer".to_string()));
+        assert!(!ids.contains(&"q".to_string()));
     }
 }

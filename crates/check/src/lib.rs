@@ -8,18 +8,30 @@
 //! 2. **Hot-path lints** — [`lint`] tokenizes the workspace sources
 //!    ([`lex`]) and rejects panic-prone constructs (`unwrap`, `expect`,
 //!    `panic!`, slice indexing, lossy casts) in the numeric and serving hot
-//!    paths, modulo the audited `check-allowlist.txt`.
+//!    paths, modulo the audited `check-allowlist.txt`. A scope-aware item
+//!    scanner ([`scope`]) layers on rules the flat token walk cannot
+//!    express: `# Safety` contracts on `unsafe` blocks, workspace-wide
+//!    lock-acquisition ordering, and order-sensitive float reductions.
 //! 3. **Config probing** — [`cli::config_from_flags`] powers
 //!    `bikecap-check check-config` and the root `bikecap check-config`
 //!    subcommand, including what-if stride overrides.
+//!
+//! `bikecap-check verify-plans` additionally compiles every EXPERIMENTS.md
+//! configuration's executor plan and runs the bikecap-verify invariant
+//! checker (and, with `--mutate`, its mutation harness) over each.
 //!
 //! Run everything with `cargo run -p bikecap-check -- all`.
 
 pub mod cli;
 pub mod lex;
 pub mod lint;
+pub mod scope;
 pub mod sweep;
 
 pub use cli::{config_from_flags, CHECK_CONFIG_FLAGS};
-pub use lint::{lint_source, lint_workspace, Allowlist, CrateKind, Finding, Rule};
+pub use lint::{
+    analyze_source, lint_source, lint_sources, lint_workspace, Allowlist, CrateKind,
+    FileAnalysis, Finding, Rule,
+};
+pub use scope::{lock_cycle_findings, FileScopes, LockEdge};
 pub use sweep::{run_sweep, sweep_configs};

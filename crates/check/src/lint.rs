@@ -44,11 +44,33 @@
 //!   pool's panic containment, and the rt.* observability spans; fan work
 //!   out through `bikecap_rt::parallel_for` / `for_each_chunk` instead.
 //!
+//! Three further rules need scope structure the flat token walk cannot
+//! express (fn/impl nesting, doc attachment, guard lifetimes); they run on
+//! the item scanner in [`crate::scope`]:
+//!
+//! * **unsafe-contract** — every `unsafe { .. }` block in the tensor/ir/rt
+//!   crates must sit inside a fn whose doc comment has a `# Safety`
+//!   section stating the invariant the block relies on. (`unsafe fn` /
+//!   `unsafe impl` declarations are not blocks and are not matched.)
+//! * **lock-order** — mutex/RwLock acquisitions in rt and serve are
+//!   collected together with the guards still held at each site
+//!   (`let`-bound guards live to end-of-block or `drop(guard)`); the
+//!   workspace-wide held→acquired graph must be acyclic. A cycle is a
+//!   deadlock waiting for the right thread interleaving.
+//! * **nondet-float-reduction** — no order-sensitive float reductions
+//!   (`.sum::<f32>()`, order-dependent `.fold(..)`) in numeric hot-path
+//!   functions outside bikecap-rt. Parallel-produced data must be reduced
+//!   through the pool's fixed reduce tree so results are bitwise
+//!   reproducible at any thread count; `fold`s over `max`/`min` are
+//!   order-insensitive and exempt.
+//!
 //! Code under `#[cfg(test)]` / `mod tests` / `#[test]` is exempt. Audited
 //! exceptions live in `check-allowlist.txt` at the workspace root, one per
-//! line: `rule path fn-name justification...`.
+//! line: `rule path fn-name justification...`, sorted by (rule, path, fn)
+//! with no duplicates ([`Allowlist::hygiene_errors`]).
 
 use crate::lex::{lex, Token, TokenKind};
+use crate::scope::LockEdge;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -66,6 +88,9 @@ pub enum Rule {
     NoPrintln,
     NoRawSpawn,
     NoAllocInHotPath,
+    UnsafeContract,
+    LockOrder,
+    NondetFloatReduction,
 }
 
 impl Rule {
@@ -82,6 +107,9 @@ impl Rule {
             Rule::NoPrintln => "no-println",
             Rule::NoRawSpawn => "no-raw-spawn",
             Rule::NoAllocInHotPath => "no-alloc-in-hot-path",
+            Rule::UnsafeContract => "unsafe-contract",
+            Rule::LockOrder => "lock-order",
+            Rule::NondetFloatReduction => "nondet-float-reduction",
         }
     }
 }
@@ -300,14 +328,93 @@ impl Allowlist {
             .map(|(e, _)| e)
             .collect()
     }
+
+    /// File-hygiene check, separate from parsing so ad-hoc lists in tests
+    /// stay valid: the workspace allowlist must be sorted by
+    /// (rule, path, fn) and must not repeat an entry — a duplicate means
+    /// one audit note will silently shadow another's justification.
+    pub fn hygiene_errors(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for pair in self.entries.windows(2) {
+            let a = (&pair[0].rule, &pair[0].file, &pair[0].func);
+            let b = (&pair[1].rule, &pair[1].file, &pair[1].func);
+            if a > b {
+                errors.push(format!(
+                    "check-allowlist.txt:{}: entries must be sorted by (rule, path, fn); \
+                     `{} {} {}` sorts before line {}",
+                    pair[1].line, pair[1].rule, pair[1].file, pair[1].func, pair[0].line
+                ));
+            }
+        }
+        let mut seen: std::collections::HashMap<(&str, &str, &str), usize> =
+            std::collections::HashMap::new();
+        for e in &self.entries {
+            if let Some(first) = seen.insert((&e.rule, &e.file, &e.func), e.line) {
+                errors.push(format!(
+                    "check-allowlist.txt:{}: duplicate of line {first} \
+                     (`{} {} {}`); keep one audited justification",
+                    e.line, e.rule, e.file, e.func
+                ));
+            }
+        }
+        errors.sort();
+        errors
+    }
 }
 
-/// Lint a single source file (pure; unit-testable). `file` is the
-/// workspace-relative path used for crate classification and reporting.
-pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
+/// Per-file analysis output: findings, plus the lock-order edges this file
+/// contributes to the workspace-wide acquisition graph (cycle detection
+/// needs the union across files; see [`crate::scope::lock_cycle_findings`]).
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    pub findings: Vec<Finding>,
+    pub lock_edges: Vec<LockEdge>,
+}
+
+/// Analyze a single source file (pure; unit-testable): the token-walk rules
+/// plus the scope-aware rules. `file` is the workspace-relative path used
+/// for crate classification and reporting.
+pub fn analyze_source(file: &str, source: &str) -> FileAnalysis {
     let kind = CrateKind::of(file);
-    let is_batcher = file.ends_with("serve/src/batcher.rs");
     let tokens = lex(source);
+    let mut findings = token_findings(file, kind, &tokens);
+    let (scope_f, lock_edges) = crate::scope::scope_findings(file, kind, &tokens);
+    findings.extend(scope_f);
+    // Token and scope findings each arrive in source order; merge them so
+    // reports read top-to-bottom (stable: same-line ties keep token rules
+    // first).
+    findings.sort_by_key(|f| f.line);
+    FileAnalysis {
+        findings,
+        lock_edges,
+    }
+}
+
+/// Lint a single file in isolation: per-file rules plus any lock-order
+/// cycles expressible within this file alone.
+pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
+    lint_sources(&[(file.to_string(), source.to_string())])
+}
+
+/// Lint a set of files as one unit: per-file rules, then lock-order cycle
+/// detection over the union of every file's acquisition edges. This is the
+/// entry point `lint_workspace` and the golden-fixture harness share.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    for (file, source) in files {
+        let mut analysis = analyze_source(file, source);
+        findings.append(&mut analysis.findings);
+        edges.append(&mut analysis.lock_edges);
+    }
+    findings.extend(crate::scope::lock_cycle_findings(&edges));
+    findings
+}
+
+/// The token-walk rules (everything except unsafe-contract / lock-order,
+/// which need [`crate::scope`]).
+fn token_findings(file: &str, kind: CrateKind, tokens: &[Token]) -> Vec<Finding> {
+    let is_batcher = file.ends_with("serve/src/batcher.rs");
     let mut findings = Vec::new();
 
     struct FnFrame {
@@ -579,6 +686,31 @@ pub fn lint_source(file: &str, source: &str) -> Vec<Finding> {
                 pub_flag = false;
                 i += 1;
             }
+            TokenKind::Ident(w)
+                if hot
+                    && matches!(
+                        kind,
+                        CrateKind::Tensor | CrateKind::Nn | CrateKind::Core | CrateKind::Ir
+                    )
+                    && ((w == "sum" && is_float_turbofish(tokens, i))
+                        || (w == "fold" && is_order_sensitive_fold(tokens, i))) =>
+            {
+                let func = stack.last().map(|f| f.name.clone());
+                findings.push(Finding {
+                    rule: Rule::NondetFloatReduction,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    func: func.unwrap_or_default(),
+                    message: format!(
+                        "`{w}` reduces floats in iteration order on a hot path; the result \
+                         depends on chunking/thread count. Reduce through bikecap-rt's fixed \
+                         reduce tree (or audit and allowlist if the input is provably serial)"
+                    ),
+                });
+                doc_buf.clear();
+                pub_flag = false;
+                i += 1;
+            }
             TokenKind::Ident(w) if hot && kind == CrateKind::Tensor && w == "as" => {
                 if let Some(TokenKind::Ident(target)) = tokens.get(i + 1).map(|t| &t.kind) {
                     if LOSSY_CAST_TARGETS.contains(&target.as_str()) {
@@ -641,9 +773,48 @@ fn is_path_call(tokens: &[Token], i: usize, method: &str) -> bool {
         && matches!(tokens.get(i + 4).map(|t| &t.kind), Some(TokenKind::Punct('(')))
 }
 
+/// Is the token at `i` a `sum ::<f32|f64>` turbofish? (`Iterator::sum`
+/// inferred to an integer type is order-insensitive and never matched; the
+/// float turbofish is the only unambiguous token-level signal.)
+fn is_float_turbofish(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct(':')))
+        && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokenKind::Punct(':')))
+        && matches!(tokens.get(i + 3).map(|t| &t.kind), Some(TokenKind::Punct('<')))
+        && matches!(
+            tokens.get(i + 4).map(|t| &t.kind),
+            Some(TokenKind::Ident(ty)) if ty == "f32" || ty == "f64"
+        )
+}
+
+/// Is the token at `i` a `fold(` whose argument list is order-sensitive?
+/// `fold`s over `max`/`min` (e.g. `fold(f32::NEG_INFINITY, f32::max)`) are
+/// associative+commutative and exempt.
+fn is_order_sensitive_fold(tokens: &[Token], i: usize) -> bool {
+    if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('('))) {
+        return false;
+    }
+    let mut depth = 0isize;
+    let mut j = i + 1;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return true;
+                }
+            }
+            TokenKind::Ident(w) if w == "max" || w == "min" => return false,
+            _ => {}
+        }
+        j += 1;
+    }
+    true
+}
+
 /// Consume an (inner or outer) attribute starting at `#`; returns the idents
 /// seen inside and the index one past the closing `]`.
-fn consume_attribute(tokens: &[Token], mut i: usize) -> (Vec<String>, usize) {
+pub(crate) fn consume_attribute(tokens: &[Token], mut i: usize) -> (Vec<String>, usize) {
     let mut idents = Vec::new();
     // Skip `#` and an optional `!`.
     i += 1;
@@ -673,14 +844,14 @@ fn consume_attribute(tokens: &[Token], mut i: usize) -> (Vec<String>, usize) {
 
 /// Does this attribute mark test-only code? (`#[test]`, `#[cfg(test)]`;
 /// `#[cfg(not(test))]` is production code and does NOT match.)
-fn is_test_attribute(idents: &[String]) -> bool {
+pub(crate) fn is_test_attribute(idents: &[String]) -> bool {
     let has = |w: &str| idents.iter().any(|s| s == w);
     (idents.len() == 1 && idents[0] == "test") || (has("cfg") && has("test") && !has("not"))
 }
 
 /// Skip one item starting at `i` (a `fn`, `mod`, `use`, `impl`, ...): consume
 /// to the `;` that ends it, or through its balanced `{...}` block.
-fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+pub(crate) fn skip_item(tokens: &[Token], mut i: usize) -> usize {
     let mut brace = 0usize;
     while i < tokens.len() {
         match &tokens[i].kind {
@@ -716,7 +887,7 @@ pub fn lint_workspace(
     workspace_root: &Path,
     allowlist: &mut Allowlist,
 ) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for root in LINT_ROOTS {
         let dir = workspace_root.join(root);
         let mut files = Vec::new();
@@ -731,14 +902,15 @@ pub fn lint_workspace(
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            for f in lint_source(&rel, &source) {
-                if !allowlist.allows(&f) {
-                    findings.push(f);
-                }
-            }
+            sources.push((rel, source));
         }
     }
-    Ok(findings)
+    // One pass over the whole set so lock-order sees the cross-file
+    // acquisition graph, then the allowlist filter.
+    Ok(lint_sources(&sources)
+        .into_iter()
+        .filter(|f| !allowlist.allows(f))
+        .collect())
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -802,7 +974,7 @@ fn matmul(a: &[f32], shape: &[usize; 2]) -> f32 {
 }
 "#;
         let f = lint_source("crates/nn/src/layers.rs", src);
-        assert_eq!(rules(&f), vec![Rule::NoIndex]);
+        assert_eq!(rules(&f), vec![Rule::NoIndex, Rule::NondetFloatReduction]);
         assert_eq!(f[0].line, 5);
     }
 
@@ -1048,6 +1220,76 @@ mod tests {
     fn malformed_allowlist_line_is_an_error() {
         let err = Allowlist::parse("no-unwrap crates/tensor/src/conv.rs\n");
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn unsafe_without_safety_doc_is_flagged() {
+        let bare = "fn forward(p: *const f32) -> f32 { unsafe { *p } }";
+        for file in ["crates/tensor/src/exec.rs", "crates/rt/src/lib.rs", "crates/ir/src/exec.rs"] {
+            let f = lint_source(file, bare);
+            assert!(f.iter().any(|f| f.rule == Rule::UnsafeContract), "{file}");
+        }
+        // A `# Safety` section on the enclosing fn discharges the rule.
+        let documented = "/// Reads one element.\n///\n/// # Safety\n/// `p` is valid.\nfn forward(p: *const f32) -> f32 { unsafe { *p } }";
+        assert!(lint_source("crates/rt/src/lib.rs", documented)
+            .iter()
+            .all(|f| f.rule != Rule::UnsafeContract));
+        // Crates outside tensor/ir/rt are not covered.
+        assert!(lint_source("crates/serve/src/server.rs", bare)
+            .iter()
+            .all(|f| f.rule != Rule::UnsafeContract));
+    }
+
+    #[test]
+    fn lock_order_cycle_across_files_is_flagged() {
+        let ab = "fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); use2(a, b); }";
+        let ba = "fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); use2(a, b); }";
+        let files = vec![
+            ("crates/rt/src/lib.rs".to_string(), ab.to_string()),
+            ("crates/serve/src/batcher.rs".to_string(), ba.to_string()),
+        ];
+        let f = lint_sources(&files);
+        assert_eq!(rules(&f), vec![Rule::LockOrder]);
+        // Each file alone is a consistent order: no cycle.
+        assert!(lint_source("crates/rt/src/lib.rs", ab).is_empty());
+        assert!(lint_source("crates/serve/src/batcher.rs", ba).is_empty());
+    }
+
+    #[test]
+    fn float_sum_and_fold_flagged_only_on_hot_paths() {
+        let sum = "fn forward(x: &[f32]) -> f32 { x.iter().sum::<f32>() }";
+        let f = lint_source("crates/tensor/src/tensor.rs", sum);
+        assert_eq!(rules(&f), vec![Rule::NondetFloatReduction]);
+        // Cold fns and bikecap-rt (which owns the fixed reduce tree) pass.
+        let cold = "fn describe(x: &[f32]) -> f32 { x.iter().sum::<f32>() }";
+        assert!(lint_source("crates/tensor/src/tensor.rs", cold).is_empty());
+        assert!(lint_source("crates/rt/src/lib.rs", sum).is_empty());
+        // Integer sums are order-insensitive.
+        let int = "fn forward(x: &[usize]) -> usize { x.iter().sum::<usize>() }";
+        assert!(lint_source("crates/tensor/src/tensor.rs", int).is_empty());
+        // max/min folds are associative+commutative and exempt; an
+        // order-dependent accumulate fold is not.
+        let max = "fn forward(x: &[f32]) -> f32 { x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b)) }";
+        assert!(lint_source("crates/tensor/src/tensor.rs", max).is_empty());
+        let acc = "fn forward(x: &[f32]) -> f32 { x.iter().fold(0.0, |a, &b| a + b) }";
+        assert_eq!(
+            rules(&lint_source("crates/tensor/src/tensor.rs", acc)),
+            vec![Rule::NondetFloatReduction]
+        );
+    }
+
+    #[test]
+    fn allowlist_hygiene_demands_sorted_unique_entries() {
+        let sorted = "a-rule crates/a.rs f ok\nb-rule crates/a.rs f ok\nb-rule crates/b.rs * ok\n";
+        assert!(Allowlist::parse(sorted).unwrap().hygiene_errors().is_empty());
+        let unsorted = "b-rule crates/b.rs f ok\na-rule crates/a.rs f ok\n";
+        let errs = Allowlist::parse(unsorted).unwrap().hygiene_errors();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("sorted"), "{}", errs[0]);
+        let duplicated = "a-rule crates/a.rs f ok\na-rule crates/a.rs f other words\n";
+        let errs = Allowlist::parse(duplicated).unwrap().hygiene_errors();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("duplicate"), "{}", errs[0]);
     }
 
     #[test]

@@ -17,6 +17,13 @@ USAGE:
     bikecap-check lint [--root DIR] [--allowlist FILE]
                                         hot-path source lints
     bikecap-check sweep                 shape-check every EXPERIMENTS.md config
+    bikecap-check verify-plans [--batch N] [--mutate] [--seeds N] [--timing FILE]
+                                        compile every EXPERIMENTS.md config's
+                                        executor plan and prove the slab/
+                                        refcount/bounds/schedule invariants;
+                                        --mutate also runs the corruption
+                                        harness (every seeded mutation must
+                                        be rejected)
     bikecap-check check-config [FLAGS]  shape-check one configuration
     bikecap-check help                  this text
 
@@ -36,6 +43,7 @@ fn main() -> ExitCode {
         }
         "lint" => run_lint(rest),
         "sweep" => run_sweep_pass(),
+        "verify-plans" => run_verify_plans(rest),
         "check-config" => run_check_config(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}\n{}", cli::CHECK_CONFIG_FLAGS);
@@ -92,6 +100,13 @@ fn run_lint(args: &[String]) -> u8 {
             return 2;
         }
     };
+    let hygiene = allowlist.hygiene_errors();
+    if !hygiene.is_empty() {
+        for e in &hygiene {
+            eprintln!("lint: {e}");
+        }
+        return 1;
+    }
     let findings = match lint::lint_workspace(&root, &mut allowlist) {
         Ok(f) => f,
         Err(e) => {
@@ -139,6 +154,165 @@ fn run_sweep_pass() -> u8 {
             eprintln!("sweep: {name}: {e}");
             1
         }
+    }
+}
+
+/// One row of the `--timing` artifact.
+struct VerifyRecord {
+    name: String,
+    steps: usize,
+    slabs: usize,
+    accesses: usize,
+    plan_build_ns: u128,
+    verify_ns: u128,
+}
+
+fn run_verify_plans(args: &[String]) -> u8 {
+    use std::time::Instant;
+
+    let mut batch = 2usize;
+    let mut mutate = false;
+    let mut seeds = 4u64;
+    let mut timing: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => batch = n,
+                _ => {
+                    eprintln!("verify-plans: --batch needs a positive integer");
+                    return 2;
+                }
+            },
+            "--mutate" => mutate = true,
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => seeds = n,
+                _ => {
+                    eprintln!("verify-plans: --seeds needs a positive integer");
+                    return 2;
+                }
+            },
+            "--timing" => timing = it.next().map(PathBuf::from),
+            other => {
+                eprintln!("verify-plans: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let configs = bikecap_check::sweep_configs();
+    let mut records: Vec<VerifyRecord> = Vec::new();
+    let mut verified = 0usize;
+    let mut skipped = 0usize;
+    let mut violations = 0usize;
+    let mut mutations_applied = 0usize;
+    let mut mutations_accepted = 0usize;
+
+    for (name, config) in configs {
+        let model = match bikecap_core::BikeCap::build_seeded(config, 11) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("verify-plans: {name}: model build failed: {e}");
+                return 2;
+            }
+        };
+        let build_start = Instant::now();
+        let plan = model.compile_fresh_plan(batch);
+        let plan_build_ns = build_start.elapsed().as_nanos();
+        let Some(plan) = plan else {
+            // The graph declined to compile this shape (eager fallback, or
+            // strict mode refused it and already reported why via obs).
+            println!("verify-plans: {name}: skip (no compiled plan; eager fallback)");
+            skipped += 1;
+            continue;
+        };
+        let view = plan.view();
+        let verify_start = Instant::now();
+        let report = bikecap_verify::verify_view(&view);
+        let verify_ns = verify_start.elapsed().as_nanos();
+        if report.is_clean() {
+            println!(
+                "verify-plans: {name}: ok ({} steps, {} slabs, {} accesses, verify {} us)",
+                report.steps,
+                report.slabs,
+                report.accesses,
+                verify_ns / 1_000
+            );
+            verified += 1;
+        } else {
+            for v in &report.violations {
+                eprintln!("verify-plans: {name}: {v}");
+            }
+            violations += report.violations.len();
+        }
+        if mutate {
+            for seed in 0..seeds {
+                for outcome in bikecap_verify::mutate::exercise(&view, seed) {
+                    mutations_applied += 1;
+                    if !outcome.rejected {
+                        mutations_accepted += 1;
+                        eprintln!(
+                            "verify-plans: {name}: mutation NOT rejected (seed {seed}): {}",
+                            outcome.mutation
+                        );
+                    }
+                }
+            }
+        }
+        records.push(VerifyRecord {
+            name,
+            steps: report.steps,
+            slabs: report.slabs,
+            accesses: report.accesses,
+            plan_build_ns,
+            verify_ns,
+        });
+    }
+
+    if let Some(path) = timing {
+        let mut json = String::from("{\n  \"batch\": ");
+        json.push_str(&batch.to_string());
+        json.push_str(",\n  \"configs\": [\n");
+        for (i, r) in records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"steps\": {}, \"slabs\": {}, \"accesses\": {}, \
+                 \"plan_build_ns\": {}, \"verify_ns\": {}}}{}\n",
+                r.name,
+                r.steps,
+                r.slabs,
+                r.accesses,
+                r.plan_build_ns,
+                r.verify_ns,
+                if i + 1 == records.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("verify-plans: writing {}: {e}", path.display());
+            return 2;
+        }
+        println!("verify-plans: timing written to {}", path.display());
+    }
+
+    println!(
+        "verify-plans: {verified} plan(s) verified, {skipped} skipped{}",
+        if mutate {
+            format!(
+                ", {mutations_applied} mutation(s) applied, {} rejected",
+                mutations_applied - mutations_accepted
+            )
+        } else {
+            String::new()
+        }
+    );
+    if violations > 0 || mutations_accepted > 0 {
+        eprintln!(
+            "verify-plans: FAIL ({violations} violation(s), {mutations_accepted} mutation(s) \
+             wrongly accepted)"
+        );
+        1
+    } else {
+        0
     }
 }
 

@@ -1,0 +1,687 @@
+//! Scope-aware analysis over the token stream: fn/impl/mod nesting, doc
+//! and attribute attachment, `unsafe` blocks, and lock-guard scopes.
+//!
+//! The token walker in [`crate::lint`] answers "which function am I in";
+//! the rules added here need more structure than that:
+//!
+//! * **unsafe-contract** — every `unsafe` *block* in the tensor/ir/rt
+//!   crates must sit in a fn whose doc comment carries a `# Safety`
+//!   section, so the invariant the block relies on is stated where the
+//!   next reader (or the SIMD port of ROADMAP item 1) will look.
+//! * **lock-order** — mutex/RwLock acquisitions are collected with the
+//!   set of guards still held at that point (guard-binding scopes: a
+//!   `let`-bound guard lives to the end of its block or an explicit
+//!   `drop(guard)`), yielding a held→acquired edge set per file. The
+//!   workspace-level union must be acyclic ([`lock_cycle_findings`]);
+//!   a cycle is a deadlock waiting for the right interleaving.
+//!
+//! Locks are identified by the final field/receiver name (`self.exec.plans
+//! .lock()` → `plans`), which is deliberately coarse: distinct locks
+//! sharing a name merge into one node, which can only *add* edges, so a
+//! clean report stays trustworthy. Self-edges (`a` then `a`) are skipped —
+//! with name-granularity they are overwhelmingly two different locks.
+//! Recognised acquisition forms: `<recv>.lock()` / `.read()` / `.write()`
+//! with empty argument lists (std `Mutex`/`RwLock`; `io::Read::read(&mut
+//! buf)` has arguments and never matches), and the free helpers
+//! `lock(&path)` / `lock_clean(&path)` used by bikecap-rt and friends.
+//!
+//! Test items (`#[test]`, `#[cfg(test)]`, `mod tests`) are skipped, same
+//! as in the token walker.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lex::{Token, TokenKind};
+use crate::lint::{
+    consume_attribute, is_test_attribute, skip_item, CrateKind, Finding, Rule,
+};
+
+/// One production (non-test) function with its attached doc text.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    pub name: String,
+    pub line: usize,
+    /// Concatenated doc-comment text (`///`, `//!`, `/** */`).
+    pub doc: String,
+}
+
+/// One `unsafe { ... }` block (not `unsafe fn` / `unsafe impl`).
+#[derive(Debug, Clone)]
+pub struct UnsafeBlock {
+    pub line: usize,
+    /// Index into [`FileScopes::fns`] of the innermost enclosing fn.
+    pub fn_idx: Option<usize>,
+}
+
+/// One lock acquisition with the guard context it happened under.
+#[derive(Debug, Clone)]
+pub struct LockAcq {
+    /// Final receiver/field name identifying the lock.
+    pub name: String,
+    pub line: usize,
+    pub fn_idx: Option<usize>,
+    /// Names of guards still held (outermost first).
+    pub held: Vec<String>,
+}
+
+/// Everything the scope scan extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileScopes {
+    pub fns: Vec<FnScope>,
+    pub unsafe_blocks: Vec<UnsafeBlock>,
+    pub locks: Vec<LockAcq>,
+}
+
+/// One held→acquired lock-order edge, with its acquisition site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub line: usize,
+    pub func: String,
+}
+
+/// A live lock guard on the scanner's scope stack.
+struct Guard {
+    lock: String,
+    /// Brace depth the guard's block lives at; popped when the scanner
+    /// leaves that block.
+    depth: usize,
+    /// The `let` binding name, so `drop(binding)` can end it early.
+    binding: Option<String>,
+}
+
+/// Scans a token stream into [`FileScopes`]. Pure and allocation-cheap;
+/// runs once per file alongside the token walker.
+pub fn scan(tokens: &[Token]) -> FileScopes {
+    let mut scopes = FileScopes::default();
+    let mut depth = 0usize;
+    // (fn index, depth at entry) — innermost last.
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut doc_buf = String::new();
+    let mut skip_test_item = false;
+    // `let` statement tracking for guard bindings.
+    let mut stmt_let: Option<String> = None;
+    let mut i = 0;
+
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::DocComment(text) => {
+                doc_buf.push_str(text);
+                doc_buf.push('\n');
+                i += 1;
+            }
+            TokenKind::Punct('#')
+                if matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Punct('[')) | Some(TokenKind::Punct('!'))
+                ) =>
+            {
+                let (attr_idents, next) = consume_attribute(tokens, i);
+                if is_test_attribute(&attr_idents) {
+                    skip_test_item = true;
+                }
+                i = next;
+            }
+            TokenKind::Ident(w) if w == "fn" => {
+                if skip_test_item {
+                    i = skip_item(tokens, i);
+                    skip_test_item = false;
+                    doc_buf.clear();
+                    continue;
+                }
+                let name = match tokens.get(i + 1).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(n)) => n.clone(),
+                    _ => String::new(),
+                };
+                scopes.fns.push(FnScope {
+                    name,
+                    line: tokens[i].line,
+                    doc: std::mem::take(&mut doc_buf),
+                });
+                // Scan the signature to the body `{` (or `;` for bodiless
+                // trait fns), ignoring `;` inside `(`/`[` nesting.
+                let mut j = i + 1;
+                let mut nest = 0isize;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('(') | TokenKind::Punct('[') => nest += 1,
+                        TokenKind::Punct(')') | TokenKind::Punct(']') => nest -= 1,
+                        TokenKind::Punct('{') => {
+                            fn_stack.push((scopes.fns.len() - 1, depth));
+                            depth += 1;
+                            j += 1;
+                            break;
+                        }
+                        TokenKind::Punct(';') if nest == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            TokenKind::Ident(w) if w == "mod" => {
+                let name = match tokens.get(i + 1).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(n)) => n.as_str(),
+                    _ => "",
+                };
+                if skip_test_item || name == "tests" {
+                    i = skip_item(tokens, i);
+                    skip_test_item = false;
+                } else {
+                    i += 1;
+                }
+                doc_buf.clear();
+            }
+            _ if skip_test_item => {
+                i = skip_item(tokens, i);
+                skip_test_item = false;
+                doc_buf.clear();
+            }
+            TokenKind::Ident(w) if w == "unsafe" => {
+                // A block, not `unsafe fn` / `unsafe impl` / `unsafe trait`.
+                if matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('{'))) {
+                    scopes.unsafe_blocks.push(UnsafeBlock {
+                        line: tokens[i].line,
+                        fn_idx: fn_stack.last().map(|&(idx, _)| idx),
+                    });
+                }
+                i += 1;
+            }
+            TokenKind::Ident(w) if w == "let" => {
+                // Binding name: the next ident, skipping `mut`/`ref`.
+                let mut j = i + 1;
+                while matches!(tokens.get(j).map(|t| &t.kind),
+                    Some(TokenKind::Ident(m)) if m == "mut" || m == "ref")
+                {
+                    j += 1;
+                }
+                stmt_let = match tokens.get(j).map(|t| &t.kind) {
+                    Some(TokenKind::Ident(n)) => Some(n.clone()),
+                    _ => None,
+                };
+                i += 1;
+            }
+            TokenKind::Ident(w) if w == "drop" => {
+                // `drop(guard)` ends the guard's scope early.
+                if let (
+                    Some(TokenKind::Punct('(')),
+                    Some(TokenKind::Ident(victim)),
+                    Some(TokenKind::Punct(')')),
+                ) = (
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    tokens.get(i + 2).map(|t| &t.kind),
+                    tokens.get(i + 3).map(|t| &t.kind),
+                ) {
+                    if let Some(pos) = guards
+                        .iter()
+                        .rposition(|g| g.binding.as_deref() == Some(victim.as_str()))
+                    {
+                        guards.remove(pos);
+                    }
+                    i += 4;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenKind::Ident(w)
+                if matches!(w.as_str(), "lock" | "read" | "write")
+                    && is_method_acquisition(tokens, i) =>
+            {
+                if let Some(name) = receiver_name(tokens, i) {
+                    record_acquisition(
+                        &mut scopes,
+                        &mut guards,
+                        name,
+                        tokens[i].line,
+                        fn_stack.last().map(|&(idx, _)| idx),
+                        depth,
+                        stmt_let.clone(),
+                    );
+                }
+                i += 1;
+            }
+            TokenKind::Ident(w)
+                if matches!(w.as_str(), "lock" | "lock_clean")
+                    && is_free_acquisition(tokens, i) =>
+            {
+                if let Some(name) = free_arg_name(tokens, i) {
+                    record_acquisition(
+                        &mut scopes,
+                        &mut guards,
+                        name,
+                        tokens[i].line,
+                        fn_stack.last().map(|&(idx, _)| idx),
+                        depth,
+                        stmt_let.clone(),
+                    );
+                }
+                i += 1;
+            }
+            TokenKind::Punct('{') => {
+                depth += 1;
+                stmt_let = None;
+                doc_buf.clear();
+                i += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while guards.last().is_some_and(|g| g.depth > depth) {
+                    guards.pop();
+                }
+                while fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                stmt_let = None;
+                doc_buf.clear();
+                i += 1;
+            }
+            TokenKind::Punct(';') => {
+                stmt_let = None;
+                i += 1;
+            }
+            // Visibility/qualifier tokens (`pub`, `pub(crate)`, `unsafe
+            // const fn`, ...) sit between a doc comment and its `fn`
+            // without detaching the doc.
+            TokenKind::Ident(w)
+                if matches!(
+                    w.as_str(),
+                    "pub" | "crate" | "super" | "self" | "in" | "const" | "async" | "extern"
+                ) =>
+            {
+                i += 1;
+            }
+            TokenKind::Punct('(') | TokenKind::Punct(')') => {
+                i += 1;
+            }
+            _ => {
+                doc_buf.clear();
+                i += 1;
+            }
+        }
+    }
+    scopes
+}
+
+/// `<recv> . lock|read|write ( )` — the guard-returning std forms take no
+/// arguments, which is what distinguishes them from `io::Read::read`.
+fn is_method_acquisition(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i.wrapping_sub(1)).map(|t| &t.kind), Some(TokenKind::Punct('.')))
+        && i >= 1
+        && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('(')))
+        && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(TokenKind::Punct(')')))
+}
+
+/// `lock(...)` / `lock_clean(...)` as a free call: not a method (`.lock(`),
+/// not a path segment (`Mutex::lock(`), not a declaration (`fn lock`).
+fn is_free_acquisition(tokens: &[Token], i: usize) -> bool {
+    if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Punct('('))) {
+        return false;
+    }
+    match tokens.get(i.wrapping_sub(1)).map(|t| &t.kind) {
+        Some(TokenKind::Punct('.')) | Some(TokenKind::Punct(':')) => false,
+        Some(TokenKind::Ident(prev)) if prev == "fn" => false,
+        _ => true,
+    }
+}
+
+/// The lock's identifying name for a method acquisition: the ident before
+/// the `.`; for call receivers (`pool_slot().read()`), the ident before the
+/// matching `(`.
+fn receiver_name(tokens: &[Token], i: usize) -> Option<String> {
+    // i is the method ident; i-1 is `.`.
+    let before_dot = i.checked_sub(2)?;
+    match &tokens.get(before_dot)?.kind {
+        TokenKind::Ident(name) => Some(name.clone()),
+        TokenKind::Punct(')') => {
+            let mut depth = 0isize;
+            let mut j = before_dot;
+            loop {
+                match &tokens.get(j)?.kind {
+                    TokenKind::Punct(')') => depth += 1,
+                    TokenKind::Punct('(') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return match &tokens.get(j.checked_sub(1)?)?.kind {
+                                TokenKind::Ident(name) => Some(name.clone()),
+                                _ => None,
+                            };
+                        }
+                    }
+                    _ => {}
+                }
+                j = j.checked_sub(1)?;
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The lock's identifying name for a free acquisition: the last ident in
+/// the argument list (`lock(&pool.shared.queue)` → `queue`).
+fn free_arg_name(tokens: &[Token], i: usize) -> Option<String> {
+    let mut depth = 0isize;
+    let mut j = i + 1;
+    let mut last = None;
+    while let Some(t) = tokens.get(j) {
+        match &t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return last;
+                }
+            }
+            TokenKind::Ident(name) if name != "self" => last = Some(name.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_acquisition(
+    scopes: &mut FileScopes,
+    guards: &mut Vec<Guard>,
+    name: String,
+    line: usize,
+    fn_idx: Option<usize>,
+    depth: usize,
+    binding: Option<String>,
+) {
+    scopes.locks.push(LockAcq {
+        name: name.clone(),
+        line,
+        fn_idx,
+        held: guards.iter().map(|g| g.lock.clone()).collect(),
+    });
+    // Only a `let`-bound guard outlives its statement.
+    if binding.is_some() {
+        guards.push(Guard {
+            lock: name,
+            depth,
+            binding,
+        });
+    }
+}
+
+/// Runs the scope-aware per-file rules. Returns findings plus this file's
+/// lock-order edges (cycle detection needs the workspace union; see
+/// [`lock_cycle_findings`]).
+pub fn scope_findings(
+    file: &str,
+    kind: CrateKind,
+    tokens: &[Token],
+) -> (Vec<Finding>, Vec<LockEdge>) {
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    let wants_unsafe = matches!(kind, CrateKind::Tensor | CrateKind::Ir | CrateKind::Rt);
+    let wants_locks = matches!(kind, CrateKind::Rt | CrateKind::Serve);
+    if !wants_unsafe && !wants_locks {
+        return (findings, edges);
+    }
+    let scopes = scan(tokens);
+    if wants_unsafe {
+        for block in &scopes.unsafe_blocks {
+            let fn_scope = block.fn_idx.and_then(|idx| scopes.fns.get(idx));
+            let documented = fn_scope
+                .is_some_and(|f| f.doc.to_lowercase().contains("# safety"));
+            if !documented {
+                findings.push(Finding {
+                    rule: Rule::UnsafeContract,
+                    file: file.to_string(),
+                    line: block.line,
+                    func: fn_scope.map(|f| f.name.clone()).unwrap_or_default(),
+                    message: "`unsafe` block without a `# Safety` section on the enclosing \
+                              fn's doc comment; state the invariant the block relies on \
+                              (or audit and allowlist)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    if wants_locks {
+        for acq in &scopes.locks {
+            let func = acq
+                .fn_idx
+                .and_then(|idx| scopes.fns.get(idx))
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
+            for held in &acq.held {
+                if held != &acq.name {
+                    edges.push(LockEdge {
+                        held: held.clone(),
+                        acquired: acq.name.clone(),
+                        file: file.to_string(),
+                        line: acq.line,
+                        func: func.clone(),
+                    });
+                }
+            }
+        }
+    }
+    (findings, edges)
+}
+
+/// Detects cycles in the held→acquired graph. One finding per distinct
+/// cycle, anchored at the first collected edge that closes it (file walk
+/// order, so reports are deterministic).
+pub fn lock_cycle_findings(edges: &[LockEdge]) -> Vec<Finding> {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for e in edges {
+        let nexts = adj.entry(e.held.as_str()).or_default();
+        if !nexts.contains(&e.acquired.as_str()) {
+            nexts.push(e.acquired.as_str());
+        }
+    }
+    let mut findings = Vec::new();
+    let mut reported: HashSet<Vec<&str>> = HashSet::new();
+    for e in edges {
+        // Does `acquired` reach back to `held`?
+        if let Some(mut path) = find_path(&adj, &e.acquired, &e.held) {
+            // Cycle: held -> acquired -> ... -> held.
+            let mut cycle: Vec<&str> = vec![e.held.as_str()];
+            cycle.append(&mut path);
+            let mut key = cycle.clone();
+            key.sort_unstable();
+            key.dedup();
+            if !reported.insert(key) {
+                continue;
+            }
+            let shape = cycle.join(" -> ");
+            findings.push(Finding {
+                rule: Rule::LockOrder,
+                file: e.file.clone(),
+                line: e.line,
+                func: e.func.clone(),
+                message: format!(
+                    "lock-order cycle `{shape} -> {}`: `{}` is acquired while `{}` is \
+                     held here, and the reverse order exists elsewhere; acquire locks \
+                     in one global order to rule out deadlock",
+                    e.held, e.acquired, e.held
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// BFS path `from -> ... -> to` through the acquisition graph.
+fn find_path<'a>(
+    adj: &HashMap<&'a str, Vec<&'a str>>,
+    from: &'a str,
+    to: &str,
+) -> Option<Vec<&'a str>> {
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut prev: HashMap<&str, &str> = HashMap::new();
+    let mut seen: HashSet<&str> = HashSet::from([from]);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            let mut path = vec![node];
+            let mut cur = node;
+            while let Some(&p) = prev.get(cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &next in adj.get(node).into_iter().flatten() {
+            if seen.insert(next) {
+                prev.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn scopes(src: &str) -> FileScopes {
+        scan(&lex(src))
+    }
+
+    #[test]
+    fn unsafe_blocks_resolve_their_enclosing_fn() {
+        let src = r#"
+/// Does things.
+///
+/// # Safety
+/// Caller upholds X.
+fn documented() { unsafe { body(); } }
+
+fn bare() {
+    let c = || unsafe { body(); };
+    c();
+}
+"#;
+        let s = scopes(src);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.unsafe_blocks.len(), 2);
+        let names: Vec<_> = s
+            .unsafe_blocks
+            .iter()
+            .map(|b| s.fns[b.fn_idx.unwrap()].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["documented", "bare"]);
+        assert!(s.fns[0].doc.contains("# Safety"));
+        assert!(s.fns[1].doc.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_and_unsafe_impl_are_not_blocks() {
+        let src = "unsafe fn f() { body(); }\nunsafe impl Send for T {}\n";
+        assert!(scopes(src).unsafe_blocks.is_empty());
+    }
+
+    #[test]
+    fn guard_scopes_produce_held_edges() {
+        let src = r#"
+fn swap(&self) {
+    let a = self.first.lock();
+    let b = self.second.lock();
+    use_both(a, b);
+}
+"#;
+        let s = scopes(src);
+        assert_eq!(s.locks.len(), 2);
+        assert!(s.locks[0].held.is_empty());
+        assert_eq!(s.locks[1].held, vec!["first".to_string()]);
+    }
+
+    #[test]
+    fn dropped_and_block_scoped_guards_stop_holding() {
+        let src = r#"
+fn f(&self) {
+    let a = self.first.lock();
+    drop(a);
+    let b = self.second.lock();
+    { let c = self.third.lock(); touch(c); }
+    let d = self.fourth.lock();
+    use_two(b, d);
+}
+"#;
+        let s = scopes(src);
+        let held: Vec<Vec<String>> = s.locks.iter().map(|l| l.held.clone()).collect();
+        assert_eq!(
+            held,
+            vec![
+                vec![],
+                vec![],
+                vec!["second".to_string()],
+                vec!["second".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn unbound_temporaries_do_not_hold() {
+        let src = "fn f(&self) { self.m.lock().push(1); let g = self.n.lock(); touch(g); }";
+        let s = scopes(src);
+        assert_eq!(s.locks.len(), 2);
+        assert!(s.locks[1].held.is_empty(), "temporary guard must not be held");
+    }
+
+    #[test]
+    fn free_helper_and_call_receiver_forms_resolve() {
+        let src = r#"
+fn f(pool: &Pool) {
+    let q = lock(&pool.shared.queue);
+    let s = pool_slot().read();
+    use_two(q, s);
+}
+"#;
+        let s = scopes(src);
+        let names: Vec<&str> = s.locks.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["queue", "pool_slot"]);
+        assert_eq!(s.locks[1].held, vec!["queue".to_string()]);
+    }
+
+    #[test]
+    fn io_read_with_arguments_is_not_an_acquisition() {
+        let src = "fn f(mut s: TcpStream, buf: &mut [u8]) { s.read(buf).ok(); s.write(buf).ok(); }";
+        assert!(scopes(src).locks.is_empty());
+    }
+
+    #[test]
+    fn cycle_detection_reports_once_per_cycle() {
+        let edge = |held: &str, acquired: &str, line: usize| LockEdge {
+            held: held.into(),
+            acquired: acquired.into(),
+            file: "crates/serve/src/x.rs".into(),
+            line,
+            func: "f".into(),
+        };
+        // a -> b (two sites) and b -> a: one cycle, one finding.
+        let edges = vec![edge("a", "b", 1), edge("a", "b", 9), edge("b", "a", 5)];
+        let f = lock_cycle_findings(&edges);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::LockOrder);
+        assert_eq!(f[0].line, 1);
+        // Acyclic chains report nothing.
+        assert!(lock_cycle_findings(&[edge("a", "b", 1), edge("b", "c", 2)]).is_empty());
+    }
+
+    #[test]
+    fn test_items_are_skipped() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(&self) { unsafe { body(); } let a = self.x.lock(); let b = self.y.lock(); }
+}
+"#;
+        let s = scopes(src);
+        assert!(s.unsafe_blocks.is_empty());
+        assert!(s.locks.is_empty());
+    }
+}

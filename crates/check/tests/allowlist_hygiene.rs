@@ -1,0 +1,49 @@
+//! Self-test for the workspace `check-allowlist.txt`: every entry must
+//! parse, the file must be sorted by (rule, path, fn) with no duplicates,
+//! and — run against the real sources — every entry must still match a
+//! finding (a stale entry is an audit note for code that no longer exists).
+
+use std::fs;
+use std::path::Path;
+
+use bikecap_check::{lint_workspace, Allowlist};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/check sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_allowlist_is_sorted_and_unique() {
+    let text = fs::read_to_string(workspace_root().join("check-allowlist.txt"))
+        .expect("check-allowlist.txt exists at the workspace root");
+    let allow = Allowlist::parse(&text).expect("allowlist parses");
+    let errors = allow.hygiene_errors();
+    assert!(errors.is_empty(), "allowlist hygiene errors:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn workspace_allowlist_has_no_stale_entries_and_lint_is_clean() {
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("check-allowlist.txt"))
+        .expect("check-allowlist.txt exists at the workspace root");
+    let mut allow = Allowlist::parse(&text).expect("allowlist parses");
+    let findings = lint_workspace(root, &mut allow).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "lint findings outside the allowlist:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let stale: Vec<String> = allow
+        .unused()
+        .iter()
+        .map(|e| format!("line {}: {} {} {}", e.line, e.rule, e.file, e.func))
+        .collect();
+    assert!(stale.is_empty(), "stale allowlist entries:\n{}", stale.join("\n"));
+}

@@ -1,0 +1,12 @@
+//@ path: crates/nn/src/serialize.rs
+// True positive: in-place File::create in a checkpoint-owning crate.
+
+fn save_snapshot(path: &Path) {
+    let file = std::fs::File::create(path); //~ atomic-checkpoint-write
+    drop(file);
+}
+
+fn load_snapshot(path: &Path) {
+    let file = std::fs::File::open(path); // reads are fine
+    drop(file);
+}

@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/batcher.rs
+// True positive: pub fn in the batching queue module whose doc says nothing
+// about queue-full / draining / shutdown behaviour.
+
+/// Sends a job to the worker.
+pub fn submit() {} //~ backpressure-doc
+
+/// Sends a job; rejects with `QueueFull` when the queue is at capacity.
+pub fn submit_documented() {}

@@ -1,0 +1,18 @@
+//@ path: crates/ir/src/exec.rs
+// Byte-char literals, loop labels, and a `\`-continuation string all keep
+// the lexer's line counter honest: the one true positive below must be
+// reported on exactly its own line.
+
+fn run_step(bytes: &mut [u8], n: usize) {
+    let marker = b'x';
+    let banner = "two\
+line continuation";
+    'scan: for b in bytes.iter_mut() {
+        if *b == marker {
+            *b = b'\n';
+            break 'scan;
+        }
+    }
+    let v = vec![0u8; n]; //~ no-alloc-in-hot-path
+    drop((banner, v));
+}

@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/conv.rs
+// Clean: panic-looking text inside raw strings and nested block comments is
+// opaque to the lexer — zero findings expected in this hot fn.
+
+pub fn conv3d_describe() -> usize {
+    let raw = r##"contains "# unwrap() and panic!() text"##;
+    /* block comment /* nested */ with expect() */
+    let plain = "unwrap() in a string";
+    raw.len() + plain.len()
+}

@@ -1,0 +1,27 @@
+//@ path: crates/serve/src/batcher.rs
+// True positive: the two fns acquire `incoming`/`draining` in opposite
+// orders — a deadlock under the right interleaving. The cycle is reported
+// once, at the first edge that closes it.
+
+impl Queues {
+    fn enqueue(&self) {
+        let a = self.incoming.lock();
+        let b = self.draining.lock(); //~ lock-order
+        use_both(a, b);
+    }
+
+    fn drain(&self) {
+        let b = self.draining.lock();
+        let a = self.incoming.lock();
+        use_both(a, b);
+    }
+
+    fn consistent(&self) {
+        // Dropping the first guard before the second acquisition creates no
+        // held->acquired edge.
+        let a = self.incoming.lock();
+        drop(a);
+        let b = self.draining.lock();
+        use_one(b);
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/ir/src/exec.rs
+// True positive: allocation inside a schedule-execution fn; plan
+// construction in the same crate allocates freely.
+
+fn run_step(n: usize) {
+    let v = vec![0.0f32; n]; //~ no-alloc-in-hot-path
+    drop(v);
+}
+
+fn compile(n: usize) -> Vec<f32> {
+    vec![0.0f32; n] // plan construction: not flagged
+}

@@ -1,0 +1,6 @@
+//@ path: crates/tensor/src/conv.rs
+// True positive: expect inside a numeric hot-path fn.
+
+pub fn im2col3d(x: Option<f32>) -> f32 {
+    x.expect("slot populated by caller") //~ no-expect
+}

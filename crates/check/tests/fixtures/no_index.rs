@@ -1,0 +1,8 @@
+//@ path: crates/nn/src/layers.rs
+// True positive: slice indexing in a hot fn; patterns and vec! stay exempt.
+
+pub fn matmul(a: &[f32], shape: &[usize; 2]) -> f32 {
+    let [rows, _cols] = *shape;
+    let v = vec![0.0f32; rows];
+    a[0] + v.len() as f32 //~ no-index
+}

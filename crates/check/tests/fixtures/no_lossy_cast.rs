@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/conv.rs
+// True positive: precision-losing `as` cast in a tensor kernel.
+
+pub fn col2im3d(n: usize) -> f32 {
+    n as f32 //~ no-lossy-cast
+}
+
+pub fn col2im3d_wide(n: u32) -> usize {
+    n as usize // widening: not flagged
+}

@@ -1,0 +1,9 @@
+//@ path: crates/nn/src/layers.rs
+// True positive: panic-family macro in a hot fn; asserts stay allowed.
+
+pub fn backward(ok: bool) {
+    assert!(ok, "contracts are fine");
+    if !ok {
+        unreachable!("aborts the step"); //~ no-panic
+    }
+}

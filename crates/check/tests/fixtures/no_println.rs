@@ -1,0 +1,6 @@
+//@ path: crates/obs/src/sink.rs
+// True positive: stray print in a library crate (not hot-gated).
+
+fn flush_debug(n: usize) {
+    println!("flushed {n} events"); //~ no-println
+}

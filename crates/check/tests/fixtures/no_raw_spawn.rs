@@ -1,0 +1,6 @@
+//@ path: crates/core/src/trainer.rs
+// True positive: ad-hoc thread outside bikecap-rt / bikecap-serve.
+
+fn autosave_in_background() {
+    std::thread::spawn(|| {}); //~ no-raw-spawn
+}

@@ -1,0 +1,10 @@
+//@ path: crates/tensor/src/conv.rs
+// True positive: unwrap inside a numeric hot-path fn.
+
+pub fn conv3d(x: Option<f32>) -> f32 {
+    x.unwrap() //~ no-unwrap
+}
+
+pub fn describe(x: Option<f32>) -> f32 {
+    x.unwrap() // cold fn: not flagged
+}

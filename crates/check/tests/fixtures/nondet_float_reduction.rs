@@ -1,0 +1,14 @@
+//@ path: crates/tensor/src/tensor.rs
+// True positives: order-sensitive float reductions in a hot fn; the
+// max-fold and the integer sum are order-insensitive and exempt.
+
+pub fn forward(xs: &[f32]) -> f32 {
+    let total = xs.iter().sum::<f32>(); //~ nondet-float-reduction
+    let acc = xs.iter().fold(0.0, |a, &b| a + b); //~ nondet-float-reduction
+    let peak = xs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    total + acc + peak
+}
+
+pub fn forward_count(xs: &[f32]) -> usize {
+    xs.iter().map(|_| 1usize).sum::<usize>()
+}

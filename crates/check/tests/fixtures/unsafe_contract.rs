@@ -1,0 +1,20 @@
+//@ path: crates/rt/src/lib.rs
+// True positive: `unsafe` block whose enclosing fn doc has no `# Safety`
+// section; the documented twin below discharges the rule.
+
+/// Reads the first element.
+fn head(p: *const f32) -> f32 {
+    unsafe { *p } //~ unsafe-contract
+}
+
+/// Reads the first element.
+///
+/// # Safety
+///
+/// Caller guarantees `p` is valid for reads.
+fn head_documented(p: *const f32) -> f32 {
+    unsafe { *p }
+}
+
+// `unsafe impl` is a declaration, not a block: never matched.
+unsafe impl Send for Wrapper {}

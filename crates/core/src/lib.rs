@@ -42,6 +42,7 @@ pub mod trainer;
 
 pub use config::{BikeCapConfig, Encoder, DecoderKind, Variant};
 pub use model::{BikeCap, ExecMode, TrainOptions, TrainReport};
+pub use bikecap_verify::VerifyMode;
 pub use trainer::{ResilientOptions, ResilientReport, TrainerError};
 pub use shapecheck::{
     check_config, check_config_with, Axis, Extents, LayerShape, ShapeError, ShapeErrorKind,

@@ -15,6 +15,7 @@ use bikecap_nn::serialize::{
 };
 use bikecap_nn::{clip_grad_norm, Adam};
 use bikecap_tensor::Tensor;
+use bikecap_verify::VerifyMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +129,11 @@ impl ExecMode {
 struct ExecState {
     mode: ExecMode,
     fusion: bool,
+    /// Plan-build-time verification (`BIKECAP_VERIFY`): in `strict` a plan
+    /// with a proven invariant violation is rejected (the shape stays on
+    /// the eager oracle); in `warn` violations only surface as
+    /// `ir.verify.*` obs events.
+    verify: VerifyMode,
     plans: Mutex<HashMap<Vec<usize>, Option<Arc<ModelPlan>>>>,
     arenas: Mutex<HashMap<Vec<usize>, Vec<Arena>>>,
 }
@@ -140,6 +146,7 @@ impl ExecState {
         ExecState {
             mode: ExecMode::from_env(),
             fusion,
+            verify: VerifyMode::from_env(),
             plans: Mutex::new(HashMap::new()),
             arenas: Mutex::new(HashMap::new()),
         }
@@ -155,8 +162,10 @@ impl fmt::Debug for ExecState {
             .unwrap_or_else(|e| e.into_inner().len());
         write!(
             f,
-            "ExecState {{ mode: {:?}, fusion: {}, plans: {plans} }}",
-            self.mode, self.fusion
+            "ExecState {{ mode: {:?}, fusion: {}, verify: {}, plans: {plans} }}",
+            self.mode,
+            self.fusion,
+            self.verify.name()
         )
     }
 }
@@ -455,6 +464,14 @@ impl BikeCap {
         if want.channels != 1 || plan.out_shape() != expect {
             return None;
         }
+        if self.exec.verify != VerifyMode::Off {
+            let report = bikecap_verify::verify_plan(&plan);
+            if !report.is_clean() && self.exec.verify == VerifyMode::Strict {
+                // A proven invariant violation: refuse the plan and keep
+                // this shape on the eager oracle.
+                return None;
+            }
+        }
         Some(Arc::new(plan))
     }
 
@@ -469,6 +486,38 @@ impl BikeCap {
     /// variables.
     pub fn set_exec_mode(&mut self, mode: ExecMode) {
         self.exec.mode = mode;
+    }
+
+    /// The plan-verification mode this model resolved at build time (from
+    /// `BIKECAP_VERIFY`); reported by `/healthz` next to the executor.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.exec.verify
+    }
+
+    /// Overrides the plan-verification mode — used by tests and benches
+    /// that measure verification overhead in one process without racing on
+    /// environment variables.
+    pub fn set_verify_mode(&mut self, mode: VerifyMode) {
+        self.exec.verify = mode;
+    }
+
+    /// Compiles (without caching) the plan for a staged batch of
+    /// `batch` windows, honouring the active [`VerifyMode`]. `None` when
+    /// the forward pass fails to lower, compile, or (in strict mode)
+    /// verify — exactly the cases where `predict` would run eagerly.
+    ///
+    /// This is the entry point for offline plan auditing
+    /// (`bikecap-check verify-plans`) and plan-build benchmarks; the
+    /// prediction paths keep using the per-shape cache.
+    pub fn compile_fresh_plan(&self, batch: usize) -> Option<Arc<ModelPlan>> {
+        let shape = [
+            batch,
+            self.config.input_features(),
+            self.config.history,
+            self.config.grid_height,
+            self.config.grid_width,
+        ];
+        self.compile_plan(&shape)
     }
 
     /// Predicts into a caller-provided buffer without allocating on the

@@ -53,12 +53,14 @@ pub mod exec;
 pub mod fuse;
 pub mod graph;
 pub mod plan;
+pub mod view;
 
 pub use error::IrError;
 pub use exec::{Arena, CpuExecutor, Executor};
 pub use fuse::fuse;
 pub use graph::Graph;
 pub use plan::{CompileOptions, ModelPlan};
+pub use view::{AccessView, PlanView, SlabRole, SlabView, StepView};
 
 #[cfg(test)]
 mod tests {

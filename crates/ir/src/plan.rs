@@ -196,6 +196,11 @@ pub struct ModelPlan {
     pub(crate) input_len: usize,
     pub(crate) output_slot: usize,
     pub(crate) output_len: usize,
+    /// Free-list recycling schedule: `(free_from, slot)` — the slab became
+    /// reusable for steps with index `>= free_from` (its refcount reached
+    /// zero while the planner worked on step `free_from - 1`). Input/const
+    /// slabs never appear here. Consumed by [`crate::view`] / bikecap-verify.
+    pub(crate) releases: Vec<(usize, usize)>,
     out_shape: Vec<usize>,
     fused: usize,
 }
@@ -282,6 +287,7 @@ struct Planner<'g> {
     src_of: Vec<Option<Src>>,
     steps: Vec<Step>,
     consts: Vec<(usize, Tensor)>,
+    releases: Vec<(usize, usize)>,
 }
 
 impl<'g> Planner<'g> {
@@ -314,6 +320,7 @@ impl<'g> Planner<'g> {
             src_of: vec![None; n],
             steps: Vec::new(),
             consts: Vec::new(),
+            releases: Vec::new(),
         }
     }
 
@@ -339,11 +346,14 @@ impl<'g> Planner<'g> {
     }
 
     /// Consumes one pending read; a slab with no readers left returns to the
-    /// free list.
-    fn release(&mut self, slot: usize) {
+    /// free list. `free_from` is the first step index allowed to reuse the
+    /// slab; it is recorded so the verifier can replay the recycling
+    /// decisions against the schedule.
+    fn release(&mut self, slot: usize, free_from: usize) {
         self.refcount[slot] -= 1;
         if self.refcount[slot] == 0 {
             self.free.entry(self.slabs[slot]).or_default().push(slot);
+            self.releases.push((free_from, slot));
         }
     }
 
@@ -382,7 +392,8 @@ impl<'g> Planner<'g> {
                             // Transfer liveness: this view's readers keep the
                             // slab alive; the view itself consumes one read.
                             self.refcount[slot] += self.uses[i];
-                            self.release(slot);
+                            let free_from = self.steps.len();
+                            self.release(slot, free_from);
                             self.src_of[i] = Some(Src::Slot(slot));
                         }
                         Src::Param(id) => {
@@ -396,9 +407,12 @@ impl<'g> Planner<'g> {
                     let out = self.claim(out_len, self.uses[i]);
                     let step = self.bake_step(i, op, out)?;
                     self.steps.push(step);
+                    // The step just pushed has index len-1; its operands are
+                    // reusable starting at the next step.
+                    let free_from = self.steps.len();
                     for &p in &node.parents {
                         if let Src::Slot(slot) = self.operand(p)? {
-                            self.release(slot);
+                            self.release(slot, free_from);
                         }
                     }
                     self.src_of[i] = Some(Src::Slot(out));
@@ -416,6 +430,7 @@ impl<'g> Planner<'g> {
             steps: self.steps,
             slabs: self.slabs,
             consts: self.consts,
+            releases: self.releases,
             input_slot,
             input_len: numel(&graph.nodes[graph.input].shape),
             output_slot,
@@ -538,9 +553,12 @@ impl<'g> Planner<'g> {
                     spec: *spec,
                     c_out,
                 };
-                self.release(col);
-                self.release(wt);
-                self.release(mat);
+                // Scratch is consumed by the step being baked (future index
+                // `steps.len()`), so it is reusable only from the step after.
+                let free_from = self.steps.len() + 1;
+                self.release(col, free_from);
+                self.release(wt, free_from);
+                self.release(mat, free_from);
                 step
             }
             Op::ConvTranspose3d(spec) => {
@@ -566,8 +584,9 @@ impl<'g> Planner<'g> {
                     spec: *spec,
                     out_dims: (node.shape[2], node.shape[3], node.shape[4]),
                 };
-                self.release(pos);
-                self.release(col);
+                let free_from = self.steps.len() + 1;
+                self.release(pos, free_from);
+                self.release(col, free_from);
                 step
             }
             Op::FusedSquash { axis } => {

@@ -314,6 +314,14 @@ impl Job {
 /// Claim and run chunks of `job` until none remain. `worker` is `Some` on
 /// pool threads (names the obs span) and `None` on the submitting thread,
 /// whose `rt.parallel_for` span already covers its participation.
+///
+/// # Safety
+///
+/// Dereferences the job's [`TaskRef`], a `'static`-laundered borrow of the
+/// submitter's closure. Sound because the submitter blocks in [`run_job`]
+/// until `completed == total`, and every chunk claimed here completes (and
+/// so counts toward `completed`) before this loop returns — the closure is
+/// alive for every dereference.
 fn run_chunks(job: &Job, worker: Option<usize>) {
     let _span = worker.map(|idx| bikecap_obs::span_with(|| format!("rt.worker{idx}")));
     loop {
@@ -493,6 +501,16 @@ fn run_serial(total: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobFailure
     Ok(())
 }
 
+/// Fan `f` out over `total` chunks through the pool (or serially when the
+/// pool would not help), blocking until every chunk has completed.
+///
+/// # Safety
+///
+/// Transmutes `f` to a `'static` borrow so pool threads can hold it in the
+/// shared [`Job`]. Sound because this function does not return until
+/// `completed == total` — no thread can touch the closure after the real
+/// lifetime ends — and chunk failure/panic paths still count their chunk as
+/// completed.
 fn run_job(total: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobFailure> {
     if total == 0 {
         return Ok(());

@@ -312,6 +312,12 @@ fn healthz(inner: &Inner) -> (u16, String) {
         .get(None)
         .map(|entry| entry.current().exec_mode().name())
         .unwrap_or("none");
+    // Ditto for the plan-verification mode (BIKECAP_VERIFY).
+    let verify = inner
+        .registry
+        .get(None)
+        .map(|entry| entry.current().verify_mode().name())
+        .unwrap_or("none");
     let doc = Json::obj([
         (
             "status",
@@ -319,6 +325,7 @@ fn healthz(inner: &Inner) -> (u16, String) {
         ),
         ("degraded", Json::Bool(degraded)),
         ("executor", Json::Str(executor.to_string())),
+        ("verify", Json::Str(verify.to_string())),
         ("models", Json::Arr(models)),
         (
             "queue_depth",
@@ -628,6 +635,12 @@ mod tests {
         assert_eq!(status, 200, "{body}");
         let doc = Json::parse(&body).unwrap();
         assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        // The plan-verification mode rides next to the executor; both come
+        // from the default model, so neither may be "none" here.
+        let executor = doc.get("executor").and_then(Json::as_str);
+        assert!(matches!(executor, Some("compiled" | "eager")), "{body}");
+        let verify = doc.get("verify").and_then(Json::as_str);
+        assert!(matches!(verify, Some("strict" | "warn" | "off")), "{body}");
 
         // /metrics is Prometheus text now…
         let (status, body) = get(&server, "/metrics");

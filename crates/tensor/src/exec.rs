@@ -359,6 +359,11 @@ impl ReducePlan {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Number of input elements the reduction consumes.
+    pub fn in_len(&self) -> usize {
+        num_elements(&self.in_shape)
+    }
 }
 
 /// Plans a keepdim summation of `shape` over `axes`.

@@ -1,0 +1,233 @@
+//! Seeded single-field plan corruptions: proof that the verifier rejects
+//! broken plans, not merely accepts good ones.
+//!
+//! Each mutation class models a realistic planner bug:
+//!
+//! * [`MutationClass::OffsetSwap`] — two slabs of different sizes trade
+//!   places in the packing, the classic aliasing bug a free-list size-key
+//!   mixup would produce;
+//! * [`MutationClass::DroppedRelease`] — one free-list release never
+//!   happens, the leak a missed `release()` call would produce;
+//! * [`MutationClass::ShrunkExtent`] — a slab is allocated smaller than
+//!   the extents written into it, the overrun a stale shape would produce.
+//!
+//! All randomness flows from a splitmix64 stream over the caller's seed, so
+//! a red CI seed reproduces locally with the same number.
+
+use bikecap_ir::PlanView;
+
+use crate::{verify_view, Report};
+
+/// The kind of single-field corruption applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationClass {
+    OffsetSwap,
+    DroppedRelease,
+    ShrunkExtent,
+}
+
+/// Every class, in harness order.
+pub const ALL_CLASSES: [MutationClass; 3] = [
+    MutationClass::OffsetSwap,
+    MutationClass::DroppedRelease,
+    MutationClass::ShrunkExtent,
+];
+
+impl MutationClass {
+    /// Stable lower-kebab name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::OffsetSwap => "offset-swap",
+            MutationClass::DroppedRelease => "dropped-release",
+            MutationClass::ShrunkExtent => "shrunk-extent",
+        }
+    }
+}
+
+/// A corruption that was applied to a view.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    pub class: MutationClass,
+    /// Human-readable description of the exact field edit.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.class.name(), self.detail)
+    }
+}
+
+/// Applies one seeded corruption of `class` to a copy of `view`.
+///
+/// Returns `None` when the class does not apply (e.g. a single-step plan
+/// records no releases); the harness skips inapplicable classes rather
+/// than counting them as accepted corruptions.
+pub fn corrupt(view: &PlanView, class: MutationClass, seed: u64) -> Option<(Mutation, PlanView)> {
+    let mut rng = Splitmix::new(seed ^ (class as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut mutated = view.clone();
+    let mutation = match class {
+        MutationClass::OffsetSwap => {
+            // Swapping equal-length slabs is a no-op in a tight packing, so
+            // only pairs with differing lengths qualify.
+            let mut pairs = Vec::new();
+            for i in 0..view.slabs.len() {
+                for j in i + 1..view.slabs.len() {
+                    if view.slabs[i].len != view.slabs[j].len {
+                        pairs.push((i, j));
+                    }
+                }
+            }
+            let &(i, j) = pairs.get(rng.below(pairs.len())?)?;
+            let (oi, oj) = (mutated.slabs[i].offset, mutated.slabs[j].offset);
+            mutated.slabs[i].offset = oj;
+            mutated.slabs[j].offset = oi;
+            Mutation {
+                class,
+                detail: format!("swapped offsets of slabs {i} (len {}) and {j} (len {})",
+                    view.slabs[i].len, view.slabs[j].len),
+            }
+        }
+        MutationClass::DroppedRelease => {
+            let idx = rng.below(view.releases.len())?;
+            let (free_from, slot) = mutated.releases.remove(idx);
+            Mutation {
+                class,
+                detail: format!("dropped release of slot {slot} (reusable from step {free_from})"),
+            }
+        }
+        MutationClass::ShrunkExtent => {
+            let candidates: Vec<usize> = (0..view.slabs.len())
+                .filter(|&i| view.slabs[i].len > 0)
+                .collect();
+            let &slot = candidates.get(rng.below(candidates.len())?)?;
+            let old = mutated.slabs[slot].len;
+            let new = (rng.next() as usize) % old;
+            mutated.slabs[slot].len = new;
+            Mutation {
+                class,
+                detail: format!("shrank slab {slot} allocation from {old} to {new}"),
+            }
+        }
+    };
+    Some((mutation, mutated))
+}
+
+/// One harness result: the mutation applied and the verifier's reaction.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub mutation: Mutation,
+    /// True when the verifier reported at least one violation (the only
+    /// acceptable answer for a corrupted plan).
+    pub rejected: bool,
+    pub report: Report,
+}
+
+/// Runs every applicable mutation class once against `view` under `seed`.
+///
+/// The clean view must verify clean beforehand (asserted by callers, not
+/// here, so a failing plan surfaces as its own diagnosis rather than a
+/// mutation artifact).
+pub fn exercise(view: &PlanView, seed: u64) -> Vec<Outcome> {
+    ALL_CLASSES
+        .iter()
+        .filter_map(|&class| {
+            let (mutation, mutated) = corrupt(view, class, seed)?;
+            let report = verify_view(&mutated);
+            Some(Outcome {
+                mutation,
+                rejected: !report.is_clean(),
+                report,
+            })
+        })
+        .collect()
+}
+
+/// splitmix64: tiny, dependency-free, full-period seeded stream.
+struct Splitmix {
+    state: u64,
+}
+
+impl Splitmix {
+    fn new(seed: u64) -> Self {
+        Splitmix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish index below `n`; `None` when `n == 0`.
+    fn below(&mut self, n: usize) -> Option<usize> {
+        if n == 0 {
+            None
+        } else {
+            Some((self.next() % n as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bikecap_autograd::Tape;
+    use bikecap_ir::{CompileOptions, Graph, ModelPlan};
+    use bikecap_tensor::conv::Conv3dSpec;
+    use bikecap_tensor::Tensor;
+
+    use super::*;
+
+    fn plan() -> ModelPlan {
+        let mut tape = Tape::traced();
+        let x = tape.constant(Tensor::zeros(&[1, 2, 2, 4, 4]));
+        let w = tape.constant(Tensor::full(&[3, 2, 3, 3, 3], 0.1));
+        let c = tape.conv3d(x, w, Conv3dSpec::padded(1, 1, 1));
+        let r = tape.relu(c);
+        let s = tape.squash(r, 1);
+        let graph = Graph::from_tape(&tape, x, s).unwrap();
+        ModelPlan::compile(graph, &CompileOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn every_class_applies_and_is_rejected() {
+        let view = plan().view();
+        assert!(verify_view(&view).is_clean());
+        for seed in 0..16 {
+            let outcomes = exercise(&view, seed);
+            assert_eq!(outcomes.len(), ALL_CLASSES.len(), "seed {seed}");
+            for o in outcomes {
+                assert!(
+                    o.rejected,
+                    "seed {seed}: {} escaped the verifier ({})",
+                    o.mutation.class.name(),
+                    o.mutation.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let view = plan().view();
+        for &class in &ALL_CLASSES {
+            let a = corrupt(&view, class, 7).map(|(m, _)| m.detail);
+            let b = corrupt(&view, class, 7).map(|(m, _)| m.detail);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn inapplicable_classes_are_skipped_not_accepted() {
+        // A single-step plan records no releases.
+        let mut tape = Tape::traced();
+        let x = tape.constant(Tensor::zeros(&[4]));
+        let y = tape.add_scalar(x, 1.0);
+        let graph = Graph::from_tape(&tape, x, y).unwrap();
+        let plan = ModelPlan::compile(graph, &CompileOptions::default()).unwrap();
+        let view = plan.view();
+        assert!(corrupt(&view, MutationClass::DroppedRelease, 0).is_none());
+    }
+}

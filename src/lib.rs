@@ -18,6 +18,10 @@
 //! * [`rt`] — deterministic parallel runtime: the chunk-stealing thread
 //!   pool behind the conv/routing hot paths (`BIKECAP_THREADS`,
 //!   `--threads`), bitwise-identical at every thread count.
+//! * [`verify`] — static verifier for compiled executor plans: proves slab
+//!   disjointness, refcount balance, bounds, and schedule validity per
+//!   plan (`BIKECAP_VERIFY=strict|warn|off`), plus the mutation harness
+//!   that keeps the verifier itself honest.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
@@ -34,3 +38,4 @@ pub use bikecap_obs as obs;
 pub use bikecap_rt as rt;
 pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;
+pub use bikecap_verify as verify;

@@ -1,0 +1,95 @@
+//! End-to-end gate for the plan verifier: every plan the planner produces
+//! for the EXPERIMENTS.md grid must verify clean, every seeded corruption
+//! of those plans must be rejected, and strict mode must not get in the
+//! way of a healthy model's compiled predictions.
+
+use bikecap::check::sweep_configs;
+use bikecap::model::{BikeCap, ExecMode, VerifyMode};
+use bikecap::tensor::Tensor;
+use bikecap::verify::{mutate, verify_view};
+
+/// Compile a fresh plan for each sweep configuration and verify it.
+#[test]
+fn every_grid_plan_verifies_clean() {
+    let mut verified = 0usize;
+    for (name, config) in sweep_configs() {
+        let model = BikeCap::build_seeded(config, 11).expect("sweep config builds");
+        let Some(plan) = model.compile_fresh_plan(2) else {
+            // Eager fallback is legal; the verifier only speaks to plans
+            // that exist.
+            continue;
+        };
+        let report = verify_view(&plan.view());
+        assert!(
+            report.is_clean(),
+            "{name}: planner-produced plan rejected:\n{}",
+            report.summary()
+        );
+        verified += 1;
+    }
+    assert!(verified > 0, "no sweep config produced a compiled plan");
+}
+
+/// Seeded corruptions must be rejected — 100%, across several configs.
+#[test]
+fn seeded_corruptions_are_rejected() {
+    let mut applied = 0usize;
+    for (name, config) in sweep_configs().into_iter().take(6) {
+        let model = BikeCap::build_seeded(config, 11).expect("sweep config builds");
+        let Some(plan) = model.compile_fresh_plan(2) else {
+            continue;
+        };
+        let view = plan.view();
+        for seed in 0..4 {
+            for outcome in mutate::exercise(&view, seed) {
+                applied += 1;
+                assert!(
+                    outcome.rejected,
+                    "{name}: seed {seed}: mutation accepted: {}",
+                    outcome.mutation
+                );
+            }
+        }
+    }
+    assert!(applied > 0, "mutation harness never ran");
+}
+
+/// Strict mode keeps healthy plans compiled: predictions still come from
+/// the compiled executor and match the eager oracle bitwise.
+#[test]
+fn strict_mode_accepts_healthy_plans() {
+    let (_, config) = sweep_configs().into_iter().next().expect("sweep nonempty");
+    let mut model = BikeCap::build_seeded(config.clone(), 11).expect("config builds");
+    model.set_verify_mode(VerifyMode::Strict);
+    assert_eq!(model.verify_mode(), VerifyMode::Strict);
+
+    let features = config.input_features();
+    let shape = [
+        1usize,
+        features,
+        config.history,
+        config.grid_height,
+        config.grid_width,
+    ];
+    let len: usize = shape.iter().product();
+    let x = Tensor::from_vec(
+        (0..len).map(|i| (i % 13) as f32 * 0.05).collect(),
+        &shape,
+    );
+
+    model.set_exec_mode(ExecMode::Compiled);
+    let compiled = model.predict(&x);
+    model.set_exec_mode(ExecMode::Eager);
+    let eager = model.predict(&x);
+    assert_eq!(
+        compiled.as_slice(),
+        eager.as_slice(),
+        "strict mode changed results"
+    );
+
+    // And the strict-mode compiler still hands out a plan for this shape.
+    assert!(
+        model.compile_fresh_plan(1).is_some(),
+        "strict mode refused a healthy plan"
+    );
+}
