@@ -153,6 +153,7 @@ pub enum CrateKind {
     Obs,
     Rt,
     Ir,
+    Live,
     Other,
 }
 
@@ -173,6 +174,8 @@ impl CrateKind {
             CrateKind::Rt
         } else if path.starts_with("crates/ir/") {
             CrateKind::Ir
+        } else if path.starts_with("crates/live/") {
+            CrateKind::Live
         } else {
             CrateKind::Other
         }
@@ -209,6 +212,26 @@ const SERVE_HOT_FNS: &[&str] = &[
 /// allocates by design and is deliberately NOT listed.
 const IR_HOT_FNS: &[&str] = &["execute", "run_step", "fetch"];
 
+/// The `bikecap-live` per-record / per-slot path (exact names): everything
+/// that runs for every ingested record or every sealed slot. Adaptation
+/// (`adapt`, fine-tuning) runs once per confirmed drift and is
+/// deliberately NOT listed.
+const LIVE_HOT_FNS: &[&str] = &[
+    "next",
+    "push",
+    "seal_until",
+    "count",
+    "frame",
+    "record",
+    "take",
+    "observe",
+    "observe_at",
+    "observe_unscored",
+    "on_sealed",
+    "observe_slot",
+    "monitor_signals",
+];
+
 /// Is `name` a hot-path function for its crate?
 pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
     match kind {
@@ -217,6 +240,7 @@ pub fn is_hot_path(kind: CrateKind, name: &str) -> bool {
         }
         CrateKind::Serve => SERVE_HOT_FNS.contains(&name),
         CrateKind::Ir => IR_HOT_FNS.contains(&name),
+        CrateKind::Live => LIVE_HOT_FNS.contains(&name),
         CrateKind::Obs | CrateKind::Rt | CrateKind::Other => false,
     }
 }
@@ -879,6 +903,7 @@ pub const LINT_ROOTS: &[&str] = &[
     "crates/obs/src",
     "crates/rt/src",
     "crates/ir/src",
+    "crates/live/src",
 ];
 
 /// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,
@@ -1031,6 +1056,25 @@ mod tests {
         // `start` spawns threads at init time; not request-path.
         let ok = "fn start(v: Option<u8>) -> u8 { v.unwrap() }";
         assert!(lint_source("crates/serve/src/batcher.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn live_hot_fns_are_exact_names() {
+        assert_eq!(CrateKind::of("crates/live/src/window.rs"), CrateKind::Live);
+        // `push` runs per ingested record: hot.
+        let flagged = "fn push(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert_eq!(
+            rules(&lint_source("crates/live/src/window.rs", flagged)),
+            vec![Rule::NoUnwrap]
+        );
+        let indexed = "fn observe_slot(a: &[u8]) -> u8 { a[0] }";
+        assert_eq!(
+            rules(&lint_source("crates/live/src/adapt.rs", indexed)),
+            vec![Rule::NoIndex]
+        );
+        // `adapt` runs once per confirmed drift: deliberately not hot.
+        let cold = "fn adapt(v: Option<u8>) -> u8 { v.unwrap() }";
+        assert!(lint_source("crates/live/src/adapt.rs", cold).is_empty());
     }
 
     #[test]

@@ -26,6 +26,77 @@ pub const FEATURES: usize = 4;
 pub const FEATURE_NAMES: [&str; FEATURES] =
     ["bike_pickups", "bike_dropoffs", "subway_boardings", "subway_alightings"];
 
+/// Why a trip batch could not be aggregated into a demand series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateError {
+    /// A record's timestamp is NaN or infinite.
+    NonFiniteTime {
+        /// Offending record id.
+        record_id: u64,
+    },
+    /// A record's timestamp is negative.
+    NegativeTime {
+        /// Offending record id.
+        record_id: u64,
+        /// The timestamp.
+        time_min: f64,
+    },
+    /// A record lands past the configured simulation horizon.
+    BeyondHorizon {
+        /// Offending record id.
+        record_id: u64,
+        /// The slot the record would land in.
+        slot: usize,
+        /// Number of slots the series covers.
+        num_slots: usize,
+    },
+    /// A bike record's cell lies outside the layout grid.
+    CellOutOfGrid {
+        /// Offending record id.
+        record_id: u64,
+        /// The out-of-grid cell.
+        cell: Cell,
+    },
+    /// A subway record references a station the layout does not have.
+    UnknownStation {
+        /// Offending record id.
+        record_id: u64,
+        /// The station index.
+        station: usize,
+    },
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::NonFiniteTime { record_id } => {
+                write!(f, "record {record_id} has a non-finite timestamp")
+            }
+            AggregateError::NegativeTime { record_id, time_min } => {
+                write!(f, "record {record_id} has negative timestamp {time_min}")
+            }
+            AggregateError::BeyondHorizon {
+                record_id,
+                slot,
+                num_slots,
+            } => write!(
+                f,
+                "record {record_id} lands in slot {slot}, past the {num_slots}-slot horizon"
+            ),
+            AggregateError::CellOutOfGrid { record_id, cell } => write!(
+                f,
+                "record {record_id} lands in cell ({}, {}) outside the grid",
+                cell.row, cell.col
+            ),
+            AggregateError::UnknownStation { record_id, station } => {
+                write!(f, "record {record_id} references unknown station {station}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
 /// A demand tensor series: counts per slot, channel and grid cell.
 #[derive(Debug, Clone)]
 pub struct DemandSeries {
@@ -84,6 +155,92 @@ impl DemandSeries {
             height: h,
             width: w,
         }
+    }
+
+    /// Strict aggregation: like [`DemandSeries::from_trips`], but every
+    /// record the permissive path would silently skip — or mis-place —
+    /// surfaces as a typed [`AggregateError`] naming the offending record.
+    /// Use this on records that did not come straight out of the simulator
+    /// (file imports, live feeds).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in record order, bike before subway) record with
+    /// a non-finite or negative timestamp, a slot past the horizon, a cell
+    /// outside the grid, or an unknown station index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_minutes` is 0 or does not divide a day, as
+    /// [`DemandSeries::from_trips`] does.
+    pub fn try_from_trips(
+        trips: &TripData,
+        slot_minutes: u32,
+    ) -> Result<Self, AggregateError> {
+        assert!(slot_minutes > 0, "slot_minutes must be positive");
+        assert_eq!(
+            1440 % slot_minutes,
+            0,
+            "slot length must divide a day, got {slot_minutes}"
+        );
+        let (h, w) = (trips.layout.height, trips.layout.width);
+        let t = (trips.config.total_minutes() / slot_minutes) as usize;
+        let slot_of = |record_id: u64, time_min: f64| -> Result<usize, AggregateError> {
+            if !time_min.is_finite() {
+                return Err(AggregateError::NonFiniteTime { record_id });
+            }
+            if time_min < 0.0 {
+                return Err(AggregateError::NegativeTime { record_id, time_min });
+            }
+            let slot = (time_min / slot_minutes as f64) as usize;
+            if slot >= t {
+                return Err(AggregateError::BeyondHorizon {
+                    record_id,
+                    slot,
+                    num_slots: t,
+                });
+            }
+            Ok(slot)
+        };
+        let mut data = Tensor::zeros(&[t, FEATURES, h, w]);
+        for r in &trips.bike {
+            let slot = slot_of(r.record_id, r.time_min)?;
+            if r.cell.row >= h || r.cell.col >= w {
+                return Err(AggregateError::CellOutOfGrid {
+                    record_id: r.record_id,
+                    cell: r.cell,
+                });
+            }
+            let feature = match r.status {
+                BikeStatus::PickUp => F_BIKE_PICKUP,
+                BikeStatus::DropOff => F_BIKE_DROPOFF,
+            };
+            let idx = [slot, feature, r.cell.row, r.cell.col];
+            let v = data.get(&idx);
+            data.set(&idx, v + 1.0);
+        }
+        for r in &trips.subway {
+            let slot = slot_of(r.record_id, r.time_min)?;
+            let station = trips.layout.stations.get(r.station).ok_or(
+                AggregateError::UnknownStation {
+                    record_id: r.record_id,
+                    station: r.station,
+                },
+            )?;
+            let feature = match r.status {
+                SubwayStatus::Boarding => F_SUBWAY_BOARD,
+                SubwayStatus::Disembarking => F_SUBWAY_ALIGHT,
+            };
+            let idx = [slot, feature, station.cell.row, station.cell.col];
+            let v = data.get(&idx);
+            data.set(&idx, v + 1.0);
+        }
+        Ok(DemandSeries {
+            data,
+            slot_minutes,
+            height: h,
+            width: w,
+        })
     }
 
     /// Number of time slots `T`.
@@ -294,6 +451,71 @@ mod tests {
         assert_eq!(lagged_correlation(&a, &c, 0), 0.0);
         // Lag beyond length: zero.
         assert_eq!(lagged_correlation(&a, &a, 10), 0.0);
+    }
+
+    #[test]
+    fn try_from_trips_matches_permissive_path_on_clean_records() {
+        let data = trips(7);
+        let strict = DemandSeries::try_from_trips(&data, 15).expect("clean records");
+        let permissive = DemandSeries::from_trips(&data, 15);
+        assert_eq!(strict.data.as_slice(), permissive.data.as_slice());
+    }
+
+    #[test]
+    fn try_from_trips_names_the_offending_record() {
+        use crate::records::BikeStatus;
+
+        let clean = trips(8);
+
+        let mut bad_time = clean.clone();
+        bad_time.bike[3].time_min = f64::NAN;
+        let id = bad_time.bike[3].record_id;
+        assert_eq!(
+            DemandSeries::try_from_trips(&bad_time, 15).unwrap_err(),
+            AggregateError::NonFiniteTime { record_id: id }
+        );
+
+        let mut negative = clean.clone();
+        negative.bike[0].time_min = -1.0;
+        assert!(matches!(
+            DemandSeries::try_from_trips(&negative, 15).unwrap_err(),
+            AggregateError::NegativeTime { .. }
+        ));
+
+        let mut late = clean.clone();
+        let horizon = late.config.total_minutes() as f64;
+        late.bike[1].time_min = horizon + 30.0;
+        assert!(matches!(
+            DemandSeries::try_from_trips(&late, 15).unwrap_err(),
+            AggregateError::BeyondHorizon { .. }
+        ));
+
+        let mut off_grid = clean.clone();
+        off_grid.bike[2].cell = Cell { row: 999, col: 0 };
+        assert!(matches!(
+            DemandSeries::try_from_trips(&off_grid, 15).unwrap_err(),
+            AggregateError::CellOutOfGrid { .. }
+        ));
+
+        let mut ghost = clean.clone();
+        ghost.subway[0].station = 9_999;
+        assert!(matches!(
+            DemandSeries::try_from_trips(&ghost, 15).unwrap_err(),
+            AggregateError::UnknownStation { .. }
+        ));
+
+        // The permissive path still accepts all of these silently except the
+        // unknown station (which it would panic on) — that asymmetry is the
+        // point of the strict path.
+        let _ = DemandSeries::from_trips(&late, 15);
+        assert_eq!(
+            DemandSeries::from_trips(&late, 15).data.sum(),
+            DemandSeries::try_from_trips(&clean, 15).unwrap().data.sum() - 1.0,
+            "permissive path silently dropped the late record"
+        );
+        assert!(format!("{}", AggregateError::NonFiniteTime { record_id: 5 })
+            .contains("non-finite"));
+        let _ = BikeStatus::PickUp; // silence unused-import lint paths
     }
 
     #[test]

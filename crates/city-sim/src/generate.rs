@@ -5,6 +5,7 @@ use rand::Rng;
 use crate::layout::{Cell, CityLayout};
 use crate::profiles::{background, home_to_work, is_weekend, work_to_home};
 use crate::records::{cell_to_gps, BikeRecord, BikeStatus, SubwayRecord, SubwayStatus};
+use crate::scenario::Scenario;
 use crate::util::poisson;
 
 /// Configuration of the synthetic city and simulation horizon.
@@ -51,6 +52,10 @@ pub struct SimConfig {
     pub event_probability: f64,
     /// Demand multiplier inside an event's area and hours.
     pub event_multiplier: f64,
+    /// Scheduled regime-shift disturbances (weather shock, event spike,
+    /// station outage, sensor dropout). [`Scenario::none`] — the default —
+    /// consumes no RNG draws and leaves the simulation bitwise unchanged.
+    pub scenario: Scenario,
 }
 
 impl SimConfig {
@@ -73,6 +78,7 @@ impl SimConfig {
             surge_sigma: 0.16,
             event_probability: 0.08,
             event_multiplier: 2.2,
+            scenario: Scenario::none(),
         }
     }
 
@@ -158,6 +164,11 @@ impl Simulator {
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> TripData {
         let cfg = &self.config;
         let lay = &self.layout;
+        // Scenario knobs are pure functions of (time, cell, id): with
+        // `Scenario::none()` every factor is exactly 1.0 and every predicate
+        // false, so the RNG stream — and hence the whole simulation — is
+        // bitwise identical to a run without scenarios.
+        let scen = &cfg.scenario;
         let mut subway: Vec<SubwayRecord> = Vec::new();
         let mut bike: Vec<BikeRecord> = Vec::new();
         let mut next_record: u64 = 0;
@@ -239,11 +250,15 @@ impl Simulator {
                         if a == b {
                             continue;
                         }
+                        if scen.station_blocked(minute0, a) || scen.station_blocked(minute0, b) {
+                            continue; // outage: no service at either end
+                        }
                         let lam = cfg.od_scale
                             * 15.0
                             * day_factor
                             * surge_log[a].exp()
                             * event_mult(lay.stations[b].cell)
+                            * scen.demand_factor(minute0, lay.stations[b].cell)
                             * ((res[a] * com[b]) as f64 * hw
                                 + (com[a] * res[b]) as f64 * wh
                                 + ((res[a] + com[a]) * (res[b] + com[b])) as f64 * bg * 0.2);
@@ -316,6 +331,7 @@ impl Simulator {
                             * 15.0
                             * day_factor
                             * event_mult(cell)
+                            * scen.demand_factor(minute0, cell)
                             * w
                             * (bg * 2.0 + hw + wh);
                         let n = poisson(rng, lam);
@@ -346,6 +362,13 @@ impl Simulator {
             }
         }
 
+        // Sensor dropout happens after generation, like a flaky telemetry
+        // feed: records are lost from the stream, not from the city. This
+        // can leave unpaired pick-ups/drop-offs — exactly what a real gap
+        // looks like downstream.
+        if scen.sensor_dropout.is_some() {
+            bike.retain(|r| !scen.drops_bike_record(r.time_min, r.record_id));
+        }
         subway.sort_by(|x, y| x.time_min.total_cmp(&y.time_min));
         bike.sort_by(|x, y| x.time_min.total_cmp(&y.time_min));
         TripData {
@@ -571,6 +594,140 @@ mod tests {
         let a = small_run(8);
         let b = small_run(9);
         assert_ne!(a.subway.len(), b.subway.len());
+    }
+
+    #[test]
+    fn scenario_out_of_window_is_bitwise_neutral() {
+        use crate::scenario::{Scenario, WeatherShock};
+        // A scenario whose window never intersects the simulation must not
+        // perturb a single RNG draw: the runs are bitwise identical.
+        let mut config = SimConfig::small();
+        config.scenario = Scenario {
+            weather_shock: Some(WeatherShock {
+                start_min: 1e9,
+                end_min: 2e9,
+                demand_factor: 0.1,
+            }),
+            ..Scenario::none()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let layout = CityLayout::generate(&config, &mut rng);
+        let shocked = Simulator::new(config, layout).run(&mut rng);
+        let baseline = small_run(11);
+        assert_eq!(shocked.subway, baseline.subway);
+        assert_eq!(shocked.bike, baseline.bike);
+    }
+
+    #[test]
+    fn weather_shock_suppresses_demand_in_its_window() {
+        use crate::scenario::{Scenario, WeatherShock};
+        let mut config = SimConfig::small();
+        // Day 2 (minutes 1440..2880) at 20% demand.
+        config.scenario = Scenario {
+            weather_shock: Some(WeatherShock {
+                start_min: 1440.0,
+                end_min: 2880.0,
+                demand_factor: 0.2,
+            }),
+            ..Scenario::none()
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let layout = CityLayout::generate(&config, &mut rng);
+        let shocked = Simulator::new(config, layout).run(&mut rng);
+        let baseline = small_run(12);
+        let day2 = |d: &TripData| {
+            d.bike
+                .iter()
+                .filter(|r| r.time_min >= 1440.0 && r.status == BikeStatus::PickUp)
+                .count()
+        };
+        let (s, b) = (day2(&shocked), day2(&baseline));
+        assert!(
+            (s as f64) < 0.6 * b as f64,
+            "storm day should lose most demand: shocked {s} vs baseline {b}"
+        );
+    }
+
+    #[test]
+    fn station_outage_silences_the_station() {
+        use crate::scenario::{Scenario, StationOutage};
+        let mut config = SimConfig::small();
+        let horizon = config.total_minutes() as f64;
+        config.scenario = Scenario {
+            station_outage: Some(StationOutage {
+                start_min: 0.0,
+                end_min: horizon,
+                station: 0,
+            }),
+            ..Scenario::none()
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let layout = CityLayout::generate(&config, &mut rng);
+        let data = Simulator::new(config, layout).run(&mut rng);
+        assert!(
+            data.subway.iter().all(|r| r.station != 0),
+            "an out-of-service station must produce no records"
+        );
+        assert!(!data.subway.is_empty(), "other stations keep running");
+    }
+
+    #[test]
+    fn sensor_dropout_loses_exactly_the_periodic_records() {
+        use crate::scenario::{Scenario, SensorDropout};
+        let mut config = SimConfig::small();
+        let horizon = config.total_minutes() as f64;
+        config.scenario = Scenario {
+            sensor_dropout: Some(SensorDropout {
+                start_min: 0.0,
+                end_min: horizon,
+                drop_every: 2,
+            }),
+            ..Scenario::none()
+        };
+        let mut rng = StdRng::seed_from_u64(14);
+        let layout = CityLayout::generate(&config, &mut rng);
+        let data = Simulator::new(config, layout).run(&mut rng);
+        let baseline = small_run(14);
+        assert!(
+            data.bike.iter().all(|r| r.record_id % 2 == 1),
+            "every even-id bike record should have been dropped"
+        );
+        // Subway records are untouched; bike roughly halves.
+        assert_eq!(data.subway.len(), baseline.subway.len());
+        assert!(data.bike.len() * 2 <= baseline.bike.len() + 1);
+    }
+
+    #[test]
+    fn event_spike_boosts_demand_near_its_centre() {
+        use crate::scenario::{EventSpike, Scenario};
+        let mut config = SimConfig::small();
+        let centre = Cell { row: 3, col: 3 };
+        let horizon = config.total_minutes() as f64;
+        config.scenario = Scenario {
+            event_spike: Some(EventSpike {
+                start_min: 0.0,
+                end_min: horizon,
+                centre,
+                radius: 1,
+                multiplier: 5.0,
+            }),
+            ..Scenario::none()
+        };
+        let mut rng = StdRng::seed_from_u64(15);
+        let layout = CityLayout::generate(&config, &mut rng);
+        let spiked = Simulator::new(config, layout).run(&mut rng);
+        let baseline = small_run(15);
+        let near = |d: &TripData| {
+            d.bike
+                .iter()
+                .filter(|r| r.status == BikeStatus::PickUp && r.cell.chebyshev(centre) <= 1)
+                .count()
+        };
+        let (s, b) = (near(&spiked), near(&baseline));
+        assert!(
+            s > b,
+            "spiked run should see more pick-ups near the event: {s} vs {b}"
+        );
     }
 
     #[test]

@@ -42,10 +42,12 @@ pub mod layout;
 pub mod profiles;
 pub mod io;
 pub mod records;
+pub mod scenario;
 pub mod transfer;
 mod util;
 
-pub use aggregate::{DemandSeries, FEATURES, F_BIKE_DROPOFF, F_BIKE_PICKUP, F_SUBWAY_ALIGHT, F_SUBWAY_BOARD};
+pub use aggregate::{AggregateError, DemandSeries, FEATURES, F_BIKE_DROPOFF, F_BIKE_PICKUP, F_SUBWAY_ALIGHT, F_SUBWAY_BOARD};
 pub use dataset::{Batch, ForecastDataset, Normalizer, Split};
 pub use generate::{SimConfig, Simulator, TripData};
 pub use layout::CityLayout;
+pub use scenario::{EventSpike, Scenario, SensorDropout, StationOutage, WeatherShock};

@@ -1,0 +1,207 @@
+//! Streaming ingestion: a deterministic, time-ordered replay of trip records.
+//!
+//! Production would consume a message bus; here the stream replays a
+//! [`TripData`] batch record by record, merging the bike and subway streams
+//! into one totally ordered sequence. The order is a pure function of the
+//! records — ties on the timestamp break by stream kind then record id — so
+//! two replays of the same simulation are identical, byte for byte, no
+//! matter how the sources interleaved.
+//!
+//! Failpoint: `live.ingest.record` — a fired hit drops the record at the
+//! ingestion boundary (a lost bus message). Drops are counted and surfaced
+//! through [`RecordStream::dropped`] and the `live.ingest.dropped` value
+//! event, never silent.
+
+use bikecap_city_sim::layout::Cell;
+use bikecap_city_sim::records::{BikeStatus, SubwayStatus};
+use bikecap_city_sim::TripData;
+use bikecap_city_sim::{F_BIKE_DROPOFF, F_BIKE_PICKUP, F_SUBWAY_ALIGHT, F_SUBWAY_BOARD};
+
+/// One ingested event, resolved to the demand-tensor coordinate system:
+/// a timestamp, a grid cell, and the feature channel the event counts into.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveRecord {
+    /// Original record id within its source stream.
+    pub record_id: u64,
+    /// Minutes since simulation start.
+    pub time_min: f64,
+    /// Grid cell the event lands in (station cell for subway events).
+    pub cell: Cell,
+    /// Demand-tensor channel (`F_BIKE_PICKUP`, …).
+    pub feature: usize,
+}
+
+/// Which source stream a record came from; used only to break timestamp
+/// ties deterministically when merging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SourceKind {
+    Bike = 0,
+    Subway = 1,
+}
+
+/// A merged, time-ordered replay over a trip batch.
+///
+/// Iterating yields [`LiveRecord`]s in `(time, kind, record_id)` order.
+/// When the `live.ingest.record` failpoint fires, the record is dropped
+/// and counted instead of yielded.
+#[derive(Debug)]
+pub struct RecordStream {
+    merged: Vec<(SourceKind, LiveRecord)>,
+    next: usize,
+    dropped: u64,
+}
+
+impl RecordStream {
+    /// Merges a trip batch into one ordered stream. Subway events resolve to
+    /// their station's grid cell through the batch's layout.
+    pub fn new(trips: &TripData) -> Self {
+        let _span = bikecap_obs::span("live.ingest.merge");
+        let mut merged: Vec<(SourceKind, LiveRecord)> =
+            Vec::with_capacity(trips.bike.len() + trips.subway.len());
+        for r in &trips.bike {
+            let feature = match r.status {
+                BikeStatus::PickUp => F_BIKE_PICKUP,
+                BikeStatus::DropOff => F_BIKE_DROPOFF,
+            };
+            merged.push((
+                SourceKind::Bike,
+                LiveRecord {
+                    record_id: r.record_id,
+                    time_min: r.time_min,
+                    cell: r.cell,
+                    feature,
+                },
+            ));
+        }
+        for r in &trips.subway {
+            let feature = match r.status {
+                SubwayStatus::Boarding => F_SUBWAY_BOARD,
+                SubwayStatus::Disembarking => F_SUBWAY_ALIGHT,
+            };
+            let cell = trips
+                .layout
+                .stations
+                .get(r.station)
+                .map(|s| s.cell)
+                .unwrap_or(Cell { row: usize::MAX, col: usize::MAX });
+            merged.push((
+                SourceKind::Subway,
+                LiveRecord {
+                    record_id: r.record_id,
+                    time_min: r.time_min,
+                    cell,
+                    feature,
+                },
+            ));
+        }
+        // Total order: time, then source kind, then record id. `total_cmp`
+        // keeps the sort deterministic even for pathological timestamps.
+        merged.sort_by(|a, b| {
+            a.1.time_min
+                .total_cmp(&b.1.time_min)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.record_id.cmp(&b.1.record_id))
+        });
+        RecordStream {
+            merged,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records dropped so far by the `live.ingest.record` failpoint.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records the stream was built over (dropped or not).
+    pub fn len(&self) -> usize {
+        self.merged.len()
+    }
+
+    /// True when the stream was built over zero records.
+    pub fn is_empty(&self) -> bool {
+        self.merged.is_empty()
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = LiveRecord;
+
+    fn next(&mut self) -> Option<LiveRecord> {
+        while let Some(&(_, record)) = self.merged.get(self.next) {
+            self.next += 1;
+            if bikecap_faults::hit("live.ingest.record").is_some() {
+                self.dropped += 1;
+                bikecap_obs::value("live.ingest.dropped", self.dropped as f64);
+                continue;
+            }
+            return Some(record);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_city_sim::generate::{SimConfig, Simulator};
+    use bikecap_city_sim::CityLayout;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trips(seed: u64) -> TripData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = SimConfig::small();
+        let layout = CityLayout::generate(&config, &mut rng);
+        Simulator::new(config, layout).run(&mut rng)
+    }
+
+    #[test]
+    fn replay_is_time_ordered_and_complete() {
+        let data = trips(1);
+        let expected = data.bike.len() + data.subway.len();
+        let stream = RecordStream::new(&data);
+        assert_eq!(stream.len(), expected);
+        assert!(!stream.is_empty());
+        let records: Vec<LiveRecord> = stream.collect();
+        assert_eq!(records.len(), expected);
+        for pair in records.windows(2) {
+            assert!(pair[0].time_min <= pair[1].time_min);
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let data = trips(2);
+        let a: Vec<LiveRecord> = RecordStream::new(&data).collect();
+        let b: Vec<LiveRecord> = RecordStream::new(&data).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn subway_records_resolve_to_station_cells() {
+        let data = trips(3);
+        let station_cells: std::collections::HashSet<Cell> =
+            data.layout.stations.iter().map(|s| s.cell).collect();
+        let subway_features = [F_SUBWAY_BOARD, F_SUBWAY_ALIGHT];
+        for r in RecordStream::new(&data) {
+            if subway_features.contains(&r.feature) {
+                assert!(station_cells.contains(&r.cell));
+            }
+        }
+    }
+
+    #[test]
+    fn channel_totals_match_source_counts() {
+        let data = trips(4);
+        let mut counts = [0usize; 4];
+        for r in RecordStream::new(&data) {
+            counts[r.feature] += 1;
+        }
+        assert_eq!(counts[F_BIKE_PICKUP], data.bike_trips());
+        assert_eq!(counts[F_BIKE_DROPOFF], data.bike_trips());
+        assert_eq!(counts[F_SUBWAY_BOARD], data.subway_trips());
+        assert_eq!(counts[F_SUBWAY_ALIGHT], data.subway_trips());
+    }
+}

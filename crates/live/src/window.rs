@@ -1,0 +1,512 @@
+//! Rolling 15-minute-slot aggregation over a live record stream.
+//!
+//! The streaming twin of `DemandSeries::from_trips`: records land in a
+//! bounded ring of per-slot demand frames `(FEATURES, H, W)`. The window
+//! aggregates deterministically under every arrival order the stream can
+//! produce — counts are unit increments on integer-valued `f32`s, which are
+//! exact and commutative far beyond any realistic per-cell volume — and it
+//! never drops data silently: anything it must refuse is a typed
+//! [`WindowError`].
+//!
+//! Edge-case contract (exercised in the unit tests):
+//!
+//! * **Empty slots** — time advancing across slots with no records seals
+//!   zero frames for them; the series stays gap-free.
+//! * **Boundary records** — a timestamp exactly on a slot boundary
+//!   `k × slot_minutes` belongs to slot `k` (floor semantics, matching the
+//!   batch aggregator).
+//! * **Out-of-order records** — a record for an already-sealed slot still
+//!   inside the retention window is applied to that slot; one older than
+//!   the retention window is refused with [`WindowError::Stale`].
+//!
+//! Failpoint: `live.window.slot` — fires at a slot-seal boundary and
+//! surfaces as [`WindowError::Injected`] after the seal completed, so state
+//! stays consistent while the caller observes the fault.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use bikecap_city_sim::layout::Cell;
+use bikecap_city_sim::{DemandSeries, FEATURES};
+use bikecap_tensor::Tensor;
+
+use crate::stream::LiveRecord;
+
+/// Typed refusals from [`RollingWindow::push`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WindowError {
+    /// The record's timestamp is NaN or infinite.
+    NonFiniteTime {
+        /// Offending record.
+        record_id: u64,
+    },
+    /// The record's timestamp is before the simulation start.
+    NegativeTime {
+        /// Offending record.
+        record_id: u64,
+        /// The timestamp observed.
+        time_min: f64,
+    },
+    /// The record's cell lies outside the configured grid.
+    CellOutOfGrid {
+        /// Offending record.
+        record_id: u64,
+        /// The cell observed.
+        cell: Cell,
+    },
+    /// The record's feature channel is not one of the demand channels.
+    FeatureOutOfRange {
+        /// Offending record.
+        record_id: u64,
+        /// The channel observed.
+        feature: usize,
+    },
+    /// The record belongs to a slot older than the retention window.
+    Stale {
+        /// Offending record.
+        record_id: u64,
+        /// The slot the record belongs to.
+        slot: usize,
+        /// The oldest slot still retained.
+        oldest_retained: usize,
+    },
+    /// The `live.window.slot` failpoint fired while sealing `slot`. The
+    /// seal itself completed; the error reports the injected fault.
+    Injected {
+        /// The slot being sealed when the fault fired.
+        slot: usize,
+        /// The fault's description.
+        message: String,
+    },
+}
+
+impl fmt::Display for WindowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowError::NonFiniteTime { record_id } => {
+                write!(f, "record {record_id} has a non-finite timestamp")
+            }
+            WindowError::NegativeTime { record_id, time_min } => {
+                write!(f, "record {record_id} predates the stream start ({time_min} min)")
+            }
+            WindowError::CellOutOfGrid { record_id, cell } => write!(
+                f,
+                "record {record_id} cell ({}, {}) is outside the grid",
+                cell.row, cell.col
+            ),
+            WindowError::FeatureOutOfRange { record_id, feature } => {
+                write!(f, "record {record_id} channel {feature} is not a demand channel")
+            }
+            WindowError::Stale {
+                record_id,
+                slot,
+                oldest_retained,
+            } => write!(
+                f,
+                "record {record_id} for slot {slot} is older than the retention window (oldest retained {oldest_retained})"
+            ),
+            WindowError::Injected { slot, message } => {
+                write!(f, "injected fault sealing slot {slot}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+/// A bounded ring of per-slot demand frames fed record by record.
+///
+/// The last frame is the *open* slot accumulating arrivals; everything
+/// before it is *sealed*. Sealing happens when a record's timestamp crosses
+/// into a later slot (or via [`RollingWindow::seal_until`] at end of
+/// stream); once more than `capacity` frames are retained, the oldest
+/// sealed frame is evicted.
+#[derive(Debug)]
+pub struct RollingWindow {
+    height: usize,
+    width: usize,
+    slot_minutes: u32,
+    capacity: usize,
+    /// Retained frames, each `FEATURES * height * width` in `(F, H, W)`
+    /// row-major order; the last entry is the open slot.
+    frames: VecDeque<Vec<f32>>,
+    /// Absolute slot index of `frames[0]`.
+    start_slot: usize,
+}
+
+impl RollingWindow {
+    /// An empty window over an `height × width` grid retaining at most
+    /// `capacity` frames (open slot included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty, `slot_minutes` is 0 or does not divide
+    /// a day, or `capacity < 2` (one sealed slot plus the open one).
+    pub fn new(height: usize, width: usize, slot_minutes: u32, capacity: usize) -> Self {
+        assert!(height > 0 && width > 0, "grid must be non-empty");
+        assert!(
+            slot_minutes > 0 && 1440 % slot_minutes == 0,
+            "slot length must divide a day, got {slot_minutes}"
+        );
+        assert!(capacity >= 2, "capacity must retain at least two slots");
+        let mut frames = VecDeque::with_capacity(capacity);
+        frames.push_back(vec![0.0; FEATURES * height * width]);
+        RollingWindow {
+            height,
+            width,
+            slot_minutes,
+            capacity,
+            frames,
+            start_slot: 0,
+        }
+    }
+
+    /// Absolute index of the oldest retained slot.
+    pub fn oldest_slot(&self) -> usize {
+        self.start_slot
+    }
+
+    /// Absolute index of the open (still accumulating) slot.
+    pub fn open_slot(&self) -> usize {
+        self.start_slot + self.frames.len() - 1
+    }
+
+    /// Number of *sealed* frames currently retained.
+    pub fn sealed_len(&self) -> usize {
+        self.frames.len() - 1
+    }
+
+    /// Slot length in minutes.
+    pub fn slot_minutes(&self) -> u32 {
+        self.slot_minutes
+    }
+
+    /// The raw `(FEATURES, H, W)` frame of a retained slot (open slot
+    /// included), or `None` when the slot has been evicted or not reached.
+    pub fn frame(&self, slot: usize) -> Option<&[f32]> {
+        if slot < self.start_slot {
+            return None;
+        }
+        self.frames.get(slot - self.start_slot).map(Vec::as_slice)
+    }
+
+    /// The count at `(slot, feature, cell)` for a retained slot, or `None`
+    /// when the slot has been evicted or not yet reached.
+    pub fn count(&self, slot: usize, feature: usize, cell: Cell) -> Option<f32> {
+        if slot < self.start_slot {
+            return None;
+        }
+        let frame = self.frames.get(slot - self.start_slot)?;
+        frame
+            .get((feature * self.height + cell.row) * self.width + cell.col)
+            .copied()
+    }
+
+    /// Ingests one record: seals any slots the timestamp skipped past, then
+    /// counts the record into its slot. Returns how many slots were sealed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WindowError`] for malformed or stale records (nothing is
+    /// counted), or [`WindowError::Injected`] when the `live.window.slot`
+    /// failpoint fires at a seal boundary (the record *is* counted and the
+    /// seal completes; only the observation is surfaced as an error).
+    pub fn push(&mut self, record: &LiveRecord) -> Result<usize, WindowError> {
+        if !record.time_min.is_finite() {
+            return Err(WindowError::NonFiniteTime {
+                record_id: record.record_id,
+            });
+        }
+        if record.time_min < 0.0 {
+            return Err(WindowError::NegativeTime {
+                record_id: record.record_id,
+                time_min: record.time_min,
+            });
+        }
+        if record.cell.row >= self.height || record.cell.col >= self.width {
+            return Err(WindowError::CellOutOfGrid {
+                record_id: record.record_id,
+                cell: record.cell,
+            });
+        }
+        if record.feature >= FEATURES {
+            return Err(WindowError::FeatureOutOfRange {
+                record_id: record.record_id,
+                feature: record.feature,
+            });
+        }
+        let slot = (record.time_min / self.slot_minutes as f64) as usize;
+        if slot < self.start_slot {
+            return Err(WindowError::Stale {
+                record_id: record.record_id,
+                slot,
+                oldest_retained: self.start_slot,
+            });
+        }
+        let (sealed, injected) = if slot > self.open_slot() {
+            self.advance_to(slot)
+        } else {
+            (0, None)
+        };
+        // The validations above plus advance_to guarantee the slot is
+        // retained and the index is in range; `get` keeps the hot path
+        // panic-free regardless.
+        let idx =
+            (record.feature * self.height + record.cell.row) * self.width + record.cell.col;
+        let off = slot - self.start_slot;
+        debug_assert!(off < self.frames.len());
+        if let Some(count) = self.frames.get_mut(off).and_then(|f| f.get_mut(idx)) {
+            *count += 1.0;
+        }
+        match injected {
+            Some(err) => Err(err),
+            None => Ok(sealed),
+        }
+    }
+
+    /// Seals every slot strictly before the one containing `time_min`, as
+    /// if a records-free tick arrived there — used to flush trailing empty
+    /// slots at end of stream. Returns how many slots were sealed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowError::Injected`] when the `live.window.slot`
+    /// failpoint fires at one of the seal boundaries (sealing completes).
+    pub fn seal_until(&mut self, time_min: f64) -> Result<usize, WindowError> {
+        if !time_min.is_finite() || time_min < 0.0 {
+            return Ok(0);
+        }
+        let slot = (time_min / self.slot_minutes as f64) as usize;
+        if slot <= self.open_slot() {
+            return Ok(0);
+        }
+        let (sealed, injected) = self.advance_to(slot);
+        match injected {
+            Some(err) => Err(err),
+            None => Ok(sealed),
+        }
+    }
+
+    /// Opens frames up to `slot` (exclusive seals), evicting beyond
+    /// capacity. Returns `(slots sealed, injected fault if any)`.
+    fn advance_to(&mut self, slot: usize) -> (usize, Option<WindowError>) {
+        let mut sealed = 0usize;
+        let mut injected = None;
+        while self.open_slot() < slot {
+            let closing = self.open_slot();
+            if let Some(fault) = bikecap_faults::hit("live.window.slot") {
+                if injected.is_none() {
+                    injected = Some(WindowError::Injected {
+                        slot: closing,
+                        message: fault.to_string(),
+                    });
+                }
+            }
+            bikecap_obs::value("live.window.sealed", closing as f64);
+            self.frames.push_back(vec![0.0; FEATURES * self.height * self.width]);
+            sealed += 1;
+            while self.frames.len() > self.capacity {
+                self.frames.pop_front();
+                self.start_slot += 1;
+            }
+        }
+        (sealed, injected)
+    }
+
+    /// Snapshots the retained *sealed* frames as a [`DemandSeries`] (slot 0
+    /// of the series is [`RollingWindow::oldest_slot`]). Returns `None`
+    /// before the first seal.
+    pub fn to_series(&self) -> Option<DemandSeries> {
+        let t = self.sealed_len();
+        if t == 0 {
+            return None;
+        }
+        let plane = FEATURES * self.height * self.width;
+        let mut data = Tensor::zeros(&[t, FEATURES, self.height, self.width]);
+        let buf = data.as_mut_slice();
+        for (i, frame) in self.frames.iter().take(t).enumerate() {
+            buf[i * plane..(i + 1) * plane].copy_from_slice(frame);
+        }
+        Some(DemandSeries {
+            data,
+            slot_minutes: self.slot_minutes,
+            height: self.height,
+            width: self.width,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(record_id: u64, time_min: f64, cell: Cell, feature: usize) -> LiveRecord {
+        LiveRecord {
+            record_id,
+            time_min,
+            cell,
+            feature,
+        }
+    }
+
+    const C00: Cell = Cell { row: 0, col: 0 };
+    const C11: Cell = Cell { row: 1, col: 1 };
+
+    #[test]
+    fn boundary_record_lands_in_the_later_slot() {
+        let mut w = RollingWindow::new(2, 2, 15, 8);
+        // Exactly on the boundary of slot 1: floor semantics, slot 1.
+        w.push(&rec(0, 15.0, C00, 0)).unwrap();
+        assert_eq!(w.open_slot(), 1);
+        assert_eq!(w.count(1, 0, C00), Some(1.0));
+        assert_eq!(w.count(0, 0, C00), Some(0.0));
+        // Just under the boundary of slot 2 stays in slot 1.
+        w.push(&rec(1, 29.999, C00, 0)).unwrap();
+        assert_eq!(w.count(1, 0, C00), Some(2.0));
+    }
+
+    #[test]
+    fn empty_slots_seal_as_zero_frames() {
+        let mut w = RollingWindow::new(2, 2, 15, 16);
+        w.push(&rec(0, 1.0, C00, 0)).unwrap();
+        // Jump straight to slot 5: slots 0..=4 seal, 1..=4 empty.
+        let sealed = w.push(&rec(1, 75.0, C11, 1)).unwrap();
+        assert_eq!(sealed, 5);
+        assert_eq!(w.sealed_len(), 5);
+        let series = w.to_series().unwrap();
+        assert_eq!(series.num_slots(), 5);
+        assert_eq!(series.count(0, 0, C00), 1.0);
+        for slot in 1..5 {
+            assert_eq!(series.count(slot, 0, C00), 0.0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_records_amend_retained_slots() {
+        let mut w = RollingWindow::new(2, 2, 15, 8);
+        w.push(&rec(0, 40.0, C00, 0)).unwrap(); // slot 2 open
+        // Late arrival for sealed slot 0, still retained: applied.
+        w.push(&rec(1, 3.0, C11, 2)).unwrap();
+        assert_eq!(w.count(0, 2, C11), Some(1.0));
+        // Aggregation is order-independent: replaying shuffled gives the
+        // same frames.
+        let records = [
+            rec(0, 40.0, C00, 0),
+            rec(1, 3.0, C11, 2),
+            rec(2, 18.0, C00, 1),
+        ];
+        let mut forward = RollingWindow::new(2, 2, 15, 8);
+        let mut shuffled = RollingWindow::new(2, 2, 15, 8);
+        for r in &records {
+            forward.push(r).unwrap();
+        }
+        for r in [&records[0], &records[2], &records[1]] {
+            shuffled.push(r).unwrap();
+        }
+        assert_eq!(
+            forward.to_series().unwrap().data.as_slice(),
+            shuffled.to_series().unwrap().data.as_slice()
+        );
+    }
+
+    #[test]
+    fn stale_records_are_refused_with_a_typed_error() {
+        let mut w = RollingWindow::new(2, 2, 15, 2);
+        // Capacity 2 retains only {open, open-1}; slot 0 evicts quickly.
+        w.push(&rec(0, 70.0, C00, 0)).unwrap(); // open slot 4
+        let err = w.push(&rec(1, 1.0, C00, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            WindowError::Stale {
+                record_id: 1,
+                slot: 0,
+                oldest_retained: w.oldest_slot(),
+            }
+        );
+        assert!(err.to_string().contains("retention window"));
+    }
+
+    #[test]
+    fn malformed_records_are_refused_not_dropped() {
+        let mut w = RollingWindow::new(2, 2, 15, 4);
+        assert!(matches!(
+            w.push(&rec(0, f64::NAN, C00, 0)),
+            Err(WindowError::NonFiniteTime { record_id: 0 })
+        ));
+        assert!(matches!(
+            w.push(&rec(1, -2.0, C00, 0)),
+            Err(WindowError::NegativeTime { record_id: 1, .. })
+        ));
+        assert!(matches!(
+            w.push(&rec(2, 5.0, Cell { row: 7, col: 0 }, 0)),
+            Err(WindowError::CellOutOfGrid { record_id: 2, .. })
+        ));
+        assert!(matches!(
+            w.push(&rec(3, 5.0, C00, 9)),
+            Err(WindowError::FeatureOutOfRange {
+                record_id: 3,
+                feature: 9
+            })
+        ));
+        // Nothing was counted by any refused record.
+        assert_eq!(w.count(0, 0, C00), Some(0.0));
+    }
+
+    #[test]
+    fn seal_until_flushes_trailing_slots() {
+        let mut w = RollingWindow::new(2, 2, 15, 8);
+        w.push(&rec(0, 2.0, C00, 0)).unwrap();
+        assert_eq!(w.seal_until(46.0).unwrap(), 3);
+        assert_eq!(w.sealed_len(), 3);
+        // Idempotent for the same time.
+        assert_eq!(w.seal_until(46.0).unwrap(), 0);
+        // Non-finite or negative times are a no-op, not a panic.
+        assert_eq!(w.seal_until(f64::NAN).unwrap(), 0);
+        assert_eq!(w.seal_until(-5.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_capacity_and_reindexes() {
+        let mut w = RollingWindow::new(2, 2, 15, 3);
+        for slot in 0..10u64 {
+            w.push(&rec(slot, slot as f64 * 15.0 + 1.0, C00, 0)).unwrap();
+        }
+        assert_eq!(w.open_slot(), 9);
+        assert_eq!(w.oldest_slot(), 7);
+        assert_eq!(w.sealed_len(), 2);
+        assert_eq!(w.count(6, 0, C00), None);
+        assert_eq!(w.count(8, 0, C00), Some(1.0));
+        let series = w.to_series().unwrap();
+        assert_eq!(series.num_slots(), 2);
+        assert_eq!(series.count(0, 0, C00), 1.0); // absolute slot 7
+    }
+
+    #[test]
+    fn matches_batch_aggregation_on_a_real_stream() {
+        use bikecap_city_sim::generate::{SimConfig, Simulator};
+        use bikecap_city_sim::CityLayout;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = SimConfig::small();
+        let layout = CityLayout::generate(&config, &mut rng);
+        let trips = Simulator::new(config, layout).run(&mut rng);
+        let total_min = trips.config.total_minutes() as f64;
+        let batch = DemandSeries::from_trips(&trips, 15);
+
+        let mut w = RollingWindow::new(
+            trips.layout.height,
+            trips.layout.width,
+            15,
+            batch.num_slots() + 1,
+        );
+        for r in crate::stream::RecordStream::new(&trips) {
+            w.push(&r).unwrap();
+        }
+        w.seal_until(total_min).unwrap();
+        let live = w.to_series().unwrap();
+        assert_eq!(live.num_slots(), batch.num_slots());
+        assert_eq!(live.data.as_slice(), batch.data.as_slice());
+    }
+}

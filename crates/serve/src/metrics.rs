@@ -135,6 +135,20 @@ pub struct Metrics {
     /// fault schedule is active, and requests are served by the last
     /// known-good model. Mirrored in `/healthz` and `/metrics`.
     pub degraded: AtomicBool,
+    /// Hot-swaps performed by the live adaptation loop (a subset of
+    /// `swaps_total`): candidate fine-tuned on drift and won shadow eval.
+    pub live_swaps_total: AtomicU64,
+    /// Live adaptation attempts rolled back (fine-tune diverged/failed or
+    /// the swap itself failed); the incumbent kept serving.
+    pub live_rollbacks_total: AtomicU64,
+    /// Live candidates refused after shadow evaluation (trained fine but
+    /// did not beat the incumbent).
+    pub live_refusals_total: AtomicU64,
+    /// Latest drift score from the live detector, stored as `f64` bits so
+    /// the gauge update stays a single atomic write.
+    drift_score_bits: AtomicU64,
+    /// Latest drift-detector state index (0 = stable … 4 = rolled-back).
+    drift_state: AtomicU64,
     /// Recent end-to-end request latencies, microseconds.
     latencies: Mutex<Ring>,
 }
@@ -175,6 +189,11 @@ impl Metrics {
             submit_retries_total: AtomicU64::new(0),
             deadline_expired_total: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            live_swaps_total: AtomicU64::new(0),
+            live_rollbacks_total: AtomicU64::new(0),
+            live_refusals_total: AtomicU64::new(0),
+            drift_score_bits: AtomicU64::new(0),
+            drift_state: AtomicU64::new(0),
             latencies: Mutex::new(Ring {
                 samples: Vec::with_capacity(LATENCY_RING),
                 next: 0,
@@ -203,6 +222,24 @@ impl Metrics {
             "serialize" => Some(&self.stage_serialize),
             _ => None,
         }
+    }
+
+    /// Updates the live-loop drift gauges in one pass: the latest drift
+    /// score and the detector state index (0 = stable … 4 = rolled-back).
+    pub fn set_drift(&self, score: f64, state: u8) {
+        self.drift_score_bits
+            .store(score.to_bits(), Ordering::Relaxed);
+        self.drift_state.store(u64::from(state), Ordering::Relaxed);
+    }
+
+    /// The latest drift score reported through [`Metrics::set_drift`].
+    pub fn drift_score(&self) -> f64 {
+        f64::from_bits(self.drift_score_bits.load(Ordering::Relaxed))
+    }
+
+    /// The latest drift-state index reported through [`Metrics::set_drift`].
+    pub fn drift_state(&self) -> u64 {
+        self.drift_state.load(Ordering::Relaxed)
     }
 
     /// Records one request's end-to-end latency.
@@ -302,6 +339,29 @@ impl Metrics {
                 Json::Num(self.deadline_expired_total.load(Ordering::Relaxed) as f64),
             ),
             ("degraded", Json::Bool(self.degraded.load(Ordering::Relaxed))),
+            (
+                "live_swaps_total",
+                Json::Num(self.live_swaps_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "live_rollbacks_total",
+                Json::Num(self.live_rollbacks_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "live_refusals_total",
+                Json::Num(self.live_refusals_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "drift_score",
+                // An injected-fault score can be infinite; JSON has no
+                // literal for that, so non-finite renders as null.
+                if self.drift_score().is_finite() {
+                    Json::Num(self.drift_score())
+                } else {
+                    Json::Null
+                },
+            ),
+            ("drift_state", Json::Num(self.drift_state() as f64)),
             ("latency_p50_us", lat(0.50)),
             ("latency_p99_us", lat(0.99)),
         ])
@@ -383,6 +443,24 @@ impl Metrics {
             "Jobs dropped because their deadline passed before compute.",
             load(&self.deadline_expired_total),
         );
+        counter(
+            &mut out,
+            "bikecap_live_swaps_total",
+            "Hot-swaps performed by the live adaptation loop.",
+            load(&self.live_swaps_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_live_rollbacks_total",
+            "Live adaptation attempts rolled back to the incumbent.",
+            load(&self.live_rollbacks_total),
+        );
+        counter(
+            &mut out,
+            "bikecap_live_refusals_total",
+            "Live candidates refused after losing shadow evaluation.",
+            load(&self.live_refusals_total),
+        );
 
         gauge(
             &mut out,
@@ -395,6 +473,27 @@ impl Metrics {
             "bikecap_in_flight",
             "Requests currently inside POST /predict handling.",
             self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        gauge(
+            &mut out,
+            "bikecap_drift_score",
+            "Latest drift score from the live adaptation detector.",
+            {
+                // Prometheus accepts +Inf but our exposition checker does
+                // not need it; clamp non-finite scores to a sentinel.
+                let s = self.drift_score();
+                if s.is_finite() {
+                    s
+                } else {
+                    f64::MAX
+                }
+            },
+        );
+        gauge(
+            &mut out,
+            "bikecap_drift_state",
+            "Live drift-detector state (0=stable 1=suspect 2=drifted 3=retraining 4=rolled-back).",
+            self.drift_state() as f64,
         );
         gauge(
             &mut out,

@@ -304,6 +304,23 @@ fn healthz(inner: &Inner) -> (u16, String) {
     // Keep the metrics mirror current even if nobody polls /metrics.
     inner.metrics.degraded.store(degraded, Ordering::Relaxed);
     let models: Vec<Json> = inner.registry.names().into_iter().map(Json::Str).collect();
+    // Model "versions": the hot-swap generation of each registry slot. A
+    // live-adaptation swap (or POST /admin/reload) bumps the count, so
+    // clients — and the live-loop tests — can see which weights serve.
+    let versions = Json::Obj(
+        inner
+            .registry
+            .names()
+            .into_iter()
+            .filter_map(|name| {
+                inner
+                    .registry
+                    .get(Some(name.as_str()))
+                    .ok()
+                    .map(|entry| (name, Json::Num(entry.swap_count() as f64)))
+            })
+            .collect(),
+    );
     // The executor every request routes through: read from the default
     // model so the answer reflects what is actually serving (hot-swapped
     // models included), not just how the process was configured.
@@ -327,6 +344,7 @@ fn healthz(inner: &Inner) -> (u16, String) {
         ("executor", Json::Str(executor.to_string())),
         ("verify", Json::Str(verify.to_string())),
         ("models", Json::Arr(models)),
+        ("versions", versions),
         (
             "queue_depth",
             Json::Num(inner.metrics.queue_depth.load(Ordering::Relaxed) as f64),

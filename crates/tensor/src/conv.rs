@@ -244,7 +244,20 @@ pub fn col2im3d_into(
     assert_eq!(cdata.len(), n * positions * k, "col2im3d_into: col length mismatch");
     assert_eq!(out.len(), n * slab, "col2im3d_into: out length mismatch");
     out.fill(0.0);
-    let min_batches = (crate::tensor::PAR_MIN_WORK / (positions * k).max(1)).max(1);
+    // The scatter-add writes each element once but reads the col matrix
+    // with poor locality, so the per-batch work that amortises a thread
+    // handoff is much larger than for the compute-bound kernels sharing
+    // PAR_MIN_WORK. Below this total-work floor the whole call stays on
+    // one chunk (which runs inline); serial and parallel orders are
+    // bitwise identical either way — disjoint batch slabs, serial
+    // accumulation within each — so the cutover is pure performance.
+    const SERIAL_MAX_WORK: usize = 1 << 20;
+    let total_work = n * positions * k;
+    let min_batches = if total_work <= SERIAL_MAX_WORK {
+        n.max(1)
+    } else {
+        (crate::tensor::PAR_MIN_WORK / (positions * k).max(1)).max(1)
+    };
     bikecap_rt::parallel_items_mut(out, slab, min_batches, |bn0, block| {
         for (db, out_b) in block.chunks_mut(slab).enumerate() {
             let bn = bn0 + db;

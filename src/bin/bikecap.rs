@@ -45,7 +45,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: bikecap <simulate|train|forecast|serve|profile|check-config> [--days N] [--seed N] \
+    "usage: bikecap <simulate|train|forecast|serve|profile|live|check-config> [--days N] [--seed N] \
      [--horizon N] [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] \
      [--resume] [--autosave-every N] \
      [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
@@ -62,6 +62,9 @@ fn usage() -> &'static str {
      `--threads N` sizes the bikecap-rt compute pool (0 = auto; overrides \
      BIKECAP_THREADS); under `serve` it is the TOTAL budget split across the \
      --workers batch workers\n\
+     `bikecap live --days 4 --epochs 3` runs the live-city adaptation demo: \
+     train an incumbent, stream a weather-shocked city through the drift \
+     detector, fine-tune and hot-swap on confirmed drift\n\
      `bikecap check-config --help` lists the shape-checker's own flags"
 }
 
@@ -481,6 +484,133 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `bikecap live`: the live-city adaptation demo. Trains an incumbent on a
+/// quiet city, registers it in a serving slot, then replays a record stream
+/// whose second half carries a weather shock. The live loop aggregates the
+/// stream into a rolling window, watches prediction error plus routing
+/// telemetry, and on confirmed drift fine-tunes, shadow-evaluates and — if
+/// the candidate wins — hot-swaps through the registry's reload path.
+fn cmd_live(args: &Args) -> Result<(), String> {
+    use bikecap::live::{AdaptOutcome, LiveConfig, LiveLoop, RecordStream};
+    use bikecap::sim::scenario::{Scenario, WeatherShock};
+
+    let history = 8usize;
+    // Phase 1: baseline month, incumbent training.
+    let trips = simulate_city(args);
+    let dataset = build_dataset(&trips, args.horizon);
+    let mut model = model_for(&trips, args.horizon, args.seed);
+    println!(
+        "training the incumbent ({} parameters) for {} epochs…",
+        model.num_parameters(),
+        args.epochs
+    );
+    let options = TrainOptions {
+        epochs: args.epochs,
+        batch_size: 16,
+        max_batches_per_epoch: Some(24),
+        learning_rate: 3e-3,
+        ..TrainOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xbeef);
+    let report = model.fit(&dataset, &options, &mut rng);
+    println!(
+        "incumbent ready: loss {:.4} -> {:.4}",
+        report.epoch_losses.first().copied().unwrap_or(f32::NAN),
+        report.final_loss().unwrap_or(f32::NAN)
+    );
+
+    // Phase 2: register it as the serving model.
+    let registry = ModelRegistry::new();
+    let entry = registry.insert(DEFAULT_MODEL, model);
+    let metrics = Arc::new(bikecap::serve::Metrics::new());
+
+    // Phase 3: a fresh live stream from the same city config whose final
+    // day carries a weather shock — the regime shift to detect and absorb.
+    // The first day feeds the detector's diurnal baseline, so the shock
+    // must start after it.
+    let mut live_sim = SimConfig::paper_scale();
+    live_sim.days = args.days.max(3);
+    let shock_start = f64::from(live_sim.days - 1) * 1440.0;
+    live_sim.scenario = Scenario {
+        weather_shock: Some(WeatherShock {
+            start_min: shock_start,
+            end_min: f64::from(live_sim.total_minutes()),
+            demand_factor: 2.5,
+        }),
+        ..Scenario::none()
+    };
+    let mut live_rng = StdRng::seed_from_u64(args.seed.wrapping_add(101));
+    let live_layout = CityLayout::generate(&live_sim, &mut live_rng);
+    let live_trips = Simulator::new(live_sim.clone(), live_layout).run(&mut live_rng);
+    println!(
+        "live stream: {} days, weather shock (2.5x) from minute {:.0}",
+        live_sim.days, shock_start
+    );
+
+    let work_dir = args.out_dir.join("live-work");
+    let live_config = LiveConfig::new(
+        history,
+        args.horizon,
+        dataset.normalizer().clone(),
+        work_dir,
+    );
+    let mut live = LiveLoop::new(
+        Arc::clone(&entry),
+        live_config,
+        Some(Arc::clone(&metrics)),
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    let report = live
+        .run(
+            RecordStream::new(&live_trips),
+            f64::from(live_sim.total_minutes()),
+        )
+        .map_err(|e| e.to_string())?;
+    bikecap::obs::clear();
+
+    println!(
+        "ingested {} records ({} refused, {} slots sealed)",
+        report.records, report.window_refusals, report.slots
+    );
+    for (slot, state) in &report.transitions {
+        println!("  slot {slot:>4}: -> {}", state.as_str());
+    }
+    for outcome in &report.outcomes {
+        match outcome {
+            AdaptOutcome::Swapped {
+                slot,
+                incumbent_mae,
+                candidate_mae,
+            } => println!(
+                "  slot {slot:>4}: HOT-SWAP (val MAE {candidate_mae:.4} beat \
+                 {incumbent_mae:.4})"
+            ),
+            AdaptOutcome::Refused {
+                slot,
+                incumbent_mae,
+                candidate_mae,
+            } => println!(
+                "  slot {slot:>4}: refused (candidate {candidate_mae:.4} vs incumbent \
+                 {incumbent_mae:.4})"
+            ),
+            AdaptOutcome::RolledBack { slot, reason } => {
+                println!("  slot {slot:>4}: rolled back ({reason})")
+            }
+        }
+    }
+    println!(
+        "swaps {}, rollbacks {}, refusals {}; serving model version {} (report \
+         fingerprint {:016x})",
+        report.swaps,
+        report.rollbacks,
+        report.refusals,
+        entry.swap_count(),
+        report.fingerprint()
+    );
+    Ok(())
+}
+
 /// Static shape-contract check of one configuration (`bikecap check-config
 /// --grid 8x8 --horizon 6 …`); shares its flag grammar with `bikecap-check`.
 fn cmd_check_config(rest: &[String]) -> u8 {
@@ -562,6 +692,7 @@ fn main() -> ExitCode {
         "forecast" => cmd_forecast(&args),
         "serve" => cmd_serve(&args),
         "profile" => cmd_profile(&args),
+        "live" => cmd_live(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {

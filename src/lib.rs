@@ -13,6 +13,10 @@
 //! * [`eval`] — metrics and the repeated-seed experiment harness.
 //! * [`serve`] — batched multi-threaded inference serving (registry,
 //!   micro-batching queue, std-only HTTP front end).
+//! * [`live`] — the live-city adaptation loop: streaming ingestion into a
+//!   rolling demand window, drift detection over prediction error and
+//!   routing telemetry, and self-healing redeployment (fine-tune →
+//!   shadow-eval → hot-swap, with rollback on any failure).
 //! * [`faults`] — deterministic seeded failpoints; armed only with the
 //!   `faultline` feature, compiled to no-ops otherwise.
 //! * [`rt`] — deterministic parallel runtime: the chunk-stealing thread
@@ -33,6 +37,7 @@ pub use bikecap_core as model;
 pub use bikecap_eval as eval;
 pub use bikecap_faults as faults;
 pub use bikecap_ir as ir;
+pub use bikecap_live as live;
 pub use bikecap_nn as nn;
 pub use bikecap_obs as obs;
 pub use bikecap_rt as rt;
