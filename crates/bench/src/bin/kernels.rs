@@ -4,6 +4,16 @@
 //! `BENCH_parallel.json` at the workspace root (op name, shape, threads,
 //! ns/iter, speedup vs 1 thread, heap allocations per iteration).
 //!
+//! Timings are the **median of N samples** (3 quick / 5 full), each sample
+//! itself averaging `iters` iterations, with the median absolute deviation
+//! (`mad_ns`) recorded as the row's noise bound. The file is a schema-2
+//! object carrying a machine fingerprint (os/arch/core-count/CPU model) so
+//! `bikecap-check bench-compare` knows whether absolute nanoseconds from two
+//! files are comparable at all; every run also appends its full record to an
+//! append-only `BENCH_history.jsonl` (one JSON object per line) for
+//! longitudinal tracking and CI artifacts. DESIGN.md Appendix I documents
+//! the record schema and the regression rule.
+//!
 //! Every timed op is also checked bitwise against the serial backend at
 //! every thread count — the deterministic-reduction contract means the
 //! numbers in the JSON always describe *identical* outputs.
@@ -19,7 +29,8 @@
 //! cargo run -p bikecap-bench --release --bin kernels -- [--quick|--full] [--out FILE]
 //! ```
 //!
-//! `--out` overrides the JSON path (default `BENCH_parallel.json`). Speedups
+//! `--out` overrides the JSON path (default `BENCH_parallel.json`) and
+//! `--history` the history path (default `BENCH_history.jsonl`). Speedups
 //! depend on the machine's core count: a single-core container reports ~1.0×
 //! (the pool degrades to the serial fast path), which is recorded honestly.
 
@@ -40,6 +51,11 @@ use std::hint::black_box;
 
 /// Thread counts swept per op; 1 is the speedup baseline.
 const THREAD_SWEEP: &[usize] = &[1, 2, 4];
+
+/// Timing samples per (op, threads) cell — odd, so the median is an actual
+/// sample and the MAD is exact rather than interpolated.
+const SAMPLES_QUICK: usize = 3;
+const SAMPLES_FULL: usize = 5;
 
 /// Counts every heap allocation (and growth realloc) in the process so each
 /// record can report `allocs_per_iter` alongside its timing.
@@ -71,8 +87,45 @@ struct Record {
     shape: String,
     threads: usize,
     ns_per_iter: u128,
+    /// Median absolute deviation of the per-sample ns/iter — the row's
+    /// noise bound, consumed by `bikecap-check bench-compare`.
+    mad_ns: u128,
     speedup: f64,
     allocs_per_iter: u64,
+}
+
+/// Median of a sorted odd-length slice and the MAD around it.
+fn median_and_mad(sorted: &[u128]) -> (u128, u128) {
+    let med = sorted[sorted.len() / 2];
+    let mut dev: Vec<u128> = sorted.iter().map(|s| s.abs_diff(med)).collect();
+    dev.sort_unstable();
+    (med, dev[dev.len() / 2])
+}
+
+/// os-arch-cores plus the CPU model string (best effort): enough to tell
+/// whether two bench files' absolute timings are comparable.
+fn machine_fingerprint() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpu = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown-cpu".to_string());
+    let cpu: String = cpu
+        .chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect();
+    format!(
+        "{}-{}-{}c {}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cores,
+        cpu
+    )
 }
 
 /// Times `op` at every [`THREAD_SWEEP`] count and checks each output bitwise
@@ -82,6 +135,7 @@ fn bench_op(
     op: &'static str,
     shape: String,
     iters: u32,
+    samples: usize,
     run: impl Fn() -> Tensor,
 ) {
     rt::set_backend(rt::Backend::Serial);
@@ -93,26 +147,35 @@ fn bench_op(
         rt::set_threads(threads);
         let out = run(); // warmup + determinism probe
         assert_bitwise_eq(op, threads, &reference, &out);
+        // Pre-size the sample buffer so the sampling loop itself never
+        // allocates into the counted window.
+        let mut sample_ns: Vec<u128> = Vec::with_capacity(samples);
         let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(run());
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(run());
+            }
+            sample_ns.push(start.elapsed().as_nanos() / u128::from(iters.max(1)));
         }
-        let ns = start.elapsed().as_nanos() / u128::from(iters.max(1));
+        let total_iters = u64::from(iters.max(1)) * samples.max(1) as u64;
         let allocs_per_iter =
-            (ALLOCATIONS.load(Ordering::Relaxed) - allocs_before) / u64::from(iters.max(1));
+            (ALLOCATIONS.load(Ordering::Relaxed) - allocs_before) / total_iters;
+        sample_ns.sort_unstable();
+        let (ns, mad) = median_and_mad(&sample_ns);
         if threads == 1 {
             baseline_ns = ns;
         }
         let speedup = baseline_ns as f64 / (ns as f64).max(1.0);
         eprintln!(
-            "[kernels] {op:<18} {shape:<24} threads={threads} {ns:>12} ns/iter  {speedup:.2}x  {allocs_per_iter:>6} allocs/iter"
+            "[kernels] {op:<18} {shape:<24} threads={threads} {ns:>12} ns/iter (±{mad})  {speedup:.2}x  {allocs_per_iter:>6} allocs/iter"
         );
         records.push(Record {
             op,
             shape: shape.clone(),
             threads,
             ns_per_iter: ns,
+            mad_ns: mad,
             speedup,
             allocs_per_iter,
         });
@@ -131,42 +194,57 @@ fn assert_bitwise_eq(op: &str, threads: usize, a: &Tensor, b: &Tensor) {
     }
 }
 
-fn render_json(records: &[Record]) -> String {
-    let mut s = String::from("[\n");
+/// Schema-2 bench file: a fingerprinted object wrapping the record rows.
+/// `compact` renders the whole thing on one line (the history format).
+fn render_json(records: &[Record], fingerprint: &str, mode: &str, samples: usize, compact: bool) -> String {
+    let (nl, ind) = if compact { ("", "") } else { ("\n", "  ") };
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{{nl}{ind}\"schema\": 2,{nl}{ind}\"fingerprint\": \"{fingerprint}\",{nl}{ind}\"mode\": \"{mode}\",{nl}{ind}\"samples\": {samples},{nl}{ind}\"records\": [{nl}"
+    );
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
-        let _ = writeln!(
+        let _ = write!(
             s,
-            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"speedup\": {:.3}, \"allocs_per_iter\": {}}}{sep}",
-            r.op, r.shape, r.threads, r.ns_per_iter, r.speedup, r.allocs_per_iter
+            "{ind}{ind}{{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {}, \"mad_ns\": {}, \"speedup\": {:.3}, \"allocs_per_iter\": {}}}{sep}{nl}",
+            r.op, r.shape, r.threads, r.ns_per_iter, r.mad_ns, r.speedup, r.allocs_per_iter
         );
     }
-    s.push_str("]\n");
+    let _ = write!(s, "{ind}]{nl}}}");
+    if !compact {
+        s.push('\n');
+    }
     s
 }
 
 fn main() {
     let args = BenchArgs::parse();
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("BENCH_parallel.json"));
-    // (iters per op) scaled by mode; full mode averages over more repeats.
-    let scale: u32 = if args.quick { 1 } else { 5 };
+    let history = args
+        .history
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_history.jsonl"));
+    // (iters per sample) scaled by mode; full mode also takes more samples.
+    let scale: u32 = if args.quick { 1 } else { 3 };
+    let samples = if args.quick { SAMPLES_QUICK } else { SAMPLES_FULL };
     let mut rng = StdRng::seed_from_u64(7);
     let mut records = Vec::new();
 
     // The matmul core everything reduces to (ops.rs shape).
     let a = Tensor::randn(&[128, 256], 0.0, 1.0, &mut rng);
     let b = Tensor::randn(&[256, 128], 0.0, 1.0, &mut rng);
-    bench_op(&mut records, "matmul", "128x256 * 256x128".into(), 40 * scale, || {
+    bench_op(&mut records, "matmul", "128x256 * 256x128".into(), 40 * scale, samples, || {
         a.matmul(&b)
     });
 
     // Encoder-shaped dense conv3d and its transpose (decoder upsampling).
     let x = Tensor::randn(&[16, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
     let w = Tensor::randn(&[4, 4, 3, 3, 3], 0.0, 0.1, &mut rng);
-    bench_op(&mut records, "conv3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, || {
+    bench_op(&mut records, "conv3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, samples, || {
         conv3d(&x, &w, Conv3dSpec::padded(1, 1, 1))
     });
-    bench_op(&mut records, "conv_transpose3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, || {
+    bench_op(&mut records, "conv_transpose3d", "16x4x8x8x8 k3x3x3".into(), 20 * scale, samples, || {
         conv_transpose3d(&x, &w, Conv3dSpec::padded(1, 1, 1))
     });
 
@@ -178,14 +256,14 @@ fn main() {
 
     let mut eager = BikeCap::seeded(cfg.clone(), 11);
     eager.set_exec_mode(ExecMode::Eager);
-    bench_op(&mut records, "predict_eager", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
+    bench_op(&mut records, "predict_eager", "batch 8, 8x8 grid, h=8".into(), 2 * scale, samples, || {
         eager.predict(&window)
     });
 
     let mut compiled = BikeCap::seeded(cfg, 11);
     compiled.set_exec_mode(ExecMode::Compiled);
     compiled.predict(&window); // compile the plan outside the timed window
-    bench_op(&mut records, "predict_compiled", "batch 8, 8x8 grid, h=8".into(), 2 * scale, || {
+    bench_op(&mut records, "predict_compiled", "batch 8, 8x8 grid, h=8".into(), 2 * scale, samples, || {
         compiled.predict(&window)
     });
 
@@ -224,18 +302,36 @@ fn main() {
             shape: "batch 8, 8x8 grid, h=8".into(),
             threads: 1,
             ns_per_iter: ns,
+            // Single-sample row: the compare gate's relative noise band
+            // covers it (plan builds are long enough to be stable).
+            mad_ns: 0,
             speedup,
             allocs_per_iter,
         });
     }
 
-    let json = render_json(&records);
+    let fingerprint = machine_fingerprint();
+    let json = render_json(&records, &fingerprint, args.mode(), samples, false);
     std::fs::write(&out, &json)
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    // Append-only history: one compact record per run, never rewritten, so
+    // the timeline of a machine's numbers survives across regenerations.
+    let line = render_json(&records, &fingerprint, args.mode(), samples, true);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history)
+            .unwrap_or_else(|e| panic!("cannot open {}: {e}", history.display()));
+        writeln!(f, "{line}").expect("append bench history");
+    }
     println!(
-        "wrote {} ({} records, {} mode); all outputs bitwise-identical to serial",
+        "wrote {} + history {} ({} records, {} mode, median of {} samples); all outputs bitwise-identical to serial",
         out.display(),
+        history.display(),
         records.len(),
-        args.mode()
+        args.mode(),
+        samples
     );
 }

@@ -35,6 +35,8 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Optional output file (in addition to stdout).
     pub out: Option<PathBuf>,
+    /// Optional append-only history file (kernels bench; others ignore it).
+    pub history: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -46,6 +48,7 @@ impl BenchArgs {
     pub fn parse() -> BenchArgs {
         let mut quick = true;
         let mut out = None;
+        let mut history = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -57,10 +60,18 @@ impl BenchArgs {
                     });
                     out = Some(PathBuf::from(path));
                 }
-                other => panic!("unknown argument '{other}'; use --quick, --full or --out <path>"),
+                "--history" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        panic!("--history requires a path argument")
+                    });
+                    history = Some(PathBuf::from(path));
+                }
+                other => panic!(
+                    "unknown argument '{other}'; use --quick, --full, --out <path> or --history <path>"
+                ),
             }
         }
-        BenchArgs { quick, out }
+        BenchArgs { quick, out, history }
     }
 
     /// Human-readable mode label.

@@ -1,0 +1,293 @@
+//! Bench-history regression gate: `bikecap-check bench-compare`.
+//!
+//! Compares two `BENCH_parallel.json` files (schema 2, written by
+//! `bikecap-bench`'s kernels binary; legacy schema-1 bare arrays still
+//! parse) row by row, keyed on `(op, shape, threads)`. Two classes of
+//! check, reflecting what is actually comparable across machines:
+//!
+//! * **Allocations** are deterministic and machine-independent: any
+//!   increase in `allocs_per_iter` is a regression, full stop. This is the
+//!   cross-machine teeth of the gate — it would have caught the compiled
+//!   path's 4 → 14 allocs/iter slip at threads 2/4.
+//! * **Timings** are only comparable when both files carry the same machine
+//!   fingerprint. When they do, a row regresses if its current median lands
+//!   beyond the noise band around the baseline median:
+//!   `threshold = clamp(base + 3·(base_mad + cur_mad), 1.25×base, 1.8×base)`
+//!   with a 500 ns absolute floor on the shift. The clamp guarantees that a
+//!   genuine 2× slowdown always trips regardless of how noisy the samples
+//!   were, while ≤25% drift never does. On differing fingerprints timing
+//!   shifts are reported as advisory notes and do not affect the exit code.
+//!
+//! A baseline row missing from the current file is a regression (coverage
+//! must not silently shrink); rows only in the current file are noted.
+//! DESIGN.md Appendix I documents the schema and this rule.
+
+use std::fmt::Write as _;
+
+use bikecap_serve::json::Json;
+
+/// One bench record, as far as the gate cares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    pub op: String,
+    pub shape: String,
+    pub threads: usize,
+    pub ns_per_iter: f64,
+    /// Noise bound (median absolute deviation); 0 for legacy/single-sample rows.
+    pub mad_ns: f64,
+    pub allocs_per_iter: f64,
+}
+
+/// A parsed bench file: fingerprint (empty for legacy arrays) plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    pub fingerprint: String,
+    pub rows: Vec<BenchRow>,
+}
+
+/// Outcome of a comparison: human-readable lines plus the regression count
+/// (nonzero means the gate fails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    pub lines: Vec<String>,
+    pub regressions: usize,
+    pub notes: usize,
+}
+
+/// Parses a bench file, accepting both the schema-2 object and the legacy
+/// schema-1 bare record array.
+pub fn parse_bench_file(text: &str) -> Result<BenchFile, String> {
+    let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let (fingerprint, records) = if let Some(rows) = json.as_arr() {
+        (String::new(), rows)
+    } else {
+        let fp = json
+            .get("fingerprint")
+            .and_then(|f| f.as_str())
+            .unwrap_or("")
+            .to_string();
+        let rows = json
+            .get("records")
+            .and_then(|r| r.as_arr())
+            .ok_or_else(|| "bench file has neither a record array nor a `records` field".to_string())?;
+        (fp, rows)
+    };
+    let mut rows = Vec::with_capacity(records.len());
+    for (i, rec) in records.iter().enumerate() {
+        let field = |key: &str| -> Result<f64, String> {
+            rec.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("record {i}: missing numeric `{key}`"))
+        };
+        rows.push(BenchRow {
+            op: rec
+                .get("op")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("record {i}: missing `op`"))?
+                .to_string(),
+            shape: rec
+                .get("shape")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("record {i}: missing `shape`"))?
+                .to_string(),
+            threads: rec
+                .get("threads")
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| format!("record {i}: missing `threads`"))?,
+            ns_per_iter: field("ns_per_iter")?,
+            // Legacy rows carry no noise bound; treat as 0 (the relative
+            // band still applies).
+            mad_ns: rec.get("mad_ns").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            allocs_per_iter: field("allocs_per_iter")?,
+        });
+    }
+    Ok(BenchFile { fingerprint, rows })
+}
+
+/// The ns/iter value beyond which a current row counts as regressed,
+/// given its baseline row. See the module docs for the clamp rationale.
+fn timing_threshold(base: &BenchRow, cur: &BenchRow) -> f64 {
+    let band = base.ns_per_iter + 3.0 * (base.mad_ns + cur.mad_ns);
+    let lo = base.ns_per_iter * 1.25;
+    let hi = base.ns_per_iter * 1.8;
+    (band.clamp(lo, hi)).max(base.ns_per_iter + 500.0)
+}
+
+/// Compares `current` against `baseline`. Never fails: malformed inputs are
+/// rejected by [`parse_bench_file`] before this point.
+pub fn compare(baseline: &BenchFile, current: &BenchFile) -> CompareReport {
+    let same_machine =
+        !baseline.fingerprint.is_empty() && baseline.fingerprint == current.fingerprint;
+    let mut lines = Vec::new();
+    let mut regressions = 0usize;
+    let mut notes = 0usize;
+    if !same_machine {
+        lines.push(format!(
+            "note: fingerprints differ (baseline `{}` vs current `{}`); \
+             timing shifts are advisory, allocation counts still gate",
+            baseline.fingerprint, current.fingerprint
+        ));
+        notes += 1;
+    }
+    for base in &baseline.rows {
+        let key = (base.op.as_str(), base.shape.as_str(), base.threads);
+        let Some(cur) = current
+            .rows
+            .iter()
+            .find(|r| (r.op.as_str(), r.shape.as_str(), r.threads) == key)
+        else {
+            lines.push(format!(
+                "REGRESSION {}/{} threads={}: row missing from current file",
+                base.op, base.shape, base.threads
+            ));
+            regressions += 1;
+            continue;
+        };
+        if cur.allocs_per_iter > base.allocs_per_iter {
+            lines.push(format!(
+                "REGRESSION {}/{} threads={}: allocs_per_iter {} -> {}",
+                base.op, base.shape, base.threads, base.allocs_per_iter, cur.allocs_per_iter
+            ));
+            regressions += 1;
+        }
+        let threshold = timing_threshold(base, cur);
+        if cur.ns_per_iter > threshold {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "{}/{} threads={}: ns_per_iter {:.0} -> {:.0} (threshold {:.0})",
+                base.op, base.shape, base.threads, base.ns_per_iter, cur.ns_per_iter, threshold
+            );
+            if same_machine {
+                lines.push(format!("REGRESSION {line}"));
+                regressions += 1;
+            } else {
+                lines.push(format!("note (cross-machine): {line}"));
+                notes += 1;
+            }
+        } else if cur.ns_per_iter < base.ns_per_iter * 0.8 && same_machine {
+            lines.push(format!(
+                "note: {}/{} threads={} improved {:.0} -> {:.0} ns/iter (consider re-baselining)",
+                base.op, base.shape, base.threads, base.ns_per_iter, cur.ns_per_iter
+            ));
+            notes += 1;
+        }
+    }
+    for cur in &current.rows {
+        let key = (cur.op.as_str(), cur.shape.as_str(), cur.threads);
+        if !baseline
+            .rows
+            .iter()
+            .any(|r| (r.op.as_str(), r.shape.as_str(), r.threads) == key)
+        {
+            lines.push(format!(
+                "note: new row {}/{} threads={} (no baseline)",
+                cur.op, cur.shape, cur.threads
+            ));
+            notes += 1;
+        }
+    }
+    CompareReport {
+        lines,
+        regressions,
+        notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V2: &str = r#"{
+      "schema": 2, "fingerprint": "linux-x86_64-8c test-cpu", "mode": "quick", "samples": 3,
+      "records": [
+        {"op": "matmul", "shape": "a", "threads": 1, "ns_per_iter": 100000, "mad_ns": 2000, "speedup": 1.0, "allocs_per_iter": 2},
+        {"op": "matmul", "shape": "a", "threads": 4, "ns_per_iter": 40000, "mad_ns": 1500, "speedup": 2.5, "allocs_per_iter": 2},
+        {"op": "predict_compiled", "shape": "b", "threads": 4, "ns_per_iter": 900000, "mad_ns": 9000, "speedup": 1.2, "allocs_per_iter": 4}
+      ]
+    }"#;
+
+    fn doubled(text: &str) -> BenchFile {
+        let mut f = parse_bench_file(text).unwrap();
+        for r in &mut f.rows {
+            r.ns_per_iter *= 2.0;
+        }
+        f
+    }
+
+    #[test]
+    fn identical_files_are_clean() {
+        let f = parse_bench_file(V2).unwrap();
+        let report = compare(&f, &f);
+        assert_eq!(report.regressions, 0, "{:?}", report.lines);
+    }
+
+    #[test]
+    fn doubled_ns_trips_on_same_machine() {
+        let base = parse_bench_file(V2).unwrap();
+        let cur = doubled(V2);
+        let report = compare(&base, &cur);
+        // Every row doubled; the clamp guarantees each trips.
+        assert_eq!(report.regressions, base.rows.len(), "{:?}", report.lines);
+    }
+
+    #[test]
+    fn doubled_ns_is_advisory_across_machines() {
+        let base = parse_bench_file(V2).unwrap();
+        let mut cur = doubled(V2);
+        cur.fingerprint = "other-machine".to_string();
+        let report = compare(&base, &cur);
+        assert_eq!(report.regressions, 0, "{:?}", report.lines);
+        assert!(report.notes >= base.rows.len());
+    }
+
+    #[test]
+    fn alloc_increase_gates_even_across_machines() {
+        let base = parse_bench_file(V2).unwrap();
+        let mut cur = base.clone();
+        cur.fingerprint = "other-machine".to_string();
+        cur.rows[2].allocs_per_iter = 14.0; // the historical compiled-path slip
+        let report = compare(&base, &cur);
+        assert_eq!(report.regressions, 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|l| l.contains("allocs_per_iter 4 -> 14")));
+    }
+
+    #[test]
+    fn missing_row_is_a_regression_and_new_row_a_note() {
+        let base = parse_bench_file(V2).unwrap();
+        let mut cur = base.clone();
+        let moved = cur.rows.remove(0);
+        cur.rows.push(BenchRow {
+            op: "novel".to_string(),
+            ..moved
+        });
+        let report = compare(&base, &cur);
+        assert_eq!(report.regressions, 1, "{:?}", report.lines);
+        assert!(report.lines.iter().any(|l| l.contains("row missing")));
+        assert!(report.lines.iter().any(|l| l.contains("new row novel")));
+    }
+
+    #[test]
+    fn small_drift_stays_inside_the_band() {
+        let base = parse_bench_file(V2).unwrap();
+        let mut cur = base.clone();
+        for r in &mut cur.rows {
+            r.ns_per_iter *= 1.2; // under the 1.25x clamp floor
+        }
+        let report = compare(&base, &cur);
+        assert_eq!(report.regressions, 0, "{:?}", report.lines);
+    }
+
+    #[test]
+    fn legacy_schema1_arrays_still_parse() {
+        let legacy = r#"[
+          {"op": "matmul", "shape": "a", "threads": 1, "ns_per_iter": 100000, "speedup": 1.0, "allocs_per_iter": 2}
+        ]"#;
+        let f = parse_bench_file(legacy).unwrap();
+        assert_eq!(f.fingerprint, "");
+        assert_eq!(f.rows.len(), 1);
+        assert_eq!(f.rows[0].mad_ns, 0.0);
+        // Legacy baseline vs itself: clean (cross-machine mode, allocs equal).
+        assert_eq!(compare(&f, &f).regressions, 0);
+    }
+}

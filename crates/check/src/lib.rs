@@ -20,14 +20,21 @@
 //! configuration's executor plan and runs the bikecap-verify invariant
 //! checker (and, with `--mutate`, its mutation harness) over each.
 //!
+//! `bikecap-check bench-compare <baseline> <current>` ([`bench`]) is the
+//! bench-history regression gate: it diffs two kernels-bench JSON files and
+//! fails on allocation increases (machine-independent) or, when the machine
+//! fingerprints match, on median timing shifts beyond the MAD noise band.
+//!
 //! Run everything with `cargo run -p bikecap-check -- all`.
 
+pub mod bench;
 pub mod cli;
 pub mod lex;
 pub mod lint;
 pub mod scope;
 pub mod sweep;
 
+pub use bench::{compare as bench_compare, parse_bench_file, BenchFile, BenchRow, CompareReport};
 pub use cli::{config_from_flags, CHECK_CONFIG_FLAGS};
 pub use lint::{
     analyze_source, lint_source, lint_sources, lint_workspace, Allowlist, CrateKind,

@@ -894,7 +894,9 @@ pub(crate) fn skip_item(tokens: &[Token], mut i: usize) -> usize {
     i
 }
 
-/// The source roots the lint pass covers: the numeric stack plus serving.
+/// The source roots the lint pass covers: the numeric stack plus serving,
+/// and the perf tooling (bench runner, bench-compare gate) so the
+/// crate-agnostic rules — `# Safety` contracts, lock-order — reach it too.
 pub const LINT_ROOTS: &[&str] = &[
     "crates/tensor/src",
     "crates/nn/src",
@@ -904,6 +906,8 @@ pub const LINT_ROOTS: &[&str] = &[
     "crates/rt/src",
     "crates/ir/src",
     "crates/live/src",
+    "crates/bench/src",
+    "crates/check/src",
 ];
 
 /// Lint every `.rs` file under [`LINT_ROOTS`] relative to `workspace_root`,

@@ -24,6 +24,12 @@ USAGE:
                                         --mutate also runs the corruption
                                         harness (every seeded mutation must
                                         be rejected)
+    bikecap-check bench-compare <baseline.json> <current.json>
+                                        bench-history regression gate: fail
+                                        on allocs_per_iter increases, and on
+                                        median ns_per_iter shifts beyond the
+                                        MAD noise band when both files carry
+                                        the same machine fingerprint
     bikecap-check check-config [FLAGS]  shape-check one configuration
     bikecap-check help                  this text
 
@@ -44,6 +50,7 @@ fn main() -> ExitCode {
         "lint" => run_lint(rest),
         "sweep" => run_sweep_pass(),
         "verify-plans" => run_verify_plans(rest),
+        "bench-compare" => run_bench_compare(rest),
         "check-config" => run_check_config(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}\n{}", cli::CHECK_CONFIG_FLAGS);
@@ -68,6 +75,50 @@ fn workspace_root() -> Option<PathBuf> {
         if !dir.pop() {
             return None;
         }
+    }
+}
+
+fn run_bench_compare(args: &[String]) -> u8 {
+    let [baseline_path, current_path] = args else {
+        eprintln!("bench-compare needs exactly two arguments: <baseline.json> <current.json>");
+        return 2;
+    };
+    let load = |path: &String| -> Result<bikecap_check::BenchFile, u8> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("cannot read {path}: {e}");
+            2u8
+        })?;
+        bikecap_check::parse_bench_file(&text).map_err(|e| {
+            eprintln!("{path}: {e}");
+            2u8
+        })
+    };
+    let baseline = match load(baseline_path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let current = match load(current_path) {
+        Ok(f) => f,
+        Err(code) => return code,
+    };
+    let report = bikecap_check::bench_compare(&baseline, &current);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.regressions > 0 {
+        println!(
+            "bench-compare: {} regression(s) across {} baseline row(s)",
+            report.regressions,
+            baseline.rows.len()
+        );
+        1
+    } else {
+        println!(
+            "bench-compare: clean ({} baseline row(s), {} note(s))",
+            baseline.rows.len(),
+            report.notes
+        );
+        0
     }
 }
 

@@ -202,6 +202,11 @@ impl HistoricalCapsules {
             tape.mark(&format!("core.encoder.squash{li}"));
         }
         let _span = bikecap_obs::span_with(|| format!("core.encoder.squash{li}"));
+        if bikecap_obs::enabled() {
+            // caps is (B, S, n, H, W), squashed along axis 2.
+            let cs = tape.value(caps).shape();
+            bikecap_obs::Work::squash(cs[0] * cs[1] * cs[3] * cs[4], cs[2]).record();
+        }
         tape.squash(caps, 2)
     }
 }
@@ -286,6 +291,12 @@ impl SpatialTemporalRouting {
             // Shared transform over all slots: one strided conv.
             let flat = tape.reshape(phi, &[b, 1, s * n, gh, gw]);
             let w = tape.param(store, self.transforms[0]);
+            if bikecap_obs::enabled() {
+                // The routing transform *is* this strided conv; model it as
+                // such (one shared weight read, S output slots).
+                bikecap_obs::Work::conv3d(b, 1, self.horizon * self.out_dim, (s, gh, gw), (n, 3, 3))
+                    .record();
+            }
             let v = tape.conv3d(flat, w, spec); // (B, p*n_out, S, H, W)
             let v = tape.add(v, bias);
             let v = tape.reshape(v, &[b, self.horizon, self.out_dim, s, gh, gw]);
@@ -303,6 +314,16 @@ impl SpatialTemporalRouting {
                 let phi_s = tape.narrow(phi, 1, si, 1); // (B, 1, n, H, W)
                 let flat = tape.reshape(phi_s, &[b, 1, n, gh, gw]);
                 let w = tape.param(store, wid);
+                if bikecap_obs::enabled() {
+                    bikecap_obs::Work::conv3d(
+                        b,
+                        1,
+                        self.horizon * self.out_dim,
+                        (1, gh, gw),
+                        (n, 3, 3),
+                    )
+                    .record();
+                }
                 let v = tape.conv3d(flat, w, spec); // (B, p*n_out, 1, H, W)
                 let v = tape.add(v, bias);
                 slices.push(tape.reshape(v, &[b, 1, self.horizon, self.out_dim, gh, gw]));
@@ -412,6 +433,17 @@ impl SpatialTemporalRouting {
         gw: usize,
     ) -> (Var, Var) {
         let (p, n_out) = (self.horizon, self.out_dim);
+        if bikecap_obs::enabled() {
+            // Logits are (B, S, H, W, p): one softmax group per trailing-axes
+            // block, then one squash per (B, p, H, W) output capsule.
+            let cells = b * s * gh * gw;
+            if self.softmax_over_grid {
+                bikecap_obs::Work::softmax(b * s, gh * gw * p).record();
+            } else {
+                bikecap_obs::Work::softmax(cells, p).record();
+            }
+            bikecap_obs::Work::squash(b * p * gh * gw, n_out).record();
+        }
         let k = if self.softmax_over_grid {
             tape.softmax_trailing(logits, 3)
         } else {

@@ -17,7 +17,8 @@ use std::mem;
 
 use bikecap_autograd::ParamStore;
 use bikecap_tensor::conv::{
-    col2im3d_into, from_position_matrix_into, im2col3d_into, to_position_matrix_into,
+    col2im3d_into, conv3d_out_dims, from_position_matrix_into, im2col3d_into,
+    to_position_matrix_into,
 };
 use bikecap_tensor::exec::{
     fused_squash_into, map_into, matmul_into, permute_into, reduce_sum_into,
@@ -132,6 +133,70 @@ fn fetch<'a>(arena: &'a Arena, store: &'a ParamStore, src: &Src) -> &'a [f32] {
     }
 }
 
+/// Static span name for a step — one per kind, so the tracing hot path never
+/// formats or allocates.
+fn step_name(step: &Step) -> &'static str {
+    match step {
+        Step::Zip { .. } => "ir.step.zip",
+        Step::Map { .. } => "ir.step.map",
+        Step::AddScalar { .. } => "ir.step.add_scalar",
+        Step::Scale { .. } => "ir.step.scale",
+        Step::Matmul { .. } => "ir.step.matmul",
+        Step::Reduce { .. } => "ir.step.reduce",
+        Step::Permute { .. } => "ir.step.permute",
+        Step::Concat { .. } => "ir.step.concat",
+        Step::Narrow { .. } => "ir.step.narrow",
+        Step::Softmax { .. } => "ir.step.softmax",
+        Step::Conv { .. } => "ir.step.conv",
+        Step::ConvT { .. } => "ir.step.convt",
+        Step::Squash { .. } => "ir.step.squash",
+        Step::BiasRelu { .. } => "ir.step.bias_relu",
+    }
+}
+
+/// Stamps the analytic work model (`perf.flops` / `perf.bytes`) for the
+/// current step from its baked geometry. Only called while observability is
+/// enabled, and only the compute-heavy kinds carry a model — data-movement
+/// steps are left to the span timings alone.
+#[cold]
+fn record_step_work(step: &Step, store: &ParamStore, arena: &Arena) {
+    use bikecap_obs::Work;
+    match step {
+        Step::Matmul { m, k, n, .. } => Work::matmul(*m, *k, *n).record(),
+        Step::Softmax { inner, src, .. } => {
+            let len = fetch(arena, store, src).len();
+            Work::softmax(len / inner.max(&1), *inner).record();
+        }
+        Step::Conv {
+            dims,
+            kernel,
+            spec,
+            c_out,
+            ..
+        } => {
+            let out = conv3d_out_dims((dims.2, dims.3, dims.4), *kernel, *spec);
+            Work::conv3d(dims.0, dims.1, *c_out, out, *kernel).record();
+        }
+        Step::ConvT {
+            n,
+            c_in,
+            c_out,
+            p,
+            kernel,
+            out_dims,
+            ..
+        } => {
+            // The model only consumes the product of the input extents, so the
+            // flat per-batch position count `p` stands in for (d, h, w).
+            Work::conv_transpose3d(*n, *c_in, *c_out, (*p, 1, 1), *out_dims, *kernel).record();
+        }
+        Step::Squash {
+            outer, dk, inner, ..
+        } => Work::squash(outer * inner, *dk).record(),
+        _ => {}
+    }
+}
+
 /// Dispatches one baked step. The output slab (and any scratch) is detached
 /// with `mem::take` so operand slabs can be borrowed immutably alongside it;
 /// the failpoint is checked *before* any take so error paths leave the arena
@@ -139,6 +204,14 @@ fn fetch<'a>(arena: &'a Arena, store: &'a ParamStore, src: &Src) -> &'a [f32] {
 fn run_step(step: &Step, store: &ParamStore, arena: &mut Arena) -> Result<(), IrError> {
     if let Some(fault) = bikecap_faults::hit("ir.exec.step") {
         return Err(IrError::Injected(fault));
+    }
+    // Per-step kernel span (static names — the hot path stays alloc-free)
+    // stamped with the analytic work model from the step's baked geometry,
+    // so `bikecap profile` rooflines the compiled path per step kind. One
+    // relaxed atomic load each while observability is off.
+    let _step_span = bikecap_obs::span(step_name(step));
+    if bikecap_obs::enabled() {
+        record_step_work(step, store, arena);
     }
     match step {
         Step::Zip { op, plan, a, b, out } => {

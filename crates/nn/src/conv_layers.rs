@@ -111,6 +111,12 @@ impl Conv3d {
         let _span = bikecap_obs::span("nn.conv3d");
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
+        if bikecap_obs::enabled() {
+            let (batch, c_in, dims) = unpack5(tape.value(x).shape());
+            let (c_out, _, kernel) = unpack5(tape.value(w).shape());
+            let out = bikecap_tensor::conv::conv3d_out_dims(dims, kernel, self.spec);
+            bikecap_obs::Work::conv3d(batch, c_in, c_out, out, kernel).record();
+        }
         let y = tape.conv3d(x, w, self.spec);
         tape.add(y, b)
     }
@@ -163,6 +169,13 @@ impl ConvTranspose3d {
         let _span = bikecap_obs::span("nn.deconv3d");
         let w = tape.param(store, self.weight);
         let b = tape.param(store, self.bias);
+        if bikecap_obs::enabled() {
+            let (batch, c_in, dims) = unpack5(tape.value(x).shape());
+            // ConvTranspose3d weights are (C_in, C_out, KD, KH, KW).
+            let (_, c_out, kernel) = unpack5(tape.value(w).shape());
+            let out = bikecap_tensor::conv::conv_transpose3d_out_dims(dims, kernel, self.spec);
+            bikecap_obs::Work::conv_transpose3d(batch, c_in, c_out, dims, out, kernel).record();
+        }
         let y = tape.conv_transpose3d(x, w, self.spec);
         tape.add(y, b)
     }
@@ -288,10 +301,26 @@ impl PyramidConv3d {
             stride: (1, 1, 1),
             padding: (0, k - 1, k - 1),
         };
+        if bikecap_obs::enabled() {
+            // The dense masked kernel really computes all (k, 2k-1, 2k-1)
+            // taps — the work model describes the implementation, not the
+            // pyramid's active support.
+            let (batch, c_in, dims) = unpack5(tape.value(padded).shape());
+            let (c_out, _, kernel) = unpack5(tape.value(wm).shape());
+            let out = bikecap_tensor::conv::conv3d_out_dims(dims, kernel, spec);
+            bikecap_obs::Work::conv3d(batch, c_in, c_out, out, kernel).record();
+        }
         let y = tape.conv3d(padded, wm, spec);
         let b = tape.param(store, self.bias);
         tape.add(y, b)
     }
+}
+
+/// Splits a rank-5 shape into `(dim0, dim1, (dim2, dim3, dim4))` — batch,
+/// channels, and the trailing volume for inputs; out-channels, in-channels,
+/// and the kernel extents for weights.
+fn unpack5(shape: &[usize]) -> (usize, usize, (usize, usize, usize)) {
+    (shape[0], shape[1], (shape[2], shape[3], shape[4]))
 }
 
 #[cfg(test)]

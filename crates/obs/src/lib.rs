@@ -29,6 +29,15 @@
 //! `ir.exec.fallback` value events marking silent degradations to the
 //! eager path.
 //!
+//! The `perf.*` family carries the analytic work model ([`work::Work`],
+//! DESIGN.md Appendix I): kernels emit `perf.flops` / `perf.bytes` value
+//! events inside their spans, [`table::roofline_table`] joins them back to
+//! the innermost enclosing span, and `bikecap profile` prints the resulting
+//! per-layer GFLOP/s, GB/s, arithmetic intensity, and memory-/compute-bound
+//! verdict. The compiled executor contributes per-step kernel spans
+//! (`ir.step.matmul`, `ir.step.conv`, `ir.step.convt`, `ir.step.softmax`,
+//! `ir.step.squash`) stamped with the same accounting from baked geometry.
+//!
 //! ```
 //! use std::sync::Arc;
 //! let sink = Arc::new(bikecap_obs::sink::MemorySink::new(64));
@@ -45,6 +54,7 @@
 pub mod chrome;
 pub mod sink;
 pub mod table;
+pub mod work;
 
 use std::borrow::Cow;
 use std::cell::Cell;
@@ -53,7 +63,11 @@ use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 pub use sink::{JsonlSink, MemorySink, NoopSink, PanicDump, Sink};
-pub use table::{cost_table, render_cost_table, CostRow};
+pub use table::{
+    cost_table, render_cost_table, render_roofline_table, roofline_table, CostRow, PerfRow,
+    Roofline, Verdict,
+};
+pub use work::Work;
 
 /// Process-global on/off switch. Off by default; flipped by [`install`].
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -1,6 +1,10 @@
 //! Per-layer cost aggregation: folds a recorded event stream into a table
 //! of (span name → call count, total/mean/max µs), the summary `bikecap
-//! profile` prints next to the trace file.
+//! profile` prints next to the trace file — plus the roofline view, which
+//! joins the same spans against the `perf.flops` / `perf.bytes` value
+//! events the work model emits (see [`crate::work`]) to report achieved
+//! GFLOP/s, GB/s, arithmetic intensity, and a memory-/compute-bound
+//! verdict per layer.
 
 use std::collections::HashMap;
 
@@ -75,6 +79,217 @@ pub fn render_cost_table(rows: &[CostRow]) -> String {
     out
 }
 
+/// Machine roofline parameters: scalar-f32 peak compute and sustainable
+/// memory bandwidth. Their ratio is the *ridge point* — kernels whose
+/// arithmetic intensity falls below it cannot be compute-bound no matter how
+/// good the code is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Roofline {
+    /// Peak scalar f32 throughput, GFLOP/s.
+    pub peak_gflops: f64,
+    /// Sustainable memory bandwidth, GB/s.
+    pub peak_gbps: f64,
+}
+
+impl Default for Roofline {
+    /// Conservative scalar defaults (one FMA per cycle at ~3 GHz, one DDR
+    /// channel): the verdicts only need the *ratio* to be in the right
+    /// ballpark. Override with `BIKECAP_PEAK_GFLOPS` / `BIKECAP_PEAK_GBPS`
+    /// via [`Roofline::from_env`] when calibrated numbers exist.
+    fn default() -> Roofline {
+        Roofline {
+            peak_gflops: 6.0,
+            peak_gbps: 12.0,
+        }
+    }
+}
+
+impl Roofline {
+    /// Default parameters overridden by the `BIKECAP_PEAK_GFLOPS` /
+    /// `BIKECAP_PEAK_GBPS` environment variables when set and positive.
+    pub fn from_env() -> Roofline {
+        let mut r = Roofline::default();
+        if let Some(v) = env_f64("BIKECAP_PEAK_GFLOPS") {
+            r.peak_gflops = v;
+        }
+        if let Some(v) = env_f64("BIKECAP_PEAK_GBPS") {
+            r.peak_gbps = v;
+        }
+        r
+    }
+
+    /// The ridge point: flops per byte at which the machine transitions from
+    /// memory- to compute-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_gflops / self.peak_gbps
+    }
+
+    /// Classifies an achieved arithmetic intensity against the ridge.
+    pub fn verdict(&self, intensity: f64) -> Verdict {
+        if intensity < self.ridge() {
+            Verdict::MemoryBound
+        } else {
+            Verdict::ComputeBound
+        }
+    }
+}
+
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+}
+
+/// Which roof a kernel is under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Intensity below the ridge: bandwidth limits throughput.
+    MemoryBound,
+    /// Intensity at or above the ridge: arithmetic limits throughput.
+    ComputeBound,
+}
+
+impl Verdict {
+    /// Stable lowercase label for tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::MemoryBound => "memory-bound",
+            Verdict::ComputeBound => "compute-bound",
+        }
+    }
+}
+
+/// One span's aggregated roofline row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfRow {
+    /// Span name the work was recorded under.
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: f64,
+    /// Total modeled work, GFLOP.
+    pub gflop: f64,
+    /// Total modeled traffic, GB.
+    pub gbyte: f64,
+    /// Achieved throughput, GFLOP/s.
+    pub gflops_per_s: f64,
+    /// Achieved bandwidth, GB/s.
+    pub gb_per_s: f64,
+    /// Arithmetic intensity, flops per byte.
+    pub intensity: f64,
+    /// Memory- or compute-bound under the given [`Roofline`].
+    pub verdict: Verdict,
+}
+
+/// Joins `perf.flops` / `perf.bytes` value events against their innermost
+/// enclosing span (reconstructed per thread from Begin/End nesting) and
+/// folds the result into per-span roofline rows, sorted by total modeled
+/// work descending. Spans that never recorded work are omitted — the plain
+/// [`cost_table`] still covers them.
+///
+/// Robust to truncated recordings (a bounded [`crate::sink::MemorySink`]
+/// may have dropped early events): value events with no open span and
+/// unmatched ends are skipped.
+pub fn roofline_table(events: &[Event], roofline: &Roofline) -> Vec<PerfRow> {
+    // Per-tid stack of open span names.
+    let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+    // name -> (count, total_us, flops, bytes)
+    let mut acc: HashMap<&str, (u64, f64, f64, f64)> = HashMap::new();
+    for event in events {
+        match event.kind {
+            Kind::Begin => stacks.entry(event.tid).or_default().push(event.name.as_ref()),
+            Kind::End => {
+                let stack = stacks.entry(event.tid).or_default();
+                stack.pop();
+                let slot = acc.entry(event.name.as_ref()).or_insert((0, 0.0, 0.0, 0.0));
+                slot.0 += 1;
+                slot.1 += event.value;
+            }
+            Kind::Value => {
+                let field = match event.name.as_ref() {
+                    "perf.flops" => 2,
+                    "perf.bytes" => 3,
+                    _ => continue,
+                };
+                let Some(owner) = stacks.get(&event.tid).and_then(|s| s.last().copied())
+                else {
+                    continue;
+                };
+                let slot = acc.entry(owner).or_insert((0, 0.0, 0.0, 0.0));
+                if field == 2 {
+                    slot.2 += event.value;
+                } else {
+                    slot.3 += event.value;
+                }
+            }
+        }
+    }
+    let mut rows: Vec<PerfRow> = acc
+        .into_iter()
+        .filter(|(_, (_, _, flops, bytes))| *flops > 0.0 || *bytes > 0.0)
+        .map(|(name, (count, total_us, flops, bytes))| {
+            let secs = total_us * 1e-6;
+            let intensity = if bytes > 0.0 { flops / bytes } else { 0.0 };
+            PerfRow {
+                name: name.to_string(),
+                count,
+                total_us,
+                gflop: flops / 1e9,
+                gbyte: bytes / 1e9,
+                gflops_per_s: if secs > 0.0 { flops / 1e9 / secs } else { 0.0 },
+                gb_per_s: if secs > 0.0 { bytes / 1e9 / secs } else { 0.0 },
+                intensity,
+                verdict: roofline.verdict(intensity),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.gflop
+            .partial_cmp(&a.gflop)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders roofline rows as an aligned plain-text table, headed by the
+/// machine parameters the verdicts were judged against.
+pub fn render_roofline_table(rows: &[PerfRow], roofline: &Roofline) -> String {
+    let name_width = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "roofline: peak {:.1} GFLOP/s, {:.1} GB/s, ridge {:.2} flop/byte\n",
+        roofline.peak_gflops,
+        roofline.peak_gbps,
+        roofline.ridge()
+    ));
+    out.push_str(&format!(
+        "{:<name_width$}  {:>7}  {:>10}  {:>9}  {:>9}  {:>8}  {:>9}  {}\n",
+        "span", "calls", "total_us", "gflop/s", "gb/s", "gflop", "flop/byte", "verdict"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<name_width$}  {:>7}  {:>10.0}  {:>9.3}  {:>9.3}  {:>8.4}  {:>9.2}  {}\n",
+            row.name,
+            row.count,
+            row.total_us,
+            row.gflops_per_s,
+            row.gb_per_s,
+            row.gflop,
+            row.intensity,
+            row.verdict.as_str()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +328,82 @@ mod tests {
         assert!((second.total_us - 40.0).abs() < 1e-9);
         assert!((second.mean_us - 20.0).abs() < 1e-9);
         assert!((second.max_us - 30.0).abs() < 1e-9);
+    }
+
+    fn at(tid: u64, kind: Kind, name: &'static str, value: f64) -> Event {
+        Event {
+            ts_us: 0,
+            tid,
+            depth: 0,
+            kind,
+            name: Cow::Borrowed(name),
+            value,
+        }
+    }
+
+    #[test]
+    fn roofline_attributes_work_to_innermost_span() {
+        // outer > inner nesting: work recorded inside `inner` must not leak
+        // into `outer`, and spans without work must not appear at all.
+        let events = vec![
+            at(1, Kind::Begin, "outer", 0.0),
+            at(1, Kind::Begin, "inner", 0.0),
+            at(1, Kind::Value, "perf.flops", 2e9),
+            at(1, Kind::Value, "perf.bytes", 1e9),
+            at(1, Kind::Value, "unrelated.metric", 7.0),
+            at(1, Kind::End, "inner", 1_000_000.0), // 1 s
+            at(1, Kind::End, "outer", 2_000_000.0),
+        ];
+        let roofline = Roofline {
+            peak_gflops: 6.0,
+            peak_gbps: 12.0,
+        };
+        let rows = roofline_table(&events, &roofline);
+        assert_eq!(rows.len(), 1);
+        let row = rows.first().expect("one row");
+        assert_eq!(row.name, "inner");
+        assert_eq!(row.count, 1);
+        assert!((row.gflops_per_s - 2.0).abs() < 1e-9);
+        assert!((row.gb_per_s - 1.0).abs() < 1e-9);
+        assert!((row.intensity - 2.0).abs() < 1e-9);
+        // Intensity 2.0 >= ridge 0.5 -> compute-bound.
+        assert_eq!(row.verdict, Verdict::ComputeBound);
+    }
+
+    #[test]
+    fn roofline_keeps_threads_separate_and_survives_truncation() {
+        // Thread 2's value event has no open span on thread 2 (its begin was
+        // dropped by the ring) — it must be skipped, not attributed to
+        // thread 1's open span.
+        let events = vec![
+            at(1, Kind::Begin, "kernel", 0.0),
+            at(2, Kind::Value, "perf.flops", 5e9),
+            at(1, Kind::Value, "perf.flops", 1e9),
+            at(1, Kind::Value, "perf.bytes", 8e9),
+            at(1, Kind::End, "kernel", 500_000.0),
+            at(2, Kind::End, "orphan", 10.0),
+        ];
+        let rows = roofline_table(&events, &Roofline::default());
+        assert_eq!(rows.len(), 1);
+        let row = rows.first().expect("one row");
+        assert_eq!(row.name, "kernel");
+        assert!((row.gflop - 1.0).abs() < 1e-9, "thread-2 flops leaked in");
+        assert_eq!(row.verdict, Verdict::MemoryBound);
+    }
+
+    #[test]
+    fn roofline_render_shows_ridge_and_verdicts() {
+        let events = vec![
+            at(1, Kind::Begin, "k", 0.0),
+            at(1, Kind::Value, "perf.flops", 1e9),
+            at(1, Kind::Value, "perf.bytes", 1e10),
+            at(1, Kind::End, "k", 1000.0),
+        ];
+        let roofline = Roofline::default();
+        let text = render_roofline_table(&roofline_table(&events, &roofline), &roofline);
+        assert!(text.contains("ridge"));
+        assert!(text.contains("gflop/s"));
+        assert!(text.contains("memory-bound"));
     }
 
     #[test]

@@ -348,10 +348,19 @@ fn run_chunks(job: &Job, worker: Option<usize>) {
     }
 }
 
+/// Completed [`Job`] shells parked for reuse, per pool. Bounded: distinct
+/// jobs only pile up under nested submission, which is at most a few deep.
+const JOB_FREELIST_CAP: usize = 8;
+
 struct PoolShared {
     queue: Mutex<VecDeque<Arc<Job>>>,
     work_cv: Condvar,
     shutdown: AtomicBool,
+    /// Recycled job shells. Every entry is unique (`strong_count == 1`) by
+    /// construction — [`release_job`] waits out straggler workers before
+    /// parking — so [`acquire_job`] can always reset one through
+    /// `Arc::get_mut` without touching memory another thread can observe.
+    free: Mutex<Vec<Arc<Job>>>,
 }
 
 struct PoolCore {
@@ -365,6 +374,7 @@ impl PoolCore {
             queue: Mutex::new(VecDeque::new()),
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            free: Mutex::new(Vec::with_capacity(JOB_FREELIST_CAP)),
         });
         // With one thread every entry point runs inline; don't spawn.
         if threads > 1 {
@@ -393,6 +403,83 @@ impl PoolCore {
 impl Drop for PoolCore {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Pop a recycled job shell and reset it for a new dispatch, or allocate a
+/// fresh one. Reuse goes through `Arc::get_mut`: it only succeeds while the
+/// shell is unique, which proves no worker (or queue entry) can still read
+/// the old `run`/`total`, so the reset is plain safe mutation — a stale
+/// reference racing a reset is structurally impossible, not just unlikely.
+///
+/// This is why steady-state parallel dispatch performs zero heap
+/// allocations (gated by tests/ir_zero_alloc.rs at threads 1/2/4): the
+/// first few dispatches populate the freelist and everything after recycles.
+fn acquire_job(shared: &PoolShared, run: TaskRef, total: usize) -> Arc<Job> {
+    let recycled = {
+        let mut free = lock(&shared.free);
+        free.pop()
+    };
+    if let Some(mut job) = recycled {
+        if let Some(shell) = Arc::get_mut(&mut job) {
+            shell.run = run;
+            shell.total = total;
+            *shell.next.get_mut() = 0;
+            *shell.completed.get_mut() = 0;
+            *shell.failed.get_mut() = false;
+            *shell
+                .failure
+                .get_mut()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
+            *shell
+                .done
+                .get_mut()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = false;
+            return job;
+        }
+        // Unreachable in practice (release_job parks only unique shells);
+        // fall through to a fresh allocation rather than spin here.
+    }
+    Arc::new(Job {
+        run,
+        total,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        failed: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// Park a completed job's shell on the pool freelist for reuse.
+///
+/// Two steps make the parked shell provably unique: drop the queue's clone
+/// (under the queue lock, so no worker can take a new clone afterwards —
+/// the job is exhausted and would be skipped anyway), then wait out the
+/// straggler window: a worker that claimed the failing `chunk >= total` is
+/// between that claim and dropping its clone, a handful of instructions.
+/// The wait is bounded because nothing can re-clone the job once it has
+/// left the queue.
+fn release_job(shared: &PoolShared, job: Arc<Job>) {
+    {
+        let mut queue = lock(&shared.queue);
+        if let Some(pos) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+            queue.remove(pos);
+        }
+    }
+    let mut spins = 0u32;
+    while Arc::strong_count(&job) > 1 {
+        spins = spins.saturating_add(1);
+        if spins > 128 {
+            thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    let mut free = lock(&shared.free);
+    if free.len() < JOB_FREELIST_CAP {
+        free.push(job);
     }
 }
 
@@ -533,16 +620,7 @@ fn run_job(total: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobFailure> {
     let run = TaskRef(unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
     });
-    let job = Arc::new(Job {
-        run,
-        total,
-        next: AtomicUsize::new(0),
-        completed: AtomicUsize::new(0),
-        failed: AtomicBool::new(false),
-        failure: Mutex::new(None),
-        done: Mutex::new(false),
-        done_cv: Condvar::new(),
-    });
+    let job = acquire_job(&pool.shared, run, total);
     {
         let mut queue = lock(&pool.shared.queue);
         queue.push_back(Arc::clone(&job));
@@ -563,6 +641,7 @@ fn run_job(total: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), JobFailure> {
     drop(done);
 
     let failure = lock(&job.failure).take();
+    release_job(&pool.shared, job);
     match failure {
         Some(failure) => Err(failure),
         None => Ok(()),
@@ -914,6 +993,35 @@ mod tests {
         .unwrap_err();
         assert_eq!(payload_message(&*caught), "original payload");
         set_threads(0);
+    }
+
+    #[test]
+    fn job_shells_are_recycled() {
+        // Acquire → release → acquire on a private pool must hand back the
+        // same shell, fully reset — the mechanism behind the zero-alloc
+        // steady state at threads > 1.
+        let core = PoolCore::start(2);
+        let f: &(dyn Fn(usize) + Sync) = &|_| {};
+        // SAFETY: the laundered borrow never escapes this test and the jobs
+        // built from it are never dispatched, only acquired and released.
+        let run = TaskRef(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        let first = acquire_job(&core.shared, run, 4);
+        first.failed.store(true, Ordering::Release);
+        first.record_failure(JobFailure::Injected {
+            chunk: 0,
+            message: "stale".to_string(),
+        });
+        let parked = Arc::as_ptr(&first);
+        release_job(&core.shared, first);
+        let second = acquire_job(&core.shared, run, 2);
+        assert_eq!(Arc::as_ptr(&second), parked, "shell was not recycled");
+        assert_eq!(second.total, 2);
+        assert_eq!(second.next.load(Ordering::Relaxed), 0);
+        assert_eq!(second.completed.load(Ordering::Relaxed), 0);
+        assert!(!second.failed.load(Ordering::Relaxed), "failed flag not reset");
+        assert!(lock(&second.failure).is_none(), "stale failure survived reset");
     }
 
     #[test]

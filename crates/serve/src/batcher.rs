@@ -72,6 +72,10 @@ pub fn compute_threads_per_worker(total_threads: usize, workers: usize) -> usize
 
 /// One queued prediction request.
 pub struct PredictJob {
+    /// Request-scoped trace id (from [`Metrics::next_trace_id`]); rides the
+    /// job through every stage and comes back on the [`JobResult`] so the
+    /// HTTP layer can stitch the full breakdown.
+    pub trace_id: u64,
     /// Which model slot serves this request.
     pub entry: Arc<ModelEntry>,
     /// A single input window `(F, h, H, W)`, already validated.
@@ -93,6 +97,12 @@ pub struct JobResult {
     pub output: Result<Tensor, String>,
     /// How many requests shared the forward pass that produced this result.
     pub batch_size: usize,
+    /// How long this job sat on the queue before its batch was drained, µs.
+    pub queue_wait_us: u64,
+    /// How long the draining worker spent assembling the batch, µs.
+    pub batch_assembly_us: u64,
+    /// How long the batched forward pass took (including fault retries), µs.
+    pub compute_us: u64,
 }
 
 /// Why a submit was refused.
@@ -249,7 +259,7 @@ fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: 
         if !config.worker_delay.is_zero() {
             thread::sleep(config.worker_delay);
         }
-        run_batch(batch, metrics);
+        run_batch(batch, drained, assembly, metrics);
     }
 }
 
@@ -262,7 +272,10 @@ fn worker_loop(rx: &Mutex<Receiver<PredictJob>>, config: &BatchConfig, metrics: 
 /// deadline budget; a group that runs out of budget is dropped, which the
 /// waiting HTTP threads observe as a disconnected responder and answer
 /// with `504`.
-fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
+/// `drained` is when the worker picked the batch up (per-job queue wait is
+/// measured against it) and `assembly` how long collecting the batch took;
+/// both come back to the client on every [`JobResult`].
+fn run_batch(batch: Vec<PredictJob>, drained: Instant, assembly: Duration, metrics: &Metrics) {
     let now = Instant::now();
     let (live, expired): (Vec<_>, Vec<_>) = batch.into_iter().partition(|j| j.deadline > now);
     if !expired.is_empty() {
@@ -328,12 +341,16 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
         };
         match outcome {
             Outcome::Done(outputs) => {
-                metrics.stage_compute.observe(compute_start.elapsed());
+                let compute = compute_start.elapsed();
+                metrics.stage_compute.observe(compute);
                 metrics.record_batch(size);
                 for (job, output) in jobs.into_iter().zip(outputs) {
                     let _ = job.respond.send(JobResult {
                         output: Ok(output),
                         batch_size: size,
+                        queue_wait_us: stage_us(drained.saturating_duration_since(job.enqueued)),
+                        batch_assembly_us: stage_us(assembly),
+                        compute_us: stage_us(compute),
                     });
                 }
             }
@@ -351,11 +368,19 @@ fn run_batch(batch: Vec<PredictJob>, metrics: &Metrics) {
                     let _ = job.respond.send(JobResult {
                         output: Err("model panicked during prediction".to_string()),
                         batch_size: size,
+                        queue_wait_us: stage_us(drained.saturating_duration_since(job.enqueued)),
+                        batch_assembly_us: stage_us(assembly),
+                        compute_us: stage_us(compute_start.elapsed()),
                     });
                 }
             }
         }
     }
+}
+
+/// Saturating µs conversion for stage reporting.
+fn stage_us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
 }
 
 #[cfg(test)]
@@ -403,6 +428,7 @@ mod tests {
         let input = Tensor::full(&[4, 4, 4, 4], seed);
         (
             PredictJob {
+                trace_id: seed.to_bits() as u64,
                 entry: Arc::clone(entry),
                 input,
                 enqueued: Instant::now(),

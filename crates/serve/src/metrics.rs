@@ -6,6 +6,17 @@
 //! text exposition served at `GET /metrics`; [`Metrics::to_json`] keeps
 //! the key/value snapshot (served at `GET /metrics.json`) that tests and
 //! ops scripts consume.
+//!
+//! Request-scoped tracing: every `POST /predict` gets a `trace_id` that
+//! rides its [`crate::batcher::PredictJob`] through queue wait, batch
+//! assembly, compute, and serialisation. Completed requests land in a
+//! bounded ring ([`REQUEST_RING`]) with their per-stage breakdown
+//! ([`RequestTrace`]), the slowest request seen per latency bucket is
+//! retained as that bucket's exemplar (OpenMetrics `# {trace_id="…"}`
+//! annotations on `/metrics`), and `GET /debug/requests` dumps the top-K
+//! tail requests from the ring. DESIGN.md Appendix I covers the retention
+//! policy: exemplars are slowest-wins per bucket and never expire until a
+//! slower request claims the bucket; the ring overwrites oldest-first.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -30,6 +41,45 @@ pub const LATENCY_RING: usize = 1024;
 /// The serving pipeline stages we time individually. The order here is the
 /// order a request experiences them.
 pub const STAGES: [&str; 4] = ["queue_wait", "batch_assembly", "compute", "serialize"];
+
+/// How many completed request traces the debug ring retains.
+pub const REQUEST_RING: usize = 256;
+
+/// One completed request's stage breakdown, keyed by its trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Request-scoped id, also stamped on histogram exemplars.
+    pub trace_id: u64,
+    /// End-to-end latency, microseconds.
+    pub total_us: u64,
+    /// Time spent queued before a worker drained the job.
+    pub queue_wait_us: u64,
+    /// Time the draining worker spent assembling the batch.
+    pub batch_assembly_us: u64,
+    /// Time the batched forward pass took.
+    pub compute_us: u64,
+    /// Time spent serialising the response body.
+    pub serialize_us: u64,
+    /// How many requests shared the forward pass.
+    pub batch_size: usize,
+}
+
+/// The slowest request seen in one latency bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The request's trace id.
+    pub trace_id: u64,
+    /// Its end-to-end latency, microseconds.
+    pub latency_us: u64,
+}
+
+/// Bucket index into [`DURATION_BUCKETS_US`] (+1 for the open bucket).
+fn bucket_index(us: u64) -> usize {
+    DURATION_BUCKETS_US
+        .iter()
+        .position(|&b| us <= b)
+        .unwrap_or(DURATION_BUCKETS_US.len())
+}
 
 /// A fixed-bucket duration histogram with atomic cells: Prometheus-style
 /// cumulative rendering, lock-free recording.
@@ -83,6 +133,39 @@ impl DurationHist {
         };
         let _ = writeln!(out, "{name}_sum{braces} {}", self.sum_us());
         let _ = writeln!(out, "{name}_count{braces} {}", self.count());
+    }
+
+    /// Like [`DurationHist::render_prometheus`] (label-free form) but
+    /// annotates each bucket that has an exemplar with the OpenMetrics
+    /// exemplar syntax: `name_bucket{le="…"} N # {trace_id="…"} latency`.
+    fn render_prometheus_exemplars(
+        &self,
+        out: &mut String,
+        name: &str,
+        exemplars: &[Option<Exemplar>],
+    ) {
+        let mut cumulative = 0u64;
+        for (i, cell) in self.buckets.iter().enumerate() {
+            cumulative += cell.load(Ordering::Relaxed);
+            let le = DURATION_BUCKETS_US
+                .get(i)
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "+Inf".to_string());
+            match exemplars.get(i).copied().flatten() {
+                Some(ex) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{le}\"}} {cumulative} # {{trace_id=\"{}\"}} {}",
+                        ex.trace_id, ex.latency_us
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum_us());
+        let _ = writeln!(out, "{name}_count {}", self.count());
     }
 }
 
@@ -151,6 +234,19 @@ pub struct Metrics {
     drift_state: AtomicU64,
     /// Recent end-to-end request latencies, microseconds.
     latencies: Mutex<Ring>,
+    /// Monotonic trace-id source for `POST /predict`.
+    trace_counter: AtomicU64,
+    /// Slowest request seen per latency bucket (the bucket's exemplar).
+    latency_exemplars: Mutex<[Option<Exemplar>; DURATION_BUCKETS_US.len() + 1]>,
+    /// Recent completed requests with their stage breakdowns, oldest-first
+    /// overwrite once full.
+    requests: Mutex<RequestRing>,
+}
+
+#[derive(Debug)]
+struct RequestRing {
+    traces: Vec<RequestTrace>,
+    next: usize,
 }
 
 #[derive(Debug)]
@@ -199,7 +295,65 @@ impl Metrics {
                 next: 0,
                 filled: false,
             }),
+            trace_counter: AtomicU64::new(0),
+            latency_exemplars: Mutex::new([None; DURATION_BUCKETS_US.len() + 1]),
+            requests: Mutex::new(RequestRing {
+                traces: Vec::with_capacity(REQUEST_RING),
+                next: 0,
+            }),
         }
+    }
+
+    /// Issues the next request trace id (1-based so 0 can mean "untraced").
+    pub fn next_trace_id(&self) -> u64 {
+        self.trace_counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one completed request: its end-to-end latency (histogram +
+    /// quantile ring), its stage breakdown (debug ring), and — if it is the
+    /// slowest its latency bucket has seen — the bucket's exemplar.
+    pub fn record_request(&self, trace: RequestTrace) {
+        self.record_latency(Duration::from_micros(trace.total_us));
+        {
+            let mut exemplars = self
+                .latency_exemplars
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let slot = &mut exemplars[bucket_index(trace.total_us)];
+            if slot.is_none_or(|ex| trace.total_us > ex.latency_us) {
+                *slot = Some(Exemplar {
+                    trace_id: trace.trace_id,
+                    latency_us: trace.total_us,
+                });
+            }
+        }
+        let mut ring = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.traces.len() < REQUEST_RING {
+            ring.traces.push(trace);
+        } else {
+            let at = ring.next;
+            ring.traces[at] = trace;
+        }
+        ring.next = (ring.next + 1) % REQUEST_RING;
+    }
+
+    /// The `k` slowest requests still in the debug ring, slowest first
+    /// (ties broken by trace id for deterministic output).
+    pub fn top_requests(&self, k: usize) -> Vec<RequestTrace> {
+        let ring = self.requests.lock().unwrap_or_else(|e| e.into_inner());
+        let mut traces = ring.traces.clone();
+        traces.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.trace_id.cmp(&b.trace_id)));
+        traces.truncate(k);
+        traces
+    }
+
+    /// Snapshot of the per-bucket latency exemplars (index-aligned with
+    /// [`DURATION_BUCKETS_US`] plus the open bucket).
+    pub fn latency_exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.latency_exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .to_vec()
     }
 
     /// Records one completed model batch of `size` requests.
@@ -364,6 +518,30 @@ impl Metrics {
             ("drift_state", Json::Num(self.drift_state() as f64)),
             ("latency_p50_us", lat(0.50)),
             ("latency_p99_us", lat(0.99)),
+            // Kept in lockstep with the exemplar annotations on /metrics:
+            // one entry per bucket that has seen a request, same trace ids.
+            (
+                "latency_exemplars",
+                Json::Arr(
+                    self.latency_exemplars()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, ex)| {
+                            ex.map(|ex| {
+                                let le = DURATION_BUCKETS_US
+                                    .get(i)
+                                    .map(|b| Json::Num(*b as f64))
+                                    .unwrap_or(Json::Str("inf".into()));
+                                Json::obj([
+                                    ("le", le),
+                                    ("trace_id", Json::Num(ex.trace_id as f64)),
+                                    ("latency_us", Json::Num(ex.latency_us as f64)),
+                                ])
+                            })
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -532,8 +710,12 @@ impl Metrics {
             "# HELP bikecap_request_latency_us End-to-end POST /predict latency, microseconds."
         );
         let _ = writeln!(out, "# TYPE bikecap_request_latency_us histogram");
-        self.request_latency
-            .render_prometheus(&mut out, "bikecap_request_latency_us", "");
+        let exemplars = self.latency_exemplars();
+        self.request_latency.render_prometheus_exemplars(
+            &mut out,
+            "bikecap_request_latency_us",
+            &exemplars,
+        );
 
         let _ = writeln!(
             out,
@@ -601,11 +783,20 @@ mod tests {
     }
 
     /// A hand-rolled check of the exposition format: every sample line is
-    /// `name{labels} value`, every sample's family has a `# TYPE` line
-    /// first, and histogram buckets are cumulative and end at `+Inf`.
-    fn parse_prometheus(text: &str) -> std::collections::BTreeMap<String, f64> {
+    /// `name{labels} value` with an optional OpenMetrics exemplar suffix
+    /// (`… # {trace_id="…"} value`), every sample's family has a `# TYPE`
+    /// line first, and histogram buckets are cumulative and end at `+Inf`.
+    /// Returns the samples plus the exemplars keyed by their sample line.
+    #[allow(clippy::type_complexity)]
+    fn parse_prometheus_full(
+        text: &str,
+    ) -> (
+        std::collections::BTreeMap<String, f64>,
+        std::collections::BTreeMap<String, (u64, f64)>,
+    ) {
         let mut typed: std::collections::BTreeMap<String, String> = Default::default();
         let mut samples = std::collections::BTreeMap::new();
+        let mut exemplars = std::collections::BTreeMap::new();
         for line in text.lines() {
             assert!(!line.trim().is_empty(), "no blank lines in exposition");
             if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -623,8 +814,36 @@ mod tests {
                 assert!(line.starts_with("# HELP "), "only HELP/TYPE comments: {line}");
                 continue;
             }
-            let (key, value) = line.rsplit_once(' ').expect("sample needs a value");
-            let value: f64 = value.parse().unwrap_or_else(|_| panic!("bad value in {line}"));
+            // Split off an exemplar annotation first: only bucket lines may
+            // carry one, and it must parse as `# {trace_id="N"} value`.
+            let (sample_part, exemplar_part) = match line.split_once(" # ") {
+                Some((sample, ex)) => (sample, Some(ex)),
+                None => (line, None),
+            };
+            let (key, value) = sample_part.rsplit_once(' ').expect("sample needs a value");
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("bad value in {line}"));
+            if let Some(ex) = exemplar_part {
+                assert!(
+                    key.contains("_bucket{"),
+                    "exemplars only belong on bucket lines: {line}"
+                );
+                let rest = ex
+                    .strip_prefix("{trace_id=\"")
+                    .unwrap_or_else(|| panic!("bad exemplar labels in {line}"));
+                let (trace_id, rest) = rest
+                    .split_once("\"}")
+                    .unwrap_or_else(|| panic!("unterminated exemplar labels in {line}"));
+                let trace_id: u64 = trace_id
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad exemplar trace id in {line}"));
+                let ex_value: f64 = rest
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad exemplar value in {line}"));
+                exemplars.insert(key.to_string(), (trace_id, ex_value));
+            }
             let name = key.split('{').next().unwrap();
             let family = name
                 .trim_end_matches("_bucket")
@@ -636,7 +855,11 @@ mod tests {
             );
             samples.insert(key.to_string(), value);
         }
-        samples
+        (samples, exemplars)
+    }
+
+    fn parse_prometheus(text: &str) -> std::collections::BTreeMap<String, f64> {
+        parse_prometheus_full(text).0
     }
 
     #[test]
@@ -696,6 +919,84 @@ mod tests {
         assert!(out.contains("x_bucket{le=\"100\"} 2"), "{out}");
         assert!(out.contains("x_bucket{le=\"+Inf\"} 3"), "{out}");
         assert!(out.contains("x_count 3"), "{out}");
+    }
+
+    fn trace(id: u64, total_us: u64) -> RequestTrace {
+        RequestTrace {
+            trace_id: id,
+            total_us,
+            queue_wait_us: total_us / 4,
+            batch_assembly_us: total_us / 8,
+            compute_us: total_us / 2,
+            serialize_us: total_us / 8,
+            batch_size: 2,
+        }
+    }
+
+    #[test]
+    fn exemplars_annotate_buckets_and_match_json() {
+        let m = Metrics::new();
+        // Two requests in the same bucket (slowest wins) plus one outlier.
+        m.record_request(trace(1, 300));
+        m.record_request(trace(2, 400));
+        m.record_request(trace(3, 90_000));
+        let text = m.to_prometheus();
+        let (samples, exemplars) = parse_prometheus_full(&text);
+
+        // le=500 holds both fast requests; its exemplar is the slower one.
+        assert_eq!(
+            samples.get("bikecap_request_latency_us_bucket{le=\"500\"}"),
+            Some(&2.0)
+        );
+        assert_eq!(
+            exemplars.get("bikecap_request_latency_us_bucket{le=\"500\"}"),
+            Some(&(2, 400.0))
+        );
+        assert_eq!(
+            exemplars.get("bikecap_request_latency_us_bucket{le=\"100000\"}"),
+            Some(&(3, 90_000.0))
+        );
+        // Un-hit buckets carry no exemplar.
+        assert!(!exemplars
+            .keys()
+            .any(|k| k.contains("le=\"50\"") && k.contains("request_latency")));
+
+        // /metrics.json reports the same exemplars, same trace ids.
+        let doc = m.to_json();
+        let json_ex = doc.get("latency_exemplars").unwrap().as_arr().unwrap();
+        assert_eq!(json_ex.len(), exemplars.len());
+        for ex in json_ex {
+            let le = match ex.get("le").unwrap() {
+                Json::Num(n) => format!("{n}"),
+                _ => "+Inf".to_string(),
+            };
+            let key = format!("bikecap_request_latency_us_bucket{{le=\"{le}\"}}");
+            let (prom_id, prom_us) = exemplars
+                .get(&key)
+                .unwrap_or_else(|| panic!("json exemplar {key} missing from /metrics"));
+            assert_eq!(ex.get("trace_id").and_then(Json::as_usize), Some(*prom_id as usize));
+            assert_eq!(ex.get("latency_us").and_then(Json::as_f64), Some(*prom_us));
+        }
+    }
+
+    #[test]
+    fn top_requests_are_sorted_and_bounded() {
+        let m = Metrics::new();
+        for i in 0..REQUEST_RING + 10 {
+            // Latencies rise over time, so the ring's survivors are the
+            // newest (and slowest) REQUEST_RING requests.
+            m.record_request(trace(i as u64 + 1, (i as u64 + 1) * 10));
+        }
+        let top = m.top_requests(5);
+        assert_eq!(top.len(), 5);
+        let slowest = (REQUEST_RING + 10) as u64;
+        assert_eq!(top[0].trace_id, slowest);
+        assert_eq!(top[0].total_us, slowest * 10);
+        assert!(top.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+        // The ring is bounded: the oldest 10 requests were overwritten.
+        let all = m.top_requests(usize::MAX);
+        assert_eq!(all.len(), REQUEST_RING);
+        assert!(all.iter().all(|t| t.trace_id > 10));
     }
 
     #[test]

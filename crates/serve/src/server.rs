@@ -11,6 +11,10 @@
 //!   quantiles (see [`crate::metrics::Metrics::to_json`]).
 //! * `POST /admin/reload` — body `{"model"?: "name", "checkpoint": "path"}`;
 //!   hot-swaps the named slot from a checkpoint without dropping requests.
+//! * `GET /debug/requests` — the top-K slowest recent requests from the
+//!   trace ring: per-request trace id plus queue/batch/compute/serialize
+//!   stage timings; the same trace ids annotate the `/metrics` latency
+//!   histogram buckets as OpenMetrics exemplars.
 //!
 //! Shutdown is graceful: the acceptor stops, open connections finish, and the
 //! batcher drains every accepted job before workers exit.
@@ -28,7 +32,7 @@ use bikecap_tensor::Tensor;
 use crate::batcher::{BatchConfig, Batcher, PredictJob, SubmitError};
 use crate::http::{self, HttpError, Request};
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RequestTrace};
 use crate::registry::{ModelRegistry, RegistryError};
 
 /// Server tuning knobs.
@@ -272,9 +276,12 @@ fn route(inner: &Inner, request: &Request) -> (u16, String) {
             (200, inner.metrics.to_json().to_string())
         }
         ("POST", "/admin/reload") => reload(inner, &request.body),
-        (_, "/predict" | "/healthz" | "/metrics" | "/metrics.json" | "/admin/reload") => {
-            error_response(HttpError::new(405, "method not allowed for this route"))
-        }
+        ("GET", "/debug/requests") => debug_requests(inner),
+        (
+            _,
+            "/predict" | "/healthz" | "/metrics" | "/metrics.json" | "/admin/reload"
+            | "/debug/requests",
+        ) => error_response(HttpError::new(405, "method not allowed for this route")),
         _ => error_response(HttpError::new(404, "no such route")),
     }
 }
@@ -353,6 +360,40 @@ fn healthz(inner: &Inner) -> (u16, String) {
     (200, doc.to_string())
 }
 
+/// How many tail requests `GET /debug/requests` returns.
+const DEBUG_REQUESTS_TOP_K: usize = 16;
+
+/// Dumps the top-K slowest requests still in the trace ring, slowest
+/// first, with their per-stage breakdowns. The trace ids here are the same
+/// ones stamped on the `/metrics` latency-histogram exemplars.
+fn debug_requests(inner: &Inner) -> (u16, String) {
+    let traces = inner.metrics.top_requests(DEBUG_REQUESTS_TOP_K);
+    let rows: Vec<Json> = traces
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("trace_id", Json::Num(t.trace_id as f64)),
+                ("total_us", Json::Num(t.total_us as f64)),
+                ("batch_size", Json::Num(t.batch_size as f64)),
+                (
+                    "stages",
+                    Json::obj([
+                        ("queue_wait_us", Json::Num(t.queue_wait_us as f64)),
+                        ("batch_assembly_us", Json::Num(t.batch_assembly_us as f64)),
+                        ("compute_us", Json::Num(t.compute_us as f64)),
+                        ("serialize_us", Json::Num(t.serialize_us as f64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("count", Json::Num(rows.len() as f64)),
+        ("requests", Json::Arr(rows)),
+    ]);
+    (200, doc.to_string())
+}
+
 /// Decrements `in_flight` on drop so every exit path of [`predict`] —
 /// success, client error, shed, timeout, or panic unwind — stays balanced.
 struct InFlightGuard<'a>(&'a Metrics);
@@ -376,18 +417,20 @@ fn predict(inner: &Inner, body: &[u8]) -> (u16, String) {
     let _span = bikecap_obs::span("serve.predict");
     let started = Instant::now();
     match predict_impl(inner, body, started) {
-        Ok(doc) => {
+        Ok((doc, mut trace)) => {
             inner.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
             let serialize_start = Instant::now();
             let body = {
                 let _ser_span = bikecap_obs::span("serve.predict.serialize");
                 doc.to_string()
             };
-            inner
-                .metrics
-                .stage_serialize
-                .observe(serialize_start.elapsed());
-            inner.metrics.record_latency(started.elapsed());
+            let serialize = serialize_start.elapsed();
+            inner.metrics.stage_serialize.observe(serialize);
+            trace.serialize_us = serialize.as_micros().min(u64::MAX as u128) as u64;
+            trace.total_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            // One call records latency, the stage breakdown, and (if this
+            // is its bucket's slowest) the exemplar — all under one id.
+            inner.metrics.record_request(trace);
             (200, body)
         }
         Err(e) => {
@@ -401,7 +444,11 @@ fn predict(inner: &Inner, body: &[u8]) -> (u16, String) {
     }
 }
 
-fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, HttpError> {
+fn predict_impl(
+    inner: &Inner,
+    body: &[u8],
+    started: Instant,
+) -> Result<(Json, RequestTrace), HttpError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| HttpError::with_code(400, "bad_encoding", "body is not utf-8"))?;
     let doc = Json::parse(text)
@@ -418,8 +465,10 @@ fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, Ht
     let input = parse_input(&doc, entry.config())?;
     let deadline = started + inner.config.request_timeout;
 
+    let trace_id = inner.metrics.next_trace_id();
     let (respond, result_rx) = mpsc::channel();
     let mut job = PredictJob {
+        trace_id,
         entry: Arc::clone(&entry),
         input,
         enqueued: started,
@@ -468,16 +517,29 @@ fn predict_impl(inner: &Inner, body: &[u8], started: Instant) -> Result<Json, Ht
     drop(_wait_span);
     let output = result.output.map_err(|msg| HttpError::new(500, msg))?;
 
-    Ok(Json::obj([
+    // serialize_us and total_us are filled by the caller once the response
+    // body is rendered.
+    let trace = RequestTrace {
+        trace_id,
+        total_us: 0,
+        queue_wait_us: result.queue_wait_us,
+        batch_assembly_us: result.batch_assembly_us,
+        compute_us: result.compute_us,
+        serialize_us: 0,
+        batch_size: result.batch_size,
+    };
+    let doc = Json::obj([
         ("model", Json::Str(entry.name().to_string())),
         ("shape", Json::from_usizes(output.shape())),
         ("data", Json::from_f32s(output.as_slice())),
         ("batch_size", Json::Num(result.batch_size as f64)),
+        ("trace_id", Json::Num(trace_id as f64)),
         (
             "latency_us",
             Json::Num(started.elapsed().as_micros() as f64),
         ),
-    ]))
+    ]);
+    Ok((doc, trace))
 }
 
 /// Validates the `input` payload against the model's architecture and builds
@@ -748,6 +810,69 @@ mod tests {
         assert!(doc.get("batch_size").and_then(Json::as_usize).unwrap() >= 1);
         let metrics = server.metrics();
         assert_eq!(metrics.responses_ok.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_requests_and_exemplars_agree() {
+        let server = start_tiny();
+        let mut response_ids = Vec::new();
+        for _ in 0..5 {
+            let (status, body) = post(&server, "/predict", &predict_body());
+            assert_eq!(status, 200, "{body}");
+            let doc = Json::parse(&body).unwrap();
+            let id = doc.get("trace_id").and_then(Json::as_usize).unwrap();
+            assert!(id >= 1, "trace ids are 1-based");
+            response_ids.push(id as u64);
+        }
+
+        let (status, body) = get(&server, "/debug/requests");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_usize), Some(5));
+        let requests = doc.get("requests").and_then(Json::as_arr).unwrap();
+        assert_eq!(requests.len(), 5);
+        let mut dumped_ids = Vec::new();
+        let mut last_total = u64::MAX;
+        for req in requests {
+            let total = req.get("total_us").and_then(Json::as_usize).unwrap() as u64;
+            assert!(total <= last_total, "dump must be sorted slowest-first");
+            last_total = total;
+            dumped_ids.push(req.get("trace_id").and_then(Json::as_usize).unwrap() as u64);
+            let stages = req.get("stages").unwrap();
+            // Every stage is reported. Stages can overlap (queue_wait spans
+            // the assembly window, batch compute is charged to every member
+            // of the batch), so they need not sum to the total — but each
+            // one is contained in the request's wall-clock span.
+            for stage in ["queue_wait_us", "batch_assembly_us", "compute_us", "serialize_us"] {
+                let us = stages.get(stage).and_then(Json::as_usize).unwrap() as u64;
+                assert!(us <= total, "{stage} {us} exceeds total {total}");
+            }
+        }
+        dumped_ids.sort_unstable();
+        let mut expected = response_ids.clone();
+        expected.sort_unstable();
+        assert_eq!(dumped_ids, expected, "dump covers exactly the served requests");
+
+        // Every exemplar on /metrics names a trace id visible in the dump.
+        let (status, text) = get(&server, "/metrics");
+        assert_eq!(status, 200);
+        let mut exemplar_ids = Vec::new();
+        for line in text.lines().filter(|l| l.contains("# {trace_id=\"")) {
+            assert!(line.contains("bikecap_request_latency_us_bucket"), "{line}");
+            let id = line
+                .split("trace_id=\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .and_then(|id| id.parse::<u64>().ok())
+                .unwrap();
+            exemplar_ids.push(id);
+        }
+        assert!(!exemplar_ids.is_empty(), "5 requests must leave an exemplar");
+        assert!(
+            exemplar_ids.iter().all(|id| dumped_ids.contains(id)),
+            "exemplar ids {exemplar_ids:?} must appear in /debug/requests {dumped_ids:?}"
+        );
         server.shutdown();
     }
 

@@ -68,6 +68,7 @@ fn make_job(
     let (tx, rx) = mpsc::channel();
     (
         PredictJob {
+            trace_id: fill.to_bits() as u64,
             entry: Arc::clone(entry),
             input: Tensor::full(&[4, 4, 4, 4], fill),
             enqueued: Instant::now(),

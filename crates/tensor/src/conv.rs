@@ -147,7 +147,19 @@ pub fn im2col3d_into(
     assert_eq!(x.len(), n * c * d * h * w, "im2col3d_into: input length mismatch");
     assert_eq!(col.len(), rows * k, "im2col3d_into: col length mismatch");
     let positions = od * oh * ow;
-    let min_rows = (crate::tensor::PAR_MIN_WORK / k.max(1)).max(1);
+    // Same total-work serial floor as col2im3d_into: the unroll is a
+    // gather with poor read locality, so below this floor the thread
+    // handoff costs more than the copy saves (BENCH_parallel.json showed
+    // conv3d at 0.675x on 4 threads before the cutover). One chunk runs
+    // inline; the fill is row-disjoint either way, so the cutover is pure
+    // performance, never numerics.
+    const SERIAL_MAX_WORK: usize = 1 << 20;
+    let total_work = rows * k;
+    let min_rows = if total_work <= SERIAL_MAX_WORK {
+        rows.max(1)
+    } else {
+        (crate::tensor::PAR_MIN_WORK / k.max(1)).max(1)
+    };
     bikecap_rt::parallel_items_mut(col, k, min_rows, |row0, block| {
         for (dr, dst) in block.chunks_mut(k).enumerate() {
             let row = row0 + dr;

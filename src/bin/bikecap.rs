@@ -267,6 +267,9 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     let events = finish_trace(TraceMode::Chrome(sink, trace_path))?;
     let rows = bikecap::obs::cost_table(&events);
     print!("{}", bikecap::obs::render_cost_table(&rows));
+    let roofline = bikecap::obs::Roofline::from_env();
+    let perf = bikecap::obs::roofline_table(&events, &roofline);
+    print!("{}", bikecap::obs::render_roofline_table(&perf, &roofline));
     println!(
         "profiled {} step(s) in {:.2}s, final loss {:.4}",
         args.steps,

@@ -7,12 +7,13 @@
 //! allocations. A counting global allocator (this test binary only) turns
 //! that from a design note into a regression gate.
 //!
-//! The runtime backend is pinned to `Serial` for the measured window:
-//! fanning work out to the pool allocates one `Arc` job per parallel
-//! region by design (see `bikecap-rt`), and the allocation contract is
-//! about the *executor*, not the pool. The serial path runs the exact same
-//! kernel bodies (that is the rt determinism contract, pinned by
-//! tests/ir_equivalence.rs at thread counts 1/2/4/7).
+//! The gate runs on the serial backend **and** on the pool at 2 and 4
+//! threads: bikecap-rt recycles job shells through a per-pool freelist, so
+//! steady-state parallel dispatch is allocation-free too (this caught the
+//! 4 → 14 allocs/iter regression BENCH_parallel.json recorded before the
+//! freelist landed). The serial path runs the exact same kernel bodies
+//! (that is the rt determinism contract, pinned by tests/ir_equivalence.rs
+//! at thread counts 1/2/4/7).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,32 +49,46 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_compiled_predict_does_not_allocate() {
-    rt::set_backend(Backend::Serial);
-    let config = BikeCapConfig::new(8, 8).history(8).horizon(4);
-    let mut model = BikeCap::seeded(config, 42);
-    model.set_exec_mode(ExecMode::Compiled);
-    let mut rng = StdRng::seed_from_u64(7);
-    let window = Tensor::rand_uniform(&[4, 8, 8, 8], 0.0, 1.0, &mut rng);
+    let configs: [(Backend, usize); 3] = [
+        (Backend::Serial, 1),
+        (Backend::Parallel, 2),
+        (Backend::Parallel, 4),
+    ];
+    for (backend, threads) in configs {
+        rt::set_backend(backend);
+        rt::set_threads(threads);
+        let config = BikeCapConfig::new(8, 8).history(8).horizon(4);
+        let mut model = BikeCap::seeded(config, 42);
+        model.set_exec_mode(ExecMode::Compiled);
+        let mut rng = StdRng::seed_from_u64(7);
+        let window = Tensor::rand_uniform(&[4, 8, 8, 8], 0.0, 1.0, &mut rng);
 
-    // Warm-up: compiles the plan, builds the arena, fills every pool.
-    let expected = model.predict(&window);
-    let mut out = vec![0.0f32; expected.as_slice().len()];
-    model.predict_into(&window, &mut out).expect("warm-up");
+        // Warm-up: compiles the plan, builds the arena, fills every pool —
+        // including the rt job-shell freelist on the parallel backend.
+        let expected = model.predict(&window);
+        let mut out = vec![0.0f32; expected.as_slice().len()];
+        model.predict_into(&window, &mut out).expect("warm-up");
 
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    for _ in 0..50 {
-        model.predict_into(&window, &mut out).expect("steady state");
-    }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
-    assert_eq!(
-        after - before,
-        0,
-        "steady-state compiled predict_into must be allocation-free"
-    );
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..50 {
+            model.predict_into(&window, &mut out).expect("steady state");
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state compiled predict_into must be allocation-free \
+             (backend {backend:?}, threads {threads})"
+        );
 
-    // And it still computed the right thing.
-    for (i, (a, b)) in expected.as_slice().iter().zip(&out).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "element {i} diverges");
+        // And it still computed the right thing.
+        for (i, (a, b)) in expected.as_slice().iter().zip(&out).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "element {i} diverges (backend {backend:?}, threads {threads})"
+            );
+        }
     }
     rt::set_backend(Backend::Parallel);
     rt::set_threads(0);
