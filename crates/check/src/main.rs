@@ -24,6 +24,12 @@ USAGE:
                                         --mutate also runs the corruption
                                         harness (every seeded mutation must
                                         be rejected)
+    bikecap-check quant-eval [--threshold F] [--format q8_0|f16]
+                                        post-training quantization accuracy
+                                        gate: quantize every EXPERIMENTS.md
+                                        config and fail if any quantized
+                                        prediction drifts from f32 by more
+                                        than the relative-RMSE threshold
     bikecap-check bench-compare <baseline.json> <current.json>
                                         bench-history regression gate: fail
                                         on allocs_per_iter increases, and on
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         "lint" => run_lint(rest),
         "sweep" => run_sweep_pass(),
         "verify-plans" => run_verify_plans(rest),
+        "quant-eval" => run_quant_eval(rest),
         "bench-compare" => run_bench_compare(rest),
         "check-config" => run_check_config(rest),
         "help" | "--help" | "-h" => {
@@ -363,6 +370,123 @@ fn run_verify_plans(args: &[String]) -> u8 {
         );
         1
     } else {
+        0
+    }
+}
+
+/// The accuracy gate for post-training quantization. For every
+/// EXPERIMENTS.md configuration: build a seeded model, quantize its
+/// checkpoint through the real container round trip (`bikecap quantize`
+/// uses the same path), reload it into a fresh model, and compare the
+/// quantized prediction against the f32 prediction on a deterministic
+/// city-style window. The gate is relative RMSE — prediction drift divided
+/// by the RMS magnitude of the f32 prediction — so it is scale-free across
+/// configs whose outputs live on different ranges.
+fn run_quant_eval(args: &[String]) -> u8 {
+    use bikecap_eval::Metrics;
+    use bikecap_quant::QuantFormat;
+    use bikecap_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut threshold = 0.02f32;
+    let mut format = QuantFormat::Q8_0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threshold" => match it.next().and_then(|v| v.parse::<f32>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("quant-eval: --threshold needs a positive number");
+                    return 2;
+                }
+            },
+            "--format" => match it.next().and_then(|v| QuantFormat::parse(v)) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("quant-eval: --format must be q8_0 or f16");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("quant-eval: unknown flag `{other}`");
+                return 2;
+            }
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("bikecap-quant-eval-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("quant-eval: cannot create {}: {e}", dir.display());
+        return 2;
+    }
+
+    let mut failures = 0usize;
+    let mut worst = 0.0f32;
+    let configs = bikecap_check::sweep_configs();
+    let total = configs.len();
+    for (name, config) in configs {
+        let model = match bikecap_core::BikeCap::build_seeded(config.clone(), 11) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("quant-eval: {name}: model build failed: {e}");
+                return 2;
+            }
+        };
+        // One deterministic pseudo-city window per config: every sweep entry
+        // shares the quick-mode 8x8 grid and 8-step history, in [0, 1) like
+        // the simulator's normalized demand.
+        let mut rng = StdRng::seed_from_u64(7);
+        let window = Tensor::rand_uniform(&[2, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+        let reference = model.predict(&window);
+
+        let path = dir.join(format!("{}.ckpt", name.replace('/', "_")));
+        if let Err(e) = model.save_quantized_checkpoint(&path, format) {
+            eprintln!("quant-eval: {name}: cannot write {}: {e}", path.display());
+            return 2;
+        }
+        let mut quantized = match bikecap_core::BikeCap::build_seeded(config, 12) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("quant-eval: {name}: model build failed: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = quantized.load_checkpoint(&path) {
+            eprintln!("quant-eval: {name}: reload failed: {e}");
+            failures += 1;
+            continue;
+        }
+        let got = quantized.predict(&window);
+
+        let metrics = Metrics::between(&got, &reference);
+        let scale = reference.square().mean().sqrt().max(f32::EPSILON);
+        let relative = metrics.rmse / scale;
+        worst = worst.max(relative);
+        if relative > threshold {
+            eprintln!(
+                "quant-eval: {name}: FAIL rel-rmse {relative:.5} > {threshold} \
+                 (rmse {:.6}, mae {:.6}, precision {})",
+                metrics.rmse,
+                metrics.mae,
+                quantized.precision()
+            );
+            failures += 1;
+        } else {
+            println!(
+                "quant-eval: {name}: ok rel-rmse {relative:.5} (rmse {:.6}, precision {})",
+                metrics.rmse,
+                quantized.precision()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if failures > 0 {
+        eprintln!("quant-eval: FAIL ({failures}/{total} config(s) over the {threshold} gate)");
+        1
+    } else {
+        println!("quant-eval: {total} config(s) within the {threshold} gate (worst {worst:.5})");
         0
     }
 }

@@ -9,11 +9,14 @@ use std::time::Instant;
 
 use bikecap_autograd::{ParamStore, Tape, Var};
 use bikecap_city_sim::{ForecastDataset, Split};
-use bikecap_ir::{Arena, CompileOptions, CpuExecutor, Executor, Graph, IrError, ModelPlan};
+use bikecap_ir::{
+    Arena, CompileOptions, CpuExecutor, Executor, Graph, IrError, ModelPlan, QuantExecutor,
+};
 use bikecap_nn::serialize::{
-    load_params_checked, save_params_with_meta, CheckpointMeta, LoadParamsError,
+    read_quant_params, save_params_with_meta, save_quant_params, CheckpointMeta, LoadParamsError,
 };
 use bikecap_nn::{clip_grad_norm, Adam};
+use bikecap_quant::{quantize_pairs, QuantEntry, QuantFormat, QuantSet};
 use bikecap_tensor::Tensor;
 use bikecap_verify::VerifyMode;
 use rand::rngs::StdRng;
@@ -180,6 +183,13 @@ pub struct BikeCap {
     routing: SpatialTemporalRouting,
     decoder: Decoder,
     exec: ExecState,
+    /// Quantized-kernel dispatch table, present after loading a v4
+    /// checkpoint. The store always keeps dequantized f32 shadows (plan
+    /// compilation, re-saving and ineligible steps read those); this table
+    /// only reroutes matmul/conv forward kernels — identically on the eager
+    /// and compiled paths, so the bitwise eager ≡ compiled contract holds
+    /// on quantized models too.
+    quant: Option<Arc<QuantSet>>,
 }
 
 impl BikeCap {
@@ -220,6 +230,7 @@ impl BikeCap {
             routing,
             decoder,
             exec: ExecState::new(),
+            quant: None,
         })
     }
 
@@ -271,18 +282,99 @@ impl BikeCap {
         save_params_with_meta(&self.store, &self.checkpoint_meta(), path)
     }
 
-    /// Loads a checkpoint saved by [`BikeCap::save_checkpoint`] into this
-    /// model, first verifying its metadata against this model's
-    /// configuration.
+    /// Loads a checkpoint saved by [`BikeCap::save_checkpoint`] or
+    /// [`BikeCap::save_quantized_checkpoint`] into this model, first
+    /// verifying its metadata against this model's configuration.
+    ///
+    /// Quantized (v4) checkpoints populate the store with dequantized f32
+    /// shadows *and* register every Q8_0 entry for quantized kernel
+    /// dispatch; loading a plain f32 checkpoint clears any previous
+    /// quantization, so a model always reflects the last checkpoint loaded.
     ///
     /// # Errors
     ///
     /// Returns [`LoadParamsError::ConfigMismatch`] when the checkpoint was
     /// saved from a differently-configured model (detected before any weight
-    /// is modified), or the usual parse/shape errors.
+    /// is modified), or the usual parse/shape/dequantization errors.
     pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), LoadParamsError> {
         let meta = self.checkpoint_meta();
-        load_params_checked(&mut self.store, path, &meta)
+        let (found, entries) = read_quant_params(path)?;
+        if let Some(found) = found {
+            if found != meta {
+                return Err(LoadParamsError::ConfigMismatch {
+                    expected: meta,
+                    found,
+                });
+            }
+        }
+        // Resolve every entry to its parameter and dequantize it before any
+        // store write, so a bad checkpoint leaves the model untouched.
+        let mut staged = Vec::with_capacity(entries.len());
+        let mut set = QuantSet::new();
+        for (name, entry) in &entries {
+            let id = self
+                .store
+                .iter()
+                .find(|(_, n, _)| n == name)
+                .map(|(id, _, _)| id)
+                .ok_or_else(|| {
+                    LoadParamsError::Mismatch(format!("store has no parameter named '{name}'"))
+                })?;
+            if self.store.value(id).shape() != entry.shape() {
+                return Err(LoadParamsError::Mismatch(format!(
+                    "parameter '{name}': file shape {:?} vs store shape {:?}",
+                    entry.shape(),
+                    self.store.value(id).shape()
+                )));
+            }
+            let shadow = entry.dequantize().map_err(|e| LoadParamsError::Dequant {
+                name: name.clone(),
+                message: e.to_string(),
+            })?;
+            match entry {
+                QuantEntry::Q8(q) => set.insert_q8(id, q.clone()),
+                QuantEntry::F16(_) => set.note_f16(),
+                QuantEntry::F32(_) => {}
+            }
+            staged.push((id, shadow));
+        }
+        for (id, shadow) in staged {
+            self.store.set_value(id, shadow);
+        }
+        self.quant = (set.q8_params() > 0 || set.f16_params() > 0).then(|| Arc::new(set));
+        Ok(())
+    }
+
+    /// Quantizes the current weights under `format` and writes them as a v4
+    /// checkpoint carrying this model's [`CheckpointMeta`]. The in-memory
+    /// model is left untouched — load the written file to serve quantized.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save_quantized_checkpoint(
+        &self,
+        path: impl AsRef<Path>,
+        format: QuantFormat,
+    ) -> io::Result<()> {
+        let pairs: Vec<(String, Tensor)> = self
+            .store
+            .iter()
+            .map(|(_, name, value)| (name.to_string(), value.clone()))
+            .collect();
+        let entries = quantize_pairs(&pairs, format);
+        save_quant_params(&entries, Some(&self.checkpoint_meta()), path)
+    }
+
+    /// The numeric precision this model serves at: `"f32"` until a
+    /// quantized checkpoint is loaded, then the loaded set's label
+    /// (`"q8_0"`, `"f16"`, or `"q8_0+f16"`). Reported per model by
+    /// `/healthz`.
+    pub fn precision(&self) -> &'static str {
+        match &self.quant {
+            Some(set) => set.precision(),
+            None => "f32",
+        }
     }
 
     /// Total learnable scalars (the paper reports 646,395 at its city scale).
@@ -373,6 +465,9 @@ impl BikeCap {
     /// bitwise, and the fallback when compilation or execution errors.
     fn infer_eager(&self, stacked: Tensor) -> Tensor {
         let mut tape = Tape::new();
+        if let Some(set) = &self.quant {
+            tape.set_overlay(set.clone());
+        }
         let x = tape.constant(stacked);
         let y = self.forward(&mut tape, x);
         tape.value(y).clone()
@@ -413,7 +508,12 @@ impl BikeCap {
                 _ => Arena::for_plan(plan),
             }
         };
-        let result = CpuExecutor.execute(plan, &self.store, input, &mut arena, out);
+        let result = match &self.quant {
+            Some(set) => {
+                QuantExecutor::new(set.clone()).execute(plan, &self.store, input, &mut arena, out)
+            }
+            None => CpuExecutor.execute(plan, &self.store, input, &mut arena, out),
+        };
         let mut pool = lock_clean(&self.exec.arenas);
         match pool.get_mut(shape) {
             Some(slot) => slot.push(arena),

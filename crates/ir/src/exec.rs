@@ -14,8 +14,10 @@
 //! the borrow checker, and every dispatch plan was baked at compile time.
 
 use std::mem;
+use std::sync::Arc;
 
 use bikecap_autograd::ParamStore;
+use bikecap_quant::QuantSet;
 use bikecap_tensor::conv::{
     col2im3d_into, conv3d_out_dims, from_position_matrix_into, im2col3d_into,
     to_position_matrix_into,
@@ -98,23 +100,70 @@ impl Executor for CpuExecutor {
         arena: &mut Arena,
         out: &mut [f32],
     ) -> Result<(), IrError> {
-        let _span = bikecap_obs::span("ir.exec");
-        if input.len() != plan.input_len {
-            return Err(length_mismatch("input", input.len(), plan.input_len));
-        }
-        if out.len() != plan.output_len {
-            return Err(length_mismatch("output buffer", out.len(), plan.output_len));
-        }
-        if !arena.fits(plan) {
-            return Err(IrError::Exec("arena does not match plan".into()));
-        }
-        arena.slabs[plan.input_slot].copy_from_slice(input);
-        for step in &plan.steps {
-            run_step(step, store, arena)?;
-        }
-        out.copy_from_slice(&arena.slabs[plan.output_slot]);
-        Ok(())
+        execute_with(plan, store, input, arena, out, None)
     }
+}
+
+/// The quantized CPU backend: identical schedule and kernels to
+/// [`CpuExecutor`] except that matmul/conv steps whose weight operand is a
+/// parameter registered in the [`QuantSet`] dispatch through the
+/// `bikecap-quant` kernel bodies. The eager tape consults the same set by
+/// the same parameter ids (see `bikecap_autograd::ForwardOverride`), which
+/// preserves the eager ≡ compiled bitwise contract on the quantized path.
+#[derive(Debug, Clone)]
+pub struct QuantExecutor {
+    set: Arc<QuantSet>,
+}
+
+impl QuantExecutor {
+    /// A backend dispatching the given quantization table.
+    pub fn new(set: Arc<QuantSet>) -> QuantExecutor {
+        QuantExecutor { set }
+    }
+}
+
+impl Executor for QuantExecutor {
+    fn name(&self) -> &'static str {
+        "cpu-q8"
+    }
+
+    fn execute(
+        &self,
+        plan: &ModelPlan,
+        store: &ParamStore,
+        input: &[f32],
+        arena: &mut Arena,
+        out: &mut [f32],
+    ) -> Result<(), IrError> {
+        execute_with(plan, store, input, arena, out, Some(&self.set))
+    }
+}
+
+/// The shared schedule walk behind both backends.
+fn execute_with(
+    plan: &ModelPlan,
+    store: &ParamStore,
+    input: &[f32],
+    arena: &mut Arena,
+    out: &mut [f32],
+    quant: Option<&QuantSet>,
+) -> Result<(), IrError> {
+    let _span = bikecap_obs::span("ir.exec");
+    if input.len() != plan.input_len {
+        return Err(length_mismatch("input", input.len(), plan.input_len));
+    }
+    if out.len() != plan.output_len {
+        return Err(length_mismatch("output buffer", out.len(), plan.output_len));
+    }
+    if !arena.fits(plan) {
+        return Err(IrError::Exec("arena does not match plan".into()));
+    }
+    arena.slabs[plan.input_slot].copy_from_slice(input);
+    for step in &plan.steps {
+        run_step(step, store, arena, quant)?;
+    }
+    out.copy_from_slice(&arena.slabs[plan.output_slot]);
+    Ok(())
 }
 
 /// Builds a length-mismatch error off the execution path: the `format!`
@@ -131,6 +180,35 @@ fn fetch<'a>(arena: &'a Arena, store: &'a ParamStore, src: &Src) -> &'a [f32] {
         Src::Slot(slot) => &arena.slabs[*slot],
         Src::Param(id) => store.value(*id).as_slice(),
     }
+}
+
+/// The quantized weight a matmul step dispatches, when quantized execution
+/// is active, the `b` operand is a parameter in the table, and its
+/// transposed geometry matches the step's baked extents (a mismatch falls
+/// back to the f32 shadow rather than erroring — the shadow is always
+/// present and correct).
+fn quant_matmul_weight<'a>(
+    quant: Option<&'a QuantSet>,
+    b: &Src,
+    k: usize,
+    n: usize,
+) -> Option<&'a bikecap_quant::Q8Tensor> {
+    let Src::Param(id) = b else { return None };
+    let q = quant?.q8(*id)?;
+    (q.transposed() && q.k() == k && q.rows() == n).then_some(q)
+}
+
+/// The quantized weight a conv step dispatches, mirroring
+/// [`quant_matmul_weight`] for natural-layout (per-output-channel) rows.
+fn quant_conv_weight<'a>(
+    quant: Option<&'a QuantSet>,
+    w: &Src,
+    k: usize,
+    c_out: usize,
+) -> Option<&'a bikecap_quant::Q8Tensor> {
+    let Src::Param(id) = w else { return None };
+    let q = quant?.q8(*id)?;
+    (!q.transposed() && q.k() == k && q.rows() == c_out).then_some(q)
 }
 
 /// Static span name for a step — one per kind, so the tracing hot path never
@@ -159,15 +237,22 @@ fn step_name(step: &Step) -> &'static str {
 /// enabled, and only the compute-heavy kinds carry a model — data-movement
 /// steps are left to the span timings alone.
 #[cold]
-fn record_step_work(step: &Step, store: &ParamStore, arena: &Arena) {
+fn record_step_work(step: &Step, store: &ParamStore, arena: &Arena, quant: Option<&QuantSet>) {
     use bikecap_obs::Work;
     match step {
-        Step::Matmul { m, k, n, .. } => Work::matmul(*m, *k, *n).record(),
+        Step::Matmul { b, m, k, n, .. } => {
+            if quant_matmul_weight(quant, b, *k, *n).is_some() {
+                Work::matmul_q8(*m, *k, *n).record();
+            } else {
+                Work::matmul(*m, *k, *n).record();
+            }
+        }
         Step::Softmax { inner, src, .. } => {
             let len = fetch(arena, store, src).len();
             Work::softmax(len / inner.max(&1), *inner).record();
         }
         Step::Conv {
+            w,
             dims,
             kernel,
             spec,
@@ -175,7 +260,12 @@ fn record_step_work(step: &Step, store: &ParamStore, arena: &Arena) {
             ..
         } => {
             let out = conv3d_out_dims((dims.2, dims.3, dims.4), *kernel, *spec);
-            Work::conv3d(dims.0, dims.1, *c_out, out, *kernel).record();
+            let k = dims.1 * kernel.0 * kernel.1 * kernel.2;
+            if quant_conv_weight(quant, w, k, *c_out).is_some() {
+                Work::conv3d_q8(dims.0, dims.1, *c_out, out, *kernel).record();
+            } else {
+                Work::conv3d(dims.0, dims.1, *c_out, out, *kernel).record();
+            }
         }
         Step::ConvT {
             n,
@@ -201,7 +291,12 @@ fn record_step_work(step: &Step, store: &ParamStore, arena: &Arena) {
 /// with `mem::take` so operand slabs can be borrowed immutably alongside it;
 /// the failpoint is checked *before* any take so error paths leave the arena
 /// whole.
-fn run_step(step: &Step, store: &ParamStore, arena: &mut Arena) -> Result<(), IrError> {
+fn run_step(
+    step: &Step,
+    store: &ParamStore,
+    arena: &mut Arena,
+    quant: Option<&QuantSet>,
+) -> Result<(), IrError> {
     if let Some(fault) = bikecap_faults::hit("ir.exec.step") {
         return Err(IrError::Injected(fault));
     }
@@ -211,7 +306,7 @@ fn run_step(step: &Step, store: &ParamStore, arena: &mut Arena) -> Result<(), Ir
     // relaxed atomic load each while observability is off.
     let _step_span = bikecap_obs::span(step_name(step));
     if bikecap_obs::enabled() {
-        record_step_work(step, store, arena);
+        record_step_work(step, store, arena, quant);
     }
     match step {
         Step::Zip { op, plan, a, b, out } => {
@@ -254,14 +349,18 @@ fn run_step(step: &Step, store: &ParamStore, arena: &mut Arena) -> Result<(), Ir
         }
         Step::Matmul { a, b, m, k, n, out } => {
             let mut o = mem::take(&mut arena.slabs[*out]);
-            matmul_into(
-                fetch(arena, store, a),
-                fetch(arena, store, b),
-                *m,
-                *k,
-                *n,
-                &mut o,
-            );
+            if let Some(q) = quant_matmul_weight(quant, b, *k, *n) {
+                bikecap_quant::matmul_q8_into(fetch(arena, store, a), q, *m, *k, *n, &mut o);
+            } else {
+                matmul_into(
+                    fetch(arena, store, a),
+                    fetch(arena, store, b),
+                    *m,
+                    *k,
+                    *n,
+                    &mut o,
+                );
+            }
             arena.slabs[*out] = o;
         }
         Step::Reduce { plan, src, out } => {
@@ -332,15 +431,25 @@ fn run_step(step: &Step, store: &ParamStore, arena: &mut Arena) -> Result<(), Ir
             let mut o = mem::take(&mut arena.slabs[*out]);
             {
                 let xs = fetch(arena, store, x);
-                let ws = fetch(arena, store, w);
                 let k = dims.1 * kernel.0 * kernel.1 * kernel.2;
                 let rows = colb.len() / k;
-                // The exact eager composition: im2col, weight transpose,
-                // row-position matmul, channel re-interleave.
-                im2col3d_into(xs, *dims, *kernel, *spec, &mut colb);
-                transpose2d_into(ws, *c_out, k, &mut wtb);
-                matmul_into(&colb, &wtb, rows, k, *c_out, &mut matb);
-                from_position_matrix_into(&matb, dims.0, *c_out, rows / dims.0, &mut o);
+                if let Some(q) = quant_conv_weight(quant, w, k, *c_out) {
+                    // Quantized path: the same im2col + position-matmul
+                    // composition with the weight-transpose GEMM swapped for
+                    // the block-quantized body (the wt scratch slab stays
+                    // untouched).
+                    bikecap_quant::conv3d_q8_into(
+                        xs, q, *dims, *kernel, *spec, &mut colb, &mut matb, &mut o,
+                    );
+                } else {
+                    let ws = fetch(arena, store, w);
+                    // The exact eager composition: im2col, weight transpose,
+                    // row-position matmul, channel re-interleave.
+                    im2col3d_into(xs, *dims, *kernel, *spec, &mut colb);
+                    transpose2d_into(ws, *c_out, k, &mut wtb);
+                    matmul_into(&colb, &wtb, rows, k, *c_out, &mut matb);
+                    from_position_matrix_into(&matb, dims.0, *c_out, rows / dims.0, &mut o);
+                }
             }
             arena.slabs[*col] = colb;
             arena.slabs[*wt] = wtb;

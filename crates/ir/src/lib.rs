@@ -56,7 +56,7 @@ pub mod plan;
 pub mod view;
 
 pub use error::IrError;
-pub use exec::{Arena, CpuExecutor, Executor};
+pub use exec::{Arena, CpuExecutor, Executor, QuantExecutor};
 pub use fuse::fuse;
 pub use graph::Graph;
 pub use plan::{CompileOptions, ModelPlan};

@@ -22,6 +22,18 @@
 //! invalidates the declared length/CRC). Versions 1 and 2 still load,
 //! without integrity checking.
 //!
+//! Version 4 adds per-tensor dtypes for quantized checkpoints (see
+//! `bikecap-quant` and DESIGN.md Appendix J). Each parameter line becomes
+//! `<name> <dtype> <shape> <payload>` where `dtype` is `f32` (payload:
+//! decimal values as in v3), `f16` (payload: one hex token of
+//! little-endian half bits), `q8_0` (natural-layout Q8_0 blocks) or
+//! `q8_0t` (transposed-layout Q8_0 blocks, used for matmul weights). The
+//! v3 `body` integrity line is retained unchanged, so truncation and bit
+//! flips in quantized checkpoints surface the same typed errors. An
+//! unknown dtype tag yields [`LoadParamsError::UnknownDtype`]; a binary
+//! predating v4 rejects the unrecognised header with a typed
+//! [`LoadParamsError::Parse`], never a garbled load.
+//!
 //! All writers are crash-atomic: content is rendered in memory, written to a
 //! `<name>.<pid>.tmp` sibling, fsynced, and renamed over the destination, so
 //! a kill at any instant leaves either the old file or the new file — never
@@ -44,6 +56,7 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 use bikecap_autograd::ParamStore;
+use bikecap_quant::{F16Tensor, Q8Tensor, QuantEntry};
 use bikecap_tensor::Tensor;
 
 /// Magic header of the legacy (un-annotated) weight format.
@@ -52,9 +65,13 @@ const HEADER_V1: &str = "bikecap-params v1";
 /// Magic header of the v2 weight format (adds the `meta` line).
 const HEADER_V2: &str = "bikecap-params v2";
 
-/// Magic header of the current weight format (adds the `body` integrity
+/// Magic header of the v3 weight format (adds the `body` integrity
 /// line carrying the parameter-block byte length and content CRC32).
 const HEADER_V3: &str = "bikecap-params v3";
+
+/// Magic header of the quantized weight format (adds a per-tensor dtype
+/// tag so f16/Q8_0 payloads can live beside f32 parameters).
+const HEADER_V4: &str = "bikecap-params v4";
 
 /// Lookup table for the IEEE 802.3 CRC32 polynomial (reflected 0xedb88320).
 static CRC32_TABLE: [u32; 256] = crc32_table();
@@ -225,6 +242,22 @@ pub enum LoadParamsError {
         /// CRC32 computed over the file content.
         computed: u32,
     },
+    /// A v4 parameter line carries a dtype tag this binary does not
+    /// implement — the checkpoint was written by a newer producer.
+    UnknownDtype {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognised dtype tag.
+        dtype: String,
+    },
+    /// A quantized parameter block failed to expand back to f32 — a corrupt
+    /// payload, or the `quant.dequant.block` failpoint in chaos suites.
+    Dequant {
+        /// Name of the parameter that failed to expand.
+        name: String,
+        /// The underlying expansion error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for LoadParamsError {
@@ -247,6 +280,13 @@ impl fmt::Display for LoadParamsError {
                 f,
                 "checkpoint checksum mismatch: header declares crc32={stored:08x}, content hashes to {computed:08x}"
             ),
+            LoadParamsError::UnknownDtype { line, dtype } => write!(
+                f,
+                "unknown dtype '{dtype}' on line {line}: this binary understands f32, f16, q8_0 and q8_0t"
+            ),
+            LoadParamsError::Dequant { name, message } => {
+                write!(f, "parameter '{name}' failed to dequantize: {message}")
+            }
         }
     }
 }
@@ -311,6 +351,96 @@ fn write_params(
 pub fn save_raw_params(pairs: &[(String, Tensor)], path: impl AsRef<Path>) -> io::Result<()> {
     let view: Vec<(&str, &Tensor)> = pairs.iter().map(|(n, t)| (n.as_str(), t)).collect();
     atomic_write(path.as_ref(), &render_checkpoint(&view, None))
+}
+
+/// Writes mixed-precision entries (see [`bikecap_quant::QuantEntry`]) as a
+/// v4 checkpoint, atomically, carrying the same optional metadata and
+/// `body` integrity line as v3. Loaded back with [`read_quant_params`]
+/// (entries as stored) or any of the f32 loaders (entries dequantized).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_quant_params(
+    pairs: &[(String, QuantEntry)],
+    meta: Option<&CheckpointMeta>,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    atomic_write(path.as_ref(), &render_quant_checkpoint(pairs, meta))
+}
+
+/// Renders the v4 byte image: identical preamble machinery to
+/// [`render_checkpoint`], parameter lines gaining a dtype tag and — for the
+/// quantized dtypes — a single lowercase-hex payload token.
+fn render_quant_checkpoint(
+    pairs: &[(String, QuantEntry)],
+    meta: Option<&CheckpointMeta>,
+) -> Vec<u8> {
+    use fmt::Write as _;
+    let mut preamble = format!("{HEADER_V4}\n");
+    if let Some(meta) = meta {
+        let _ = writeln!(preamble, "meta {meta}");
+    }
+    let mut body = String::new();
+    for (name, entry) in pairs {
+        let dims: Vec<String> = entry.shape().iter().map(|d| d.to_string()).collect();
+        let shape_txt =
+            if dims.is_empty() { "scalar".to_string() } else { dims.join("x") };
+        match entry {
+            QuantEntry::F32(t) => {
+                let _ = write!(body, "{name} f32 {shape_txt}");
+                for v in t.as_slice() {
+                    let _ = write!(body, " {v:?}");
+                }
+            }
+            QuantEntry::F16(t) => {
+                let _ = write!(body, "{name} f16 {shape_txt} ");
+                hex_encode(&t.to_bytes(), &mut body);
+            }
+            QuantEntry::Q8(t) => {
+                let tag = if t.transposed() { "q8_0t" } else { "q8_0" };
+                let _ = write!(body, "{name} {tag} {shape_txt} ");
+                hex_encode(&t.to_bytes(), &mut body);
+            }
+        }
+        let _ = writeln!(body);
+    }
+    let crc = crc32(&[preamble.as_bytes(), body.as_bytes()]);
+    let mut out = preamble.into_bytes();
+    out.extend_from_slice(format!("body bytes={} crc32={crc:08x}\n", body.len()).as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Appends `bytes` as lowercase hex to `out`.
+fn hex_encode(bytes: &[u8], out: &mut String) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0x0f) as usize] as char);
+    }
+}
+
+/// Decodes a lowercase/uppercase hex token back to bytes.
+fn hex_decode(token: &str, line_no: usize) -> Result<Vec<u8>, LoadParamsError> {
+    let bad = |message: String| LoadParamsError::Parse { line: line_no, message };
+    if !token.len().is_multiple_of(2) {
+        return Err(bad(format!("hex payload has odd length {}", token.len())));
+    }
+    let digits = token.as_bytes();
+    let mut out = Vec::with_capacity(token.len() / 2);
+    let nib = |d: u8| -> Result<u8, LoadParamsError> {
+        match d {
+            b'0'..=b'9' => Ok(d - b'0'),
+            b'a'..=b'f' => Ok(d - b'a' + 10),
+            b'A'..=b'F' => Ok(d - b'A' + 10),
+            _ => Err(bad(format!("invalid hex digit '{}'", d as char))),
+        }
+    };
+    for pair in digits.chunks_exact(2) {
+        out.push((nib(pair[0])? << 4) | nib(pair[1])?);
+    }
+    Ok(out)
 }
 
 /// Renders the full v3 checkpoint byte image: header (+ optional meta),
@@ -442,6 +572,8 @@ struct OpenedCheckpoint<'a> {
     /// File lines preceding the parameter block (header, meta, body lines),
     /// so parse errors report absolute line numbers.
     preamble_lines: usize,
+    /// True for v4 files, whose parameter lines carry per-tensor dtype tags.
+    quantized: bool,
 }
 
 fn line_str(bytes: &[u8], line: usize) -> Result<&str, LoadParamsError> {
@@ -468,13 +600,14 @@ fn open_checkpoint(data: &[u8]) -> Result<OpenedCheckpoint<'_>, LoadParamsError>
             message: "empty file".to_string(),
         });
     }
-    let (header_end, mut pos) = line_end(data, 0);
+    let (header_end, pos) = line_end(data, 0);
     let header = line_str(&data[..header_end], 1)?;
     match header.trim() {
         h if h == HEADER_V1 => Ok(OpenedCheckpoint {
             meta: None,
             body: line_str(&data[pos..], 2)?,
             preamble_lines: 1,
+            quantized: false,
         }),
         h if h == HEADER_V2 => {
             let (meta_end, next) = line_end(data, pos);
@@ -489,61 +622,74 @@ fn open_checkpoint(data: &[u8]) -> Result<OpenedCheckpoint<'_>, LoadParamsError>
                 meta: Some(CheckpointMeta::parse(meta_line.trim(), 2)?),
                 body: line_str(&data[next..], 3)?,
                 preamble_lines: 2,
+                quantized: false,
             })
         }
-        h if h == HEADER_V3 => {
-            let mut line_no = 2;
-            let (mut eol, mut next) = line_end(data, pos);
-            let mut meta = None;
-            if line_str(&data[pos..eol], line_no)?.trim_start().starts_with("meta ") {
-                meta = Some(CheckpointMeta::parse(
-                    line_str(&data[pos..eol], line_no)?.trim(),
-                    line_no,
-                )?);
-                pos = next;
-                line_no += 1;
-                (eol, next) = line_end(data, pos);
-            }
-            // `pos` now marks the end of the CRC-covered preamble and the
-            // start of the body line.
-            let body_line = line_str(&data[pos..eol], line_no)?;
-            let (expected_bytes, stored_crc) = parse_body_line(body_line, line_no)?;
-            let payload = &data[next..];
-            if (payload.len() as u64) < expected_bytes {
-                return Err(LoadParamsError::Truncated {
-                    expected: expected_bytes,
-                    found: payload.len() as u64,
-                });
-            }
-            if (payload.len() as u64) > expected_bytes {
-                return Err(LoadParamsError::Parse {
-                    line: line_no,
-                    message: format!(
-                        "trailing data: body declares {expected_bytes} bytes, file has {}",
-                        payload.len()
-                    ),
-                });
-            }
-            let computed = crc32(&[&data[..pos], payload]);
-            if computed != stored_crc {
-                return Err(LoadParamsError::ChecksumMismatch {
-                    stored: stored_crc,
-                    computed,
-                });
-            }
-            Ok(OpenedCheckpoint {
-                meta,
-                body: line_str(payload, line_no + 1)?,
-                preamble_lines: line_no,
-            })
-        }
+        h if h == HEADER_V3 => open_integrity(data, pos, false),
+        h if h == HEADER_V4 => open_integrity(data, pos, true),
         other => Err(LoadParamsError::Parse {
             line: 1,
             message: format!(
-                "expected header '{HEADER_V1}', '{HEADER_V2}' or '{HEADER_V3}', found '{other}'"
+                "expected header '{HEADER_V1}', '{HEADER_V2}', '{HEADER_V3}' or '{HEADER_V4}', found '{other}'"
             ),
         }),
     }
+}
+
+/// Shared v3/v4 preamble handling: optional `meta` line, mandatory `body`
+/// integrity line, declared-length and CRC32 verification over everything
+/// except the body line itself. `pos` is the byte offset just past the
+/// header line.
+fn open_integrity(
+    data: &[u8],
+    mut pos: usize,
+    quantized: bool,
+) -> Result<OpenedCheckpoint<'_>, LoadParamsError> {
+    let mut line_no = 2;
+    let (mut eol, mut next) = line_end(data, pos);
+    let mut meta = None;
+    if line_str(&data[pos..eol], line_no)?.trim_start().starts_with("meta ") {
+        meta = Some(CheckpointMeta::parse(
+            line_str(&data[pos..eol], line_no)?.trim(),
+            line_no,
+        )?);
+        pos = next;
+        line_no += 1;
+        (eol, next) = line_end(data, pos);
+    }
+    // `pos` now marks the end of the CRC-covered preamble and the
+    // start of the body line.
+    let body_line = line_str(&data[pos..eol], line_no)?;
+    let (expected_bytes, stored_crc) = parse_body_line(body_line, line_no)?;
+    let payload = &data[next..];
+    if (payload.len() as u64) < expected_bytes {
+        return Err(LoadParamsError::Truncated {
+            expected: expected_bytes,
+            found: payload.len() as u64,
+        });
+    }
+    if (payload.len() as u64) > expected_bytes {
+        return Err(LoadParamsError::Parse {
+            line: line_no,
+            message: format!(
+                "trailing data: body declares {expected_bytes} bytes, file has {}",
+                payload.len()
+            ),
+        });
+    }
+    let computed = crc32(&[&data[..pos], payload]);
+    if computed != stored_crc {
+        return Err(LoadParamsError::ChecksumMismatch {
+            stored: stored_crc,
+            computed,
+        });
+    }
+    Ok(OpenedCheckpoint {
+        meta,
+        body: line_str(payload, line_no + 1)?,
+        preamble_lines: line_no,
+        quantized,
+    })
 }
 
 /// Parses `body bytes=N crc32=HEX` into `(N, crc)`.
@@ -632,7 +778,7 @@ fn load_params_impl(
             });
         }
     }
-    for (name, value) in parse_params(opened.body, opened.preamble_lines)? {
+    for (name, entry) in parse_entries(&opened)? {
         let id = store
             .iter()
             .find(|(_, n, _)| *n == name)
@@ -640,16 +786,39 @@ fn load_params_impl(
             .ok_or_else(|| {
                 LoadParamsError::Mismatch(format!("store has no parameter named '{name}'"))
             })?;
-        if store.value(id).shape() != value.shape() {
+        if store.value(id).shape() != entry.shape() {
             return Err(LoadParamsError::Mismatch(format!(
                 "parameter '{name}': file shape {:?} vs store shape {:?}",
-                value.shape(),
+                entry.shape(),
                 store.value(id).shape()
             )));
         }
-        store.set_value(id, value);
+        store.set_value(id, expand_entry(&name, entry)?);
     }
     Ok(())
+}
+
+/// Parses the parameter block of an opened checkpoint into mixed-precision
+/// entries; legacy (v1–v3) bodies come back wrapped as [`QuantEntry::F32`].
+fn parse_entries(opened: &OpenedCheckpoint<'_>) -> Result<Vec<(String, QuantEntry)>, LoadParamsError> {
+    if opened.quantized {
+        parse_quant_params(opened.body, opened.preamble_lines)
+    } else {
+        Ok(parse_params(opened.body, opened.preamble_lines)?
+            .into_iter()
+            .map(|(n, t)| (n, QuantEntry::F32(t)))
+            .collect())
+    }
+}
+
+/// Widens one entry to f32, mapping dequantization failures (corrupt
+/// payloads, the `quant.dequant.block` failpoint) to the typed
+/// [`LoadParamsError::Dequant`].
+fn expand_entry(name: &str, entry: QuantEntry) -> Result<Tensor, LoadParamsError> {
+    entry.dequantize().map_err(|e| LoadParamsError::Dequant {
+        name: name.to_string(),
+        message: e.to_string(),
+    })
 }
 
 /// Everything a checkpoint holds: the optional config header and the named
@@ -667,8 +836,31 @@ pub type RawCheckpoint = (Option<CheckpointMeta>, Vec<(String, Tensor)>);
 pub fn read_params(path: impl AsRef<Path>) -> Result<RawCheckpoint, LoadParamsError> {
     let data = fs::read(path)?;
     let opened = open_checkpoint(&data)?;
-    let params = parse_params(opened.body, opened.preamble_lines)?;
+    let params = parse_entries(&opened)?
+        .into_iter()
+        .map(|(name, entry)| expand_entry(&name, entry).map(|t| (name, t)))
+        .collect::<Result<Vec<_>, _>>()?;
     Ok((opened.meta, params))
+}
+
+/// Everything a quantized checkpoint holds: the optional config header and
+/// the named mixed-precision entries in file order.
+pub type QuantCheckpoint = (Option<CheckpointMeta>, Vec<(String, QuantEntry)>);
+
+/// Reads every entry in the checkpoint at `path` *as stored*: v4 files come
+/// back with their quantized tensors intact (so a loader can both populate
+/// f32 shadows and register quantized kernels), older versions come back as
+/// [`QuantEntry::F32`].
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on I/O failure, malformed input, an unknown
+/// dtype tag, or a failed integrity check.
+pub fn read_quant_params(path: impl AsRef<Path>) -> Result<QuantCheckpoint, LoadParamsError> {
+    let data = fs::read(path)?;
+    let opened = open_checkpoint(&data)?;
+    let entries = parse_entries(&opened)?;
+    Ok((opened.meta, entries))
 }
 
 /// Parses the parameter block. `preamble_lines` is how many file lines
@@ -724,6 +916,82 @@ fn parse_params(
             });
         }
         out.push((name.to_string(), Tensor::from_vec(values, &shape)));
+    }
+    Ok(out)
+}
+
+/// Parses a v4 parameter block: `<name> <dtype> <shape> <payload>` per line,
+/// with `f32` payloads in the v3 decimal grammar and the quantized dtypes
+/// carrying one hex token of their `to_bytes` serialisation.
+fn parse_quant_params(
+    body: &str,
+    preamble_lines: usize,
+) -> Result<Vec<(String, QuantEntry)>, LoadParamsError> {
+    let mut out = Vec::new();
+    for (idx, line) in body.lines().enumerate() {
+        let line_no = preamble_lines + idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |message: String| LoadParamsError::Parse { line: line_no, message };
+        let mut parts = line.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| bad("missing parameter name".to_string()))?;
+        let dtype = parts.next().ok_or_else(|| bad("missing dtype".to_string()))?;
+        let shape_txt = parts.next().ok_or_else(|| bad("missing shape".to_string()))?;
+        let shape: Vec<usize> = if shape_txt == "scalar" {
+            vec![]
+        } else {
+            shape_txt
+                .split('x')
+                .map(|d| {
+                    d.parse::<usize>()
+                        .map_err(|_| bad(format!("invalid dimension '{d}'")))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let entry = match dtype {
+            "f32" => {
+                let values: Vec<f32> = parts
+                    .map(|v| {
+                        v.parse::<f32>().map_err(|_| bad(format!("invalid value '{v}'")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let expected: usize = shape.iter().product();
+                if values.len() != expected {
+                    return Err(bad(format!(
+                        "shape {shape_txt} implies {expected} values, found {}",
+                        values.len()
+                    )));
+                }
+                QuantEntry::F32(Tensor::from_vec(values, &shape))
+            }
+            "f16" | "q8_0" | "q8_0t" => {
+                let token = parts
+                    .next()
+                    .ok_or_else(|| bad(format!("{dtype} entry missing its hex payload")))?;
+                if parts.next().is_some() {
+                    return Err(bad(format!("{dtype} entry has trailing tokens")));
+                }
+                let bytes = hex_decode(token, line_no)?;
+                match dtype {
+                    "f16" => QuantEntry::F16(
+                        F16Tensor::from_bytes(&shape, &bytes).map_err(bad)?,
+                    ),
+                    tag => QuantEntry::Q8(
+                        Q8Tensor::from_bytes(&shape, tag == "q8_0t", &bytes).map_err(bad)?,
+                    ),
+                }
+            }
+            other => {
+                return Err(LoadParamsError::UnknownDtype {
+                    line: line_no,
+                    dtype: other.to_string(),
+                })
+            }
+        };
+        out.push((name.to_string(), entry));
     }
     Ok(out)
 }
@@ -1075,6 +1343,140 @@ mod tests {
         assert!(dir.join("model.ckpt").exists());
         assert!(!removed[0].exists());
         fs::remove_dir_all(dir).ok();
+    }
+
+    fn sample_quant_entries() -> Vec<(String, QuantEntry)> {
+        use bikecap_quant::{quantize_pairs, QuantFormat};
+        let mut rng = StdRng::seed_from_u64(41);
+        let pairs = vec![
+            (
+                "enc.conv.weight".to_string(),
+                Tensor::randn(&[4, 3, 3, 3, 3], 0.0, 0.4, &mut rng),
+            ),
+            ("enc.conv.bias".to_string(), Tensor::randn(&[1, 4, 1, 1, 1], 0.0, 0.1, &mut rng)),
+            ("head.weight".to_string(), Tensor::randn(&[6, 5], 0.0, 0.3, &mut rng)),
+        ];
+        quantize_pairs(&pairs, QuantFormat::Q8_0)
+    }
+
+    fn sample_quant_file(name: &str) -> std::path::PathBuf {
+        let path = tmp(name);
+        save_quant_params(&sample_quant_entries(), Some(&sample_meta()), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn v4_entries_roundtrip_exactly() {
+        let entries = sample_quant_entries();
+        let path = sample_quant_file("v4roundtrip");
+        let (meta, loaded) = read_quant_params(&path).unwrap();
+        assert_eq!(meta, Some(sample_meta()));
+        assert_eq!(loaded, entries);
+        // The conv weight must be Q8, the bias f16, the matmul weight
+        // transposed Q8 — the on-disk dtype tags carry the full policy.
+        assert!(matches!(&loaded[0].1, QuantEntry::Q8(q) if !q.transposed()));
+        assert!(matches!(&loaded[1].1, QuantEntry::F16(_)));
+        assert!(matches!(&loaded[2].1, QuantEntry::Q8(q) if q.transposed()));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v4_loads_into_store_via_dequantized_shadows() {
+        let entries = sample_quant_entries();
+        let path = sample_quant_file("v4shadow");
+        let mut store = ParamStore::new();
+        let w = store.add("enc.conv.weight", Tensor::zeros(&[4, 3, 3, 3, 3]));
+        store.add("enc.conv.bias", Tensor::zeros(&[1, 4, 1, 1, 1]));
+        store.add("head.weight", Tensor::zeros(&[6, 5]));
+        load_params_checked(&mut store, &path, &sample_meta()).unwrap();
+        let want = entries[0].1.dequantize().unwrap();
+        assert_eq!(store.value(w).as_slice(), want.as_slice());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v4_truncation_and_bit_flips_yield_typed_errors() {
+        let path = sample_quant_file("v4corrupt");
+        let full = fs::read(&path).unwrap();
+        for cut in (0..full.len()).step_by(64).chain([full.len() - 1]) {
+            fs::write(&path, &full[..cut]).unwrap();
+            let err = read_quant_params(&path).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    LoadParamsError::Truncated { .. }
+                        | LoadParamsError::Parse { .. }
+                        | LoadParamsError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+        for byte in (0..full.len()).step_by(7) {
+            let mut corrupt = full.clone();
+            corrupt[byte] ^= 0x01;
+            fs::write(&path, &corrupt).unwrap();
+            assert!(
+                read_quant_params(&path).is_err(),
+                "flip at byte {byte} loaded silently"
+            );
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v4_unknown_dtype_yields_typed_error() {
+        // Hand-build a v4 file whose single entry uses a dtype this binary
+        // does not implement, with a valid integrity line.
+        let body = "w q4_k 2x2 00000000\n";
+        let preamble = format!("{HEADER_V4}\n");
+        let crc = crc32(&[preamble.as_bytes(), body.as_bytes()]);
+        let path = tmp("v4unknown");
+        fs::write(
+            &path,
+            format!("{preamble}body bytes={} crc32={crc:08x}\n{body}", body.len()),
+        )
+        .unwrap();
+        let err = read_quant_params(&path).unwrap_err();
+        assert!(
+            matches!(err, LoadParamsError::UnknownDtype { line: 3, ref dtype } if dtype == "q4_k"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("q4_k"), "{err}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn f32_loaders_widen_v4_files() {
+        let entries = sample_quant_entries();
+        let path = sample_quant_file("v4widen");
+        let (_, widened) = read_params(&path).unwrap();
+        for ((name, entry), (wname, tensor)) in entries.iter().zip(&widened) {
+            assert_eq!(name, wname);
+            assert_eq!(entry.dequantize().unwrap().as_slice(), tensor.as_slice());
+        }
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn q8_checkpoint_is_a_fraction_of_f32_size() {
+        use bikecap_quant::{quantize_pairs, QuantFormat};
+        let mut rng = StdRng::seed_from_u64(17);
+        let pairs = vec![(
+            "enc.conv.weight".to_string(),
+            Tensor::randn(&[8, 4, 3, 5, 5], 0.0, 0.5, &mut rng),
+        )];
+        let f32_path = tmp("sizef32");
+        save_raw_params(&pairs, &f32_path).unwrap();
+        let q8_path = tmp("sizeq8");
+        save_quant_params(&quantize_pairs(&pairs, QuantFormat::Q8_0), None, &q8_path).unwrap();
+        let f32_len = fs::metadata(&f32_path).unwrap().len();
+        let q8_len = fs::metadata(&q8_path).unwrap().len();
+        assert!(
+            (q8_len as f64) <= 0.30 * f32_len as f64,
+            "q8 checkpoint is {q8_len} bytes, f32 is {f32_len}"
+        );
+        fs::remove_file(f32_path).ok();
+        fs::remove_file(q8_path).ok();
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Software IEEE 754 binary16 conversion.
+//!
+//! The workspace is dependency-free, so the half-precision weight format
+//! carries its own f32 ⇄ f16 bit conversion: round-to-nearest-even on
+//! narrowing (matching hardware `FCVT` semantics), exact on widening.
+//! Subnormals, infinities and NaNs are handled; every non-NaN f16 bit
+//! pattern round-trips bitwise through f32.
+
+/// Narrows an `f32` to binary16 bits with round-to-nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp32 == 0xff {
+        // Infinity or NaN; keep NaNs NaN by forcing a quiet payload bit.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7c00 | 0x0200 | ((mant >> 13) as u16 & 0x03ff)
+        };
+    }
+    let exp = exp32 - 127 + 15;
+    if exp >= 0x1f {
+        // Overflows binary16's range: round to infinity.
+        return sign | 0x7c00;
+    }
+    if exp <= 0 {
+        // Subnormal (or underflow to zero). The significand with its
+        // implicit bit is shifted right until the exponent reaches the
+        // subnormal range, rounding the dropped bits to nearest-even.
+        if exp < -10 {
+            return sign;
+        }
+        let m = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let half = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = if rem > halfway || (rem == halfway && (half & 1) == 1) {
+            half + 1
+        } else {
+            half
+        };
+        return sign | rounded as u16;
+    }
+    // Normal range: truncate 13 mantissa bits, rounding to nearest-even.
+    // A mantissa carry propagates into the exponent field (and, at the top
+    // of the range, to infinity) by plain addition.
+    let half = ((exp as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1fff;
+    let rounded = if rem > 0x1000 || (rem == 0x1000 && (half & 1) == 1) {
+        half + 1
+    } else {
+        half
+    };
+    sign | rounded as u16
+}
+
+/// Widens binary16 bits to an `f32`. Exact for every input.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        // Infinity or NaN.
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: renormalise around the leading set bit.
+            let p = 31 - mant.leading_zeros();
+            sign | ((p + 103) << 23) | ((mant << (23 - p)) & 0x007f_ffff)
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_round_trip() {
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn every_non_nan_f16_pattern_round_trips_bitwise() {
+        for h in 0u16..=u16::MAX {
+            let is_nan = (h >> 10) & 0x1f == 0x1f && h & 0x03ff != 0;
+            if is_nan {
+                assert!(f16_bits_to_f32(h).is_nan(), "pattern {h:#06x}");
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(f16_bits_to_f32(h)), h, "pattern {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16_bits(1.0e9), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1.0e9), 0xfc00);
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+    }
+
+    #[test]
+    fn underflow_flushes_to_signed_zero() {
+        assert_eq!(f32_to_f16_bits(1.0e-12), 0x0000);
+        assert_eq!(f32_to_f16_bits(-1.0e-12), 0x8000);
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn nearest_even_rounding_on_narrowing() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next f16 (1 + 2^-10);
+        // nearest-even keeps 1.0. One ulp above the midpoint rounds up.
+        assert_eq!(f32_to_f16_bits(1.0 + 2.0f32.powi(-11)), 0x3c00);
+        let above = f32::from_bits((1.0f32 + 2.0f32.powi(-11)).to_bits() + 1);
+        assert_eq!(f32_to_f16_bits(above), 0x3c01);
+    }
+
+    #[test]
+    fn subnormal_halves_are_exact() {
+        // Smallest f16 subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+    }
+}

@@ -1,0 +1,241 @@
+//! Quantized kernel bodies shared by the eager tape and the compiled
+//! executor.
+//!
+//! Activations are quantized on the fly, one 32-element block per row (or
+//! im2col patch) at a time into a stack buffer — the hot path performs no
+//! heap allocation. Each block dot product accumulates in `i32` and is
+//! rescaled to f32 by the product of the two block scales; per output
+//! element the block contributions add in ascending block order, so the
+//! f32 accumulation order is fixed.
+//!
+//! Determinism contract: output rows are distributed with
+//! [`bikecap_rt::parallel_items_mut`], which hands every row to exactly one
+//! worker. Combined with the fixed in-row accumulation order this makes the
+//! result bitwise identical at any thread count, and — because the eager
+//! overlay and the compiled executor call these same bodies — bitwise
+//! identical across `BIKECAP_EXECUTOR` modes.
+
+use bikecap_tensor::conv::{conv3d_out_dims, from_position_matrix_into, im2col3d_into, Conv3dSpec};
+
+use crate::format::{Q8Tensor, QK8_0};
+
+/// Minimum per-chunk scalar work before the parallel runtime splits a loop
+/// (same floor as the f32 kernels in `bikecap-tensor`).
+const PAR_MIN_WORK: usize = 8 * 1024;
+
+/// `out(m,n) = a(m,k) × wq` where `wq` holds `n` quantized rows of length
+/// `k` (a transposed-quantized matmul weight or a natural conv weight).
+///
+/// # Panics
+///
+/// Panics when slice lengths or the quantized geometry disagree with
+/// `(m, k, n)`.
+pub fn matmul_q8_into(a: &[f32], wq: &Q8Tensor, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_q8_into: lhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_q8_into: out length mismatch");
+    assert_eq!(wq.k(), k, "matmul_q8_into: weight reduction length mismatch");
+    assert_eq!(wq.rows(), n, "matmul_q8_into: weight row count mismatch");
+    let bpr = wq.blocks_per_row();
+    let scales = wq.scales();
+    let qs = wq.qs();
+    out.fill(0.0);
+    let min_rows = (PAR_MIN_WORK / (k * n).max(1)).max(1);
+    bikecap_rt::parallel_items_mut(out, n, min_rows, |row0, block| {
+        let mut qa = [0i8; QK8_0];
+        for (di, orow) in block.chunks_mut(n).enumerate() {
+            let arow = &a[(row0 + di) * k..(row0 + di + 1) * k];
+            for kb in 0..bpr {
+                let start = kb * QK8_0;
+                let len = (k - start).min(QK8_0);
+                let ablk = &arow[start..start + len];
+                // Quantize this activation block once; it is shared by all
+                // n output columns.
+                let mut amax = 0.0f32;
+                for &v in ablk {
+                    amax = amax.max(v.abs());
+                }
+                if amax == 0.0 {
+                    // Zero block: every contribution is exactly 0.0 — the
+                    // += below would be a no-op, so skip the column loop.
+                    continue;
+                }
+                let a_scale = amax / 127.0;
+                let inv = 127.0 / amax;
+                for (i, &v) in ablk.iter().enumerate() {
+                    qa[i] = (v * inv).round().clamp(-127.0, 127.0) as i8;
+                }
+                for q in qa.iter_mut().skip(len) {
+                    *q = 0;
+                }
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let wblk = &qs[(j * bpr + kb) * QK8_0..(j * bpr + kb + 1) * QK8_0];
+                    let mut acc = 0i32;
+                    for i in 0..QK8_0 {
+                        acc += qa[i] as i32 * wblk[i] as i32;
+                    }
+                    *o += a_scale * scales[j * bpr + kb] * acc as f32;
+                }
+            }
+        }
+    });
+}
+
+/// Quantized 3-D convolution over pre-sized scratch: the exact compiled
+/// composition — im2col, quantized row-position matmul, channel
+/// re-interleave — with the f32 `weight-transpose × matmul` middle replaced
+/// by [`matmul_q8_into`] against the natural-layout quantized weight.
+///
+/// `x` is `(N, C_in, D, H, W)` flattened, `col` is `rows x k` scratch,
+/// `mat` is `rows x c_out` scratch, `out` is `(N, C_out, OD, OH, OW)`
+/// flattened, where `rows = N·OD·OH·OW` and `k = C_in·KD·KH·KW`.
+///
+/// # Panics
+///
+/// Panics when any length disagrees with the convolution geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d_q8_into(
+    x: &[f32],
+    wq: &Q8Tensor,
+    dims: (usize, usize, usize, usize, usize),
+    kernel: (usize, usize, usize),
+    spec: Conv3dSpec,
+    col: &mut [f32],
+    mat: &mut [f32],
+    out: &mut [f32],
+) {
+    assert!(!wq.transposed(), "conv3d_q8_into: weight must be natural-layout");
+    let k = dims.1 * kernel.0 * kernel.1 * kernel.2;
+    let rows = col.len() / k.max(1);
+    let c_out = wq.rows();
+    im2col3d_into(x, dims, kernel, spec, col);
+    matmul_q8_into(col, wq, rows, k, c_out, mat);
+    from_position_matrix_into(mat, dims.0, c_out, rows / dims.0.max(1), out);
+}
+
+/// Allocating wrapper over [`conv3d_q8_into`] for the eager overlay:
+/// computes the output shape from the input and spec, sizes the scratch,
+/// and returns the flat output with its shape.
+///
+/// # Panics
+///
+/// Panics when `x_shape` is not rank 5 or channels disagree with `wq`.
+pub fn conv3d_q8(
+    x: &[f32],
+    x_shape: &[usize],
+    wq: &Q8Tensor,
+    spec: Conv3dSpec,
+) -> (Vec<f32>, Vec<usize>) {
+    assert_eq!(x_shape.len(), 5, "conv3d_q8: input must be rank 5");
+    let ws = wq.shape();
+    assert_eq!(ws.len(), 5, "conv3d_q8: weight must be rank 5");
+    assert_eq!(x_shape[1], ws[1], "conv3d_q8: channel mismatch");
+    let dims = (x_shape[0], x_shape[1], x_shape[2], x_shape[3], x_shape[4]);
+    let kernel = (ws[2], ws[3], ws[4]);
+    let (od, oh, ow) = conv3d_out_dims((dims.2, dims.3, dims.4), kernel, spec);
+    let k = dims.1 * kernel.0 * kernel.1 * kernel.2;
+    let rows = dims.0 * od * oh * ow;
+    let c_out = ws[0];
+    let mut col = Vec::new();
+    col.resize(rows * k, 0.0);
+    let mut mat = Vec::new();
+    mat.resize(rows * c_out, 0.0);
+    let mut out = Vec::new();
+    out.resize(dims.0 * c_out * od * oh * ow, 0.0);
+    conv3d_q8_into(x, wq, dims, kernel, spec, &mut col, &mut mat, &mut out);
+    (out, vec![dims.0, c_out, od, oh, ow])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_tensor::exec::matmul_into;
+    use bikecap_tensor::Tensor;
+
+    fn ramp(len: usize, phase: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32 + phase) * 0.61).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn q8_matmul_tracks_f32_within_block_scale_error() {
+        let (m, k, n) = (5, 70, 6);
+        let a = ramp(m * k, 0.0);
+        let b = ramp(k * n, 3.0);
+        let wq = Q8Tensor::quantize_transposed(&b, &[k, n], k, n);
+        let mut got = vec![0.0; m * n];
+        matmul_q8_into(&a, &wq, m, k, n, &mut got);
+        let mut want = vec![0.0; m * n];
+        matmul_into(&a, &b, m, k, n, &mut want);
+        // Per-element error of each operand is ≤ scale/2 ≈ |x|/254; over a
+        // k-length dot the absolute error grows with k, so bound loosely —
+        // the real accuracy gate is quant-eval's RMSE threshold.
+        let tol = 0.004 * k as f32;
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert!((g - w).abs() <= tol, "elem {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn q8_matmul_is_bitwise_stable_across_thread_counts() {
+        let (m, k, n) = (64, 96, 48);
+        let a = ramp(m * k, 1.0);
+        let b = ramp(k * n, 2.0);
+        let wq = Q8Tensor::quantize_transposed(&b, &[k, n], k, n);
+        bikecap_rt::set_backend(bikecap_rt::Backend::Serial);
+        let mut serial = vec![0.0; m * n];
+        matmul_q8_into(&a, &wq, m, k, n, &mut serial);
+        bikecap_rt::set_backend(bikecap_rt::Backend::Parallel);
+        for threads in [1, 2, 4, 7] {
+            bikecap_rt::set_threads(threads);
+            let mut par = vec![0.0; m * n];
+            matmul_q8_into(&a, &wq, m, k, n, &mut par);
+            for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads {threads}, elem {i}");
+            }
+        }
+        bikecap_rt::set_threads(0);
+    }
+
+    #[test]
+    fn q8_conv3d_matches_f32_conv_within_tolerance() {
+        let (n, c_in, d, h, w) = (2, 3, 4, 5, 5);
+        let c_out = 4;
+        let kernel = (3, 3, 3);
+        let spec = Conv3dSpec::padded(1, 1, 1);
+        let x = Tensor::from_vec(ramp(n * c_in * d * h * w, 0.5), &[n, c_in, d, h, w]);
+        let wt = Tensor::from_vec(
+            ramp(c_out * c_in * kernel.0 * kernel.1 * kernel.2, 4.0),
+            &[c_out, c_in, kernel.0, kernel.1, kernel.2],
+        );
+        let k = c_in * kernel.0 * kernel.1 * kernel.2;
+        let wq = Q8Tensor::quantize(wt.as_slice(), wt.shape(), c_out, k);
+        let (got, shape) = conv3d_q8(x.as_slice(), x.shape(), &wq, spec);
+        let want = bikecap_tensor::conv::conv3d(&x, &wt, spec);
+        assert_eq!(shape.as_slice(), want.shape());
+        let tol = 0.004 * k as f32;
+        for (i, (g, f)) in got.iter().zip(want.as_slice()).enumerate() {
+            assert!((g - f).abs() <= tol, "elem {i}: {g} vs {f}");
+        }
+    }
+
+    #[test]
+    fn q8_conv3d_is_bitwise_stable_across_thread_counts() {
+        let (n, c_in, d, h, w) = (2, 4, 6, 8, 8);
+        let c_out = 8;
+        let kernel = (3, 3, 3);
+        let spec = Conv3dSpec::padded(1, 1, 1);
+        let x = ramp(n * c_in * d * h * w, 0.0);
+        let wt = ramp(c_out * c_in * 27, 9.0);
+        let wq = Q8Tensor::quantize(&wt, &[c_out, c_in, 3, 3, 3], c_out, c_in * 27);
+        bikecap_rt::set_backend(bikecap_rt::Backend::Serial);
+        let (serial, _) = conv3d_q8(&x, &[n, c_in, d, h, w], &wq, spec);
+        bikecap_rt::set_backend(bikecap_rt::Backend::Parallel);
+        for threads in [1, 2, 4, 7] {
+            bikecap_rt::set_threads(threads);
+            let (par, _) = conv3d_q8(&x, &[n, c_in, d, h, w], &wq, spec);
+            for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(s.to_bits(), p.to_bits(), "threads {threads}, elem {i}");
+            }
+        }
+        bikecap_rt::set_threads(0);
+    }
+}

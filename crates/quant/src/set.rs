@@ -1,0 +1,162 @@
+//! The runtime quantization table: which parameters dispatch through the
+//! quantized kernels, keyed by [`ParamId`].
+//!
+//! A [`QuantSet`] is built when a v4 checkpoint loads: every Q8_0 entry is
+//! registered here (the parameter store keeps a dequantized f32 shadow for
+//! shape probing, plan compilation and re-saving), while f16 entries live
+//! only as their widened shadows — f16 is a storage format, not a kernel
+//! format. The set implements [`ForwardOverride`], so installing it on an
+//! eager tape reroutes param-backed matmul/conv3d through
+//! [`crate::kernels`]; the compiled executor consults the same set by the
+//! same ids, which is what keeps the two paths bitwise identical.
+
+use std::collections::HashMap;
+
+use bikecap_autograd::{ForwardOverride, ParamId};
+use bikecap_tensor::conv::Conv3dSpec;
+use bikecap_tensor::Tensor;
+
+use crate::format::Q8Tensor;
+use crate::kernels::{conv3d_q8, matmul_q8_into};
+
+/// Per-model table of quantized parameters, plus a human-readable
+/// precision label surfaced by serving (`/healthz`) and the CLI.
+#[derive(Debug, Default)]
+pub struct QuantSet {
+    entries: HashMap<usize, Q8Tensor>,
+    /// Parameters stored as f16 (counted for the label only).
+    f16_params: usize,
+}
+
+impl QuantSet {
+    /// An empty set.
+    pub fn new() -> QuantSet {
+        QuantSet::default()
+    }
+
+    /// Registers a Q8_0 tensor for `id`'s kernel dispatch.
+    pub fn insert_q8(&mut self, id: ParamId, q: Q8Tensor) {
+        self.entries.insert(id.index(), q);
+    }
+
+    /// Counts one parameter stored as f16 (label bookkeeping only).
+    pub fn note_f16(&mut self) {
+        self.f16_params += 1;
+    }
+
+    /// The quantized tensor dispatched for `id`, when registered.
+    pub fn q8(&self, id: ParamId) -> Option<&Q8Tensor> {
+        self.entries.get(&id.index())
+    }
+
+    /// Number of Q8_0 entries.
+    pub fn q8_params(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of f16-stored parameters.
+    pub fn f16_params(&self) -> usize {
+        self.f16_params
+    }
+
+    /// The precision label for status surfaces: `"q8_0"`, `"f16"`, or the
+    /// mixed `"q8_0+f16"`.
+    pub fn precision(&self) -> &'static str {
+        match (self.entries.is_empty(), self.f16_params == 0) {
+            (false, false) => "q8_0+f16",
+            (false, true) => "q8_0",
+            (true, false) => "f16",
+            // An empty set never reaches a status surface (models without
+            // quantized entries report "f32" upstream), but keep the label
+            // total.
+            (true, true) => "f32",
+        }
+    }
+}
+
+impl ForwardOverride for QuantSet {
+    fn matmul(&self, a: &Tensor, w: &Tensor, w_param: ParamId) -> Option<Tensor> {
+        let q = self.q8(w_param)?;
+        if !q.transposed() {
+            return None;
+        }
+        let (ash, wsh) = (a.shape(), w.shape());
+        if ash.len() != 2 || wsh.len() != 2 || ash[1] != wsh[0] || q.shape() != wsh {
+            return None;
+        }
+        let (m, k, n) = (ash[0], ash[1], wsh[1]);
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_q8_into(a.as_slice(), q, m, k, n, out.as_mut_slice());
+        Some(out)
+    }
+
+    fn conv3d(&self, x: &Tensor, w: &Tensor, w_param: ParamId, spec: Conv3dSpec) -> Option<Tensor> {
+        let q = self.q8(w_param)?;
+        if q.transposed() || q.shape() != w.shape() || x.shape().len() != 5 {
+            return None;
+        }
+        let (data, shape) = conv3d_q8(x.as_slice(), x.shape(), q, spec);
+        Some(Tensor::from_vec(data, &shape))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bikecap_autograd::{ParamStore, Tape};
+
+    fn ramp(len: usize, phase: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32 + phase) * 0.43).sin()).collect()
+    }
+
+    #[test]
+    fn precision_label_reflects_contents() {
+        let mut set = QuantSet::new();
+        assert_eq!(set.precision(), "f32");
+        set.note_f16();
+        assert_eq!(set.precision(), "f16");
+        let q = Q8Tensor::quantize(&ramp(32, 0.0), &[1, 32], 1, 32);
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::zeros(&[1, 32]));
+        set.insert_q8(id, q);
+        assert_eq!(set.precision(), "q8_0+f16");
+    }
+
+    #[test]
+    fn overlay_reroutes_param_backed_matmul() {
+        let (m, k, n) = (3, 40, 5);
+        let wdata = ramp(k * n, 2.0);
+        let mut store = ParamStore::new();
+        let id = store.add("lin.weight", Tensor::from_vec(wdata.clone(), &[k, n]));
+        let mut set = QuantSet::new();
+        set.insert_q8(id, Q8Tensor::quantize_transposed(&wdata, &[k, n], k, n));
+
+        let a = Tensor::from_vec(ramp(m * k, 0.0), &[m, k]);
+        let mut expected = vec![0.0; m * n];
+        matmul_q8_into(a.as_slice(), set.q8(id).expect("registered"), m, k, n, &mut expected);
+
+        let set = std::sync::Arc::new(set);
+        let mut tape = Tape::new();
+        tape.set_overlay(set);
+        let av = tape.constant(a);
+        let wv = tape.param(&store, id);
+        let out = tape.matmul(av, wv);
+        assert_eq!(tape.value(out).as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn overlay_ignores_non_registered_params() {
+        let (m, k, n) = (2, 8, 3);
+        let mut store = ParamStore::new();
+        let id = store.add("lin.weight", Tensor::from_vec(ramp(k * n, 1.0), &[k, n]));
+        let set = std::sync::Arc::new(QuantSet::new());
+        let mut tape = Tape::new();
+        tape.set_overlay(set);
+        let av = tape.constant(Tensor::from_vec(ramp(m * k, 0.0), &[m, k]));
+        let wv = tape.param(&store, id);
+        let out = tape.matmul(av, wv);
+        // Falls through to the stock f32 kernel.
+        let want = tape.value(av).matmul(tape.value(wv));
+        assert_eq!(tape.value(out).as_slice(), want.as_slice());
+    }
+}

@@ -311,6 +311,28 @@ mod tests {
     }
 
     #[test]
+    fn quantized_checkpoint_loads_and_reports_precision() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bikecap-registry-{}.q8", std::process::id()));
+        let trained = BikeCap::seeded(tiny_config(), 7);
+        trained
+            .save_quantized_checkpoint(&path, bikecap_quant::QuantFormat::Q8_0)
+            .unwrap();
+
+        let reg = ModelRegistry::new();
+        let entry = reg
+            .load_checkpoint(DEFAULT_MODEL, tiny_config(), &path)
+            .unwrap();
+        let model = entry.current();
+        assert!(model.precision().starts_with("q8_0"), "{}", model.precision());
+        // Quantized models predict through the Q8 kernels without panicking
+        // and stay finite (accuracy is gated by `bikecap-check quant-eval`).
+        let x = Tensor::ones(&[1, 4, 4, 4, 4]);
+        assert!(model.predict(&x).all_finite());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn load_checkpoint_rejects_invalid_config_with_typed_error() {
         let reg = ModelRegistry::new();
         let err = reg

@@ -328,6 +328,23 @@ fn healthz(inner: &Inner) -> (u16, String) {
             })
             .collect(),
     );
+    // Per-model numeric precision ("f32", "q8_0", "f16"): reflects the
+    // checkpoint each slot last loaded, so operators can confirm a
+    // quantized deploy actually took (and spot a rollback to f32).
+    let precision = Json::Obj(
+        inner
+            .registry
+            .names()
+            .into_iter()
+            .filter_map(|name| {
+                inner
+                    .registry
+                    .get(Some(name.as_str()))
+                    .ok()
+                    .map(|entry| (name, Json::Str(entry.current().precision().to_string())))
+            })
+            .collect(),
+    );
     // The executor every request routes through: read from the default
     // model so the answer reflects what is actually serving (hot-swapped
     // models included), not just how the process was configured.
@@ -352,6 +369,7 @@ fn healthz(inner: &Inner) -> (u16, String) {
         ("verify", Json::Str(verify.to_string())),
         ("models", Json::Arr(models)),
         ("versions", versions),
+        ("precision", precision),
         (
             "queue_depth",
             Json::Num(inner.metrics.queue_depth.load(Ordering::Relaxed) as f64),
@@ -721,6 +739,13 @@ mod tests {
         assert!(matches!(executor, Some("compiled" | "eager")), "{body}");
         let verify = doc.get("verify").and_then(Json::as_str);
         assert!(matches!(verify, Some("strict" | "warn" | "off")), "{body}");
+        // Every registered model reports its numeric precision; the test
+        // model is built from f32 weights, so no quantized set is attached.
+        let precision = doc
+            .get("precision")
+            .and_then(|p| p.get("default"))
+            .and_then(Json::as_str);
+        assert_eq!(precision, Some("f32"), "{body}");
 
         // /metrics is Prometheus text now…
         let (status, body) = get(&server, "/metrics");

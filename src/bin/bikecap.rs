@@ -29,7 +29,10 @@ use std::time::Duration;
 use bikecap::eval::{evaluate, BikeCapForecaster};
 use bikecap::faults::{self, FaultPlan};
 use bikecap::model::{BikeCap, BikeCapConfig, ResilientOptions, TrainOptions};
-use bikecap::nn::serialize::{clean_stale_tmp, load_params, read_meta, save_params};
+use bikecap::nn::serialize::{
+    clean_stale_tmp, load_params, read_meta, read_params, save_params, save_quant_params,
+};
+use bikecap::quant::{quantize_pairs, QuantEntry, QuantFormat};
 use bikecap::serve::{
     compute_threads_per_worker, signal::install_shutdown_flag, BatchConfig, ModelRegistry,
     ServeConfig, Server, DEFAULT_MODEL,
@@ -45,13 +48,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn usage() -> &'static str {
-    "usage: bikecap <simulate|train|forecast|serve|profile|live|check-config> [--days N] [--seed N] \
+    "usage: bikecap <simulate|train|forecast|serve|quantize|profile|live|check-config> [--days N] [--seed N] \
      [--horizon N] [--epochs N] [--weights FILE] [--out-dir DIR] [--save FILE] \
      [--resume] [--autosave-every N] \
      [--checkpoint FILE] [--addr HOST:PORT] [--workers N] [--max-batch N] [--max-wait-ms N] \
      [--queue-cap N] [--bind-retries N] [--faults SPEC] [--fault-seed N] \
-     [--steps N] [--trace FILE] [--threads N]\n\
+     [--steps N] [--trace FILE] [--threads N] \
+     [--in FILE] [--out FILE] [--format q8_0|f16]\n\
      round trip: `bikecap train --save model.ckpt && bikecap serve --checkpoint model.ckpt`\n\
+     quantize a trained checkpoint: `bikecap quantize --in model.ckpt --out model.q8` \
+     (then `bikecap serve --checkpoint model.q8`; gate accuracy first with \
+     `bikecap-check quant-eval`)\n\
      resume an interrupted run: `bikecap train --save model.ckpt --resume`\n\
      profile N train steps: `bikecap profile --steps 10 --trace trace.json` (open the \
      trace in chrome://tracing or Perfetto)\n\
@@ -90,6 +97,9 @@ struct Args {
     steps: usize,
     trace: Option<PathBuf>,
     threads: Option<usize>,
+    input: Option<PathBuf>,
+    out: Option<PathBuf>,
+    format: String,
 }
 
 /// Flags that are plain switches: present means true, they never consume the
@@ -144,6 +154,9 @@ fn parse_flags(rest: &[String]) -> Result<Args, String> {
             .get("threads")
             .map(|v| v.parse().map_err(|_| "invalid --threads".to_string()))
             .transpose()?,
+        input: map.get("in").map(PathBuf::from),
+        out: map.get("out").map(PathBuf::from),
+        format: get("format", "q8_0"),
     })
 }
 
@@ -275,6 +288,51 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         args.steps,
         report.seconds,
         report.final_loss().unwrap_or(f32::NAN)
+    );
+    Ok(())
+}
+
+/// `bikecap quantize`: rewrite a trained f32 checkpoint as a format-v4 file
+/// with conv/matmul weights in Q8_0 blocks (or f16), leaving biases and
+/// other quantization-sensitive tensors at full precision. The output is a
+/// drop-in `--checkpoint` for `serve`/`forecast`; run `bikecap-check
+/// quant-eval` to confirm the accuracy gate before deploying it.
+fn cmd_quantize(args: &Args) -> Result<(), String> {
+    let input = args
+        .input
+        .as_deref()
+        .ok_or("quantize requires --in FILE (a trained checkpoint)")?;
+    let out = args
+        .out
+        .as_deref()
+        .ok_or("quantize requires --out FILE (the quantized checkpoint)")?;
+    let format = QuantFormat::parse(&args.format)
+        .ok_or_else(|| format!("invalid --format '{}' (expected q8_0 or f16)", args.format))?;
+    let (meta, pairs) = read_params(input).map_err(|e| format!("{}: {e}", input.display()))?;
+    let entries = quantize_pairs(&pairs, format);
+    let (mut q8, mut f16, mut f32_kept) = (0usize, 0usize, 0usize);
+    for (_, entry) in &entries {
+        match entry {
+            QuantEntry::Q8(_) => q8 += 1,
+            QuantEntry::F16(_) => f16 += 1,
+            QuantEntry::F32(_) => f32_kept += 1,
+        }
+    }
+    save_quant_params(&entries, meta.as_ref(), out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let size = |p: &std::path::Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let (in_bytes, out_bytes) = (size(input), size(out));
+    println!(
+        "quantized {} -> {} ({}): {} q8_0 + {} f16 + {} f32 tensors, {} -> {} bytes ({:.0}%)",
+        input.display(),
+        out.display(),
+        format.name(),
+        q8,
+        f16,
+        f32_kept,
+        in_bytes,
+        out_bytes,
+        100.0 * out_bytes as f64 / in_bytes.max(1) as f64
     );
     Ok(())
 }
@@ -695,6 +753,7 @@ fn main() -> ExitCode {
         "forecast" => cmd_forecast(&args),
         "serve" => cmd_serve(&args),
         "profile" => cmd_profile(&args),
+        "quantize" => cmd_quantize(&args),
         "live" => cmd_live(&args),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };

@@ -22,6 +22,10 @@
 //! * [`rt`] — deterministic parallel runtime: the chunk-stealing thread
 //!   pool behind the conv/routing hot paths (`BIKECAP_THREADS`,
 //!   `--threads`), bitwise-identical at every thread count.
+//! * [`quant`] — post-training quantization: ggml-style Q8_0 block weights
+//!   and software f16, quantized matmul/conv3d kernel bodies dispatched
+//!   identically by the eager tape and the compiled executor, and the
+//!   checkpoint dtype policy behind `bikecap quantize`.
 //! * [`verify`] — static verifier for compiled executor plans: proves slab
 //!   disjointness, refcount balance, bounds, and schedule validity per
 //!   plan (`BIKECAP_VERIFY=strict|warn|off`), plus the mutation harness
@@ -40,6 +44,7 @@ pub use bikecap_ir as ir;
 pub use bikecap_live as live;
 pub use bikecap_nn as nn;
 pub use bikecap_obs as obs;
+pub use bikecap_quant as quant;
 pub use bikecap_rt as rt;
 pub use bikecap_serve as serve;
 pub use bikecap_tensor as tensor;

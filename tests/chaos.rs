@@ -257,6 +257,46 @@ fn unrecoverable_divergence_aborts_with_typed_error() {
     assert!(matches!(err, TrainerError::Diverged { .. }), "{err}");
 }
 
+/// A fault injected into block dequantization while a quantized (v4)
+/// checkpoint loads must surface as the typed `Dequant` error and leave
+/// the target model untouched — loads stage every shadow before writing
+/// any, so a poisoned block can never leave a half-loaded store behind.
+#[test]
+fn dequant_fault_during_quantized_load_is_typed_and_atomic() {
+    use bikecap::quant::QuantFormat;
+    let _guard = chaos_lock();
+    let dir = tmp_dir("quant-dequant");
+    let path = dir.join("model.q8");
+
+    let source = tiny_model();
+    source
+        .save_quantized_checkpoint(&path, QuantFormat::Q8_0)
+        .expect("quantized save");
+
+    let mut target = tiny_model();
+    let mut rng = StdRng::seed_from_u64(3);
+    let window = Tensor::rand_uniform(&[1, 4, 8, 6, 6], 0.0, 1.0, &mut rng);
+    let before = target.predict(&window);
+
+    arm("quant.dequant.block=always");
+    let err = target.load_checkpoint(&path).expect_err("armed dequant must fail the load");
+    assert!(
+        matches!(err, LoadParamsError::Dequant { .. }),
+        "want the typed Dequant error, got: {err}"
+    );
+    faults::clear();
+
+    // Atomicity: the failed load wrote nothing — same weights, no quant set.
+    assert_eq!(target.precision(), "f32");
+    let after = target.predict(&window);
+    assert_eq!(before.as_slice(), after.as_slice(), "failed load mutated the store");
+
+    // With the fault gone the same file loads and serves quantized.
+    target.load_checkpoint(&path).expect("clean load");
+    assert!(target.precision().starts_with("q8_0"), "{}", target.precision());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The same seed fires the same schedule: two identical fault plans agree
 /// on every (site, hit) decision, which is what makes chaos runs
 /// reproducible from a single seed value.

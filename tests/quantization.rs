@@ -1,0 +1,124 @@
+//! Quantized-inference determinism regression tests.
+//!
+//! Loading a Q8_0 checkpoint swaps the matmul/conv3d kernel bodies, but
+//! the determinism contracts are unchanged: the eager tape (through the
+//! `ForwardOverride` overlay) and the compiled executor (through
+//! `QuantExecutor`) call the *same* quantized kernels, and those kernels
+//! chunk through `bikecap-rt`'s one-owner-per-row splitter — so quantized
+//! predictions must be bitwise identical across exec modes and at every
+//! thread count, exactly like the f32 path pinned by tests/ir_equivalence.rs
+//! and tests/parallel_determinism.rs.
+
+use std::path::PathBuf;
+
+use bikecap::model::{BikeCap, BikeCapConfig, ExecMode};
+use bikecap::quant::QuantFormat;
+use bikecap::rt::{self, Backend};
+use bikecap::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors tests/parallel_determinism.rs: serial fast path, even splits,
+/// and an odd count for uneven chunk distribution.
+const THREADS: &[usize] = &[1, 2, 4, 7];
+
+fn assert_bitwise_eq(label: &str, a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "{label}: shape drift");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: element {i} diverges ({x} vs {y})"
+        );
+    }
+}
+
+fn tmp_ckpt(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bikecap-quanttest-{name}-{}.q8", std::process::id()))
+}
+
+/// A model with its weights reloaded through the quantized container, so
+/// kernel dispatch goes through the QuantSet in both exec modes.
+fn quantized_model(config: BikeCapConfig, name: &str) -> BikeCap {
+    let source = BikeCap::seeded(config.clone(), 42);
+    let path = tmp_ckpt(name);
+    source
+        .save_quantized_checkpoint(&path, QuantFormat::Q8_0)
+        .expect("quantized save");
+    let mut model = BikeCap::seeded(config, 1);
+    model.load_checkpoint(&path).expect("quantized load");
+    std::fs::remove_file(&path).ok();
+    assert!(model.precision().starts_with("q8_0"), "{}", model.precision());
+    model
+}
+
+/// Eager and compiled execution of a quantized model agree bitwise — the
+/// overlay and the executor resolve the same ParamIds to the same Q8
+/// tensors and call the same kernel bodies.
+#[test]
+fn quantized_eager_matches_compiled_bitwise() {
+    let config = BikeCapConfig::new(8, 8).history(8).horizon(4);
+    let mut model = quantized_model(config, "eager-vs-compiled");
+    let mut rng = StdRng::seed_from_u64(7);
+    let window = Tensor::rand_uniform(&[2, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+    let single = Tensor::rand_uniform(&[4, 8, 8, 8], 0.0, 1.0, &mut rng);
+
+    model.set_exec_mode(ExecMode::Eager);
+    let eager_batch = model.predict(&window);
+    let eager_single = model.predict(&single);
+
+    model.set_exec_mode(ExecMode::Compiled);
+    let compiled_batch = model.predict(&window);
+    let compiled_single = model.predict(&single);
+
+    assert_bitwise_eq("q8/predict[b=2]", &eager_batch, &compiled_batch);
+    assert_bitwise_eq("q8/predict[b=1]", &eager_single, &compiled_single);
+}
+
+/// Quantized prediction is bitwise stable at every thread count, in both
+/// exec modes, against the serial reference.
+#[test]
+fn quantized_predict_is_bitwise_stable_across_thread_counts() {
+    let config = BikeCapConfig::new(8, 8).history(8).horizon(4);
+    let mut model = quantized_model(config, "threads");
+    let mut rng = StdRng::seed_from_u64(7);
+    let window = Tensor::rand_uniform(&[3, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+
+    rt::set_backend(Backend::Serial);
+    model.set_exec_mode(ExecMode::Eager);
+    let reference = model.predict(&window);
+
+    rt::set_backend(Backend::Parallel);
+    for mode in [ExecMode::Eager, ExecMode::Compiled] {
+        model.set_exec_mode(mode);
+        for &threads in THREADS {
+            rt::set_threads(threads);
+            let got = model.predict(&window);
+            assert_bitwise_eq(&format!("q8 {mode:?} @ {threads} threads"), &reference, &got);
+        }
+    }
+    rt::set_threads(0);
+}
+
+/// The quantized model stays close to its f32 source — the same bound the
+/// `bikecap-check quant-eval` gate enforces across the EXPERIMENTS.md grid,
+/// pinned here for the default config so plain `cargo test` covers it.
+#[test]
+fn quantized_predictions_track_f32_within_the_gate() {
+    let config = BikeCapConfig::new(8, 8).history(8).horizon(4);
+    let f32_model = BikeCap::seeded(config.clone(), 42);
+    let quantized = quantized_model(config, "accuracy");
+    let mut rng = StdRng::seed_from_u64(7);
+    let window = Tensor::rand_uniform(&[2, 4, 8, 8, 8], 0.0, 1.0, &mut rng);
+
+    let want = f32_model.predict(&window);
+    let got = quantized.predict(&window);
+    let mut err = 0.0f64;
+    let mut scale = 0.0f64;
+    for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+        err += f64::from(a - b) * f64::from(a - b);
+        scale += f64::from(*a) * f64::from(*a);
+    }
+    let relative = (err / scale.max(f64::MIN_POSITIVE)).sqrt();
+    assert!(relative < 0.02, "relative RMSE {relative} exceeds the 2% gate");
+}
